@@ -1,0 +1,339 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark drives the corresponding generator in internal/experiments;
+// cmd/report prints the same rows. Site inputs are cached process-wide, so
+// the first iteration pays grid-year simulation and later iterations measure
+// the analysis itself.
+package carbonexplorer
+
+import (
+	"testing"
+
+	"carbonexplorer/internal/experiments"
+)
+
+// requireTable fails the benchmark if the generator errored or produced an
+// empty table, so a silent regression cannot masquerade as a fast run.
+func requireTable(b *testing.B, t experiments.Table, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(t.Rows) == 0 {
+		b.Fatalf("%s: empty table", t.ID)
+	}
+}
+
+// BenchmarkFigure01 regenerates Figure 1: hourly wind and solar generation
+// over a week on a California-like grid, with the >3x day-to-day swing.
+func BenchmarkFigure01(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure01()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkTable01 regenerates Table 1: the thirteen datacenter sites and
+// regional renewable investments.
+func BenchmarkTable01(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireTable(b, experiments.Table01(), nil)
+	}
+}
+
+// BenchmarkFigure03 regenerates Figure 3: diurnal CPU utilization, the flat
+// power profile, and their correlation.
+func BenchmarkFigure03(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure03()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkTable02 regenerates Table 2: carbon efficiency of energy
+// sources.
+func BenchmarkTable02(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireTable(b, experiments.Table02(), nil)
+	}
+}
+
+// BenchmarkFigure04 regenerates Figure 4: curtailment rising with renewable
+// deployment across calendar years.
+func BenchmarkFigure04(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure04()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkFigure05 regenerates Figure 5: average-day profiles and daily
+// generation histograms for BPAT, DUK, and PACE.
+func BenchmarkFigure05(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, _, err := experiments.Figure05()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkFigure06 regenerates Figure 6: hourly operational carbon
+// intensity of the grid-mix, Net Zero, and 24/7 scenarios.
+func BenchmarkFigure06(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure06()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkFigure07 regenerates Figure 7: the coverage surface over wind
+// and solar investments for the three representative regions.
+func BenchmarkFigure07(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure07()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkFigure08 regenerates Figure 8: the long investment tail to high
+// coverage in Oregon and the over-optimism of average-day supply.
+func BenchmarkFigure08(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure08()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkFigure09 regenerates Figure 9: battery hours required for 24/7
+// coverage by investment mix.
+func BenchmarkFigure09(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure09()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10: the SLO-tier breakdown of data
+// processing workloads.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireTable(b, experiments.Figure10(), nil)
+	}
+}
+
+// BenchmarkFigure11 regenerates Figure 11: the three-day carbon-aware
+// scheduling illustration.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure11()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkFigure12 regenerates Figure 12: extra server capacity required
+// for 24/7 via scheduling with fully flexible workloads.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure12()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkFigure14 regenerates Figure 14: the operational-vs-embodied
+// Pareto frontiers of the four strategies in three regions.
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, _, err := experiments.Figure14()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkFigure15 regenerates Figure 15: the carbon-optimal footprint per
+// MW for all thirteen sites and four strategies.
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, _, err := experiments.Figure15(nil)
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkFigure16 regenerates Figure 16: the battery charge-level
+// distribution under the carbon-optimal configuration.
+func BenchmarkFigure16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, _, err := experiments.Figure16()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkDoDStudy regenerates the Section 5.2 depth-of-discharge
+// trade-off analysis.
+func BenchmarkDoDStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.DoDStudy([]string{"OR", "UT", "NC"})
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkCASGains regenerates the Sections 4.3/5.2 scheduling statistics:
+// coverage gains and extra capacity at 40% flexible workloads.
+func BenchmarkCASGains(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.CASGains(nil)
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkTotalReduction regenerates the paper's summary claim: total
+// footprint reduction from combining batteries and scheduling with
+// renewables.
+func BenchmarkTotalReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TotalReduction(nil)
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkNetZeroStudy regenerates the Section 3.2 Net Zero vs 24/7
+// accounting gap across the fleet.
+func BenchmarkNetZeroStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.NetZeroStudy(nil)
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkForecastStudy runs the extension comparing oracle and
+// forecast-driven carbon-aware scheduling.
+func BenchmarkForecastStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.ForecastStudy("UT")
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkBatteryTechStudy runs the extension comparing storage
+// chemistries (LFP, NMC, sodium-ion).
+func BenchmarkBatteryTechStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.BatteryTechStudy("NC")
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkTieredScheduling runs the extension comparing uniform and
+// SLO-tiered deferral windows.
+func BenchmarkTieredScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TieredSchedulingStudy("UT")
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkGeoBalance runs the extension migrating load across the
+// thirteen-site fleet.
+func BenchmarkGeoBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.GeoBalanceStudy(0.3)
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkDispatchStudy runs the greedy-vs-optimal battery dispatch
+// comparison (dynamic program over the year).
+func BenchmarkDispatchStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.DispatchStudy("UT", 4)
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkJobSim runs the job-level discrete-event validation of the fluid
+// scheduling abstraction.
+func BenchmarkJobSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.JobSimStudy("UT")
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkOptimizerStudy compares search strategies (quality vs
+// evaluation budget).
+func BenchmarkOptimizerStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.OptimizerStudy("UT")
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkCostStudy crosses capital cost with carbon for one site.
+func BenchmarkCostStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.CostStudy("UT")
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkRobustnessStudy re-evaluates the optimal design across weather
+// years.
+func BenchmarkRobustnessStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RobustnessStudy("UT", 3)
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkSensitivityStudy runs the embodied-parameter tornado analysis.
+func BenchmarkSensitivityStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.SensitivityStudy("UT")
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkFWRSweep sweeps the flexible workload ratio.
+func BenchmarkFWRSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.FWRSweep("UT")
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkDRSignals compares demand-response signals as shifting drivers.
+func BenchmarkDRSignals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.DRSignalStudy("TX")
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkHorizonStudy simulates the ten-year forward-trend trajectory.
+func BenchmarkHorizonStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.HorizonStudy("UT", 10)
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkCoverageAtlas regenerates the all-site coverage table.
+func BenchmarkCoverageAtlas(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.CoverageAtlas()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkPUEStudy runs the cooling-overhead comparison.
+func BenchmarkPUEStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.PUEStudy()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkSearchAblation runs the design-space ablation for a solar-only
+// region.
+func BenchmarkSearchAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.SearchAblation("NC")
+		requireTable(b, t, err)
+	}
+}

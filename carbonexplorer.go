@@ -1,0 +1,252 @@
+// Package carbonexplorer is a holistic framework for designing carbon-aware
+// datacenters, reproducing "Carbon Explorer: A Holistic Framework for
+// Designing Carbon Aware Datacenters" (ASPLOS 2023).
+//
+// The framework takes hourly datacenter power demand and hourly renewable
+// generation for the datacenter's regional grid, explores a design space of
+//
+//   - renewable energy investments (wind and solar capacity),
+//   - battery storage (a C/L/C lithium-ion model), and
+//   - carbon-aware workload scheduling (with extra server capacity),
+//
+// and finds the configuration minimizing total carbon — operational carbon
+// from grid energy plus the embodied carbon of manufacturing farms,
+// batteries, and servers.
+//
+// # Quick start
+//
+//	site := carbonexplorer.MustSite("UT")
+//	in, err := carbonexplorer.NewInputs(site)
+//	if err != nil { ... }
+//	outcome, err := in.Evaluate(carbonexplorer.Design{
+//		WindMW:     239,
+//		SolarMW:    694,
+//		BatteryMWh: 4 * in.AvgDemandMW(),
+//		DoD:        1.0,
+//	})
+//	fmt.Printf("coverage %.1f%%, total %s/yr\n", outcome.CoveragePct, outcome.Total())
+//
+// Sites ships the paper's Table 1 locations; supply data is simulated by a
+// physically-motivated synthetic grid model, and real hourly data can be
+// substituted via NewInputsFromSeries or the eiacsv-format loader in the
+// gridgen tool.
+package carbonexplorer
+
+import (
+	"carbonexplorer/internal/battery"
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/dcload"
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/fleet"
+	"carbonexplorer/internal/forecast"
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/netzero"
+	"carbonexplorer/internal/scheduler"
+	"carbonexplorer/internal/timeseries"
+	"carbonexplorer/internal/units"
+	"carbonexplorer/internal/workload"
+)
+
+// Core exploration types.
+type (
+	// Inputs bundles a site's demand and supply data for design evaluation.
+	Inputs = explorer.Inputs
+	// Design is one point in the design space.
+	Design = explorer.Design
+	// Outcome is an evaluated design: coverage, operational and embodied
+	// carbon.
+	Outcome = explorer.Outcome
+	// Strategy selects which solution dimensions a search may use.
+	Strategy = explorer.Strategy
+	// Space bounds a design-space search.
+	Space = explorer.Space
+	// SearchResult holds all evaluated points and the carbon optimum.
+	SearchResult = explorer.SearchResult
+	// ScenarioIntensities compares grid-mix, Net Zero, and 24/7 hourly
+	// operational carbon intensity.
+	ScenarioIntensities = explorer.ScenarioIntensities
+)
+
+// Grid and site types.
+type (
+	// Site is a datacenter location with its regional renewable
+	// investments (the paper's Table 1).
+	Site = grid.Site
+	// BAProfile describes a balancing authority's generation profile.
+	BAProfile = grid.BAProfile
+	// GridYear is one simulated year of hourly grid operation.
+	GridYear = grid.Year
+)
+
+// Modelling types.
+type (
+	// Series is an hourly time series.
+	Series = timeseries.Series
+	// BatteryParams configures the C/L/C storage model.
+	BatteryParams = battery.Params
+	// Battery is a stateful storage simulator.
+	Battery = battery.Battery
+	// EmbodiedParams holds manufacturing-footprint assumptions.
+	EmbodiedParams = carbon.EmbodiedParams
+	// DemandParams configures the datacenter demand model.
+	DemandParams = dcload.Params
+	// DemandTrace is simulated utilization and power.
+	DemandTrace = dcload.Trace
+	// SchedulerConfig parameterizes greedy daily workload shifting.
+	SchedulerConfig = scheduler.Config
+	// WorkloadTier is a completion-time SLO class.
+	WorkloadTier = workload.Tier
+	// BatteryTechnology selects a storage chemistry (LFP, NMC, sodium-ion).
+	BatteryTechnology = battery.Technology
+	// Forecaster predicts future hours of a series for online scheduling.
+	Forecaster = forecast.Forecaster
+	// NetZeroSummary compares credit matching across accounting windows.
+	NetZeroSummary = netzero.Summary
+	// FleetDC is one datacenter in a geographic load-balancing fleet.
+	FleetDC = fleet.DC
+	// FleetConfig parameterizes geographic load migration.
+	FleetConfig = fleet.Config
+	// FleetResult summarizes a fleet-balancing run.
+	FleetResult = fleet.Result
+)
+
+// Storage chemistries for Design.BatteryTech.
+const (
+	LFP       = battery.LFPCell
+	NMC       = battery.NMCCell
+	SodiumIon = battery.NaIonCell
+)
+
+// The four strategies of the paper's Section 5.
+const (
+	RenewablesOnly       = explorer.RenewablesOnly
+	RenewablesBattery    = explorer.RenewablesBattery
+	RenewablesCAS        = explorer.RenewablesCAS
+	RenewablesBatteryCAS = explorer.RenewablesBatteryCAS
+)
+
+// Sites returns the paper's thirteen datacenter locations.
+func Sites() []Site { return grid.Sites() }
+
+// SiteByID returns the site with the given short identifier (e.g. "UT").
+func SiteByID(id string) (Site, error) { return grid.SiteByID(id) }
+
+// MustSite is SiteByID for statically known identifiers; it panics on a
+// miss.
+func MustSite(id string) Site { return grid.MustSite(id) }
+
+// BalancingAuthorities lists the supported balancing-authority codes.
+func BalancingAuthorities() []string { return grid.Codes() }
+
+// NewInputs assembles evaluation inputs for a site by simulating its grid
+// year and demand trace. Options WithDemandParams and WithEmbodiedParams
+// customize the models.
+func NewInputs(site Site, opts ...explorer.Option) (*Inputs, error) {
+	return explorer.NewInputs(site, opts...)
+}
+
+// WithDemandParams overrides the default demand model in NewInputs.
+func WithDemandParams(p DemandParams) explorer.Option { return explorer.WithDemandParams(p) }
+
+// WithEmbodiedParams overrides the embodied-carbon assumptions in NewInputs.
+func WithEmbodiedParams(p EmbodiedParams) explorer.Option { return explorer.WithEmbodiedParams(p) }
+
+// NewInputsFromSeries assembles inputs from caller-provided hourly series,
+// for users substituting measured grid and datacenter data.
+func NewInputsFromSeries(site Site, demand, windShape, solarShape, gridCI Series, emb EmbodiedParams) (*Inputs, error) {
+	return explorer.NewInputsFromSeries(site, demand, windShape, solarShape, gridCI, emb)
+}
+
+// Coverage computes the paper's 24/7 renewable-coverage metric (percent of
+// datacenter energy covered hourly by renewable supply).
+func Coverage(demand, renewable Series) (float64, error) {
+	return explorer.Coverage(demand, renewable)
+}
+
+// DefaultSpace returns a paper-scaled search grid for a site.
+func DefaultSpace(in *Inputs) Space { return explorer.DefaultSpace(in) }
+
+// AllStrategies lists the four strategies in the paper's order.
+func AllStrategies() []Strategy { return explorer.AllStrategies() }
+
+// ParetoFrontier extracts the non-dominated outcomes in the
+// (operational, embodied) carbon plane, sorted by increasing embodied
+// carbon.
+func ParetoFrontier(points []Outcome) []Outcome { return explorer.ParetoFrontier(points) }
+
+// DefaultEmbodiedParams returns the paper's Section 5.1 assumptions.
+func DefaultEmbodiedParams() EmbodiedParams { return carbon.DefaultEmbodiedParams() }
+
+// DefaultDemandParams returns the paper-calibrated demand model for a
+// datacenter with the given average power.
+func DefaultDemandParams(avgPowerMW float64) DemandParams { return dcload.DefaultParams(avgPowerMW) }
+
+// LFPBattery returns the paper's Lithium Iron Phosphate battery
+// configuration at the given capacity (MWh) and depth of discharge.
+func LFPBattery(capacityMWh, dod float64) BatteryParams { return battery.LFP(capacityMWh, dod) }
+
+// NewBattery builds a battery simulator from params.
+func NewBattery(p BatteryParams) (*Battery, error) { return battery.New(p) }
+
+// GenerateGridYear simulates one hourly year for a balancing authority.
+func GenerateGridYear(baCode string) (*GridYear, error) {
+	p, err := grid.Profile(baCode)
+	if err != nil {
+		return nil, err
+	}
+	return grid.GenerateYear(p), nil
+}
+
+// ShiftDaily applies the paper's greedy carbon-aware scheduling pass: within
+// each window, flexible load moves from high-signal hours (carbon intensity
+// or renewable deficit) to low-signal hours under a capacity cap.
+func ShiftDaily(demand, signal Series, cfg SchedulerConfig) (Series, error) {
+	return scheduler.ShiftDaily(demand, signal, cfg)
+}
+
+// GramsCO2 is a carbon mass in grams of CO2-equivalent.
+type GramsCO2 = units.GramsCO2
+
+// MegaWattHours is energy in MWh.
+type MegaWattHours = units.MegaWattHours
+
+// SeriesOf builds an hourly series from literal values.
+func SeriesOf(values ...float64) Series { return timeseries.FromValues(values) }
+
+// ConstantSeries builds an n-hour series of a constant value.
+func ConstantSeries(n int, v float64) Series { return timeseries.Constant(n, v) }
+
+// GenerateSeries builds an n-hour series by evaluating f at each hour.
+func GenerateSeries(n int, f func(hour int) float64) Series { return timeseries.Generate(n, f) }
+
+// Credit-matching granularities for NetZeroSummary.ByPeriod.
+const (
+	MatchAnnual  = netzero.Annual
+	MatchMonthly = netzero.Monthly
+	MatchDaily   = netzero.Daily
+	MatchHourly  = netzero.Hourly
+)
+
+// NetZeroSummarize compares REC matching at annual, monthly, daily, and
+// hourly windows for a demand/credit pair — the paper's Net Zero vs 24/7
+// gap, quantified.
+func NetZeroSummarize(demand, credits Series) (NetZeroSummary, error) {
+	return netzero.Summarize(demand, credits)
+}
+
+// BalanceFleet migrates load across datacenters toward renewable surpluses.
+func BalanceFleet(dcs []FleetDC, cfg FleetConfig) (FleetResult, error) {
+	return fleet.Balance(dcs, cfg)
+}
+
+// EnsembleResult summarizes a design's outcome distribution across weather
+// years.
+type EnsembleResult = explorer.EnsembleResult
+
+// EnsembleEvaluate evaluates a design across several weather realizations
+// of the site's climate, returning coverage and total-carbon percentiles —
+// the design-under-uncertainty view the paper's single-year (2020)
+// evaluation cannot provide.
+func EnsembleEvaluate(site Site, d Design, years int) (EnsembleResult, error) {
+	return explorer.EnsembleEvaluate(site, d, years)
+}

@@ -1,0 +1,129 @@
+package carbonexplorer
+
+import (
+	"testing"
+)
+
+func TestFacadeSites(t *testing.T) {
+	if len(Sites()) != 13 {
+		t.Fatalf("want 13 sites")
+	}
+	if len(BalancingAuthorities()) != 10 {
+		t.Fatalf("want 10 balancing authorities")
+	}
+	s, err := SiteByID("OR")
+	if err != nil || s.BA != "BPAT" {
+		t.Fatalf("OR lookup failed: %v %+v", err, s)
+	}
+	if MustSite("TX").BA != "ERCO" {
+		t.Fatalf("TX site wrong")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	site := MustSite("UT")
+	in, err := NewInputs(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := in.Evaluate(Design{
+		WindMW:     site.WindInvestMW,
+		SolarMW:    site.SolarInvestMW,
+		BatteryMWh: 2 * in.AvgDemandMW(),
+		DoD:        1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CoveragePct <= 0 || out.Total() <= 0 {
+		t.Fatalf("implausible outcome: %+v", out)
+	}
+}
+
+func TestFacadeSearchAndPareto(t *testing.T) {
+	in, err := NewInputs(MustSite("NM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := in.AvgDemandMW()
+	space := Space{
+		WindMW:             []float64{0, 2 * avg},
+		SolarMW:            []float64{0, 2 * avg},
+		BatteryHours:       []float64{0, 4},
+		ExtraCapacityFracs: []float64{0},
+		DoD:                1.0,
+		FlexibleRatio:      0.4,
+	}
+	res, err := in.Search(space, RenewablesBattery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFrontier(res.Points)
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	if len(AllStrategies()) != 4 {
+		t.Fatal("want 4 strategies")
+	}
+}
+
+func TestFacadeBatteryAndScheduler(t *testing.T) {
+	bat, err := NewBattery(LFPBattery(10, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bat.UsableCapacity() != 8 {
+		t.Fatalf("usable = %v", bat.UsableCapacity())
+	}
+	y, err := GenerateGridYear("ERCO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Hours() != 8760 {
+		t.Fatalf("grid year hours = %d", y.Hours())
+	}
+	if _, err := GenerateGridYear("NOPE"); err == nil {
+		t.Fatal("unknown BA should error")
+	}
+}
+
+func TestFacadeEnsemble(t *testing.T) {
+	res, err := EnsembleEvaluate(MustSite("IA"), Design{WindMW: 100}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 3 || res.CoverageP50 <= 0 {
+		t.Fatalf("ensemble wrong: %+v", res)
+	}
+}
+
+func TestFacadeCoverageAndShift(t *testing.T) {
+	in, err := NewInputs(MustSite("IA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := in.RenewableSupply(100, 0)
+	cov, err := Coverage(in.Demand, sup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov < 0 || cov > 100 {
+		t.Fatalf("coverage = %v", cov)
+	}
+	shifted, err := ShiftDaily(in.Demand, in.GridCI, SchedulerConfig{FlexibleRatio: 0.2, WindowHours: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := shifted.Sum() - in.Demand.Sum(); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("shift broke energy conservation")
+	}
+	if DefaultSpace(in).DoD != 1.0 {
+		t.Fatalf("default space DoD wrong")
+	}
+	if DefaultEmbodiedParams().ServerKg != 744.5 {
+		t.Fatalf("embodied defaults wrong")
+	}
+	if DefaultDemandParams(40).AvgPowerMW != 40 {
+		t.Fatalf("demand defaults wrong")
+	}
+}

@@ -1,0 +1,328 @@
+// Command carbonexplorer is the Carbon Explorer CLI. It evaluates and
+// optimizes carbon-aware datacenter designs for the paper's thirteen sites.
+//
+// Usage:
+//
+//	carbonexplorer sites
+//	carbonexplorer coverage -site UT -wind 239 -solar 694
+//	carbonexplorer evaluate -site UT -wind 239 -solar 694 -battery-hours 4 -flex 0.4 -extra-capacity 0.25
+//	carbonexplorer optimize -site UT -strategy all
+//	carbonexplorer figure 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"carbonexplorer/internal/experiments"
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/grid"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "carbonexplorer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "sites":
+		return cmdSites()
+	case "coverage":
+		return cmdCoverage(args[1:])
+	case "evaluate":
+		return cmdEvaluate(args[1:])
+	case "optimize":
+		return cmdOptimize(args[1:])
+	case "figure":
+		return cmdFigure(args[1:])
+	case "study":
+		return cmdStudy(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: carbonexplorer <subcommand> [flags]
+
+subcommands:
+  sites        list the thirteen datacenter sites (Table 1)
+  coverage     24/7 renewable coverage for a wind/solar investment
+  evaluate     full carbon evaluation of one design
+  optimize     exhaustive search for the carbon-optimal design
+  figure       regenerate a paper figure/table (1,3,4,5,6,7,8,9,10,11,12,14,15,16)
+  study        run an analysis study: dod | cas-gains | total-reduction |
+               netzero | forecast | battery-tech | tiered | geo | dispatch |
+               jobsim | optimizer | cost | robustness | sensitivity |
+               fwr | dr-signals | horizon | atlas | pue | ensemble | marginal | curtailment | ablation`)
+}
+
+func cmdSites() error {
+	fmt.Print(experiments.Table01())
+	return nil
+}
+
+func siteInputs(id string) (*explorer.Inputs, error) {
+	site, err := grid.SiteByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return explorer.NewInputs(site)
+}
+
+func cmdCoverage(args []string) error {
+	fs := flag.NewFlagSet("coverage", flag.ContinueOnError)
+	siteID := fs.String("site", "UT", "site ID (see 'sites')")
+	wind := fs.Float64("wind", 0, "wind investment, MW")
+	solar := fs.Float64("solar", 0, "solar investment, MW")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := siteInputs(*siteID)
+	if err != nil {
+		return err
+	}
+	cov, err := in.CoverageFor(*wind, *solar)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("site %s: %.0f MW wind + %.0f MW solar -> %.2f%% 24/7 coverage\n",
+		*siteID, *wind, *solar, cov)
+	return nil
+}
+
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
+	siteID := fs.String("site", "UT", "site ID")
+	wind := fs.Float64("wind", 0, "wind investment, MW")
+	solar := fs.Float64("solar", 0, "solar investment, MW")
+	batteryHours := fs.Float64("battery-hours", 0, "battery capacity in hours of average compute")
+	dod := fs.Float64("dod", 1.0, "battery depth of discharge (0,1]")
+	flex := fs.Float64("flex", 0, "flexible workload ratio [0,1]")
+	extraCap := fs.Float64("extra-capacity", 0, "extra server capacity fraction of peak")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := siteInputs(*siteID)
+	if err != nil {
+		return err
+	}
+	d := explorer.Design{
+		WindMW: *wind, SolarMW: *solar,
+		BatteryMWh: *batteryHours * in.AvgDemandMW(), DoD: *dod,
+		FlexibleRatio: *flex, ExtraCapacityFrac: *extraCap,
+	}
+	if d.BatteryMWh == 0 {
+		d.DoD = 0
+	}
+	o, err := in.Evaluate(d)
+	if err != nil {
+		return err
+	}
+	printOutcome(*siteID, o)
+	return nil
+}
+
+func printOutcome(siteID string, o explorer.Outcome) {
+	fmt.Printf("site %s design: wind %.0f MW, solar %.0f MW, battery %.0f MWh (DoD %.0f%%), flex %.0f%%, extra capacity %.0f%%\n",
+		siteID, o.Design.WindMW, o.Design.SolarMW, o.Design.BatteryMWh, o.Design.DoD*100,
+		o.Design.FlexibleRatio*100, o.Design.ExtraCapacityFrac*100)
+	fmt.Printf("  24/7 coverage:        %.2f%%\n", o.CoveragePct)
+	fmt.Printf("  operational carbon:   %s/yr (%.0f MWh grid energy)\n", o.Operational, o.GridEnergyMWh)
+	fmt.Printf("  embodied carbon:      %s/yr (renewables %s, battery %s, servers %s)\n",
+		o.Embodied, o.EmbodiedRenewables, o.EmbodiedBattery, o.EmbodiedServers)
+	fmt.Printf("  total carbon:         %s/yr\n", o.Total())
+	if o.Design.BatteryMWh > 0 {
+		fmt.Printf("  battery cycles/day:   %.2f\n", o.BatteryCyclesPerDay)
+	}
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	siteID := fs.String("site", "UT", "site ID")
+	strategyName := fs.String("strategy", "all", "renewables | battery | cas | all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var strategy explorer.Strategy
+	switch strings.ToLower(*strategyName) {
+	case "renewables":
+		strategy = explorer.RenewablesOnly
+	case "battery":
+		strategy = explorer.RenewablesBattery
+	case "cas":
+		strategy = explorer.RenewablesCAS
+	case "all":
+		strategy = explorer.RenewablesBatteryCAS
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategyName)
+	}
+	in, err := siteInputs(*siteID)
+	if err != nil {
+		return err
+	}
+	res, err := in.Search(explorer.DefaultSpace(in), strategy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("strategy %s: %d designs evaluated\n", strategy, len(res.Points))
+	fmt.Println("carbon-optimal design:")
+	printOutcome(*siteID, res.Optimal)
+	return nil
+}
+
+func cmdFigure(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: carbonexplorer figure <id>")
+	}
+	switch args[0] {
+	case "1":
+		if err := printTable(experiments.Figure01()); err != nil {
+			return err
+		}
+		return printChart(experiments.Figure01Chart())
+	case "3":
+		return printTable(experiments.Figure03())
+	case "4":
+		return printTable(experiments.Figure04())
+	case "5":
+		t, regions, err := experiments.Figure05()
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+		for _, r := range regions {
+			fmt.Printf("\n%s daily-total histogram:\n%s", r.BA, r.DailyHistogram.Render(40))
+		}
+		return nil
+	case "6":
+		if err := printTable(experiments.Figure06()); err != nil {
+			return err
+		}
+		return printChart(experiments.Figure06Chart())
+	case "7":
+		return printTable(experiments.Figure07())
+	case "8":
+		return printTable(experiments.Figure08())
+	case "9":
+		return printTable(experiments.Figure09())
+	case "10":
+		return printTable(experiments.Figure10(), nil)
+	case "11":
+		if err := printTable(experiments.Figure11()); err != nil {
+			return err
+		}
+		return printChart(experiments.Figure11Chart())
+	case "12":
+		return printTable(experiments.Figure12())
+	case "14":
+		t, _, err := experiments.Figure14()
+		return printTable(t, err)
+	case "15":
+		t, _, err := experiments.Figure15(nil)
+		return printTable(t, err)
+	case "16":
+		t, hist, err := experiments.Figure16()
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+		fmt.Printf("\ncharge-level histogram:\n%s", hist.Render(40))
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %q (supported: 1,3,4,5,6,7,8,9,10,11,12,14,15,16)", args[0])
+	}
+}
+
+func cmdStudy(args []string) error {
+	fs := flag.NewFlagSet("study", flag.ContinueOnError)
+	siteID := fs.String("site", "UT", "site ID for single-site studies")
+	ratio := fs.Float64("migratable", 0.3, "migratable load ratio for the geo study")
+	if len(args) == 0 {
+		return fmt.Errorf("usage: carbonexplorer study <name> [flags]")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	switch name {
+	case "dod":
+		return printTable(experiments.DoDStudy(nil))
+	case "cas-gains":
+		return printTable(experiments.CASGains(nil))
+	case "total-reduction":
+		return printTable(experiments.TotalReduction(nil))
+	case "netzero":
+		return printTable(experiments.NetZeroStudy(nil))
+	case "forecast":
+		return printTable(experiments.ForecastStudy(*siteID))
+	case "battery-tech":
+		return printTable(experiments.BatteryTechStudy(*siteID))
+	case "tiered":
+		return printTable(experiments.TieredSchedulingStudy(*siteID))
+	case "geo":
+		return printTable(experiments.GeoBalanceStudy(*ratio))
+	case "dispatch":
+		return printTable(experiments.DispatchStudy(*siteID, 4))
+	case "curtailment":
+		return printTable(experiments.CurtailmentAbsorptionStudy(*siteID, 4.0))
+	case "marginal":
+		return printTable(experiments.MarginalStudy(*siteID))
+	case "ensemble":
+		return printTable(experiments.EnsembleStudy(*siteID, 5))
+	case "pue":
+		return printTable(experiments.PUEStudy())
+	case "atlas":
+		return printTable(experiments.CoverageAtlas())
+	case "horizon":
+		return printTable(experiments.HorizonStudy(*siteID, 10))
+	case "dr-signals":
+		return printTable(experiments.DRSignalStudy(*siteID))
+	case "sensitivity":
+		return printTable(experiments.SensitivityStudy(*siteID))
+	case "fwr":
+		return printTable(experiments.FWRSweep(*siteID))
+	case "cost":
+		return printTable(experiments.CostStudy(*siteID))
+	case "robustness":
+		return printTable(experiments.RobustnessStudy(*siteID, 4))
+	case "optimizer":
+		return printTable(experiments.OptimizerStudy(*siteID))
+	case "jobsim":
+		return printTable(experiments.JobSimStudy(*siteID))
+	case "ablation":
+		return printTable(experiments.SearchAblation(*siteID))
+	default:
+		return fmt.Errorf("unknown study %q", name)
+	}
+}
+
+func printChart(c string, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(c)
+	return nil
+}
+
+func printTable(t experiments.Table, err ...error) error {
+	if len(err) > 0 && err[0] != nil {
+		return err[0]
+	}
+	fmt.Print(t)
+	return nil
+}

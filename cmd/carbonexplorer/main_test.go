@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand should error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand should error")
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help failed: %v", err)
+	}
+}
+
+func TestRunSites(t *testing.T) {
+	if err := run([]string{"sites"}); err != nil {
+		t.Fatalf("sites failed: %v", err)
+	}
+}
+
+func TestRunCoverage(t *testing.T) {
+	if err := run([]string{"coverage", "-site", "UT", "-wind", "100", "-solar", "100"}); err != nil {
+		t.Fatalf("coverage failed: %v", err)
+	}
+	if err := run([]string{"coverage", "-site", "ZZ"}); err == nil {
+		t.Fatal("unknown site should error")
+	}
+}
+
+func TestRunEvaluate(t *testing.T) {
+	if err := run([]string{"evaluate", "-site", "UT", "-wind", "100", "-battery-hours", "2", "-flex", "0.4"}); err != nil {
+		t.Fatalf("evaluate failed: %v", err)
+	}
+	if err := run([]string{"evaluate", "-site", "UT", "-dod", "3"}); err != nil {
+		// dod is ignored without a battery; this should succeed.
+		t.Fatalf("evaluate without battery should ignore dod: %v", err)
+	}
+}
+
+func TestRunOptimizeBadStrategy(t *testing.T) {
+	if err := run([]string{"optimize", "-strategy", "nonsense"}); err == nil {
+		t.Fatal("bad strategy should error")
+	}
+}
+
+func TestRunFigureValidation(t *testing.T) {
+	if err := run([]string{"figure"}); err == nil {
+		t.Fatal("figure without id should error")
+	}
+	if err := run([]string{"figure", "99"}); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+	// Figure 2/13 are block diagrams, not data artifacts.
+	if err := run([]string{"figure", "2"}); err == nil {
+		t.Fatal("figure 2 is a diagram, should be rejected")
+	}
+	if err := run([]string{"figure", "10"}); err != nil {
+		t.Fatalf("figure 10 failed: %v", err)
+	}
+}
+
+func TestRunStudyValidation(t *testing.T) {
+	if err := run([]string{"study"}); err == nil {
+		t.Fatal("study without name should error")
+	}
+	if err := run([]string{"study", "nonsense"}); err == nil {
+		t.Fatal("unknown study should error")
+	}
+	if err := run([]string{"study", "battery-tech", "-site", "UT"}); err != nil {
+		t.Fatalf("battery-tech study failed: %v", err)
+	}
+}

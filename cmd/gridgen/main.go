@@ -1,0 +1,72 @@
+// Command gridgen emits one synthetic hourly grid year for a balancing
+// authority in the EIA-style CSV schema, so the data Carbon Explorer runs on
+// can be inspected, plotted, or replaced with converted real exports.
+//
+// Usage:
+//
+//	gridgen -ba BPAT -out bpat_2020.csv
+//	gridgen -ba PACE            # writes to stdout
+//	gridgen -list               # list balancing authorities
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"carbonexplorer/internal/eiacsv"
+	"carbonexplorer/internal/grid"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gridgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ba := flag.String("ba", "", "balancing authority code (see -list)")
+	out := flag.String("out", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list balancing authorities and exit")
+	scale := flag.Float64("renewable-scale", 1.0, "multiplier on the BA's wind+solar capacity")
+	flag.Parse()
+
+	if *list {
+		for _, code := range grid.Codes() {
+			p := grid.MustProfile(code)
+			fmt.Printf("%-5s %-45s %s\n", code, p.Name, p.Class)
+		}
+		return nil
+	}
+	if *ba == "" {
+		return fmt.Errorf("missing -ba (use -list to see options)")
+	}
+	profile, err := grid.Profile(*ba)
+	if err != nil {
+		return err
+	}
+	if *scale < 0 {
+		return fmt.Errorf("renewable scale must be non-negative")
+	}
+	year := grid.GenerateYearScaled(profile, *scale)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := eiacsv.Write(w, year); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d hours for %s to %s (renewable share %.1f%%, curtailed %.2f%%)\n",
+			year.Hours(), *ba, *out, year.RenewableShare()*100, year.CurtailedFraction()*100)
+	}
+	return nil
+}

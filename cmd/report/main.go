@@ -1,0 +1,158 @@
+// Command report regenerates every table and figure of the paper's
+// evaluation and prints them, in order — the full reproduction run backing
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	report             # everything (Figure 15 across all 13 sites takes ~30s)
+//	report -quick      # subset the expensive sweeps to the three example sites
+//	report -markdown   # emit GitHub-flavoured markdown instead of plain text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"carbonexplorer/internal/experiments"
+)
+
+// markdownMode switches table rendering to GitHub-flavoured markdown.
+var markdownMode bool
+
+func main() {
+	quick := flag.Bool("quick", false, "restrict expensive sweeps to OR/UT/NC")
+	flag.BoolVar(&markdownMode, "markdown", false, "emit markdown tables")
+	flag.Parse()
+	if err := run(*quick); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}
+
+// printTable renders a table in the selected mode.
+func printTable(t experiments.Table) {
+	if markdownMode {
+		fmt.Println(t.Markdown())
+	} else {
+		fmt.Print(t)
+	}
+}
+
+// printBlock renders preformatted text (ASCII histograms) in the selected
+// mode.
+func printBlock(label, body string) {
+	if markdownMode {
+		fmt.Printf("\n%s:\n\n```\n%s```\n", label, body)
+	} else {
+		fmt.Printf("\n%s:\n%s", label, body)
+	}
+}
+
+func run(quick bool) error {
+	var fig15Sites []string
+	if quick {
+		fig15Sites = []string{"OR", "UT", "NC"}
+	}
+
+	type step struct {
+		name string
+		fn   func() (experiments.Table, error)
+	}
+	steps := []step{
+		{"Figure 1", experiments.Figure01},
+		{"Table 1", func() (experiments.Table, error) { return experiments.Table01(), nil }},
+		{"Figure 3", experiments.Figure03},
+		{"Table 2", func() (experiments.Table, error) { return experiments.Table02(), nil }},
+		{"Figure 4", experiments.Figure04},
+		{"Figure 5", func() (experiments.Table, error) {
+			t, regions, err := experiments.Figure05()
+			if err != nil {
+				return t, err
+			}
+			printTable(t)
+			for _, r := range regions {
+				printBlock(r.BA+" daily renewable generation histogram (MWh/day)", r.DailyHistogram.Render(40))
+			}
+			fmt.Println()
+			return t, errAlreadyPrinted
+		}},
+		{"Figure 6", experiments.Figure06},
+		{"Figure 7", experiments.Figure07},
+		{"Figure 8", experiments.Figure08},
+		{"Figure 9", experiments.Figure09},
+		{"Figure 10", func() (experiments.Table, error) { return experiments.Figure10(), nil }},
+		{"Figure 11", experiments.Figure11},
+		{"Figure 12", experiments.Figure12},
+		{"Figure 14", func() (experiments.Table, error) {
+			t, _, err := experiments.Figure14()
+			return t, err
+		}},
+		{"Figure 15", func() (experiments.Table, error) {
+			t, _, err := experiments.Figure15(fig15Sites)
+			return t, err
+		}},
+		{"Figure 16", func() (experiments.Table, error) {
+			t, hist, err := experiments.Figure16()
+			if err != nil {
+				return t, err
+			}
+			printTable(t)
+			printBlock("charge-level histogram", hist.Render(40))
+			fmt.Println()
+			return t, errAlreadyPrinted
+		}},
+		{"DoD study", func() (experiments.Table, error) {
+			sites := fig15Sites
+			if sites == nil {
+				sites = []string{"OR", "UT", "NC", "TX", "IA"}
+			}
+			return experiments.DoDStudy(sites)
+		}},
+		{"CAS gains", func() (experiments.Table, error) { return experiments.CASGains(fig15Sites) }},
+		{"Total reduction", func() (experiments.Table, error) { return experiments.TotalReduction(fig15Sites) }},
+		{"Net Zero study", func() (experiments.Table, error) { return experiments.NetZeroStudy(fig15Sites) }},
+		{"Forecast study", func() (experiments.Table, error) { return experiments.ForecastStudy("UT") }},
+		{"Battery technology study", func() (experiments.Table, error) { return experiments.BatteryTechStudy("NC") }},
+		{"Tiered scheduling study", func() (experiments.Table, error) { return experiments.TieredSchedulingStudy("UT") }},
+		{"Geographic balancing study", func() (experiments.Table, error) { return experiments.GeoBalanceStudy(0.3) }},
+		{"Battery dispatch study", func() (experiments.Table, error) { return experiments.DispatchStudy("UT", 4) }},
+		{"Optimizer study", func() (experiments.Table, error) { return experiments.OptimizerStudy("UT") }},
+		{"Cost study", func() (experiments.Table, error) { return experiments.CostStudy("UT") }},
+		{"Robustness study", func() (experiments.Table, error) { return experiments.RobustnessStudy("UT", 4) }},
+		{"Sensitivity study", func() (experiments.Table, error) { return experiments.SensitivityStudy("UT") }},
+		{"Flexible-ratio sweep", func() (experiments.Table, error) { return experiments.FWRSweep("UT") }},
+		{"DR signal study", func() (experiments.Table, error) { return experiments.DRSignalStudy("TX") }},
+		{"Horizon study", func() (experiments.Table, error) { return experiments.HorizonStudy("UT", 10) }},
+		{"Coverage atlas", func() (experiments.Table, error) { return experiments.CoverageAtlas() }},
+		{"Cooling/PUE study", func() (experiments.Table, error) { return experiments.PUEStudy() }},
+		{"Ensemble study", func() (experiments.Table, error) { return experiments.EnsembleStudy("UT", 5) }},
+		{"Marginal accounting study", func() (experiments.Table, error) { return experiments.MarginalStudy("UT") }},
+		{"Curtailment absorption study", func() (experiments.Table, error) { return experiments.CurtailmentAbsorptionStudy("OR", 4.0) }},
+		{"Job-level simulation study", func() (experiments.Table, error) { return experiments.JobSimStudy("UT") }},
+		{"Design-space ablation", func() (experiments.Table, error) { return experiments.SearchAblation("NC") }},
+	}
+
+	for _, s := range steps {
+		start := time.Now()
+		t, err := s.fn()
+		switch err {
+		case nil:
+			printTable(t)
+		case errAlreadyPrinted:
+			// The step printed its own richer output.
+		default:
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		if markdownMode {
+			fmt.Printf("_%s regenerated in %v_\n\n", s.name, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Printf("[%s regenerated in %v]\n\n", s.name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// errAlreadyPrinted signals that a step printed its own output.
+var errAlreadyPrinted = fmt.Errorf("already printed")

@@ -1,0 +1,65 @@
+package carbonexplorer_test
+
+import (
+	"fmt"
+	"log"
+
+	"carbonexplorer"
+)
+
+// ExampleCoverage computes the paper's 24/7 renewable-coverage metric for a
+// toy demand/supply pair.
+func ExampleCoverage() {
+	// Four hours of 10 MW demand against varying renewable supply.
+	demand := carbonexplorer.SeriesOf(10, 10, 10, 10)
+	renewable := carbonexplorer.SeriesOf(10, 5, 20, 0)
+	cov, err := carbonexplorer.Coverage(demand, renewable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.1f%%\n", cov)
+	// Output: 62.5%
+}
+
+// ExampleMustSite looks up a Table 1 site.
+func ExampleMustSite() {
+	site := carbonexplorer.MustSite("TX")
+	fmt.Printf("%s on %s: %0.f MW wind + %0.f MW solar invested\n",
+		site.Name, site.BA, site.WindInvestMW, site.SolarInvestMW)
+	// Output: Fort Worth, Texas on ERCO: 404 MW wind + 300 MW solar invested
+}
+
+// ExampleNewBattery runs the C/L/C storage model directly.
+func ExampleNewBattery() {
+	bat, err := carbonexplorer.NewBattery(carbonexplorer.LFPBattery(10, 0.8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("usable %.0f MWh of %.0f MWh at 80%% DoD\n", bat.UsableCapacity(), bat.Capacity())
+	delivered := bat.Discharge(100, 1) // ask for far more than it can give
+	fmt.Printf("delivered %.1f MW for one hour\n", delivered)
+	// Output:
+	// usable 8 MWh of 10 MWh at 80% DoD
+	// delivered 7.8 MW for one hour
+}
+
+// ExampleNetZeroSummarize shows the Net Zero vs 24/7 accounting gap on a
+// solar-only toy: credits equal consumption annually, but nights are
+// uncovered.
+func ExampleNetZeroSummarize() {
+	n := 48
+	demand := carbonexplorer.ConstantSeries(n, 10)
+	credits := carbonexplorer.GenerateSeries(n, func(h int) float64 {
+		if h%24 >= 6 && h%24 < 18 {
+			return 20 // all generation during daytime
+		}
+		return 0
+	})
+	s, err := carbonexplorer.NetZeroSummarize(demand, credits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("annual net zero: %v, hourly matched: %.0f%%\n",
+		s.AnnualNetZero, s.ByPeriod[carbonexplorer.MatchHourly]*100)
+	// Output: annual net zero: true, hourly matched: 50%
+}

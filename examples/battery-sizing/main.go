@@ -1,0 +1,64 @@
+// Battery sizing: how much storage does a datacenter need for 24/7
+// carbon-free operation, and what does depth of discharge do to the
+// trade-off? Reproduces the reasoning of the paper's Figure 9 and the
+// Section 5.2 DoD study for one site.
+//
+//	go run ./examples/battery-sizing [site]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"carbonexplorer"
+)
+
+func main() {
+	siteID := "UT"
+	if len(os.Args) > 1 {
+		siteID = os.Args[1]
+	}
+	site, err := carbonexplorer.SiteByID(siteID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := carbonexplorer.NewInputs(site)
+	if err != nil {
+		log.Fatal(err)
+	}
+	avg := in.AvgDemandMW()
+
+	fmt.Printf("%s: battery hours of compute needed for 24/7 coverage\n\n", site.Name)
+	fmt.Printf("%8s %8s %14s\n", "wind_x", "solar_x", "battery_hours")
+	for _, wx := range []float64{2, 4, 8} {
+		for _, sx := range []float64{2, 4, 8} {
+			hours, ok, err := in.MinBatteryHoursFor247(wx*avg, sx*avg, 99.99, 100)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !ok {
+				fmt.Printf("%8.0f %8.0f %14s\n", wx, sx, "unreachable")
+				continue
+			}
+			fmt.Printf("%8.0f %8.0f %14.1f\n", wx, sx, hours)
+		}
+	}
+
+	// Depth-of-discharge trade-off at a fixed design: shallower discharge
+	// extends battery life (less embodied carbon per year) but shrinks
+	// usable capacity (less coverage), the paper's Section 5.2 tension.
+	fmt.Printf("\nDoD trade-off at wind 4x / solar 4x / battery 6h:\n")
+	fmt.Printf("%6s %12s %16s %14s %12s\n", "DoD", "coverage_%", "operational_t", "embodied_t", "total_t")
+	for _, dod := range []float64{1.0, 0.9, 0.8, 0.6} {
+		o, err := in.Evaluate(carbonexplorer.Design{
+			WindMW: 4 * avg, SolarMW: 4 * avg,
+			BatteryMWh: 6 * avg, DoD: dod,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5.0f%% %12.2f %16.0f %14.0f %12.0f\n",
+			dod*100, o.CoveragePct, o.Operational.Tonnes(), o.Embodied.Tonnes(), o.Total().Tonnes())
+	}
+}

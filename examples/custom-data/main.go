@@ -1,0 +1,90 @@
+// Custom data: drive Carbon Explorer with your own hourly grid data instead
+// of the built-in synthetic models. This example writes a grid year to the
+// EIA-style CSV schema, reads it back (exactly as you would read a converted
+// real EIA export), assembles evaluation inputs from the parsed series, and
+// runs an optimization — the full real-data substitution path.
+//
+//	go run ./examples/custom-data
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"carbonexplorer"
+	"carbonexplorer/internal/eiacsv"
+)
+
+func main() {
+	// 1. Produce a CSV. In real use this file comes from your own data:
+	//    convert an EIA Hourly Grid Monitor export into the schema
+	//    documented in internal/eiacsv (gridgen -ba PACE shows the format).
+	dir, err := os.MkdirTemp("", "carbonexplorer-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "pace.csv")
+
+	year, err := carbonexplorer.GenerateGridYear("PACE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eiacsv.Write(f, year); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("wrote %s (%.1f MB, %d hourly rows)\n", path, float64(info.Size())/1e6, year.Hours())
+
+	// 2. Read it back — this is the entry point for real data.
+	g, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	parsed, err := eiacsv.Read(g, "PACE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed grid year: renewable share %.1f%%, curtailed %.2f%%, mean CI %.0f g/kWh\n",
+		parsed.RenewableShare()*100, parsed.CurtailedFraction()*100, parsed.CarbonIntensity().Mean())
+
+	// 3. Assemble inputs from the parsed series plus your own demand trace
+	//    (here: the built-in demand model standing in for a measured one).
+	site := carbonexplorer.MustSite("UT")
+	demandParams := carbonexplorer.DefaultDemandParams(site.AvgPowerMW)
+	demandIn, err := carbonexplorer.NewInputs(site, carbonexplorer.WithDemandParams(demandParams))
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := carbonexplorer.NewInputsFromSeries(site,
+		demandIn.Demand, // substitute your measured hourly MW here
+		parsed.WindShape(),
+		parsed.SolarShape(),
+		parsed.CarbonIntensity(),
+		carbonexplorer.DefaultEmbodiedParams(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Explore as usual.
+	res, err := in.Search(carbonexplorer.DefaultSpace(in), carbonexplorer.RenewablesBattery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := res.Optimal
+	fmt.Printf("\ncarbon-optimal design on the CSV-loaded grid:\n")
+	fmt.Printf("  wind %.0f MW, solar %.0f MW, battery %.0f MWh\n",
+		opt.Design.WindMW, opt.Design.SolarMW, opt.Design.BatteryMWh)
+	fmt.Printf("  coverage %.2f%%, total %s/yr\n", opt.CoveragePct, opt.Total())
+}

@@ -1,0 +1,63 @@
+// Fleet balancing: migrate flexible load across all thirteen datacenter
+// sites, following renewable surpluses geographically — when it is calm in
+// Oregon it may be windy in Nebraska and sunny in New Mexico. This is the
+// spatial counterpart to the paper's temporal carbon-aware scheduling.
+//
+//	go run ./examples/fleet-balancing [migratable-ratio]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"carbonexplorer"
+	"carbonexplorer/internal/fleet"
+)
+
+func main() {
+	ratio := 0.3
+	if len(os.Args) > 1 {
+		v, err := strconv.ParseFloat(os.Args[1], 64)
+		if err != nil || v < 0 || v > 1 {
+			log.Fatalf("migratable ratio must be in [0, 1], got %q", os.Args[1])
+		}
+		ratio = v
+	}
+
+	var dcs []fleet.DC
+	for _, site := range carbonexplorer.Sites() {
+		in, err := carbonexplorer.NewInputs(site)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dcs = append(dcs, fleet.DC{
+			ID:         site.ID,
+			Demand:     in.Demand,
+			Renewable:  in.RenewableSupply(site.WindInvestMW, site.SolarInvestMW),
+			GridCI:     in.GridCI,
+			CapacityMW: in.PeakDemandMW() * 1.5,
+		})
+	}
+
+	res, err := fleet.Balance(dcs, fleet.Config{MigratableRatio: ratio})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Fleet of %d sites, %.0f%% of load migratable, Meta investment levels\n\n", len(dcs), ratio*100)
+	fmt.Printf("  fleet 24/7 coverage: %6.2f%% -> %6.2f%% (+%.2f pp)\n",
+		res.CoverageBeforePct, res.CoverageAfterPct, res.CoverageAfterPct-res.CoverageBeforePct)
+	fmt.Printf("  operational carbon:  %s -> %s (-%.1f%%)\n",
+		res.CarbonBefore, res.CarbonAfter,
+		(1-float64(res.CarbonAfter)/float64(res.CarbonBefore))*100)
+	fmt.Printf("  energy migrated:     %.1f GWh over the year\n\n", res.MigratedMWh/1000)
+
+	fmt.Println("per-site annual load change (positive = absorbed migrated work):")
+	for i, dc := range dcs {
+		before := dc.Demand.Sum()
+		after := res.Loads[i].Sum()
+		fmt.Printf("  %-3s %+8.1f GWh (%+.1f%%)\n", dc.ID, (after-before)/1000, (after-before)/before*100)
+	}
+}

@@ -1,0 +1,92 @@
+// Horizon planning: how does a carbon-aware design age? This example
+// installs a fixed design in year zero and walks it through a decade of the
+// paper's "looking forward" trends — demand growth, rising workload
+// flexibility, cleaner manufacturing, battery fade — comparing a
+// replace-the-battery policy against letting it retire.
+//
+//	go run ./examples/horizon-planning [site]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"carbonexplorer"
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/dcload"
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/horizon"
+	"carbonexplorer/internal/timeseries"
+)
+
+func main() {
+	siteID := "UT"
+	if len(os.Args) > 1 {
+		siteID = os.Args[1]
+	}
+	site, err := carbonexplorer.SiteByID(siteID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One base weather year, reused across the horizon so the trajectory
+	// isolates the modelled trends.
+	profile := grid.MustProfile(site.BA)
+	year := grid.GenerateYear(profile)
+	wind, solar, ci := year.WindShape(), year.SolarShape(), year.CarbonIntensity()
+	baseTrace, err := dcload.Generate(dcload.DefaultParams(site.AvgPowerMW), timeseries.HoursPerYear)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trends := horizon.DefaultTrends()
+	factory := func(y int, emb carbon.EmbodiedParams) (*explorer.Inputs, error) {
+		scale := 1.0
+		for i := 0; i < y; i++ {
+			scale *= 1 + trends.DemandGrowthPerYear
+		}
+		return explorer.NewInputsFromSeries(site, baseTrace.Power.Scale(scale), wind, solar, ci, emb)
+	}
+
+	design := explorer.Design{
+		WindMW: 4 * site.AvgPowerMW, SolarMW: 4 * site.AvgPowerMW,
+		BatteryMWh: 6 * site.AvgPowerMW, DoD: 1.0,
+		FlexibleRatio: 0.40, ExtraCapacityFrac: 0.25,
+	}
+
+	fmt.Printf("%s: fixed year-zero design (wind %.0f MW, solar %.0f MW, battery %.0f MWh)\n",
+		site.Name, design.WindMW, design.SolarMW, design.BatteryMWh)
+	fmt.Printf("trends: demand %+.0f%%/yr, flexibility %+.0f pp/yr, renewable embodied %.0f%%/yr, battery embodied %.0f%%/yr\n\n",
+		trends.DemandGrowthPerYear*100, trends.FlexibleRatioGrowthPerYear*100,
+		-trends.RenewableEmbodiedDeclinePerYear*100, -trends.BatteryEmbodiedDeclinePerYear*100)
+
+	for _, replace := range []bool{true, false} {
+		plan := horizon.Plan{
+			Design: design, Years: 10, Trends: trends,
+			ReplaceSpentBattery: replace,
+		}
+		traj, err := horizon.Simulate(plan, factory)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "replace spent battery"
+		if !replace {
+			label = "retire spent battery"
+		}
+		fmt.Printf("policy: %s\n", label)
+		fmt.Printf("%4s %12s %10s %14s %10s\n", "year", "coverage_%", "total_kt", "battery_cap_%", "flexible_%")
+		for _, y := range traj.Years {
+			marker := ""
+			if y.BatteryReplaced {
+				marker = "  <- replaced"
+			}
+			fmt.Printf("%4d %12.2f %10.2f %14.1f %10.0f%s\n",
+				y.Year, y.Outcome.CoveragePct, y.Outcome.Total().Kilotonnes(),
+				y.BatteryCapacityFraction*100, y.FlexibleRatio*100, marker)
+		}
+		fmt.Printf("decade total: %.1f ktCO2, %d battery replacement(s)\n\n",
+			traj.TotalCarbon.Kilotonnes(), traj.Replacements)
+	}
+}

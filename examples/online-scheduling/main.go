@@ -1,0 +1,109 @@
+// Online scheduling: the paper's design-space exploration assumes an oracle
+// that knows the year's renewable supply. A deployed scheduler must act on
+// forecasts. This example backtests three forecasters on a site's renewable
+// supply, then drives day-ahead workload shifting with each, showing how
+// much of the oracle's benefit survives real prediction error.
+//
+//	go run ./examples/online-scheduling [site]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"carbonexplorer"
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/forecast"
+	"carbonexplorer/internal/scheduler"
+	"carbonexplorer/internal/timeseries"
+)
+
+func main() {
+	siteID := "TX"
+	if len(os.Args) > 1 {
+		siteID = os.Args[1]
+	}
+	site, err := carbonexplorer.SiteByID(siteID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := carbonexplorer.NewInputs(site)
+	if err != nil {
+		log.Fatal(err)
+	}
+	avg := in.AvgDemandMW()
+	renewable := in.RenewableSupply(4*avg, 4*avg)
+
+	baseCov, err := carbonexplorer.Coverage(in.Demand, renewable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s, wind 4x / solar 4x: %.2f%% coverage without scheduling\n\n", site.Name, baseCov)
+
+	cfg := scheduler.Config{
+		CapacityMW:    in.PeakDemandMW() * 1.5,
+		FlexibleRatio: 0.40,
+		WindowHours:   24,
+	}
+
+	// Oracle bound: shift against the true deficit.
+	oracleCov := shiftWith(in.Demand, renewable, renewable, cfg)
+	fmt.Printf("%-20s coverage %.2f%% (gain %+.2f pp)  [upper bound]\n",
+		"oracle", oracleCov, oracleCov-baseCov)
+
+	for _, f := range []forecast.Forecaster{
+		forecast.Persistence{},
+		forecast.SeasonalMean{},
+		forecast.HoltWinters{},
+	} {
+		acc := forecast.Evaluate(f, renewable.Values(), 14)
+		predicted := rollingPrediction(f, renewable)
+		cov := shiftWith(in.Demand, renewable, predicted, cfg)
+		share := 0.0
+		if oracleCov > baseCov {
+			share = (cov - baseCov) / (oracleCov - baseCov) * 100
+		}
+		fmt.Printf("%-20s coverage %.2f%% (gain %+.2f pp)  RMSE %.1f MW, %4.0f%% of oracle gain\n",
+			f.Name(), cov, cov-baseCov, acc.RMSE, share)
+	}
+}
+
+// rollingPrediction forecasts each day from the history before it.
+func rollingPrediction(f forecast.Forecaster, actual carbonexplorer.Series) carbonexplorer.Series {
+	n := actual.Len()
+	vals := actual.Values()
+	out := timeseries.New(n)
+	for h := 0; h < n && h < 24; h++ {
+		out.Set(h, vals[h])
+	}
+	for start := 24; start < n; start += 24 {
+		horizon := 24
+		if start+horizon > n {
+			horizon = n - start
+		}
+		fc := f.Forecast(vals[:start], horizon)
+		for i := 0; i < horizon; i++ {
+			out.Set(start+i, fc[i])
+		}
+	}
+	return out
+}
+
+// shiftWith shifts demand on the predicted deficit and scores against the
+// actual supply.
+func shiftWith(demand, actual, predicted carbonexplorer.Series, cfg scheduler.Config) float64 {
+	signal, err := scheduler.DeficitSignal(demand, predicted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shifted, err := carbonexplorer.ShiftDaily(demand, signal, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cov, err := explorer.Coverage(shifted, actual)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cov
+}

@@ -1,0 +1,69 @@
+// Quickstart: evaluate Meta's actual Utah renewable investments, then see
+// what a battery adds — the core Carbon Explorer workflow in ~40 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carbonexplorer"
+)
+
+func main() {
+	// Pick a site from the paper's Table 1 and build its evaluation inputs:
+	// a simulated year of hourly datacenter demand, the regional grid's
+	// wind/solar generation shapes, and the grid's hourly carbon intensity.
+	site := carbonexplorer.MustSite("UT")
+	in, err := carbonexplorer.NewInputs(site)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (%s): avg demand %.1f MW, peak %.1f MW\n\n",
+		site.Name, site.BA, in.AvgDemandMW(), in.PeakDemandMW())
+
+	// Evaluate Meta's existing regional investments, renewables only.
+	base, err := in.Evaluate(carbonexplorer.Design{
+		WindMW:  site.WindInvestMW,
+		SolarMW: site.SolarInvestMW,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("Renewables only (Meta's investments)", base)
+
+	// Add four hours of battery, the paper's Figure 9 territory.
+	withBattery, err := in.Evaluate(carbonexplorer.Design{
+		WindMW:     site.WindInvestMW,
+		SolarMW:    site.SolarInvestMW,
+		BatteryMWh: 4 * in.AvgDemandMW(),
+		DoD:        1.0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("With 4h battery", withBattery)
+
+	// And carbon-aware scheduling on top (40% flexible workloads).
+	all, err := in.Evaluate(carbonexplorer.Design{
+		WindMW:            site.WindInvestMW,
+		SolarMW:           site.SolarInvestMW,
+		BatteryMWh:        4 * in.AvgDemandMW(),
+		DoD:               1.0,
+		FlexibleRatio:     0.40,
+		ExtraCapacityFrac: 0.25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("With battery + carbon-aware scheduling", all)
+}
+
+func report(label string, o carbonexplorer.Outcome) {
+	fmt.Printf("%s:\n", label)
+	fmt.Printf("  24/7 coverage:      %6.2f%%\n", o.CoveragePct)
+	fmt.Printf("  operational carbon: %s/yr\n", o.Operational)
+	fmt.Printf("  embodied carbon:    %s/yr\n", o.Embodied)
+	fmt.Printf("  total carbon:       %s/yr\n\n", o.Total())
+}

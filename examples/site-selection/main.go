@@ -1,0 +1,70 @@
+// Site selection: rank the paper's thirteen datacenter locations by the
+// total carbon footprint of their carbon-optimal design, normalized per MW
+// of capacity — the analysis behind the paper's finding that windy regions
+// with shallow supply valleys (Nebraska, Iowa) and hybrid regions (Texas,
+// Utah) are the best places to site carbon-aware datacenters.
+//
+//	go run ./examples/site-selection
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"carbonexplorer"
+	"carbonexplorer/internal/grid"
+)
+
+type ranking struct {
+	site       carbonexplorer.Site
+	class      string
+	optimal    carbonexplorer.Outcome
+	perMW      float64
+	renewables float64 // coverage with renewables alone, for contrast
+}
+
+func main() {
+	var rows []ranking
+	for _, site := range carbonexplorer.Sites() {
+		in, err := carbonexplorer.NewInputs(site)
+		if err != nil {
+			log.Fatal(err)
+		}
+		avg := in.AvgDemandMW()
+		space := carbonexplorer.Space{
+			WindMW:             []float64{0, 2 * avg, 4 * avg, 8 * avg},
+			SolarMW:            []float64{0, 2 * avg, 4 * avg, 8 * avg},
+			BatteryHours:       []float64{0, 2, 4, 8},
+			ExtraCapacityFracs: []float64{0, 0.25},
+			DoD:                1.0,
+			FlexibleRatio:      0.40,
+		}
+		all, err := in.Search(space, carbonexplorer.RenewablesBatteryCAS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		renOnly, err := in.Search(space, carbonexplorer.RenewablesOnly)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, ranking{
+			site:       site,
+			class:      grid.MustProfile(site.BA).Class.String(),
+			optimal:    all.Optimal,
+			perMW:      all.Optimal.Total().Tonnes() / in.PeakDemandMW(),
+			renewables: renOnly.Optimal.CoveragePct,
+		})
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].perMW < rows[j].perMW })
+
+	fmt.Println("Sites ranked by carbon-optimal total footprint per MW (best first):")
+	fmt.Printf("%-4s %-14s %10s %12s %14s %12s\n",
+		"site", "class", "tCO2/MW/yr", "coverage_%", "renew-only_%", "battery_MWh")
+	for i, r := range rows {
+		fmt.Printf("%2d. %-4s %-14s %10.1f %12.2f %14.2f %12.0f\n",
+			i+1, r.site.ID, r.class, r.perMW, r.optimal.CoveragePct,
+			r.renewables, r.optimal.Design.BatteryMWh)
+	}
+}

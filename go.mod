@@ -1,0 +1,3 @@
+module carbonexplorer
+
+go 1.22

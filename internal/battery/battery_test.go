@@ -1,0 +1,275 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newLFP(t *testing.T, capMWh, dod float64) *Battery {
+	t.Helper()
+	b, err := New(LFP(capMWh, dod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewStartsFull(t *testing.T) {
+	b := newLFP(t, 100, 1.0)
+	if b.SoC() != 1 {
+		t.Fatalf("initial SoC = %v, want 1", b.SoC())
+	}
+	if b.Energy() != 100 {
+		t.Fatalf("initial energy = %v", b.Energy())
+	}
+	if b.Capacity() != 100 || b.UsableCapacity() != 100 {
+		t.Fatalf("capacity accessors wrong")
+	}
+}
+
+func TestDoDLimitsUsableCapacity(t *testing.T) {
+	b := newLFP(t, 100, 0.8)
+	if got := b.UsableCapacity(); got != 80 {
+		t.Fatalf("usable capacity = %v, want 80", got)
+	}
+	// Fully discharge: energy must stop at the 20 MWh floor.
+	delivered := b.Discharge(1000, 1)
+	if b.Energy() < 20-1e-9 {
+		t.Fatalf("energy %v below DoD floor 20", b.Energy())
+	}
+	// Delivered energy = usable × discharge efficiency, but also capped at
+	// 1C = 100 MW; 80×0.975 = 78 < 100, so efficiency is binding.
+	if math.Abs(delivered-78) > 1e-9 {
+		t.Fatalf("delivered %v MW, want 78", delivered)
+	}
+}
+
+func TestCRateLimitsPower(t *testing.T) {
+	b := newLFP(t, 10, 1.0)
+	// 1C on 10 MWh = 10 MW max discharge, regardless of request.
+	if got := b.Discharge(50, 0.5); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("discharge power = %v MW, want C-rate cap 10", got)
+	}
+	b2 := newLFP(t, 10, 1.0)
+	b2.Discharge(1000, 1) // empty it
+	if got := b2.Charge(50, 0.5); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("charge power = %v MW, want C-rate cap 10", got)
+	}
+}
+
+func TestChargeEfficiencyLoss(t *testing.T) {
+	p := LFP(100, 1.0)
+	p.InitialSoC = 0
+	b, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := b.Charge(10, 1)
+	if math.Abs(accepted-10) > 1e-9 {
+		t.Fatalf("accepted %v MW, want 10", accepted)
+	}
+	// Stored = 10 × 0.975.
+	if math.Abs(b.Energy()-9.75) > 1e-9 {
+		t.Fatalf("stored %v MWh, want 9.75", b.Energy())
+	}
+}
+
+func TestChargeStopsAtFull(t *testing.T) {
+	b := newLFP(t, 10, 1.0)
+	if got := b.Charge(10, 1); got != 0 {
+		t.Fatalf("full battery accepted %v MW", got)
+	}
+	if b.Energy() > 10 {
+		t.Fatalf("overfilled: %v", b.Energy())
+	}
+}
+
+func TestDischargeEmptyDeliversNothing(t *testing.T) {
+	p := LFP(10, 1.0)
+	p.InitialSoC = 0
+	b, _ := New(p)
+	if got := b.Discharge(5, 1); got != 0 {
+		t.Fatalf("empty battery delivered %v MW", got)
+	}
+}
+
+func TestRoundTripEfficiency(t *testing.T) {
+	p := LFP(1000, 1.0) // large capacity so C-rate is never binding
+	p.InitialSoC = 0
+	b, _ := New(p)
+	in := b.Charge(100, 1)
+	out := b.Discharge(1000, 1)
+	roundTrip := out / in
+	if math.Abs(roundTrip-0.975*0.975) > 1e-9 {
+		t.Fatalf("round-trip efficiency = %v, want %v", roundTrip, 0.975*0.975)
+	}
+}
+
+func TestEquivalentFullCycles(t *testing.T) {
+	b := newLFP(t, 10, 1.0)
+	// Drain ~full usable capacity twice with recharge between.
+	for i := 0; i < 2; i++ {
+		for b.SoC() > 1e-6 {
+			b.Discharge(10, 1)
+		}
+		for b.SoC() < 1-1e-6 {
+			if b.Charge(10, 1) == 0 {
+				break
+			}
+		}
+	}
+	if cycles := b.EquivalentFullCycles(); cycles < 1.8 || cycles > 2.1 {
+		t.Fatalf("cycles = %v, want ~2 (efficiency-adjusted)", cycles)
+	}
+}
+
+func TestZeroCapacityBattery(t *testing.T) {
+	b, err := New(LFP(0, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Charge(10, 1) != 0 || b.Discharge(10, 1) != 0 {
+		t.Fatalf("zero-capacity battery should be inert")
+	}
+	if b.SoC() != 0 || b.EquivalentFullCycles() != 0 {
+		t.Fatalf("zero-capacity accessors should be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := newLFP(t, 10, 1.0)
+	b.Discharge(10, 1)
+	b.Reset()
+	if b.SoC() != 1 || b.EquivalentFullCycles() != 0 {
+		t.Fatalf("reset did not restore state")
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.CapacityMWh = -1 },
+		func(p *Params) { p.ChargeEfficiency = 0 },
+		func(p *Params) { p.ChargeEfficiency = 1.1 },
+		func(p *Params) { p.DischargeEfficiency = 0 },
+		func(p *Params) { p.MaxChargeC = 0 },
+		func(p *Params) { p.MaxDischargeC = -1 },
+		func(p *Params) { p.DepthOfDischarge = 0 },
+		func(p *Params) { p.DepthOfDischarge = 1.5 },
+		func(p *Params) { p.InitialSoC = -0.1 },
+		func(p *Params) { p.InitialSoC = 1.1 },
+	}
+	for i, mutate := range bad {
+		p := LFP(10, 1.0)
+		mutate(&p)
+		if _, err := New(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestNegativeAndZeroRequests(t *testing.T) {
+	b := newLFP(t, 10, 1.0)
+	if b.Charge(-5, 1) != 0 || b.Charge(5, 0) != 0 {
+		t.Fatalf("invalid charge requests should be no-ops")
+	}
+	if b.Discharge(-5, 1) != 0 || b.Discharge(5, -1) != 0 {
+		t.Fatalf("invalid discharge requests should be no-ops")
+	}
+}
+
+func TestSelfDischarge(t *testing.T) {
+	p := LFP(100, 0.8)
+	p.SelfDischargePerDay = 0.01
+	b, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := b.Energy()
+	b.Idle(24)
+	// One day at 1%/day: the 80 MWh above the floor loses 0.8 MWh.
+	want := 20 + 80*0.99
+	if math.Abs(b.Energy()-want) > 1e-9 {
+		t.Fatalf("after one idle day: %v, want %v", b.Energy(), want)
+	}
+	if b.Energy() >= start {
+		t.Fatalf("self-discharge should reduce energy")
+	}
+	// Never drops below the DoD floor.
+	b.Idle(24 * 10000)
+	if b.Energy() < 20-1e-9 {
+		t.Fatalf("self-discharge crossed the DoD floor: %v", b.Energy())
+	}
+}
+
+func TestSelfDischargeDisabledByDefault(t *testing.T) {
+	b := newLFP(t, 10, 1.0)
+	before := b.Energy()
+	b.Idle(1000)
+	if b.Energy() != before {
+		t.Fatalf("default battery should not self-discharge")
+	}
+}
+
+func TestSelfDischargeValidation(t *testing.T) {
+	p := LFP(10, 1.0)
+	p.SelfDischargePerDay = 1.5
+	if _, err := New(p); err == nil {
+		t.Fatal("out-of-range self-discharge should error")
+	}
+}
+
+func TestPropertyEnergyStaysWithinBounds(t *testing.T) {
+	// Under any random sequence of charges and discharges the energy
+	// content stays within [floor, capacity].
+	f := func(ops []uint16, dodRaw uint8) bool {
+		dod := 0.2 + float64(dodRaw%80)/100
+		b, err := New(LFP(50, dod))
+		if err != nil {
+			return false
+		}
+		floor := (1 - dod) * 50
+		for _, op := range ops {
+			power := float64(op%1000) / 10
+			if op%2 == 0 {
+				b.Charge(power, 1)
+			} else {
+				b.Discharge(power, 1)
+			}
+			if b.Energy() < floor-1e-6 || b.Energy() > 50+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEnergyConservation(t *testing.T) {
+	// Delivered energy never exceeds (stored energy change) × efficiency:
+	// the battery cannot create energy.
+	f := func(ops []uint16) bool {
+		b, err := New(LFP(40, 1.0))
+		if err != nil {
+			return false
+		}
+		var in, out float64
+		start := b.Energy()
+		for _, op := range ops {
+			power := float64(op%500) / 10
+			if op%2 == 0 {
+				in += b.Charge(power, 1)
+			} else {
+				out += b.Discharge(power, 1)
+			}
+		}
+		// energy balance: start + in×ηc − out/ηd = current
+		expected := start + in*0.975 - out/0.975
+		return math.Abs(expected-b.Energy()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package battery
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper's combined policy charges/discharges greedily (charge on every
+// surplus, discharge on every deficit). Its discussion asks whether "custom
+// battery charge-discharge policies" could do better. OptimalDispatch
+// answers that with an offline dynamic program: given the whole year of
+// surpluses and deficits, it computes the dispatch schedule minimizing
+// carbon-weighted grid energy, bounding what any policy — with any amount of
+// foresight — could achieve. The gap between greedy and optimal is the value
+// of foresight.
+
+// DispatchProblem is one offline battery-scheduling instance.
+type DispatchProblem struct {
+	// Deficit[h] is datacenter power not covered by renewables in hour h
+	// (MW, >= 0): energy the battery could displace.
+	Deficit []float64
+	// Surplus[h] is renewable power beyond demand in hour h (MW, >= 0):
+	// energy the battery could absorb.
+	Surplus []float64
+	// Price[h] weights grid energy drawn in hour h (e.g. the grid's carbon
+	// intensity in g/kWh). Nil means uniform weight 1.
+	Price []float64
+	// Params is the battery's electrical configuration.
+	Params Params
+	// SoCLevels discretizes the usable energy range for the DP (default
+	// 50). Higher is more accurate and slower: the DP runs in
+	// O(hours × levels²).
+	SoCLevels int
+}
+
+// DispatchResult is an offline dispatch schedule and its score.
+type DispatchResult struct {
+	// GridEnergyMWh is total deficit energy left uncovered.
+	GridEnergyMWh float64
+	// WeightedGrid is the price-weighted objective actually minimized
+	// (MWh × price).
+	WeightedGrid float64
+	// Discharge[h] is battery power serving the deficit in hour h (MW).
+	Discharge []float64
+	// Charge[h] is surplus power absorbed in hour h (MW).
+	Charge []float64
+}
+
+// Validate reports the first invalid field, or nil.
+func (p DispatchProblem) Validate() error {
+	if len(p.Deficit) == 0 {
+		return fmt.Errorf("battery: empty dispatch problem")
+	}
+	if len(p.Surplus) != len(p.Deficit) {
+		return fmt.Errorf("battery: surplus length %d != deficit length %d", len(p.Surplus), len(p.Deficit))
+	}
+	if p.Price != nil && len(p.Price) != len(p.Deficit) {
+		return fmt.Errorf("battery: price length %d != deficit length %d", len(p.Price), len(p.Deficit))
+	}
+	for h := range p.Deficit {
+		if p.Deficit[h] < 0 || p.Surplus[h] < 0 {
+			return fmt.Errorf("battery: negative deficit/surplus at hour %d", h)
+		}
+		if p.Price != nil && p.Price[h] < 0 {
+			return fmt.Errorf("battery: negative price at hour %d", h)
+		}
+	}
+	return p.Params.Validate()
+}
+
+// Greedy simulates the paper's policy on the problem: discharge on every
+// deficit, charge on every surplus.
+func (p DispatchProblem) Greedy() (DispatchResult, error) {
+	if err := p.Validate(); err != nil {
+		return DispatchResult{}, err
+	}
+	b, err := New(p.Params)
+	if err != nil {
+		return DispatchResult{}, err
+	}
+	n := len(p.Deficit)
+	res := DispatchResult{Discharge: make([]float64, n), Charge: make([]float64, n)}
+	for h := 0; h < n; h++ {
+		if d := p.Deficit[h]; d > 0 {
+			served := b.Discharge(d, 1)
+			res.Discharge[h] = served
+			rem := d - served
+			res.GridEnergyMWh += rem
+			res.WeightedGrid += rem * p.price(h)
+		}
+		if s := p.Surplus[h]; s > 0 {
+			res.Charge[h] = b.Charge(s, 1)
+		}
+	}
+	return res, nil
+}
+
+func (p DispatchProblem) price(h int) float64 {
+	if p.Price == nil {
+		return 1
+	}
+	return p.Price[h]
+}
+
+// Optimal solves the offline dispatch by dynamic programming over a
+// discretized state of charge, minimizing price-weighted grid energy. The
+// returned schedule is feasible for the C/L/C model up to the discretization
+// granularity.
+func (p DispatchProblem) Optimal() (DispatchResult, error) {
+	if err := p.Validate(); err != nil {
+		return DispatchResult{}, err
+	}
+	levels := p.SoCLevels
+	if levels <= 0 {
+		levels = 50
+	}
+	n := len(p.Deficit)
+
+	floor := (1 - p.Params.DepthOfDischarge) * p.Params.CapacityMWh
+	usable := p.Params.CapacityMWh - floor
+	if usable <= 0 {
+		// Degenerate battery: everything goes to grid.
+		res := DispatchResult{Discharge: make([]float64, n), Charge: make([]float64, n)}
+		for h := 0; h < n; h++ {
+			res.GridEnergyMWh += p.Deficit[h]
+			res.WeightedGrid += p.Deficit[h] * p.price(h)
+		}
+		return res, nil
+	}
+	step := usable / float64(levels)
+
+	const inf = math.MaxFloat64
+	// cost[s] = minimal weighted grid energy to reach hour h with SoC level s.
+	cost := make([]float64, levels+1)
+	next := make([]float64, levels+1)
+	// choice[h][s] = SoC level chosen at hour h that led to state s at h+1.
+	choice := make([][]int16, n)
+
+	startLevel := int(math.Round(p.Params.InitialSoC * float64(levels)))
+	for s := range cost {
+		cost[s] = inf
+	}
+	cost[startLevel] = 0
+
+	maxChargeMW := p.Params.MaxChargeC * p.Params.CapacityMWh
+	maxDischargeMW := p.Params.MaxDischargeC * p.Params.CapacityMWh
+
+	for h := 0; h < n; h++ {
+		choice[h] = make([]int16, levels+1)
+		for s := range next {
+			next[s] = inf
+			choice[h][s] = -1
+		}
+		for s := 0; s <= levels; s++ {
+			if cost[s] == inf {
+				continue
+			}
+			soc := float64(s) * step
+			// Enumerate target levels reachable this hour.
+			for t := 0; t <= levels; t++ {
+				target := float64(t) * step
+				delta := target - soc // stored-energy change, MWh
+				var gridMWh float64
+				switch {
+				case delta > 0:
+					// Charging: source power = delta/ηc, bounded by surplus
+					// and C-rate.
+					power := delta / p.Params.ChargeEfficiency
+					if power > p.Surplus[h]+1e-12 || power > maxChargeMW+1e-12 {
+						continue
+					}
+					gridMWh = p.Deficit[h] // charging can't serve the deficit
+				case delta < 0:
+					// Discharging: delivered = −delta×ηd, bounded by C-rate;
+					// delivery beyond the deficit is wasted, so never
+					// beneficial — but allowed states beyond deficit are
+					// skipped for efficiency.
+					delivered := -delta * p.Params.DischargeEfficiency
+					if delivered > maxDischargeMW+1e-12 {
+						continue
+					}
+					if delivered > p.Deficit[h]+1e-12 {
+						continue
+					}
+					gridMWh = p.Deficit[h] - delivered
+				default:
+					gridMWh = p.Deficit[h]
+				}
+				c := cost[s] + gridMWh*p.price(h)
+				if c < next[t] {
+					next[t] = c
+					choice[h][t] = int16(s)
+				}
+			}
+		}
+		cost, next = next, cost
+	}
+
+	// Find the best terminal state and backtrack the schedule.
+	best := 0
+	for s := 1; s <= levels; s++ {
+		if cost[s] < cost[best] {
+			best = s
+		}
+	}
+	if cost[best] == inf {
+		return DispatchResult{}, fmt.Errorf("battery: no feasible dispatch (internal error)")
+	}
+
+	res := DispatchResult{
+		WeightedGrid: cost[best],
+		Discharge:    make([]float64, n),
+		Charge:       make([]float64, n),
+	}
+	s := best
+	for h := n - 1; h >= 0; h-- {
+		prev := int(choice[h][s])
+		delta := float64(s-prev) * step
+		if delta > 0 {
+			res.Charge[h] = delta / p.Params.ChargeEfficiency
+			res.GridEnergyMWh += p.Deficit[h]
+		} else if delta < 0 {
+			delivered := -delta * p.Params.DischargeEfficiency
+			res.Discharge[h] = delivered
+			res.GridEnergyMWh += p.Deficit[h] - delivered
+		} else {
+			res.GridEnergyMWh += p.Deficit[h]
+		}
+		s = prev
+	}
+	return res, nil
+}

@@ -1,0 +1,192 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func simpleProblem(deficit, surplus []float64, capMWh float64) DispatchProblem {
+	return DispatchProblem{
+		Deficit: deficit,
+		Surplus: surplus,
+		Params:  LFP(capMWh, 1.0),
+	}
+}
+
+func TestDispatchValidation(t *testing.T) {
+	bad := []DispatchProblem{
+		{},
+		{Deficit: []float64{1}, Surplus: []float64{1, 2}, Params: LFP(1, 1)},
+		{Deficit: []float64{-1}, Surplus: []float64{0}, Params: LFP(1, 1)},
+		{Deficit: []float64{1}, Surplus: []float64{-1}, Params: LFP(1, 1)},
+		{Deficit: []float64{1}, Surplus: []float64{0}, Price: []float64{1, 2}, Params: LFP(1, 1)},
+		{Deficit: []float64{1}, Surplus: []float64{0}, Price: []float64{-1}, Params: LFP(1, 1)},
+		{Deficit: []float64{1}, Surplus: []float64{0}, Params: Params{CapacityMWh: -1}},
+	}
+	for i, p := range bad {
+		if _, err := p.Greedy(); err == nil {
+			t.Errorf("case %d: Greedy should reject", i)
+		}
+		if _, err := p.Optimal(); err == nil {
+			t.Errorf("case %d: Optimal should reject", i)
+		}
+	}
+}
+
+func TestGreedyServesDeficitFromFullBattery(t *testing.T) {
+	// Full 10 MWh battery, two 4 MW deficit hours: both served (efficiency
+	// losses aside).
+	p := simpleProblem([]float64{4, 4}, []float64{0, 0}, 10)
+	res, err := p.Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GridEnergyMWh > 0.01 {
+		t.Fatalf("grid energy = %v, want ~0", res.GridEnergyMWh)
+	}
+	if res.Discharge[0] != 4 || res.Discharge[1] != 4 {
+		t.Fatalf("discharge schedule %v", res.Discharge)
+	}
+}
+
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	// A price-varying instance where greedy discharges on a cheap deficit
+	// and has nothing left for the expensive one.
+	p := DispatchProblem{
+		Deficit: []float64{5, 0, 5},
+		Surplus: []float64{0, 0, 0},
+		Price:   []float64{1, 1, 100}, // the last deficit is expensive
+		Params:  LFP(5, 1.0),
+	}
+	greedy, err := p.Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal, err := p.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimal.WeightedGrid > greedy.WeightedGrid+1e-9 {
+		t.Fatalf("optimal (%v) worse than greedy (%v)", optimal.WeightedGrid, greedy.WeightedGrid)
+	}
+	// The optimal schedule should save the battery for hour 2.
+	if optimal.Discharge[2] < greedy.Discharge[2] {
+		t.Fatalf("optimal should discharge more at the expensive hour: %v vs %v",
+			optimal.Discharge[2], greedy.Discharge[2])
+	}
+}
+
+func TestOptimalUsesChargeOpportunity(t *testing.T) {
+	// Empty battery, surplus first, deficit later: optimal charges then
+	// discharges.
+	params := LFP(10, 1.0)
+	params.InitialSoC = 0
+	p := DispatchProblem{
+		Deficit: []float64{0, 0, 8},
+		Surplus: []float64{10, 0, 0},
+		Params:  params,
+	}
+	res, err := p.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Charge[0] <= 0 {
+		t.Fatalf("optimal should charge during the surplus hour")
+	}
+	if res.GridEnergyMWh > 1 {
+		t.Fatalf("grid energy = %v, want small", res.GridEnergyMWh)
+	}
+}
+
+func TestOptimalZeroCapacity(t *testing.T) {
+	p := simpleProblem([]float64{3, 4}, []float64{1, 0}, 0)
+	res, err := p.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GridEnergyMWh != 7 {
+		t.Fatalf("zero battery grid energy = %v, want 7", res.GridEnergyMWh)
+	}
+}
+
+func TestOptimalRespectsCRate(t *testing.T) {
+	// 2 MWh battery at 1C can deliver at most 2 MW per hour.
+	p := simpleProblem([]float64{10}, []float64{0}, 2)
+	res, err := p.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discharge[0] > 2+1e-9 {
+		t.Fatalf("discharge %v exceeds 1C limit", res.Discharge[0])
+	}
+}
+
+func TestPropertyOptimalNeverWorseThanGreedy(t *testing.T) {
+	f := func(raw []uint16, capRaw uint8) bool {
+		n := len(raw)
+		if n == 0 || n > 60 {
+			return true
+		}
+		deficit := make([]float64, n)
+		surplus := make([]float64, n)
+		price := make([]float64, n)
+		for i, v := range raw {
+			if v%2 == 0 {
+				deficit[i] = float64(v % 20)
+			} else {
+				surplus[i] = float64(v % 25)
+			}
+			price[i] = 1 + float64(v%7)
+		}
+		p := DispatchProblem{
+			Deficit: deficit, Surplus: surplus, Price: price,
+			Params:    LFP(float64(1+capRaw%30), 1.0),
+			SoCLevels: 40,
+		}
+		greedy, err1 := p.Greedy()
+		optimal, err2 := p.Optimal()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Allow a discretization slack proportional to the step size.
+		slack := p.Params.CapacityMWh / 40 * float64(n) * 8
+		return optimal.WeightedGrid <= greedy.WeightedGrid+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalScheduleIsFeasible(t *testing.T) {
+	// Replay the optimal schedule through the real battery simulator; the
+	// simulator must accept every action within tolerance.
+	p := DispatchProblem{
+		Deficit:   []float64{3, 0, 6, 0, 2, 8},
+		Surplus:   []float64{0, 10, 0, 5, 0, 0},
+		Params:    LFP(8, 1.0),
+		SoCLevels: 80,
+	}
+	res, err := p.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(p.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := range p.Deficit {
+		if c := res.Charge[h]; c > 0 {
+			accepted := b.Charge(c, 1)
+			if math.Abs(accepted-c) > 0.2 {
+				t.Fatalf("hour %d: charge %v not accepted (%v)", h, c, accepted)
+			}
+		}
+		if d := res.Discharge[h]; d > 0 {
+			delivered := b.Discharge(d, 1)
+			if math.Abs(delivered-d) > 0.2 {
+				t.Fatalf("hour %d: discharge %v not delivered (%v)", h, d, delivered)
+			}
+		}
+	}
+}

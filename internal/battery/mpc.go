@@ -1,0 +1,171 @@
+package battery
+
+import (
+	"fmt"
+	"math"
+)
+
+// RollingConfig parameterizes receding-horizon (MPC-style) dispatch: each
+// day the controller plans the next HorizonHours with the DP using
+// *predicted* deficits and surpluses, executes the first day of the plan
+// against reality, and re-plans. This is the deployable middle ground
+// between the paper's greedy policy (no lookahead) and the offline optimum
+// (perfect full-year foresight).
+type RollingConfig struct {
+	// Params is the battery's electrical configuration.
+	Params Params
+	// HorizonHours is the planning lookahead (default 48).
+	HorizonHours int
+	// StepHours is how much of each plan executes before re-planning
+	// (default 24).
+	StepHours int
+	// SoCLevels discretizes the DP (default 60).
+	SoCLevels int
+	// Predict supplies the forecast of (deficit, surplus, price) for hours
+	// [start, start+horizon); it is called once per planning step. The
+	// actual series are supplied to Run separately.
+	Predict func(start, horizon int) (deficit, surplus, price []float64)
+	// Reactive, when true, blends the plan with reactive rules for the
+	// conditions the forecast missed: real surplus beyond the planned
+	// charge is stored anyway (free energy is near-universally safe), and
+	// real deficits beyond the planned discharge are served from whatever
+	// stored energy the plan has not reserved for later hours of the
+	// current execution step. Without it the controller is purely
+	// plan-disciplined, which collapses when forecasts are biased (e.g. an
+	// average-weather forecast predicts no deficits at all).
+	Reactive bool
+}
+
+// Validate reports the first invalid field, or nil.
+func (c RollingConfig) Validate() error {
+	if c.Predict == nil {
+		return fmt.Errorf("battery: rolling dispatch needs a Predict function")
+	}
+	if c.HorizonHours < 0 || c.StepHours < 0 {
+		return fmt.Errorf("battery: negative horizon/step")
+	}
+	if c.StepHours > c.horizon() {
+		return fmt.Errorf("battery: step %d exceeds horizon %d", c.StepHours, c.horizon())
+	}
+	return c.Params.Validate()
+}
+
+func (c RollingConfig) horizon() int {
+	if c.HorizonHours <= 0 {
+		return 48
+	}
+	return c.HorizonHours
+}
+
+func (c RollingConfig) step() int {
+	if c.StepHours <= 0 {
+		return 24
+	}
+	return c.StepHours
+}
+
+// RunRolling executes receding-horizon dispatch against the actual deficit,
+// surplus, and price series. At each step it plans on forecasts, then
+// applies the planned charge/discharge power to a real battery facing the
+// actual conditions (clamping to what reality allows).
+func RunRolling(cfg RollingConfig, deficit, surplus, price []float64) (DispatchResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return DispatchResult{}, err
+	}
+	n := len(deficit)
+	if n == 0 || len(surplus) != n || len(price) != n {
+		return DispatchResult{}, fmt.Errorf("battery: series lengths must match and be non-empty")
+	}
+
+	b, err := New(cfg.Params)
+	if err != nil {
+		return DispatchResult{}, err
+	}
+	res := DispatchResult{Discharge: make([]float64, n), Charge: make([]float64, n)}
+	horizon := cfg.horizon()
+	step := cfg.step()
+	levels := cfg.SoCLevels
+	if levels <= 0 {
+		levels = 60
+	}
+
+	for start := 0; start < n; start += step {
+		h := horizon
+		if start+h > n {
+			h = n - start
+		}
+		predDeficit, predSurplus, predPrice := cfg.Predict(start, h)
+		if len(predDeficit) != h || len(predSurplus) != h || len(predPrice) != h {
+			return DispatchResult{}, fmt.Errorf("battery: Predict returned wrong horizon at %d", start)
+		}
+		// Plan from the battery's current state.
+		planParams := cfg.Params
+		planParams.InitialSoC = b.SoC()
+		plan := DispatchProblem{
+			Deficit:   sanitizeNonNeg(predDeficit),
+			Surplus:   sanitizeNonNeg(predSurplus),
+			Price:     sanitizeNonNeg(predPrice),
+			Params:    planParams,
+			SoCLevels: levels,
+		}
+		planned, err := plan.Optimal()
+		if err != nil {
+			return DispatchResult{}, err
+		}
+
+		// Execute the first `step` hours of the plan against reality.
+		end := start + step
+		if end > n {
+			end = n
+		}
+		for t := start; t < end; t++ {
+			i := t - start
+			if want := planned.Discharge[i]; want > 0 {
+				// Never discharge beyond the real deficit.
+				ask := math.Min(want, deficit[t])
+				res.Discharge[t] = b.Discharge(ask, 1)
+			}
+			if cfg.Reactive {
+				if extra := deficit[t] - res.Discharge[t]; extra > 0 {
+					// Deliverable energy the plan has reserved for the rest
+					// of this execution step.
+					var reserved float64
+					for j := i + 1; j < end-start; j++ {
+						reserved += planned.Discharge[j]
+					}
+					storedAboveFloor := b.Energy() - (b.Capacity() - b.UsableCapacity())
+					deliverable := storedAboveFloor*cfg.Params.DischargeEfficiency - reserved
+					if deliverable > 0 {
+						res.Discharge[t] += b.Discharge(math.Min(extra, deliverable), 1)
+					}
+				}
+			}
+			chargeBudget := planned.Charge[i]
+			if cfg.Reactive {
+				chargeBudget = surplus[t]
+			}
+			if chargeBudget > 0 {
+				// Never charge beyond the real surplus.
+				offer := math.Min(chargeBudget, surplus[t])
+				res.Charge[t] = b.Charge(offer, 1)
+			}
+			rem := deficit[t] - res.Discharge[t]
+			if rem < 0 {
+				rem = 0
+			}
+			res.GridEnergyMWh += rem
+			res.WeightedGrid += rem * price[t]
+		}
+	}
+	return res, nil
+}
+
+func sanitizeNonNeg(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		if v > 0 && !math.IsInf(v, 1) && !math.IsNaN(v) {
+			out[i] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package battery
+
+import (
+	"math"
+	"testing"
+)
+
+// oraclePredict returns a Predict function that reads the true series.
+func oraclePredict(deficit, surplus, price []float64) func(int, int) ([]float64, []float64, []float64) {
+	return func(start, h int) ([]float64, []float64, []float64) {
+		return deficit[start : start+h], surplus[start : start+h], price[start : start+h]
+	}
+}
+
+func TestRollingValidation(t *testing.T) {
+	good := RollingConfig{
+		Params:  LFP(5, 1.0),
+		Predict: func(s, h int) ([]float64, []float64, []float64) { return nil, nil, nil },
+	}
+	bad := []func(*RollingConfig){
+		func(c *RollingConfig) { c.Predict = nil },
+		func(c *RollingConfig) { c.HorizonHours = -1 },
+		func(c *RollingConfig) { c.StepHours = 100; c.HorizonHours = 10 },
+		func(c *RollingConfig) { c.Params = Params{CapacityMWh: -1} },
+	}
+	for i, mutate := range bad {
+		cfg := good
+		mutate(&cfg)
+		if _, err := RunRolling(cfg, []float64{1}, []float64{0}, []float64{1}); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+	// Length mismatch.
+	if _, err := RunRolling(good, []float64{1, 2}, []float64{0}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	// Wrong predicted horizon.
+	wrong := good
+	wrong.Predict = func(s, h int) ([]float64, []float64, []float64) { return []float64{1}, []float64{1}, []float64{1} }
+	if _, err := RunRolling(wrong, make([]float64, 50), make([]float64, 50), make([]float64, 50)); err == nil {
+		t.Error("wrong horizon length should error")
+	}
+}
+
+// cyclePattern builds a repeating surplus-then-deficit pattern with a price
+// spike on the deficits.
+func cyclePattern(days int) (deficit, surplus, price []float64) {
+	n := days * 24
+	deficit = make([]float64, n)
+	surplus = make([]float64, n)
+	price = make([]float64, n)
+	for h := 0; h < n; h++ {
+		price[h] = 1
+		if h%24 < 12 {
+			surplus[h] = 6
+		} else {
+			deficit[h] = 4
+			price[h] = 5
+		}
+	}
+	return
+}
+
+func TestRollingWithOracleApproachesOptimal(t *testing.T) {
+	deficit, surplus, price := cyclePattern(10)
+	params := LFP(30, 1.0)
+	params.InitialSoC = 0
+
+	problem := DispatchProblem{Deficit: deficit, Surplus: surplus, Price: price, Params: params, SoCLevels: 60}
+	optimal, err := problem.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rolling, err := RunRolling(RollingConfig{
+		Params:  params,
+		Predict: oraclePredict(deficit, surplus, price),
+	}, deficit, surplus, price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With perfect forecasts and a 48h horizon on a 24h-periodic pattern,
+	// rolling should be close to the full-year optimum.
+	if rolling.WeightedGrid > optimal.WeightedGrid*1.15+1 {
+		t.Fatalf("rolling with oracle = %v, optimal = %v", rolling.WeightedGrid, optimal.WeightedGrid)
+	}
+}
+
+func TestRollingNeverExceedsReality(t *testing.T) {
+	deficit, surplus, price := cyclePattern(5)
+	// A wildly optimistic forecast: predicts huge surpluses and deficits.
+	params := LFP(20, 1.0)
+	rolling, err := RunRolling(RollingConfig{
+		Params: params,
+		Predict: func(start, h int) ([]float64, []float64, []float64) {
+			d := make([]float64, h)
+			s := make([]float64, h)
+			p := make([]float64, h)
+			for i := range d {
+				d[i], s[i], p[i] = 100, 100, 1
+			}
+			return d, s, p
+		},
+	}, deficit, surplus, price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := range deficit {
+		if rolling.Discharge[h] > deficit[h]+1e-9 {
+			t.Fatalf("hour %d: discharged %v beyond real deficit %v", h, rolling.Discharge[h], deficit[h])
+		}
+		if rolling.Charge[h] > surplus[h]+1e-9 {
+			t.Fatalf("hour %d: charged %v beyond real surplus %v", h, rolling.Charge[h], surplus[h])
+		}
+	}
+}
+
+func TestRollingPessimisticForecastStillSafe(t *testing.T) {
+	deficit, surplus, price := cyclePattern(5)
+	// A forecast of nothing: the controller plans no battery action at all.
+	rolling, err := RunRolling(RollingConfig{
+		Params: LFP(20, 1.0),
+		Predict: func(start, h int) ([]float64, []float64, []float64) {
+			return make([]float64, h), make([]float64, h), make([]float64, h)
+		},
+	}, deficit, surplus, price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All deficits hit the grid.
+	var want float64
+	for h, d := range deficit {
+		want += d * price[h]
+	}
+	if math.Abs(rolling.WeightedGrid-want) > 1e-9 {
+		t.Fatalf("no-action dispatch weighted grid = %v, want %v", rolling.WeightedGrid, want)
+	}
+}
+
+func TestRollingReactiveRecoversFromBlindForecast(t *testing.T) {
+	deficit, surplus, price := cyclePattern(5)
+	blind := func(start, h int) ([]float64, []float64, []float64) {
+		return make([]float64, h), make([]float64, h), make([]float64, h)
+	}
+	params := LFP(20, 1.0)
+	params.InitialSoC = 0
+
+	disciplined, err := RunRolling(RollingConfig{Params: params, Predict: blind}, deficit, surplus, price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reactive, err := RunRolling(RollingConfig{Params: params, Predict: blind, Reactive: true}, deficit, surplus, price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a useless forecast, the reactive blend must behave like greedy
+	// and far outperform pure plan discipline.
+	if reactive.WeightedGrid >= disciplined.WeightedGrid {
+		t.Fatalf("reactive (%v) should beat plan-only (%v) under a blind forecast",
+			reactive.WeightedGrid, disciplined.WeightedGrid)
+	}
+	greedy, err := (DispatchProblem{Deficit: deficit, Surplus: surplus, Price: price, Params: params}).Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reactive.WeightedGrid-greedy.WeightedGrid) > greedy.WeightedGrid*0.05+1 {
+		t.Fatalf("reactive-blind should approximate greedy: %v vs %v",
+			reactive.WeightedGrid, greedy.WeightedGrid)
+	}
+}
+
+func TestRollingSanitizesForecasts(t *testing.T) {
+	deficit, surplus, price := cyclePattern(3)
+	rolling, err := RunRolling(RollingConfig{
+		Params: LFP(10, 1.0),
+		Predict: func(start, h int) ([]float64, []float64, []float64) {
+			d := make([]float64, h)
+			s := make([]float64, h)
+			p := make([]float64, h)
+			for i := range d {
+				d[i] = math.NaN()
+				s[i] = -5
+				p[i] = math.Inf(1)
+			}
+			return d, s, p
+		},
+	}, deficit, surplus, price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(rolling.WeightedGrid) || math.IsInf(rolling.WeightedGrid, 0) {
+		t.Fatalf("garbage forecasts leaked into results: %v", rolling.WeightedGrid)
+	}
+}

@@ -1,0 +1,182 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTechnologyNames(t *testing.T) {
+	if LFPCell.String() != "LFP" || NaIonCell.String() != "Na-ion" || NMCCell.String() != "NMC" {
+		t.Fatalf("technology names wrong")
+	}
+	if got := Technology(9).String(); got != "technology(9)" {
+		t.Fatalf("out-of-range name %q", got)
+	}
+	if len(AllTechnologies()) != 3 {
+		t.Fatalf("want 3 technologies")
+	}
+}
+
+func TestSpecsPlausible(t *testing.T) {
+	for _, tech := range AllTechnologies() {
+		c := tech.Spec()
+		if c.Tech != tech {
+			t.Errorf("%v: spec Tech mismatch", tech)
+		}
+		if c.RoundTripEfficiency <= 0.8 || c.RoundTripEfficiency > 1 {
+			t.Errorf("%v: efficiency %v implausible", tech, c.RoundTripEfficiency)
+		}
+		if c.Cycles80DoD <= c.Cycles100DoD {
+			t.Errorf("%v: shallower DoD must extend cycle life", tech)
+		}
+		if c.EmbodiedKgPerKWh <= 0 || c.CalendarLifeYears <= 0 {
+			t.Errorf("%v: invalid footprint/lifetime", tech)
+		}
+	}
+}
+
+func TestSpecUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unknown technology should panic")
+		}
+	}()
+	Technology(42).Spec()
+}
+
+func TestNaIonLowerFootprintThanLFP(t *testing.T) {
+	// The paper's motivation for sodium-ion: lower environmental impact.
+	if NaIonCell.Spec().EmbodiedKgPerKWh >= LFPCell.Spec().EmbodiedKgPerKWh {
+		t.Fatalf("Na-ion should have a lower manufacturing footprint than LFP")
+	}
+}
+
+func TestChemistryParamsRoundTrip(t *testing.T) {
+	for _, tech := range AllTechnologies() {
+		spec := tech.Spec()
+		p := spec.Params(50, 1.0)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v: invalid params: %v", tech, err)
+		}
+		got := p.ChargeEfficiency * p.DischargeEfficiency
+		if math.Abs(got-spec.RoundTripEfficiency) > 1e-9 {
+			t.Errorf("%v: round trip %v, want %v", tech, got, spec.RoundTripEfficiency)
+		}
+		b, err := New(p)
+		if err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		if b.Capacity() != 50 {
+			t.Errorf("%v: capacity %v", tech, b.Capacity())
+		}
+	}
+}
+
+func TestChemistryCycleLife(t *testing.T) {
+	lfp := LFPCell.Spec()
+	if got := lfp.CycleLife(1.0); got != 3000 {
+		t.Fatalf("LFP cycles@100%% = %v", got)
+	}
+	if got := lfp.CycleLife(0.8); got != 4500 {
+		t.Fatalf("LFP cycles@80%% = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("bad DoD should panic")
+		}
+	}()
+	lfp.CycleLife(0)
+}
+
+func TestDefaultDegradationValid(t *testing.T) {
+	m := DefaultDegradation(3000)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegradationValidation(t *testing.T) {
+	bad := []DegradationModel{
+		{RatedCycles: 0, EndOfLifeCapacity: 0.8},
+		{RatedCycles: 3000, EndOfLifeCapacity: 0},
+		{RatedCycles: 3000, EndOfLifeCapacity: 1},
+		{RatedCycles: 3000, EndOfLifeCapacity: 0.8, CalendarFadePerYear: 0.9},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestCapacityFade(t *testing.T) {
+	m := DefaultDegradation(3000)
+	if got := m.CapacityFraction(0, 0); got != 1 {
+		t.Fatalf("fresh battery fraction = %v", got)
+	}
+	// At rated cycles (no calendar time) the battery hits exactly 80%.
+	if got := m.CapacityFraction(3000, 0); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("at rated cycles fraction = %v, want 0.8", got)
+	}
+	if !m.IsSpent(3000, 0) {
+		t.Fatalf("battery at rated cycles should be spent")
+	}
+	if m.IsSpent(1000, 0) {
+		t.Fatalf("battery at 1/3 rated cycles should not be spent")
+	}
+	// Calendar fade stacks.
+	if m.CapacityFraction(1000, 10) >= m.CapacityFraction(1000, 0) {
+		t.Fatalf("calendar fade should reduce capacity")
+	}
+	// Extreme abuse floors at zero.
+	if got := m.CapacityFraction(1e9, 1e9); got != 0 {
+		t.Fatalf("overdriven fraction = %v, want 0", got)
+	}
+}
+
+func TestDegradationLifetime(t *testing.T) {
+	m := DefaultDegradation(3000)
+	// One cycle/day: cycle fade alone gives 3000/365 ≈ 8.2 years; calendar
+	// fade shortens it a bit.
+	years := m.LifetimeYears(1.0)
+	if years >= 3000.0/365.0 || years < 6.5 {
+		t.Fatalf("lifetime at 1 cyc/day = %v years", years)
+	}
+	// No cycling: calendar fade alone, 0.2/0.005 = 40 years.
+	if got := m.LifetimeYears(0); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("calendar-only lifetime = %v, want 40", got)
+	}
+	// Immortal case.
+	free := DegradationModel{RatedCycles: 3000, EndOfLifeCapacity: 0.8}
+	if free.LifetimeYears(0) < 1e8 {
+		t.Fatalf("zero-fade battery should be effectively immortal")
+	}
+}
+
+func TestPropertyDegradationMonotonic(t *testing.T) {
+	m := DefaultDegradation(4000)
+	f := func(c1, c2, y1, y2 uint16) bool {
+		cyc1, cyc2 := float64(c1), float64(c2)
+		yr1, yr2 := float64(y1%50), float64(y2%50)
+		if cyc1 > cyc2 {
+			cyc1, cyc2 = cyc2, cyc1
+		}
+		if yr1 > yr2 {
+			yr1, yr2 = yr2, yr1
+		}
+		return m.CapacityFraction(cyc2, yr2) <= m.CapacityFraction(cyc1, yr1)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSqrtEff(t *testing.T) {
+	for _, v := range []float64{0.9, 0.95, 0.99, 1.0} {
+		leg := sqrtEff(v)
+		if math.Abs(leg*leg-v) > 1e-12 {
+			t.Errorf("sqrtEff(%v)^2 = %v", v, leg*leg)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carbonexplorer/internal/units"
+)
+
+func TestSourceIntensitiesMatchTable2(t *testing.T) {
+	want := map[Source]units.CarbonIntensity{
+		Wind: 11, Solar: 41, Water: 24, Oil: 650,
+		NaturalGas: 490, Coal: 820, Nuclear: 12, Other: 230,
+	}
+	for s, ci := range want {
+		if got := s.Intensity(); got != ci {
+			t.Errorf("%v intensity = %v, want %v", s, got, ci)
+		}
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if Wind.String() != "wind" || Coal.String() != "coal" {
+		t.Fatalf("source names wrong")
+	}
+	if got := Source(99).String(); got != "source(99)" {
+		t.Fatalf("out-of-range name = %q", got)
+	}
+}
+
+func TestAllSources(t *testing.T) {
+	all := AllSources()
+	if len(all) != NumSources {
+		t.Fatalf("AllSources length %d", len(all))
+	}
+	renewables := 0
+	for _, s := range all {
+		if s.IsRenewable() {
+			renewables++
+		}
+	}
+	if renewables != 2 {
+		t.Fatalf("want exactly wind+solar renewable, got %d", renewables)
+	}
+}
+
+func TestMixIntensity(t *testing.T) {
+	var m Mix
+	m[Coal] = 50
+	m[Wind] = 50
+	// 50/50 coal+wind: (820+11)/2 = 415.5.
+	if got := m.Intensity(); math.Abs(float64(got)-415.5) > 1e-9 {
+		t.Fatalf("mix intensity = %v", got)
+	}
+	var empty Mix
+	if empty.Intensity() != 0 {
+		t.Fatalf("empty mix intensity should be 0")
+	}
+}
+
+func TestMixRenewableShare(t *testing.T) {
+	var m Mix
+	m[Wind] = 20
+	m[Solar] = 10
+	m[NaturalGas] = 70
+	if got := m.RenewableShare(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("renewable share = %v", got)
+	}
+	var empty Mix
+	if empty.RenewableShare() != 0 {
+		t.Fatalf("empty share should be 0")
+	}
+}
+
+func TestMixTotal(t *testing.T) {
+	var m Mix
+	m[Wind] = 1.5
+	m[Coal] = 2.5
+	if m.Total() != 4 {
+		t.Fatalf("total = %v", m.Total())
+	}
+}
+
+func TestDefaultEmbodiedParamsValid(t *testing.T) {
+	if err := DefaultEmbodiedParams().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []func(*EmbodiedParams){
+		func(p *EmbodiedParams) { p.WindPerKWh = -1 },
+		func(p *EmbodiedParams) { p.BatteryPerKWhCap = -1 },
+		func(p *EmbodiedParams) { p.BatteryCycles100DoD = 0 },
+		func(p *EmbodiedParams) { p.ServerLifetimeYears = 0 },
+		func(p *EmbodiedParams) { p.ServerPowerKW = 0 },
+		func(p *EmbodiedParams) { p.ServerInfraMultiplier = 0.5 },
+	}
+	for i, mutate := range cases {
+		p := DefaultEmbodiedParams()
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestRenewableEmbodied(t *testing.T) {
+	p := DefaultEmbodiedParams()
+	// 1 MWh wind at 11 g/kWh = 11 kg; 1 MWh solar at 41 = 41 kg.
+	got := p.RenewableEmbodied(1, 1)
+	if math.Abs(got.Kg()-52) > 1e-9 {
+		t.Fatalf("renewable embodied = %v kg, want 52", got.Kg())
+	}
+	if p.RenewableEmbodied(0, 0) != 0 {
+		t.Fatalf("zero generation should have zero embodied")
+	}
+}
+
+func TestBatteryCycleLife(t *testing.T) {
+	p := DefaultEmbodiedParams()
+	if got := p.BatteryCycleLife(1.0); got != 3000 {
+		t.Fatalf("cycles@100%%DoD = %v", got)
+	}
+	if got := p.BatteryCycleLife(0.8); got != 4500 {
+		t.Fatalf("cycles@80%%DoD = %v", got)
+	}
+	// Interpolation at 90% DoD: midway = 3750.
+	if got := p.BatteryCycleLife(0.9); math.Abs(got-3750) > 1e-9 {
+		t.Fatalf("cycles@90%%DoD = %v", got)
+	}
+	// Shallower than 80% extends life further.
+	if p.BatteryCycleLife(0.6) <= p.BatteryCycleLife(0.8) {
+		t.Fatalf("shallower DoD should extend cycle life")
+	}
+}
+
+func TestBatteryCycleLifePanicsOnBadDoD(t *testing.T) {
+	p := DefaultEmbodiedParams()
+	for _, dod := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("DoD %v should panic", dod)
+				}
+			}()
+			p.BatteryCycleLife(dod)
+		}()
+	}
+}
+
+func TestBatteryLifetimeYears(t *testing.T) {
+	p := DefaultEmbodiedParams()
+	// One full cycle a day at 100% DoD: 3000/365 ≈ 8.2 years.
+	got := p.BatteryLifetimeYears(1.0, 1.0)
+	if math.Abs(got-3000.0/365.0) > 1e-9 {
+		t.Fatalf("lifetime = %v years", got)
+	}
+	// Very light cycling is capped by calendar life.
+	if got := p.BatteryLifetimeYears(1.0, 0.01); got != p.BatteryMaxLifetimeYears {
+		t.Fatalf("light cycling lifetime = %v, want calendar cap", got)
+	}
+	if got := p.BatteryLifetimeYears(1.0, 0); got != p.BatteryMaxLifetimeYears {
+		t.Fatalf("zero cycling lifetime = %v, want calendar cap", got)
+	}
+}
+
+func TestBatteryEmbodiedAnnual(t *testing.T) {
+	p := DefaultEmbodiedParams()
+	// 1 MWh capacity at 100 kg/kWh = 100 t total; at 1 cycle/day 100% DoD
+	// lifetime is 3000/365 years, so annual = 100 t / 8.219 y ≈ 12.17 t.
+	got := p.BatteryEmbodiedAnnual(1, 1.0, 1.0)
+	want := 100_000.0 / (3000.0 / 365.0) // kg per year
+	if math.Abs(got.Kg()-want) > 1 {
+		t.Fatalf("battery annual embodied = %v kg, want %v", got.Kg(), want)
+	}
+	if p.BatteryEmbodiedAnnual(0, 1, 1) != 0 {
+		t.Fatalf("zero capacity should cost nothing")
+	}
+}
+
+func TestServerCount(t *testing.T) {
+	p := DefaultEmbodiedParams()
+	// 0.3 kW per server → 1 MW needs 3334 servers (rounded up).
+	if got := p.ServerCount(1); got != 3334 {
+		t.Fatalf("servers per MW = %d", got)
+	}
+	if got := p.ServerCount(0); got != 0 {
+		t.Fatalf("zero capacity should need zero servers")
+	}
+	if got := p.ServerCount(-5); got != 0 {
+		t.Fatalf("negative capacity should need zero servers")
+	}
+}
+
+func TestServerEmbodiedAnnual(t *testing.T) {
+	p := DefaultEmbodiedParams()
+	got := p.ServerEmbodiedAnnual(1)
+	// 3334 servers × 744.5 kg × 1.16 / 5 years.
+	want := 3334.0 * 744.5 * 1.16 / 5
+	if math.Abs(got.Kg()-want) > 1 {
+		t.Fatalf("server annual embodied = %v kg, want %v", got.Kg(), want)
+	}
+	if p.ServerEmbodiedAnnual(0) != 0 {
+		t.Fatalf("zero capacity should cost nothing")
+	}
+}
+
+func TestPropertyMixIntensityBounds(t *testing.T) {
+	// Mix intensity is always between the cleanest and dirtiest source.
+	f := func(raw [NumSources]uint16) bool {
+		var m Mix
+		for i, v := range raw {
+			m[i] = units.MegaWattHours(v)
+		}
+		if m.Total() == 0 {
+			return m.Intensity() == 0
+		}
+		ci := float64(m.Intensity())
+		return ci >= 11-1e-9 && ci <= 820+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBatteryShallowDoDLongerLife(t *testing.T) {
+	p := DefaultEmbodiedParams()
+	f := func(a, b uint8) bool {
+		d1 := 0.2 + float64(a%80)/100
+		d2 := 0.2 + float64(b%80)/100
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return p.BatteryCycleLife(d1) >= p.BatteryCycleLife(d2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package carbon holds Carbon Explorer's carbon-accounting models: the
+// lifecycle carbon intensity of grid energy sources (the paper's Table 2),
+// the embodied-carbon models for wind/solar farms, lithium-ion batteries,
+// and servers (Section 5.1), and the amortization rules that convert
+// manufacturing footprints into annual carbon costs.
+package carbon
+
+import (
+	"fmt"
+
+	"carbonexplorer/internal/units"
+)
+
+// Source identifies an electricity generation source.
+type Source int
+
+// Generation sources, in the order of the paper's Table 2.
+const (
+	Wind Source = iota
+	Solar
+	Water
+	Oil
+	NaturalGas
+	Coal
+	Nuclear
+	Other
+	numSources
+)
+
+// NumSources is the number of distinct generation sources.
+const NumSources = int(numSources)
+
+var sourceNames = [...]string{"wind", "solar", "water", "oil", "natural_gas", "coal", "nuclear", "other"}
+
+// String returns the lower-case source name.
+func (s Source) String() string {
+	if s < 0 || int(s) >= NumSources {
+		return fmt.Sprintf("source(%d)", int(s))
+	}
+	return sourceNames[s]
+}
+
+// AllSources lists every source.
+func AllSources() []Source {
+	out := make([]Source, NumSources)
+	for i := range out {
+		out[i] = Source(i)
+	}
+	return out
+}
+
+// IsRenewable reports whether the source counts toward renewable supply in
+// the paper's coverage metric (wind and solar; the paper treats hydro and
+// nuclear as low-carbon grid sources but not as datacenter PPA renewables).
+func (s Source) IsRenewable() bool { return s == Wind || s == Solar }
+
+// Intensity returns the lifecycle carbon intensity of the source in
+// gCO2eq/kWh, per the paper's Table 2.
+func (s Source) Intensity() units.CarbonIntensity {
+	switch s {
+	case Wind:
+		return 11
+	case Solar:
+		return 41
+	case Water:
+		return 24
+	case Oil:
+		return 650
+	case NaturalGas:
+		return 490
+	case Coal:
+		return 820
+	case Nuclear:
+		return 12
+	case Other:
+		return 230 // biofuels etc.
+	default:
+		panic(fmt.Sprintf("carbon: unknown source %d", int(s)))
+	}
+}
+
+// Mix is per-source generation for one hour, in MWh (numerically equal to MW
+// over an hourly step).
+type Mix [NumSources]units.MegaWattHours
+
+// Total returns the total generation across sources.
+func (m Mix) Total() units.MegaWattHours {
+	var t units.MegaWattHours
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Intensity returns the generation-weighted average carbon intensity of the
+// mix in gCO2eq/kWh. An empty mix has zero intensity.
+func (m Mix) Intensity() units.CarbonIntensity {
+	total := m.Total()
+	if total <= 0 {
+		return 0
+	}
+	var grams units.GramsCO2
+	for s, e := range m {
+		grams += e.Carbon(Source(s).Intensity())
+	}
+	return units.CarbonIntensity(float64(grams) / total.KWh())
+}
+
+// RenewableShare returns the wind+solar fraction of total generation.
+func (m Mix) RenewableShare() float64 {
+	total := m.Total()
+	if total <= 0 {
+		return 0
+	}
+	return float64(m[Wind]+m[Solar]) / float64(total)
+}

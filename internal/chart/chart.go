@@ -1,0 +1,161 @@
+// Package chart renders hourly series as ASCII line charts and sparklines
+// for terminal reports — the closest a CLI reproduction gets to the paper's
+// figures. It is deliberately dependency-free and deterministic.
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eight block heights of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders a one-line sparkline of the values, scaling to the data
+// range. Empty input yields an empty string; a flat series renders at the
+// lowest block.
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Line is one named series for a Plot.
+type Line struct {
+	// Name labels the series in the legend.
+	Name string
+	// Values are the samples; all lines in one plot share the x axis.
+	Values []float64
+	// Rune draws the series (e.g. '*', '+', 'o'). Zero means auto-assign.
+	Rune rune
+}
+
+// Plot renders one or more series as a height×width ASCII chart with a
+// y-axis scale and a legend. Series longer than width are downsampled by
+// averaging buckets; shorter series are drawn one column per sample.
+func Plot(lines []Line, width, height int) string {
+	if len(lines) == 0 || width < 8 || height < 2 {
+		return ""
+	}
+	autoRunes := []rune{'*', '+', 'o', 'x', '#', '@'}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	cols := make([][]float64, len(lines))
+	for i, ln := range lines {
+		cols[i] = resample(ln.Values, width)
+		for _, v := range cols[i] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return ""
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for i := range lines {
+		r := lines[i].Rune
+		if r == 0 {
+			r = autoRunes[i%len(autoRunes)]
+		}
+		for c, v := range cols[i] {
+			if c >= width || math.IsNaN(v) {
+				continue
+			}
+			row := height - 1 - int((v-lo)/(hi-lo)*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][c] = r
+		}
+	}
+
+	var b strings.Builder
+	for r := 0; r < height; r++ {
+		yVal := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10.1f |%s\n", yVal, string(grid[r]))
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", width) + "\n")
+	var legend []string
+	for i, ln := range lines {
+		r := ln.Rune
+		if r == 0 {
+			r = autoRunes[i%len(autoRunes)]
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", r, ln.Name))
+	}
+	b.WriteString(strings.Repeat(" ", 12) + strings.Join(legend, "   ") + "\n")
+	return b.String()
+}
+
+// resample averages values into exactly width buckets (or pads with NaN
+// when the series is shorter than width, leaving gaps).
+func resample(values []float64, width int) []float64 {
+	out := make([]float64, width)
+	if len(values) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	if len(values) <= width {
+		for i := range out {
+			if i < len(values) {
+				out[i] = values[i]
+			} else {
+				out[i] = math.NaN()
+			}
+		}
+		return out
+	}
+	for i := 0; i < width; i++ {
+		loIdx := i * len(values) / width
+		hiIdx := (i + 1) * len(values) / width
+		if hiIdx <= loIdx {
+			hiIdx = loIdx + 1
+		}
+		sum := 0.0
+		for _, v := range values[loIdx:hiIdx] {
+			sum += v
+		}
+		out[i] = sum / float64(hiIdx-loIdx)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package chart
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSparkBasic(t *testing.T) {
+	s := Spark([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	runes := []rune(s)
+	if len(runes) != 8 {
+		t.Fatalf("length = %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("endpoints wrong: %q", s)
+	}
+	// Monotone input → monotone blocks.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("non-monotone sparkline: %q", s)
+		}
+	}
+}
+
+func TestSparkEdgeCases(t *testing.T) {
+	if Spark(nil) != "" {
+		t.Fatal("empty input should give empty string")
+	}
+	flat := Spark([]float64{5, 5, 5})
+	if flat != "▁▁▁" {
+		t.Fatalf("flat series = %q", flat)
+	}
+}
+
+func TestPlotRendersSeries(t *testing.T) {
+	line := Line{Name: "demand", Values: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}
+	out := Plot([]Line{line}, 20, 6)
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	if !strings.Contains(out, "demand") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("series marks missing")
+	}
+	// Axis labels include the data range.
+	if !strings.Contains(out, "10.0") || !strings.Contains(out, "1.0") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6+2 { // height rows + axis + legend
+		t.Fatalf("line count = %d", len(lines))
+	}
+}
+
+func TestPlotMultipleSeries(t *testing.T) {
+	a := Line{Name: "a", Values: []float64{1, 1, 1, 1}}
+	b := Line{Name: "b", Values: []float64{4, 4, 4, 4}}
+	out := Plot([]Line{a, b}, 16, 5)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("auto-assigned runes missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("legend incomplete")
+	}
+}
+
+func TestPlotDegenerateInputs(t *testing.T) {
+	if Plot(nil, 20, 5) != "" {
+		t.Fatal("no lines should give empty")
+	}
+	if Plot([]Line{{Name: "x"}}, 2, 5) != "" {
+		t.Fatal("tiny width should give empty")
+	}
+	if Plot([]Line{{Name: "x"}}, 20, 1) != "" {
+		t.Fatal("tiny height should give empty")
+	}
+	// Flat series still renders.
+	out := Plot([]Line{{Name: "flat", Values: []float64{3, 3, 3}}}, 16, 4)
+	if out == "" {
+		t.Fatal("flat series should render")
+	}
+}
+
+func TestResample(t *testing.T) {
+	// Downsampling averages buckets.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	out := resample(vals, 10)
+	if len(out) != 10 {
+		t.Fatalf("length = %d", len(out))
+	}
+	if math.Abs(out[0]-4.5) > 1e-9 {
+		t.Fatalf("bucket 0 mean = %v, want 4.5", out[0])
+	}
+	// Upsampling pads with NaN.
+	short := resample([]float64{1, 2}, 5)
+	if short[0] != 1 || short[1] != 2 || !math.IsNaN(short[4]) {
+		t.Fatalf("short resample wrong: %v", short)
+	}
+	empty := resample(nil, 3)
+	for _, v := range empty {
+		if !math.IsNaN(v) {
+			t.Fatal("empty resample should be NaN-padded")
+		}
+	}
+}

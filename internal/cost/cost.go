@@ -1,0 +1,149 @@
+// Package cost adds the capital-expenditure dimension the paper gestures at
+// but does not model: it prices a datacenter design's renewable farms
+// (per installed watt), battery (per kWh — the paper cites $350/kWh for
+// utility-scale storage), and extra servers, enabling carbon-versus-cost
+// trade-off analysis on top of Carbon Explorer's carbon-versus-carbon one.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"carbonexplorer/internal/explorer"
+)
+
+// Params holds capital-cost assumptions in dollars.
+type Params struct {
+	// SolarPerWatt is installed utility solar cost, $/W.
+	SolarPerWatt float64
+	// WindPerWatt is installed onshore wind cost, $/W.
+	WindPerWatt float64
+	// BatteryPerKWh is utility-scale battery cost, $/kWh (paper: $350).
+	BatteryPerKWh float64
+	// ServerUnit is the cost of one server, $.
+	ServerUnit float64
+	// ServerPowerKW converts extra capacity (MW) into server count; keep
+	// consistent with the embodied model's figure.
+	ServerPowerKW float64
+}
+
+// Default returns early-2020s utility-scale figures: $1.0/W solar, $1.35/W
+// wind, the paper's $350/kWh battery, and a $12k dual-socket server at
+// 0.3 kW provisioned.
+func Default() Params {
+	return Params{
+		SolarPerWatt:  1.00,
+		WindPerWatt:   1.35,
+		BatteryPerKWh: 350,
+		ServerUnit:    12000,
+		ServerPowerKW: 0.3,
+	}
+}
+
+// Validate reports the first invalid field, or nil.
+func (p Params) Validate() error {
+	switch {
+	case p.SolarPerWatt < 0 || p.WindPerWatt < 0:
+		return fmt.Errorf("cost: negative renewable cost")
+	case p.BatteryPerKWh < 0:
+		return fmt.Errorf("cost: negative battery cost")
+	case p.ServerUnit < 0:
+		return fmt.Errorf("cost: negative server cost")
+	case p.ServerPowerKW <= 0:
+		return fmt.Errorf("cost: server power must be positive")
+	}
+	return nil
+}
+
+// Breakdown is a design's capital expenditure in dollars.
+type Breakdown struct {
+	Wind    float64
+	Solar   float64
+	Battery float64
+	Servers float64
+}
+
+// Total returns the summed capex.
+func (b Breakdown) Total() float64 { return b.Wind + b.Solar + b.Battery + b.Servers }
+
+// DesignCapex prices a design. peakDemandMW converts the design's extra
+// capacity fraction into MW of servers.
+func (p Params) DesignCapex(d explorer.Design, peakDemandMW float64) (Breakdown, error) {
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if err := d.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	var b Breakdown
+	b.Wind = d.WindMW * 1e6 * p.WindPerWatt
+	b.Solar = d.SolarMW * 1e6 * p.SolarPerWatt
+	b.Battery = d.BatteryMWh * 1000 * p.BatteryPerKWh
+	if d.FlexibleRatio > 0 && d.ExtraCapacityFrac > 0 {
+		extraMW := d.ExtraCapacityFrac * peakDemandMW
+		servers := math.Ceil(extraMW / (p.ServerPowerKW / 1000))
+		b.Servers = servers * p.ServerUnit
+	}
+	return b, nil
+}
+
+// Point pairs an evaluated design with its capex, for cost-carbon Pareto
+// analysis.
+type Point struct {
+	Outcome explorer.Outcome
+	Capex   Breakdown
+}
+
+// Attach prices every outcome.
+func (p Params) Attach(points []explorer.Outcome, peakDemandMW float64) ([]Point, error) {
+	out := make([]Point, len(points))
+	for i, o := range points {
+		bd, err := p.DesignCapex(o.Design, peakDemandMW)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Point{Outcome: o, Capex: bd}
+	}
+	return out, nil
+}
+
+// ParetoCostCarbon extracts points not dominated in (capex, total carbon):
+// no other point is both cheaper and lower-carbon. Sorted by increasing
+// capex.
+func ParetoCostCarbon(points []Point) []Point {
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Capex.Total() != sorted[j].Capex.Total() {
+			return sorted[i].Capex.Total() < sorted[j].Capex.Total()
+		}
+		return sorted[i].Outcome.Total() < sorted[j].Outcome.Total()
+	})
+	var frontier []Point
+	best := math.Inf(1)
+	for _, pt := range sorted {
+		if float64(pt.Outcome.Total()) < best {
+			frontier = append(frontier, pt)
+			best = float64(pt.Outcome.Total())
+		}
+	}
+	return frontier
+}
+
+// CheapestAtCoverage returns the lowest-capex point achieving at least the
+// given coverage, and whether any point qualifies.
+func CheapestAtCoverage(points []Point, coveragePct float64) (Point, bool) {
+	var best Point
+	found := false
+	for _, pt := range points {
+		if pt.Outcome.CoveragePct < coveragePct {
+			continue
+		}
+		if !found || pt.Capex.Total() < best.Capex.Total() {
+			best = pt
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,157 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/units"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.SolarPerWatt = -1 },
+		func(p *Params) { p.WindPerWatt = -1 },
+		func(p *Params) { p.BatteryPerKWh = -1 },
+		func(p *Params) { p.ServerUnit = -1 },
+		func(p *Params) { p.ServerPowerKW = 0 },
+	}
+	for i, mutate := range bad {
+		p := Default()
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestDesignCapex(t *testing.T) {
+	p := Default()
+	d := explorer.Design{
+		WindMW: 100, SolarMW: 200, BatteryMWh: 400, DoD: 1.0,
+		FlexibleRatio: 0.4, ExtraCapacityFrac: 0.5,
+	}
+	b, err := p.DesignCapex(d, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Wind-100e6*1.35) > 1 {
+		t.Errorf("wind capex = %v", b.Wind)
+	}
+	if math.Abs(b.Solar-200e6*1.00) > 1 {
+		t.Errorf("solar capex = %v", b.Solar)
+	}
+	// 400 MWh × 1000 kWh × $350 = $140M — the paper's "small fraction of a
+	// billions-of-dollars datacenter".
+	if math.Abs(b.Battery-140e6) > 1 {
+		t.Errorf("battery capex = %v", b.Battery)
+	}
+	// 10 MW extra at 0.3 kW/server = 33,334 servers × $12k.
+	if math.Abs(b.Servers-33334*12000) > 1 {
+		t.Errorf("server capex = %v", b.Servers)
+	}
+	if math.Abs(b.Total()-(b.Wind+b.Solar+b.Battery+b.Servers)) > 1e-6 {
+		t.Errorf("total inconsistent")
+	}
+}
+
+func TestDesignCapexNoCASNoServers(t *testing.T) {
+	p := Default()
+	b, err := p.DesignCapex(explorer.Design{WindMW: 10, ExtraCapacityFrac: 0}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Servers != 0 {
+		t.Fatalf("no CAS should cost no servers")
+	}
+}
+
+func TestDesignCapexRejectsInvalid(t *testing.T) {
+	p := Default()
+	if _, err := p.DesignCapex(explorer.Design{WindMW: -1}, 20); err == nil {
+		t.Fatal("invalid design should error")
+	}
+	bad := Default()
+	bad.ServerPowerKW = 0
+	if _, err := bad.DesignCapex(explorer.Design{}, 20); err == nil {
+		t.Fatal("invalid params should error")
+	}
+}
+
+func mkPoint(capexMW float64, carbonKt, coverage float64) Point {
+	return Point{
+		Outcome: explorer.Outcome{
+			Operational: units.FromTonnesCO2(carbonKt * 1000),
+			CoveragePct: coverage,
+		},
+		Capex: Breakdown{Wind: capexMW * 1e6},
+	}
+}
+
+func TestParetoCostCarbon(t *testing.T) {
+	points := []Point{
+		mkPoint(10, 100, 50), // frontier: cheapest
+		mkPoint(20, 60, 70),  // frontier
+		mkPoint(25, 80, 60),  // dominated by (20, 60)
+		mkPoint(40, 20, 95),  // frontier
+		mkPoint(50, 20, 96),  // dominated (same carbon, pricier)
+	}
+	f := ParetoCostCarbon(points)
+	if len(f) != 3 {
+		t.Fatalf("frontier size = %d, want 3", len(f))
+	}
+	for i := 1; i < len(f); i++ {
+		if f[i].Capex.Total() < f[i-1].Capex.Total() {
+			t.Fatalf("frontier not sorted by capex")
+		}
+		if f[i].Outcome.Total() >= f[i-1].Outcome.Total() {
+			t.Fatalf("frontier carbon not strictly decreasing")
+		}
+	}
+}
+
+func TestCheapestAtCoverage(t *testing.T) {
+	points := []Point{
+		mkPoint(10, 100, 50),
+		mkPoint(20, 60, 92),
+		mkPoint(40, 20, 95),
+	}
+	best, ok := CheapestAtCoverage(points, 90)
+	if !ok {
+		t.Fatal("should find a qualifying point")
+	}
+	if best.Capex.Total() != 20e6 {
+		t.Fatalf("cheapest at 90%% = %v", best.Capex.Total())
+	}
+	if _, ok := CheapestAtCoverage(points, 99); ok {
+		t.Fatal("no point reaches 99%")
+	}
+	if _, ok := CheapestAtCoverage(nil, 1); ok {
+		t.Fatal("empty input should not find anything")
+	}
+}
+
+func TestAttach(t *testing.T) {
+	p := Default()
+	outcomes := []explorer.Outcome{
+		{Design: explorer.Design{WindMW: 10}},
+		{Design: explorer.Design{SolarMW: 5}},
+	}
+	pts, err := p.Attach(outcomes, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Capex.Wind == 0 || pts[1].Capex.Solar == 0 {
+		t.Fatalf("attach wrong: %+v", pts)
+	}
+	bad := []explorer.Outcome{{Design: explorer.Design{WindMW: -1}}}
+	if _, err := p.Attach(bad, 20); err == nil {
+		t.Fatal("invalid design should error")
+	}
+}

@@ -1,0 +1,109 @@
+package dcload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+// This file is the demand-side counterpart to internal/eiacsv: it loads
+// measured datacenter power traces from CSV so real production data can
+// replace the synthetic demand model.
+//
+// Schema (header required):
+//
+//	hour,power_mw
+
+// LoadPowerCSV parses an hourly datacenter power trace. Hours must be
+// sequential from zero; power must be non-negative.
+func LoadPowerCSV(r io.Reader) (timeseries.Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return timeseries.Series{}, fmt.Errorf("dcload: %w", err)
+	}
+	if len(rows) == 0 {
+		return timeseries.Series{}, fmt.Errorf("dcload: empty input")
+	}
+	if rows[0][0] != "hour" || rows[0][1] != "power_mw" {
+		return timeseries.Series{}, fmt.Errorf("dcload: unexpected header %v", rows[0])
+	}
+	rows = rows[1:]
+	if len(rows) == 0 {
+		return timeseries.Series{}, fmt.Errorf("dcload: no data rows")
+	}
+	out := timeseries.New(len(rows))
+	for i, row := range rows {
+		hour, err := strconv.Atoi(row[0])
+		if err != nil {
+			return timeseries.Series{}, fmt.Errorf("dcload: row %d: bad hour %q", i+1, row[0])
+		}
+		if hour != i {
+			return timeseries.Series{}, fmt.Errorf("dcload: row %d: hour %d out of sequence", i+1, hour)
+		}
+		p, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return timeseries.Series{}, fmt.Errorf("dcload: row %d: bad power %q", i+1, row[1])
+		}
+		if p < 0 {
+			return timeseries.Series{}, fmt.Errorf("dcload: row %d: negative power %v", i+1, p)
+		}
+		out.Set(i, p)
+	}
+	return out, nil
+}
+
+// WritePowerCSV serializes an hourly power trace in the LoadPowerCSV
+// schema.
+func WritePowerCSV(w io.Writer, power timeseries.Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"hour", "power_mw"}); err != nil {
+		return fmt.Errorf("dcload: writing header: %w", err)
+	}
+	for h := 0; h < power.Len(); h++ {
+		row := []string{strconv.Itoa(h), strconv.FormatFloat(power.At(h), 'f', 4, 64)}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dcload: writing hour %d: %w", h, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TraceFromPower reconstructs a Trace from a measured power series using
+// the linear power model: the fleet capacity is taken as the observed peak
+// (peak utilization is treated as 1), and utilization is back-solved from
+// P = capacity·(idle + (1−idle)·util). Power below the idle floor clamps to
+// zero utilization.
+func TraceFromPower(power timeseries.Series, idleFraction float64) (Trace, error) {
+	if power.Len() == 0 {
+		return Trace{}, fmt.Errorf("dcload: empty power series")
+	}
+	if idleFraction < 0 || idleFraction >= 1 {
+		return Trace{}, fmt.Errorf("dcload: idle fraction %v out of [0, 1)", idleFraction)
+	}
+	capacity := power.MaxValue()
+	if capacity <= 0 {
+		return Trace{}, fmt.Errorf("dcload: power trace is all zero")
+	}
+	util := power.Map(func(p float64) float64 {
+		u := (p/capacity - idleFraction) / (1 - idleFraction)
+		if u < 0 {
+			return 0
+		}
+		if u > 1 {
+			return 1
+		}
+		return u
+	})
+	return Trace{
+		Util:         util,
+		Power:        power.Clone(),
+		CapacityMW:   capacity,
+		IdleFraction: idleFraction,
+	}, nil
+}

@@ -1,0 +1,183 @@
+// Package dcload models hyperscale datacenter power demand. It substitutes
+// for the Meta production traces the paper consumes, reproducing their
+// published shape (Section 3.1): CPU utilization swings about 20 percentage
+// points over the day, while datacenter power — a linear function of
+// utilization with a large idle intercept — swings only about 4% between its
+// daily maximum and minimum. Weekly patterns, special-event peaks, and noise
+// are layered on top.
+package dcload
+
+import (
+	"fmt"
+	"math"
+
+	"carbonexplorer/internal/stats"
+	"carbonexplorer/internal/synth"
+	"carbonexplorer/internal/timeseries"
+)
+
+// Params configures the demand model for one datacenter.
+type Params struct {
+	// AvgPowerMW is the target average power draw.
+	AvgPowerMW float64
+	// MeanUtil is the average CPU utilization in [0, 1].
+	MeanUtil float64
+	// UtilSwing is the peak-to-trough diurnal utilization swing (paper:
+	// about 0.20 for an average Meta datacenter).
+	UtilSwing float64
+	// IdleFraction is the fraction of peak power drawn at zero utilization.
+	// The high default (~0.84) reflects that at datacenter scale much of
+	// the power (cooling, networking, storage, DRAM refresh) does not track
+	// CPU load, which is what compresses a 20-point utilization swing into
+	// the paper's ~4% power swing.
+	IdleFraction float64
+	// WeekendDip is the fractional utilization reduction on weekends.
+	WeekendDip float64
+	// EventsPerYear is the expected number of special-event/holiday demand
+	// peaks.
+	EventsPerYear float64
+	// NoiseStdDev is the hourly multiplicative noise on utilization.
+	NoiseStdDev float64
+	// Seed isolates the model's random stream.
+	Seed uint64
+}
+
+// DefaultParams returns the paper-calibrated demand model for a datacenter
+// with the given average power.
+func DefaultParams(avgPowerMW float64) Params {
+	return Params{
+		AvgPowerMW:    avgPowerMW,
+		MeanUtil:      0.55,
+		UtilSwing:     0.20,
+		IdleFraction:  0.84,
+		WeekendDip:    0.05,
+		EventsPerYear: 8,
+		NoiseStdDev:   0.015,
+		Seed:          42,
+	}
+}
+
+// Validate reports the first implausible parameter, or nil.
+func (p Params) Validate() error {
+	switch {
+	case p.AvgPowerMW <= 0:
+		return fmt.Errorf("dcload: average power must be positive")
+	case p.MeanUtil <= 0 || p.MeanUtil >= 1:
+		return fmt.Errorf("dcload: mean utilization %v out of (0, 1)", p.MeanUtil)
+	case p.UtilSwing < 0 || p.MeanUtil+p.UtilSwing/2 > 1 || p.MeanUtil-p.UtilSwing/2 < 0:
+		return fmt.Errorf("dcload: utilization swing %v incompatible with mean %v", p.UtilSwing, p.MeanUtil)
+	case p.IdleFraction < 0 || p.IdleFraction >= 1:
+		return fmt.Errorf("dcload: idle fraction %v out of [0, 1)", p.IdleFraction)
+	}
+	return nil
+}
+
+// Trace is one simulated demand trace: hourly CPU utilization and the
+// corresponding hourly power draw.
+type Trace struct {
+	// Util is hourly fleet CPU utilization in [0, 1].
+	Util timeseries.Series
+	// Power is hourly power draw in MW.
+	Power timeseries.Series
+	// CapacityMW is the fleet's provisioned power at 100% utilization; it
+	// is the natural P_DCMAX reference for the carbon-aware scheduler.
+	CapacityMW float64
+	// IdleFraction echoes the power model's intercept for PowerAt.
+	IdleFraction float64
+}
+
+// Generate simulates hours of demand. The result is deterministic in
+// p.Seed.
+func Generate(p Params, hours int) (Trace, error) {
+	if err := p.Validate(); err != nil {
+		return Trace{}, err
+	}
+	rng := synth.NewRNG(p.Seed)
+	eventRNG := rng.Fork()
+
+	util := timeseries.New(hours)
+	eventRemaining, eventBoost := 0, 0.0
+	pEvent := p.EventsPerYear / float64(timeseries.HoursPerYear)
+	for h := 0; h < hours; h++ {
+		hour := h % 24
+		weekday := (h / 24) % 7
+		// Diurnal utilization: trough in the early morning, peak in the
+		// evening (paper Figure 3 left).
+		diurnal := p.UtilSwing / 2 * math.Sin(2*math.Pi*(float64(hour)-10)/24)
+		u := p.MeanUtil + diurnal
+		if weekday >= 5 {
+			u -= p.WeekendDip
+		}
+		if eventRemaining > 0 {
+			u += eventBoost
+			eventRemaining--
+		} else if eventRNG.Float64() < pEvent {
+			eventRemaining = 6 + int(eventRNG.Float64()*18)
+			eventBoost = 0.05 + 0.08*eventRNG.Float64()
+		}
+		u *= 1 + p.NoiseStdDev*rng.NormFloat64()
+		if u < 0.01 {
+			u = 0.01
+		}
+		if u > 0.99 {
+			u = 0.99
+		}
+		util.Set(h, u)
+	}
+
+	// Fleet power: P(h) = Capacity * (idle + (1-idle)·util(h)). Capacity is
+	// solved so mean power hits the target.
+	meanFactor := p.IdleFraction + (1-p.IdleFraction)*util.Mean()
+	capacity := p.AvgPowerMW / meanFactor
+	power := util.Map(func(u float64) float64 {
+		return capacity * (p.IdleFraction + (1-p.IdleFraction)*u)
+	})
+	return Trace{Util: util, Power: power, CapacityMW: capacity, IdleFraction: p.IdleFraction}, nil
+}
+
+// PowerAt converts a utilization level into fleet power in MW using the
+// trace's linear power model — the energy-proportionality curve of the
+// paper's Figure 3 (right).
+func (t Trace) PowerAt(util float64) float64 {
+	return t.CapacityMW * (t.IdleFraction + (1-t.IdleFraction)*util)
+}
+
+// DailyPowerSwing returns the average over days of
+// (max−min)/max daily power — the paper's ~4% statistic.
+func (t Trace) DailyPowerSwing() float64 {
+	days := t.Power.Days()
+	if days == 0 {
+		return 0
+	}
+	total := 0.0
+	for d := 0; d < days; d++ {
+		day := t.Power.Day(d)
+		max := day.MaxValue()
+		if max > 0 {
+			total += (max - day.MinValue()) / max
+		}
+	}
+	return total / float64(days)
+}
+
+// DailyUtilSwing returns the average over days of max−min utilization (in
+// utilization points) — the paper's ~20% statistic.
+func (t Trace) DailyUtilSwing() float64 {
+	days := t.Util.Days()
+	if days == 0 {
+		return 0
+	}
+	total := 0.0
+	for d := 0; d < days; d++ {
+		day := t.Util.Day(d)
+		total += day.MaxValue() - day.MinValue()
+	}
+	return total / float64(days)
+}
+
+// UtilPowerCorrelation returns the Pearson correlation between utilization
+// and power; by construction of the linear model it should be ~1, matching
+// the tight correlation of the paper's Figure 3 (right).
+func (t Trace) UtilPowerCorrelation() float64 {
+	return stats.Pearson(t.Util.Values(), t.Power.Values())
+}

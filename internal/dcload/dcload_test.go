@@ -1,0 +1,173 @@
+package dcload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+func yearTrace(t *testing.T, avgMW float64) Trace {
+	t.Helper()
+	tr, err := Generate(DefaultParams(avgMW), timeseries.HoursPerYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAveragePowerMatchesTarget(t *testing.T) {
+	tr := yearTrace(t, 73)
+	if got := tr.Power.Mean(); math.Abs(got-73)/73 > 0.02 {
+		t.Fatalf("average power = %v MW, want ~73", got)
+	}
+}
+
+func TestUtilizationSwingNear20Points(t *testing.T) {
+	tr := yearTrace(t, 50)
+	swing := tr.DailyUtilSwing()
+	if swing < 0.15 || swing > 0.30 {
+		t.Fatalf("daily utilization swing = %v, want ~0.20", swing)
+	}
+}
+
+func TestPowerSwingNear4Percent(t *testing.T) {
+	// Paper: at datacenter scale the max-min energy demand difference is
+	// around 4% on average.
+	tr := yearTrace(t, 50)
+	swing := tr.DailyPowerSwing()
+	if swing < 0.02 || swing > 0.08 {
+		t.Fatalf("daily power swing = %v, want ~0.04", swing)
+	}
+}
+
+func TestUtilPowerCorrelation(t *testing.T) {
+	tr := yearTrace(t, 30)
+	if corr := tr.UtilPowerCorrelation(); corr < 0.99 {
+		t.Fatalf("util-power correlation = %v, want ~1 (linear model)", corr)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	tr := yearTrace(t, 40)
+	if tr.Util.MinValue() < 0 || tr.Util.MaxValue() > 1 {
+		t.Fatalf("utilization out of [0,1]: [%v, %v]", tr.Util.MinValue(), tr.Util.MaxValue())
+	}
+}
+
+func TestPowerAboveIdleFloor(t *testing.T) {
+	tr := yearTrace(t, 40)
+	floor := tr.CapacityMW * tr.IdleFraction
+	if tr.Power.MinValue() < floor-1e-9 {
+		t.Fatalf("power %v below idle floor %v", tr.Power.MinValue(), floor)
+	}
+	if tr.Power.MaxValue() > tr.CapacityMW+1e-9 {
+		t.Fatalf("power %v above capacity %v", tr.Power.MaxValue(), tr.CapacityMW)
+	}
+}
+
+func TestPowerAt(t *testing.T) {
+	tr := yearTrace(t, 40)
+	if got, want := tr.PowerAt(0), tr.CapacityMW*tr.IdleFraction; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PowerAt(0) = %v, want idle %v", got, want)
+	}
+	if got := tr.PowerAt(1); math.Abs(got-tr.CapacityMW) > 1e-9 {
+		t.Fatalf("PowerAt(1) = %v, want capacity %v", got, tr.CapacityMW)
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	// Evening utilization should exceed early-morning utilization.
+	tr := yearTrace(t, 40)
+	avg := tr.Util.AverageDay()
+	if avg.At(16) <= avg.At(4) {
+		t.Fatalf("evening util %v should exceed 4am util %v", avg.At(16), avg.At(4))
+	}
+}
+
+func TestWeekendDip(t *testing.T) {
+	tr := yearTrace(t, 40)
+	var weekday, weekend float64
+	var nWeekday, nWeekend int
+	for d := 0; d < tr.Util.Days(); d++ {
+		mean := tr.Util.Day(d).Mean()
+		if d%7 >= 5 {
+			weekend += mean
+			nWeekend++
+		} else {
+			weekday += mean
+			nWeekday++
+		}
+	}
+	if weekend/float64(nWeekend) >= weekday/float64(nWeekday) {
+		t.Fatalf("weekend utilization should dip below weekday")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := yearTrace(t, 25)
+	b := yearTrace(t, 25)
+	if !a.Power.Equal(b.Power, 0) || !a.Util.Equal(b.Util, 0) {
+		t.Fatalf("trace not deterministic")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.AvgPowerMW = 0 },
+		func(p *Params) { p.MeanUtil = 0 },
+		func(p *Params) { p.MeanUtil = 1.2 },
+		func(p *Params) { p.UtilSwing = 1.5 },
+		func(p *Params) { p.IdleFraction = 1 },
+		func(p *Params) { p.IdleFraction = -0.1 },
+	}
+	for i, mutate := range bad {
+		p := DefaultParams(40)
+		mutate(&p)
+		if _, err := Generate(p, 48); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestEmptyTraceStats(t *testing.T) {
+	var tr Trace
+	tr.Util = timeseries.New(0)
+	tr.Power = timeseries.New(0)
+	if tr.DailyPowerSwing() != 0 || tr.DailyUtilSwing() != 0 {
+		t.Fatalf("empty trace swings should be zero")
+	}
+}
+
+func TestPropertyPowerMonotonicInUtil(t *testing.T) {
+	tr := yearTrace(t, 40)
+	f := func(a, b uint8) bool {
+		u1, u2 := float64(a)/255, float64(b)/255
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		return tr.PowerAt(u1) <= tr.PowerAt(u2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAvgPowerScales(t *testing.T) {
+	// Doubling the target average power doubles the trace.
+	f := func(raw uint8) bool {
+		avg := 10 + float64(raw%64)
+		p1 := DefaultParams(avg)
+		p2 := DefaultParams(2 * avg)
+		t1, err1 := Generate(p1, 24*30)
+		t2, err2 := Generate(p2, 24*30)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(t2.Power.Mean()-2*t1.Power.Mean()) < 1e-6*t2.Power.Mean()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package dcload
+
+import (
+	"fmt"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+// PUEModel converts IT power into facility power via a temperature-dependent
+// power usage effectiveness. Hyperscale facilities run near PUE 1.1 with
+// free-air economizers; above the economizer threshold mechanical cooling
+// kicks in and overhead rises with outdoor temperature. Because hot
+// afternoons coincide with both peak solar supply and peak cooling load,
+// PUE seasonality interacts non-trivially with renewable coverage — which
+// is why Carbon Explorer models it rather than assuming a constant.
+type PUEModel struct {
+	// BasePUE is the overhead with free cooling (economizer mode).
+	BasePUE float64
+	// ThresholdC is the outdoor temperature above which mechanical cooling
+	// engages.
+	ThresholdC float64
+	// PerDegreeC is the PUE increase per °C above the threshold.
+	PerDegreeC float64
+	// MaxPUE caps the overhead on extreme days.
+	MaxPUE float64
+}
+
+// DefaultPUEModel returns a modern hyperscale facility: PUE 1.08 in free
+// cooling, +0.01/°C above 18 °C, capped at 1.45.
+func DefaultPUEModel() PUEModel {
+	return PUEModel{BasePUE: 1.08, ThresholdC: 18, PerDegreeC: 0.01, MaxPUE: 1.45}
+}
+
+// Validate reports the first implausible field, or nil.
+func (m PUEModel) Validate() error {
+	switch {
+	case m.BasePUE < 1:
+		return fmt.Errorf("dcload: base PUE %v below 1", m.BasePUE)
+	case m.PerDegreeC < 0:
+		return fmt.Errorf("dcload: negative PUE slope")
+	case m.MaxPUE < m.BasePUE:
+		return fmt.Errorf("dcload: max PUE %v below base %v", m.MaxPUE, m.BasePUE)
+	}
+	return nil
+}
+
+// At returns the PUE at the given outdoor temperature.
+func (m PUEModel) At(tempC float64) float64 {
+	pue := m.BasePUE
+	if tempC > m.ThresholdC {
+		pue += m.PerDegreeC * (tempC - m.ThresholdC)
+	}
+	if pue > m.MaxPUE {
+		pue = m.MaxPUE
+	}
+	return pue
+}
+
+// ApplyPUE scales an hourly IT-power series into facility power using the
+// hourly outdoor temperature. Series must be equal length.
+func ApplyPUE(itPower, tempC timeseries.Series, m PUEModel) (timeseries.Series, error) {
+	if err := m.Validate(); err != nil {
+		return timeseries.Series{}, err
+	}
+	if itPower.Len() != tempC.Len() {
+		return timeseries.Series{}, fmt.Errorf("dcload: power length %d != temperature length %d", itPower.Len(), tempC.Len())
+	}
+	out := timeseries.New(itPower.Len())
+	for h := 0; h < itPower.Len(); h++ {
+		out.Set(h, itPower.At(h)*m.At(tempC.At(h)))
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package dcload
+
+import (
+	"math"
+	"testing"
+
+	"carbonexplorer/internal/synth"
+	"carbonexplorer/internal/timeseries"
+)
+
+func TestPUEModelAt(t *testing.T) {
+	m := DefaultPUEModel()
+	if got := m.At(10); got != m.BasePUE {
+		t.Fatalf("cold-weather PUE = %v, want base %v", got, m.BasePUE)
+	}
+	if got := m.At(28); math.Abs(got-(1.08+0.01*10)) > 1e-12 {
+		t.Fatalf("28C PUE = %v", got)
+	}
+	if got := m.At(200); got != m.MaxPUE {
+		t.Fatalf("extreme PUE should cap: %v", got)
+	}
+}
+
+func TestPUEValidation(t *testing.T) {
+	bad := []PUEModel{
+		{BasePUE: 0.9, MaxPUE: 2},
+		{BasePUE: 1.1, PerDegreeC: -1, MaxPUE: 2},
+		{BasePUE: 1.3, MaxPUE: 1.1},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+	if err := DefaultPUEModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyPUE(t *testing.T) {
+	it := timeseries.Constant(48, 10)
+	temp := timeseries.Generate(48, func(h int) float64 {
+		if h < 24 {
+			return 10 // free cooling
+		}
+		return 30 // mechanical cooling
+	})
+	m := DefaultPUEModel()
+	total, err := ApplyPUE(it, temp, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := total.At(0); math.Abs(got-10*1.08) > 1e-12 {
+		t.Fatalf("cold-hour facility power = %v", got)
+	}
+	if got := total.At(30); math.Abs(got-10*m.At(30)) > 1e-12 {
+		t.Fatalf("hot-hour facility power = %v", got)
+	}
+	if total.At(30) <= total.At(0) {
+		t.Fatalf("hot hours must cost more cooling")
+	}
+}
+
+func TestApplyPUEValidation(t *testing.T) {
+	if _, err := ApplyPUE(timeseries.New(5), timeseries.New(4), DefaultPUEModel()); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := ApplyPUE(timeseries.New(5), timeseries.New(5), PUEModel{BasePUE: 0.5, MaxPUE: 1}); err == nil {
+		t.Fatal("invalid model should error")
+	}
+}
+
+func TestTemperatureModelShape(t *testing.T) {
+	temp := synth.Temperature(synth.DefaultTemperatureParams(), timeseries.HoursPerYear)
+	// Summer (around day 205) hotter than winter (around day 20).
+	summer := temp.Slice(200*24, 210*24).Mean()
+	winter := temp.Slice(15*24, 25*24).Mean()
+	if summer <= winter+10 {
+		t.Fatalf("summer %v should be well above winter %v", summer, winter)
+	}
+	// Afternoon hotter than pre-dawn on average.
+	avg := temp.AverageDay()
+	if avg.At(15) <= avg.At(4) {
+		t.Fatalf("diurnal shape wrong: 3pm %v vs 4am %v", avg.At(15), avg.At(4))
+	}
+	// Deterministic.
+	again := synth.Temperature(synth.DefaultTemperatureParams(), timeseries.HoursPerYear)
+	if !temp.Equal(again, 0) {
+		t.Fatalf("temperature model not deterministic")
+	}
+}
+
+func TestSeasonalPUEInteractsWithCoverage(t *testing.T) {
+	// Facility power with seasonal PUE peaks in hot afternoons — exactly
+	// when solar peaks — so against a solar-heavy supply the coverage hit
+	// from cooling overhead is partially self-compensating. This test just
+	// pins the mechanics: facility energy exceeds IT energy, by a summer-
+	// weighted margin.
+	it, err := Generate(DefaultParams(20), timeseries.HoursPerYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp := synth.Temperature(synth.DefaultTemperatureParams(), timeseries.HoursPerYear)
+	facility, err := ApplyPUE(it.Power, temp, DefaultPUEModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := facility.Sum() / it.Power.Sum()
+	if overhead < 1.08 || overhead > 1.3 {
+		t.Fatalf("annual PUE = %v, implausible", overhead)
+	}
+	// Summer overhead above winter overhead.
+	sum := func(s timeseries.Series, d0, d1 int) float64 { return s.Slice(d0*24, d1*24).Sum() }
+	summerPUE := sum(facility, 190, 220) / sum(it.Power, 190, 220)
+	winterPUE := sum(facility, 10, 40) / sum(it.Power, 10, 40)
+	if summerPUE <= winterPUE {
+		t.Fatalf("summer PUE %v should exceed winter %v", summerPUE, winterPUE)
+	}
+}

@@ -1,0 +1,140 @@
+// Package eiacsv reads and writes hourly grid data in a CSV schema modelled
+// on the EIA Hourly Grid Monitor exports the paper consumes. It lets users
+// replace Carbon Explorer's synthetic grid years with real data: write a
+// synthetic year to CSV to inspect it, or read a CSV (converted from an EIA
+// export) to drive the explorer with measured generation.
+//
+// Schema (one row per hour, header required):
+//
+//	hour,demand_mw,wind_mw,solar_mw,water_mw,oil_mw,natural_gas_mw,coal_mw,nuclear_mw,other_mw,curtailed_mw,potential_wind_mw,potential_solar_mw
+//
+// The potential_* columns are pre-curtailment weather-driven generation,
+// used when projecting datacenter PPA investments. When converting real EIA
+// exports (which report dispatched generation only), set them equal to the
+// wind_mw/solar_mw columns.
+package eiacsv
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/timeseries"
+)
+
+// header is the canonical column order.
+var header = []string{
+	"hour", "demand_mw",
+	"wind_mw", "solar_mw", "water_mw", "oil_mw",
+	"natural_gas_mw", "coal_mw", "nuclear_mw", "other_mw",
+	"curtailed_mw", "potential_wind_mw", "potential_solar_mw",
+}
+
+// columnSources maps CSV generation columns (by position after demand) to
+// carbon sources, in header order.
+var columnSources = []carbon.Source{
+	carbon.Wind, carbon.Solar, carbon.Water, carbon.Oil,
+	carbon.NaturalGas, carbon.Coal, carbon.Nuclear, carbon.Other,
+}
+
+// Write serializes a grid year to CSV.
+func Write(w io.Writer, y *grid.Year) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eiacsv: writing header: %w", err)
+	}
+	row := make([]string, len(header))
+	for h := 0; h < y.Hours(); h++ {
+		row[0] = strconv.Itoa(h)
+		row[1] = formatMW(y.Demand.At(h))
+		for i, src := range columnSources {
+			row[2+i] = formatMW(y.BySource[src].At(h))
+		}
+		row[10] = formatMW(y.Curtailed.At(h))
+		row[11] = formatMW(y.PotentialWind.At(h))
+		row[12] = formatMW(y.PotentialSolar.At(h))
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eiacsv: writing hour %d: %w", h, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatMW(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// Read parses a CSV written by Write (or converted from an EIA export) into
+// a grid year. The returned year's Profile carries only the given code; the
+// synthetic model parameters are not reconstructed.
+func Read(r io.Reader, baCode string) (*grid.Year, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(header)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("eiacsv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("eiacsv: empty input")
+	}
+	if !equalHeader(rows[0]) {
+		return nil, fmt.Errorf("eiacsv: unexpected header %v", rows[0])
+	}
+	rows = rows[1:]
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("eiacsv: no data rows")
+	}
+
+	y := &grid.Year{Profile: grid.BAProfile{Code: baCode}}
+	y.Demand = timeseries.New(n)
+	y.Curtailed = timeseries.New(n)
+	y.PotentialWind = timeseries.New(n)
+	y.PotentialSolar = timeseries.New(n)
+	for i := range y.BySource {
+		y.BySource[i] = timeseries.New(n)
+	}
+
+	for i, row := range rows {
+		hour, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("eiacsv: row %d: bad hour %q", i+1, row[0])
+		}
+		if hour != i {
+			return nil, fmt.Errorf("eiacsv: row %d: hour %d out of sequence", i+1, hour)
+		}
+		vals := make([]float64, len(header)-1)
+		for c := 1; c < len(header); c++ {
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("eiacsv: row %d column %s: %w", i+1, header[c], err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("eiacsv: row %d column %s: negative value %v", i+1, header[c], v)
+			}
+			vals[c-1] = v
+		}
+		y.Demand.Set(i, vals[0])
+		for c, src := range columnSources {
+			y.BySource[src].Set(i, vals[1+c])
+		}
+		y.Curtailed.Set(i, vals[9])
+		y.PotentialWind.Set(i, vals[10])
+		y.PotentialSolar.Set(i, vals[11])
+	}
+	return y, nil
+}
+
+func equalHeader(row []string) bool {
+	if len(row) != len(header) {
+		return false
+	}
+	for i := range header {
+		if row[i] != header[i] {
+			return false
+		}
+	}
+	return true
+}

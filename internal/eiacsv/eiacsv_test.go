@@ -1,0 +1,93 @@
+package eiacsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/grid"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig := grid.GenerateYear(grid.MustProfile("PACE"))
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Read(&buf, "PACE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Hours() != orig.Hours() {
+		t.Fatalf("hours = %d, want %d", parsed.Hours(), orig.Hours())
+	}
+	if parsed.Profile.Code != "PACE" {
+		t.Fatalf("code = %q", parsed.Profile.Code)
+	}
+	// 3-decimal fixed formatting: tolerance 1e-3.
+	if !parsed.Demand.Equal(orig.Demand, 1e-3) {
+		t.Fatal("demand round-trip mismatch")
+	}
+	for s := range orig.BySource {
+		if !parsed.BySource[s].Equal(orig.BySource[s], 1e-3) {
+			t.Fatalf("source %v round-trip mismatch", carbon.Source(s))
+		}
+	}
+	if !parsed.Curtailed.Equal(orig.Curtailed, 1e-3) {
+		t.Fatal("curtailed round-trip mismatch")
+	}
+}
+
+func TestRoundTripPreservesDerivedStats(t *testing.T) {
+	orig := grid.GenerateYear(grid.MustProfile("DUK"))
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Read(&buf, "DUK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := orig.CarbonIntensity().Mean(), parsed.CarbonIntensity().Mean()
+	if diff := a - b; diff > 1 || diff < -1 {
+		t.Fatalf("carbon intensity drifted: %v vs %v", a, b)
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "a,b,c\n",
+		"bad hour":     strings.Join(header, ",") + "\nx,1,1,1,1,1,1,1,1,1,1,1,1\n",
+		"out of order": strings.Join(header, ",") + "\n5,1,1,1,1,1,1,1,1,1,1,1,1\n",
+		"bad value":    strings.Join(header, ",") + "\n0,zz,1,1,1,1,1,1,1,1,1,1,1\n",
+		"negative":     strings.Join(header, ",") + "\n0,-5,1,1,1,1,1,1,1,1,1,1,1\n",
+		"short row":    strings.Join(header, ",") + "\n0,1,1\n",
+		"header only":  strings.Join(header, ",") + "\n",
+	}
+	for name, input := range cases {
+		if _, err := Read(strings.NewReader(input), "X"); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadMinimalValid(t *testing.T) {
+	input := strings.Join(header, ",") + "\n" +
+		"0,100,10,5,0,0,50,30,5,0,2,12,5\n" +
+		"1,90,12,0,0,0,48,25,5,0,0,12,0\n"
+	y, err := Read(strings.NewReader(input), "TEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Hours() != 2 {
+		t.Fatalf("hours = %d", y.Hours())
+	}
+	if y.Demand.At(0) != 100 || y.BySource[carbon.Wind].At(1) != 12 {
+		t.Fatalf("values parsed wrong")
+	}
+	if y.Curtailed.At(0) != 2 {
+		t.Fatalf("curtailed parsed wrong")
+	}
+}

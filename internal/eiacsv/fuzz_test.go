@@ -1,0 +1,51 @@
+package eiacsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"carbonexplorer/internal/grid"
+)
+
+// FuzzRead exercises the CSV parser with arbitrary byte input: it must
+// either return an error or a structurally sound grid year — never panic,
+// never produce negative generation.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid document and a few near-misses.
+	var buf bytes.Buffer
+	if err := Write(&buf, grid.GenerateYear(grid.MustProfile("PNM"))); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid[:min(len(valid), 4096)])
+	f.Add(strings.Join(header, ",") + "\n0,1,1,1,1,1,1,1,1,1,1,1,1\n")
+	f.Add("hour,demand_mw\n0,5\n")
+	f.Add("")
+	f.Add(strings.Join(header, ",") + "\n0,-1,1,1,1,1,1,1,1,1,1,1,1\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		y, err := Read(strings.NewReader(input), "FZ")
+		if err != nil {
+			return
+		}
+		if y.Hours() == 0 {
+			t.Fatalf("accepted input yielded empty year")
+		}
+		if y.Demand.MinValue() < 0 || y.Curtailed.MinValue() < 0 {
+			t.Fatalf("accepted input yielded negative values")
+		}
+		for s := range y.BySource {
+			if y.BySource[s].MinValue() < 0 {
+				t.Fatalf("accepted input yielded negative generation")
+			}
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"sync"
+
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/synth"
+)
+
+// inputs are expensive to build (a full grid-year simulation per site), and
+// many experiments share sites, so they are cached for the process lifetime.
+// Evaluate treats inputs as read-only, making the cache safe to share.
+var (
+	cacheMu    sync.Mutex
+	inputCache = map[string]*explorer.Inputs{}
+)
+
+// siteInputs returns cached inputs for a site.
+func siteInputs(id string) (*explorer.Inputs, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if in, ok := inputCache[id]; ok {
+		return in, nil
+	}
+	site, err := grid.SiteByID(id)
+	if err != nil {
+		return nil, err
+	}
+	in, err := explorer.NewInputs(site)
+	if err != nil {
+		return nil, err
+	}
+	inputCache[id] = in
+	return in, nil
+}
+
+// cisoProfile is a California-ISO-like grid used by Figures 1 and 4: a
+// hybrid grid with heavy solar, meaningful wind, and a high renewable share
+// (33% in 2021 vs the 20% U.S. average), which is what makes its midday
+// oversupply and curtailment pronounced.
+func cisoProfile() grid.BAProfile {
+	return grid.BAProfile{
+		Code: "CISO", Name: "California ISO (motivating example)", Class: grid.Hybrid,
+		LatitudeDeg: 36.5,
+		WindMW:      13000, SolarMW: 32000, GasMW: 26000, CoalMW: 0, NuclearMW: 2200, HydroMW: 8000, OtherMW: 4000,
+		PeakDemandMW: 35500,
+		Wind: synth.WindParams{
+			MeanCF: 0.30, Volatility: 0.28, Reversion: 0.03,
+			CalmSpellsPerYear: 12, CalmSpellMeanHours: 30, SeasonalAmplitude: 0.2,
+		},
+		Solar: synth.SolarParams{LatitudeDeg: 36.5, Clearness: 0.75, CloudPersistence: 0.5, CloudVolatility: 0.13},
+		Seed:  201,
+	}
+}

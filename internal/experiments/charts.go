@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"carbonexplorer/internal/chart"
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/scheduler"
+)
+
+// ASCII chart renderings of the figures that are fundamentally line plots,
+// complementing the tabular generators. cmd/carbonexplorer and cmd/report
+// print these beneath the tables.
+
+// Figure01Chart plots the week of hourly wind and solar generation behind
+// Figure 1.
+func Figure01Chart() (string, error) {
+	y := grid.GenerateYear(cisoProfile())
+	start := 100 * 24
+	week := 7 * 24
+	wind := y.WindShape().Slice(start, start+week)
+	solar := y.SolarShape().Slice(start, start+week)
+	return chart.Plot([]chart.Line{
+		{Name: "wind MW", Values: wind.Values()},
+		{Name: "solar MW", Values: solar.Values()},
+	}, 96, 14), nil
+}
+
+// Figure06Chart plots the average-day hourly carbon intensity of the three
+// supply scenarios behind Figure 6.
+func Figure06Chart() (string, error) {
+	in, err := siteInputs("UT")
+	if err != nil {
+		return "", err
+	}
+	site := in.Site
+	design := explorer.Design{
+		WindMW: site.WindInvestMW, SolarMW: site.SolarInvestMW,
+		BatteryMWh: 4 * in.AvgDemandMW(), DoD: 1.0,
+		FlexibleRatio: 0.4, ExtraCapacityFrac: 0.25,
+	}
+	sc, err := in.Intensities(design)
+	if err != nil {
+		return "", err
+	}
+	return chart.Plot([]chart.Line{
+		{Name: "grid mix g/kWh", Values: sc.GridMix.AverageDay().Values()},
+		{Name: "net zero", Values: sc.NetZero.AverageDay().Values()},
+		{Name: "24/7", Values: sc.TwentyFourSeven.AverageDay().Values()},
+	}, 72, 14), nil
+}
+
+// Figure11Chart plots the three-day scheduling illustration behind
+// Figure 11: grid carbon intensity (sparkline) and load with/without CAS.
+func Figure11Chart() (string, error) {
+	in, err := siteInputs("UT")
+	if err != nil {
+		return "", err
+	}
+	const days = 3
+	start := 120 * 24
+	demand := in.Demand.Slice(start, start+days*24)
+	demand = demand.Scale(16.0 / demand.Mean())
+	signal := in.GridCI.Slice(start, start+days*24)
+	shifted, err := scheduler.ShiftDaily(demand, signal, scheduler.Config{
+		CapacityMW:    17.6,
+		FlexibleRatio: 0.10,
+		WindowHours:   24,
+	})
+	if err != nil {
+		return "", err
+	}
+	plot := chart.Plot([]chart.Line{
+		{Name: "power no CAS (MW)", Values: demand.Values()},
+		{Name: "power with CAS (MW)", Values: shifted.Values()},
+	}, 72, 12)
+	return plot + "\n grid CI: " + chart.Spark(signal.Values()) + "\n", nil
+}

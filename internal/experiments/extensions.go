@@ -1,0 +1,1193 @@
+package experiments
+
+import (
+	"fmt"
+
+	"carbonexplorer/internal/battery"
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/cost"
+	"carbonexplorer/internal/dcload"
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/fleet"
+	"carbonexplorer/internal/forecast"
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/horizon"
+	"carbonexplorer/internal/jobsim"
+	"carbonexplorer/internal/netzero"
+	"carbonexplorer/internal/scheduler"
+	"carbonexplorer/internal/stats"
+	"carbonexplorer/internal/synth"
+	"carbonexplorer/internal/timeseries"
+	"carbonexplorer/internal/workload"
+)
+
+// The studies in this file go beyond the paper's evaluation, exercising the
+// extensions its discussion section sketches: forecast-driven (online)
+// scheduling, alternative storage chemistries, and ablations of Carbon
+// Explorer's own design choices.
+
+// ForecastStudy compares carbon-aware scheduling driven by an oracle (the
+// paper's offline setting) against scheduling driven by real forecasters,
+// quantifying how much of the offline coverage gain survives prediction
+// error. It also reports each forecaster's raw accuracy on the renewable
+// supply series.
+func ForecastStudy(siteID string) (Table, error) {
+	in, err := siteInputs(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	avg := in.AvgDemandMW()
+	renewable := in.RenewableSupply(4*avg, 4*avg)
+	demand := in.Demand
+
+	baseCov, err := explorer.Coverage(demand, renewable)
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		ID:      "Forecast study (extension)",
+		Caption: fmt.Sprintf("Online vs oracle carbon-aware scheduling, %s, 40%% flexible (baseline coverage %.2f%%)", siteID, baseCov),
+		Columns: []string{"forecaster", "rmse_mw", "coverage_%", "gain_vs_no_cas_pp", "share_of_oracle_gain_%"},
+	}
+
+	cfg := scheduler.Config{
+		CapacityMW:    in.PeakDemandMW() * 1.5,
+		FlexibleRatio: 0.40,
+		WindowHours:   24,
+	}
+
+	// Oracle first: it bounds the achievable gain.
+	oracleCov, err := shiftedCoverage(demand, renewable, renewable, cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	oracleGain := oracleCov - baseCov
+
+	forecasters := []forecast.Forecaster{
+		forecast.Persistence{},
+		forecast.SeasonalMean{},
+		forecast.HoltWinters{},
+	}
+	t.AddRow("oracle", 0.0, oracleCov, oracleGain, 100.0)
+	for _, f := range forecasters {
+		predicted := rollingForecast(f, renewable)
+		cov, err := shiftedCoverage(demand, renewable, predicted, cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		acc := forecast.Evaluate(f, renewable.Values(), 14)
+		share := 0.0
+		if oracleGain > 0 {
+			share = (cov - baseCov) / oracleGain * 100
+		}
+		t.AddRow(f.Name(), acc.RMSE, cov, cov-baseCov, share)
+	}
+	return t, nil
+}
+
+// rollingForecast builds a full-year predicted series by forecasting each
+// day from the history before it; the first day falls back to actuals
+// (there is no history to predict from).
+func rollingForecast(f forecast.Forecaster, actual timeseries.Series) timeseries.Series {
+	n := actual.Len()
+	out := timeseries.New(n)
+	vals := actual.Values()
+	for h := 0; h < n && h < 24; h++ {
+		out.Set(h, vals[h])
+	}
+	for start := 24; start < n; start += 24 {
+		horizon := 24
+		if start+horizon > n {
+			horizon = n - start
+		}
+		fc := f.Forecast(vals[:start], horizon)
+		for i := 0; i < horizon; i++ {
+			out.Set(start+i, fc[i])
+		}
+	}
+	return out
+}
+
+// shiftedCoverage shifts demand against the deficit signal computed from
+// the predicted supply, then scores coverage against the actual supply.
+func shiftedCoverage(demand, actual, predicted timeseries.Series, cfg scheduler.Config) (float64, error) {
+	signal, err := scheduler.DeficitSignal(demand, predicted)
+	if err != nil {
+		return 0, err
+	}
+	shifted, err := scheduler.ShiftDaily(demand, signal, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return explorer.Coverage(shifted, actual)
+}
+
+// NetZeroStudy quantifies the gap between Net Zero accounting and 24/7
+// reality (Section 3.2): for each site at Meta's actual investment levels,
+// the annual credit ratio and the fraction of energy matched when the
+// accounting window shrinks from annual to hourly.
+func NetZeroStudy(sites []string) (Table, error) {
+	if sites == nil {
+		for _, s := range grid.Sites() {
+			sites = append(sites, s.ID)
+		}
+	}
+	t := Table{
+		ID:      "Net Zero vs 24/7 study (Section 3.2)",
+		Caption: "Credit matching at Meta's investments as the accounting window shrinks",
+		Columns: []string{"site", "annual_credit_ratio", "annual_%", "monthly_%", "daily_%", "hourly_%"},
+	}
+	for _, id := range sites {
+		in, err := siteInputs(id)
+		if err != nil {
+			return Table{}, err
+		}
+		credits := in.RenewableSupply(in.Site.WindInvestMW, in.Site.SolarInvestMW)
+		s, err := netzero.Summarize(in.Demand, credits)
+		if err != nil {
+			return Table{}, err
+		}
+		t.AddRow(id, s.AnnualMatchRatio,
+			s.ByPeriod[netzero.Annual]*100, s.ByPeriod[netzero.Monthly]*100,
+			s.ByPeriod[netzero.Daily]*100, s.ByPeriod[netzero.Hourly]*100)
+	}
+	return t, nil
+}
+
+// BatteryTechStudy compares the carbon-optimal battery designs across
+// storage chemistries for one site — the modular-technology analysis the
+// paper's Section 4.2 API anticipates (LFP vs NMC vs sodium-ion).
+func BatteryTechStudy(siteID string) (Table, error) {
+	in, err := siteInputs(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	avg := in.AvgDemandMW()
+	t := Table{
+		ID:      "Battery technology study (extension)",
+		Caption: fmt.Sprintf("Storage chemistries at wind 4x / solar 4x / battery 6h, %s", siteID),
+		Columns: []string{"chemistry", "coverage_%", "operational_t", "battery_embodied_t", "total_t"},
+	}
+	for _, tech := range battery.AllTechnologies() {
+		o, err := in.Evaluate(explorer.Design{
+			WindMW: 4 * avg, SolarMW: 4 * avg,
+			BatteryMWh: 6 * avg, DoD: 0.9, BatteryTech: tech,
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		t.AddRow(tech.String(), o.CoveragePct, o.Operational.Tonnes(),
+			o.EmbodiedBattery.Tonnes(), o.Total().Tonnes())
+	}
+	return t, nil
+}
+
+// TieredSchedulingStudy compares the paper's uniform flexible-ratio
+// scheduling against tier-aware scheduling where each Figure 10 SLO class
+// defers within its own window (±2h, ±4h, daily, weekly). The uniform 40%
+// setting approximates Borg's flexible share; the tiered setting asks what
+// changes when deferral windows reflect actual SLOs.
+func TieredSchedulingStudy(siteID string) (Table, error) {
+	in, err := siteInputs(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	avg := in.AvgDemandMW()
+	renewable := in.RenewableSupply(4*avg, 4*avg)
+	cap := in.PeakDemandMW() * 1.5
+
+	t := Table{
+		ID:      "Tiered scheduling study (extension)",
+		Caption: fmt.Sprintf("Uniform vs SLO-tiered deferral windows, %s, wind 4x / solar 4x", siteID),
+		Columns: []string{"policy", "coverage_%", "grid_energy_GWh", "forced_deadline_MWh"},
+	}
+
+	none, err := scheduler.Simulate(scheduler.SimConfig{Demand: in.Demand, Renewable: renewable})
+	if err != nil {
+		return Table{}, err
+	}
+	t.AddRow("no scheduling", explorer.CoverageFromGridDraw(none.GridDraw.Sum(), in.Demand.Sum()),
+		none.GridDraw.Sum()/1000, none.ForcedDeadlineMWh)
+
+	uniform, err := scheduler.Simulate(scheduler.SimConfig{
+		Demand: in.Demand, Renewable: renewable,
+		FlexibleRatio: 0.40, CapacityMW: cap, DeferralWindowHours: 24,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	t.AddRow("uniform 40% / 24h window", explorer.CoverageFromGridDraw(uniform.GridDraw.Sum(), in.Demand.Sum()),
+		uniform.GridDraw.Sum()/1000, uniform.ForcedDeadlineMWh)
+
+	tiered, err := scheduler.SimulateTiered(scheduler.TieredConfig{
+		Demand: in.Demand, Renewable: renewable,
+		Tiers: scheduler.DefaultTiers(), CapacityMW: cap,
+		DeferrableShareOfFleet: 0.40,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	t.AddRow("SLO-tiered windows (40% of fleet)", explorer.CoverageFromGridDraw(tiered.GridDraw.Sum(), in.Demand.Sum()),
+		tiered.GridDraw.Sum()/1000, tiered.ForcedDeadlineMWh)
+
+	for _, ts := range scheduler.DefaultTiers() {
+		t.AddRow(fmt.Sprintf("  deferred by %s (MWh)", ts.Tier), tiered.DeferredByTier[ts.Tier], "", "")
+	}
+	return t, nil
+}
+
+// JobSimStudy validates the fluid MW-level scheduling abstraction with a
+// job-level discrete-event simulation: a Borg-like trace runs on a server
+// fleet against real renewable supply, comparing a carbon-oblivious FIFO
+// policy with a defer-to-green policy, and reporting the job-level costs
+// (wait time, SLO pressure) the fluid model cannot see.
+func JobSimStudy(siteID string) (Table, error) {
+	in, err := siteInputs(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	const days = 90
+	hours := days * 24
+
+	// Scale the site's renewable shape to a small dedicated cluster:
+	// 2000 slots × 1 kW with a 1 MW idle floor, supply peaking near 4 MW.
+	renewable := in.RenewableSupply(2*in.AvgDemandMW(), 2*in.AvgDemandMW()).
+		Slice(0, hours).ScaleToMax(4)
+	gridCI := in.GridCI.Slice(0, hours)
+
+	jobs := workload.GenerateTrace(workload.TraceParams{
+		JobsPerHour: 30, MeanDurationHours: 3, MeanPowerMW: 0.004, Seed: 11,
+	}, hours-72)
+
+	t := Table{
+		ID:      "Job-level simulation study (extension)",
+		Caption: fmt.Sprintf("Discrete-event job scheduling vs carbon, %s supply shape, %d days", siteID, days),
+		Columns: []string{"policy", "carbon_t", "renewable_share_%", "avg_wait_h", "slo_violations", "completed"},
+	}
+	for _, policy := range []jobsim.Policy{jobsim.RunImmediately, jobsim.DeferToGreen} {
+		stats, err := jobsim.Run(jobs, jobsim.Config{
+			Servers:       2000,
+			ServerPowerMW: 0.001,
+			IdlePowerMW:   1.0,
+			Renewable:     renewable,
+			GridCI:        gridCI,
+			Policy:        policy,
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		share := 0.0
+		if total := stats.GridEnergyMWh + stats.RenewableUsedMWh; total > 0 {
+			share = stats.RenewableUsedMWh / total * 100
+		}
+		t.AddRow(policy.String(), stats.Carbon.Tonnes(), share,
+			stats.AvgWaitHours, stats.SLOViolations, stats.Completed)
+	}
+	return t, nil
+}
+
+// DispatchStudy compares the paper's greedy battery policy (charge on every
+// surplus, discharge on every deficit) against the offline-optimal dispatch
+// computed by dynamic programming with full knowledge of the year — the
+// "custom battery charge-discharge policies" question from the paper's
+// discussion. The objective is carbon-weighted grid energy.
+func DispatchStudy(siteID string, batteryHours float64) (Table, error) {
+	in, err := siteInputs(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	avg := in.AvgDemandMW()
+	renewable := in.RenewableSupply(4*avg, 4*avg)
+	diff, err := in.Demand.Sub(renewable)
+	if err != nil {
+		return Table{}, err
+	}
+	deficit := diff.PositivePart()
+	surplus := diff.Scale(-1).PositivePart()
+
+	problem := battery.DispatchProblem{
+		Deficit:   deficit.Values(),
+		Surplus:   surplus.Values(),
+		Price:     in.GridCI.Values(),
+		Params:    battery.LFP(batteryHours*avg, 1.0),
+		SoCLevels: 200,
+	}
+	greedy, err := problem.Greedy()
+	if err != nil {
+		return Table{}, err
+	}
+	optimal, err := problem.Optimal()
+	if err != nil {
+		return Table{}, err
+	}
+
+	// Rolling-horizon (MPC) variants: plan each day on a 48h window, with
+	// either perfect or seasonal-mean forecasts of the renewable supply.
+	deficitVals := deficit.Values()
+	surplusVals := surplus.Values()
+	priceVals := in.GridCI.Values()
+	demandVals := in.Demand.Values()
+	renewableVals := renewable.Values()
+
+	oracle := battery.RollingConfig{
+		Params: problem.Params,
+		Predict: func(start, h int) ([]float64, []float64, []float64) {
+			return deficitVals[start : start+h], surplusVals[start : start+h], priceVals[start : start+h]
+		},
+	}
+	rollingOracle, err := battery.RunRolling(oracle, deficitVals, surplusVals, priceVals)
+	if err != nil {
+		return Table{}, err
+	}
+
+	sm := forecast.SeasonalMean{}
+	forecasted := battery.RollingConfig{
+		Params:   problem.Params,
+		Reactive: true,
+		Predict: func(start, h int) ([]float64, []float64, []float64) {
+			// The DC knows its own demand; the renewable supply and grid
+			// intensity are forecast from history.
+			predRen := sm.Forecast(renewableVals[:start], h)
+			predCI := sm.Forecast(priceVals[:start], h)
+			d := make([]float64, h)
+			s := make([]float64, h)
+			for i := 0; i < h; i++ {
+				diff := demandVals[start+i] - predRen[i]
+				if diff > 0 {
+					d[i] = diff
+				} else {
+					s[i] = -diff
+				}
+			}
+			return d, s, predCI
+		},
+	}
+	rollingForecasted, err := battery.RunRolling(forecasted, deficitVals, surplusVals, priceVals)
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		ID:      "Battery dispatch study (extension)",
+		Caption: fmt.Sprintf("Greedy vs rolling-horizon vs offline-optimal battery dispatch, %s, wind 4x / solar 4x, %gh battery", siteID, batteryHours),
+		Columns: []string{"policy", "grid_energy_GWh", "carbon_weighted_grid_Mt_g/kWh", "gap_vs_optimal_%"},
+	}
+	gap := func(r battery.DispatchResult) float64 {
+		if optimal.WeightedGrid <= 0 {
+			return 0
+		}
+		return (r.WeightedGrid - optimal.WeightedGrid) / optimal.WeightedGrid * 100
+	}
+	t.AddRow("greedy (paper policy)", greedy.GridEnergyMWh/1000, greedy.WeightedGrid/1e6, gap(greedy))
+	t.AddRow("rolling 48h (oracle forecast)", rollingOracle.GridEnergyMWh/1000, rollingOracle.WeightedGrid/1e6, gap(rollingOracle))
+	t.AddRow("rolling 48h (seasonal-mean forecast)", rollingForecasted.GridEnergyMWh/1000, rollingForecasted.WeightedGrid/1e6, gap(rollingForecasted))
+	t.AddRow("offline optimal (DP)", optimal.GridEnergyMWh/1000, optimal.WeightedGrid/1e6, 0.0)
+	return t, nil
+}
+
+// GeoBalanceStudy runs geographic load migration across the whole fleet —
+// the related-work direction (load migration between datacenters) that
+// complements the paper's temporal shifting. Each site holds its Meta
+// investment-level renewables; migratable load follows renewable surpluses
+// across regions.
+func GeoBalanceStudy(migratableRatio float64) (Table, error) {
+	var dcs []fleet.DC
+	for _, s := range grid.Sites() {
+		in, err := siteInputs(s.ID)
+		if err != nil {
+			return Table{}, err
+		}
+		dcs = append(dcs, fleet.DC{
+			ID:         s.ID,
+			Demand:     in.Demand,
+			Renewable:  in.RenewableSupply(s.WindInvestMW, s.SolarInvestMW),
+			GridCI:     in.GridCI,
+			CapacityMW: in.PeakDemandMW() * 1.5,
+		})
+	}
+	res, err := fleet.Balance(dcs, fleet.Config{MigratableRatio: migratableRatio})
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "Geographic balancing study (extension)",
+		Caption: fmt.Sprintf("Fleet-wide load migration at %.0f%% migratable load, Meta investments", migratableRatio*100),
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("fleet coverage without migration (%)", res.CoverageBeforePct)
+	t.AddRow("fleet coverage with migration (%)", res.CoverageAfterPct)
+	t.AddRow("coverage gain (pp)", res.CoverageAfterPct-res.CoverageBeforePct)
+	t.AddRow("energy migrated (GWh)", res.MigratedMWh/1000)
+	t.AddRow("operational carbon without migration (kt)", res.CarbonBefore.Kilotonnes())
+	t.AddRow("operational carbon with migration (kt)", res.CarbonAfter.Kilotonnes())
+	if res.CarbonBefore > 0 {
+		t.AddRow("carbon reduction (%)", (1-float64(res.CarbonAfter)/float64(res.CarbonBefore))*100)
+	}
+	return t, nil
+}
+
+// CurtailmentAbsorptionStudy connects the grid model's curtailment to
+// datacenter scheduling (the related work's "mitigating curtailment through
+// load migration"): how much of the grid's curtailed renewable energy could
+// the datacenter's flexible load absorb if shifted into curtailment hours,
+// and what carbon does that avoid? The grid is simulated at a renewable
+// build-out scale where curtailment is material.
+func CurtailmentAbsorptionStudy(siteID string, renewableScale float64) (Table, error) {
+	site, err := grid.SiteByID(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	profile, err := grid.Profile(site.BA)
+	if err != nil {
+		return Table{}, err
+	}
+	year := grid.GenerateYearScaled(profile, renewableScale)
+	trace, err := dcload.Generate(dcload.DefaultParams(site.AvgPowerMW), timeseries.HoursPerYear)
+	if err != nil {
+		return Table{}, err
+	}
+	demand := trace.Power
+
+	// Shift flexible load toward curtailment hours: the signal is negative
+	// curtailed power, so hours with the most spilled renewables score
+	// lowest and attract load.
+	signal := year.Curtailed.Scale(-1)
+	shifted, err := scheduler.ShiftDaily(demand, signal, scheduler.Config{
+		CapacityMW:    demand.MaxValue() * 1.5,
+		FlexibleRatio: 0.40,
+		WindowHours:   24,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+
+	// Load placed in curtailment hours consumes energy that was being
+	// thrown away: zero-carbon by construction.
+	absorbed := func(load timeseries.Series) float64 {
+		total := 0.0
+		for h := 0; h < load.Len(); h++ {
+			if c := year.Curtailed.At(h); c > 0 {
+				a := load.At(h)
+				if a > c {
+					a = c
+				}
+				total += a
+			}
+		}
+		return total
+	}
+	before := absorbed(demand)
+	after := absorbed(shifted)
+	curtailedTotal := year.Curtailed.Sum()
+
+	ci := year.CarbonIntensity()
+	avoidedKg := (after - before) * ci.Mean() // MWh × g/kWh = kg
+
+	t := Table{
+		ID:      "Curtailment absorption study (extension)",
+		Caption: fmt.Sprintf("Flexible load shifted into grid curtailment hours, %s at %.1fx renewables", siteID, renewableScale),
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("grid curtailed energy (GWh/yr)", curtailedTotal/1000)
+	t.AddRow("curtailment hours per year", year.Curtailed.CountWhere(func(v float64) bool { return v > 0 }))
+	t.AddRow("DC load in curtailment hours, unshifted (GWh)", before/1000)
+	t.AddRow("DC load in curtailment hours, shifted (GWh)", after/1000)
+	t.AddRow("extra curtailed energy absorbed (GWh)", (after-before)/1000)
+	if curtailedTotal > 0 {
+		t.AddRow("share of grid curtailment absorbed (%)", (after-before)/curtailedTotal*100)
+	}
+	t.AddRow("operational carbon avoided (t/yr)", avoidedKg/1000)
+	return t, nil
+}
+
+// MarginalStudy re-prices carbon-aware scheduling under average versus
+// marginal grid carbon intensity — the accounting question the carbon-aware
+// computing literature debates. Average intensity prices the energy
+// consumed; marginal intensity prices the emissions a scheduling decision
+// actually changes (the marginal generator's output).
+func MarginalStudy(siteID string) (Table, error) {
+	in, err := siteInputs(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	profile, err := grid.Profile(in.Site.BA)
+	if err != nil {
+		return Table{}, err
+	}
+	year := grid.GenerateYear(profile)
+	marginal := year.MarginalIntensity()
+	average := in.GridCI
+
+	avg := in.AvgDemandMW()
+	renewable := in.RenewableSupply(4*avg, 4*avg)
+	deficitSig, err := scheduler.DeficitSignal(in.Demand, renewable)
+	if err != nil {
+		return Table{}, err
+	}
+	shifted, err := scheduler.ShiftDaily(in.Demand, deficitSig, scheduler.Config{
+		CapacityMW:    in.PeakDemandMW() * 1.5,
+		FlexibleRatio: 0.40,
+		WindowHours:   24,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		ID:      "Marginal vs average accounting (extension)",
+		Caption: fmt.Sprintf("CAS benefit priced at average vs marginal grid intensity, %s, 40%% flexible", siteID),
+		Columns: []string{"accounting", "mean_intensity_g/kwh", "carbon_before_kt", "carbon_after_kt", "reduction_%"},
+	}
+	for _, c := range []struct {
+		name string
+		ci   timeseries.Series
+	}{
+		{"average intensity", average},
+		{"marginal intensity", marginal},
+	} {
+		// carbonWeightedDeficit is in MWh × g/kWh = kg; ÷1e6 gives kt.
+		before := carbonWeightedDeficit(in.Demand, renewable, c.ci) / 1e6
+		after := carbonWeightedDeficit(shifted, renewable, c.ci) / 1e6
+		reduction := 0.0
+		if before > 0 {
+			reduction = (1 - after/before) * 100
+		}
+		t.AddRow(c.name, c.ci.Mean(), before, after, reduction)
+	}
+	return t, nil
+}
+
+// EnsembleStudy evaluates a representative design across several weather
+// realizations via the EnsembleEvaluate API, reporting the coverage and
+// total-carbon percentiles — a compact design-under-uncertainty view.
+func EnsembleStudy(siteID string, years int) (Table, error) {
+	if years < 2 {
+		years = 5
+	}
+	site, err := grid.SiteByID(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	d := explorer.Design{
+		WindMW: 4 * site.AvgPowerMW, SolarMW: 4 * site.AvgPowerMW,
+		BatteryMWh: 4 * site.AvgPowerMW, DoD: 1.0,
+	}
+	res, err := explorer.EnsembleEvaluate(site, d, years)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "Ensemble study (extension)",
+		Caption: fmt.Sprintf("Design outcomes across %d weather years, %s, wind 4x / solar 4x / 4h battery", years, siteID),
+		Columns: []string{"metric", "P10", "P50", "P90"},
+	}
+	t.AddRow("coverage_%", res.CoverageP10, res.CoverageP50, res.CoverageP90)
+	t.AddRow("total_kt", res.TotalP10, res.TotalP50, res.TotalP90)
+	for i, o := range res.Outcomes {
+		label := fmt.Sprintf("year %d coverage_%%", i)
+		if i == 0 {
+			label = "base year coverage_%"
+		}
+		t.AddRow(label, "", o.CoveragePct, "")
+	}
+	return t, nil
+}
+
+// PUEStudy adds the cooling dimension: facility power is IT power times a
+// temperature-dependent PUE, so summer afternoons cost extra energy exactly
+// when solar supply peaks. The study compares coverage and carbon for
+// IT-only demand, constant-PUE demand, and seasonal-PUE demand at a fixed
+// design, in a hybrid and a solar-only region.
+func PUEStudy() (Table, error) {
+	t := Table{
+		ID:      "Cooling/PUE study (extension)",
+		Caption: "Coverage and operational carbon under IT-only, constant-PUE, and seasonal-PUE demand, wind 4x / solar 4x + 4h battery",
+		Columns: []string{"site", "demand_model", "annual_energy_GWh", "coverage_%", "operational_kt"},
+	}
+	model := dcload.DefaultPUEModel()
+	for _, id := range []string{"UT", "NC"} {
+		in, err := siteInputs(id)
+		if err != nil {
+			return Table{}, err
+		}
+		temp := synth.Temperature(synth.DefaultTemperatureParams(), in.Demand.Len())
+		seasonal, err := dcload.ApplyPUE(in.Demand, temp, model)
+		if err != nil {
+			return Table{}, err
+		}
+		// Constant PUE with the same annual energy as the seasonal case, so
+		// the comparison isolates the *shape* of the cooling overhead.
+		flatPUE := seasonal.Sum() / in.Demand.Sum()
+		constant := in.Demand.Scale(flatPUE)
+
+		for _, c := range []struct {
+			name   string
+			demand timeseries.Series
+		}{
+			{"IT only", in.Demand},
+			{fmt.Sprintf("constant PUE %.3f", flatPUE), constant},
+			{"seasonal PUE", seasonal},
+		} {
+			alt, err := explorer.NewInputsFromSeries(in.Site, c.demand,
+				in.WindShape, in.SolarShape, in.GridCI, in.Embodied)
+			if err != nil {
+				return Table{}, err
+			}
+			avg := alt.AvgDemandMW()
+			o, err := alt.Evaluate(explorer.Design{
+				WindMW: 4 * avg, SolarMW: 4 * avg,
+				BatteryMWh: 4 * avg, DoD: 1.0,
+			})
+			if err != nil {
+				return Table{}, err
+			}
+			t.AddRow(id, c.name, c.demand.Sum()/1000, o.CoveragePct, o.Operational.Kilotonnes())
+		}
+	}
+	return t, nil
+}
+
+// CoverageAtlas extends Figure 7 to every datacenter location — the
+// analysis the paper omits "due to space limitations": for all thirteen
+// sites, 24/7 coverage at standard investment multiples of average demand,
+// plus coverage at Meta's actual regional investments.
+func CoverageAtlas() (Table, error) {
+	t := Table{
+		ID:      "Coverage atlas (extension of Figure 7)",
+		Caption: "24/7 coverage (%) at standard investment multiples for all 13 sites",
+		Columns: []string{"site", "class", "1x+1x", "2x+2x", "4x+4x", "8x+8x", "wind_only_8x", "solar_only_8x", "meta_investment"},
+	}
+	for _, s := range grid.Sites() {
+		in, err := siteInputs(s.ID)
+		if err != nil {
+			return Table{}, err
+		}
+		avg := in.AvgDemandMW()
+		cov := func(w, sol float64) string {
+			c, err := in.CoverageFor(w, sol)
+			if err != nil {
+				return "err"
+			}
+			return fmt.Sprintf("%.1f", c)
+		}
+		t.AddRow(s.ID, grid.MustProfile(s.BA).Class.String(),
+			cov(1*avg, 1*avg), cov(2*avg, 2*avg), cov(4*avg, 4*avg), cov(8*avg, 8*avg),
+			cov(8*avg, 0), cov(0, 8*avg),
+			cov(s.WindInvestMW, s.SolarInvestMW))
+	}
+	return t, nil
+}
+
+// HorizonStudy simulates a ten-year trajectory of a fixed year-zero design
+// under the paper's "Looking forward" trends — demand growth, rising
+// workload flexibility, declining manufacturing footprints, and battery
+// aging with in-kind replacement.
+func HorizonStudy(siteID string, years int) (Table, error) {
+	if years <= 0 {
+		years = 10
+	}
+	site, err := grid.SiteByID(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	profile, err := grid.Profile(site.BA)
+	if err != nil {
+		return Table{}, err
+	}
+	year := grid.GenerateYear(profile)
+	wind := year.WindShape()
+	solar := year.SolarShape()
+	ci := year.CarbonIntensity()
+	baseTrace, err := dcload.Generate(dcload.DefaultParams(site.AvgPowerMW), timeseries.HoursPerYear)
+	if err != nil {
+		return Table{}, err
+	}
+
+	trends := horizon.DefaultTrends()
+	plan := horizon.Plan{
+		Design: explorer.Design{
+			WindMW: 4 * site.AvgPowerMW, SolarMW: 4 * site.AvgPowerMW,
+			BatteryMWh: 6 * site.AvgPowerMW, DoD: 1.0,
+			FlexibleRatio: 0.40, ExtraCapacityFrac: 0.25,
+		},
+		Years:               years,
+		Trends:              trends,
+		ReplaceSpentBattery: true,
+	}
+	traj, err := horizon.Simulate(plan, func(y int, emb carbon.EmbodiedParams) (*explorer.Inputs, error) {
+		scale := 1.0
+		for i := 0; i < y; i++ {
+			scale *= 1 + trends.DemandGrowthPerYear
+		}
+		return explorer.NewInputsFromSeries(site, baseTrace.Power.Scale(scale), wind, solar, ci, emb)
+	})
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		ID:      "Multi-year horizon study (extension)",
+		Caption: fmt.Sprintf("%d-year trajectory of a fixed year-zero design under forward trends, %s", years, siteID),
+		Columns: []string{"year", "coverage_%", "total_kt", "battery_capacity_%", "flexible_%", "replaced"},
+	}
+	for _, y := range traj.Years {
+		replaced := ""
+		if y.BatteryReplaced {
+			replaced = "yes"
+		}
+		t.AddRow(y.Year, y.Outcome.CoveragePct, y.Outcome.Total().Kilotonnes(),
+			y.BatteryCapacityFraction*100, y.FlexibleRatio*100, replaced)
+	}
+	t.AddRow("total", "", traj.TotalCarbon.Kilotonnes(), "", "", fmt.Sprintf("%d replacements", traj.Replacements))
+	return t, nil
+}
+
+// DRSignalStudy compares the demand-response signals the paper's Section
+// 3.2 discusses — time-of-use prices, the grid's carbon intensity, and the
+// datacenter's own renewable-deficit signal — as drivers for workload
+// shifting, measuring each signal's effect on renewable coverage and on
+// carbon-weighted grid energy.
+func DRSignalStudy(siteID string) (Table, error) {
+	in, err := siteInputs(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	site := in.Site
+	profile, err := grid.Profile(site.BA)
+	if err != nil {
+		return Table{}, err
+	}
+	year := grid.GenerateYear(profile)
+	price := year.PriceSeries(75)
+
+	avg := in.AvgDemandMW()
+	renewable := in.RenewableSupply(4*avg, 4*avg)
+	deficitSig, err := scheduler.DeficitSignal(in.Demand, renewable)
+	if err != nil {
+		return Table{}, err
+	}
+	cfg := scheduler.Config{
+		CapacityMW:    in.PeakDemandMW() * 1.5,
+		FlexibleRatio: 0.40,
+		WindowHours:   24,
+	}
+
+	t := Table{
+		ID:      "Demand-response signal study (extension)",
+		Caption: fmt.Sprintf("Shifting driven by different DR signals, %s, 40%% flexible, wind 4x / solar 4x", siteID),
+		Columns: []string{"signal", "coverage_%", "carbon_weighted_grid_reduction_%"},
+	}
+
+	baselineCarbon := carbonWeightedDeficit(in.Demand, renewable, in.GridCI)
+	baseCov, err := explorer.Coverage(in.Demand, renewable)
+	if err != nil {
+		return Table{}, err
+	}
+	t.AddRow("none (baseline)", baseCov, 0.0)
+
+	signals := []struct {
+		name string
+		sig  timeseries.Series
+	}{
+		{"renewable deficit (paper)", deficitSig},
+		{"grid carbon intensity", in.GridCI},
+		{"time-of-use price", price},
+	}
+	for _, s := range signals {
+		shifted, err := scheduler.ShiftDaily(in.Demand, s.sig, cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		cov, err := explorer.Coverage(shifted, renewable)
+		if err != nil {
+			return Table{}, err
+		}
+		carbonAfter := carbonWeightedDeficit(shifted, renewable, in.GridCI)
+		reduction := 0.0
+		if baselineCarbon > 0 {
+			reduction = (1 - carbonAfter/baselineCarbon) * 100
+		}
+		t.AddRow(s.name, cov, reduction)
+	}
+	return t, nil
+}
+
+// carbonWeightedDeficit sums max(demand−renewable, 0) × grid CI over the
+// year: the operational-carbon proxy the shifting policies try to reduce.
+func carbonWeightedDeficit(demand, renewable, ci timeseries.Series) float64 {
+	total := 0.0
+	for h := 0; h < demand.Len(); h++ {
+		if d := demand.At(h) - renewable.At(h); d > 0 {
+			total += d * ci.At(h)
+		}
+	}
+	return total
+}
+
+// SensitivityStudy varies each embodied-carbon parameter across its
+// published range (Section 5.1 gives ranges, and the paper stresses that
+// "these parameters can be tuned as better data becomes available") and
+// reports how the carbon-optimal total and coverage move — a tornado-style
+// sensitivity analysis of Carbon Explorer's conclusions to its inputs.
+func SensitivityStudy(siteID string) (Table, error) {
+	site, err := grid.SiteByID(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "Parameter sensitivity study (extension)",
+		Caption: fmt.Sprintf("Carbon-optimal total under each embodied parameter's published range, %s, renewables+battery", siteID),
+		Columns: []string{"parameter", "setting", "optimal_total_kt", "coverage_%", "delta_vs_default_%"},
+	}
+
+	evalWith := func(emb carbon.EmbodiedParams) (explorer.Outcome, error) {
+		in, err := explorer.NewInputs(site, explorer.WithEmbodiedParams(emb))
+		if err != nil {
+			return explorer.Outcome{}, err
+		}
+		res, err := in.Search(searchSpace(in, 1.0), explorer.RenewablesBattery)
+		if err != nil {
+			return explorer.Outcome{}, err
+		}
+		return res.Optimal, nil
+	}
+
+	base, err := evalWith(carbon.DefaultEmbodiedParams())
+	if err != nil {
+		return Table{}, err
+	}
+	ref := base.Total().Kilotonnes()
+	t.AddRow("(defaults)", "", ref, base.CoveragePct, 0.0)
+
+	type variant struct {
+		name    string
+		setting string
+		mutate  func(*carbon.EmbodiedParams)
+	}
+	variants := []variant{
+		{"wind embodied", "10 g/kWh (low)", func(p *carbon.EmbodiedParams) { p.WindPerKWh = 10 }},
+		{"wind embodied", "15 g/kWh (high)", func(p *carbon.EmbodiedParams) { p.WindPerKWh = 15 }},
+		{"solar embodied", "40 g/kWh (low)", func(p *carbon.EmbodiedParams) { p.SolarPerKWh = 40 }},
+		{"solar embodied", "70 g/kWh (high)", func(p *carbon.EmbodiedParams) { p.SolarPerKWh = 70 }},
+		{"battery embodied", "74 kg/kWh (low)", func(p *carbon.EmbodiedParams) { p.BatteryPerKWhCap = 74 }},
+		{"battery embodied", "134 kg/kWh (high)", func(p *carbon.EmbodiedParams) { p.BatteryPerKWhCap = 134 }},
+		{"server lifetime", "3 years", func(p *carbon.EmbodiedParams) { p.ServerLifetimeYears = 3 }},
+		{"infra multiplier", "1.30x", func(p *carbon.EmbodiedParams) { p.ServerInfraMultiplier = 1.30 }},
+	}
+	for _, v := range variants {
+		emb := carbon.DefaultEmbodiedParams()
+		v.mutate(&emb)
+		opt, err := evalWith(emb)
+		if err != nil {
+			return Table{}, err
+		}
+		total := opt.Total().Kilotonnes()
+		t.AddRow(v.name, v.setting, total, opt.CoveragePct, (total-ref)/ref*100)
+	}
+	return t, nil
+}
+
+// FWRSweep sweeps the flexible workload ratio — the scheduler's key input,
+// which the paper fixes at Borg's 40% — showing how coverage and total
+// carbon respond as workloads become more (or less) delay-tolerant, the
+// trend the paper's conclusion predicts ("we expect the delay tolerance
+// nature of computing to increase").
+func FWRSweep(siteID string) (Table, error) {
+	in, err := siteInputs(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	avg := in.AvgDemandMW()
+	t := Table{
+		ID:      "Flexible-ratio sweep (extension)",
+		Caption: fmt.Sprintf("Coverage and total carbon vs flexible workload ratio, %s, wind 4x / solar 4x, +25%% capacity", siteID),
+		Columns: []string{"flexible_ratio_%", "coverage_%", "total_kt"},
+	}
+	for _, fwr := range []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		d := explorer.Design{WindMW: 4 * avg, SolarMW: 4 * avg}
+		if fwr > 0 {
+			d.FlexibleRatio = fwr
+			d.ExtraCapacityFrac = 0.25
+		}
+		o, err := in.Evaluate(d)
+		if err != nil {
+			return Table{}, err
+		}
+		t.AddRow(fwr*100, o.CoveragePct, o.Total().Kilotonnes())
+	}
+	return t, nil
+}
+
+// CostStudy crosses carbon with capital expenditure — the dimension the
+// paper cites ($350/kWh batteries, billions-of-dollars datacenters) but
+// does not model: the capex of the carbon-optimal design, the cost-carbon
+// Pareto frontier, and the cheapest design achieving 99% coverage.
+func CostStudy(siteID string) (Table, error) {
+	in, err := siteInputs(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	res, err := in.Search(searchSpace(in, 1.0), explorer.RenewablesBatteryCAS)
+	if err != nil {
+		return Table{}, err
+	}
+	prices := cost.Default()
+	pts, err := prices.Attach(res.Points, in.PeakDemandMW())
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		ID:      "Cost study (extension)",
+		Caption: fmt.Sprintf("Capital cost vs carbon, %s (solar $%.2f/W, wind $%.2f/W, battery $%.0f/kWh)", siteID, prices.SolarPerWatt, prices.WindPerWatt, prices.BatteryPerKWh),
+		Columns: []string{"point", "capex_M$", "total_carbon_kt", "coverage_%", "battery_MWh"},
+	}
+
+	// The carbon optimum and its price tag.
+	optCapex, err := prices.DesignCapex(res.Optimal.Design, in.PeakDemandMW())
+	if err != nil {
+		return Table{}, err
+	}
+	t.AddRow("carbon-optimal design", optCapex.Total()/1e6,
+		res.Optimal.Total().Kilotonnes(), res.Optimal.CoveragePct, res.Optimal.Design.BatteryMWh)
+
+	// Cheapest designs at coverage milestones.
+	for _, target := range []float64{90, 95, 99} {
+		pt, ok := cost.CheapestAtCoverage(pts, target)
+		if !ok {
+			t.AddRow(fmt.Sprintf("cheapest at %.0f%% coverage", target), "unreachable", "", "", "")
+			continue
+		}
+		t.AddRow(fmt.Sprintf("cheapest at %.0f%% coverage", target), pt.Capex.Total()/1e6,
+			pt.Outcome.Total().Kilotonnes(), pt.Outcome.CoveragePct, pt.Outcome.Design.BatteryMWh)
+	}
+
+	// A sketch of the cost-carbon frontier.
+	frontier := cost.ParetoCostCarbon(pts)
+	step := len(frontier) / 5
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(frontier); i += step {
+		pt := frontier[i]
+		t.AddRow(fmt.Sprintf("frontier[%d]", i), pt.Capex.Total()/1e6,
+			pt.Outcome.Total().Kilotonnes(), pt.Outcome.CoveragePct, pt.Outcome.Design.BatteryMWh)
+	}
+	return t, nil
+}
+
+// RobustnessStudy evaluates how a design chosen on one weather year
+// performs on other years: the paper designs on 2020 data; here the
+// carbon-optimal design from the base synthetic year is re-evaluated on
+// alternative years (different weather seeds), reporting the spread of
+// coverage and total carbon.
+func RobustnessStudy(siteID string, years int) (Table, error) {
+	if years < 2 {
+		years = 4
+	}
+	base, err := siteInputs(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	res, err := base.Search(searchSpace(base, 1.0), explorer.RenewablesBattery)
+	if err != nil {
+		return Table{}, err
+	}
+	design := res.Optimal.Design
+
+	t := Table{
+		ID:      "Robustness study (extension)",
+		Caption: fmt.Sprintf("The base-year carbon-optimal design re-evaluated on %d alternative weather years, %s", years, siteID),
+		Columns: []string{"weather_year", "coverage_%", "total_kt"},
+	}
+	t.AddRow("base (design year)", res.Optimal.CoveragePct, res.Optimal.Total().Kilotonnes())
+
+	var coverages, totals []float64
+	coverages = append(coverages, res.Optimal.CoveragePct)
+	totals = append(totals, res.Optimal.Total().Kilotonnes())
+	for y := 1; y <= years; y++ {
+		alt, err := alternativeYearInputs(siteID, uint64(y))
+		if err != nil {
+			return Table{}, err
+		}
+		o, err := alt.Evaluate(design)
+		if err != nil {
+			return Table{}, err
+		}
+		t.AddRow(fmt.Sprintf("alt year %d", y), o.CoveragePct, o.Total().Kilotonnes())
+		coverages = append(coverages, o.CoveragePct)
+		totals = append(totals, o.Total().Kilotonnes())
+	}
+	cs := stats.Summarize(coverages)
+	ts := stats.Summarize(totals)
+	t.AddRow("coverage min/mean/max", fmt.Sprintf("%.2f / %.2f / %.2f", cs.Min, cs.Mean, cs.Max), "")
+	t.AddRow("total kt min/mean/max", "", fmt.Sprintf("%.2f / %.2f / %.2f", ts.Min, ts.Mean, ts.Max))
+	return t, nil
+}
+
+// alternativeYearInputs builds inputs for a site with a perturbed weather
+// seed, modelling a different calendar year of the same climate.
+func alternativeYearInputs(siteID string, offset uint64) (*explorer.Inputs, error) {
+	site, err := grid.SiteByID(siteID)
+	if err != nil {
+		return nil, err
+	}
+	profile, err := grid.Profile(site.BA)
+	if err != nil {
+		return nil, err
+	}
+	profile.Seed += 1000 * offset
+	profile.Wind.Seed = profile.Seed*7919 + 1
+	profile.Solar.Seed = profile.Seed*7919 + 2
+	year := grid.GenerateYear(profile)
+
+	dp := dcload.DefaultParams(site.AvgPowerMW)
+	dp.Seed += offset
+	trace, err := dcload.Generate(dp, timeseries.HoursPerYear)
+	if err != nil {
+		return nil, err
+	}
+	return explorer.NewInputsFromSeries(site, trace.Power,
+		year.WindShape(), year.SolarShape(), year.CarbonIntensity(),
+		carbon.DefaultEmbodiedParams())
+}
+
+// OptimizerStudy compares search strategies for the design space: the
+// coarse exhaustive grid, iterative zoom refinement, coordinate descent,
+// and a fine exhaustive grid as the quality reference — solution quality
+// versus evaluation budget.
+func OptimizerStudy(siteID string) (Table, error) {
+	in, err := siteInputs(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	avg := in.AvgDemandMW()
+	coarse := explorer.Space{
+		WindMW:             []float64{0, 4 * avg, 12 * avg},
+		SolarMW:            []float64{0, 4 * avg, 12 * avg},
+		BatteryHours:       []float64{0, 6},
+		ExtraCapacityFracs: []float64{0},
+		DoD:                1.0,
+		FlexibleRatio:      0,
+	}
+	fine := explorer.Space{
+		WindMW:             rangeGrid(0, 14*avg, 12),
+		SolarMW:            rangeGrid(0, 14*avg, 12),
+		BatteryHours:       rangeGrid(0, 12, 7),
+		ExtraCapacityFracs: []float64{0},
+		DoD:                1.0,
+		FlexibleRatio:      0,
+	}
+
+	t := Table{
+		ID:      "Optimizer study (extension)",
+		Caption: fmt.Sprintf("Search-strategy quality vs cost, %s, renewables+battery", siteID),
+		Columns: []string{"method", "evaluations", "optimal_total_kt", "gap_vs_fine_%"},
+	}
+
+	fineRes, err := in.Search(fine, explorer.RenewablesBattery)
+	if err != nil {
+		return Table{}, err
+	}
+	ref := float64(fineRes.Optimal.Total())
+
+	coarseRes, err := in.Search(coarse, explorer.RenewablesBattery)
+	if err != nil {
+		return Table{}, err
+	}
+	refined, err := in.RefineSearch(coarse, explorer.RenewablesBattery, explorer.RefineOptions{Rounds: 3, PointsPerDim: 4})
+	if err != nil {
+		return Table{}, err
+	}
+	descent, err := in.CoordinateDescent(coarseRes.Optimal.Design, explorer.RenewablesBattery, 20*avg, 3, 1e-3)
+	if err != nil {
+		return Table{}, err
+	}
+
+	gap := func(total float64) float64 {
+		if ref <= 0 {
+			return 0
+		}
+		return (total - ref) / ref * 100
+	}
+	t.AddRow("coarse exhaustive", len(coarseRes.Points),
+		coarseRes.Optimal.Total().Kilotonnes(), gap(float64(coarseRes.Optimal.Total())))
+	t.AddRow("zoom refinement", refined.Evaluations,
+		refined.Optimal.Total().Kilotonnes(), gap(float64(refined.Optimal.Total())))
+	t.AddRow("coordinate descent", descent.Evaluations,
+		descent.Optimal.Total().Kilotonnes(), gap(float64(descent.Optimal.Total())))
+	t.AddRow("fine exhaustive (reference)", len(fineRes.Points),
+		fineRes.Optimal.Total().Kilotonnes(), 0.0)
+	return t, nil
+}
+
+// rangeGrid builds n evenly spaced values over [lo, hi].
+func rangeGrid(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// SearchAblation quantifies what each solution dimension contributes at one
+// site: it removes one dimension at a time from the combined search and
+// reports the optimal total with and without it — an ablation of Carbon
+// Explorer's own design space.
+func SearchAblation(siteID string) (Table, error) {
+	in, err := siteInputs(siteID)
+	if err != nil {
+		return Table{}, err
+	}
+	space := searchSpace(in, 1.0)
+
+	t := Table{
+		ID:      "Design-space ablation (extension)",
+		Caption: fmt.Sprintf("Carbon-optimal total when removing one solution dimension, %s", siteID),
+		Columns: []string{"configuration", "total_kt", "coverage_%", "penalty_vs_full_%"},
+	}
+	full, err := in.Search(space, explorer.RenewablesBatteryCAS)
+	if err != nil {
+		return Table{}, err
+	}
+	ref := full.Optimal.Total().Kilotonnes()
+	t.AddRow("full (renewables+battery+CAS)", ref, full.Optimal.CoveragePct, 0.0)
+
+	cases := []struct {
+		name     string
+		strategy explorer.Strategy
+	}{
+		{"no battery", explorer.RenewablesCAS},
+		{"no scheduling", explorer.RenewablesBattery},
+		{"renewables only", explorer.RenewablesOnly},
+	}
+	for _, c := range cases {
+		res, err := in.Search(space, c.strategy)
+		if err != nil {
+			return Table{}, err
+		}
+		total := res.Optimal.Total().Kilotonnes()
+		t.AddRow(c.name, total, res.Optimal.CoveragePct, (total-ref)/ref*100)
+	}
+
+	// Also ablate the wind and solar dimensions individually.
+	noWind := space
+	noWind.WindMW = []float64{0}
+	resNW, err := in.Search(noWind, explorer.RenewablesBatteryCAS)
+	if err != nil {
+		return Table{}, err
+	}
+	totalNW := resNW.Optimal.Total().Kilotonnes()
+	t.AddRow("no wind investment", totalNW, resNW.Optimal.CoveragePct, (totalNW-ref)/ref*100)
+
+	noSolar := space
+	noSolar.SolarMW = []float64{0}
+	resNS, err := in.Search(noSolar, explorer.RenewablesBatteryCAS)
+	if err != nil {
+		return Table{}, err
+	}
+	totalNS := resNS.Optimal.Total().Kilotonnes()
+	t.AddRow("no solar investment", totalNS, resNS.Optimal.CoveragePct, (totalNS-ref)/ref*100)
+	return t, nil
+}

@@ -1,0 +1,588 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestForecastStudy(t *testing.T) {
+	tb, err := ForecastStudy("UT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 { // oracle + 3 forecasters
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var oracleCov float64
+	covs := map[string]float64{}
+	for _, row := range tb.Rows {
+		cov, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad coverage cell %q", row[2])
+		}
+		covs[row[0]] = cov
+		if row[0] == "oracle" {
+			oracleCov = cov
+		}
+	}
+	// No forecaster can beat the oracle's coverage (by more than noise from
+	// accidental beneficial mispredictions, which the greedy shift bounds).
+	for name, cov := range covs {
+		if name == "oracle" {
+			continue
+		}
+		if cov > oracleCov+0.5 {
+			t.Errorf("%s coverage %v exceeds oracle %v", name, cov, oracleCov)
+		}
+	}
+	// Forecast-driven scheduling should retain a meaningful share of the
+	// oracle gain — the whole point of the extension.
+	var bestShare float64
+	for _, row := range tb.Rows {
+		if row[0] == "oracle" {
+			continue
+		}
+		share, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("bad share cell %q", row[4])
+		}
+		if share > bestShare {
+			bestShare = share
+		}
+	}
+	if bestShare < 30 {
+		t.Errorf("best forecaster retains only %v%% of oracle gain", bestShare)
+	}
+}
+
+func TestBatteryTechStudy(t *testing.T) {
+	tb, err := BatteryTechStudy("NC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	embodied := map[string]float64{}
+	for _, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad embodied cell %q", row[3])
+		}
+		embodied[row[0]] = v
+	}
+	// Sodium-ion's lower manufacturing footprint should show through.
+	if embodied["Na-ion"] >= embodied["NMC"] {
+		t.Errorf("Na-ion embodied (%v) should be below NMC (%v)", embodied["Na-ion"], embodied["NMC"])
+	}
+}
+
+func TestNetZeroStudy(t *testing.T) {
+	tb, err := NetZeroStudy([]string{"UT", "NC", "OR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		var annual, hourly float64
+		if _, err := fscan(row[2], &annual); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fscan(row[5], &hourly); err != nil {
+			t.Fatal(err)
+		}
+		// Matching can only weaken as the window shrinks.
+		if hourly > annual+1e-6 {
+			t.Errorf("%s: hourly matching %v above annual %v", row[0], hourly, annual)
+		}
+	}
+	// UT's oversized investments annually over-match, yet hourly matching
+	// stays below 100 — the Net Zero vs 24/7 gap.
+	for _, row := range tb.Rows {
+		if row[0] != "UT" {
+			continue
+		}
+		var ratio, hourly float64
+		if _, err := fscan(row[1], &ratio); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fscan(row[5], &hourly); err != nil {
+			t.Fatal(err)
+		}
+		if ratio < 1 {
+			t.Errorf("UT annual credit ratio = %v, expected Net Zero", ratio)
+		}
+		if hourly >= 100 {
+			t.Errorf("UT hourly matching = %v, expected a gap below 100", hourly)
+		}
+	}
+}
+
+func TestTieredSchedulingStudy(t *testing.T) {
+	tb, err := TieredSchedulingStudy("UT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	covs := map[string]float64{}
+	for _, row := range tb.Rows {
+		var v float64
+		if _, err := fscan(row[1], &v); err == nil {
+			covs[row[0]] = v
+		}
+	}
+	if covs["uniform 40% / 24h window"] <= covs["no scheduling"] {
+		t.Errorf("uniform scheduling should improve coverage: %v", covs)
+	}
+	if covs["SLO-tiered windows (40% of fleet)"] <= covs["no scheduling"] {
+		t.Errorf("tiered scheduling should improve coverage: %v", covs)
+	}
+}
+
+func TestGeoBalanceStudy(t *testing.T) {
+	tb, err := GeoBalanceStudy(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, row := range tb.Rows {
+		var v float64
+		if _, err := fscan(row[1], &v); err == nil {
+			vals[row[0]] = v
+		}
+	}
+	if vals["fleet coverage with migration (%)"] < vals["fleet coverage without migration (%)"] {
+		t.Errorf("migration should not reduce fleet coverage: %v", vals)
+	}
+	if vals["energy migrated (GWh)"] <= 0 {
+		t.Errorf("expected some migration across 13 heterogeneous sites")
+	}
+	if vals["operational carbon with migration (kt)"] > vals["operational carbon without migration (kt)"] {
+		t.Errorf("migration should not increase carbon")
+	}
+}
+
+func TestCurtailmentAbsorptionStudy(t *testing.T) {
+	tb, err := CurtailmentAbsorptionStudy("OR", 4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, row := range tb.Rows {
+		var v float64
+		if _, err := fscan(row[1], &v); err == nil {
+			vals[row[0]] = v
+		}
+	}
+	if vals["grid curtailed energy (GWh/yr)"] <= 0 {
+		t.Fatal("expected material curtailment at 4x renewables in BPAT")
+	}
+	before := vals["DC load in curtailment hours, unshifted (GWh)"]
+	after := vals["DC load in curtailment hours, shifted (GWh)"]
+	if after <= before {
+		t.Errorf("shifting should move load into curtailment hours: %v -> %v", before, after)
+	}
+	if vals["operational carbon avoided (t/yr)"] <= 0 {
+		t.Errorf("absorbing curtailment should avoid carbon")
+	}
+}
+
+func TestMarginalStudy(t *testing.T) {
+	tb, err := MarginalStudy("UT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		var before, after, red float64
+		if _, err := fscan(row[2], &before); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fscan(row[3], &after); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fscan(row[4], &red); err != nil {
+			t.Fatal(err)
+		}
+		if before <= 0 || after <= 0 || after >= before {
+			t.Errorf("%s: shifting should reduce carbon: %v -> %v", row[0], before, after)
+		}
+		if red <= 0 || red >= 100 {
+			t.Errorf("%s: implausible reduction %v%%", row[0], red)
+		}
+	}
+}
+
+func TestEnsembleStudy(t *testing.T) {
+	tb, err := EnsembleStudy("UT", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2+3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var p10, p90 float64
+	if _, err := fscan(tb.Rows[0][1], &p10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fscan(tb.Rows[0][3], &p90); err != nil {
+		t.Fatal(err)
+	}
+	if p10 > p90 {
+		t.Fatalf("P10 %v above P90 %v", p10, p90)
+	}
+}
+
+func TestPUEStudy(t *testing.T) {
+	tb, err := PUEStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 { // 2 sites × 3 demand models
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := 0; i < len(tb.Rows); i += 3 {
+		var itE, pueE float64
+		if _, err := fscan(tb.Rows[i][2], &itE); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fscan(tb.Rows[i+2][2], &pueE); err != nil {
+			t.Fatal(err)
+		}
+		// Cooling overhead must add energy.
+		if pueE <= itE {
+			t.Errorf("%s: PUE demand %v should exceed IT %v", tb.Rows[i][0], pueE, itE)
+		}
+		// Constant and seasonal PUE carry the same annual energy.
+		var constE float64
+		if _, err := fscan(tb.Rows[i+1][2], &constE); err != nil {
+			t.Fatal(err)
+		}
+		if diff := constE - pueE; diff > 0.01 || diff < -0.01 {
+			t.Errorf("%s: constant (%v) and seasonal (%v) energy should match", tb.Rows[i][0], constE, pueE)
+		}
+	}
+}
+
+func TestCoverageAtlas(t *testing.T) {
+	tb, err := CoverageAtlas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 13 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		var c8 float64
+		if _, err := fscan(row[5], &c8); err != nil {
+			t.Fatalf("%s: bad 8x cell %q", row[0], row[5])
+		}
+		solarOnly := row[1] == "majorly solar"
+		if solarOnly && c8 > 60 {
+			t.Errorf("%s: solar-only region coverage %v should be capped", row[0], c8)
+		}
+		if !solarOnly && c8 < 90 {
+			t.Errorf("%s: wind/hybrid region coverage %v should be high at 8x", row[0], c8)
+		}
+	}
+}
+
+func TestHorizonStudy(t *testing.T) {
+	tb, err := HorizonStudy("UT", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 { // 5 years + total
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var first, last float64
+	if _, err := fscan(tb.Rows[0][1], &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fscan(tb.Rows[4][1], &last); err != nil {
+		t.Fatal(err)
+	}
+	// Demand growth outpaces flexibility growth for a fixed installation.
+	if last > first {
+		t.Errorf("coverage should erode over the horizon: %v -> %v", first, last)
+	}
+	var capFrac float64
+	if _, err := fscan(tb.Rows[4][3], &capFrac); err != nil {
+		t.Fatal(err)
+	}
+	if capFrac >= 100 || capFrac <= 50 {
+		t.Errorf("battery capacity after 5 years = %v%%, expected gradual fade", capFrac)
+	}
+}
+
+func TestDRSignalStudy(t *testing.T) {
+	tb, err := DRSignalStudy("TX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	reductions := map[string]float64{}
+	for _, row := range tb.Rows {
+		var r float64
+		if _, err := fscan(row[2], &r); err != nil {
+			t.Fatal(err)
+		}
+		reductions[row[0]] = r
+	}
+	// Every signal should reduce carbon-weighted grid energy; the
+	// renewable-deficit signal (which directly optimizes the objective)
+	// should be at least as good as the proxies.
+	for name, r := range reductions {
+		if name == "none (baseline)" {
+			continue
+		}
+		if r <= 0 {
+			t.Errorf("%s: no carbon reduction (%v%%)", name, r)
+		}
+	}
+	if reductions["renewable deficit (paper)"] < reductions["time-of-use price"]-1 {
+		t.Errorf("deficit signal should not lose to the price proxy: %v", reductions)
+	}
+}
+
+func TestSensitivityStudy(t *testing.T) {
+	tb, err := SensitivityStudy("UT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 { // defaults + 8 variants
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	deltas := map[string]float64{}
+	for _, row := range tb.Rows[1:] {
+		var d float64
+		if _, err := fscan(row[4], &d); err != nil {
+			t.Fatal(err)
+		}
+		deltas[row[0]+"/"+row[1]] = d
+	}
+	// Lowering an embodied factor can only lower (or hold) the optimal
+	// total; raising it can only raise (or hold) it.
+	for key, d := range deltas {
+		if strings.Contains(key, "(low)") && d > 0.01 {
+			t.Errorf("%s: lower embodied factor raised the optimum by %v%%", key, d)
+		}
+		if strings.Contains(key, "(high)") && d < -0.01 {
+			t.Errorf("%s: higher embodied factor lowered the optimum by %v%%", key, -d)
+		}
+	}
+}
+
+func TestFWRSweep(t *testing.T) {
+	tb, err := FWRSweep("UT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var prev float64 = -1
+	for _, row := range tb.Rows {
+		var cov float64
+		if _, err := fscan(row[1], &cov); err != nil {
+			t.Fatal(err)
+		}
+		// More flexibility never hurts coverage at fixed capacity.
+		if cov < prev-1e-9 {
+			t.Fatalf("coverage dropped as flexibility rose: %v after %v", cov, prev)
+		}
+		prev = cov
+	}
+}
+
+func TestCostStudy(t *testing.T) {
+	tb, err := CostStudy("UT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = -1
+	milestones := 0
+	for _, row := range tb.Rows {
+		if !strings.HasPrefix(row[0], "cheapest at") {
+			continue
+		}
+		var capex float64
+		if _, err := fscan(row[1], &capex); err != nil {
+			continue // unreachable milestone
+		}
+		milestones++
+		// Higher coverage milestones must cost at least as much.
+		if capex < prev-1e-9 {
+			t.Errorf("coverage milestone got cheaper: %v after %v", capex, prev)
+		}
+		prev = capex
+	}
+	if milestones < 2 {
+		t.Fatalf("too few reachable coverage milestones: %d", milestones)
+	}
+}
+
+func TestRobustnessStudy(t *testing.T) {
+	tb, err := RobustnessStudy("UT", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base + 2 alt years + 2 summary rows.
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var base float64
+	if _, err := fscan(tb.Rows[0][1], &base); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows[1:3] {
+		var cov float64
+		if _, err := fscan(row[1], &cov); err != nil {
+			t.Fatal(err)
+		}
+		// A design tuned on one weather year should not collapse on
+		// another year of the same climate.
+		if cov < base-15 {
+			t.Errorf("design collapses on %s: %v vs base %v", row[0], cov, base)
+		}
+	}
+}
+
+func TestOptimizerStudy(t *testing.T) {
+	tb, err := OptimizerStudy("UT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	evals := map[string]float64{}
+	gaps := map[string]float64{}
+	for _, row := range tb.Rows {
+		var e, g float64
+		if _, err := fscan(row[1], &e); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fscan(row[3], &g); err != nil {
+			t.Fatal(err)
+		}
+		evals[row[0]] = e
+		gaps[row[0]] = g
+	}
+	// The adaptive methods must not be worse than the coarse grid they
+	// start from, and must use far fewer evaluations than the fine grid.
+	if gaps["zoom refinement"] > gaps["coarse exhaustive"]+1e-9 {
+		t.Errorf("refinement worse than coarse: %v", gaps)
+	}
+	if evals["zoom refinement"] >= evals["fine exhaustive (reference)"] {
+		t.Errorf("refinement should be cheaper than the fine grid: %v", evals)
+	}
+	if evals["coordinate descent"] >= evals["fine exhaustive (reference)"] {
+		t.Errorf("descent should be cheaper than the fine grid: %v", evals)
+	}
+	// Neither adaptive method should be far worse than the fine reference.
+	for _, m := range []string{"zoom refinement", "coordinate descent"} {
+		if gaps[m] > 10 {
+			t.Errorf("%s gap vs fine = %v%%, too large", m, gaps[m])
+		}
+	}
+}
+
+func TestJobSimStudy(t *testing.T) {
+	tb, err := JobSimStudy("UT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	carbons := map[string]float64{}
+	waits := map[string]float64{}
+	for _, row := range tb.Rows {
+		var c, w float64
+		if _, err := fscan(row[1], &c); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fscan(row[3], &w); err != nil {
+			t.Fatal(err)
+		}
+		carbons[row[0]] = c
+		waits[row[0]] = w
+	}
+	if carbons["defer-to-green"] >= carbons["run-immediately"] {
+		t.Errorf("defer-to-green should cut carbon at job level: %v", carbons)
+	}
+	if waits["defer-to-green"] <= waits["run-immediately"] {
+		t.Errorf("defer-to-green should pay in wait time: %v", waits)
+	}
+}
+
+func TestDispatchStudy(t *testing.T) {
+	tb, err := DispatchStudy("UT", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		var gap float64
+		if _, err := fscan(row[3], &gap); err != nil {
+			t.Fatal(err)
+		}
+		// The DP has full foresight: no policy can beat it beyond residual
+		// discretization slack, and every sensible policy should be within
+		// tens of percent.
+		if gap < -1 {
+			t.Errorf("%s beats 'optimal' by %v%% — DP resolution too coarse", row[0], -gap)
+		}
+		if gap > 50 {
+			t.Errorf("%s gap %v%% implausibly large", row[0], gap)
+		}
+	}
+}
+
+func TestSearchAblation(t *testing.T) {
+	tb, err := SearchAblation("NC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows[1:] {
+		penalty, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad penalty cell %q", row[3])
+		}
+		// Removing a dimension can never improve the optimum (subset space).
+		if penalty < -0.01 {
+			t.Errorf("%s: negative ablation penalty %v", row[0], penalty)
+		}
+	}
+	// In a solar-only region, removing the battery must hurt a lot — it is
+	// the only way past the ~50% solar ceiling.
+	var noBattery, noWind float64
+	for _, row := range tb.Rows {
+		v, _ := strconv.ParseFloat(row[3], 64)
+		switch row[0] {
+		case "no battery":
+			noBattery = v
+		case "no wind investment":
+			noWind = v
+		}
+	}
+	if noBattery < 10 {
+		t.Errorf("NC no-battery penalty = %v%%, expected large", noBattery)
+	}
+	// NC's grid has no wind, so removing wind investment should cost ~0.
+	if noWind > 1 {
+		t.Errorf("NC no-wind penalty = %v%%, expected ~0", noWind)
+	}
+}

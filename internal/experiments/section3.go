@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/dcload"
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/stats"
+	"carbonexplorer/internal/timeseries"
+)
+
+// Figure01 reproduces the paper's motivating Figure 1: hourly wind and
+// solar generation on a California-like grid over one week, quantifying the
+// swing between the best and worst hours of combined renewable supply
+// (the paper highlights a >3× swing).
+func Figure01() (Table, error) {
+	y := grid.GenerateYear(cisoProfile())
+	// A spring week (day 100) shows both strong solar and variable wind.
+	start := 100 * 24
+	week := 7 * 24
+	wind := y.WindShape().Slice(start, start+week)
+	solar := y.SolarShape().Slice(start, start+week)
+	total, err := wind.Add(solar)
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		ID:      "Figure 1",
+		Caption: "Hourly wind and solar generation (MW), one week, California-like grid",
+		Columns: []string{"hour", "wind_mw", "solar_mw", "total_mw"},
+	}
+	for h := 0; h < week; h++ {
+		t.AddRow(h, wind.At(h), solar.At(h), total.At(h))
+	}
+	// Summary row: the hourly swing the paper annotates (">3x") — the ratio
+	// of the week's best combined-renewables hour to its worst.
+	swing := total.MaxValue() / maxF(total.MinValue(), 1)
+	t.AddRow("best/worst hour", "", "", fmt.Sprintf("%.1fx", swing))
+	return t, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table01 reproduces Table 1: Meta's datacenter locations and regional
+// renewable investments.
+func Table01() Table {
+	t := Table{
+		ID:      "Table 1",
+		Caption: "Meta's datacenter locations and regional renewable investments (MW)",
+		Columns: []string{"site", "location", "BA", "class", "solar_mw", "wind_mw", "total_mw"},
+	}
+	var solar, wind float64
+	for _, s := range grid.Sites() {
+		p := grid.MustProfile(s.BA)
+		t.AddRow(s.ID, s.Name, s.BA, p.Class.String(), s.SolarInvestMW, s.WindInvestMW, s.InvestTotalMW())
+		solar += s.SolarInvestMW
+		wind += s.WindInvestMW
+	}
+	t.AddRow("Total", "", "", "", solar, wind, solar+wind)
+	return t
+}
+
+// Figure03 reproduces Figure 3: diurnal CPU-utilization fluctuation, the
+// much flatter power profile, and the utilization–power correlation of the
+// linear energy-proportionality model.
+func Figure03() (Table, error) {
+	trace, err := dcload.Generate(dcload.DefaultParams(50), timeseries.HoursPerYear)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "Figure 3",
+		Caption: "Datacenter demand characteristics (paper: ~20% util swing, ~4% power swing, tight linear correlation)",
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("avg daily CPU utilization swing (points)", fmt.Sprintf("%.1f", trace.DailyUtilSwing()*100))
+	t.AddRow("avg daily power swing (% of max)", fmt.Sprintf("%.1f", trace.DailyPowerSwing()*100))
+	t.AddRow("utilization-power Pearson correlation", fmt.Sprintf("%.4f", trace.UtilPowerCorrelation()))
+	avg := trace.Util.AverageDay()
+	for h := 0; h < 24; h++ {
+		t.AddRow(fmt.Sprintf("mean util at hour %02d (%%)", h), fmt.Sprintf("%.1f", avg.At(h)*100))
+	}
+	return t, nil
+}
+
+// Table02 reproduces Table 2: lifecycle carbon efficiency of energy
+// sources.
+func Table02() Table {
+	t := Table{
+		ID:      "Table 2",
+		Caption: "Carbon efficiency of energy sources (gCO2eq/kWh)",
+		Columns: []string{"source", "gCO2eq/kWh"},
+	}
+	for _, s := range carbon.AllSources() {
+		t.AddRow(s.String(), float64(s.Intensity()))
+	}
+	return t
+}
+
+// Figure04 reproduces Figure 4: wind and solar curtailment growing with the
+// grid's renewable deployment across calendar years, with a linear
+// trendline.
+func Figure04() (Table, error) {
+	labels := []string{"2015", "2016", "2017", "2018", "2019", "2020", "2021"}
+	// Renewable capacity multipliers retracing California's build-out;
+	// 2021 (scale 1.0 of the modern grid) reaches ~33% renewable share.
+	scales := []float64{0.25, 0.35, 0.45, 0.55, 0.70, 0.85, 1.0}
+	pts := grid.CurtailmentStudy(cisoProfile(), labels, scales)
+
+	t := Table{
+		ID:      "Figure 4",
+		Caption: "Curtailed renewable energy share vs renewable deployment (paper: rising to ~6% by 2021)",
+		Columns: []string{"year", "renewable_share_%", "curtailed_%"},
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		t.AddRow(p.Label, p.RenewableShare*100, p.CurtailedFraction*100)
+		xs[i] = float64(i)
+		ys[i] = p.CurtailedFraction * 100
+	}
+	fit := stats.FitLine(xs, ys)
+	t.AddRow("trendline slope (pp/year)", "", fmt.Sprintf("%.2f", fit.Slope))
+	return t, nil
+}
+
+// Figure05Region summarizes one region for Figure 5.
+type Figure05Region struct {
+	BA             string
+	AvgDayWind     timeseries.Series
+	AvgDaySolar    timeseries.Series
+	DailyHistogram *stats.Histogram
+	Top10OverMean  float64
+	Bottom10Share  float64
+}
+
+// Figure05 reproduces Figure 5: average-day wind/solar profiles and the
+// histogram of total daily renewable generation for the three
+// representative regions (BPAT wind, DUK solar, PACE mixed).
+func Figure05() (Table, []Figure05Region, error) {
+	regions := []string{"BPAT", "DUK", "PACE"}
+	t := Table{
+		ID:      "Figure 5",
+		Caption: "Average-day generation and day-to-day variability by region",
+		Columns: []string{"BA", "class", "avg_daily_renewables_MWh", "best10_over_mean", "worst10_share_of_mean", "histogram_mode_MWh"},
+	}
+	var details []Figure05Region
+	for _, code := range regions {
+		p := grid.MustProfile(code)
+		y := grid.GenerateYear(p)
+		wind := y.WindShape()
+		solar := y.SolarShape()
+		combined, err := wind.Add(solar)
+		if err != nil {
+			return Table{}, nil, err
+		}
+		daily := combined.DailyTotals().Values()
+		s := stats.Summarize(daily)
+		top := stats.MeanOfTopK(daily, 10) / s.Mean
+		bottom := stats.MeanOfBottomK(daily, 10) / s.Mean
+		hist := stats.HistogramOf(daily, 12)
+		t.AddRow(code, p.Class.String(), s.Mean, fmt.Sprintf("%.2f", top), fmt.Sprintf("%.2f", bottom), hist.Mode())
+		details = append(details, Figure05Region{
+			BA:             code,
+			AvgDayWind:     wind.AverageDay(),
+			AvgDaySolar:    solar.AverageDay(),
+			DailyHistogram: hist,
+			Top10OverMean:  top,
+			Bottom10Share:  bottom,
+		})
+	}
+	return t, details, nil
+}
+
+// Figure06 reproduces Figure 6: hourly operational carbon intensity of the
+// grid mix, Net Zero, and 24/7 supply scenarios for the Utah datacenter at
+// Meta's regional investment levels.
+func Figure06() (Table, error) {
+	in, err := siteInputs("UT")
+	if err != nil {
+		return Table{}, err
+	}
+	site := in.Site
+	design := explorer.Design{
+		WindMW: site.WindInvestMW, SolarMW: site.SolarInvestMW,
+		BatteryMWh: 4 * in.AvgDemandMW(), DoD: 1.0,
+		FlexibleRatio: 0.4, ExtraCapacityFrac: 0.25,
+	}
+	sc, err := in.Intensities(design)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "Figure 6",
+		Caption: "Hourly operational carbon intensity by DC energy-supply scenario (gCO2/kWh, average day)",
+		Columns: []string{"hour", "grid_mix", "net_zero", "24/7"},
+	}
+	gm := sc.GridMix.AverageDay()
+	nz := sc.NetZero.AverageDay()
+	tf := sc.TwentyFourSeven.AverageDay()
+	for h := 0; h < 24; h++ {
+		t.AddRow(h, gm.At(h), nz.At(h), tf.At(h))
+	}
+	t.AddRow("mean", gm.Mean(), nz.Mean(), tf.Mean())
+	return t, nil
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/scheduler"
+	"carbonexplorer/internal/workload"
+)
+
+// figure7Regions are the paper's three representative sites: majorly-wind
+// Oregon, mixed Utah, solar-only North Carolina.
+var figure7Regions = []string{"OR", "UT", "NC"}
+
+// Figure07 reproduces Figure 7: 24/7 renewable coverage as a function of
+// wind and solar investment for the three representative regions, plus the
+// coverage at Meta's actual regional investment (the paper's black lines,
+// reported at 46–51% for its two examples).
+func Figure07() (Table, error) {
+	t := Table{
+		ID:      "Figure 7",
+		Caption: "24/7 coverage (%) vs wind and solar investment (multiples of avg DC power)",
+		Columns: []string{"site", "wind_x", "solar_x", "coverage_%"},
+	}
+	multiples := []float64{0, 1, 2, 4, 8, 16}
+	for _, id := range figure7Regions {
+		in, err := siteInputs(id)
+		if err != nil {
+			return Table{}, err
+		}
+		avg := in.AvgDemandMW()
+		for _, wx := range multiples {
+			for _, sx := range multiples {
+				cov, err := in.CoverageFor(wx*avg, sx*avg)
+				if err != nil {
+					return Table{}, err
+				}
+				t.AddRow(id, wx, sx, cov)
+			}
+		}
+		// Meta's actual investment point.
+		site := in.Site
+		cov, err := in.CoverageFor(site.WindInvestMW, site.SolarInvestMW)
+		if err != nil {
+			return Table{}, err
+		}
+		t.AddRow(id, fmt.Sprintf("meta:%.0fMW", site.WindInvestMW), fmt.Sprintf("meta:%.0fMW", site.SolarInvestMW), cov)
+	}
+	return t, nil
+}
+
+// Figure08 reproduces Figure 8 for Oregon: the long tail of renewable
+// investment needed as the coverage target rises, the paper's headline
+// ratio (reaching 99.9% from 95% takes >5× the investment of reaching 95%
+// from 0%), and the over-optimism of assuming average-day output.
+func Figure08() (Table, error) {
+	in, err := siteInputs("OR")
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "Figure 8",
+		Caption: "Renewable investment (MW) for coverage targets, Oregon (majorly wind)",
+		Columns: []string{"coverage_target_%", "investment_mw"},
+	}
+	const windFrac = 0.9 // Oregon's grid is wind; keep a realistic mix
+	maxMW := 1e7
+	targets := []float64{50, 75, 90, 95, 99, 99.9}
+	byTarget := map[float64]float64{}
+	for _, target := range targets {
+		mw, ok, err := in.InvestmentForCoverage(target, windFrac, maxMW)
+		if err != nil {
+			return Table{}, err
+		}
+		if !ok {
+			t.AddRow(target, "unreachable")
+			continue
+		}
+		byTarget[target] = mw
+		t.AddRow(target, mw)
+	}
+	if mw95, ok95 := byTarget[95.0]; ok95 {
+		if mw999, ok999 := byTarget[99.9]; ok999 {
+			ratio := (mw999 - mw95) / mw95
+			t.AddRow("(99.9%-95%)/(0-95%) investment ratio", fmt.Sprintf("%.1fx", ratio))
+		}
+	}
+
+	// Average-day assumption: tile the mean daily profile across the year
+	// and ask what investment would reach ~100% coverage under it.
+	avgWind := in.WindShape.AverageDay().TileDaily(in.Demand.Len())
+	avgSolar := in.SolarShape.AverageDay().TileDaily(in.Demand.Len())
+	flat, err := explorer.NewInputsFromSeries(in.Site, in.Demand, avgWind, avgSolar, in.GridCI, in.Embodied)
+	if err != nil {
+		return Table{}, err
+	}
+	mwFlat, okFlat, err := flat.InvestmentForCoverage(99.9, windFrac, maxMW)
+	if err != nil {
+		return Table{}, err
+	}
+	if okFlat {
+		t.AddRow("99.9% assuming average-day supply", mwFlat)
+		if real, ok := byTarget[99.9]; ok && mwFlat > 0 {
+			t.AddRow("real/average-day investment ratio at 99.9%", fmt.Sprintf("%.1fx", real/mwFlat))
+		}
+	}
+	return t, nil
+}
+
+// Figure09 reproduces Figure 9: battery capacity (hours of average compute)
+// required for 24/7 renewable coverage at different wind/solar investment
+// levels, for mixed-region Utah, plus the paper's solar-only contrast
+// (North Carolina needs ~14 hours).
+func Figure09() (Table, error) {
+	t := Table{
+		ID:      "Figure 9",
+		Caption: "Battery hours of compute needed for 24/7 coverage",
+		Columns: []string{"site", "wind_x", "solar_x", "battery_hours"},
+	}
+	const target = 99.99
+	const maxHours = 100.0
+	utIn, err := siteInputs("UT")
+	if err != nil {
+		return Table{}, err
+	}
+	avg := utIn.AvgDemandMW()
+	for _, wx := range []float64{2, 4, 8} {
+		for _, sx := range []float64{2, 4, 8} {
+			hours, ok, err := utIn.MinBatteryHoursFor247(wx*avg, sx*avg, target, maxHours)
+			if err != nil {
+				return Table{}, err
+			}
+			if !ok {
+				t.AddRow("UT", wx, sx, "unreachable")
+				continue
+			}
+			t.AddRow("UT", wx, sx, hours)
+		}
+	}
+	// Meta's actual Utah investments (paper: ~5 hours suffices).
+	hours, ok, err := utIn.MinBatteryHoursFor247(utIn.Site.WindInvestMW, utIn.Site.SolarInvestMW, target, maxHours)
+	if err != nil {
+		return Table{}, err
+	}
+	if ok {
+		t.AddRow("UT", "meta", "meta", hours)
+	} else {
+		t.AddRow("UT", "meta", "meta", "unreachable")
+	}
+
+	// Solar-only North Carolina needs a much larger relative build before
+	// 24/7 becomes reachable at all, and then a much larger battery than
+	// the mixed region (the paper reports ~14 h at its investment levels).
+	ncIn, err := siteInputs("NC")
+	if err != nil {
+		return Table{}, err
+	}
+	ncAvg := ncIn.AvgDemandMW()
+	for _, sx := range []float64{8, 16} {
+		ncHours, ncOK, err := ncIn.MinBatteryHoursFor247(0, sx*ncAvg, target, maxHours)
+		if err != nil {
+			return Table{}, err
+		}
+		if ncOK {
+			t.AddRow("NC", 0, sx, ncHours)
+		} else {
+			t.AddRow("NC", 0, sx, "unreachable")
+		}
+	}
+	return t, nil
+}
+
+// Figure10 reproduces Figure 10: the SLO-tier breakdown of data-processing
+// workloads.
+func Figure10() Table {
+	t := Table{
+		ID:      "Figure 10",
+		Caption: "Data-processing workloads by completion-time SLO",
+		Columns: []string{"tier", "share_%", "slack_hours"},
+	}
+	for _, tier := range workload.AllTiers() {
+		t.AddRow(tier.String(), tier.Share()*100, tier.SlackHours())
+	}
+	t.AddRow("share with SLO >= 4h", fmt.Sprintf("%.1f", workload.ShareWithSLOAtLeast(4)*100), "")
+	return t
+}
+
+// Figure11 reproduces Figure 11: a three-day illustration of carbon-aware
+// scheduling for the Utah datacenter with a 17.6 MW capacity cap and 10%
+// flexible workloads, shifting load against the grid's carbon intensity.
+func Figure11() (Table, error) {
+	in, err := siteInputs("UT")
+	if err != nil {
+		return Table{}, err
+	}
+	const days = 3
+	start := 120 * 24 // a spring stretch with pronounced CI swings
+	// The paper's illustration assumes a 17.6 MW maximum DC capacity with
+	// the demand sitting ~10% below it; scale the Utah trace accordingly.
+	demand := in.Demand.Slice(start, start+days*24)
+	demand = demand.Scale(16.0 / demand.Mean())
+	signal := in.GridCI.Slice(start, start+days*24)
+	shifted, err := scheduler.ShiftDaily(demand, signal, scheduler.Config{
+		CapacityMW:    17.6,
+		FlexibleRatio: 0.10,
+		WindowHours:   24,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "Figure 11",
+		Caption: "Carbon-aware scheduling illustration, Utah DC, 3 days (17.6 MW cap, 10% flexible)",
+		Columns: []string{"hour", "grid_ci_g/kwh", "power_no_cas_mw", "power_cas_mw"},
+	}
+	for h := 0; h < days*24; h++ {
+		t.AddRow(h, signal.At(h), demand.At(h), shifted.At(h))
+	}
+	// Carbon-weighted check: CAS load should consume less carbon.
+	var before, after float64
+	for h := 0; h < days*24; h++ {
+		before += demand.At(h) * signal.At(h)
+		after += shifted.At(h) * signal.At(h)
+	}
+	t.AddRow("carbon-weighted load reduction %", "", "", (1-after/before)*100)
+	return t, nil
+}
+
+// Figure12 reproduces Figure 12: extra server capacity (as % of existing)
+// required to reach 24/7 carbon-free computation via scheduling alone, with
+// all workloads flexible, across renewable investment levels for Utah
+// (paper: 19% to over 100%).
+func Figure12() (Table, error) {
+	in, err := siteInputs("UT")
+	if err != nil {
+		return Table{}, err
+	}
+	avg := in.AvgDemandMW()
+	t := Table{
+		ID:      "Figure 12",
+		Caption: "Extra server capacity (% of existing) for 24/7 via scheduling, all workloads flexible, Utah",
+		Columns: []string{"wind_x", "solar_x", "extra_capacity_%"},
+	}
+	const target = 99.99
+	for _, wx := range []float64{4, 6, 8, 12} {
+		for _, sx := range []float64{4, 6, 8, 12} {
+			frac, ok, err := in.MinExtraCapacityFor247(wx*avg, sx*avg, 1.0, target, 4.0)
+			if err != nil {
+				return Table{}, err
+			}
+			if !ok {
+				t.AddRow(wx, sx, "unreachable")
+				continue
+			}
+			t.AddRow(wx, sx, frac*100)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,107 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from Carbon Explorer's models. Each Figure/Table function
+// returns a printable Table (and, where useful, richer data); the bench
+// harness at the repository root and cmd/report both drive these
+// generators.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result: a caption, column names, and rows
+// of pre-formatted cells.
+type Table struct {
+	// ID is the paper artifact identifier, e.g. "Figure 8".
+	ID string
+	// Caption describes what the table shows.
+	Caption string
+	// Columns are the column headers.
+	Columns []string
+	// Rows are the data cells; each row must have len(Columns) cells.
+	Rows [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// trimFloat renders a float compactly: integers without decimals, others
+// with up to three significant decimals.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table with a
+// heading, for report files.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Caption)
+	b.WriteString("| ")
+	b.WriteString(strings.Join(t.Columns, " | "))
+	b.WriteString(" |\n|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString("| ")
+		b.WriteString(strings.Join(row, " | "))
+		b.WriteString(" |\n")
+	}
+	return b.String()
+}
+
+// String renders the table as aligned plain text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Caption)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package explorer
+
+import (
+	"fmt"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+// Coverage computes the paper's renewable-coverage metric for a demand and
+// supply pair:
+//
+//	coverage = (1 − Σ_h max(P_DC(h) − P_Ren(h), 0) / Σ_h P_DC(h)) × 100
+//
+// i.e. the percentage of datacenter energy covered hourly by renewable
+// energy. It returns a value in [0, 100]; zero demand yields 100 (nothing to
+// cover).
+func Coverage(demand, renewable timeseries.Series) (float64, error) {
+	if demand.Len() != renewable.Len() {
+		return 0, fmt.Errorf("explorer: demand length %d != renewable length %d", demand.Len(), renewable.Len())
+	}
+	total := demand.Sum()
+	if total <= 0 {
+		return 100, nil
+	}
+	deficit, err := demand.Sub(renewable)
+	if err != nil {
+		return 0, err
+	}
+	uncovered := deficit.PositivePart().Sum()
+	return (1 - uncovered/total) * 100, nil
+}
+
+// CoverageFromGridDraw computes coverage given the energy actually drawn
+// from the grid after batteries and scheduling: the fraction of demand NOT
+// served by carbon-free sources.
+func CoverageFromGridDraw(gridDrawMWh, demandMWh float64) float64 {
+	if demandMWh <= 0 {
+		return 100
+	}
+	c := (1 - gridDrawMWh/demandMWh) * 100
+	if c < 0 {
+		return 0
+	}
+	if c > 100 {
+		return 100
+	}
+	return c
+}

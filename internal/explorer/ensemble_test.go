@@ -1,0 +1,90 @@
+package explorer
+
+import (
+	"testing"
+
+	"carbonexplorer/internal/grid"
+)
+
+func TestEnsembleEvaluate(t *testing.T) {
+	site := grid.MustSite("UT")
+	d := Design{WindMW: 80, SolarMW: 80, BatteryMWh: 80, DoD: 1.0}
+	res, err := EnsembleEvaluate(site, d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 5 {
+		t.Fatalf("outcomes = %d", len(res.Outcomes))
+	}
+	if !(res.CoverageP10 <= res.CoverageP50 && res.CoverageP50 <= res.CoverageP90) {
+		t.Fatalf("coverage percentiles out of order: %v %v %v",
+			res.CoverageP10, res.CoverageP50, res.CoverageP90)
+	}
+	if !(res.TotalP10 <= res.TotalP50 && res.TotalP50 <= res.TotalP90) {
+		t.Fatalf("total percentiles out of order")
+	}
+	// Weather years must actually differ.
+	same := true
+	for _, o := range res.Outcomes[1:] {
+		if o.CoveragePct != res.Outcomes[0].CoveragePct {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("all ensemble years identical — seeds not varied")
+	}
+	// Year-to-year spread in this climate model should be moderate.
+	if res.CoverageP90-res.CoverageP10 > 20 {
+		t.Fatalf("implausible coverage spread: %v", res.CoverageP90-res.CoverageP10)
+	}
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	site := grid.MustSite("UT")
+	if _, err := EnsembleEvaluate(site, Design{}, 1); err == nil {
+		t.Fatal("ensemble of 1 should error")
+	}
+	if _, err := EnsembleEvaluate(site, Design{WindMW: -1}, 3); err == nil {
+		t.Fatal("invalid design should error")
+	}
+	bad := site
+	bad.BA = "NOPE"
+	if _, err := EnsembleEvaluate(bad, Design{}, 3); err == nil {
+		t.Fatal("unknown BA should error")
+	}
+}
+
+func TestEnsembleDeterministic(t *testing.T) {
+	site := grid.MustSite("NM")
+	d := Design{WindMW: 60, SolarMW: 60}
+	a, err := EnsembleEvaluate(site, d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EnsembleEvaluate(site, d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Outcomes {
+		if a.Outcomes[i].CoveragePct != b.Outcomes[i].CoveragePct {
+			t.Fatalf("ensemble not deterministic at year %d", i)
+		}
+	}
+}
+
+func TestPercentileHelper(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := percentile([]float64{7}, 10); got != 7 {
+		t.Fatalf("single = %v", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}

@@ -1,0 +1,259 @@
+package explorer
+
+import (
+	"fmt"
+
+	"carbonexplorer/internal/battery"
+	"carbonexplorer/internal/scheduler"
+	"carbonexplorer/internal/timeseries"
+	"carbonexplorer/internal/units"
+)
+
+// Strategy selects which of the paper's solution dimensions a design may
+// use (Figure 14's four curves).
+type Strategy int
+
+// The four strategies of Section 5.2.
+const (
+	// RenewablesOnly invests in wind/solar generation alone.
+	RenewablesOnly Strategy = iota
+	// RenewablesBattery adds on-site battery storage.
+	RenewablesBattery
+	// RenewablesCAS adds carbon-aware scheduling with extra servers.
+	RenewablesCAS
+	// RenewablesBatteryCAS combines all three solutions.
+	RenewablesBatteryCAS
+)
+
+// String names the strategy as the paper labels it.
+func (s Strategy) String() string {
+	switch s {
+	case RenewablesOnly:
+		return "Renewables Only"
+	case RenewablesBattery:
+		return "Renewables + Battery"
+	case RenewablesCAS:
+		return "Renewables + CAS"
+	case RenewablesBatteryCAS:
+		return "Renewables + Battery + CAS"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// UsesBattery reports whether designs under this strategy may deploy
+// storage.
+func (s Strategy) UsesBattery() bool {
+	return s == RenewablesBattery || s == RenewablesBatteryCAS
+}
+
+// UsesCAS reports whether designs under this strategy may shift workloads.
+func (s Strategy) UsesCAS() bool {
+	return s == RenewablesCAS || s == RenewablesBatteryCAS
+}
+
+// AllStrategies lists the four strategies in the paper's order.
+func AllStrategies() []Strategy {
+	return []Strategy{RenewablesOnly, RenewablesBattery, RenewablesCAS, RenewablesBatteryCAS}
+}
+
+// Design is one point in the design space.
+type Design struct {
+	// WindMW and SolarMW are renewable investments (installed capacity).
+	WindMW  float64
+	SolarMW float64
+	// BatteryMWh is on-site storage capacity (0 = none).
+	BatteryMWh float64
+	// DoD is the battery's depth of discharge in (0, 1]; ignored without a
+	// battery.
+	DoD float64
+	// BatteryTech selects the storage chemistry; the zero value is the
+	// paper's LFP. Non-LFP chemistries use their own efficiency, C-rate,
+	// cycle-life, and manufacturing-footprint figures.
+	BatteryTech battery.Technology
+	// FlexibleRatio is the fraction of load the scheduler may defer
+	// (0 = no carbon-aware scheduling).
+	FlexibleRatio float64
+	// ExtraCapacityFrac is extra server capacity provisioned for deferred
+	// work, as a fraction of baseline peak demand (e.g. 0.25 = +25%).
+	ExtraCapacityFrac float64
+}
+
+// Validate reports the first invalid field, or nil.
+func (d Design) Validate() error {
+	switch {
+	case d.WindMW < 0 || d.SolarMW < 0:
+		return fmt.Errorf("explorer: negative renewable investment")
+	case d.BatteryMWh < 0:
+		return fmt.Errorf("explorer: negative battery capacity")
+	case d.BatteryMWh > 0 && (d.DoD <= 0 || d.DoD > 1):
+		return fmt.Errorf("explorer: depth of discharge %v out of (0, 1]", d.DoD)
+	case d.FlexibleRatio < 0 || d.FlexibleRatio > 1:
+		return fmt.Errorf("explorer: flexible ratio %v out of [0, 1]", d.FlexibleRatio)
+	case d.ExtraCapacityFrac < 0:
+		return fmt.Errorf("explorer: negative extra capacity")
+	}
+	return nil
+}
+
+// Outcome is the evaluated result of a design.
+type Outcome struct {
+	// Design echoes the evaluated point.
+	Design Design
+	// CoveragePct is 24/7 renewable coverage in [0, 100].
+	CoveragePct float64
+	// Operational is the annual operational carbon: grid energy drawn,
+	// priced at the grid's hourly carbon intensity.
+	Operational units.GramsCO2
+	// Embodied is the annualized embodied carbon of the design's
+	// renewables, battery, and extra servers.
+	Embodied units.GramsCO2
+	// EmbodiedRenewables, EmbodiedBattery, and EmbodiedServers break down
+	// Embodied.
+	EmbodiedRenewables units.GramsCO2
+	EmbodiedBattery    units.GramsCO2
+	EmbodiedServers    units.GramsCO2
+	// GridEnergyMWh is annual energy drawn from the grid.
+	GridEnergyMWh float64
+	// SurplusMWh is annual renewable energy the datacenter could not use,
+	// store, or absorb.
+	SurplusMWh float64
+	// BatteryCyclesPerDay is the battery's equivalent full cycles per day.
+	BatteryCyclesPerDay float64
+	// ExtraCapacityUsedFrac is the peak of the balanced load above baseline
+	// peak demand, as a fraction of baseline peak.
+	ExtraCapacityUsedFrac float64
+	// BatterySoC is the hourly state-of-charge trace (empty when no
+	// battery), used for the Figure 16 charge-level distribution.
+	BatterySoC timeseries.Series
+}
+
+// Total returns operational + embodied carbon.
+func (o Outcome) Total() units.GramsCO2 { return o.Operational + o.Embodied }
+
+// Evaluate simulates one design for one year and returns its outcome.
+//
+// The battery is created fresh per call (full at hour zero). Embodied
+// charges follow Section 5.1: renewables per kWh generated, battery
+// capacity amortized over its DoD- and cycling-dependent lifetime, extra
+// servers amortized over the server refresh horizon with the facility
+// multiplier.
+func (in *Inputs) Evaluate(d Design) (Outcome, error) {
+	res, bat, err := in.simulate(d)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	out := Outcome{Design: d}
+
+	// Operational carbon: every MWh drawn from the grid is priced at that
+	// hour's grid carbon intensity.
+	var operational units.GramsCO2
+	for h := 0; h < res.GridDraw.Len(); h++ {
+		draw := res.GridDraw.At(h)
+		if draw <= 0 {
+			continue
+		}
+		operational += units.MegaWattHours(draw).Carbon(units.CarbonIntensity(in.GridCI.At(h)))
+	}
+	out.Operational = operational
+	out.GridEnergyMWh = res.GridDraw.Sum()
+	out.SurplusMWh = res.Surplus.Sum()
+	out.CoveragePct = CoverageFromGridDraw(out.GridEnergyMWh, in.demandTotalMWh)
+
+	// Embodied: renewables are charged for everything the farms generate.
+	windGen := units.MegaWattHours(0)
+	if d.WindMW > 0 {
+		windGen = units.MegaWattHours(in.WindShape.ScaleToMax(d.WindMW).Sum())
+	}
+	solarGen := units.MegaWattHours(0)
+	if d.SolarMW > 0 {
+		solarGen = units.MegaWattHours(in.SolarShape.ScaleToMax(d.SolarMW).Sum())
+	}
+	out.EmbodiedRenewables = in.Embodied.RenewableEmbodied(windGen, solarGen)
+
+	if bat != nil {
+		days := float64(in.Demand.Len()) / 24
+		out.BatteryCyclesPerDay = bat.EquivalentFullCycles() / days
+		if d.BatteryTech == battery.LFPCell {
+			// LFP uses the (user-tunable) EmbodiedParams figures, which
+			// default to the paper's values.
+			out.EmbodiedBattery = in.Embodied.BatteryEmbodiedAnnual(
+				units.MegaWattHours(d.BatteryMWh), d.DoD, out.BatteryCyclesPerDay)
+		} else {
+			out.EmbodiedBattery = chemistryEmbodiedAnnual(
+				d.BatteryTech.Spec(), units.MegaWattHours(d.BatteryMWh), d.DoD, out.BatteryCyclesPerDay)
+		}
+		out.BatterySoC = res.BatterySoC
+	}
+
+	// Servers are charged for the capacity the design provisions, not the
+	// observed peak: provisioned capacity is the investment decision the
+	// optimizer weighs. (Transient forced-deadline peaks above the cap are
+	// absorbed by existing headroom or Turbo Boost, per Section 4.3's note,
+	// and reported via ExtraCapacityUsedFrac.)
+	if d.FlexibleRatio > 0 && d.ExtraCapacityFrac > 0 {
+		out.EmbodiedServers = in.Embodied.ServerEmbodiedAnnual(
+			units.MegaWatts(d.ExtraCapacityFrac * in.peakDemandMW))
+	}
+	if extra := res.PeakLoadMW - in.peakDemandMW; extra > 0 {
+		out.ExtraCapacityUsedFrac = extra / in.peakDemandMW
+	}
+
+	out.Embodied = out.EmbodiedRenewables + out.EmbodiedBattery + out.EmbodiedServers
+	return out, nil
+}
+
+// chemistryEmbodiedAnnual annualizes a non-LFP chemistry's manufacturing
+// footprint using its own per-kWh figure, cycle-life curve, and calendar
+// cap.
+func chemistryEmbodiedAnnual(chem battery.Chemistry, capacity units.MegaWattHours, dod, cyclesPerDay float64) units.GramsCO2 {
+	if capacity <= 0 {
+		return 0
+	}
+	total := units.FromKgCO2(capacity.KWh() * chem.EmbodiedKgPerKWh)
+	years := chem.CalendarLifeYears
+	if cyclesPerDay > 0 {
+		byCycles := chem.CycleLife(dod) / cyclesPerDay / 365
+		if byCycles < years {
+			years = byCycles
+		}
+	}
+	return units.GramsCO2(float64(total) / years)
+}
+
+// simulate runs the scheduler for a design, creating a fresh battery. It is
+// shared by Evaluate and Intensities.
+func (in *Inputs) simulate(d Design) (scheduler.Result, *battery.Battery, error) {
+	if err := d.Validate(); err != nil {
+		return scheduler.Result{}, nil, err
+	}
+	renewable := in.RenewableSupply(d.WindMW, d.SolarMW)
+
+	var bat *battery.Battery
+	if d.BatteryMWh > 0 {
+		var err error
+		bat, err = battery.New(d.BatteryTech.Spec().Params(d.BatteryMWh, d.DoD))
+		if err != nil {
+			return scheduler.Result{}, nil, err
+		}
+	}
+
+	capacityMW := 0.0
+	if d.FlexibleRatio > 0 {
+		capacityMW = in.peakDemandMW * (1 + d.ExtraCapacityFrac)
+	}
+
+	res, err := scheduler.Simulate(scheduler.SimConfig{
+		Demand:              in.Demand,
+		Renewable:           renewable,
+		Battery:             bat,
+		FlexibleRatio:       d.FlexibleRatio,
+		CapacityMW:          capacityMW,
+		DeferralWindowHours: 24,
+	})
+	if err != nil {
+		return scheduler.Result{}, nil, err
+	}
+	return res, bat, nil
+}

@@ -1,0 +1,167 @@
+// Package explorer is Carbon Explorer's core: it evaluates datacenter
+// designs — combinations of renewable-energy investment, battery capacity,
+// and extra server capacity for carbon-aware scheduling — against hourly
+// supply and demand data, accounts for operational and embodied carbon, and
+// searches the design space for the carbon-optimal configuration (the
+// pipeline of the paper's Figures 2 and 13).
+package explorer
+
+import (
+	"fmt"
+
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/dcload"
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/timeseries"
+)
+
+// Inputs bundles everything needed to evaluate designs for one datacenter
+// site: the site's demand trace, its grid's renewable generation shapes, and
+// the grid's hourly carbon intensity. Build it once per site and reuse it
+// across many Evaluate calls.
+type Inputs struct {
+	// Site is the datacenter location under study.
+	Site grid.Site
+	// Demand is the datacenter's hourly power in MW.
+	Demand timeseries.Series
+	// WindShape and SolarShape are the local grid's hourly wind and solar
+	// generation in MW. Investments are projected by linearly rescaling
+	// these shapes so their annual maximum equals the invested capacity
+	// (Section 4.1).
+	WindShape  timeseries.Series
+	SolarShape timeseries.Series
+	// GridCI is the local grid's hourly carbon intensity in gCO2/kWh,
+	// used to price energy drawn from the grid.
+	GridCI timeseries.Series
+	// Embodied holds the manufacturing-footprint assumptions.
+	Embodied carbon.EmbodiedParams
+
+	// demandTotalMWh caches Demand.Sum().
+	demandTotalMWh float64
+	// peakDemandMW caches Demand.MaxValue(), the baseline provisioned
+	// capacity against which extra servers are measured.
+	peakDemandMW float64
+}
+
+// Option customizes NewInputs.
+type Option func(*options)
+
+type options struct {
+	demandParams *dcload.Params
+	embodied     *carbon.EmbodiedParams
+}
+
+// WithDemandParams overrides the default demand model.
+func WithDemandParams(p dcload.Params) Option {
+	return func(o *options) { o.demandParams = &p }
+}
+
+// WithEmbodiedParams overrides the default embodied-carbon assumptions.
+func WithEmbodiedParams(p carbon.EmbodiedParams) Option {
+	return func(o *options) { o.embodied = &p }
+}
+
+// NewInputs assembles evaluation inputs for a site: it simulates the site's
+// balancing-authority grid year and the site's demand trace.
+func NewInputs(site grid.Site, opts ...Option) (*Inputs, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	profile, err := grid.Profile(site.BA)
+	if err != nil {
+		return nil, err
+	}
+	year := grid.GenerateYear(profile)
+
+	dp := dcload.DefaultParams(site.AvgPowerMW)
+	if o.demandParams != nil {
+		dp = *o.demandParams
+	}
+	trace, err := dcload.Generate(dp, timeseries.HoursPerYear)
+	if err != nil {
+		return nil, err
+	}
+
+	emb := carbon.DefaultEmbodiedParams()
+	if o.embodied != nil {
+		emb = *o.embodied
+	}
+	if err := emb.Validate(); err != nil {
+		return nil, err
+	}
+
+	in := &Inputs{
+		Site:       site,
+		Demand:     trace.Power,
+		WindShape:  year.WindShape(),
+		SolarShape: year.SolarShape(),
+		GridCI:     year.CarbonIntensity(),
+		Embodied:   emb,
+	}
+	in.finish()
+	return in, nil
+}
+
+// NewInputsFromSeries assembles inputs from caller-provided series, for
+// users substituting real EIA and datacenter data. All series must have
+// equal, non-zero length.
+func NewInputsFromSeries(site grid.Site, demand, windShape, solarShape, gridCI timeseries.Series, emb carbon.EmbodiedParams) (*Inputs, error) {
+	n := demand.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("explorer: empty demand series")
+	}
+	for name, s := range map[string]timeseries.Series{
+		"wind": windShape, "solar": solarShape, "grid CI": gridCI,
+	} {
+		if s.Len() != n {
+			return nil, fmt.Errorf("explorer: %s series length %d != demand length %d", name, s.Len(), n)
+		}
+	}
+	if err := emb.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Inputs{
+		Site:       site,
+		Demand:     demand.Clone(),
+		WindShape:  windShape.Clone(),
+		SolarShape: solarShape.Clone(),
+		GridCI:     gridCI.Clone(),
+		Embodied:   emb,
+	}
+	in.finish()
+	return in, nil
+}
+
+func (in *Inputs) finish() {
+	in.demandTotalMWh = in.Demand.Sum()
+	in.peakDemandMW = in.Demand.MaxValue()
+}
+
+// PeakDemandMW returns the baseline peak demand — the site's existing
+// provisioned capacity.
+func (in *Inputs) PeakDemandMW() float64 { return in.peakDemandMW }
+
+// AvgDemandMW returns the mean demand.
+func (in *Inputs) AvgDemandMW() float64 { return in.demandTotalMWh / float64(in.Demand.Len()) }
+
+// RenewableSupply projects hourly renewable supply for the given wind and
+// solar investments using the paper's linear-scaling rule. A zero investment
+// contributes nothing; a region with no generation of a type (e.g. wind in
+// North Carolina) contributes nothing regardless of investment.
+func (in *Inputs) RenewableSupply(windMW, solarMW float64) timeseries.Series {
+	wind := timeseries.New(in.Demand.Len())
+	if windMW > 0 {
+		wind = in.WindShape.ScaleToMax(windMW)
+	}
+	solar := timeseries.New(in.Demand.Len())
+	if solarMW > 0 {
+		solar = in.SolarShape.ScaleToMax(solarMW)
+	}
+	sum, err := wind.Add(solar)
+	if err != nil {
+		// Both series derive from in.Demand's length; mismatch is impossible.
+		panic(err)
+	}
+	return sum
+}

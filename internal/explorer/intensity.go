@@ -1,0 +1,60 @@
+package explorer
+
+import (
+	"carbonexplorer/internal/timeseries"
+)
+
+// ScenarioIntensities compares the hourly operational carbon intensity
+// (gCO2/kWh of datacenter energy) of the paper's three supply scenarios
+// (Figure 6):
+//
+//   - GridMix: the datacenter consumes the grid's energy mix as-is.
+//   - NetZero: the datacenter holds PPAs for the design's renewable
+//     investments; hours covered by renewable generation are carbon-free,
+//     but deficit hours consume grid-mix energy (the paper's point: annual
+//     matching still leaves carbon-intensive hours).
+//   - TwentyFourSeven: the design's battery and scheduling are applied; only
+//     residual grid draw carries the grid's intensity.
+//
+// Renewable energy is priced at zero operational carbon in all scenarios;
+// its lifecycle carbon is an embodied charge (Section 5.1).
+type ScenarioIntensities struct {
+	GridMix         timeseries.Series
+	NetZero         timeseries.Series
+	TwentyFourSeven timeseries.Series
+}
+
+// Intensities evaluates the three scenarios for a design.
+func (in *Inputs) Intensities(d Design) (ScenarioIntensities, error) {
+	if err := d.Validate(); err != nil {
+		return ScenarioIntensities{}, err
+	}
+	n := in.Demand.Len()
+	out := ScenarioIntensities{GridMix: in.GridCI.Clone()}
+
+	renewable := in.RenewableSupply(d.WindMW, d.SolarMW)
+	out.NetZero = timeseries.Generate(n, func(h int) float64 {
+		demand := in.Demand.At(h)
+		if demand <= 0 {
+			return 0
+		}
+		deficit := demand - renewable.At(h)
+		if deficit <= 0 {
+			return 0
+		}
+		return deficit / demand * in.GridCI.At(h)
+	})
+
+	sim, _, err := in.simulate(d)
+	if err != nil {
+		return ScenarioIntensities{}, err
+	}
+	out.TwentyFourSeven = timeseries.Generate(n, func(h int) float64 {
+		load := sim.Balanced.At(h)
+		if load <= 0 {
+			return 0
+		}
+		return sim.GridDraw.At(h) / load * in.GridCI.At(h)
+	})
+	return out, nil
+}

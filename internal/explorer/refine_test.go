@@ -1,0 +1,124 @@
+package explorer
+
+import (
+	"testing"
+)
+
+func coarseSpace(in *Inputs) Space {
+	avg := in.AvgDemandMW()
+	return Space{
+		WindMW:             []float64{0, 4 * avg, 12 * avg},
+		SolarMW:            []float64{0, 4 * avg, 12 * avg},
+		BatteryHours:       []float64{0, 6},
+		ExtraCapacityFracs: []float64{0, 0.5},
+		DoD:                1.0,
+		FlexibleRatio:      0.4,
+	}
+}
+
+func TestRefineSearchImprovesOnCoarse(t *testing.T) {
+	in := siteInputs(t, "UT")
+	space := coarseSpace(in)
+	coarse, err := in.Search(space, RenewablesBattery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := in.RefineSearch(space, RenewablesBattery, RefineOptions{Rounds: 2, PointsPerDim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Optimal.Total() > coarse.Optimal.Total() {
+		t.Fatalf("refinement made the optimum worse: %v vs %v",
+			refined.Optimal.Total(), coarse.Optimal.Total())
+	}
+	if refined.Evaluations <= len(coarse.Points) {
+		t.Fatalf("refinement should have evaluated more designs")
+	}
+	// Convergence trace: non-increasing.
+	for i := 1; i < len(refined.Rounds); i++ {
+		if refined.Rounds[i] > refined.Rounds[i-1]+1e-9 {
+			t.Fatalf("incumbent worsened between rounds: %v", refined.Rounds)
+		}
+	}
+}
+
+func TestRefineSearchRespectsStrategy(t *testing.T) {
+	in := siteInputs(t, "UT")
+	refined, err := in.RefineSearch(coarseSpace(in), RenewablesOnly, RefineOptions{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := refined.Optimal.Design
+	if d.BatteryMWh != 0 || d.FlexibleRatio != 0 || d.ExtraCapacityFrac != 0 {
+		t.Fatalf("renewables-only refinement leaked other dimensions: %+v", d)
+	}
+}
+
+func TestRefineSearchDefaults(t *testing.T) {
+	opts := RefineOptions{}.withDefaults()
+	if opts.Rounds != 3 || opts.PointsPerDim != 5 || opts.Shrink != 0.35 {
+		t.Fatalf("defaults wrong: %+v", opts)
+	}
+}
+
+func TestBracketAndSpacing(t *testing.T) {
+	if got := spacing([]float64{0, 10, 20}); got != 10 {
+		t.Fatalf("spacing = %v", got)
+	}
+	if got := spacing([]float64{5}); got != 0 {
+		t.Fatalf("degenerate spacing = %v", got)
+	}
+	b := bracket(10, 5, 3)
+	if len(b) != 3 || b[0] != 5 || b[2] != 15 {
+		t.Fatalf("bracket = %v", b)
+	}
+	// Clamped at zero.
+	b = bracket(1, 5, 3)
+	if b[0] != 0 {
+		t.Fatalf("bracket should clamp at 0: %v", b)
+	}
+	if got := bracket(7, 0, 5); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("pinned bracket = %v", got)
+	}
+}
+
+func TestCoordinateDescentImproves(t *testing.T) {
+	in := siteInputs(t, "UT")
+	avg := in.AvgDemandMW()
+	start := Design{WindMW: 2 * avg, SolarMW: 2 * avg}
+	startOutcome, err := in.Evaluate(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.CoordinateDescent(start, RenewablesBattery, 20*avg, 2, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimal.Total() > startOutcome.Total() {
+		t.Fatalf("descent worsened the design: %v vs %v", res.Optimal.Total(), startOutcome.Total())
+	}
+	if res.Evaluations < 10 {
+		t.Fatalf("descent barely evaluated anything: %d", res.Evaluations)
+	}
+}
+
+func TestCoordinateDescentStrategyRestriction(t *testing.T) {
+	in := siteInputs(t, "UT")
+	avg := in.AvgDemandMW()
+	res, err := in.CoordinateDescent(Design{WindMW: avg, BatteryMWh: 5 * avg, DoD: 1, FlexibleRatio: 0.4, ExtraCapacityFrac: 0.5},
+		RenewablesOnly, 20*avg, 1, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Optimal.Design
+	if d.BatteryMWh != 0 || d.FlexibleRatio != 0 {
+		t.Fatalf("strategy restriction ignored: %+v", d)
+	}
+}
+
+func TestCoordinateDescentValidation(t *testing.T) {
+	in := siteInputs(t, "UT")
+	if _, err := in.CoordinateDescent(Design{}, RenewablesOnly, 0, 1, 1e-3); err == nil {
+		t.Fatal("zero investment bound should error")
+	}
+}

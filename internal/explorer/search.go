@@ -1,0 +1,313 @@
+package explorer
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Space bounds the exhaustive design-space search. Datacenter operators
+// specify the candidate grids per dimension; the search evaluates their
+// cross product.
+type Space struct {
+	// WindMW and SolarMW are candidate renewable investments.
+	WindMW  []float64
+	SolarMW []float64
+	// BatteryHours are candidate storage sizes expressed in hours of
+	// average datacenter compute (the paper's Figure 9 unit); hours are
+	// converted to MWh via the site's average demand.
+	BatteryHours []float64
+	// ExtraCapacityFracs are candidate extra server capacities as a
+	// fraction of baseline peak demand.
+	ExtraCapacityFracs []float64
+	// DoD is the battery depth of discharge used for battery designs.
+	DoD float64
+	// FlexibleRatio is the scheduler's flexible workload ratio for CAS
+	// designs.
+	FlexibleRatio float64
+}
+
+// DefaultSpace returns a paper-scaled search grid for a site: renewable
+// investments ranging to several multiples of average demand, battery sizes
+// up to 16 compute-hours, and extra capacity up to 100%.
+func DefaultSpace(in *Inputs) Space {
+	avg := in.AvgDemandMW()
+	scale := func(ms ...float64) []float64 {
+		out := make([]float64, len(ms))
+		for i, m := range ms {
+			out[i] = m * avg
+		}
+		return out
+	}
+	return Space{
+		WindMW:             scale(0, 1, 2, 4, 6, 10, 16),
+		SolarMW:            scale(0, 1, 2, 4, 6, 10, 16),
+		BatteryHours:       []float64{0, 1, 2, 4, 8, 16},
+		ExtraCapacityFracs: []float64{0, 0.1, 0.25, 0.5, 1.0},
+		DoD:                1.0,
+		FlexibleRatio:      0.40,
+	}
+}
+
+// restrict returns the space with dimensions unused by the strategy pinned
+// to zero.
+func (s Space) restrict(strategy Strategy) Space {
+	out := s
+	if !strategy.UsesBattery() {
+		out.BatteryHours = []float64{0}
+	}
+	if !strategy.UsesCAS() {
+		out.ExtraCapacityFracs = []float64{0}
+		out.FlexibleRatio = 0
+	}
+	return out
+}
+
+// designs expands the space into concrete designs.
+func (s Space) designs(avgDemandMW float64) []Design {
+	var out []Design
+	for _, w := range s.WindMW {
+		for _, sol := range s.SolarMW {
+			for _, bh := range s.BatteryHours {
+				for _, ec := range s.ExtraCapacityFracs {
+					d := Design{
+						WindMW:            w,
+						SolarMW:           sol,
+						BatteryMWh:        bh * avgDemandMW,
+						DoD:               s.DoD,
+						FlexibleRatio:     s.FlexibleRatio,
+						ExtraCapacityFrac: ec,
+					}
+					if d.BatteryMWh == 0 {
+						d.DoD = 0
+					}
+					if s.FlexibleRatio == 0 {
+						d.ExtraCapacityFrac = 0
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return dedupeDesigns(out)
+}
+
+func dedupeDesigns(in []Design) []Design {
+	seen := make(map[Design]bool, len(in))
+	out := in[:0]
+	for _, d := range in {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// SearchResult holds every evaluated point plus the carbon-optimal one.
+type SearchResult struct {
+	// Strategy echoes the searched strategy.
+	Strategy Strategy
+	// Points are all evaluated outcomes, in no particular order.
+	Points []Outcome
+	// Optimal is the outcome with minimum total (operational + embodied)
+	// carbon; ties break toward higher coverage.
+	Optimal Outcome
+}
+
+// Search exhaustively evaluates the space under the given strategy, in
+// parallel, and returns all points plus the carbon-optimal one.
+func (in *Inputs) Search(space Space, strategy Strategy) (SearchResult, error) {
+	designs := space.restrict(strategy).designs(in.AvgDemandMW())
+	if len(designs) == 0 {
+		return SearchResult{}, fmt.Errorf("explorer: empty search space")
+	}
+
+	points := make([]Outcome, len(designs))
+	errs := make([]error, len(designs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, d := range designs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, d Design) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			points[i], errs[i] = in.Evaluate(d)
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return SearchResult{}, err
+		}
+	}
+
+	res := SearchResult{Strategy: strategy, Points: points, Optimal: points[0]}
+	for _, p := range points[1:] {
+		if better(p, res.Optimal) {
+			res.Optimal = p
+		}
+	}
+	return res, nil
+}
+
+// better reports whether a should replace b as the carbon optimum.
+func better(a, b Outcome) bool {
+	if a.Total() != b.Total() {
+		return a.Total() < b.Total()
+	}
+	return a.CoveragePct > b.CoveragePct
+}
+
+// ParetoFrontier extracts the outcomes not dominated in the
+// (operational, embodied) plane: a point is on the frontier if no other
+// point has both lower-or-equal operational and lower-or-equal embodied
+// carbon (with at least one strictly lower). The result is sorted by
+// increasing embodied carbon.
+func ParetoFrontier(points []Outcome) []Outcome {
+	sorted := make([]Outcome, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Embodied != sorted[j].Embodied {
+			return sorted[i].Embodied < sorted[j].Embodied
+		}
+		return sorted[i].Operational < sorted[j].Operational
+	})
+	var frontier []Outcome
+	best := math.Inf(1)
+	for _, p := range sorted {
+		if float64(p.Operational) < best {
+			frontier = append(frontier, p)
+			best = float64(p.Operational)
+		}
+	}
+	return frontier
+}
+
+// CoverageFor evaluates the coverage of a pure renewable design (no battery
+// or scheduling) at the given investments — the inner loop of the Figure 7
+// surfaces.
+func (in *Inputs) CoverageFor(windMW, solarMW float64) (float64, error) {
+	return Coverage(in.Demand, in.RenewableSupply(windMW, solarMW))
+}
+
+// InvestmentForCoverage finds, by bisection, the minimal total renewable
+// investment achieving the target coverage percentage when wind and solar
+// are mixed in the given proportion (windFrac in [0, 1]). It returns the
+// total MW and whether the target is achievable below maxTotalMW (solar-only
+// mixes, for example, cannot exceed ~50–60% coverage no matter the
+// investment).
+func (in *Inputs) InvestmentForCoverage(targetPct, windFrac, maxTotalMW float64) (totalMW float64, ok bool, err error) {
+	if targetPct < 0 || targetPct > 100 {
+		return 0, false, fmt.Errorf("explorer: target coverage %v out of [0, 100]", targetPct)
+	}
+	if windFrac < 0 || windFrac > 1 {
+		return 0, false, fmt.Errorf("explorer: wind fraction %v out of [0, 1]", windFrac)
+	}
+	coverageAt := func(total float64) (float64, error) {
+		return in.CoverageFor(total*windFrac, total*(1-windFrac))
+	}
+	hi, err := coverageAt(maxTotalMW)
+	if err != nil {
+		return 0, false, err
+	}
+	if hi < targetPct {
+		return 0, false, nil
+	}
+	lo, hiMW := 0.0, maxTotalMW
+	for i := 0; i < 60 && hiMW-lo > 1e-6*maxTotalMW; i++ {
+		mid := (lo + hiMW) / 2
+		c, err := coverageAt(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if c >= targetPct {
+			hiMW = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hiMW, true, nil
+}
+
+// MinBatteryHoursFor247 finds, by bisection, the smallest battery (in hours
+// of average compute) that achieves at least targetPct coverage for the
+// given renewable investments, searching up to maxHours. It reports whether
+// the target is achievable within the bound.
+func (in *Inputs) MinBatteryHoursFor247(windMW, solarMW, targetPct, maxHours float64) (hours float64, ok bool, err error) {
+	avg := in.AvgDemandMW()
+	covAt := func(h float64) (float64, error) {
+		d := Design{WindMW: windMW, SolarMW: solarMW, BatteryMWh: h * avg, DoD: 1.0}
+		if h == 0 {
+			d.DoD = 0
+		}
+		o, err := in.Evaluate(d)
+		if err != nil {
+			return 0, err
+		}
+		return o.CoveragePct, nil
+	}
+	top, err := covAt(maxHours)
+	if err != nil {
+		return 0, false, err
+	}
+	if top < targetPct {
+		return 0, false, nil
+	}
+	lo, hi := 0.0, maxHours
+	for i := 0; i < 40 && hi-lo > 0.01; i++ {
+		mid := (lo + hi) / 2
+		c, err := covAt(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if c >= targetPct {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true, nil
+}
+
+// MinExtraCapacityFor247 finds, by bisection over extra server capacity,
+// the smallest capacity addition (fraction of baseline peak) at which
+// carbon-aware scheduling achieves at least targetPct coverage for the given
+// renewables and flexible ratio, searching up to maxFrac. It reports whether
+// the target is achievable within the bound.
+func (in *Inputs) MinExtraCapacityFor247(windMW, solarMW, flexRatio, targetPct, maxFrac float64) (frac float64, ok bool, err error) {
+	covAt := func(f float64) (float64, error) {
+		o, err := in.Evaluate(Design{
+			WindMW: windMW, SolarMW: solarMW,
+			FlexibleRatio: flexRatio, ExtraCapacityFrac: f,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return o.CoveragePct, nil
+	}
+	top, err := covAt(maxFrac)
+	if err != nil {
+		return 0, false, err
+	}
+	if top < targetPct {
+		return 0, false, nil
+	}
+	lo, hi := 0.0, maxFrac
+	for i := 0; i < 40 && hi-lo > 0.005; i++ {
+		mid := (lo + hi) / 2
+		c, err := covAt(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if c >= targetPct {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true, nil
+}

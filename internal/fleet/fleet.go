@@ -1,0 +1,199 @@
+// Package fleet implements geographic load migration across a fleet of
+// datacenters — the spatial counterpart to the paper's temporal
+// carbon-aware scheduling, and the mechanism its related work highlights
+// for mitigating curtailment (load migration between datacenters follows
+// renewable surpluses across regions; when it is calm in Oregon it may be
+// windy in Nebraska and sunny in New Mexico).
+//
+// Each hour, migratable load moves from datacenters whose renewable supply
+// falls short (starting with the site currently facing the dirtiest grid)
+// to datacenters with surplus renewable supply and spare server capacity.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"carbonexplorer/internal/timeseries"
+	"carbonexplorer/internal/units"
+)
+
+// DC is one datacenter in the fleet.
+type DC struct {
+	// ID labels the datacenter (e.g. the site ID).
+	ID string
+	// Demand is the hourly load in MW.
+	Demand timeseries.Series
+	// Renewable is the hourly renewable supply dedicated to this DC in MW.
+	Renewable timeseries.Series
+	// GridCI is the local grid's hourly carbon intensity in gCO2/kWh.
+	GridCI timeseries.Series
+	// CapacityMW caps total load the site can host in any hour. Zero means
+	// "no headroom beyond its own demand" is NOT implied — zero means no
+	// cap.
+	CapacityMW float64
+}
+
+// validate checks one DC against the fleet's series length.
+func (d DC) validate(hours int) error {
+	if d.Demand.Len() != hours || d.Renewable.Len() != hours || d.GridCI.Len() != hours {
+		return fmt.Errorf("fleet: %s series lengths (%d, %d, %d) != %d",
+			d.ID, d.Demand.Len(), d.Renewable.Len(), d.GridCI.Len(), hours)
+	}
+	if d.CapacityMW < 0 {
+		return fmt.Errorf("fleet: %s negative capacity", d.ID)
+	}
+	return nil
+}
+
+// Config parameterizes migration.
+type Config struct {
+	// MigratableRatio is the fraction of each hour's load that may move to
+	// another site (0 disables migration). Interactive serving traffic can
+	// often be re-routed; stateful work cannot.
+	MigratableRatio float64
+}
+
+// Validate reports the first invalid field, or nil.
+func (c Config) Validate() error {
+	if c.MigratableRatio < 0 || c.MigratableRatio > 1 {
+		return fmt.Errorf("fleet: migratable ratio %v out of [0, 1]", c.MigratableRatio)
+	}
+	return nil
+}
+
+// Result captures a fleet-balancing run.
+type Result struct {
+	// Loads are the per-DC hourly loads after migration, indexed like the
+	// input fleet.
+	Loads []timeseries.Series
+	// MigratedMWh is total energy moved between sites.
+	MigratedMWh float64
+	// CoverageBeforePct and CoverageAfterPct are fleet-level 24/7 coverage
+	// (fraction of fleet energy covered by local renewable supply) without
+	// and with migration.
+	CoverageBeforePct float64
+	CoverageAfterPct  float64
+	// CarbonBefore and CarbonAfter price each site's residual grid draw at
+	// its local grid's hourly carbon intensity.
+	CarbonBefore units.GramsCO2
+	CarbonAfter  units.GramsCO2
+}
+
+// Balance runs hour-by-hour geographic load migration over the fleet. All
+// series must share one length.
+func Balance(dcs []DC, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(dcs) == 0 {
+		return Result{}, fmt.Errorf("fleet: empty fleet")
+	}
+	hours := dcs[0].Demand.Len()
+	if hours == 0 {
+		return Result{}, fmt.Errorf("fleet: empty series")
+	}
+	for _, d := range dcs {
+		if err := d.validate(hours); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{Loads: make([]timeseries.Series, len(dcs))}
+	for i, d := range dcs {
+		res.Loads[i] = d.Demand.Clone()
+	}
+
+	var totalDemand, uncoveredBefore, uncoveredAfter float64
+	for h := 0; h < hours; h++ {
+		type site struct {
+			idx     int
+			load    float64
+			ren     float64
+			ci      float64
+			movable float64
+		}
+		sites := make([]site, len(dcs))
+		for i, d := range dcs {
+			load := d.Demand.At(h)
+			sites[i] = site{
+				idx:     i,
+				load:    load,
+				ren:     d.Renewable.At(h),
+				ci:      d.GridCI.At(h),
+				movable: load * cfg.MigratableRatio,
+			}
+			totalDemand += load
+			if deficit := load - sites[i].ren; deficit > 0 {
+				uncoveredBefore += deficit
+				res.CarbonBefore += units.MegaWattHours(deficit).Carbon(units.CarbonIntensity(sites[i].ci))
+			}
+		}
+
+		// Sources: deficit sites, dirtiest grid first — moving their load
+		// saves the most carbon. Sinks: surplus sites, largest surplus
+		// first.
+		order := make([]*site, len(sites))
+		for i := range sites {
+			order[i] = &sites[i]
+		}
+		sort.SliceStable(order, func(a, b int) bool { return order[a].ci > order[b].ci })
+		for _, src := range order {
+			deficit := src.load - src.ren
+			if deficit <= 0 || src.movable <= 0 {
+				continue
+			}
+			move := deficit
+			if move > src.movable {
+				move = src.movable
+			}
+			// Fill sinks by descending surplus.
+			sinks := make([]*site, 0, len(sites))
+			for i := range sites {
+				if sites[i].idx != src.idx && sites[i].ren > sites[i].load {
+					sinks = append(sinks, &sites[i])
+				}
+			}
+			sort.SliceStable(sinks, func(a, b int) bool {
+				return sinks[a].ren-sinks[a].load > sinks[b].ren-sinks[b].load
+			})
+			for _, dst := range sinks {
+				if move <= 0 {
+					break
+				}
+				room := dst.ren - dst.load
+				if cap := dcs[dst.idx].CapacityMW; cap > 0 {
+					if byCap := cap - dst.load; byCap < room {
+						room = byCap
+					}
+				}
+				if room <= 0 {
+					continue
+				}
+				step := move
+				if step > room {
+					step = room
+				}
+				src.load -= step
+				src.movable -= step
+				dst.load += step
+				move -= step
+				res.MigratedMWh += step
+			}
+		}
+
+		for i := range sites {
+			res.Loads[sites[i].idx].Set(h, sites[i].load)
+			if deficit := sites[i].load - sites[i].ren; deficit > 0 {
+				uncoveredAfter += deficit
+				res.CarbonAfter += units.MegaWattHours(deficit).Carbon(units.CarbonIntensity(sites[i].ci))
+			}
+		}
+	}
+
+	if totalDemand > 0 {
+		res.CoverageBeforePct = (1 - uncoveredBefore/totalDemand) * 100
+		res.CoverageAfterPct = (1 - uncoveredAfter/totalDemand) * 100
+	}
+	return res, nil
+}

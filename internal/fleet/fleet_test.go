@@ -1,0 +1,173 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+func mkDC(id string, demand, ren []float64, ci float64, cap float64) DC {
+	n := len(demand)
+	return DC{
+		ID:         id,
+		Demand:     timeseries.FromValues(demand),
+		Renewable:  timeseries.FromValues(ren),
+		GridCI:     timeseries.Constant(n, ci),
+		CapacityMW: cap,
+	}
+}
+
+func TestBalanceMovesDeficitToSurplus(t *testing.T) {
+	// DC A has a deficit, DC B has surplus and headroom.
+	a := mkDC("A", []float64{10}, []float64{0}, 500, 0)
+	b := mkDC("B", []float64{10}, []float64{30}, 100, 100)
+	res, err := Balance([]DC{a, b}, Config{MigratableRatio: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loads[0].At(0) != 0 || res.Loads[1].At(0) != 20 {
+		t.Fatalf("loads after = %v / %v, want 0 / 20", res.Loads[0].At(0), res.Loads[1].At(0))
+	}
+	if res.MigratedMWh != 10 {
+		t.Fatalf("migrated = %v", res.MigratedMWh)
+	}
+	if res.CoverageAfterPct != 100 {
+		t.Fatalf("coverage after = %v, want 100", res.CoverageAfterPct)
+	}
+	if res.CoverageBeforePct != 50 {
+		t.Fatalf("coverage before = %v, want 50", res.CoverageBeforePct)
+	}
+	if res.CarbonAfter != 0 || res.CarbonBefore <= 0 {
+		t.Fatalf("carbon accounting wrong: %v -> %v", res.CarbonBefore, res.CarbonAfter)
+	}
+}
+
+func TestBalanceRespectsMigratableRatio(t *testing.T) {
+	a := mkDC("A", []float64{10}, []float64{0}, 500, 0)
+	b := mkDC("B", []float64{0}, []float64{30}, 100, 100)
+	res, err := Balance([]DC{a, b}, Config{MigratableRatio: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Loads[0].At(0); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("source load = %v, want 7 (only 30%% may move)", got)
+	}
+}
+
+func TestBalanceRespectsCapacity(t *testing.T) {
+	a := mkDC("A", []float64{10}, []float64{0}, 500, 0)
+	b := mkDC("B", []float64{8}, []float64{30}, 100, 12) // only 4 MW headroom
+	res, err := Balance([]DC{a, b}, Config{MigratableRatio: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Loads[1].At(0); got > 12+1e-9 {
+		t.Fatalf("sink exceeded capacity: %v", got)
+	}
+	if got := res.Loads[0].At(0); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("source load = %v, want 6", got)
+	}
+}
+
+func TestBalancePrefersDirtiestSource(t *testing.T) {
+	// Two deficit sites compete for limited surplus; the dirty one should
+	// win the migration.
+	dirty := mkDC("dirty", []float64{10}, []float64{0}, 800, 0)
+	clean := mkDC("clean", []float64{10}, []float64{0}, 50, 0)
+	sink := mkDC("sink", []float64{0}, []float64{10}, 100, 10)
+	res, err := Balance([]DC{clean, dirty, sink}, Config{MigratableRatio: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Loads[1].At(0); got != 0 {
+		t.Fatalf("dirty site should have offloaded fully, has %v", got)
+	}
+	if got := res.Loads[0].At(0); got != 10 {
+		t.Fatalf("clean site should be untouched, has %v", got)
+	}
+}
+
+func TestBalanceNoSurplusNoMove(t *testing.T) {
+	a := mkDC("A", []float64{10}, []float64{5}, 500, 0)
+	b := mkDC("B", []float64{10}, []float64{5}, 100, 100)
+	res, err := Balance([]DC{a, b}, Config{MigratableRatio: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MigratedMWh != 0 {
+		t.Fatalf("no site had surplus; migrated %v", res.MigratedMWh)
+	}
+}
+
+func TestBalanceZeroRatioIsNoOp(t *testing.T) {
+	a := mkDC("A", []float64{10, 12}, []float64{0, 0}, 500, 0)
+	b := mkDC("B", []float64{5, 5}, []float64{40, 40}, 100, 100)
+	res, err := Balance([]DC{a, b}, Config{MigratableRatio: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MigratedMWh != 0 {
+		t.Fatalf("zero ratio migrated %v", res.MigratedMWh)
+	}
+	if res.CoverageBeforePct != res.CoverageAfterPct {
+		t.Fatalf("coverage should be unchanged")
+	}
+}
+
+func TestBalanceValidation(t *testing.T) {
+	good := mkDC("A", []float64{1}, []float64{1}, 100, 0)
+	if _, err := Balance(nil, Config{}); err == nil {
+		t.Fatal("empty fleet should error")
+	}
+	if _, err := Balance([]DC{good}, Config{MigratableRatio: 2}); err == nil {
+		t.Fatal("bad ratio should error")
+	}
+	bad := good
+	bad.Renewable = timeseries.New(5)
+	if _, err := Balance([]DC{good, bad}, Config{}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	neg := good
+	neg.CapacityMW = -1
+	if _, err := Balance([]DC{neg}, Config{}); err == nil {
+		t.Fatal("negative capacity should error")
+	}
+	empty := DC{ID: "E", Demand: timeseries.New(0), Renewable: timeseries.New(0), GridCI: timeseries.New(0)}
+	if _, err := Balance([]DC{empty}, Config{}); err == nil {
+		t.Fatal("empty series should error")
+	}
+}
+
+func TestPropertyBalanceConservesEnergyAndImproves(t *testing.T) {
+	f := func(seedA, seedB, ratioRaw uint8) bool {
+		n := 48
+		mk := func(seed uint8, ciBase float64) DC {
+			d := timeseries.Generate(n, func(h int) float64 { return 5 + float64((h*int(seed+1))%7) })
+			r := timeseries.Generate(n, func(h int) float64 { return float64((h * int(seed+3)) % 17) })
+			return DC{ID: "x", Demand: d, Renewable: r,
+				GridCI: timeseries.Constant(n, ciBase), CapacityMW: 50}
+		}
+		dcs := []DC{mk(seedA, 400), mk(seedB, 600)}
+		cfg := Config{MigratableRatio: float64(ratioRaw%101) / 100}
+		res, err := Balance(dcs, cfg)
+		if err != nil {
+			return false
+		}
+		// Energy conservation per hour across the fleet.
+		for h := 0; h < n; h++ {
+			before := dcs[0].Demand.At(h) + dcs[1].Demand.At(h)
+			after := res.Loads[0].At(h) + res.Loads[1].At(h)
+			if math.Abs(before-after) > 1e-9 {
+				return false
+			}
+		}
+		// Migration can only improve (or hold) fleet coverage and carbon.
+		return res.CoverageAfterPct >= res.CoverageBeforePct-1e-9 &&
+			res.CarbonAfter <= res.CarbonBefore+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package forecast provides the time-series forecasting the paper's
+// discussion points to for a deployable carbon-aware scheduler: "time-series
+// analysis accurately forecasts renewable supplies and datacenter demands
+// for energy. Forecasts permit optimizing schedules of flexible jobs in
+// response to energy supply."
+//
+// Carbon Explorer's design-space exploration is offline (the scheduler sees
+// the whole year). This package supplies the forecasters an online scheduler
+// would use instead, and the experiments package compares oracle scheduling
+// against forecast-driven scheduling to quantify how much of the offline
+// benefit survives real prediction error.
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// Forecaster predicts the next horizon samples of an hourly series from its
+// history.
+type Forecaster interface {
+	// Name identifies the method in reports.
+	Name() string
+	// Forecast returns horizon predicted samples following history. It
+	// must not mutate history. Implementations return a zero forecast when
+	// history is too short to support the method.
+	Forecast(history []float64, horizon int) []float64
+}
+
+// Persistence predicts that the immediate future repeats the most recent
+// day: hour h tomorrow equals hour h today.
+type Persistence struct{}
+
+// Name implements Forecaster.
+func (Persistence) Name() string { return "persistence" }
+
+// Forecast implements Forecaster.
+func (Persistence) Forecast(history []float64, horizon int) []float64 {
+	out := make([]float64, horizon)
+	n := len(history)
+	if n == 0 {
+		return out
+	}
+	period := 24
+	if n < period {
+		period = n
+	}
+	lastDay := history[n-period:]
+	for i := range out {
+		out[i] = lastDay[i%period]
+	}
+	return out
+}
+
+// SeasonalMean predicts each hour-of-day as the mean of that hour over the
+// trailing Window days.
+type SeasonalMean struct {
+	// Window is the number of trailing days to average (default 7).
+	Window int
+}
+
+// Name implements Forecaster.
+func (s SeasonalMean) Name() string { return fmt.Sprintf("seasonal-mean-%dd", s.window()) }
+
+func (s SeasonalMean) window() int {
+	if s.Window <= 0 {
+		return 7
+	}
+	return s.Window
+}
+
+// Forecast implements Forecaster.
+func (s SeasonalMean) Forecast(history []float64, horizon int) []float64 {
+	out := make([]float64, horizon)
+	n := len(history)
+	if n < 24 {
+		return Persistence{}.Forecast(history, horizon)
+	}
+	// Align to whole days so hour-of-day indexing is exact; history in this
+	// repository starts at hour 0 of the simulation.
+	whole := n - n%24
+	days := s.window()
+	if avail := whole / 24; days > avail {
+		days = avail
+	}
+	for h := 0; h < 24 && h < horizon; h++ {
+		sum := 0.0
+		for d := 1; d <= days; d++ {
+			sum += history[whole-d*24+h]
+		}
+		out[h] = sum / float64(days)
+	}
+	// Repeat the daily profile across longer horizons.
+	for i := 24; i < horizon; i++ {
+		out[i] = out[i%24]
+	}
+	return out
+}
+
+// HoltWinters is additive triple exponential smoothing with a daily season,
+// the classical statistical forecaster for series with strong diurnal
+// structure (solar, demand).
+type HoltWinters struct {
+	// Alpha, Beta, Gamma are the level, trend, and season smoothing factors
+	// in (0, 1). Zero values select tuned defaults.
+	Alpha, Beta, Gamma float64
+	// Period is the season length (default 24).
+	Period int
+}
+
+// Name implements Forecaster.
+func (HoltWinters) Name() string { return "holt-winters" }
+
+func (hw HoltWinters) params() (a, b, g float64, period int) {
+	a, b, g, period = hw.Alpha, hw.Beta, hw.Gamma, hw.Period
+	if a <= 0 || a >= 1 {
+		a = 0.25
+	}
+	if b <= 0 || b >= 1 {
+		b = 0.02
+	}
+	if g <= 0 || g >= 1 {
+		g = 0.3
+	}
+	if period <= 0 {
+		period = 24
+	}
+	return a, b, g, period
+}
+
+// Forecast implements Forecaster.
+func (hw HoltWinters) Forecast(history []float64, horizon int) []float64 {
+	alpha, beta, gamma, period := hw.params()
+	out := make([]float64, horizon)
+	n := len(history)
+	if n < 2*period {
+		return Persistence{}.Forecast(history, horizon)
+	}
+
+	// Initialize level and trend from the first two seasons; seasonal
+	// indices from the first season's deviation from its mean.
+	var firstMean, secondMean float64
+	for i := 0; i < period; i++ {
+		firstMean += history[i]
+		secondMean += history[period+i]
+	}
+	firstMean /= float64(period)
+	secondMean /= float64(period)
+	level := firstMean
+	trend := (secondMean - firstMean) / float64(period)
+	season := make([]float64, period)
+	for i := 0; i < period; i++ {
+		season[i] = history[i] - firstMean
+	}
+
+	for t := period; t < n; t++ {
+		idx := t % period
+		prevLevel := level
+		level = alpha*(history[t]-season[idx]) + (1-alpha)*(level+trend)
+		trend = beta*(level-prevLevel) + (1-beta)*trend
+		season[idx] = gamma*(history[t]-level) + (1-gamma)*season[idx]
+	}
+
+	for h := 0; h < horizon; h++ {
+		idx := (n + h) % period
+		v := level + float64(h+1)*trend + season[idx]
+		if v < 0 {
+			v = 0 // renewable generation and demand are non-negative
+		}
+		out[h] = v
+	}
+	return out
+}
+
+// Oracle "forecasts" by reading the future directly; it bounds what any
+// forecaster could achieve in scheduling studies. Construct it with the full
+// actual series and the offset tracking where history ends.
+type Oracle struct {
+	// Actual is the full true series.
+	Actual []float64
+}
+
+// Name implements Forecaster.
+func (Oracle) Name() string { return "oracle" }
+
+// Forecast implements Forecaster: it returns the true continuation of
+// history (matched by length) and zero-pads past the end of Actual.
+func (o Oracle) Forecast(history []float64, horizon int) []float64 {
+	out := make([]float64, horizon)
+	start := len(history)
+	for i := 0; i < horizon; i++ {
+		if start+i < len(o.Actual) {
+			out[i] = o.Actual[start+i]
+		}
+	}
+	return out
+}
+
+// Accuracy summarizes forecast error.
+type Accuracy struct {
+	// RMSE is root-mean-square error.
+	RMSE float64
+	// MAE is mean absolute error.
+	MAE float64
+	// Bias is mean signed error (forecast − actual).
+	Bias float64
+	// Samples is the number of compared points.
+	Samples int
+}
+
+// Evaluate runs the forecaster in a rolling-origin backtest over the series:
+// at each day boundary after warmupDays it forecasts the next 24 hours and
+// compares against the actual values.
+func Evaluate(f Forecaster, series []float64, warmupDays int) Accuracy {
+	var acc Accuracy
+	var sumSq, sumAbs, sumErr float64
+	for start := warmupDays * 24; start+24 <= len(series); start += 24 {
+		fc := f.Forecast(series[:start], 24)
+		for i := 0; i < 24; i++ {
+			e := fc[i] - series[start+i]
+			sumSq += e * e
+			sumAbs += math.Abs(e)
+			sumErr += e
+			acc.Samples++
+		}
+	}
+	if acc.Samples > 0 {
+		acc.RMSE = math.Sqrt(sumSq / float64(acc.Samples))
+		acc.MAE = sumAbs / float64(acc.Samples)
+		acc.Bias = sumErr / float64(acc.Samples)
+	}
+	return acc
+}

@@ -1,0 +1,175 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/timeseries"
+)
+
+// sineDay builds n hours of a clean diurnal signal.
+func sineDay(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 50 + 30*math.Sin(2*math.Pi*float64(i%24)/24)
+	}
+	return out
+}
+
+func TestPersistenceRepeatsLastDay(t *testing.T) {
+	h := sineDay(72)
+	fc := Persistence{}.Forecast(h, 24)
+	for i := 0; i < 24; i++ {
+		if math.Abs(fc[i]-h[48+i]) > 1e-12 {
+			t.Fatalf("hour %d: %v != %v", i, fc[i], h[48+i])
+		}
+	}
+}
+
+func TestPersistenceShortHistory(t *testing.T) {
+	fc := Persistence{}.Forecast([]float64{5, 7}, 6)
+	want := []float64{5, 7, 5, 7, 5, 7}
+	for i := range want {
+		if fc[i] != want[i] {
+			t.Fatalf("short-history persistence = %v", fc)
+		}
+	}
+	empty := Persistence{}.Forecast(nil, 3)
+	if empty[0] != 0 || len(empty) != 3 {
+		t.Fatalf("empty-history forecast should be zeros")
+	}
+}
+
+func TestSeasonalMeanPerfectOnPeriodic(t *testing.T) {
+	h := sineDay(24 * 10)
+	fc := SeasonalMean{Window: 5}.Forecast(h, 24)
+	for i := 0; i < 24; i++ {
+		if math.Abs(fc[i]-h[i]) > 1e-9 {
+			t.Fatalf("periodic signal should forecast exactly: hour %d %v vs %v", i, fc[i], h[i])
+		}
+	}
+}
+
+func TestSeasonalMeanLongHorizonRepeats(t *testing.T) {
+	h := sineDay(24 * 5)
+	fc := SeasonalMean{}.Forecast(h, 48)
+	for i := 0; i < 24; i++ {
+		if fc[i] != fc[24+i] {
+			t.Fatalf("long horizon should tile the daily profile")
+		}
+	}
+}
+
+func TestSeasonalMeanFallbackShortHistory(t *testing.T) {
+	fc := SeasonalMean{}.Forecast([]float64{1, 2, 3}, 3)
+	if len(fc) != 3 {
+		t.Fatalf("fallback length wrong")
+	}
+}
+
+func TestHoltWintersTracksPeriodicSignal(t *testing.T) {
+	h := sineDay(24 * 20)
+	fc := HoltWinters{}.Forecast(h, 24)
+	for i := 0; i < 24; i++ {
+		if math.Abs(fc[i]-h[i]) > 3 {
+			t.Fatalf("HW far off on clean periodic signal: hour %d %v vs %v", i, fc[i], h[i])
+		}
+	}
+}
+
+func TestHoltWintersNonNegative(t *testing.T) {
+	// A decaying series must not produce negative forecasts.
+	h := make([]float64, 24*10)
+	for i := range h {
+		h[i] = math.Max(100-float64(i), 0)
+	}
+	fc := HoltWinters{}.Forecast(h, 48)
+	for i, v := range fc {
+		if v < 0 {
+			t.Fatalf("negative forecast at %d: %v", i, v)
+		}
+	}
+}
+
+func TestHoltWintersFallback(t *testing.T) {
+	fc := HoltWinters{}.Forecast(sineDay(30), 24)
+	if len(fc) != 24 {
+		t.Fatalf("fallback length wrong")
+	}
+}
+
+func TestOracle(t *testing.T) {
+	actual := sineDay(100)
+	o := Oracle{Actual: actual}
+	fc := o.Forecast(actual[:40], 24)
+	for i := 0; i < 24; i++ {
+		if fc[i] != actual[40+i] {
+			t.Fatalf("oracle must read the future exactly")
+		}
+	}
+	// Past the end: zero-padded.
+	tail := o.Forecast(actual[:90], 24)
+	if tail[9] != actual[99] || tail[10] != 0 {
+		t.Fatalf("oracle end-of-series handling wrong")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Persistence{}).Name() != "persistence" {
+		t.Fatal("persistence name")
+	}
+	if (SeasonalMean{}).Name() != "seasonal-mean-7d" {
+		t.Fatalf("seasonal mean name %q", SeasonalMean{}.Name())
+	}
+	if (HoltWinters{}).Name() != "holt-winters" {
+		t.Fatal("holt-winters name")
+	}
+	if (Oracle{}).Name() != "oracle" {
+		t.Fatal("oracle name")
+	}
+}
+
+func TestEvaluateOracleIsPerfect(t *testing.T) {
+	series := sineDay(24 * 30)
+	acc := Evaluate(Oracle{Actual: series}, series, 7)
+	if acc.RMSE != 0 || acc.MAE != 0 {
+		t.Fatalf("oracle should have zero error: %+v", acc)
+	}
+	if acc.Samples != 23*24 {
+		t.Fatalf("samples = %d", acc.Samples)
+	}
+}
+
+func TestEvaluateRanksForecastersOnRealShape(t *testing.T) {
+	// On synthetic solar generation, the seasonal methods should beat
+	// naive persistence (clouds make "tomorrow = today" noisy), and every
+	// method must beat the zero forecast.
+	y := grid.GenerateYear(grid.MustProfile("DUK"))
+	solar := y.SolarShape().Slice(0, 24*120).Values()
+
+	persist := Evaluate(Persistence{}, solar, 14)
+	seasonal := Evaluate(SeasonalMean{}, solar, 14)
+	hw := Evaluate(HoltWinters{}, solar, 14)
+
+	if seasonal.RMSE >= persist.RMSE {
+		t.Errorf("seasonal mean (%.2f) should beat persistence (%.2f) on cloudy solar",
+			seasonal.RMSE, persist.RMSE)
+	}
+	mean := timeseries.FromValues(solar).Mean()
+	for name, acc := range map[string]Accuracy{"persistence": persist, "seasonal": seasonal, "holt-winters": hw} {
+		if acc.RMSE <= 0 {
+			t.Errorf("%s: zero error is implausible on noisy data", name)
+		}
+		if acc.RMSE > 3*mean {
+			t.Errorf("%s: RMSE %v wildly above signal mean %v", name, acc.RMSE, mean)
+		}
+	}
+}
+
+func TestEvaluateEmptySeries(t *testing.T) {
+	acc := Evaluate(Persistence{}, nil, 0)
+	if acc.Samples != 0 || acc.RMSE != 0 {
+		t.Fatalf("empty evaluation should be zero: %+v", acc)
+	}
+}

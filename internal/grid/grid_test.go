@@ -1,0 +1,378 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/stats"
+	"carbonexplorer/internal/timeseries"
+)
+
+func TestProfileLookup(t *testing.T) {
+	p, err := Profile("BPAT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code != "BPAT" || p.Class != MajorlyWind {
+		t.Fatalf("BPAT profile wrong: %+v", p)
+	}
+	if _, err := Profile("NOPE"); err == nil {
+		t.Fatalf("unknown BA should error")
+	}
+}
+
+func TestMustProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustProfile should panic on unknown code")
+		}
+	}()
+	MustProfile("NOPE")
+}
+
+func TestCodesCoverTable1(t *testing.T) {
+	codes := Codes()
+	if len(codes) != 10 {
+		t.Fatalf("want 10 balancing authorities, got %d: %v", len(codes), codes)
+	}
+	want := map[string]bool{
+		"BPAT": true, "MISO": true, "SWPP": true, "DUK": true, "SOCO": true,
+		"TVA": true, "ERCO": true, "PACE": true, "PJM": true, "PNM": true,
+	}
+	for _, c := range codes {
+		if !want[c] {
+			t.Errorf("unexpected BA %q", c)
+		}
+	}
+}
+
+func TestClassDistribution(t *testing.T) {
+	// Paper: three wind BAs, three solar, four mixed.
+	counts := map[Class]int{}
+	for _, c := range Codes() {
+		counts[MustProfile(c).Class]++
+	}
+	if counts[MajorlyWind] != 3 || counts[MajorlySolar] != 3 || counts[Hybrid] != 4 {
+		t.Fatalf("class distribution %v, want 3 wind / 3 solar / 4 hybrid", counts)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if MajorlyWind.String() != "majorly wind" || Hybrid.String() != "hybrid" {
+		t.Fatalf("class names wrong")
+	}
+	if got := Class(9).String(); got != "class(9)" {
+		t.Fatalf("out-of-range class name %q", got)
+	}
+}
+
+func TestSitesTable1(t *testing.T) {
+	all := Sites()
+	if len(all) != 13 {
+		t.Fatalf("want 13 sites, got %d", len(all))
+	}
+	// Totals must match the sums of Table 1's per-row figures: 3931 MW solar
+	// and 1823 MW wind. (The paper's printed totals row swaps the two
+	// columns relative to its own rows; the rows are authoritative — e.g.
+	// Utah is explicitly solar-heavy at 694 MW solar / 239 MW wind.)
+	var solar, wind float64
+	for _, s := range all {
+		solar += s.SolarInvestMW
+		wind += s.WindInvestMW
+		if _, err := Profile(s.BA); err != nil {
+			t.Errorf("site %s references unknown BA %s", s.ID, s.BA)
+		}
+	}
+	if math.Abs(solar-3931) > 1 {
+		t.Errorf("total solar investment %v, want ~3931", solar)
+	}
+	if math.Abs(wind-1823) > 1 {
+		t.Errorf("total wind investment %v, want ~1823", wind)
+	}
+	if math.Abs(solar+wind-5754) > 1 {
+		t.Errorf("grand total %v, want Table 1's 5754", solar+wind)
+	}
+}
+
+func TestSiteByID(t *testing.T) {
+	s, err := SiteByID("UT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BA != "PACE" || s.SolarInvestMW != 694 || s.WindInvestMW != 239 {
+		t.Fatalf("UT site wrong: %+v", s)
+	}
+	if s.InvestTotalMW() != 933 {
+		t.Fatalf("UT total investment = %v", s.InvestTotalMW())
+	}
+	if _, err := SiteByID("ZZ"); err == nil {
+		t.Fatalf("unknown site should error")
+	}
+}
+
+func TestMustSitePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustSite should panic")
+		}
+	}()
+	MustSite("ZZ")
+}
+
+func TestGenerateYearShape(t *testing.T) {
+	y := GenerateYear(MustProfile("PACE"))
+	if y.Hours() != timeseries.HoursPerYear {
+		t.Fatalf("Hours = %d", y.Hours())
+	}
+	for s := range y.BySource {
+		if y.BySource[s].MinValue() < 0 {
+			t.Errorf("source %v has negative generation", carbon.Source(s))
+		}
+	}
+	if y.Demand.MinValue() <= 0 {
+		t.Fatalf("demand must stay positive")
+	}
+}
+
+func TestGenerateYearDeterministic(t *testing.T) {
+	a := GenerateYear(MustProfile("ERCO"))
+	b := GenerateYear(MustProfile("ERCO"))
+	if !a.Demand.Equal(b.Demand, 0) {
+		t.Fatalf("demand not deterministic")
+	}
+	for s := range a.BySource {
+		if !a.BySource[s].Equal(b.BySource[s], 0) {
+			t.Fatalf("source %v not deterministic", carbon.Source(s))
+		}
+	}
+}
+
+func TestSupplyMeetsDemand(t *testing.T) {
+	y := GenerateYear(MustProfile("PJM"))
+	for h := 0; h < y.Hours(); h += 97 {
+		total := float64(y.MixAt(h).Total())
+		if total < y.Demand.At(h)-1e-6 {
+			t.Fatalf("hour %d: supply %v < demand %v", h, total, y.Demand.At(h))
+		}
+	}
+}
+
+func TestWindRegionsHaveWind(t *testing.T) {
+	for _, code := range []string{"BPAT", "MISO", "SWPP"} {
+		y := GenerateYear(MustProfile(code))
+		wind := y.WindShape().Sum()
+		solar := y.SolarShape().Sum()
+		if wind <= solar {
+			t.Errorf("%s: wind %v should dominate solar %v", code, wind, solar)
+		}
+	}
+}
+
+func TestSolarRegionsHaveNoMeaningfulWind(t *testing.T) {
+	for _, code := range []string{"DUK", "SOCO", "TVA"} {
+		y := GenerateYear(MustProfile(code))
+		wind := y.WindShape().Sum()
+		solar := y.SolarShape().Sum()
+		if solar <= wind {
+			t.Errorf("%s: solar %v should dominate wind %v", code, solar, wind)
+		}
+	}
+}
+
+func TestBPATHasDeepValleys(t *testing.T) {
+	// Paper: in BPAT the best ten days provide ~2.5x the average while the
+	// worst days offer very little.
+	y := GenerateYear(MustProfile("BPAT"))
+	daily := y.WindShape().DailyTotals().Values()
+	s := stats.Summarize(daily)
+	top10 := stats.MeanOfTopK(daily, 10)
+	bottom10 := stats.MeanOfBottomK(daily, 10)
+	if ratio := top10 / s.Mean; ratio < 1.7 || ratio > 4 {
+		t.Errorf("BPAT best-10/mean = %v, want roughly 2.5", ratio)
+	}
+	if bottom10 > 0.15*s.Mean {
+		t.Errorf("BPAT worst-10 days = %v of mean, want near-zero valleys", bottom10/s.Mean)
+	}
+}
+
+func TestSWPPValleysShallowerThanBPAT(t *testing.T) {
+	// Paper: Nebraska/Iowa are the best wind sites because their supply
+	// valleys are shallowest.
+	worstShare := func(code string) float64 {
+		y := GenerateYear(MustProfile(code))
+		daily := y.WindShape().DailyTotals().Values()
+		return stats.MeanOfBottomK(daily, 10) / stats.Summarize(daily).Mean
+	}
+	if swpp, bpat := worstShare("SWPP"), worstShare("BPAT"); swpp <= bpat {
+		t.Errorf("SWPP worst-day share %v should exceed BPAT %v", swpp, bpat)
+	}
+}
+
+func TestCarbonIntensityRange(t *testing.T) {
+	y := GenerateYear(MustProfile("SOCO"))
+	ci := y.CarbonIntensity()
+	if ci.MinValue() < 11 || ci.MaxValue() > 820 {
+		t.Fatalf("grid CI out of physical bounds: [%v, %v]", ci.MinValue(), ci.MaxValue())
+	}
+}
+
+func TestSolarLowersMiddayIntensity(t *testing.T) {
+	// Solar deployment should lower a grid's midday carbon intensity
+	// relative to the same grid without renewables.
+	p := MustProfile("DUK")
+	with := GenerateYearScaled(p, 1.0).CarbonIntensity().AverageDay()
+	without := GenerateYearScaled(p, 0.0).CarbonIntensity().AverageDay()
+	middayWith := (with.At(11) + with.At(12) + with.At(13)) / 3
+	middayWithout := (without.At(11) + without.At(12) + without.At(13)) / 3
+	if middayWith >= middayWithout {
+		t.Fatalf("solar should lower midday CI: with=%v without=%v", middayWith, middayWithout)
+	}
+}
+
+func TestRenewableShare(t *testing.T) {
+	y := GenerateYear(MustProfile("ERCO"))
+	share := y.RenewableShare()
+	if share <= 0.05 || share >= 0.8 {
+		t.Fatalf("ERCO renewable share = %v, implausible", share)
+	}
+}
+
+func TestCurtailmentGrowsWithRenewables(t *testing.T) {
+	p := MustProfile("BPAT")
+	low := GenerateYearScaled(p, 1.0)
+	high := GenerateYearScaled(p, 6.0)
+	if high.CurtailedFraction() <= low.CurtailedFraction() {
+		t.Fatalf("curtailment should grow with renewable share: %v -> %v",
+			low.CurtailedFraction(), high.CurtailedFraction())
+	}
+}
+
+func TestCurtailmentStudyMonotonicTrend(t *testing.T) {
+	labels := []string{"2015", "2017", "2019", "2021"}
+	scales := []float64{1, 2.5, 4, 6}
+	pts := CurtailmentStudy(MustProfile("BPAT"), labels, scales)
+	if len(pts) != 4 {
+		t.Fatalf("want 4 points")
+	}
+	// Fit a line through (scale, curtailed): the trend must be upward.
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, pt := range pts {
+		xs[i] = pt.RenewableScale
+		ys[i] = pt.CurtailedFraction
+	}
+	if fit := stats.FitLine(xs, ys); fit.Slope <= 0 {
+		t.Fatalf("curtailment trendline slope = %v, want positive", fit.Slope)
+	}
+}
+
+func TestCurtailmentStudyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("mismatched labels/scales should panic")
+		}
+	}()
+	CurtailmentStudy(MustProfile("BPAT"), []string{"a"}, []float64{1, 2})
+}
+
+func TestMarginalIntensity(t *testing.T) {
+	y := GenerateYear(MustProfile("PACE"))
+	marginal := y.MarginalIntensity()
+	if marginal.Len() != y.Hours() {
+		t.Fatalf("length %d", marginal.Len())
+	}
+	gas := float64(carbon.NaturalGas.Intensity())
+	coal := float64(carbon.Coal.Intensity())
+	for h := 0; h < y.Hours(); h += 131 {
+		v := marginal.At(h)
+		// Marginal intensity is one of: renewable mix (11-41), gas, coal.
+		if !(v == gas || v == coal || (v >= 11 && v <= 41)) {
+			t.Fatalf("hour %d: marginal %v not a recognized regime", h, v)
+		}
+	}
+	// On a clean-baseload grid (DUK is nuclear-heavy) the marginal unit is
+	// fossil while the average blends in the clean baseload, so marginal
+	// exceeds average. (On coal-heavy grids the relation can invert.)
+	duk := GenerateYear(MustProfile("DUK"))
+	if duk.MarginalIntensity().Mean() <= duk.CarbonIntensity().Mean() {
+		t.Fatalf("marginal mean %v should exceed average mean %v on a nuclear-heavy grid",
+			duk.MarginalIntensity().Mean(), duk.CarbonIntensity().Mean())
+	}
+}
+
+func TestMarginalIntensityCurtailmentRegime(t *testing.T) {
+	y := GenerateYearScaled(MustProfile("BPAT"), 6.0)
+	if y.Curtailed.Sum() == 0 {
+		t.Skip("no curtailment at this scale")
+	}
+	marginal := y.MarginalIntensity()
+	found := false
+	for h := 0; h < y.Hours(); h++ {
+		if y.Curtailed.At(h) > 0 {
+			if marginal.At(h) > 41 {
+				t.Fatalf("hour %d: curtailment regime marginal = %v, want renewable mix", h, marginal.At(h))
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no curtailment hours inspected")
+	}
+}
+
+func TestPriceSeriesTracksFossilShare(t *testing.T) {
+	y := GenerateYear(MustProfile("ERCO"))
+	price := y.PriceSeries(75)
+	if price.Len() != y.Hours() {
+		t.Fatalf("price length %d", price.Len())
+	}
+	// Prices stay within [-base, base] and are positive on average.
+	if price.MaxValue() > 75+1e-9 || price.MinValue() < -75 {
+		t.Fatalf("price out of range: [%v, %v]", price.MinValue(), price.MaxValue())
+	}
+	if price.Mean() <= 0 {
+		t.Fatalf("mean price %v should be positive", price.Mean())
+	}
+	// Price should correlate positively with carbon intensity: both track
+	// the fossil share (the paper's premise that price signals can proxy
+	// carbon signals).
+	ci := y.CarbonIntensity()
+	corr := stats.Pearson(price.Values(), ci.Values())
+	if corr < 0.5 {
+		t.Fatalf("price-CI correlation = %v, want strong positive", corr)
+	}
+}
+
+func TestPriceSeriesNegativeOnCurtailment(t *testing.T) {
+	// Scale renewables up until curtailment occurs, then check for
+	// negative-price hours.
+	y := GenerateYearScaled(MustProfile("BPAT"), 6.0)
+	if y.CurtailedFraction() == 0 {
+		t.Skip("no curtailment at this scale")
+	}
+	price := y.PriceSeries(75)
+	neg := price.CountWhere(func(v float64) bool { return v < 0 })
+	if neg == 0 {
+		t.Fatalf("curtailment hours should produce negative prices")
+	}
+}
+
+func TestMixAtConsistency(t *testing.T) {
+	y := GenerateYear(MustProfile("PNM"))
+	m := y.MixAt(1000)
+	var manual float64
+	for s := range y.BySource {
+		manual += y.BySource[s].At(1000)
+	}
+	if math.Abs(float64(m.Total())-manual) > 1e-9 {
+		t.Fatalf("MixAt total %v != manual %v", m.Total(), manual)
+	}
+}
+
+func TestTotalGenerationPositive(t *testing.T) {
+	y := GenerateYear(MustProfile("TVA"))
+	if y.TotalGeneration() <= 0 {
+		t.Fatalf("no generation")
+	}
+}

@@ -1,0 +1,50 @@
+package grid
+
+import (
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/timeseries"
+)
+
+// Source indices used by the price model.
+const (
+	nuclearIdx = carbon.Nuclear
+	hydroIdx   = carbon.Water
+)
+
+// PriceSeries models an hourly wholesale time-of-use electricity price in
+// $/MWh from the grid's dispatch state, following the dynamics the paper
+// describes in Section 3.2: prices track the share of expensive marginal
+// (fossil) generation, and in curtailment hours they fall to zero or
+// negative because wind/solar inputs are free and generators collect
+// subsidies for producing.
+//
+// baseUSDPerMWh anchors the price at an all-fossil hour; a typical value is
+// 60–90 $/MWh. The model is intentionally simple — a monotone map from
+// dispatch state to price — because Carbon Explorer uses prices as a
+// demand-response *signal*, not for revenue accounting.
+func (y *Year) PriceSeries(baseUSDPerMWh float64) timeseries.Series {
+	hours := y.Hours()
+	out := timeseries.New(hours)
+	for h := 0; h < hours; h++ {
+		mix := y.MixAt(h)
+		total := float64(mix.Total())
+		if total <= 0 {
+			continue
+		}
+		if y.Curtailed.At(h) > 0 {
+			// Oversupply: renewables are being thrown away; the marginal
+			// price goes negative in proportion to the curtailed share.
+			curtailShare := y.Curtailed.At(h) / (total + y.Curtailed.At(h))
+			out.Set(h, -baseUSDPerMWh*0.3*curtailShare)
+			continue
+		}
+		// Price scales with the fossil (marginal-cost) share of dispatch,
+		// with a small floor reflecting must-run costs.
+		fossil := 1 - mix.RenewableShare() - float64(mix[nuclearIdx]+mix[hydroIdx])/total
+		if fossil < 0 {
+			fossil = 0
+		}
+		out.Set(h, baseUSDPerMWh*(0.15+0.85*fossil))
+	}
+	return out
+}

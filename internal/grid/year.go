@@ -1,0 +1,302 @@
+package grid
+
+import (
+	"math"
+
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/synth"
+	"carbonexplorer/internal/timeseries"
+	"carbonexplorer/internal/units"
+)
+
+// Year holds one simulated year of hourly grid operation for a balancing
+// authority: generation dispatched per source, the BA's own demand, and
+// renewable energy curtailed because supply exceeded demand.
+type Year struct {
+	// Profile is the balancing authority this year was generated for.
+	Profile BAProfile
+	// BySource holds dispatched generation per source in MW (equivalently
+	// MWh per hourly step).
+	BySource [carbon.NumSources]timeseries.Series
+	// Demand is the balancing authority's own hourly load in MW.
+	Demand timeseries.Series
+	// Curtailed is renewable generation (MW) shed when must-run supply
+	// exceeded demand.
+	Curtailed timeseries.Series
+	// PotentialWind and PotentialSolar are the weather-driven generation
+	// (MW) before curtailment — what the installed farms produce. These are
+	// the shapes scaled when projecting a datacenter's PPA investments,
+	// because a purchased farm's output follows weather, not the local
+	// grid's dispatch constraints.
+	PotentialWind  timeseries.Series
+	PotentialSolar timeseries.Series
+}
+
+// GenerateYear simulates one hourly year for the balancing authority. The
+// simulation is deterministic in the profile's Seed.
+//
+// Dispatch follows a simplified merit order: nuclear runs flat; hydro and
+// renewables are must-take (renewables are curtailed when total must-run
+// supply exceeds demand, hydro spills first); coal then gas then other fill
+// the residual demand.
+func GenerateYear(p BAProfile) *Year {
+	return GenerateYearScaled(p, 1.0)
+}
+
+// GenerateYearScaled simulates a year with the BA's wind and solar capacity
+// multiplied by renewableScale, holding demand and thermal capacity fixed.
+// This reproduces the paper's Figure 4 setting, where a grid's renewable
+// share grows over calendar years and curtailment grows with it.
+func GenerateYearScaled(p BAProfile, renewableScale float64) *Year {
+	hours := timeseries.HoursPerYear
+
+	wp := p.Wind
+	if wp.Seed == 0 {
+		wp.Seed = p.Seed*7919 + 1
+	}
+	sp := p.Solar
+	if sp.Seed == 0 {
+		sp.Seed = p.Seed*7919 + 2
+	}
+	windCF := synth.WindCapacityFactor(wp, hours)
+	solarCF := synth.SolarCapacityFactor(sp, hours)
+
+	y := &Year{Profile: p}
+	y.Demand = demandSeries(p, hours)
+	y.Curtailed = timeseries.New(hours)
+	for i := range y.BySource {
+		y.BySource[i] = timeseries.New(hours)
+	}
+
+	windCap := p.WindMW * renewableScale
+	solarCap := p.SolarMW * renewableScale
+	y.PotentialWind = windCF.Scale(windCap)
+	y.PotentialSolar = solarCF.Scale(solarCap)
+
+	// Thermal minimum generation: coal units cannot cycle daily and gas
+	// fleets keep reliability-must-run units online, so a floor of
+	// inflexible thermal output persists even in renewable-rich hours.
+	// This floor is what forces curtailment when midday solar surges — the
+	// California dynamic of Figure 4.
+	coalMin := p.CoalMW * 0.35
+	gasMin := p.GasMW * 0.08
+
+	hydroRNG := synth.NewRNG(p.Seed*7919 + 3)
+	for h := 0; h < hours; h++ {
+		demand := y.Demand.At(h)
+
+		nuclear := p.NuclearMW * 0.92
+		wind := windCap * windCF.At(h)
+		solar := solarCap * solarCF.At(h)
+
+		// Hydro follows a spring-peaking seasonal availability with mild
+		// stochastic variation; it is dispatched flexibly below that limit
+		// and spills first when supply exceeds demand.
+		day := (h / 24) % 365
+		hydroAvail := p.HydroMW * (0.45 + 0.2*math.Cos(2*math.Pi*(float64(day)-120)/365) + 0.03*hydroRNG.NormFloat64())
+		if hydroAvail < 0 {
+			hydroAvail = 0
+		}
+
+		floor := nuclear + coalMin + gasMin
+		mustRun := floor + wind + solar
+		var hydro float64
+		switch {
+		case mustRun >= demand:
+			// Excess inflexible supply: spill all hydro, curtail renewables
+			// down toward demand (the thermal floor cannot back down).
+			excess := mustRun - demand
+			renewable := wind + solar
+			if renewable > 0 {
+				cut := math.Min(excess, renewable)
+				frac := cut / renewable
+				wind -= wind * frac
+				solar -= solar * frac
+				y.Curtailed.Set(h, cut)
+			}
+		default:
+			hydro = math.Min(hydroAvail, demand-mustRun)
+		}
+
+		residual := demand - floor - wind - solar - hydro
+		if residual < 0 {
+			residual = 0
+		}
+		coalExtra := math.Min(residual, math.Max(p.CoalMW*0.85-coalMin, 0))
+		residual -= coalExtra
+		gasExtra := math.Min(residual, math.Max(p.GasMW*0.9-gasMin, 0))
+		residual -= gasExtra
+		other := math.Min(residual, p.OtherMW*0.9)
+		residual -= other
+		// Any remaining unmet demand is imported; account it as gas-fired,
+		// the marginal source on most U.S. grids.
+		coal := coalMin + coalExtra
+		gas := gasMin + gasExtra + residual
+
+		y.BySource[carbon.Nuclear].Set(h, nuclear)
+		y.BySource[carbon.Wind].Set(h, wind)
+		y.BySource[carbon.Solar].Set(h, solar)
+		y.BySource[carbon.Water].Set(h, hydro)
+		y.BySource[carbon.Coal].Set(h, coal)
+		y.BySource[carbon.NaturalGas].Set(h, gas)
+		y.BySource[carbon.Other].Set(h, other)
+	}
+	return y
+}
+
+// demandSeries models the balancing authority's own load: a diurnal swing
+// (evening peak), a summer-peaking seasonal component, a weekday/weekend
+// split, and small noise.
+func demandSeries(p BAProfile, hours int) timeseries.Series {
+	rng := synth.NewRNG(p.Seed*7919 + 4)
+	return timeseries.Generate(hours, func(h int) float64 {
+		hour := h % 24
+		day := (h / 24) % 365
+		weekday := (h / 24) % 7
+		diurnal := 0.10 * math.Sin(2*math.Pi*(float64(hour)-9)/24)
+		seasonal := 0.12 * math.Cos(2*math.Pi*(float64(day)-200)/365)
+		weekend := 0.0
+		if weekday >= 5 {
+			weekend = -0.04
+		}
+		noise := 0.015 * rng.NormFloat64()
+		f := 0.70 + diurnal + seasonal + weekend + noise
+		if f < 0.3 {
+			f = 0.3
+		}
+		return p.PeakDemandMW * f
+	})
+}
+
+// Hours returns the number of simulated hours.
+func (y *Year) Hours() int { return y.Demand.Len() }
+
+// WindShape returns the hourly potential wind generation in MW. Together
+// with SolarShape it is the basis for the paper's renewable-investment
+// projection: the series is rescaled so its annual maximum equals the
+// investment capacity under study.
+func (y *Year) WindShape() timeseries.Series { return y.PotentialWind.Clone() }
+
+// SolarShape returns the hourly potential solar generation in MW.
+func (y *Year) SolarShape() timeseries.Series { return y.PotentialSolar.Clone() }
+
+// MixAt returns the generation mix in hour h.
+func (y *Year) MixAt(h int) carbon.Mix {
+	var m carbon.Mix
+	for s := range y.BySource {
+		m[s] = units.MegaWattHours(y.BySource[s].At(h))
+	}
+	return m
+}
+
+// CarbonIntensity returns the grid's hourly consumption carbon intensity in
+// gCO2eq/kWh, weighting each source's Table 2 lifecycle intensity by its
+// share of dispatched generation.
+func (y *Year) CarbonIntensity() timeseries.Series {
+	hours := y.Hours()
+	out := timeseries.New(hours)
+	for h := 0; h < hours; h++ {
+		out.Set(h, float64(y.MixAt(h).Intensity()))
+	}
+	return out
+}
+
+// MarginalIntensity returns the grid's hourly *marginal* carbon intensity
+// in gCO2eq/kWh: the intensity of the generator that would serve one more
+// MWh of load. When flexible fossil capacity is running, that marginal unit
+// is gas (or coal while gas is saturated); in hours where renewables are
+// being curtailed, additional load would simply absorb curtailed energy and
+// the marginal intensity is the renewable mix's.
+//
+// Average (CarbonIntensity) and marginal intensity answer different
+// questions: average prices the energy consumed; marginal prices the
+// *change* a scheduling decision causes. Carbon-aware computing literature
+// debates which to optimize — Carbon Explorer provides both.
+func (y *Year) MarginalIntensity() timeseries.Series {
+	hours := y.Hours()
+	out := timeseries.New(hours)
+	gasMax := y.Profile.GasMW * 0.9
+	for h := 0; h < hours; h++ {
+		switch {
+		case y.Curtailed.At(h) > 0:
+			// Extra load would soak up curtailed renewables.
+			wind := y.BySource[carbon.Wind].At(h)
+			solar := y.BySource[carbon.Solar].At(h)
+			if wind+solar > 0 {
+				mixed := (wind*float64(carbon.Wind.Intensity()) + solar*float64(carbon.Solar.Intensity())) / (wind + solar)
+				out.Set(h, mixed)
+			} else {
+				out.Set(h, float64(carbon.Wind.Intensity()))
+			}
+		case y.BySource[carbon.NaturalGas].At(h) < gasMax:
+			// Gas has headroom: it is the marginal unit.
+			out.Set(h, float64(carbon.NaturalGas.Intensity()))
+		default:
+			// Gas saturated: coal (or imports priced as coal) is marginal.
+			out.Set(h, float64(carbon.Coal.Intensity()))
+		}
+	}
+	return out
+}
+
+// TotalGeneration returns total dispatched energy over the year in MWh.
+func (y *Year) TotalGeneration() units.MegaWattHours {
+	var t float64
+	for s := range y.BySource {
+		t += y.BySource[s].Sum()
+	}
+	return units.MegaWattHours(t)
+}
+
+// RenewableShare returns wind+solar's share of dispatched generation.
+func (y *Year) RenewableShare() float64 {
+	total := float64(y.TotalGeneration())
+	if total <= 0 {
+		return 0
+	}
+	return (y.BySource[carbon.Wind].Sum() + y.BySource[carbon.Solar].Sum()) / total
+}
+
+// CurtailedFraction returns curtailed renewable energy as a fraction of the
+// renewable energy that would have been generated without curtailment.
+func (y *Year) CurtailedFraction() float64 {
+	produced := y.BySource[carbon.Wind].Sum() + y.BySource[carbon.Solar].Sum()
+	cut := y.Curtailed.Sum()
+	if produced+cut <= 0 {
+		return 0
+	}
+	return cut / (produced + cut)
+}
+
+// CurtailmentPoint is one year of the Figure 4 curtailment study.
+type CurtailmentPoint struct {
+	// Label identifies the simulated calendar year.
+	Label string
+	// RenewableScale is the wind+solar capacity multiplier applied.
+	RenewableScale float64
+	// RenewableShare is the resulting wind+solar share of generation.
+	RenewableShare float64
+	// CurtailedFraction is curtailed renewable energy over potential
+	// renewable energy.
+	CurtailedFraction float64
+}
+
+// CurtailmentStudy reproduces the paper's Figure 4 dynamic: as a grid's
+// renewable capacity grows year over year, the curtailed fraction of
+// renewable energy grows with it. labels and scales must be parallel.
+func CurtailmentStudy(p BAProfile, labels []string, scales []float64) []CurtailmentPoint {
+	if len(labels) != len(scales) {
+		panic("grid: labels and scales must have equal length")
+	}
+	out := make([]CurtailmentPoint, len(scales))
+	for i, scale := range scales {
+		y := GenerateYearScaled(p, scale)
+		out[i] = CurtailmentPoint{
+			Label:             labels[i],
+			RenewableScale:    scale,
+			RenewableShare:    y.RenewableShare(),
+			CurtailedFraction: y.CurtailedFraction(),
+		}
+	}
+	return out
+}

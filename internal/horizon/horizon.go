@@ -1,0 +1,208 @@
+// Package horizon simulates multi-year datacenter carbon trajectories,
+// operationalizing the paper's "Looking forward" discussion: demand grows,
+// workloads become more delay-tolerant, renewable manufacturing gets
+// cleaner, storage gets cheaper in carbon terms — and deployed batteries
+// age. A plan fixes the investment schedule; the simulation walks year by
+// year, applying trends and degradation, and reports the carbon trajectory.
+package horizon
+
+import (
+	"fmt"
+
+	"carbonexplorer/internal/battery"
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/units"
+)
+
+// Trends are the annual rates of change the paper's outlook anticipates.
+type Trends struct {
+	// DemandGrowthPerYear is fractional annual growth of datacenter power
+	// demand (hyperscale fleets grow steadily).
+	DemandGrowthPerYear float64
+	// FlexibleRatioGrowthPerYear is the annual absolute increase in the
+	// flexible workload ratio ("we expect the delay tolerance nature of
+	// computing to increase"), capped at 1.
+	FlexibleRatioGrowthPerYear float64
+	// RenewableEmbodiedDeclinePerYear is the fractional annual decline of
+	// wind/solar manufacturing footprints ("significant efficiency
+	// improvement for renewable infrastructures").
+	RenewableEmbodiedDeclinePerYear float64
+	// BatteryEmbodiedDeclinePerYear is the fractional annual decline of
+	// battery manufacturing footprints.
+	BatteryEmbodiedDeclinePerYear float64
+}
+
+// DefaultTrends returns a moderate outlook.
+func DefaultTrends() Trends {
+	return Trends{
+		DemandGrowthPerYear:             0.08,
+		FlexibleRatioGrowthPerYear:      0.03,
+		RenewableEmbodiedDeclinePerYear: 0.03,
+		BatteryEmbodiedDeclinePerYear:   0.05,
+	}
+}
+
+// Validate reports the first implausible rate, or nil.
+func (t Trends) Validate() error {
+	switch {
+	case t.DemandGrowthPerYear < -0.5 || t.DemandGrowthPerYear > 1:
+		return fmt.Errorf("horizon: demand growth %v implausible", t.DemandGrowthPerYear)
+	case t.FlexibleRatioGrowthPerYear < 0 || t.FlexibleRatioGrowthPerYear > 0.5:
+		return fmt.Errorf("horizon: flexible growth %v implausible", t.FlexibleRatioGrowthPerYear)
+	case t.RenewableEmbodiedDeclinePerYear < 0 || t.RenewableEmbodiedDeclinePerYear >= 1:
+		return fmt.Errorf("horizon: renewable decline %v implausible", t.RenewableEmbodiedDeclinePerYear)
+	case t.BatteryEmbodiedDeclinePerYear < 0 || t.BatteryEmbodiedDeclinePerYear >= 1:
+		return fmt.Errorf("horizon: battery decline %v implausible", t.BatteryEmbodiedDeclinePerYear)
+	}
+	return nil
+}
+
+// Plan fixes the design installed in year zero. The battery degrades over
+// the horizon; other assets are re-amortized under the trending embodied
+// factors.
+type Plan struct {
+	// Design is the year-zero installation.
+	Design explorer.Design
+	// Years is the planning horizon length.
+	Years int
+	// Trends are the annual rates applied.
+	Trends Trends
+	// Degradation models the installed battery's capacity fade; zero value
+	// uses DefaultDegradation for the design's chemistry at its DoD.
+	Degradation battery.DegradationModel
+	// ReplaceSpentBattery controls whether a battery that crosses end of
+	// life is replaced in kind (incurring a fresh embodied charge) or
+	// retired (the fleet simply loses storage).
+	ReplaceSpentBattery bool
+}
+
+// YearOutcome is one simulated year.
+type YearOutcome struct {
+	// Year is the 0-based year index.
+	Year int
+	// Outcome is the explorer evaluation for that year's conditions.
+	Outcome explorer.Outcome
+	// BatteryCapacityFraction is remaining battery capacity entering the
+	// year (1 when no battery or just replaced).
+	BatteryCapacityFraction float64
+	// BatteryReplaced reports whether the battery was replaced at the
+	// start of this year.
+	BatteryReplaced bool
+	// FlexibleRatio is the ratio in force that year.
+	FlexibleRatio float64
+}
+
+// Trajectory is a full multi-year simulation result.
+type Trajectory struct {
+	// Years are the per-year outcomes in order.
+	Years []YearOutcome
+	// TotalCarbon sums operational + embodied across the horizon.
+	TotalCarbon units.GramsCO2
+	// Replacements counts battery replacements over the horizon.
+	Replacements int
+}
+
+// Simulate walks the plan over its horizon. Each year it rebuilds the
+// site's inputs with grown demand and trending embodied factors, derates
+// the battery by its accumulated fade, and evaluates the design.
+//
+// newInputs supplies the year's evaluation inputs given the year index and
+// the embodied parameters to use — typically a closure over a site that
+// regenerates demand at the grown level. The grid's weather is held at the
+// base year so the trajectory isolates the modelled trends.
+func Simulate(plan Plan, newInputs func(year int, emb carbon.EmbodiedParams) (*explorer.Inputs, error)) (Trajectory, error) {
+	if plan.Years <= 0 {
+		return Trajectory{}, fmt.Errorf("horizon: non-positive horizon")
+	}
+	if err := plan.Trends.Validate(); err != nil {
+		return Trajectory{}, err
+	}
+	if err := plan.Design.Validate(); err != nil {
+		return Trajectory{}, err
+	}
+	if newInputs == nil {
+		return Trajectory{}, fmt.Errorf("horizon: nil input factory")
+	}
+
+	degradation := plan.Degradation
+	if degradation.RatedCycles == 0 && plan.Design.BatteryMWh > 0 {
+		dod := plan.Design.DoD
+		if dod <= 0 {
+			dod = 1
+		}
+		degradation = battery.DefaultDegradation(plan.Design.BatteryTech.Spec().CycleLife(dod))
+	}
+
+	var traj Trajectory
+	cumulativeCycles := 0.0
+	batteryAgeYears := 0.0
+	flexible := plan.Design.FlexibleRatio
+
+	for year := 0; year < plan.Years; year++ {
+		emb := carbon.DefaultEmbodiedParams()
+		renewFactor := pow(1-plan.Trends.RenewableEmbodiedDeclinePerYear, year)
+		batteryFactor := pow(1-plan.Trends.BatteryEmbodiedDeclinePerYear, year)
+		emb.WindPerKWh *= renewFactor
+		emb.SolarPerKWh *= renewFactor
+		emb.BatteryPerKWhCap *= batteryFactor
+
+		in, err := newInputs(year, emb)
+		if err != nil {
+			return Trajectory{}, err
+		}
+
+		d := plan.Design
+		d.FlexibleRatio = flexible
+
+		capFrac := 1.0
+		replaced := false
+		if d.BatteryMWh > 0 {
+			capFrac = degradation.CapacityFraction(cumulativeCycles, batteryAgeYears)
+			if degradation.IsSpent(cumulativeCycles, batteryAgeYears) {
+				if plan.ReplaceSpentBattery {
+					cumulativeCycles = 0
+					batteryAgeYears = 0
+					capFrac = 1
+					replaced = true
+					traj.Replacements++
+				}
+			}
+			d.BatteryMWh *= capFrac
+		}
+
+		out, err := in.Evaluate(d)
+		if err != nil {
+			return Trajectory{}, err
+		}
+		traj.Years = append(traj.Years, YearOutcome{
+			Year:                    year,
+			Outcome:                 out,
+			BatteryCapacityFraction: capFrac,
+			BatteryReplaced:         replaced,
+			FlexibleRatio:           flexible,
+		})
+		traj.TotalCarbon += out.Total()
+
+		// Advance state.
+		cumulativeCycles += out.BatteryCyclesPerDay * 365
+		batteryAgeYears++
+		flexible += plan.Trends.FlexibleRatioGrowthPerYear
+		if flexible > 1 {
+			flexible = 1
+		}
+		if plan.Design.FlexibleRatio == 0 {
+			flexible = 0 // no scheduling in the plan means none ever
+		}
+	}
+	return traj, nil
+}
+
+// pow is integer exponentiation for small n without importing math.
+func pow(base float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= base
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package horizon
+
+import (
+	"math"
+	"testing"
+
+	"carbonexplorer/internal/battery"
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/dcload"
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/timeseries"
+)
+
+// testFactory builds a per-year inputs factory for a site with demand
+// growth, reusing one grid year (weather held constant, per Simulate's
+// contract).
+func testFactory(t *testing.T, siteID string, growth float64) func(int, carbon.EmbodiedParams) (*explorer.Inputs, error) {
+	t.Helper()
+	site := grid.MustSite(siteID)
+	profile := grid.MustProfile(site.BA)
+	year := grid.GenerateYear(profile)
+	wind := year.WindShape()
+	solar := year.SolarShape()
+	ci := year.CarbonIntensity()
+	base, err := dcload.Generate(dcload.DefaultParams(site.AvgPowerMW), timeseries.HoursPerYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(y int, emb carbon.EmbodiedParams) (*explorer.Inputs, error) {
+		scale := 1.0
+		for i := 0; i < y; i++ {
+			scale *= 1 + growth
+		}
+		return explorer.NewInputsFromSeries(site, base.Power.Scale(scale), wind, solar, ci, emb)
+	}
+}
+
+func basePlan(years int) Plan {
+	return Plan{
+		Design: explorer.Design{
+			WindMW: 80, SolarMW: 80,
+			BatteryMWh: 150, DoD: 1.0,
+			FlexibleRatio: 0.4, ExtraCapacityFrac: 0.25,
+		},
+		Years:               years,
+		Trends:              DefaultTrends(),
+		ReplaceSpentBattery: true,
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	factory := testFactory(t, "UT", 0.08)
+	bad := []Plan{
+		{Years: 0, Trends: DefaultTrends()},
+		{Years: 3, Trends: Trends{DemandGrowthPerYear: 5}},
+		{Years: 3, Trends: DefaultTrends(), Design: explorer.Design{WindMW: -1}},
+	}
+	for i, p := range bad {
+		if _, err := Simulate(p, factory); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+	if _, err := Simulate(basePlan(3), nil); err == nil {
+		t.Error("nil factory should error")
+	}
+}
+
+func TestTrendsValidate(t *testing.T) {
+	if err := DefaultTrends().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Trends{
+		{DemandGrowthPerYear: 2},
+		{FlexibleRatioGrowthPerYear: -0.1},
+		{RenewableEmbodiedDeclinePerYear: 1},
+		{BatteryEmbodiedDeclinePerYear: -0.1},
+	}
+	for i, tr := range bad {
+		if tr.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestTrajectoryShape(t *testing.T) {
+	factory := testFactory(t, "UT", 0.08)
+	traj, err := Simulate(basePlan(6), factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Years) != 6 {
+		t.Fatalf("years = %d", len(traj.Years))
+	}
+	var sum float64
+	for i, y := range traj.Years {
+		if y.Year != i {
+			t.Fatalf("year index mismatch at %d", i)
+		}
+		sum += float64(y.Outcome.Total())
+		if y.BatteryCapacityFraction <= 0 || y.BatteryCapacityFraction > 1 {
+			t.Fatalf("year %d: capacity fraction %v", i, y.BatteryCapacityFraction)
+		}
+	}
+	if math.Abs(sum-float64(traj.TotalCarbon)) > 1e-6*sum {
+		t.Fatalf("total carbon inconsistent")
+	}
+}
+
+func TestDemandGrowthRaisesOperationalPressure(t *testing.T) {
+	factory := testFactory(t, "UT", 0.10)
+	plan := basePlan(6)
+	plan.Trends.FlexibleRatioGrowthPerYear = 0 // isolate demand growth
+	traj, err := Simulate(plan, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a fixed installation and growing demand, coverage must fall
+	// over the horizon.
+	first := traj.Years[0].Outcome.CoveragePct
+	last := traj.Years[len(traj.Years)-1].Outcome.CoveragePct
+	if last >= first {
+		t.Fatalf("coverage should erode under demand growth: %v -> %v", first, last)
+	}
+}
+
+func TestFlexibleRatioGrows(t *testing.T) {
+	factory := testFactory(t, "UT", 0.0)
+	traj, err := Simulate(basePlan(5), factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(traj.Years); i++ {
+		if traj.Years[i].FlexibleRatio < traj.Years[i-1].FlexibleRatio {
+			t.Fatalf("flexible ratio should be non-decreasing")
+		}
+	}
+	if traj.Years[4].FlexibleRatio <= traj.Years[0].FlexibleRatio {
+		t.Fatalf("flexible ratio should have grown")
+	}
+}
+
+func TestNoSchedulingPlanStaysInflexible(t *testing.T) {
+	factory := testFactory(t, "UT", 0.0)
+	plan := basePlan(4)
+	plan.Design.FlexibleRatio = 0
+	plan.Design.ExtraCapacityFrac = 0
+	traj, err := Simulate(plan, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, y := range traj.Years {
+		if y.FlexibleRatio != 0 {
+			t.Fatalf("plan without scheduling should never schedule")
+		}
+	}
+}
+
+func TestBatteryReplacement(t *testing.T) {
+	factory := testFactory(t, "UT", 0.0)
+	plan := basePlan(10)
+	// An aggressive degradation model: spent after ~2 years regardless of
+	// cycling.
+	plan.Degradation = battery.DegradationModel{
+		RatedCycles:         100000,
+		EndOfLifeCapacity:   0.8,
+		CalendarFadePerYear: 0.10,
+	}
+	traj, err := Simulate(plan, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Replacements == 0 {
+		t.Fatalf("aggressive fade should force replacements")
+	}
+	replaced := 0
+	for _, y := range traj.Years {
+		if y.BatteryReplaced {
+			replaced++
+			if y.BatteryCapacityFraction != 1 {
+				t.Fatalf("replacement year should start fresh")
+			}
+		}
+	}
+	if replaced != traj.Replacements {
+		t.Fatalf("replacement accounting inconsistent")
+	}
+}
+
+func TestRetiredBatteryErodesCoverage(t *testing.T) {
+	factory := testFactory(t, "NC", 0.0)
+	mk := func(replace bool) Trajectory {
+		plan := Plan{
+			Design: explorer.Design{
+				SolarMW: 400, BatteryMWh: 600, DoD: 1.0,
+			},
+			Years:               8,
+			Trends:              Trends{},
+			ReplaceSpentBattery: replace,
+			Degradation: battery.DegradationModel{
+				RatedCycles:         500,
+				EndOfLifeCapacity:   0.8,
+				CalendarFadePerYear: 0.08,
+			},
+		}
+		traj, err := Simulate(plan, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traj
+	}
+	kept := mk(true)
+	retired := mk(false)
+	lastKept := kept.Years[len(kept.Years)-1].Outcome.CoveragePct
+	lastRetired := retired.Years[len(retired.Years)-1].Outcome.CoveragePct
+	if lastRetired >= lastKept {
+		t.Fatalf("retiring the battery should erode coverage: kept %v vs retired %v",
+			lastKept, lastRetired)
+	}
+}
+
+func TestTrendsLowerEmbodiedOverTime(t *testing.T) {
+	factory := testFactory(t, "UT", 0.0)
+	plan := basePlan(6)
+	plan.Trends.FlexibleRatioGrowthPerYear = 0
+	traj, err := Simulate(plan, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With flat demand and declining embodied factors, renewable embodied
+	// carbon must decline year over year.
+	for i := 1; i < len(traj.Years); i++ {
+		a := traj.Years[i-1].Outcome.EmbodiedRenewables
+		b := traj.Years[i].Outcome.EmbodiedRenewables
+		if b >= a {
+			t.Fatalf("renewable embodied should decline: year %d %v -> %v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package jobsim is a job-level discrete-event datacenter simulator. Carbon
+// Explorer's scheduler reasons about fluid MW-level load; jobsim schedules
+// the actual jobs of a workload trace — arrivals, server occupancy,
+// deadlines — against renewable supply, validating the fluid approximation
+// and exposing job-level metrics (wait times, SLO violations) the fluid view
+// cannot see.
+package jobsim
+
+import (
+	"fmt"
+	"sort"
+
+	"carbonexplorer/internal/timeseries"
+	"carbonexplorer/internal/units"
+	"carbonexplorer/internal/workload"
+)
+
+// Policy selects how queued flexible jobs are started.
+type Policy int
+
+// Scheduling policies.
+const (
+	// RunImmediately starts jobs FIFO as soon as servers are free — the
+	// carbon-oblivious baseline.
+	RunImmediately Policy = iota
+	// DeferToGreen starts inflexible jobs immediately but holds flexible
+	// jobs until renewable headroom exists or their deadline arrives.
+	DeferToGreen
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case RunImmediately:
+		return "run-immediately"
+	case DeferToGreen:
+		return "defer-to-green"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Servers is the fleet size in server slots; each running job occupies
+	// slots proportional to its power draw.
+	Servers int
+	// ServerPowerMW is the incremental (busy-minus-idle) power of one
+	// server slot.
+	ServerPowerMW float64
+	// IdlePowerMW is the fleet's power draw with zero jobs running.
+	IdlePowerMW float64
+	// Renewable is the hourly renewable supply in MW; its length bounds the
+	// simulation horizon.
+	Renewable timeseries.Series
+	// GridCI is the grid's hourly carbon intensity in gCO2/kWh; must match
+	// Renewable's length.
+	GridCI timeseries.Series
+	// Policy selects the scheduling behaviour.
+	Policy Policy
+}
+
+// Validate reports the first invalid field, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Servers <= 0:
+		return fmt.Errorf("jobsim: fleet must have at least one server")
+	case c.ServerPowerMW <= 0:
+		return fmt.Errorf("jobsim: server power must be positive")
+	case c.IdlePowerMW < 0:
+		return fmt.Errorf("jobsim: negative idle power")
+	case c.Renewable.Len() == 0:
+		return fmt.Errorf("jobsim: empty renewable series")
+	case c.GridCI.Len() != c.Renewable.Len():
+		return fmt.Errorf("jobsim: grid CI length %d != renewable length %d", c.GridCI.Len(), c.Renewable.Len())
+	}
+	return nil
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	// Completed is the number of jobs that finished within the horizon.
+	Completed int
+	// Unfinished is jobs still queued or running at the horizon.
+	Unfinished int
+	// SLOViolations counts jobs started after their deadline.
+	SLOViolations int
+	// TotalWaitHours is the sum of queue waits across started jobs.
+	TotalWaitHours float64
+	// AvgWaitHours is TotalWaitHours over started jobs.
+	AvgWaitHours float64
+	// GridEnergyMWh is energy drawn from the grid.
+	GridEnergyMWh float64
+	// RenewableUsedMWh is renewable energy consumed.
+	RenewableUsedMWh float64
+	// Carbon is operational carbon from grid energy at hourly intensity.
+	Carbon units.GramsCO2
+	// PeakBusySlots is the maximum simultaneously occupied server slots.
+	PeakBusySlots int
+	// MeanUtilization is mean busy-slot share of the fleet.
+	MeanUtilization float64
+	// Power is the realized hourly fleet power in MW.
+	Power timeseries.Series
+	// ByTier breaks down started jobs per SLO tier.
+	ByTier map[workload.Tier]TierStats
+}
+
+// TierStats is the per-SLO-tier view of a run.
+type TierStats struct {
+	// Started counts jobs of the tier that began execution.
+	Started int
+	// TotalWaitHours sums their queue waits.
+	TotalWaitHours float64
+	// SLOViolations counts tier jobs started after their deadline.
+	SLOViolations int
+}
+
+// AvgWaitHours returns the tier's mean queue wait.
+func (ts TierStats) AvgWaitHours() float64 {
+	if ts.Started == 0 {
+		return 0
+	}
+	return ts.TotalWaitHours / float64(ts.Started)
+}
+
+// running is one in-flight job.
+type running struct {
+	slots     int
+	remaining int
+}
+
+// queued is one waiting job.
+type queued struct {
+	job   workload.Job
+	slots int
+}
+
+// Run simulates the job trace against the config. Jobs are processed in
+// submit order; each occupies ceil(power/serverPower) slots for its
+// duration. The simulation horizon is the renewable series length; jobs
+// submitted beyond it are ignored.
+func Run(jobs []workload.Job, cfg Config) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	horizon := cfg.Renewable.Len()
+
+	// Bucket arrivals by hour.
+	arrivals := make(map[int][]workload.Job)
+	for _, j := range jobs {
+		if j.SubmitHour >= 0 && j.SubmitHour < horizon {
+			arrivals[j.SubmitHour] = append(arrivals[j.SubmitHour], j)
+		}
+	}
+
+	var (
+		stats     Stats
+		queue     []queued
+		inFlight  []running
+		busySlots int
+		started   int
+		utilSum   float64
+	)
+	stats.Power = timeseries.New(horizon)
+	stats.ByTier = make(map[workload.Tier]TierStats, workload.NumTiers)
+
+	slotsFor := func(j workload.Job) int {
+		s := int(j.PowerMW/cfg.ServerPowerMW + 0.999999)
+		if s < 1 {
+			s = 1
+		}
+		if s > cfg.Servers {
+			s = cfg.Servers // a job can never need more than the fleet
+		}
+		return s
+	}
+
+	for h := 0; h < horizon; h++ {
+		// Retire finished work.
+		live := inFlight[:0]
+		for _, r := range inFlight {
+			r.remaining--
+			if r.remaining <= 0 {
+				busySlots -= r.slots
+				stats.Completed++
+			} else {
+				live = append(live, r)
+			}
+		}
+		inFlight = live
+
+		// Enqueue arrivals (submit order).
+		for _, j := range arrivals[h] {
+			queue = append(queue, queued{job: j, slots: slotsFor(j)})
+		}
+
+		// Decide what to start. Inflexible and deadline-expired jobs start
+		// first (FIFO); under DeferToGreen, remaining flexible jobs start
+		// only while projected power stays within renewable supply.
+		sort.SliceStable(queue, func(a, b int) bool {
+			return queue[a].job.Deadline() < queue[b].job.Deadline()
+		})
+		var stillQueued []queued
+		power := cfg.IdlePowerMW + float64(busySlots)*cfg.ServerPowerMW
+		for _, q := range queue {
+			free := cfg.Servers - busySlots
+			mustStart := q.job.Tier.SlackHours() < 2 || h >= q.job.Deadline()
+			greenRoom := power+float64(q.slots)*cfg.ServerPowerMW <= cfg.Renewable.At(h)
+			start := false
+			switch cfg.Policy {
+			case RunImmediately:
+				start = free >= q.slots
+			case DeferToGreen:
+				start = free >= q.slots && (mustStart || greenRoom)
+			}
+			if !start {
+				stillQueued = append(stillQueued, q)
+				continue
+			}
+			busySlots += q.slots
+			power += float64(q.slots) * cfg.ServerPowerMW
+			inFlight = append(inFlight, running{slots: q.slots, remaining: q.job.DurationHours})
+			started++
+			wait := h - q.job.SubmitHour
+			stats.TotalWaitHours += float64(wait)
+			ts := stats.ByTier[q.job.Tier]
+			ts.Started++
+			ts.TotalWaitHours += float64(wait)
+			if h > q.job.Deadline() {
+				stats.SLOViolations++
+				ts.SLOViolations++
+			}
+			stats.ByTier[q.job.Tier] = ts
+		}
+		queue = stillQueued
+
+		// Energy accounting for the hour.
+		stats.Power.Set(h, power)
+		ren := cfg.Renewable.At(h)
+		used := power
+		if used > ren {
+			used = ren
+		}
+		grid := power - used
+		stats.RenewableUsedMWh += used
+		stats.GridEnergyMWh += grid
+		stats.Carbon += units.MegaWattHours(grid).Carbon(units.CarbonIntensity(cfg.GridCI.At(h)))
+
+		if busySlots > stats.PeakBusySlots {
+			stats.PeakBusySlots = busySlots
+		}
+		utilSum += float64(busySlots) / float64(cfg.Servers)
+	}
+
+	stats.Unfinished = len(queue) + len(inFlight)
+	if started > 0 {
+		stats.AvgWaitHours = stats.TotalWaitHours / float64(started)
+	}
+	stats.MeanUtilization = utilSum / float64(horizon)
+	return stats, nil
+}

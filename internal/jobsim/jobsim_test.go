@@ -1,0 +1,300 @@
+package jobsim
+
+import (
+	"math"
+	"testing"
+
+	"carbonexplorer/internal/timeseries"
+	"carbonexplorer/internal/workload"
+)
+
+func baseConfig(hours int, policy Policy) Config {
+	return Config{
+		Servers:       100,
+		ServerPowerMW: 0.001, // 1 kW incremental per slot
+		IdlePowerMW:   0.05,
+		Renewable:     timeseries.New(hours),
+		GridCI:        timeseries.Constant(hours, 400),
+		Policy:        policy,
+	}
+}
+
+func job(id, submit, dur int, tier workload.Tier, powerMW float64) workload.Job {
+	return workload.Job{ID: id, SubmitHour: submit, DurationHours: dur, Tier: tier, PowerMW: powerMW}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if RunImmediately.String() != "run-immediately" || DeferToGreen.String() != "defer-to-green" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(7).String() != "policy(7)" {
+		t.Fatal("out-of-range policy name")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := baseConfig(24, RunImmediately)
+	bad := []func(*Config){
+		func(c *Config) { c.Servers = 0 },
+		func(c *Config) { c.ServerPowerMW = 0 },
+		func(c *Config) { c.IdlePowerMW = -1 },
+		func(c *Config) { c.Renewable = timeseries.New(0); c.GridCI = timeseries.New(0) },
+		func(c *Config) { c.GridCI = timeseries.New(5) },
+	}
+	for i, mutate := range bad {
+		cfg := good
+		mutate(&cfg)
+		if _, err := Run(nil, cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestAllJobsCompleteWithCapacity(t *testing.T) {
+	cfg := baseConfig(100, RunImmediately)
+	jobs := []workload.Job{
+		job(0, 0, 3, workload.Tier1, 0.002),
+		job(1, 5, 2, workload.Tier4, 0.001),
+		job(2, 10, 1, workload.Tier5, 0.003),
+	}
+	stats, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 3 || stats.Unfinished != 0 {
+		t.Fatalf("completed %d unfinished %d", stats.Completed, stats.Unfinished)
+	}
+	if stats.SLOViolations != 0 {
+		t.Fatalf("violations = %d", stats.SLOViolations)
+	}
+	// FIFO with free servers: zero wait.
+	if stats.AvgWaitHours != 0 {
+		t.Fatalf("avg wait = %v", stats.AvgWaitHours)
+	}
+}
+
+func TestCapacityQueuesJobs(t *testing.T) {
+	cfg := baseConfig(50, RunImmediately)
+	cfg.Servers = 1
+	// Two 1-slot jobs submitted together: the second must wait 2 hours.
+	jobs := []workload.Job{
+		job(0, 0, 2, workload.Tier1, 0.001),
+		job(1, 0, 2, workload.Tier4, 0.001),
+	}
+	stats, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 2 {
+		t.Fatalf("completed %d", stats.Completed)
+	}
+	if stats.TotalWaitHours != 2 {
+		t.Fatalf("total wait = %v, want 2", stats.TotalWaitHours)
+	}
+	if stats.PeakBusySlots != 1 {
+		t.Fatalf("peak slots = %d, want capacity-bound 1", stats.PeakBusySlots)
+	}
+}
+
+func TestDeferToGreenWaitsForRenewables(t *testing.T) {
+	hours := 48
+	cfg := baseConfig(hours, DeferToGreen)
+	// Renewables abundant only in hours 24+.
+	cfg.Renewable = timeseries.Generate(hours, func(h int) float64 {
+		if h >= 24 {
+			return 10
+		}
+		return 0
+	})
+	// One flexible daily-SLO job submitted at hour 0: it should wait for
+	// green hours (deadline 24).
+	jobs := []workload.Job{job(0, 0, 2, workload.Tier4, 0.001)}
+	stats, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 1 {
+		t.Fatalf("completed %d", stats.Completed)
+	}
+	if stats.TotalWaitHours < 20 {
+		t.Fatalf("green policy should have deferred ~24h, waited %v", stats.TotalWaitHours)
+	}
+}
+
+func TestDeferToGreenStartsInflexibleImmediately(t *testing.T) {
+	hours := 24
+	cfg := baseConfig(hours, DeferToGreen) // zero renewables all day
+	jobs := []workload.Job{job(0, 3, 2, workload.Tier1, 0.001)}
+	stats, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalWaitHours != 0 {
+		t.Fatalf("±1h job must start immediately, waited %v", stats.TotalWaitHours)
+	}
+}
+
+func TestDeferToGreenHonoursDeadline(t *testing.T) {
+	hours := 72
+	cfg := baseConfig(hours, DeferToGreen) // never green
+	jobs := []workload.Job{job(0, 0, 1, workload.Tier4, 0.001)}
+	stats, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 1 {
+		t.Fatalf("job must run by deadline even without green energy")
+	}
+	// Started exactly at its 24h deadline: no violation.
+	if stats.SLOViolations != 0 {
+		t.Fatalf("starting at the deadline is not a violation")
+	}
+	if stats.TotalWaitHours != 24 {
+		t.Fatalf("wait = %v, want 24", stats.TotalWaitHours)
+	}
+}
+
+func TestGreenPolicyReducesCarbon(t *testing.T) {
+	hours := 24 * 30
+	ren := timeseries.Generate(hours, func(h int) float64 {
+		if h%24 >= 8 && h%24 < 18 {
+			return 0.5 // plenty during the day
+		}
+		return 0
+	})
+	jobs := workload.GenerateTrace(workload.TraceParams{
+		JobsPerHour: 6, MeanDurationHours: 2, MeanPowerMW: 0.002, Seed: 3,
+	}, hours-48)
+
+	run := func(p Policy) Stats {
+		cfg := baseConfig(hours, p)
+		cfg.Renewable = ren
+		stats, err := Run(jobs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	fifo := run(RunImmediately)
+	green := run(DeferToGreen)
+
+	if green.Carbon >= fifo.Carbon {
+		t.Fatalf("green policy should cut carbon: %v vs %v", green.Carbon, fifo.Carbon)
+	}
+	if green.AvgWaitHours <= fifo.AvgWaitHours {
+		t.Fatalf("green policy should trade wait time for carbon")
+	}
+	// Both policies run the same jobs.
+	if fifo.Completed != green.Completed {
+		t.Fatalf("completion mismatch: %d vs %d", fifo.Completed, green.Completed)
+	}
+}
+
+func TestEnergyAccountingConsistent(t *testing.T) {
+	hours := 24 * 7
+	cfg := baseConfig(hours, RunImmediately)
+	cfg.Renewable = timeseries.Constant(hours, 0.2)
+	jobs := workload.GenerateTrace(workload.TraceParams{
+		JobsPerHour: 3, MeanDurationHours: 2, MeanPowerMW: 0.002, Seed: 5,
+	}, hours-24)
+	stats, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := stats.Power.Sum()
+	if math.Abs(total-(stats.GridEnergyMWh+stats.RenewableUsedMWh)) > 1e-6 {
+		t.Fatalf("energy split inconsistent: %v vs %v+%v",
+			total, stats.GridEnergyMWh, stats.RenewableUsedMWh)
+	}
+	if stats.MeanUtilization <= 0 || stats.MeanUtilization > 1 {
+		t.Fatalf("utilization = %v", stats.MeanUtilization)
+	}
+}
+
+func TestOversizedJobClampsToFleet(t *testing.T) {
+	cfg := baseConfig(24, RunImmediately)
+	cfg.Servers = 4
+	// Job nominally needs 10 slots; it is clamped to the fleet and still
+	// runs.
+	jobs := []workload.Job{job(0, 0, 1, workload.Tier1, 0.010)}
+	stats, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 1 {
+		t.Fatalf("oversized job should still run")
+	}
+	if stats.PeakBusySlots != 4 {
+		t.Fatalf("peak slots = %d, want clamped 4", stats.PeakBusySlots)
+	}
+}
+
+func TestJobsBeyondHorizonIgnored(t *testing.T) {
+	cfg := baseConfig(24, RunImmediately)
+	jobs := []workload.Job{job(0, 100, 1, workload.Tier1, 0.001)}
+	stats, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 0 || stats.Unfinished != 0 {
+		t.Fatalf("out-of-horizon job should be ignored: %+v", stats)
+	}
+}
+
+func TestPerTierStats(t *testing.T) {
+	hours := 24 * 20
+	cfg := baseConfig(hours, DeferToGreen)
+	cfg.Renewable = timeseries.Generate(hours, func(h int) float64 {
+		if h%24 >= 8 && h%24 < 18 {
+			return 0.5
+		}
+		return 0
+	})
+	jobs := workload.GenerateTrace(workload.TraceParams{
+		JobsPerHour: 8, MeanDurationHours: 2, MeanPowerMW: 0.002, Seed: 9,
+	}, hours-48)
+	stats, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tierStarted int
+	for _, ts := range stats.ByTier {
+		tierStarted += ts.Started
+	}
+	wanted := stats.Completed + stats.Unfinished // started jobs may still run
+	if tierStarted > wanted {
+		t.Fatalf("per-tier started %d exceeds plausible %d", tierStarted, wanted)
+	}
+	// Under defer-to-green, flexible tiers should wait longer on average
+	// than the inflexible Tier 1.
+	t1 := stats.ByTier[workload.Tier1]
+	t4 := stats.ByTier[workload.Tier4]
+	if t1.Started == 0 || t4.Started == 0 {
+		t.Fatalf("expected jobs in both tiers: %+v", stats.ByTier)
+	}
+	if t4.AvgWaitHours() <= t1.AvgWaitHours() {
+		t.Fatalf("daily-SLO jobs should wait longer than ±1h jobs: %v vs %v",
+			t4.AvgWaitHours(), t1.AvgWaitHours())
+	}
+	if zero := (TierStats{}); zero.AvgWaitHours() != 0 {
+		t.Fatalf("empty tier average should be 0")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	hours := 24 * 10
+	cfg := baseConfig(hours, DeferToGreen)
+	cfg.Renewable = timeseries.Generate(hours, func(h int) float64 { return float64(h%24) / 50 })
+	jobs := workload.GenerateTrace(workload.DefaultTraceParams(), hours-24)
+	a, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Carbon != b.Carbon || a.Completed != b.Completed || a.TotalWaitHours != b.TotalWaitHours {
+		t.Fatalf("simulation not deterministic")
+	}
+}

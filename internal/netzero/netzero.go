@@ -1,0 +1,237 @@
+// Package netzero implements renewable-energy-credit (REC) accounting for
+// power purchase agreements, the state-of-the-art mechanism the paper
+// contrasts with 24/7 operation (Section 3.2): a PPA issues one credit per
+// MWh its farms generate, and a datacenter claims Net Zero for a period when
+// credits cover consumption. The package computes credit balances at
+// hourly, daily, monthly, and annual granularity, making the paper's core
+// observation quantitative — a datacenter can be 100% matched annually while
+// consuming carbon-intensive energy for a large fraction of its hours.
+package netzero
+
+import (
+	"fmt"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+// Period is a credit-matching granularity.
+type Period int
+
+// Matching granularities, coarse to fine.
+const (
+	// Annual matching is today's typical Net Zero claim.
+	Annual Period = iota
+	// Monthly matching is the stricter accounting some operators report.
+	Monthly
+	// Daily matching.
+	Daily
+	// Hourly matching is the 24/7 Carbon-Free Energy Compact's standard.
+	Hourly
+)
+
+// String names the period.
+func (p Period) String() string {
+	switch p {
+	case Annual:
+		return "annual"
+	case Monthly:
+		return "monthly"
+	case Daily:
+		return "daily"
+	case Hourly:
+		return "hourly"
+	default:
+		return fmt.Sprintf("period(%d)", int(p))
+	}
+}
+
+// AllPeriods lists the granularities coarse to fine.
+func AllPeriods() []Period { return []Period{Annual, Monthly, Daily, Hourly} }
+
+// monthStartDays gives the 0-based start day of each month in the non-leap
+// simulation year.
+var monthStartDays = [13]int{0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 365}
+
+// boundaries returns the hour indices that delimit the period's windows
+// over n hours (ascending, starting at 0, ending at n).
+func (p Period) boundaries(n int) []int {
+	switch p {
+	case Annual:
+		return []int{0, n}
+	case Monthly:
+		var out []int
+		for _, d := range monthStartDays {
+			h := d * 24
+			if h > n {
+				break
+			}
+			out = append(out, h)
+		}
+		if out[len(out)-1] != n {
+			out = append(out, n)
+		}
+		return out
+	case Daily:
+		var out []int
+		for h := 0; h <= n; h += 24 {
+			out = append(out, h)
+		}
+		if out[len(out)-1] != n {
+			out = append(out, n)
+		}
+		return out
+	case Hourly:
+		out := make([]int, n+1)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("netzero: unknown period %d", int(p)))
+	}
+}
+
+// WindowBalance is the credit position of one matching window.
+type WindowBalance struct {
+	// StartHour is the window's first hour index.
+	StartHour int
+	// ConsumedMWh is datacenter energy consumed in the window.
+	ConsumedMWh float64
+	// CreditsMWh is renewable energy generated (credits issued) in the
+	// window.
+	CreditsMWh float64
+}
+
+// Matched reports whether credits cover consumption in this window.
+func (w WindowBalance) Matched() bool { return w.CreditsMWh >= w.ConsumedMWh }
+
+// MatchRatio returns credits over consumption (capped only below at 0);
+// a window with no consumption is fully matched.
+func (w WindowBalance) MatchRatio() float64 {
+	if w.ConsumedMWh <= 0 {
+		return 1
+	}
+	r := w.CreditsMWh / w.ConsumedMWh
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Report summarizes credit matching at one granularity.
+type Report struct {
+	// Period is the matching granularity.
+	Period Period
+	// Windows are the per-window balances.
+	Windows []WindowBalance
+	// MatchedWindows counts windows where credits covered consumption.
+	MatchedWindows int
+	// MatchedFraction is MatchedWindows over total windows.
+	MatchedFraction float64
+	// MatchedEnergyFraction is the fraction of consumed energy covered by
+	// credits within its own window (excess credits in one window do not
+	// carry into another).
+	MatchedEnergyFraction float64
+}
+
+// Match computes the credit report for demand and credit-generation series
+// at the given granularity. Series must be equal length and non-empty.
+func Match(demand, credits timeseries.Series, p Period) (Report, error) {
+	n := demand.Len()
+	if n == 0 {
+		return Report{}, fmt.Errorf("netzero: empty demand series")
+	}
+	if credits.Len() != n {
+		return Report{}, fmt.Errorf("netzero: demand length %d != credits length %d", n, credits.Len())
+	}
+	bounds := p.boundaries(n)
+	rep := Report{Period: p}
+	var coveredEnergy, totalEnergy float64
+	for i := 0; i+1 < len(bounds); i++ {
+		w := WindowBalance{StartHour: bounds[i]}
+		for h := bounds[i]; h < bounds[i+1]; h++ {
+			w.ConsumedMWh += demand.At(h)
+			w.CreditsMWh += credits.At(h)
+		}
+		if w.Matched() {
+			rep.MatchedWindows++
+			coveredEnergy += w.ConsumedMWh
+		} else {
+			coveredEnergy += w.CreditsMWh
+		}
+		totalEnergy += w.ConsumedMWh
+		rep.Windows = append(rep.Windows, w)
+	}
+	if len(rep.Windows) > 0 {
+		rep.MatchedFraction = float64(rep.MatchedWindows) / float64(len(rep.Windows))
+	}
+	if totalEnergy > 0 {
+		rep.MatchedEnergyFraction = coveredEnergy / totalEnergy
+	}
+	return rep, nil
+}
+
+// MatchWithBanking computes per-window matching where surplus credits carry
+// forward into later windows (credit "banking") — a common accounting
+// variant that sits between strict per-window matching and annual matching.
+// Credits never carry backward: a later surplus cannot cover an earlier
+// shortfall.
+func MatchWithBanking(demand, credits timeseries.Series, p Period) (Report, error) {
+	rep, err := Match(demand, credits, p)
+	if err != nil {
+		return Report{}, err
+	}
+	// Re-walk the windows with a rolling bank.
+	bank := 0.0
+	var coveredEnergy, totalEnergy float64
+	rep.MatchedWindows = 0
+	for i := range rep.Windows {
+		w := &rep.Windows[i]
+		available := w.CreditsMWh + bank
+		if available >= w.ConsumedMWh {
+			bank = available - w.ConsumedMWh
+			coveredEnergy += w.ConsumedMWh
+			rep.MatchedWindows++
+		} else {
+			bank = 0
+			coveredEnergy += available
+		}
+		totalEnergy += w.ConsumedMWh
+	}
+	if len(rep.Windows) > 0 {
+		rep.MatchedFraction = float64(rep.MatchedWindows) / float64(len(rep.Windows))
+	}
+	if totalEnergy > 0 {
+		rep.MatchedEnergyFraction = coveredEnergy / totalEnergy
+	}
+	return rep, nil
+}
+
+// Summary compares all granularities for one demand/credit pair — the
+// "Net Zero on paper vs 24/7 in practice" gap in one struct.
+type Summary struct {
+	// AnnualNetZero reports whether the year's credits cover the year's
+	// consumption.
+	AnnualNetZero bool
+	// AnnualMatchRatio is total credits over total consumption.
+	AnnualMatchRatio float64
+	// ByPeriod holds the energy-matched fraction at each granularity.
+	ByPeriod map[Period]float64
+}
+
+// Summarize runs Match at every granularity.
+func Summarize(demand, credits timeseries.Series) (Summary, error) {
+	s := Summary{ByPeriod: make(map[Period]float64, 4)}
+	for _, p := range AllPeriods() {
+		rep, err := Match(demand, credits, p)
+		if err != nil {
+			return Summary{}, err
+		}
+		s.ByPeriod[p] = rep.MatchedEnergyFraction
+		if p == Annual && len(rep.Windows) > 0 {
+			s.AnnualNetZero = rep.Windows[0].Matched()
+			s.AnnualMatchRatio = rep.Windows[0].MatchRatio()
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,249 @@
+package netzero
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+func TestPeriodNames(t *testing.T) {
+	want := map[Period]string{Annual: "annual", Monthly: "monthly", Daily: "daily", Hourly: "hourly"}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("%d name = %q", int(p), p.String())
+		}
+	}
+	if got := Period(9).String(); got != "period(9)" {
+		t.Errorf("out-of-range name %q", got)
+	}
+	if len(AllPeriods()) != 4 {
+		t.Fatal("want 4 periods")
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	n := timeseries.HoursPerYear
+	if b := Annual.boundaries(n); len(b) != 2 || b[1] != n {
+		t.Fatalf("annual boundaries %v", b)
+	}
+	if b := Monthly.boundaries(n); len(b) != 13 {
+		t.Fatalf("monthly boundaries count %d", len(b))
+	}
+	if b := Daily.boundaries(n); len(b) != 366 {
+		t.Fatalf("daily boundaries count %d", len(b))
+	}
+	if b := Hourly.boundaries(48); len(b) != 49 {
+		t.Fatalf("hourly boundaries count %d", len(b))
+	}
+	// Partial year still covered.
+	if b := Monthly.boundaries(40 * 24); b[len(b)-1] != 40*24 {
+		t.Fatalf("partial-year monthly boundaries %v", b)
+	}
+}
+
+func TestAnnualNetZeroButPartialHourly(t *testing.T) {
+	// The paper's core point: solar credits equal to annual consumption
+	// leave half the hours unmatched.
+	n := 24 * 30
+	demand := timeseries.Constant(n, 10)
+	credits := timeseries.Generate(n, func(h int) float64 {
+		if h%24 >= 6 && h%24 < 18 {
+			return 20 // all generation during daytime
+		}
+		return 0
+	})
+	s, err := Summarize(demand, credits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.AnnualNetZero {
+		t.Fatalf("credits (%v/day) should cover demand (%v/day)", 240.0, 240.0)
+	}
+	if math.Abs(s.AnnualMatchRatio-1) > 1e-9 {
+		t.Fatalf("annual match ratio = %v, want 1", s.AnnualMatchRatio)
+	}
+	if s.ByPeriod[Daily] != 1 {
+		t.Fatalf("daily matching should also hold: %v", s.ByPeriod[Daily])
+	}
+	// Hourly: night hours (12 of 24) are uncovered entirely.
+	if math.Abs(s.ByPeriod[Hourly]-0.5) > 1e-9 {
+		t.Fatalf("hourly matched energy = %v, want 0.5", s.ByPeriod[Hourly])
+	}
+}
+
+func TestMatchGranularityMonotone(t *testing.T) {
+	// Coarser periods can only match more energy (excess pools across
+	// hours within the window).
+	n := 24 * 60
+	demand := timeseries.Generate(n, func(h int) float64 { return 8 + 3*math.Sin(float64(h)/9) })
+	credits := timeseries.Generate(n, func(h int) float64 { return 16 * math.Abs(math.Sin(float64(h)/13)) })
+	s, err := Summarize(demand, credits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ByPeriod[Annual] < s.ByPeriod[Monthly]-1e-9 ||
+		s.ByPeriod[Monthly] < s.ByPeriod[Daily]-1e-9 ||
+		s.ByPeriod[Daily] < s.ByPeriod[Hourly]-1e-9 {
+		t.Fatalf("matching should weaken with finer periods: %v", s.ByPeriod)
+	}
+}
+
+func TestWindowBalance(t *testing.T) {
+	w := WindowBalance{ConsumedMWh: 10, CreditsMWh: 15}
+	if !w.Matched() || w.MatchRatio() != 1.5 {
+		t.Fatalf("window balance wrong: %+v", w)
+	}
+	empty := WindowBalance{}
+	if !empty.Matched() || empty.MatchRatio() != 1 {
+		t.Fatalf("zero-consumption window should be fully matched")
+	}
+	short := WindowBalance{ConsumedMWh: 10, CreditsMWh: 4}
+	if short.Matched() || short.MatchRatio() != 0.4 {
+		t.Fatalf("short window wrong: %+v", short)
+	}
+}
+
+func TestMatchValidation(t *testing.T) {
+	if _, err := Match(timeseries.New(0), timeseries.New(0), Annual); err == nil {
+		t.Fatal("empty series should error")
+	}
+	if _, err := Match(timeseries.New(10), timeseries.New(5), Annual); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestHourlyMatchingEqualsCoverageStyleMetric(t *testing.T) {
+	// Hourly matched-energy fraction equals 1 - deficit/total, the paper's
+	// coverage metric (as a fraction).
+	n := 24 * 20
+	demand := timeseries.Generate(n, func(h int) float64 { return 5 + float64(h%7) })
+	credits := timeseries.Generate(n, func(h int) float64 { return float64((h * 3) % 13) })
+	rep, err := Match(demand, credits, Hourly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, _ := demand.Sub(credits)
+	wantCovered := 1 - diff.PositivePart().Sum()/demand.Sum()
+	if math.Abs(rep.MatchedEnergyFraction-wantCovered) > 1e-9 {
+		t.Fatalf("hourly matching %v != coverage %v", rep.MatchedEnergyFraction, wantCovered)
+	}
+}
+
+func TestBankingCarriesForwardOnly(t *testing.T) {
+	// Day 0: surplus. Day 1: shortfall covered by the bank. Day 2:
+	// shortfall with an empty bank. Day 3: surplus that cannot rescue day 2.
+	demand := timeseries.Generate(96, func(h int) float64 { return 10 })
+	credits := timeseries.Generate(96, func(h int) float64 {
+		switch h / 24 {
+		case 0:
+			return 20 // +240 banked
+		case 1:
+			return 2 // −192, bank covers 192 of 240
+		case 2:
+			return 0 // bank has 48 − not enough; partially covered
+		default:
+			return 30 // surplus, too late for day 2
+		}
+	})
+	plain, err := Match(demand, credits, Daily)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banked, err := MatchWithBanking(demand, credits, Daily)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banked.MatchedEnergyFraction <= plain.MatchedEnergyFraction {
+		t.Fatalf("banking should improve matching: %v vs %v",
+			banked.MatchedEnergyFraction, plain.MatchedEnergyFraction)
+	}
+	// Day 1 becomes matched via the bank; day 2 stays unmatched.
+	if !banked.Windows[0].Matched() {
+		t.Fatal("day 0 should be matched")
+	}
+	if banked.MatchedWindows != 3 { // days 0, 1, 3
+		t.Fatalf("matched windows = %d, want 3", banked.MatchedWindows)
+	}
+	// Banking can never exceed annual matching.
+	annual, err := Match(demand, credits, Annual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banked.MatchedEnergyFraction > annual.MatchedEnergyFraction+1e-9 {
+		t.Fatalf("banking %v exceeded annual bound %v",
+			banked.MatchedEnergyFraction, annual.MatchedEnergyFraction)
+	}
+}
+
+func TestBankingValidation(t *testing.T) {
+	if _, err := MatchWithBanking(timeseries.New(0), timeseries.New(0), Daily); err == nil {
+		t.Fatal("empty series should error")
+	}
+}
+
+func TestPropertyBankingBetweenPlainAndAnnual(t *testing.T) {
+	f := func(d, c []uint16) bool {
+		n := len(d)
+		if len(c) < n {
+			n = len(c)
+		}
+		if n < 48 {
+			return true
+		}
+		dv := make([]float64, n)
+		cv := make([]float64, n)
+		for i := 0; i < n; i++ {
+			dv[i] = float64(d[i]%50) + 1
+			cv[i] = float64(c[i] % 80)
+		}
+		demand := timeseries.FromValues(dv)
+		credits := timeseries.FromValues(cv)
+		plain, err1 := Match(demand, credits, Daily)
+		banked, err2 := MatchWithBanking(demand, credits, Daily)
+		annual, err3 := Match(demand, credits, Annual)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return banked.MatchedEnergyFraction >= plain.MatchedEnergyFraction-1e-9 &&
+			banked.MatchedEnergyFraction <= annual.MatchedEnergyFraction+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMatchedFractionBounds(t *testing.T) {
+	f := func(d, c []uint16) bool {
+		n := len(d)
+		if len(c) < n {
+			n = len(c)
+		}
+		if n == 0 {
+			return true
+		}
+		dv := make([]float64, n)
+		cv := make([]float64, n)
+		for i := 0; i < n; i++ {
+			dv[i] = float64(d[i] % 100)
+			cv[i] = float64(c[i] % 100)
+		}
+		for _, p := range AllPeriods() {
+			rep, err := Match(timeseries.FromValues(dv), timeseries.FromValues(cv), p)
+			if err != nil {
+				return false
+			}
+			if rep.MatchedFraction < 0 || rep.MatchedFraction > 1 {
+				return false
+			}
+			if rep.MatchedEnergyFraction < 0 || rep.MatchedEnergyFraction > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+// FuzzShiftDaily feeds arbitrary demand/signal bytes into the greedy
+// shifter: whatever the input, shifted load must conserve energy per
+// window, stay non-negative, and respect the capacity cap.
+func FuzzShiftDaily(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 5, 5, 5}, []byte{1, 2, 3, 9, 8, 7}, uint8(40), uint8(1))
+	f.Add([]byte{0, 0, 0}, []byte{0, 0, 0}, uint8(100), uint8(0))
+	f.Add([]byte{255}, []byte{255}, uint8(0), uint8(1))
+
+	f.Fuzz(func(t *testing.T, dRaw, sRaw []byte, fwrRaw, withCap uint8) {
+		n := len(dRaw)
+		if len(sRaw) < n {
+			n = len(sRaw)
+		}
+		if n == 0 || n > 24*14 {
+			return
+		}
+		dv := make([]float64, n)
+		sv := make([]float64, n)
+		for i := 0; i < n; i++ {
+			dv[i] = float64(dRaw[i])
+			sv[i] = float64(sRaw[i])
+		}
+		demand := timeseries.FromValues(dv)
+		signal := timeseries.FromValues(sv)
+		cfg := Config{
+			FlexibleRatio: float64(fwrRaw%101) / 100,
+			WindowHours:   24,
+		}
+		if withCap%2 == 1 {
+			cfg.CapacityMW = demand.MaxValue()*1.2 + 1
+		}
+		out, err := ShiftDaily(demand, signal, cfg)
+		if err != nil {
+			t.Fatalf("valid input rejected: %v", err)
+		}
+		if out.MinValue() < -1e-9 {
+			t.Fatalf("negative load after shifting")
+		}
+		if math.Abs(out.Sum()-demand.Sum()) > 1e-6*(1+demand.Sum()) {
+			t.Fatalf("energy not conserved: %v -> %v", demand.Sum(), out.Sum())
+		}
+		if cfg.CapacityMW > 0 {
+			limit := math.Max(cfg.CapacityMW, demand.MaxValue()) + 1e-9
+			if out.MaxValue() > limit {
+				t.Fatalf("capacity cap violated: %v > %v", out.MaxValue(), limit)
+			}
+		}
+		// Per-window conservation.
+		for start := 0; start < n; start += 24 {
+			end := start + 24
+			if end > n {
+				end = n
+			}
+			a := demand.Slice(start, end).Sum()
+			b := out.Slice(start, end).Sum()
+			if math.Abs(a-b) > 1e-6*(1+a) {
+				t.Fatalf("window [%d,%d) energy not conserved", start, end)
+			}
+		}
+	})
+}

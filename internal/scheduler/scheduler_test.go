@@ -1,0 +1,344 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carbonexplorer/internal/battery"
+	"carbonexplorer/internal/timeseries"
+)
+
+func TestShiftDailyMovesToLowSignal(t *testing.T) {
+	// Two hours: hour 0 dirty, hour 1 clean. Half the load is flexible.
+	demand := timeseries.FromValues([]float64{10, 10})
+	signal := timeseries.FromValues([]float64{100, 1})
+	out, err := ShiftDaily(demand, signal, Config{FlexibleRatio: 0.5, WindowHours: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0) != 5 || out.At(1) != 15 {
+		t.Fatalf("shift result = %v, want [5 15]", out.Values())
+	}
+}
+
+func TestShiftDailyConservesEnergy(t *testing.T) {
+	demand := timeseries.Generate(72, func(h int) float64 { return 10 + float64(h%24) })
+	signal := timeseries.Generate(72, func(h int) float64 { return float64((h * 7) % 24) })
+	out, err := ShiftDaily(demand, signal, Config{FlexibleRatio: 0.4, WindowHours: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Sum()-demand.Sum()) > 1e-9 {
+		t.Fatalf("energy not conserved: %v -> %v", demand.Sum(), out.Sum())
+	}
+	// Per-window conservation too.
+	for d := 0; d < 3; d++ {
+		if math.Abs(out.Day(d).Sum()-demand.Day(d).Sum()) > 1e-9 {
+			t.Fatalf("day %d energy not conserved", d)
+		}
+	}
+}
+
+func TestShiftDailyRespectsCapacity(t *testing.T) {
+	demand := timeseries.FromValues([]float64{10, 10, 10, 10})
+	signal := timeseries.FromValues([]float64{50, 40, 2, 1})
+	out, err := ShiftDaily(demand, signal, Config{FlexibleRatio: 1.0, WindowHours: 4, CapacityMW: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxValue() > 12+1e-9 {
+		t.Fatalf("capacity cap violated: %v", out.Values())
+	}
+	if math.Abs(out.Sum()-40) > 1e-9 {
+		t.Fatalf("energy not conserved under cap: %v", out.Values())
+	}
+}
+
+func TestShiftDailyZeroFlexibleNoOp(t *testing.T) {
+	demand := timeseries.FromValues([]float64{5, 7, 9})
+	signal := timeseries.FromValues([]float64{3, 2, 1})
+	out, err := ShiftDaily(demand, signal, Config{FlexibleRatio: 0, WindowHours: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(demand, 0) {
+		t.Fatalf("zero flexible ratio should not move load")
+	}
+}
+
+func TestShiftDailyFlatSignalNoOp(t *testing.T) {
+	demand := timeseries.FromValues([]float64{5, 7, 9})
+	signal := timeseries.Constant(3, 42)
+	out, err := ShiftDaily(demand, signal, Config{FlexibleRatio: 0.5, WindowHours: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(demand, 0) {
+		t.Fatalf("flat signal should not move load (no strictly better hour)")
+	}
+}
+
+func TestShiftDailyNeverNegative(t *testing.T) {
+	demand := timeseries.FromValues([]float64{1, 2, 3, 4})
+	signal := timeseries.FromValues([]float64{9, 8, 1, 0})
+	out, err := ShiftDaily(demand, signal, Config{FlexibleRatio: 1.0, WindowHours: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MinValue() < 0 {
+		t.Fatalf("negative load after shifting: %v", out.Values())
+	}
+}
+
+func TestShiftDailyValidation(t *testing.T) {
+	d := timeseries.New(4)
+	if _, err := ShiftDaily(d, timeseries.New(3), DefaultConfig()); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := ShiftDaily(d, d, Config{FlexibleRatio: 2, WindowHours: 24}); err == nil {
+		t.Fatal("bad flexible ratio should error")
+	}
+	if _, err := ShiftDaily(d, d, Config{FlexibleRatio: 0.4, WindowHours: 0}); err == nil {
+		t.Fatal("zero window should error")
+	}
+	if _, err := ShiftDaily(d, d, Config{FlexibleRatio: 0.4, WindowHours: 24, CapacityMW: -1}); err == nil {
+		t.Fatal("negative capacity should error")
+	}
+}
+
+func TestDeficitSignal(t *testing.T) {
+	demand := timeseries.FromValues([]float64{10, 10})
+	ren := timeseries.FromValues([]float64{4, 16})
+	sig, err := DeficitSignal(demand, ren)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.At(0) != 6 || sig.At(1) != -6 {
+		t.Fatalf("deficit signal = %v", sig.Values())
+	}
+}
+
+func TestSimulateNoBatteryNoFlex(t *testing.T) {
+	demand := timeseries.Constant(48, 10)
+	ren := timeseries.Generate(48, func(h int) float64 {
+		if h%2 == 0 {
+			return 20
+		}
+		return 0
+	})
+	res, err := Simulate(SimConfig{Demand: demand, Renewable: ren})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Odd hours draw 10 MW from grid; even hours have 10 MW surplus.
+	if got := res.GridDraw.Sum(); math.Abs(got-240) > 1e-9 {
+		t.Fatalf("grid draw = %v, want 240", got)
+	}
+	if got := res.Surplus.Sum(); math.Abs(got-240) > 1e-9 {
+		t.Fatalf("surplus = %v, want 240", got)
+	}
+	if !res.Balanced.Equal(demand, 0) {
+		t.Fatalf("without flexibility the load must not move")
+	}
+}
+
+func TestSimulateBatteryCoversAlternatingDeficit(t *testing.T) {
+	demand := timeseries.Constant(48, 10)
+	ren := timeseries.Generate(48, func(h int) float64 {
+		if h%2 == 0 {
+			return 25
+		}
+		return 0
+	})
+	b, err := battery.New(battery.LFP(40, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(SimConfig{Demand: demand, Renewable: ren, Battery: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15 MW surplus alternates with a 10 MW deficit; a 40 MWh battery
+	// should virtually eliminate grid draw (first hour is surplus).
+	if res.GridDraw.Sum() > 30 {
+		t.Fatalf("grid draw with ample battery = %v, want near 0", res.GridDraw.Sum())
+	}
+}
+
+func TestSimulateFlexShiftsIntoSurplus(t *testing.T) {
+	// Day pattern: 12 deficit hours then 12 surplus hours. With 40% flex
+	// and no battery, deferred load runs during surplus.
+	demand := timeseries.Constant(48, 10)
+	ren := timeseries.Generate(48, func(h int) float64 {
+		if h%24 < 12 {
+			return 0
+		}
+		return 30
+	})
+	res, err := Simulate(SimConfig{Demand: demand, Renewable: ren, FlexibleRatio: 0.4, DeferralWindowHours: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noFlex, _ := Simulate(SimConfig{Demand: demand, Renewable: ren})
+	if res.GridDraw.Sum() >= noFlex.GridDraw.Sum() {
+		t.Fatalf("flexibility should reduce grid draw: %v vs %v", res.GridDraw.Sum(), noFlex.GridDraw.Sum())
+	}
+	// Energy conservation: all deferred work eventually runs.
+	if math.Abs(res.Balanced.Sum()-demand.Sum()) > 1e-6 {
+		t.Fatalf("energy not conserved: %v -> %v", demand.Sum(), res.Balanced.Sum())
+	}
+}
+
+func TestSimulateEnergyConservation(t *testing.T) {
+	demand := timeseries.Generate(24*14, func(h int) float64 { return 8 + 4*math.Sin(float64(h)/5) })
+	ren := timeseries.Generate(24*14, func(h int) float64 { return 12 * math.Abs(math.Sin(float64(h)/7)) })
+	b, _ := battery.New(battery.LFP(20, 0.8))
+	res, err := Simulate(SimConfig{
+		Demand: demand, Renewable: ren, Battery: b,
+		FlexibleRatio: 0.4, DeferralWindowHours: 24, CapacityMW: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Balanced.Sum()-demand.Sum()) > 1e-6 {
+		t.Fatalf("energy not conserved: demand %v, balanced %v", demand.Sum(), res.Balanced.Sum())
+	}
+}
+
+func TestSimulateRespectsCapForVoluntaryPulls(t *testing.T) {
+	demand := timeseries.Constant(48, 10)
+	ren := timeseries.Generate(48, func(h int) float64 {
+		if h%24 < 12 {
+			return 0
+		}
+		return 100
+	})
+	res, err := Simulate(SimConfig{
+		Demand: demand, Renewable: ren,
+		FlexibleRatio: 1.0, DeferralWindowHours: 24, CapacityMW: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Voluntary (surplus-driven) execution must respect the 14 MW cap.
+	// Forced deadline execution may exceed it; the final hour is excluded
+	// because work deferred near the horizon is clamped to run there.
+	for h := 0; h < 47; h++ {
+		if ren.At(h) > demand.At(h) && res.Balanced.At(h) > 14+1e-9 {
+			t.Fatalf("hour %d: surplus-hour load %v exceeds cap", h, res.Balanced.At(h))
+		}
+	}
+}
+
+func TestSimulateBatteryPriorityOverShifting(t *testing.T) {
+	// Paper: "the energy stored in the battery is used first and workload
+	// shifting happens only if the energy stored is not sufficient."
+	demand := timeseries.Constant(4, 10)
+	ren := timeseries.FromValues([]float64{10, 5, 10, 10}) // single 5 MW deficit at h=1
+	b, _ := battery.New(battery.LFP(100, 1.0))             // starts full, easily covers 5 MWh
+	res, err := Simulate(SimConfig{Demand: demand, Renewable: ren, Battery: b, FlexibleRatio: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No load should have moved: battery covered the whole deficit.
+	if !res.Balanced.Equal(demand, 1e-9) {
+		t.Fatalf("load moved despite sufficient battery: %v", res.Balanced.Values())
+	}
+	if res.GridDraw.Sum() != 0 {
+		t.Fatalf("grid draw = %v, want 0", res.GridDraw.Sum())
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	d := timeseries.New(4)
+	if _, err := Simulate(SimConfig{Demand: timeseries.New(0), Renewable: timeseries.New(0)}); err == nil {
+		t.Fatal("empty demand should error")
+	}
+	if _, err := Simulate(SimConfig{Demand: d, Renewable: timeseries.New(3)}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := Simulate(SimConfig{Demand: d, Renewable: d, FlexibleRatio: -1}); err == nil {
+		t.Fatal("bad flexible ratio should error")
+	}
+	if _, err := Simulate(SimConfig{Demand: d, Renewable: d, CapacityMW: -1}); err == nil {
+		t.Fatal("negative cap should error")
+	}
+	if _, err := Simulate(SimConfig{Demand: d, Renewable: d, DeferralWindowHours: -1}); err == nil {
+		t.Fatal("negative window should error")
+	}
+}
+
+func TestPropertyShiftConservesEnergyAndBounds(t *testing.T) {
+	f := func(rawDemand, rawSignal []uint16, fwrRaw, capRaw uint8) bool {
+		n := len(rawDemand)
+		if len(rawSignal) < n {
+			n = len(rawSignal)
+		}
+		if n == 0 {
+			return true
+		}
+		dv := make([]float64, n)
+		sv := make([]float64, n)
+		for i := 0; i < n; i++ {
+			dv[i] = float64(rawDemand[i] % 1000)
+			sv[i] = float64(rawSignal[i] % 500)
+		}
+		demand := timeseries.FromValues(dv)
+		signal := timeseries.FromValues(sv)
+		fwr := float64(fwrRaw%101) / 100
+		cfg := Config{FlexibleRatio: fwr, WindowHours: 24}
+		if capRaw%2 == 0 {
+			cfg.CapacityMW = demand.MaxValue() * 1.5
+		}
+		out, err := ShiftDaily(demand, signal, cfg)
+		if err != nil {
+			return false
+		}
+		if math.Abs(out.Sum()-demand.Sum()) > 1e-6*(1+demand.Sum()) {
+			return false
+		}
+		if out.MinValue() < -1e-9 {
+			return false
+		}
+		if cfg.CapacityMW > 0 && out.MaxValue() > math.Max(cfg.CapacityMW, demand.MaxValue())+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySimulateConservesEnergy(t *testing.T) {
+	f := func(seedD, seedR uint8, fwrRaw, withBattery uint8) bool {
+		n := 24 * 5
+		demand := timeseries.Generate(n, func(h int) float64 {
+			return 5 + float64((h*int(seedD+1))%13)
+		})
+		ren := timeseries.Generate(n, func(h int) float64 {
+			return float64((h * int(seedR+1)) % 29)
+		})
+		cfg := SimConfig{
+			Demand: demand, Renewable: ren,
+			FlexibleRatio:       float64(fwrRaw%101) / 100,
+			DeferralWindowHours: 24,
+		}
+		if withBattery%2 == 0 {
+			b, err := battery.New(battery.LFP(15, 1.0))
+			if err != nil {
+				return false
+			}
+			cfg.Battery = b
+		}
+		res, err := Simulate(cfg)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Balanced.Sum()-demand.Sum()) < 1e-6*(1+demand.Sum())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

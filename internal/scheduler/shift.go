@@ -1,0 +1,140 @@
+// Package scheduler implements the paper's carbon-aware scheduling (CAS)
+// algorithms (Section 4.3): a greedy daily workload-shifting pass that moves
+// flexible load from hours of high carbon intensity (or renewable deficit)
+// to hours of low intensity, subject to a datacenter capacity cap; and the
+// combined battery+CAS hour-by-hour policy of Section 5.2, which prioritizes
+// battery energy on deficits and deferred workloads on surpluses.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+// Config parameterizes the greedy daily shifting pass. The paper's two
+// customizable constraints are the datacenter capacity and the flexible
+// workload ratio.
+type Config struct {
+	// CapacityMW is P_DCMAX: shifted power in any hour may not push total
+	// load above this cap. Zero means "no cap".
+	CapacityMW float64
+	// FlexibleRatio is FWR: the fraction of each hour's load that may move.
+	FlexibleRatio float64
+	// WindowHours is the shifting window; the paper shifts within each day
+	// (24). It must divide into whole windows of the series (a trailing
+	// partial window is shifted as its own smaller window).
+	WindowHours int
+}
+
+// DefaultConfig returns the paper's evaluation configuration: daily windows
+// and a 40% flexible ratio, uncapped.
+func DefaultConfig() Config {
+	return Config{FlexibleRatio: 0.40, WindowHours: 24}
+}
+
+// Validate reports the first invalid field, or nil.
+func (c Config) Validate() error {
+	if c.FlexibleRatio < 0 || c.FlexibleRatio > 1 {
+		return fmt.Errorf("scheduler: flexible ratio %v out of [0, 1]", c.FlexibleRatio)
+	}
+	if c.WindowHours <= 0 {
+		return fmt.Errorf("scheduler: window must be positive, got %d", c.WindowHours)
+	}
+	if c.CapacityMW < 0 {
+		return fmt.Errorf("scheduler: negative capacity cap")
+	}
+	return nil
+}
+
+// ShiftDaily applies the paper's greedy algorithm: within each window,
+// flexible load moves from the hours with the highest signal (e.g. carbon
+// intensity, or renewable deficit) to the hours with the lowest signal,
+// until all flexible load has moved or capacity is exhausted. Load is only
+// moved to an hour whose signal is strictly lower than the source hour's.
+//
+// The returned series conserves energy within each window: total load is
+// unchanged, only its placement differs.
+func ShiftDaily(demand, signal timeseries.Series, cfg Config) (timeseries.Series, error) {
+	if err := cfg.Validate(); err != nil {
+		return timeseries.Series{}, err
+	}
+	if demand.Len() != signal.Len() {
+		return timeseries.Series{}, fmt.Errorf("scheduler: demand length %d != signal length %d", demand.Len(), signal.Len())
+	}
+	out := demand.Clone()
+	if cfg.FlexibleRatio == 0 {
+		return out, nil
+	}
+	n := demand.Len()
+	for start := 0; start < n; start += cfg.WindowHours {
+		end := start + cfg.WindowHours
+		if end > n {
+			end = n
+		}
+		shiftWindow(out, demand, signal, start, end, cfg)
+	}
+	return out, nil
+}
+
+// shiftWindow performs the greedy move for hours [start, end) of out.
+func shiftWindow(out, demand, signal timeseries.Series, start, end int, cfg Config) {
+	type hourState struct {
+		idx     int
+		sig     float64
+		movable float64 // flexible load still available to move away
+	}
+	hours := make([]hourState, 0, end-start)
+	for h := start; h < end; h++ {
+		hours = append(hours, hourState{
+			idx:     h,
+			sig:     signal.At(h),
+			movable: demand.At(h) * cfg.FlexibleRatio,
+		})
+	}
+	// Sources: highest signal first. Sinks: lowest signal first.
+	sources := make([]*hourState, len(hours))
+	sinks := make([]*hourState, len(hours))
+	for i := range hours {
+		sources[i] = &hours[i]
+		sinks[i] = &hours[i]
+	}
+	sort.SliceStable(sources, func(a, b int) bool { return sources[a].sig > sources[b].sig })
+	sort.SliceStable(sinks, func(a, b int) bool { return sinks[a].sig < sinks[b].sig })
+
+	for _, src := range sources {
+		if src.movable <= 0 {
+			continue
+		}
+		for _, dst := range sinks {
+			if src.movable <= 0 {
+				break
+			}
+			if dst.idx == src.idx || dst.sig >= src.sig {
+				continue
+			}
+			headroom := src.movable
+			if cfg.CapacityMW > 0 {
+				room := cfg.CapacityMW - out.At(dst.idx)
+				if room < headroom {
+					headroom = room
+				}
+			}
+			if headroom <= 0 {
+				continue
+			}
+			out.Set(dst.idx, out.At(dst.idx)+headroom)
+			out.Set(src.idx, out.At(src.idx)-headroom)
+			src.movable -= headroom
+		}
+	}
+}
+
+// DeficitSignal builds the shifting signal used when optimizing renewable
+// coverage rather than grid intensity: hours where demand exceeds renewable
+// supply score high (positive deficit), hours with surplus score negative,
+// so the greedy pass moves work into surplus hours.
+func DeficitSignal(demand, renewable timeseries.Series) (timeseries.Series, error) {
+	return demand.Sub(renewable)
+}

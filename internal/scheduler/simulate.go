@@ -1,0 +1,209 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"carbonexplorer/internal/battery"
+	"carbonexplorer/internal/timeseries"
+)
+
+// SimConfig parameterizes the hour-by-hour simulation of a datacenter
+// operating against a renewable supply with optional battery storage and
+// optional carbon-aware workload deferral.
+type SimConfig struct {
+	// Demand is the datacenter's hourly power draw in MW.
+	Demand timeseries.Series
+	// Renewable is the hourly renewable supply dedicated to the datacenter
+	// in MW.
+	Renewable timeseries.Series
+	// Battery, when non-nil, absorbs surplus and covers deficits. The
+	// simulation mutates its state.
+	Battery *battery.Battery
+	// FlexibleRatio is the fraction of each hour's demand that may be
+	// deferred (0 disables scheduling).
+	FlexibleRatio float64
+	// CapacityMW is P_DCMAX, the cap on total load in any hour when
+	// deferred work is pulled forward. Zero means "no cap".
+	CapacityMW float64
+	// DeferralWindowHours is how long deferred work may wait before it is
+	// forced to run (paper: within the day, 24).
+	DeferralWindowHours int
+}
+
+// Validate reports the first invalid field, or nil.
+func (c SimConfig) Validate() error {
+	if c.Demand.Len() == 0 {
+		return fmt.Errorf("scheduler: empty demand series")
+	}
+	if c.Demand.Len() != c.Renewable.Len() {
+		return fmt.Errorf("scheduler: demand length %d != renewable length %d", c.Demand.Len(), c.Renewable.Len())
+	}
+	if c.FlexibleRatio < 0 || c.FlexibleRatio > 1 {
+		return fmt.Errorf("scheduler: flexible ratio %v out of [0, 1]", c.FlexibleRatio)
+	}
+	if c.CapacityMW < 0 {
+		return fmt.Errorf("scheduler: negative capacity")
+	}
+	if c.DeferralWindowHours < 0 {
+		return fmt.Errorf("scheduler: negative deferral window")
+	}
+	return nil
+}
+
+// Result captures one simulated year of operation.
+type Result struct {
+	// Balanced is the realized hourly load in MW after deferral — the
+	// paper's "balanced power load".
+	Balanced timeseries.Series
+	// GridDraw is the hourly power drawn from the (non-renewable) grid in
+	// MW after renewables, battery, and scheduling have been applied.
+	GridDraw timeseries.Series
+	// BatterySoC is the battery state of charge (fraction of usable
+	// capacity) at the end of each hour; all zeros when no battery.
+	BatterySoC timeseries.Series
+	// Surplus is renewable power in MW that could not be used, stored, or
+	// absorbed by deferred work.
+	Surplus timeseries.Series
+	// ForcedDeadlineMWh is deferred energy that hit its deadline during a
+	// deficit and had to run on grid power.
+	ForcedDeadlineMWh float64
+	// PeakLoadMW is the maximum of Balanced, which determines the server
+	// capacity the datacenter must provision.
+	PeakLoadMW float64
+}
+
+// Simulate runs the combined policy of Section 5.2, hour by hour:
+//
+//   - Deficit hours (renewables < load): battery discharges first; only if
+//     the battery cannot cover the gap is flexible load deferred; whatever
+//     remains draws from the grid.
+//   - Surplus hours (renewables > load): deferred workloads execute first
+//     (up to the capacity cap), then the battery charges; leftover supply is
+//     counted as surplus.
+//
+// Deferred work that reaches its deadline is forced to run in that hour
+// regardless of supply, honouring its SLO.
+func Simulate(cfg SimConfig) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := cfg.Demand.Len()
+	window := cfg.DeferralWindowHours
+	if window == 0 {
+		window = 24
+	}
+
+	res := Result{
+		Balanced:   timeseries.New(n),
+		GridDraw:   timeseries.New(n),
+		BatterySoC: timeseries.New(n),
+		Surplus:    timeseries.New(n),
+	}
+
+	// deferred[d] is energy (MWh) whose deadline is hour d.
+	deferred := make(map[int]float64)
+
+	for h := 0; h < n; h++ {
+		load := cfg.Demand.At(h)
+
+		// Deadline-expired work must run now.
+		forced := deferred[h]
+		delete(deferred, h)
+		load += forced
+
+		supply := cfg.Renewable.At(h)
+
+		switch {
+		case supply >= load:
+			surplus := supply - load
+			// Pull future deferred work forward into the surplus, earliest
+			// deadline first, bounded by the capacity cap.
+			if surplus > 0 && len(deferred) > 0 {
+				room := surplus
+				if cfg.CapacityMW > 0 {
+					if capRoom := cfg.CapacityMW - load; capRoom < room {
+						room = capRoom
+					}
+				}
+				if room > 0 {
+					pulled := pullDeferred(deferred, h, n, room)
+					load += pulled
+					surplus -= pulled
+				}
+			}
+			// Charge the battery with what remains.
+			if cfg.Battery != nil && surplus > 0 {
+				surplus -= cfg.Battery.Charge(surplus, 1)
+			}
+			res.Surplus.Set(h, surplus)
+
+		default:
+			deficit := load - supply
+			// Battery first.
+			if cfg.Battery != nil && deficit > 0 {
+				deficit -= cfg.Battery.Discharge(deficit, 1)
+			}
+			// Defer flexible load only if the battery was not enough. The
+			// forced portion cannot be re-deferred.
+			if deficit > 0 && cfg.FlexibleRatio > 0 {
+				deferrable := cfg.Demand.At(h) * cfg.FlexibleRatio
+				if deferrable > deficit {
+					deferrable = deficit
+				}
+				deadline := h + window
+				if deadline >= n {
+					// Work whose window extends past the simulation horizon
+					// runs at the final hour; at the final hour itself no
+					// deferral is possible.
+					deadline = n - 1
+				}
+				if deferrable > 0 && deadline > h {
+					deferred[deadline] += deferrable
+					load -= deferrable
+					deficit -= deferrable
+				}
+			}
+			if forced > 0 && deficit > 0 {
+				counted := forced
+				if counted > deficit {
+					counted = deficit
+				}
+				res.ForcedDeadlineMWh += counted
+			}
+			res.GridDraw.Set(h, deficit)
+		}
+
+		res.Balanced.Set(h, load)
+		if cfg.Battery != nil {
+			res.BatterySoC.Set(h, cfg.Battery.SoC())
+		}
+		if load > res.PeakLoadMW {
+			res.PeakLoadMW = load
+		}
+	}
+	return res, nil
+}
+
+// pullDeferred removes up to amount MWh from the deferred map, earliest
+// deadline first, and returns how much was pulled.
+func pullDeferred(deferred map[int]float64, from, to int, amount float64) float64 {
+	pulled := 0.0
+	for d := from; d <= to && amount > 0; d++ {
+		e, ok := deferred[d]
+		if !ok {
+			continue
+		}
+		take := e
+		if take > amount {
+			take = amount
+		}
+		if take == e {
+			delete(deferred, d)
+		} else {
+			deferred[d] = e - take
+		}
+		pulled += take
+		amount -= take
+	}
+	return pulled
+}

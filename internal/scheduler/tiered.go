@@ -1,0 +1,200 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"carbonexplorer/internal/battery"
+	"carbonexplorer/internal/timeseries"
+	"carbonexplorer/internal/workload"
+)
+
+// TierShare describes one deferrable slice of the datacenter's load.
+type TierShare struct {
+	// Tier provides the slice's deferral window (its SLO slack).
+	Tier workload.Tier
+	// Share is the fraction of every hour's load in this tier.
+	Share float64
+}
+
+// TieredConfig parameterizes the tier-aware simulation: instead of one
+// uniform flexible ratio with a single 24-hour window (the paper's
+// evaluation setting), each SLO tier defers within its own window — ±1h
+// work barely moves, daily work moves a day, no-SLO work moves a week.
+type TieredConfig struct {
+	// Demand is the datacenter's hourly power in MW.
+	Demand timeseries.Series
+	// Renewable is the hourly renewable supply in MW.
+	Renewable timeseries.Series
+	// Battery, when non-nil, absorbs surplus and covers deficits.
+	Battery *battery.Battery
+	// Tiers are the deferrable slices; shares must sum to at most 1 (the
+	// remainder is inflexible). Tier 1's ±1h slack makes it effectively
+	// inflexible at hourly resolution.
+	Tiers []TierShare
+	// CapacityMW caps voluntary load in any hour. Zero means no cap.
+	CapacityMW float64
+	// DeferrableShareOfFleet scales the tier shares: the tiers describe a
+	// class of workloads (e.g. data processing) that is itself only a
+	// fraction of the fleet. Zero means 1 (tiers describe the whole fleet).
+	DeferrableShareOfFleet float64
+}
+
+// DefaultTiers returns the paper's Figure 10 tier distribution as tier
+// shares.
+func DefaultTiers() []TierShare {
+	out := make([]TierShare, 0, workload.NumTiers)
+	for _, t := range workload.AllTiers() {
+		out = append(out, TierShare{Tier: t, Share: t.Share()})
+	}
+	return out
+}
+
+// Validate reports the first invalid field, or nil.
+func (c TieredConfig) Validate() error {
+	if c.Demand.Len() == 0 {
+		return fmt.Errorf("scheduler: empty demand series")
+	}
+	if c.Demand.Len() != c.Renewable.Len() {
+		return fmt.Errorf("scheduler: demand length %d != renewable length %d", c.Demand.Len(), c.Renewable.Len())
+	}
+	total := 0.0
+	for _, ts := range c.Tiers {
+		if ts.Share < 0 {
+			return fmt.Errorf("scheduler: negative tier share for %v", ts.Tier)
+		}
+		total += ts.Share
+	}
+	if total > 1+1e-9 {
+		return fmt.Errorf("scheduler: tier shares sum to %v > 1", total)
+	}
+	if c.CapacityMW < 0 {
+		return fmt.Errorf("scheduler: negative capacity")
+	}
+	if c.DeferrableShareOfFleet < 0 || c.DeferrableShareOfFleet > 1 {
+		return fmt.Errorf("scheduler: deferrable fleet share %v out of [0, 1]", c.DeferrableShareOfFleet)
+	}
+	return nil
+}
+
+// TieredResult extends Result with per-tier deferral accounting.
+type TieredResult struct {
+	Result
+	// DeferredByTier is total energy (MWh) each tier deferred.
+	DeferredByTier map[workload.Tier]float64
+}
+
+// SimulateTiered runs the combined battery+scheduling policy with per-tier
+// deferral windows. On a deficit the battery discharges first; remaining
+// deficit defers load starting from the MOST flexible tier (longest slack),
+// since it is most likely to find a surplus before its deadline. On a
+// surplus, deferred work runs earliest-deadline-first, then the battery
+// charges.
+func SimulateTiered(cfg TieredConfig) (TieredResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return TieredResult{}, err
+	}
+	n := cfg.Demand.Len()
+	fleetShare := cfg.DeferrableShareOfFleet
+	if fleetShare == 0 {
+		fleetShare = 1
+	}
+
+	// Order tiers by descending slack so the most flexible defers first.
+	tiers := make([]TierShare, len(cfg.Tiers))
+	copy(tiers, cfg.Tiers)
+	sort.SliceStable(tiers, func(a, b int) bool {
+		return tiers[a].Tier.SlackHours() > tiers[b].Tier.SlackHours()
+	})
+
+	res := TieredResult{
+		Result: Result{
+			Balanced:   timeseries.New(n),
+			GridDraw:   timeseries.New(n),
+			BatterySoC: timeseries.New(n),
+			Surplus:    timeseries.New(n),
+		},
+		DeferredByTier: make(map[workload.Tier]float64, len(tiers)),
+	}
+
+	// deferred[d] is energy whose deadline is hour d (across tiers; the
+	// tier only determines the deadline at deferral time).
+	deferred := make(map[int]float64)
+
+	for h := 0; h < n; h++ {
+		load := cfg.Demand.At(h)
+		forced := deferred[h]
+		delete(deferred, h)
+		load += forced
+
+		supply := cfg.Renewable.At(h)
+		switch {
+		case supply >= load:
+			surplus := supply - load
+			if surplus > 0 && len(deferred) > 0 {
+				room := surplus
+				if cfg.CapacityMW > 0 {
+					if capRoom := cfg.CapacityMW - load; capRoom < room {
+						room = capRoom
+					}
+				}
+				if room > 0 {
+					pulled := pullDeferred(deferred, h, n, room)
+					load += pulled
+					surplus -= pulled
+				}
+			}
+			if cfg.Battery != nil && surplus > 0 {
+				surplus -= cfg.Battery.Charge(surplus, 1)
+			}
+			res.Surplus.Set(h, surplus)
+
+		default:
+			deficit := load - supply
+			if cfg.Battery != nil && deficit > 0 {
+				deficit -= cfg.Battery.Discharge(deficit, 1)
+			}
+			for _, ts := range tiers {
+				if deficit <= 0 {
+					break
+				}
+				slack := ts.Tier.SlackHours()
+				if slack < 2 { // sub-window tiers cannot usefully move at hourly resolution
+					continue
+				}
+				deferrable := cfg.Demand.At(h) * ts.Share * fleetShare
+				if deferrable > deficit {
+					deferrable = deficit
+				}
+				deadline := h + slack
+				if deadline >= n {
+					deadline = n - 1
+				}
+				if deferrable <= 0 || deadline <= h {
+					continue
+				}
+				deferred[deadline] += deferrable
+				res.DeferredByTier[ts.Tier] += deferrable
+				load -= deferrable
+				deficit -= deferrable
+			}
+			if forced > 0 && deficit > 0 {
+				counted := forced
+				if counted > deficit {
+					counted = deficit
+				}
+				res.ForcedDeadlineMWh += counted
+			}
+			res.GridDraw.Set(h, deficit)
+		}
+
+		res.Balanced.Set(h, load)
+		if cfg.Battery != nil {
+			res.BatterySoC.Set(h, cfg.Battery.SoC())
+		}
+		if load > res.PeakLoadMW {
+			res.PeakLoadMW = load
+		}
+	}
+	return res, nil
+}

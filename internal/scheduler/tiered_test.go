@@ -1,0 +1,164 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"carbonexplorer/internal/battery"
+	"carbonexplorer/internal/timeseries"
+	"carbonexplorer/internal/workload"
+)
+
+func TestDefaultTiersMatchFigure10(t *testing.T) {
+	tiers := DefaultTiers()
+	if len(tiers) != workload.NumTiers {
+		t.Fatalf("want %d tiers", workload.NumTiers)
+	}
+	total := 0.0
+	for _, ts := range tiers {
+		total += ts.Share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("default tier shares sum to %v", total)
+	}
+}
+
+func TestTieredValidation(t *testing.T) {
+	d := timeseries.New(24)
+	base := TieredConfig{Demand: d, Renewable: d, Tiers: DefaultTiers()}
+	cases := []func(*TieredConfig){
+		func(c *TieredConfig) { c.Demand = timeseries.New(0); c.Renewable = timeseries.New(0) },
+		func(c *TieredConfig) { c.Renewable = timeseries.New(5) },
+		func(c *TieredConfig) { c.Tiers = []TierShare{{Tier: workload.Tier4, Share: -0.1}} },
+		func(c *TieredConfig) {
+			c.Tiers = []TierShare{{Tier: workload.Tier4, Share: 0.7}, {Tier: workload.Tier5, Share: 0.7}}
+		},
+		func(c *TieredConfig) { c.CapacityMW = -1 },
+		func(c *TieredConfig) { c.DeferrableShareOfFleet = 1.5 },
+	}
+	for i, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if _, err := SimulateTiered(cfg); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestTieredConservesEnergy(t *testing.T) {
+	n := 24 * 14
+	demand := timeseries.Generate(n, func(h int) float64 { return 10 + 2*math.Sin(float64(h)/5) })
+	ren := timeseries.Generate(n, func(h int) float64 { return 18 * math.Abs(math.Sin(float64(h)/11)) })
+	b, _ := battery.New(battery.LFP(20, 1.0))
+	res, err := SimulateTiered(TieredConfig{
+		Demand: demand, Renewable: ren, Battery: b,
+		Tiers: DefaultTiers(), CapacityMW: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Balanced.Sum()-demand.Sum()) > 1e-6 {
+		t.Fatalf("energy not conserved: %v -> %v", demand.Sum(), res.Balanced.Sum())
+	}
+}
+
+func TestTieredFlexibleTiersDeferMost(t *testing.T) {
+	// Under sustained deficits, the long-slack tiers should carry the
+	// deferral load; Tier 1 (±1h) cannot move at hourly resolution.
+	n := 24 * 7
+	demand := timeseries.Constant(n, 10)
+	ren := timeseries.Generate(n, func(h int) float64 {
+		if h%48 < 24 {
+			return 0
+		}
+		return 30
+	})
+	res, err := SimulateTiered(TieredConfig{
+		Demand: demand, Renewable: ren, Tiers: DefaultTiers(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeferredByTier[workload.Tier1] != 0 {
+		t.Fatalf("Tier 1 deferred %v, want 0", res.DeferredByTier[workload.Tier1])
+	}
+	if res.DeferredByTier[workload.Tier4] <= res.DeferredByTier[workload.Tier2] {
+		t.Fatalf("daily tier should defer more than ±2h tier: %v vs %v",
+			res.DeferredByTier[workload.Tier4], res.DeferredByTier[workload.Tier2])
+	}
+}
+
+func TestTieredImprovesOnNoScheduling(t *testing.T) {
+	n := 24 * 7
+	demand := timeseries.Constant(n, 10)
+	ren := timeseries.Generate(n, func(h int) float64 {
+		if h%24 < 12 {
+			return 2
+		}
+		return 25
+	})
+	tiered, err := SimulateTiered(TieredConfig{Demand: demand, Renewable: ren, Tiers: DefaultTiers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := Simulate(SimConfig{Demand: demand, Renewable: ren})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiered.GridDraw.Sum() >= none.GridDraw.Sum() {
+		t.Fatalf("tiered scheduling should reduce grid draw: %v vs %v",
+			tiered.GridDraw.Sum(), none.GridDraw.Sum())
+	}
+}
+
+func TestTieredFleetShareScalesDeferral(t *testing.T) {
+	n := 24 * 7
+	demand := timeseries.Constant(n, 10)
+	ren := timeseries.Generate(n, func(h int) float64 {
+		if h%24 < 12 {
+			return 0
+		}
+		return 30
+	})
+	full, err := SimulateTiered(TieredConfig{Demand: demand, Renewable: ren, Tiers: DefaultTiers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := SimulateTiered(TieredConfig{
+		Demand: demand, Renewable: ren, Tiers: DefaultTiers(),
+		DeferrableShareOfFleet: 0.075, // the paper's data-processing share
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullTotal, scaledTotal float64
+	for _, v := range full.DeferredByTier {
+		fullTotal += v
+	}
+	for _, v := range scaled.DeferredByTier {
+		scaledTotal += v
+	}
+	if scaledTotal >= fullTotal {
+		t.Fatalf("fleet share should scale down deferral: %v vs %v", scaledTotal, fullTotal)
+	}
+	if scaledTotal <= 0 {
+		t.Fatalf("scaled deferral should still be positive")
+	}
+}
+
+func TestTieredNoTiersMatchesPlainNoFlex(t *testing.T) {
+	n := 48
+	demand := timeseries.Constant(n, 10)
+	ren := timeseries.Generate(n, func(h int) float64 { return float64(h % 20) })
+	tiered, err := SimulateTiered(TieredConfig{Demand: demand, Renewable: ren})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Simulate(SimConfig{Demand: demand, Renewable: ren})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tiered.GridDraw.Equal(plain.GridDraw, 1e-9) {
+		t.Fatalf("no tiers should equal no flexibility")
+	}
+}

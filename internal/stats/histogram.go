@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over a closed interval
+// [Lo, Hi]. Values outside the interval are clamped into the edge bins so
+// that every observation is counted exactly once.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given number of equal-width bins
+// over [lo, hi]. It panics if bins < 1 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram range [%v, %v]", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// HistogramOf builds a histogram from the sample with the given bin count,
+// spanning [min, max] of the data. An empty sample yields a histogram over
+// [0, 1] with zero counts.
+func HistogramOf(xs []float64, bins int) *Histogram {
+	if len(xs) == 0 {
+		return NewHistogram(0, 1, bins)
+	}
+	s := Summarize(xs)
+	lo, hi := s.Min, s.Max
+	if hi <= lo {
+		// Degenerate sample: widen the range so the single value gets a bin.
+		// The relative term keeps the widening representable for huge values
+		// where lo+1 == lo in float64.
+		hi = lo + 1 + math.Abs(lo)*1e-9
+	}
+	h := NewHistogram(lo, hi, bins)
+	for _, x := range xs {
+		h.Observe(x)
+	}
+	return h
+}
+
+// Observe adds one observation, clamping out-of-range values to the edge
+// bins.
+func (h *Histogram) Observe(x float64) {
+	bin := h.binOf(x)
+	h.Counts[bin]++
+	h.total++
+}
+
+func (h *Histogram) binOf(x float64) int {
+	n := len(h.Counts)
+	if x <= h.Lo {
+		return 0
+	}
+	if x >= h.Hi {
+		return n - 1
+	}
+	// Divide before multiplying so samples spanning the full float64 range
+	// do not overflow (h.Hi - h.Lo can be +Inf, making the ratio NaN).
+	frac := x/(h.Hi-h.Lo) - h.Lo/(h.Hi-h.Lo)
+	bin := int(frac * float64(n))
+	if math.IsNaN(frac) || bin < 0 {
+		return 0
+	}
+	if bin >= n {
+		bin = n - 1
+	}
+	return bin
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fraction returns bin i's share of all observations, or 0 when empty.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Mode returns the center of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Render draws a horizontal ASCII bar chart of the histogram, with bars
+// scaled so the fullest bin spans width characters. It is used by the report
+// tool to render Figure 5 and Figure 16 style distributions in a terminal.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = int(math.Round(float64(c) / float64(maxCount) * float64(width)))
+		}
+		fmt.Fprintf(&b, "%12.2f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

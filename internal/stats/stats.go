@@ -1,0 +1,190 @@
+// Package stats provides the summary statistics, histograms, percentiles,
+// correlation, and regression used by Carbon Explorer's analyses: daily
+// generation histograms (Figure 5), curtailment trendlines (Figure 4),
+// utilization–power correlation (Figure 3), and battery charge-level
+// distributions (Figure 16).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the basic descriptive statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes descriptive statistics over xs. An empty sample yields
+// a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0–100) of xs using linear
+// interpolation between order statistics. It panics if xs is empty or p is
+// outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MeanOfTopK returns the mean of the k largest values in xs. The paper uses
+// this to compare the best ten generation days against the annual average.
+func MeanOfTopK(xs []float64, k int) float64 {
+	if k <= 0 || len(xs) == 0 {
+		return 0
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	sum := 0.0
+	for _, v := range sorted[:k] {
+		sum += v
+	}
+	return sum / float64(k)
+}
+
+// MeanOfBottomK returns the mean of the k smallest values in xs.
+func MeanOfBottomK(xs []float64, k int) float64 {
+	if k <= 0 || len(xs) == 0 {
+		return 0
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted[:k] {
+		sum += v
+	}
+	return sum / float64(k)
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired samples.
+// It returns 0 when either sample has zero variance. It panics on length
+// mismatch.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: correlation length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	mx, my := mean(xs), mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// LinearFit holds the result of an ordinary-least-squares line fit
+// y = Slope·x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLine fits a least-squares line through the paired samples. It panics on
+// length mismatch or fewer than two points.
+func FitLine(xs, ys []float64) LinearFit {
+	if len(xs) != len(ys) {
+		panic("stats: regression length mismatch")
+	}
+	if len(xs) < 2 {
+		panic("stats: regression needs at least two points")
+	}
+	mx, my := mean(xs), mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{Slope: 0, Intercept: my}
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		// R² = explained variance fraction.
+		var ssRes float64
+		for i := range xs {
+			r := ys[i] - (fit.Slope*xs[i] + fit.Intercept)
+			ssRes += r * r
+		}
+		fit.R2 = 1 - ssRes/syy
+	}
+	return fit
+}
+
+// At evaluates the fitted line at x.
+func (f LinearFit) At(x float64) float64 { return f.Slope*x + f.Intercept }

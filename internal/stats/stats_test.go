@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	// Sample stddev of this classic dataset is ~2.138.
+	if math.Abs(s.StdDev-2.13809) > 1e-4 {
+		t.Fatalf("StdDev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary should be zero: %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Fatalf("p25 = %v", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Fatalf("single-element percentile = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":    func() { Percentile(nil, 50) },
+		"negative": func() { Percentile([]float64{1}, -1) },
+		"over100":  func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTopBottomK(t *testing.T) {
+	xs := []float64{10, 1, 5, 8, 2}
+	if got := MeanOfTopK(xs, 2); got != 9 {
+		t.Fatalf("top2 = %v", got)
+	}
+	if got := MeanOfBottomK(xs, 2); got != 1.5 {
+		t.Fatalf("bottom2 = %v", got)
+	}
+	if got := MeanOfTopK(xs, 100); math.Abs(got-5.2) > 1e-9 {
+		t.Fatalf("topAll = %v", got)
+	}
+	if got := MeanOfTopK(nil, 3); got != 0 {
+		t.Fatalf("top of empty = %v", got)
+	}
+	if got := MeanOfBottomK(xs, 0); got != 0 {
+		t.Fatalf("bottom0 = %v", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect positive corr = %v", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect negative corr = %v", got)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if got := Pearson(xs, flat); got != 0 {
+		t.Fatalf("zero-variance corr = %v", got)
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	// y = 3x + 1, exactly.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 4, 7, 10}
+	fit := FitLine(xs, ys)
+	if math.Abs(fit.Slope-3) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+	if got := fit.At(10); math.Abs(got-31) > 1e-12 {
+		t.Fatalf("At(10) = %v", got)
+	}
+}
+
+func TestFitLineDegenerateX(t *testing.T) {
+	fit := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if fit.Slope != 0 || fit.Intercept != 2 {
+		t.Fatalf("degenerate fit = %+v", fit)
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0.5, 1, 3, 9.5, 15, -3} {
+		h.Observe(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// -3 clamps to bin 0; 15 clamps to bin 4.
+	if h.Counts[0] != 3 { // 0.5, 1 (1 is in bin 0 boundary? 1/10*5 = 0.5 -> bin 0), -3
+		t.Fatalf("bin0 = %d, counts=%v", h.Counts[0], h.Counts)
+	}
+	if h.Counts[4] != 2 { // 9.5, 15
+		t.Fatalf("bin4 = %d", h.Counts[4])
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+	if got := h.Fraction(4); got != 2.0/6.0 {
+		t.Fatalf("Fraction(4) = %v", got)
+	}
+}
+
+func TestHistogramOf(t *testing.T) {
+	xs := []float64{1, 1, 1, 5, 9}
+	h := HistogramOf(xs, 4)
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Mode() > 3 {
+		t.Fatalf("Mode = %v, expected in lowest bin", h.Mode())
+	}
+	empty := HistogramOf(nil, 3)
+	if empty.Total() != 0 {
+		t.Fatalf("empty histogram total = %d", empty.Total())
+	}
+	flat := HistogramOf([]float64{4, 4, 4}, 3)
+	if flat.Total() != 3 {
+		t.Fatalf("degenerate histogram total = %d", flat.Total())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(1.6)
+	out := h.Render(10)
+	if out == "" {
+		t.Fatalf("empty render")
+	}
+	// Fullest bin must reach full width of '#'.
+	if want := "##########"; !contains(out, want) {
+		t.Fatalf("render missing full bar:\n%s", out)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestPropertyPercentileBounds(t *testing.T) {
+	// Any percentile lies within [min, max] of the sample.
+	f := func(raw []float64, p float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p = math.Mod(math.Abs(p), 100)
+		got := Percentile(xs, p)
+		s := Summarize(xs)
+		return got >= s.Min-1e-9 && got <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHistogramConservesMass(t *testing.T) {
+	// Every observation lands in exactly one bin.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		h := HistogramOf(xs, 7)
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(xs) && h.Total() == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

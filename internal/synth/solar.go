@@ -1,0 +1,162 @@
+package synth
+
+import (
+	"math"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+// SolarParams configures the solar capacity-factor model for one region.
+type SolarParams struct {
+	// LatitudeDeg is the site latitude in degrees north; it controls day
+	// length and sun elevation across the year.
+	LatitudeDeg float64
+	// Clearness is the mean atmospheric transmission in (0, 1]: the fraction
+	// of clear-sky output that survives average cloud cover. Desert regions
+	// sit near 0.8, cloudy maritime regions near 0.5.
+	Clearness float64
+	// CloudPersistence is the AR(1) coefficient of the daily cloud process in
+	// [0, 1). Higher values produce multi-day overcast spells.
+	CloudPersistence float64
+	// CloudVolatility is the standard deviation of the daily cloud shock.
+	CloudVolatility float64
+	// Seed isolates this model's random stream.
+	Seed uint64
+}
+
+// DefaultSolarParams returns a mid-latitude, moderately sunny configuration.
+func DefaultSolarParams() SolarParams {
+	return SolarParams{
+		LatitudeDeg:      38,
+		Clearness:        0.7,
+		CloudPersistence: 0.6,
+		CloudVolatility:  0.18,
+		Seed:             1,
+	}
+}
+
+// SolarCapacityFactor generates an hourly capacity-factor series (values in
+// [0, 1]) of length hours. Sample h is the fraction of installed solar
+// capacity generating during hour h of the simulation year.
+//
+// The model combines a clear-sky geometric term — solar elevation computed
+// from latitude, solar declination, and hour angle — with a persistent daily
+// cloud-transmission process and small hourly noise. Night hours are exactly
+// zero, which is what caps solar-only 24/7 coverage near 50% in the paper.
+func SolarCapacityFactor(p SolarParams, hours int) timeseries.Series {
+	rng := NewRNG(p.Seed)
+	out := timeseries.New(hours)
+
+	days := (hours + timeseries.HoursPerDay - 1) / timeseries.HoursPerDay
+	cloud := make([]float64, days)
+	// Daily cloud transmission: AR(1) around the configured clearness.
+	x := 0.0
+	for d := 0; d < days; d++ {
+		x = p.CloudPersistence*x + p.CloudVolatility*rng.NormFloat64()
+		c := p.Clearness + x
+		if c < 0.05 {
+			c = 0.05
+		}
+		if c > 1 {
+			c = 1
+		}
+		cloud[d] = c
+	}
+
+	lat := p.LatitudeDeg * math.Pi / 180
+	for h := 0; h < hours; h++ {
+		day := h / timeseries.HoursPerDay
+		hourOfDay := float64(h % timeseries.HoursPerDay)
+		elev := solarElevation(lat, day%365, hourOfDay)
+		if elev <= 0 {
+			continue // night: exactly zero
+		}
+		// Hourly noise models passing clouds within the day.
+		noise := 1 + 0.08*rng.NormFloat64()
+		if noise < 0 {
+			noise = 0
+		}
+		cf := math.Sin(elev) * cloud[day] * noise
+		if cf < 0 {
+			cf = 0
+		}
+		if cf > 1 {
+			cf = 1
+		}
+		out.Set(h, cf)
+	}
+	return out
+}
+
+// TemperatureParams configures the outdoor-temperature model used by the
+// cooling/PUE analysis: datacenter cooling overhead tracks outdoor
+// temperature, which shares the seasonal and diurnal structure of the solar
+// model.
+type TemperatureParams struct {
+	// MeanC is the annual mean temperature in °C.
+	MeanC float64
+	// SeasonalAmpC is the summer-winter half-swing.
+	SeasonalAmpC float64
+	// DiurnalAmpC is the day-night half-swing.
+	DiurnalAmpC float64
+	// NoiseC is the standard deviation of AR(1) daily weather noise.
+	NoiseC float64
+	// Persistence is the AR(1) coefficient of the daily noise in [0, 1).
+	Persistence float64
+	// Seed isolates the model's random stream.
+	Seed uint64
+}
+
+// DefaultTemperatureParams returns a continental mid-latitude climate.
+func DefaultTemperatureParams() TemperatureParams {
+	return TemperatureParams{
+		MeanC:        12,
+		SeasonalAmpC: 12,
+		DiurnalAmpC:  6,
+		NoiseC:       3,
+		Persistence:  0.7,
+		Seed:         3,
+	}
+}
+
+// Temperature generates an hourly outdoor temperature series in °C: annual
+// sinusoid peaking in late July, diurnal sinusoid peaking mid-afternoon,
+// and persistent daily weather noise.
+func Temperature(p TemperatureParams, hours int) timeseries.Series {
+	rng := NewRNG(p.Seed)
+	days := (hours + timeseries.HoursPerDay - 1) / timeseries.HoursPerDay
+	daily := make([]float64, days)
+	x := 0.0
+	for d := 0; d < days; d++ {
+		x = p.Persistence*x + p.NoiseC*rng.NormFloat64()
+		daily[d] = x
+	}
+	return timeseries.Generate(hours, func(h int) float64 {
+		day := h / timeseries.HoursPerDay
+		hour := float64(h % timeseries.HoursPerDay)
+		seasonal := p.SeasonalAmpC * math.Cos(2*math.Pi*(float64(day%365)-205)/365)
+		diurnal := p.DiurnalAmpC * math.Sin(2*math.Pi*(hour-9)/24)
+		return p.MeanC + seasonal + diurnal + daily[day]
+	})
+}
+
+// solarElevation returns the solar elevation angle in radians for the given
+// latitude (radians), day of year (0-based), and local solar hour [0, 24).
+func solarElevation(lat float64, dayOfYear int, hourOfDay float64) float64 {
+	// Solar declination (Cooper's equation).
+	decl := 23.45 * math.Pi / 180 * math.Sin(2*math.Pi*float64(284+dayOfYear+1)/365)
+	// Hour angle: 0 at solar noon, 15°/hour.
+	hourAngle := (hourOfDay - 12) * 15 * math.Pi / 180
+	sinElev := math.Sin(lat)*math.Sin(decl) + math.Cos(lat)*math.Cos(decl)*math.Cos(hourAngle)
+	return math.Asin(clamp(sinElev, -1, 1))
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

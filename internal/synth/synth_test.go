@@ -1,0 +1,255 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestRNGUniformMean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	r := NewRNG(5)
+	f := r.Fork()
+	if r.Uint64() == f.Uint64() {
+		t.Fatalf("fork should not mirror parent stream")
+	}
+}
+
+func TestSolarNightIsZero(t *testing.T) {
+	s := SolarCapacityFactor(DefaultSolarParams(), timeseries.HoursPerYear)
+	// Local solar midnight hours must be exactly zero year-round.
+	for d := 0; d < 365; d++ {
+		for _, h := range []int{0, 1, 2, 23} {
+			if v := s.At(d*24 + h); v != 0 {
+				t.Fatalf("day %d hour %d: solar %v at night, want 0", d, h, v)
+			}
+		}
+	}
+}
+
+func TestSolarPeaksMidday(t *testing.T) {
+	s := SolarCapacityFactor(DefaultSolarParams(), timeseries.HoursPerYear)
+	avg := s.AverageDay()
+	peakHour := 0
+	for h := 1; h < 24; h++ {
+		if avg.At(h) > avg.At(peakHour) {
+			peakHour = h
+		}
+	}
+	if peakHour < 10 || peakHour > 14 {
+		t.Fatalf("solar peak at hour %d, want near noon", peakHour)
+	}
+}
+
+func TestSolarRange(t *testing.T) {
+	s := SolarCapacityFactor(DefaultSolarParams(), timeseries.HoursPerYear)
+	if s.MinValue() < 0 || s.MaxValue() > 1 {
+		t.Fatalf("solar CF out of [0,1]: [%v, %v]", s.MinValue(), s.MaxValue())
+	}
+	if s.MaxValue() < 0.4 {
+		t.Fatalf("solar never exceeds 0.4 CF — model too dim (max %v)", s.MaxValue())
+	}
+}
+
+func TestSolarSeasonalDayLength(t *testing.T) {
+	// At a northern latitude, summer days (around day 172) have more
+	// generating hours than winter days (around day 355).
+	p := DefaultSolarParams()
+	p.LatitudeDeg = 45
+	s := SolarCapacityFactor(p, timeseries.HoursPerYear)
+	gen := func(day int) int {
+		n := 0
+		for h := 0; h < 24; h++ {
+			if s.At(day*24+h) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	summer, winter := gen(172), gen(355)
+	if summer <= winter {
+		t.Fatalf("summer day length %dh <= winter %dh", summer, winter)
+	}
+}
+
+func TestSolarDeterministic(t *testing.T) {
+	a := SolarCapacityFactor(DefaultSolarParams(), 1000)
+	b := SolarCapacityFactor(DefaultSolarParams(), 1000)
+	if !a.Equal(b, 0) {
+		t.Fatalf("solar model not deterministic for fixed seed")
+	}
+}
+
+func TestWindRangeAndMean(t *testing.T) {
+	w := WindCapacityFactor(DefaultWindParams(), timeseries.HoursPerYear)
+	if w.MinValue() < 0 || w.MaxValue() > 1 {
+		t.Fatalf("wind CF out of [0,1]: [%v, %v]", w.MinValue(), w.MaxValue())
+	}
+	mean := w.Mean()
+	if mean < 0.2 || mean > 0.5 {
+		t.Fatalf("wind mean CF = %v, want near configured 0.35", mean)
+	}
+}
+
+func TestWindHasCalmDays(t *testing.T) {
+	// The paper's key observation for wind regions: there are days with
+	// almost no wind power. Require at least one day below 10% of the mean
+	// daily output.
+	w := WindCapacityFactor(DefaultWindParams(), timeseries.HoursPerYear)
+	daily := w.DailyTotals()
+	mean := daily.Mean()
+	calm := daily.CountWhere(func(v float64) bool { return v < 0.1*mean })
+	if calm == 0 {
+		t.Fatalf("no calm days generated; battery-sizing dynamics would be lost")
+	}
+}
+
+func TestWindHasHighVariance(t *testing.T) {
+	// Day-to-day variability: best days several times the average.
+	w := WindCapacityFactor(DefaultWindParams(), timeseries.HoursPerYear)
+	daily := w.DailyTotals()
+	best := 0.0
+	for i := 0; i < daily.Len(); i++ {
+		if daily.At(i) > best {
+			best = daily.At(i)
+		}
+	}
+	if ratio := best / daily.Mean(); ratio < 1.5 {
+		t.Fatalf("best/mean daily wind = %v, want > 1.5 (heavy variance)", ratio)
+	}
+}
+
+func TestWindPersistence(t *testing.T) {
+	// Hour-to-hour autocorrelation should be high: wind does not flip
+	// randomly every hour.
+	w := WindCapacityFactor(DefaultWindParams(), timeseries.HoursPerYear)
+	v := w.Values()
+	var num, den float64
+	m := w.Mean()
+	for i := 0; i+1 < len(v); i++ {
+		num += (v[i] - m) * (v[i+1] - m)
+	}
+	for _, x := range v {
+		den += (x - m) * (x - m)
+	}
+	if ac := num / den; ac < 0.7 {
+		t.Fatalf("lag-1 autocorrelation = %v, want > 0.7", ac)
+	}
+}
+
+func TestWindDeterministic(t *testing.T) {
+	a := WindCapacityFactor(DefaultWindParams(), 2000)
+	b := WindCapacityFactor(DefaultWindParams(), 2000)
+	if !a.Equal(b, 0) {
+		t.Fatalf("wind model not deterministic for fixed seed")
+	}
+}
+
+func TestWindNoCalmSpellsConfig(t *testing.T) {
+	p := DefaultWindParams()
+	p.CalmSpellsPerYear = 0
+	w := WindCapacityFactor(p, timeseries.HoursPerYear)
+	if w.Mean() < 0.2 {
+		t.Fatalf("disabling calm spells should not collapse output")
+	}
+}
+
+func TestPropertySolarBoundedAnyParams(t *testing.T) {
+	f := func(lat, clearness uint8, seed uint64) bool {
+		p := SolarParams{
+			LatitudeDeg:      float64(lat%70) - 35, // [-35, 35)
+			Clearness:        0.1 + float64(clearness%90)/100,
+			CloudPersistence: 0.5,
+			CloudVolatility:  0.2,
+			Seed:             seed,
+		}
+		s := SolarCapacityFactor(p, 24*30)
+		return s.MinValue() >= 0 && s.MaxValue() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyWindBoundedAnyParams(t *testing.T) {
+	f := func(meanCF, vol uint8, seed uint64) bool {
+		p := WindParams{
+			MeanCF:             0.1 + float64(meanCF%60)/100,
+			Volatility:         0.05 + float64(vol%40)/100,
+			Reversion:          0.05,
+			CalmSpellsPerYear:  10,
+			CalmSpellMeanHours: 24,
+			SeasonalAmplitude:  0.2,
+			Seed:               seed,
+		}
+		w := WindCapacityFactor(p, 24*30)
+		return w.MinValue() >= 0 && w.MaxValue() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"math"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+// WindParams configures the wind capacity-factor model for one region.
+type WindParams struct {
+	// MeanCF is the long-run average capacity factor, typically 0.25–0.45
+	// for onshore wind.
+	MeanCF float64
+	// Volatility controls the hour-scale shock size of the underlying
+	// mean-reverting process. Higher values yield larger swings.
+	Volatility float64
+	// Reversion is the hourly mean-reversion rate in (0, 1]. Lower values
+	// mean longer-lived excursions (windy or calm spells spanning days).
+	Reversion float64
+	// CalmSpellsPerYear is the expected number of distinct calm episodes —
+	// multi-day periods with near-zero output — per year. These are the
+	// "supply valleys" that dominate battery sizing in wind regions.
+	CalmSpellsPerYear float64
+	// CalmSpellMeanHours is the mean duration of a calm episode.
+	CalmSpellMeanHours float64
+	// SeasonalAmplitude scales output ±fraction across the year (wind is
+	// typically stronger in winter and spring).
+	SeasonalAmplitude float64
+	// Seed isolates this model's random stream.
+	Seed uint64
+}
+
+// DefaultWindParams returns a typical onshore-wind configuration.
+func DefaultWindParams() WindParams {
+	return WindParams{
+		MeanCF:             0.35,
+		Volatility:         0.25,
+		Reversion:          0.03,
+		CalmSpellsPerYear:  12,
+		CalmSpellMeanHours: 36,
+		SeasonalAmplitude:  0.2,
+		Seed:               2,
+	}
+}
+
+// WindCapacityFactor generates an hourly capacity-factor series (values in
+// [0, 1]) of length hours.
+//
+// The backbone is an Ornstein–Uhlenbeck process x mapped through a smooth
+// power-curve-like squashing into [0, 1]. A two-state regime layer overlays
+// calm spells: with the configured frequency the output collapses toward
+// zero for a multi-day episode, reproducing the paper's observation that
+// wind regions such as BPAT have days with almost no wind power.
+func WindCapacityFactor(p WindParams, hours int) timeseries.Series {
+	rng := NewRNG(p.Seed)
+	calmRNG := rng.Fork()
+	out := timeseries.New(hours)
+
+	// Latent OU state; its stationary standard deviation is
+	// Volatility / sqrt(2*Reversion - Reversion^2) ≈ Volatility/sqrt(2*Reversion).
+	x := 0.0
+
+	// Calm-spell regime machine.
+	calmRemaining := 0
+	pEnter := p.CalmSpellsPerYear / float64(timeseries.HoursPerYear)
+
+	for h := 0; h < hours; h++ {
+		x += p.Reversion*(0-x) + p.Volatility*math.Sqrt(p.Reversion)*rng.NormFloat64()
+
+		if calmRemaining > 0 {
+			calmRemaining--
+		} else if p.CalmSpellsPerYear > 0 && calmRNG.Float64() < pEnter {
+			// Geometric-ish duration with the configured mean.
+			d := int(-p.CalmSpellMeanHours * math.Log(1-calmRNG.Float64()))
+			if d < 4 {
+				d = 4
+			}
+			calmRemaining = d
+		}
+
+		// Seasonal modulation peaks around day 60 (early March).
+		day := (h / timeseries.HoursPerDay) % 365
+		season := 1 + p.SeasonalAmplitude*math.Cos(2*math.Pi*(float64(day)-60)/365)
+
+		cf := squashCF(x, p.MeanCF) * season
+		if calmRemaining > 0 {
+			cf *= 0.04 // residual trickle during a calm spell
+		}
+		out.Set(h, clamp(cf, 0, 1))
+	}
+	return out
+}
+
+// squashCF maps the latent state onto [0, 1] with the requested long-run
+// mean. A logistic curve mimics the cubic-then-saturating shape of a turbine
+// power curve: small latent excursions near the mean translate into large
+// output swings, and the tails saturate at cut-in/rated output.
+func squashCF(x, meanCF float64) float64 {
+	// Center the logistic so that x = 0 yields meanCF.
+	offset := math.Log(meanCF / (1 - meanCF))
+	return 1 / (1 + math.Exp(-(2.2*x + offset)))
+}

@@ -1,0 +1,315 @@
+// Package timeseries implements the hourly time-series engine underlying
+// Carbon Explorer. All grid supply, datacenter demand, and carbon-intensity
+// signals are hourly series covering one simulation year (8760 hours).
+//
+// A Series is an immutable-by-convention slice of float64 samples with a
+// fixed hourly step. Operations either return new series or are explicitly
+// named as in-place mutations.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// HoursPerYear is the length of the canonical simulation year.
+const HoursPerYear = 8760
+
+// HoursPerDay is the number of samples in one day.
+const HoursPerDay = 24
+
+// Series is an hourly time series. Index 0 is hour 0 of January 1 of the
+// simulation year; index i is i hours later.
+type Series struct {
+	values []float64
+}
+
+// ErrLengthMismatch is returned by binary operations on series of different
+// lengths.
+var ErrLengthMismatch = errors.New("timeseries: series lengths differ")
+
+// New returns a zero-filled series of n samples.
+func New(n int) Series {
+	if n < 0 {
+		panic("timeseries: negative length")
+	}
+	return Series{values: make([]float64, n)}
+}
+
+// NewYear returns a zero-filled series covering one simulation year.
+func NewYear() Series { return New(HoursPerYear) }
+
+// FromValues wraps the given samples in a Series. The slice is copied so the
+// caller retains ownership of its buffer.
+func FromValues(v []float64) Series {
+	c := make([]float64, len(v))
+	copy(c, v)
+	return Series{values: c}
+}
+
+// Constant returns a series of n samples all equal to v.
+func Constant(n int, v float64) Series {
+	s := New(n)
+	for i := range s.values {
+		s.values[i] = v
+	}
+	return s
+}
+
+// Generate builds a series of n samples by evaluating f at each hour index.
+func Generate(n int, f func(hour int) float64) Series {
+	s := New(n)
+	for i := range s.values {
+		s.values[i] = f(i)
+	}
+	return s
+}
+
+// Len returns the number of samples.
+func (s Series) Len() int { return len(s.values) }
+
+// At returns the sample at hour i.
+func (s Series) At(i int) float64 { return s.values[i] }
+
+// Set overwrites the sample at hour i in place.
+func (s Series) Set(i int, v float64) { s.values[i] = v }
+
+// Values returns a copy of the underlying samples.
+func (s Series) Values() []float64 {
+	c := make([]float64, len(s.values))
+	copy(c, s.values)
+	return c
+}
+
+// Clone returns a deep copy.
+func (s Series) Clone() Series { return FromValues(s.values) }
+
+// Slice returns the sub-series of hours [from, to).
+func (s Series) Slice(from, to int) Series {
+	if from < 0 || to > len(s.values) || from > to {
+		panic(fmt.Sprintf("timeseries: slice [%d,%d) out of range for length %d", from, to, len(s.values)))
+	}
+	return FromValues(s.values[from:to])
+}
+
+// Day returns the 24-hour sub-series for day d (0-based).
+func (s Series) Day(d int) Series {
+	return s.Slice(d*HoursPerDay, (d+1)*HoursPerDay)
+}
+
+// Days returns the number of whole days covered.
+func (s Series) Days() int { return len(s.values) / HoursPerDay }
+
+// Add returns s + o elementwise.
+func (s Series) Add(o Series) (Series, error) {
+	return s.zipWith(o, func(a, b float64) float64 { return a + b })
+}
+
+// Sub returns s − o elementwise.
+func (s Series) Sub(o Series) (Series, error) {
+	return s.zipWith(o, func(a, b float64) float64 { return a - b })
+}
+
+// Mul returns s × o elementwise.
+func (s Series) Mul(o Series) (Series, error) {
+	return s.zipWith(o, func(a, b float64) float64 { return a * b })
+}
+
+// Min returns the elementwise minimum of s and o.
+func (s Series) Min(o Series) (Series, error) {
+	return s.zipWith(o, math.Min)
+}
+
+// Max returns the elementwise maximum of s and o.
+func (s Series) Max(o Series) (Series, error) {
+	return s.zipWith(o, math.Max)
+}
+
+func (s Series) zipWith(o Series, f func(a, b float64) float64) (Series, error) {
+	if len(s.values) != len(o.values) {
+		return Series{}, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(s.values), len(o.values))
+	}
+	out := New(len(s.values))
+	for i := range s.values {
+		out.values[i] = f(s.values[i], o.values[i])
+	}
+	return out, nil
+}
+
+// Scale returns s with every sample multiplied by k.
+func (s Series) Scale(k float64) Series {
+	out := New(len(s.values))
+	for i, v := range s.values {
+		out.values[i] = v * k
+	}
+	return out
+}
+
+// Shift returns s with k added to every sample.
+func (s Series) Shift(k float64) Series {
+	out := New(len(s.values))
+	for i, v := range s.values {
+		out.values[i] = v + k
+	}
+	return out
+}
+
+// ClampMin returns s with samples below lo raised to lo.
+func (s Series) ClampMin(lo float64) Series {
+	out := New(len(s.values))
+	for i, v := range s.values {
+		out.values[i] = math.Max(v, lo)
+	}
+	return out
+}
+
+// ClampMax returns s with samples above hi lowered to hi.
+func (s Series) ClampMax(hi float64) Series {
+	out := New(len(s.values))
+	for i, v := range s.values {
+		out.values[i] = math.Min(v, hi)
+	}
+	return out
+}
+
+// PositivePart returns max(s, 0) elementwise: the deficits or surpluses of a
+// difference series.
+func (s Series) PositivePart() Series { return s.ClampMin(0) }
+
+// Sum returns the sum of all samples.
+func (s Series) Sum() float64 {
+	t := 0.0
+	for _, v := range s.values {
+		t += v
+	}
+	return t
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s Series) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.values))
+}
+
+// MaxValue returns the largest sample, or 0 for an empty series.
+func (s Series) MaxValue() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MinValue returns the smallest sample, or 0 for an empty series.
+func (s Series) MinValue() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ScaleToMax linearly rescales the series so its maximum equals max. This is
+// the paper's renewable-projection rule: the observed annual maximum is taken
+// as the grid's installed capacity and the series is scaled in proportion to
+// the investment under study. A series with no positive samples is returned
+// unchanged (there is nothing to scale).
+func (s Series) ScaleToMax(max float64) Series {
+	cur := s.MaxValue()
+	if cur <= 0 {
+		return s.Clone()
+	}
+	return s.Scale(max / cur)
+}
+
+// DailyTotals returns a series of per-day sums (length Days()).
+func (s Series) DailyTotals() Series {
+	days := s.Days()
+	out := New(days)
+	for d := 0; d < days; d++ {
+		t := 0.0
+		for h := 0; h < HoursPerDay; h++ {
+			t += s.values[d*HoursPerDay+h]
+		}
+		out.values[d] = t
+	}
+	return out
+}
+
+// AverageDay returns the 24-sample mean daily profile: sample h is the mean
+// of that hour-of-day across all whole days.
+func (s Series) AverageDay() Series {
+	days := s.Days()
+	out := New(HoursPerDay)
+	if days == 0 {
+		return out
+	}
+	for h := 0; h < HoursPerDay; h++ {
+		t := 0.0
+		for d := 0; d < days; d++ {
+			t += s.values[d*HoursPerDay+h]
+		}
+		out.values[h] = t / float64(days)
+	}
+	return out
+}
+
+// TileDaily expands a 24-sample daily profile into an n-sample series by
+// repeating it. It panics if s is not exactly one day long.
+func (s Series) TileDaily(n int) Series {
+	if len(s.values) != HoursPerDay {
+		panic("timeseries: TileDaily requires a 24-sample profile")
+	}
+	out := New(n)
+	for i := range out.values {
+		out.values[i] = s.values[i%HoursPerDay]
+	}
+	return out
+}
+
+// CountWhere returns how many samples satisfy pred.
+func (s Series) CountWhere(pred func(float64) bool) int {
+	n := 0
+	for _, v := range s.values {
+		if pred(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// Map returns a new series with f applied to every sample.
+func (s Series) Map(f func(float64) float64) Series {
+	out := New(len(s.values))
+	for i, v := range s.values {
+		out.values[i] = f(v)
+	}
+	return out
+}
+
+// Equal reports whether the two series have identical length and samples
+// within tolerance eps.
+func (s Series) Equal(o Series, eps float64) bool {
+	if len(s.values) != len(o.values) {
+		return false
+	}
+	for i := range s.values {
+		if math.Abs(s.values[i]-o.values[i]) > eps {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,297 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndLen(t *testing.T) {
+	s := New(10)
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if s.At(i) != 0 {
+			t.Fatalf("New series not zero at %d", i)
+		}
+	}
+	if NewYear().Len() != HoursPerYear {
+		t.Fatalf("NewYear length wrong")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFromValuesCopies(t *testing.T) {
+	buf := []float64{1, 2, 3}
+	s := FromValues(buf)
+	buf[0] = 99
+	if s.At(0) != 1 {
+		t.Fatalf("FromValues aliases caller buffer")
+	}
+}
+
+func TestValuesReturnsCopy(t *testing.T) {
+	s := FromValues([]float64{1, 2})
+	v := s.Values()
+	v[0] = 42
+	if s.At(0) != 1 {
+		t.Fatalf("Values() aliases internal buffer")
+	}
+}
+
+func TestConstantAndGenerate(t *testing.T) {
+	c := Constant(5, 3.5)
+	if c.Sum() != 17.5 {
+		t.Fatalf("Constant sum = %v", c.Sum())
+	}
+	g := Generate(4, func(h int) float64 { return float64(h * h) })
+	want := []float64{0, 1, 4, 9}
+	for i, w := range want {
+		if g.At(i) != w {
+			t.Fatalf("Generate[%d] = %v, want %v", i, g.At(i), w)
+		}
+	}
+}
+
+func TestBinaryOps(t *testing.T) {
+	a := FromValues([]float64{1, 2, 3})
+	b := FromValues([]float64{10, 20, 30})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(2) != 33 {
+		t.Fatalf("Add wrong: %v", sum.Values())
+	}
+	diff, _ := b.Sub(a)
+	if diff.At(0) != 9 {
+		t.Fatalf("Sub wrong: %v", diff.Values())
+	}
+	prod, _ := a.Mul(b)
+	if prod.At(1) != 40 {
+		t.Fatalf("Mul wrong: %v", prod.Values())
+	}
+	mn, _ := a.Min(b)
+	mx, _ := a.Max(b)
+	if mn.At(0) != 1 || mx.At(0) != 10 {
+		t.Fatalf("Min/Max wrong")
+	}
+}
+
+func TestLengthMismatch(t *testing.T) {
+	a, b := New(3), New(4)
+	if _, err := a.Add(b); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+func TestScaleShiftClamp(t *testing.T) {
+	s := FromValues([]float64{-1, 0, 2})
+	if got := s.Scale(3).Values(); got[0] != -3 || got[2] != 6 {
+		t.Fatalf("Scale wrong: %v", got)
+	}
+	if got := s.Shift(1).Values(); got[0] != 0 || got[2] != 3 {
+		t.Fatalf("Shift wrong: %v", got)
+	}
+	if got := s.ClampMin(0).Values(); got[0] != 0 || got[2] != 2 {
+		t.Fatalf("ClampMin wrong: %v", got)
+	}
+	if got := s.ClampMax(1).Values(); got[2] != 1 || got[0] != -1 {
+		t.Fatalf("ClampMax wrong: %v", got)
+	}
+	if got := s.PositivePart().Sum(); got != 2 {
+		t.Fatalf("PositivePart sum = %v, want 2", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	s := FromValues([]float64{4, -2, 10})
+	if s.Sum() != 12 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+	if s.Mean() != 4 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.MaxValue() != 10 || s.MinValue() != -2 {
+		t.Fatalf("Max/Min wrong")
+	}
+	empty := New(0)
+	if empty.Mean() != 0 || empty.MaxValue() != 0 || empty.MinValue() != 0 {
+		t.Fatalf("empty aggregates should be 0")
+	}
+}
+
+func TestScaleToMax(t *testing.T) {
+	s := FromValues([]float64{1, 2, 4})
+	scaled := s.ScaleToMax(100)
+	if scaled.MaxValue() != 100 {
+		t.Fatalf("ScaleToMax max = %v", scaled.MaxValue())
+	}
+	if scaled.At(0) != 25 {
+		t.Fatalf("ScaleToMax not linear: %v", scaled.Values())
+	}
+	// All-zero series is unchanged rather than producing NaN.
+	z := New(3).ScaleToMax(50)
+	if z.Sum() != 0 {
+		t.Fatalf("ScaleToMax of zero series should stay zero")
+	}
+}
+
+func TestDailyAggregation(t *testing.T) {
+	// Two days: day 0 all ones, day 1 all twos.
+	s := Generate(48, func(h int) float64 {
+		if h < 24 {
+			return 1
+		}
+		return 2
+	})
+	if s.Days() != 2 {
+		t.Fatalf("Days = %d", s.Days())
+	}
+	dt := s.DailyTotals()
+	if dt.Len() != 2 || dt.At(0) != 24 || dt.At(1) != 48 {
+		t.Fatalf("DailyTotals wrong: %v", dt.Values())
+	}
+	avg := s.AverageDay()
+	if avg.Len() != 24 {
+		t.Fatalf("AverageDay length %d", avg.Len())
+	}
+	for h := 0; h < 24; h++ {
+		if avg.At(h) != 1.5 {
+			t.Fatalf("AverageDay[%d] = %v, want 1.5", h, avg.At(h))
+		}
+	}
+	day1 := s.Day(1)
+	if day1.Len() != 24 || day1.At(0) != 2 {
+		t.Fatalf("Day(1) wrong")
+	}
+}
+
+func TestTileDaily(t *testing.T) {
+	profile := Generate(24, func(h int) float64 { return float64(h) })
+	tiled := profile.TileDaily(50)
+	if tiled.Len() != 50 {
+		t.Fatalf("TileDaily length %d", tiled.Len())
+	}
+	if tiled.At(25) != 1 || tiled.At(47) != 23 {
+		t.Fatalf("TileDaily values wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("TileDaily on non-24 profile should panic")
+		}
+	}()
+	New(10).TileDaily(20)
+}
+
+func TestSliceAndClone(t *testing.T) {
+	s := Generate(10, func(h int) float64 { return float64(h) })
+	sub := s.Slice(2, 5)
+	if sub.Len() != 3 || sub.At(0) != 2 {
+		t.Fatalf("Slice wrong: %v", sub.Values())
+	}
+	c := s.Clone()
+	c.Set(0, 99)
+	if s.At(0) != 0 {
+		t.Fatalf("Clone aliases original")
+	}
+}
+
+func TestCountWhereAndMap(t *testing.T) {
+	s := FromValues([]float64{1, -2, 3, -4})
+	neg := s.CountWhere(func(v float64) bool { return v < 0 })
+	if neg != 2 {
+		t.Fatalf("CountWhere = %d", neg)
+	}
+	abs := s.Map(math.Abs)
+	if abs.Sum() != 10 {
+		t.Fatalf("Map sum = %v", abs.Sum())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromValues([]float64{1, 2})
+	b := FromValues([]float64{1, 2.0000001})
+	if !a.Equal(b, 1e-3) {
+		t.Fatalf("Equal within tolerance should hold")
+	}
+	if a.Equal(b, 1e-9) {
+		t.Fatalf("Equal outside tolerance should fail")
+	}
+	if a.Equal(New(3), 1) {
+		t.Fatalf("different lengths cannot be equal")
+	}
+}
+
+func TestPropertyScaleToMaxPreservesShape(t *testing.T) {
+	// After ScaleToMax, ratios between samples are preserved.
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			v = math.Abs(v)
+			if math.IsNaN(v) || math.IsInf(v, 0) || v > 1e9 {
+				continue
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) < 2 {
+			return true
+		}
+		s := FromValues(vals)
+		if s.MaxValue() <= 0 {
+			return true
+		}
+		scaled := s.ScaleToMax(500)
+		for i := 0; i < s.Len(); i++ {
+			want := s.At(i) / s.MaxValue() * 500
+			if math.Abs(scaled.At(i)-want) > 1e-6*(1+want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAddCommutes(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		sa := FromValues(sanitize(a[:n]))
+		sb := FromValues(sanitize(b[:n]))
+		ab, err1 := sa.Add(sb)
+		ba, err2 := sb.Add(sa)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ab.Equal(ba, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+		}
+		out[i] = x
+	}
+	return out
+}

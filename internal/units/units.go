@@ -1,0 +1,112 @@
+// Package units defines typed physical quantities used throughout Carbon
+// Explorer: power (megawatts), energy (megawatt-hours), carbon mass
+// (grams/kilograms/tonnes of CO2-equivalent), and carbon intensity
+// (gCO2eq per kWh).
+//
+// The types are thin wrappers over float64. They exist to make unit errors
+// visible in signatures (a function that takes units.MegaWattHours cannot be
+// handed a raw power number) while compiling down to plain float math.
+package units
+
+import "fmt"
+
+// MegaWatts is instantaneous power in MW.
+type MegaWatts float64
+
+// MegaWattHours is energy in MWh.
+type MegaWattHours float64
+
+// GramsCO2 is a carbon mass in grams of CO2-equivalent.
+type GramsCO2 float64
+
+// CarbonIntensity is grams of CO2-equivalent emitted per kWh of energy.
+type CarbonIntensity float64
+
+// Common derived conversions.
+const (
+	// KWhPerMWh converts megawatt-hours to kilowatt-hours.
+	KWhPerMWh = 1000.0
+	// GramsPerKg converts kilograms to grams.
+	GramsPerKg = 1000.0
+	// GramsPerTonne converts metric tonnes to grams.
+	GramsPerTonne = 1e6
+	// HoursPerYear is the length of the non-leap simulation year.
+	HoursPerYear = 8760
+	// HoursPerDay is the number of hours in a day.
+	HoursPerDay = 24
+	// DaysPerYear is the number of days in the simulation year.
+	DaysPerYear = HoursPerYear / HoursPerDay
+)
+
+// Energy returns the energy produced by holding power p for the given number
+// of hours.
+func (p MegaWatts) Energy(hours float64) MegaWattHours {
+	return MegaWattHours(float64(p) * hours)
+}
+
+// KWh returns the energy expressed in kilowatt-hours.
+func (e MegaWattHours) KWh() float64 { return float64(e) * KWhPerMWh }
+
+// Carbon returns the carbon emitted when energy e is supplied at intensity ci.
+func (e MegaWattHours) Carbon(ci CarbonIntensity) GramsCO2 {
+	return GramsCO2(e.KWh() * float64(ci))
+}
+
+// Kg returns the mass in kilograms.
+func (g GramsCO2) Kg() float64 { return float64(g) / GramsPerKg }
+
+// Tonnes returns the mass in metric tonnes.
+func (g GramsCO2) Tonnes() float64 { return float64(g) / GramsPerTonne }
+
+// Kilotonnes returns the mass in thousands of metric tonnes, the unit the
+// paper uses for datacenter-scale annual footprints.
+func (g GramsCO2) Kilotonnes() float64 { return float64(g) / (GramsPerTonne * 1000) }
+
+// FromKgCO2 builds a carbon mass from kilograms.
+func FromKgCO2(kg float64) GramsCO2 { return GramsCO2(kg * GramsPerKg) }
+
+// FromTonnesCO2 builds a carbon mass from metric tonnes.
+func FromTonnesCO2(t float64) GramsCO2 { return GramsCO2(t * GramsPerTonne) }
+
+// String renders the power with an adaptive unit.
+func (p MegaWatts) String() string {
+	switch {
+	case p >= 1000:
+		return fmt.Sprintf("%.2f GW", float64(p)/1000)
+	case p < 1 && p > 0:
+		return fmt.Sprintf("%.1f kW", float64(p)*1000)
+	default:
+		return fmt.Sprintf("%.2f MW", float64(p))
+	}
+}
+
+// String renders the energy with an adaptive unit.
+func (e MegaWattHours) String() string {
+	switch {
+	case e >= 1000:
+		return fmt.Sprintf("%.2f GWh", float64(e)/1000)
+	case e < 1 && e > 0:
+		return fmt.Sprintf("%.1f kWh", float64(e)*1000)
+	default:
+		return fmt.Sprintf("%.2f MWh", float64(e))
+	}
+}
+
+// String renders the carbon mass with an adaptive unit.
+func (g GramsCO2) String() string {
+	switch {
+	case g >= GramsPerTonne*1000:
+		return fmt.Sprintf("%.2f ktCO2", g.Kilotonnes())
+	case g >= GramsPerTonne:
+		return fmt.Sprintf("%.2f tCO2", g.Tonnes())
+	case g >= GramsPerKg:
+		return fmt.Sprintf("%.2f kgCO2", g.Kg())
+	default:
+		return fmt.Sprintf("%.1f gCO2", float64(g))
+	}
+}
+
+// String renders the intensity.
+func (ci CarbonIntensity) String() string {
+	return fmt.Sprintf("%.1f gCO2/kWh", float64(ci))
+}

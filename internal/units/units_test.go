@@ -1,0 +1,113 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestEnergyFromPower(t *testing.T) {
+	if got := MegaWatts(10).Energy(2); got != 20 {
+		t.Fatalf("10 MW for 2h = %v MWh, want 20", got)
+	}
+	if got := MegaWatts(0).Energy(100); got != 0 {
+		t.Fatalf("0 MW for 100h = %v MWh, want 0", got)
+	}
+}
+
+func TestKWhConversion(t *testing.T) {
+	if got := MegaWattHours(1.5).KWh(); got != 1500 {
+		t.Fatalf("1.5 MWh = %v kWh, want 1500", got)
+	}
+}
+
+func TestCarbonFromEnergy(t *testing.T) {
+	// 1 MWh at 490 g/kWh (natural gas) = 490 kg.
+	got := MegaWattHours(1).Carbon(490)
+	if !almost(got.Kg(), 490) {
+		t.Fatalf("1 MWh at 490 g/kWh = %v kg, want 490", got.Kg())
+	}
+}
+
+func TestMassConversions(t *testing.T) {
+	g := FromTonnesCO2(2.5)
+	if !almost(g.Tonnes(), 2.5) {
+		t.Fatalf("round trip tonnes: %v", g.Tonnes())
+	}
+	if !almost(g.Kg(), 2500) {
+		t.Fatalf("2.5 t = %v kg, want 2500", g.Kg())
+	}
+	if !almost(FromKgCO2(1000).Tonnes(), 1) {
+		t.Fatalf("1000 kg should be 1 t")
+	}
+	if !almost(FromTonnesCO2(5000).Kilotonnes(), 5) {
+		t.Fatalf("5000 t should be 5 kt")
+	}
+}
+
+func TestHoursPerYearConsistency(t *testing.T) {
+	if HoursPerYear != DaysPerYear*HoursPerDay {
+		t.Fatalf("hour/day constants inconsistent")
+	}
+	if DaysPerYear != 365 {
+		t.Fatalf("DaysPerYear = %d, want 365", DaysPerYear)
+	}
+}
+
+func TestPowerString(t *testing.T) {
+	cases := []struct {
+		p    MegaWatts
+		want string
+	}{
+		{1500, "1.50 GW"},
+		{73, "73.00 MW"},
+		{0.5, "500.0 kW"},
+		{0, "0.00 MW"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.p), got, c.want)
+		}
+	}
+}
+
+func TestEnergyString(t *testing.T) {
+	if got := MegaWattHours(1200).String(); got != "1.20 GWh" {
+		t.Errorf("got %q", got)
+	}
+	if got := MegaWattHours(40).String(); got != "40.00 MWh" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCarbonString(t *testing.T) {
+	if got := FromTonnesCO2(2_000_000).String(); !strings.Contains(got, "ktCO2") {
+		t.Errorf("large mass should render kilotonnes, got %q", got)
+	}
+	if got := GramsCO2(500).String(); !strings.Contains(got, "gCO2") {
+		t.Errorf("small mass should render grams, got %q", got)
+	}
+	if got := CarbonIntensity(11).String(); got != "11.0 gCO2/kWh" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPropertyEnergyCarbonLinear(t *testing.T) {
+	// Carbon(e, ci) is bilinear in e and ci for non-negative inputs.
+	f := func(e, ci float64) bool {
+		e = math.Abs(e)
+		ci = math.Abs(ci)
+		if math.IsInf(e, 0) || math.IsNaN(e) || math.IsInf(ci, 0) || math.IsNaN(ci) || e > 1e12 || ci > 1e6 {
+			return true
+		}
+		double := MegaWattHours(2 * e).Carbon(CarbonIntensity(ci))
+		single := MegaWattHours(e).Carbon(CarbonIntensity(ci))
+		return almost(float64(double), 2*float64(single))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package workload models the delay-tolerance structure of hyperscale
+// datacenter workloads: SLO tiers (the paper's Figure 10 breakdown of data
+// processing workloads at Meta), the flexible-workload ratio that feeds the
+// carbon-aware scheduler, and a Borg-like synthetic job trace generator.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"carbonexplorer/internal/synth"
+)
+
+// Tier is a completion-time SLO class, ordered from least to most flexible.
+type Tier int
+
+// The paper's five data-processing SLO tiers (Figure 10).
+const (
+	// Tier1 jobs must complete within ±1 hour of their target.
+	Tier1 Tier = iota
+	// Tier2 jobs tolerate ±2 hours.
+	Tier2
+	// Tier3 jobs tolerate ±4 hours.
+	Tier3
+	// Tier4 jobs have daily completion SLOs.
+	Tier4
+	// Tier5 jobs have no SLO.
+	Tier5
+	numTiers
+)
+
+// NumTiers is the number of SLO tiers.
+const NumTiers = int(numTiers)
+
+// String names the tier.
+func (t Tier) String() string {
+	if t < 0 || int(t) >= NumTiers {
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+	return [...]string{"Tier 1 (±1h)", "Tier 2 (±2h)", "Tier 3 (±4h)", "Tier 4 (daily)", "Tier 5 (no SLO)"}[t]
+}
+
+// SlackHours returns how far a job of this tier may be shifted in time. Tier
+// 5 jobs have no SLO; they are modelled with a one-week slack so that the
+// scheduler can treat them as nearly free.
+func (t Tier) SlackHours() int {
+	switch t {
+	case Tier1:
+		return 1
+	case Tier2:
+		return 2
+	case Tier3:
+		return 4
+	case Tier4:
+		return 24
+	case Tier5:
+		return 168
+	default:
+		panic(fmt.Sprintf("workload: unknown tier %d", int(t)))
+	}
+}
+
+// Share returns the tier's share of data-processing workloads per the
+// paper's Figure 10.
+func (t Tier) Share() float64 {
+	switch t {
+	case Tier1:
+		return 0.088
+	case Tier2:
+		return 0.038
+	case Tier3:
+		return 0.105
+	case Tier4:
+		return 0.712
+	case Tier5:
+		return 0.057
+	default:
+		panic(fmt.Sprintf("workload: unknown tier %d", int(t)))
+	}
+}
+
+// AllTiers lists the tiers in order.
+func AllTiers() []Tier {
+	out := make([]Tier, NumTiers)
+	for i := range out {
+		out[i] = Tier(i)
+	}
+	return out
+}
+
+// ShareWithSLOAtLeast returns the fraction of data-processing workloads
+// whose SLO slack is at least the given number of hours. The paper reports
+// ~87.4% of Meta's data-processing workloads have SLOs greater than 4 hours
+// (tiers 4 and 5 under this model).
+func ShareWithSLOAtLeast(hours int) float64 {
+	total := 0.0
+	for _, t := range AllTiers() {
+		if t.SlackHours() >= hours {
+			total += t.Share()
+		}
+	}
+	return total
+}
+
+// Mix describes a datacenter's workload flexibility.
+type Mix struct {
+	// FlexibleRatio is the fraction of each hour's load that may be
+	// deferred (the scheduler's FWR input). The paper's headline analyses
+	// use 0.40, the flexible fraction Google reports for Borg.
+	FlexibleRatio float64
+	// DataProcessingShare is the fraction of the fleet that is offline
+	// data processing (paper: ~7.5% at Meta), used when deriving the
+	// flexible ratio bottom-up from tiers.
+	DataProcessingShare float64
+}
+
+// DefaultMix returns the paper's evaluation assumptions.
+func DefaultMix() Mix {
+	return Mix{FlexibleRatio: 0.40, DataProcessingShare: 0.075}
+}
+
+// Validate reports the first invalid field, or nil.
+func (m Mix) Validate() error {
+	if m.FlexibleRatio < 0 || m.FlexibleRatio > 1 {
+		return fmt.Errorf("workload: flexible ratio %v out of [0, 1]", m.FlexibleRatio)
+	}
+	if m.DataProcessingShare < 0 || m.DataProcessingShare > 1 {
+		return fmt.Errorf("workload: data-processing share %v out of [0, 1]", m.DataProcessingShare)
+	}
+	return nil
+}
+
+// Job is one schedulable unit in the synthetic trace.
+type Job struct {
+	// ID is a sequential identifier.
+	ID int
+	// Tier determines the job's time flexibility.
+	Tier Tier
+	// SubmitHour is the hour index the job arrives.
+	SubmitHour int
+	// DurationHours is the job's run length.
+	DurationHours int
+	// PowerMW is the job's power draw while running.
+	PowerMW float64
+}
+
+// Deadline returns the last hour the job may start and still meet its SLO.
+func (j Job) Deadline() int { return j.SubmitHour + j.Tier.SlackHours() }
+
+// TraceParams configures the synthetic job-trace generator.
+type TraceParams struct {
+	// JobsPerHour is the mean arrival rate.
+	JobsPerHour float64
+	// MeanDurationHours is the mean job run length (geometric).
+	MeanDurationHours float64
+	// MeanPowerMW is the mean per-job power draw (exponential).
+	MeanPowerMW float64
+	// DiurnalAmplitude modulates the arrival rate over the day in [0, 1):
+	// rate(h) = JobsPerHour × (1 + A·sin(...)), peaking in the evening when
+	// users and daily pipelines submit batch work. Zero keeps arrivals
+	// uniform.
+	DiurnalAmplitude float64
+	// Seed isolates the generator's random stream.
+	Seed uint64
+}
+
+// DefaultTraceParams returns a Borg-flavoured configuration.
+func DefaultTraceParams() TraceParams {
+	return TraceParams{JobsPerHour: 40, MeanDurationHours: 3, MeanPowerMW: 0.05, Seed: 7}
+}
+
+// GenerateTrace produces a deterministic synthetic job trace covering the
+// given number of hours. Tier assignment follows the Figure 10 shares.
+func GenerateTrace(p TraceParams, hours int) []Job {
+	rng := synth.NewRNG(p.Seed)
+	var jobs []Job
+	id := 0
+	for h := 0; h < hours; h++ {
+		rate := p.JobsPerHour
+		if p.DiurnalAmplitude > 0 {
+			rate *= 1 + p.DiurnalAmplitude*math.Sin(2*math.Pi*(float64(h%24)-13)/24)
+		}
+		// Poisson-ish arrivals via independent thinning.
+		n := int(rate)
+		frac := rate - float64(n)
+		if rng.Float64() < frac {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			dur := 1 + int(-p.MeanDurationHours*math.Log(1-rng.Float64()))
+			power := -p.MeanPowerMW * math.Log(1-rng.Float64())
+			jobs = append(jobs, Job{
+				ID:            id,
+				Tier:          sampleTier(rng),
+				SubmitHour:    h,
+				DurationHours: dur,
+				PowerMW:       power,
+			})
+			id++
+		}
+	}
+	return jobs
+}
+
+// sampleTier draws a tier with Figure 10 probabilities.
+func sampleTier(rng *synth.RNG) Tier {
+	u := rng.Float64()
+	cum := 0.0
+	for _, t := range AllTiers() {
+		cum += t.Share()
+		if u < cum {
+			return t
+		}
+	}
+	return Tier5
+}
+
+// FlexibleEnergyShare computes, from a job trace, the fraction of total
+// job energy whose SLO slack is at least minSlackHours — a bottom-up
+// estimate of the flexible-workload ratio.
+func FlexibleEnergyShare(jobs []Job, minSlackHours int) float64 {
+	var flex, total float64
+	for _, j := range jobs {
+		e := j.PowerMW * float64(j.DurationHours)
+		total += e
+		if j.Tier.SlackHours() >= minSlackHours {
+			flex += e
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return flex / total
+}

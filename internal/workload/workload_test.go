@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTierSharesSumToOne(t *testing.T) {
+	total := 0.0
+	for _, tier := range AllTiers() {
+		total += tier.Share()
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("tier shares sum to %v, want 1", total)
+	}
+}
+
+func TestTierSharesMatchFigure10(t *testing.T) {
+	want := map[Tier]float64{Tier1: 0.088, Tier2: 0.038, Tier3: 0.105, Tier4: 0.712, Tier5: 0.057}
+	for tier, share := range want {
+		if got := tier.Share(); got != share {
+			t.Errorf("%v share = %v, want %v", tier, got, share)
+		}
+	}
+}
+
+func TestTierSlackMonotonic(t *testing.T) {
+	tiers := AllTiers()
+	for i := 1; i < len(tiers); i++ {
+		if tiers[i].SlackHours() <= tiers[i-1].SlackHours() {
+			t.Fatalf("slack must increase with tier: %v vs %v", tiers[i-1], tiers[i])
+		}
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if Tier4.String() != "Tier 4 (daily)" {
+		t.Fatalf("Tier4 name = %q", Tier4.String())
+	}
+	if got := Tier(9).String(); got != "tier(9)" {
+		t.Fatalf("out-of-range tier name %q", got)
+	}
+}
+
+func TestShareWithSLOAtLeast(t *testing.T) {
+	// Paper: ~87.4% of data-processing workloads have SLOs > 4 hours; in
+	// this model those are the daily and no-SLO tiers: 71.2% + 5.7% = 76.9%,
+	// plus Tier 3 (exactly 4h) giving 87.4% at the ≥4h threshold.
+	got := ShareWithSLOAtLeast(4)
+	if math.Abs(got-0.874) > 1e-9 {
+		t.Fatalf("share with SLO >= 4h = %v, want 0.874", got)
+	}
+	if got := ShareWithSLOAtLeast(24); math.Abs(got-0.769) > 1e-9 {
+		t.Fatalf("share with SLO >= 24h = %v, want 0.769", got)
+	}
+	if got := ShareWithSLOAtLeast(0); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("share with SLO >= 0h = %v, want 1", got)
+	}
+}
+
+func TestDefaultMixValid(t *testing.T) {
+	m := DefaultMix()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FlexibleRatio != 0.40 {
+		t.Fatalf("default flexible ratio = %v, want paper's 0.40", m.FlexibleRatio)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	for _, m := range []Mix{
+		{FlexibleRatio: -0.1},
+		{FlexibleRatio: 1.1},
+		{FlexibleRatio: 0.4, DataProcessingShare: 2},
+	} {
+		if m.Validate() == nil {
+			t.Errorf("mix %+v should be invalid", m)
+		}
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	j := Job{Tier: Tier3, SubmitHour: 100}
+	if j.Deadline() != 104 {
+		t.Fatalf("deadline = %d, want 104", j.Deadline())
+	}
+}
+
+func TestGenerateTrace(t *testing.T) {
+	jobs := GenerateTrace(DefaultTraceParams(), 24*7)
+	if len(jobs) == 0 {
+		t.Fatal("no jobs generated")
+	}
+	// Arrival rate should be near the configured mean.
+	perHour := float64(len(jobs)) / (24 * 7)
+	if perHour < 30 || perHour > 50 {
+		t.Fatalf("jobs per hour = %v, want ~40", perHour)
+	}
+	seen := map[int]bool{}
+	for _, j := range jobs {
+		if seen[j.ID] {
+			t.Fatalf("duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = true
+		if j.DurationHours < 1 {
+			t.Fatalf("job %d has non-positive duration", j.ID)
+		}
+		if j.PowerMW < 0 {
+			t.Fatalf("job %d has negative power", j.ID)
+		}
+		if j.SubmitHour < 0 || j.SubmitHour >= 24*7 {
+			t.Fatalf("job %d submitted out of range", j.ID)
+		}
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	a := GenerateTrace(DefaultTraceParams(), 100)
+	b := GenerateTrace(DefaultTraceParams(), 100)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+}
+
+func TestTraceTierDistribution(t *testing.T) {
+	jobs := GenerateTrace(DefaultTraceParams(), 24*90)
+	counts := map[Tier]int{}
+	for _, j := range jobs {
+		counts[j.Tier]++
+	}
+	// Tier 4 should dominate (71.2% share) — allow generous sampling error.
+	frac := float64(counts[Tier4]) / float64(len(jobs))
+	if frac < 0.65 || frac > 0.78 {
+		t.Fatalf("Tier 4 fraction = %v, want ~0.712", frac)
+	}
+}
+
+func TestDiurnalArrivals(t *testing.T) {
+	p := DefaultTraceParams()
+	p.DiurnalAmplitude = 0.5
+	jobs := GenerateTrace(p, 24*60)
+	byHour := make([]int, 24)
+	for _, j := range jobs {
+		byHour[j.SubmitHour%24]++
+	}
+	// Evening (19:00, the sine peak) should see clearly more arrivals than
+	// the morning trough (07:00).
+	if byHour[19] <= byHour[7] {
+		t.Fatalf("evening arrivals %d should exceed morning %d", byHour[19], byHour[7])
+	}
+	// Uniform arrivals with zero amplitude.
+	p.DiurnalAmplitude = 0
+	uniform := GenerateTrace(p, 24*60)
+	if len(uniform) == 0 {
+		t.Fatal("no jobs")
+	}
+}
+
+func TestFlexibleEnergyShare(t *testing.T) {
+	jobs := []Job{
+		{Tier: Tier1, DurationHours: 1, PowerMW: 1}, // 1 MWh inflexible at 24h
+		{Tier: Tier4, DurationHours: 3, PowerMW: 1}, // 3 MWh flexible
+	}
+	if got := FlexibleEnergyShare(jobs, 24); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("flexible share = %v, want 0.75", got)
+	}
+	if got := FlexibleEnergyShare(nil, 24); got != 0 {
+		t.Fatalf("empty trace share = %v, want 0", got)
+	}
+}
+
+func TestTraceFlexibleShareMatchesTiers(t *testing.T) {
+	jobs := GenerateTrace(DefaultTraceParams(), 24*90)
+	got := FlexibleEnergyShare(jobs, 24)
+	// Energy-weighted share should land near the count-weighted 76.9%.
+	if got < 0.68 || got > 0.86 {
+		t.Fatalf("trace flexible energy share = %v, want ~0.77", got)
+	}
+}
