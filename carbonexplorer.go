@@ -33,6 +33,8 @@
 package carbonexplorer
 
 import (
+	"context"
+
 	"carbonexplorer/internal/battery"
 	"carbonexplorer/internal/carbon"
 	"carbonexplorer/internal/dcload"
@@ -62,6 +64,14 @@ type (
 	Space = explorer.Space
 	// SearchResult holds all evaluated points and the carbon optimum.
 	SearchResult = explorer.SearchResult
+	// SearchReport accounts for every design in a sweep: evaluated,
+	// failed (with the offending design and cause), or skipped after
+	// cancellation.
+	SearchReport = explorer.SearchReport
+	// DesignError pairs a failed design with its error.
+	DesignError = explorer.DesignError
+	// PanicError is a panic recovered from a search worker, with stack.
+	PanicError = explorer.PanicError
 	// ScenarioIntensities compares grid-mix, Net Zero, and 24/7 hourly
 	// operational carbon intensity.
 	ScenarioIntensities = explorer.ScenarioIntensities
@@ -82,6 +92,11 @@ type (
 type (
 	// Series is an hourly time series.
 	Series = timeseries.Series
+	// RepairPolicy bounds the gap-filling that tolerant data loading may
+	// perform.
+	RepairPolicy = timeseries.RepairPolicy
+	// RepairReport accounts for every value a Repair changed.
+	RepairReport = timeseries.RepairReport
 	// BatteryParams configures the C/L/C storage model.
 	BatteryParams = battery.Params
 	// Battery is a stateful storage simulator.
@@ -152,10 +167,25 @@ func WithDemandParams(p DemandParams) explorer.Option { return explorer.WithDema
 func WithEmbodiedParams(p EmbodiedParams) explorer.Option { return explorer.WithEmbodiedParams(p) }
 
 // NewInputsFromSeries assembles inputs from caller-provided hourly series,
-// for users substituting measured grid and datacenter data.
-func NewInputsFromSeries(site Site, demand, windShape, solarShape, gridCI Series, emb EmbodiedParams) (*Inputs, error) {
-	return explorer.NewInputsFromSeries(site, demand, windShape, solarShape, gridCI, emb)
+// for users substituting measured grid and datacenter data. Series are
+// validated (finite, non-negative, matching lengths); pass WithSeriesRepair
+// to accept and gap-fill mildly corrupt data instead.
+func NewInputsFromSeries(site Site, demand, windShape, solarShape, gridCI Series, emb EmbodiedParams, opts ...explorer.Option) (*Inputs, error) {
+	return explorer.NewInputsFromSeries(site, demand, windShape, solarShape, gridCI, emb, opts...)
 }
+
+// WithSeriesRepair makes NewInputsFromSeries repair invalid samples (NaN,
+// infinities, negatives) under the given policy instead of rejecting them.
+func WithSeriesRepair(p RepairPolicy) explorer.Option { return explorer.WithSeriesRepair(p) }
+
+// DefaultRepairPolicy interpolates gaps up to 6 hours and clamps negative
+// samples to zero.
+func DefaultRepairPolicy() RepairPolicy { return timeseries.DefaultRepairPolicy() }
+
+// ErrAllDesignsFailed reports a sweep in which no design survived
+// evaluation; the SearchReport in the accompanying SearchResult lists every
+// failure.
+var ErrAllDesignsFailed = explorer.ErrAllDesignsFailed
 
 // Coverage computes the paper's 24/7 renewable-coverage metric (percent of
 // datacenter energy covered hourly by renewable supply).
@@ -249,4 +279,10 @@ type EnsembleResult = explorer.EnsembleResult
 // evaluation cannot provide.
 func EnsembleEvaluate(site Site, d Design, years int) (EnsembleResult, error) {
 	return explorer.EnsembleEvaluate(site, d, years)
+}
+
+// EnsembleEvaluateContext is EnsembleEvaluate honoring cancellation between
+// weather years.
+func EnsembleEvaluateContext(ctx context.Context, site Site, d Design, years int) (EnsembleResult, error) {
+	return explorer.EnsembleEvaluateContext(ctx, site, d, years)
 }

@@ -11,10 +11,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"carbonexplorer/internal/experiments"
 	"carbonexplorer/internal/explorer"
@@ -22,13 +27,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C cancels the context instead of killing the process, so
+	// long-running sweeps can print partial results before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "carbonexplorer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
@@ -41,7 +50,7 @@ func run(args []string) error {
 	case "evaluate":
 		return cmdEvaluate(args[1:])
 	case "optimize":
-		return cmdOptimize(args[1:])
+		return cmdOptimize(ctx, args[1:])
 	case "figure":
 		return cmdFigure(args[1:])
 	case "study":
@@ -53,6 +62,23 @@ func run(args []string) error {
 		usage()
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+}
+
+// flagRangeError builds a friendly parse-time error naming the offending
+// flag, instead of letting an out-of-range value fail deep inside the
+// evaluation with no flag context.
+func flagRangeError(name string, v float64, want string) error {
+	return fmt.Errorf("flag -%s: value %v out of range (want %s)", name, v, want)
+}
+
+// checkNonNegative validates a set of flags that must be finite and >= 0.
+func checkNonNegative(flags map[string]float64) error {
+	for name, v := range flags {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return flagRangeError(name, v, ">= 0")
+		}
+	}
+	return nil
 }
 
 func usage() {
@@ -91,6 +117,9 @@ func cmdCoverage(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := checkNonNegative(map[string]float64{"wind": *wind, "solar": *solar}); err != nil {
+		return err
+	}
 	in, err := siteInputs(*siteID)
 	if err != nil {
 		return err
@@ -115,6 +144,18 @@ func cmdEvaluate(args []string) error {
 	extraCap := fs.Float64("extra-capacity", 0, "extra server capacity fraction of peak")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := checkNonNegative(map[string]float64{
+		"wind": *wind, "solar": *solar,
+		"battery-hours": *batteryHours, "extra-capacity": *extraCap,
+	}); err != nil {
+		return err
+	}
+	if *flex < 0 || *flex > 1 || math.IsNaN(*flex) {
+		return flagRangeError("flex", *flex, "[0, 1]")
+	}
+	if *batteryHours > 0 && (*dod <= 0 || *dod > 1 || math.IsNaN(*dod)) {
+		return flagRangeError("dod", *dod, "(0, 1] when -battery-hours > 0")
 	}
 	in, err := siteInputs(*siteID)
 	if err != nil {
@@ -150,12 +191,16 @@ func printOutcome(siteID string, o explorer.Outcome) {
 	}
 }
 
-func cmdOptimize(args []string) error {
+func cmdOptimize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	siteID := fs.String("site", "UT", "site ID")
 	strategyName := fs.String("strategy", "all", "renewables | battery | cas | all")
+	timeout := fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit), printing partial results")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("flag -timeout: negative duration %v", *timeout)
 	}
 	var strategy explorer.Strategy
 	switch strings.ToLower(*strategyName) {
@@ -174,13 +219,32 @@ func cmdOptimize(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := in.Search(explorer.DefaultSpace(in), strategy)
-	if err != nil {
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := in.SearchContext(ctx, explorer.DefaultSpace(in), strategy)
+	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !interrupted {
 		return err
 	}
+	if interrupted && res.Report.Evaluated == 0 {
+		return fmt.Errorf("sweep interrupted before any design finished: %w", err)
+	}
+	if interrupted {
+		fmt.Printf("sweep interrupted (%v) — partial results over %d evaluated designs (%d skipped)\n",
+			err, res.Report.Evaluated, res.Report.Skipped)
+	}
 	fmt.Printf("strategy %s: %d designs evaluated\n", strategy, len(res.Points))
+	if n := len(res.Report.Failures); n > 0 {
+		fmt.Printf("%d designs failed and were excluded; first: %v\n", n, res.Report.Failures[0])
+	}
 	fmt.Println("carbon-optimal design:")
 	printOutcome(*siteID, res.Optimal)
+	if interrupted {
+		return fmt.Errorf("sweep incomplete: %w", err)
+	}
 	return nil
 }
 

@@ -1,79 +1,151 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
+	"time"
 )
 
+func runBg(args ...string) error { return run(context.Background(), args) }
+
 func TestRunRequiresSubcommand(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := runBg(); err == nil {
 		t.Fatal("missing subcommand should error")
 	}
-	if err := run([]string{"bogus"}); err == nil {
+	if err := runBg("bogus"); err == nil {
 		t.Fatal("unknown subcommand should error")
 	}
 }
 
 func TestRunHelp(t *testing.T) {
-	if err := run([]string{"help"}); err != nil {
+	if err := runBg("help"); err != nil {
 		t.Fatalf("help failed: %v", err)
 	}
 }
 
 func TestRunSites(t *testing.T) {
-	if err := run([]string{"sites"}); err != nil {
+	if err := runBg("sites"); err != nil {
 		t.Fatalf("sites failed: %v", err)
 	}
 }
 
 func TestRunCoverage(t *testing.T) {
-	if err := run([]string{"coverage", "-site", "UT", "-wind", "100", "-solar", "100"}); err != nil {
+	if err := runBg("coverage", "-site", "UT", "-wind", "100", "-solar", "100"); err != nil {
 		t.Fatalf("coverage failed: %v", err)
 	}
-	if err := run([]string{"coverage", "-site", "ZZ"}); err == nil {
+	if err := runBg("coverage", "-site", "ZZ"); err == nil {
 		t.Fatal("unknown site should error")
 	}
 }
 
 func TestRunEvaluate(t *testing.T) {
-	if err := run([]string{"evaluate", "-site", "UT", "-wind", "100", "-battery-hours", "2", "-flex", "0.4"}); err != nil {
+	if err := runBg("evaluate", "-site", "UT", "-wind", "100", "-battery-hours", "2", "-flex", "0.4"); err != nil {
 		t.Fatalf("evaluate failed: %v", err)
 	}
-	if err := run([]string{"evaluate", "-site", "UT", "-dod", "3"}); err != nil {
+	if err := runBg("evaluate", "-site", "UT", "-dod", "3"); err != nil {
 		// dod is ignored without a battery; this should succeed.
 		t.Fatalf("evaluate without battery should ignore dod: %v", err)
 	}
 }
 
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		flag string // expected flag name in the message
+	}{
+		{[]string{"evaluate", "-site", "UT", "-wind", "-5"}, "-wind"},
+		{[]string{"evaluate", "-site", "UT", "-solar", "-1"}, "-solar"},
+		{[]string{"evaluate", "-site", "UT", "-wind", "NaN"}, "-wind"},
+		{[]string{"evaluate", "-site", "UT", "-battery-hours", "-2"}, "-battery-hours"},
+		{[]string{"evaluate", "-site", "UT", "-battery-hours", "2", "-dod", "3"}, "-dod"},
+		{[]string{"evaluate", "-site", "UT", "-battery-hours", "2", "-dod", "0"}, "-dod"},
+		{[]string{"evaluate", "-site", "UT", "-flex", "1.5"}, "-flex"},
+		{[]string{"evaluate", "-site", "UT", "-flex", "-0.1"}, "-flex"},
+		{[]string{"evaluate", "-site", "UT", "-extra-capacity", "-1"}, "-extra-capacity"},
+		{[]string{"coverage", "-site", "UT", "-wind", "-1"}, "-wind"},
+		{[]string{"coverage", "-site", "UT", "-solar", "Inf"}, "-solar"},
+	}
+	for _, c := range cases {
+		err := runBg(c.args...)
+		if err == nil {
+			t.Fatalf("%v: invalid flag accepted", c.args)
+		}
+		if !strings.Contains(err.Error(), c.flag) {
+			t.Fatalf("%v: error %q does not name flag %s", c.args, err, c.flag)
+		}
+	}
+}
+
+func TestOptimizeTimeoutPrintsPartialOrInterrupts(t *testing.T) {
+	// A microscopic timeout must interrupt the sweep with a context error,
+	// never hang or panic. (Whether any design finishes first is timing-
+	// dependent; both outcomes return a DeadlineExceeded-wrapped error.)
+	err := runBg("optimize", "-site", "UT", "-strategy", "renewables", "-timeout", "1ns")
+	if err == nil {
+		t.Fatal("1ns sweep should be interrupted")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded in chain, got %v", err)
+	}
+}
+
+func TestOptimizeCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"optimize", "-site", "UT", "-strategy", "renewables"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled in chain, got %v", err)
+	}
+}
+
+func TestOptimizeNegativeTimeout(t *testing.T) {
+	if err := runBg("optimize", "-timeout", "-1s"); err == nil {
+		t.Fatal("negative timeout accepted")
+	}
+}
+
+func TestOptimizeCompletesWithGenerousTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	start := time.Now()
+	if err := runBg("optimize", "-site", "UT", "-strategy", "renewables", "-timeout", "10m"); err != nil {
+		t.Fatalf("optimize with generous timeout failed after %v: %v", time.Since(start), err)
+	}
+}
+
 func TestRunOptimizeBadStrategy(t *testing.T) {
-	if err := run([]string{"optimize", "-strategy", "nonsense"}); err == nil {
+	if err := runBg("optimize", "-strategy", "nonsense"); err == nil {
 		t.Fatal("bad strategy should error")
 	}
 }
 
 func TestRunFigureValidation(t *testing.T) {
-	if err := run([]string{"figure"}); err == nil {
+	if err := runBg("figure"); err == nil {
 		t.Fatal("figure without id should error")
 	}
-	if err := run([]string{"figure", "99"}); err == nil {
+	if err := runBg("figure", "99"); err == nil {
 		t.Fatal("unknown figure should error")
 	}
 	// Figure 2/13 are block diagrams, not data artifacts.
-	if err := run([]string{"figure", "2"}); err == nil {
+	if err := runBg("figure", "2"); err == nil {
 		t.Fatal("figure 2 is a diagram, should be rejected")
 	}
-	if err := run([]string{"figure", "10"}); err != nil {
+	if err := runBg("figure", "10"); err != nil {
 		t.Fatalf("figure 10 failed: %v", err)
 	}
 }
 
 func TestRunStudyValidation(t *testing.T) {
-	if err := run([]string{"study"}); err == nil {
+	if err := runBg("study"); err == nil {
 		t.Fatal("study without name should error")
 	}
-	if err := run([]string{"study", "nonsense"}); err == nil {
+	if err := runBg("study", "nonsense"); err == nil {
 		t.Fatal("unknown study should error")
 	}
-	if err := run([]string{"study", "battery-tech", "-site", "UT"}); err != nil {
+	if err := runBg("study", "battery-tech", "-site", "UT"); err != nil {
 		t.Fatalf("battery-tech study failed: %v", err)
 	}
 }

@@ -2,8 +2,10 @@ package dcload
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"carbonexplorer/internal/timeseries"
@@ -17,44 +19,94 @@ import (
 //
 //	hour,power_mw
 
-// LoadPowerCSV parses an hourly datacenter power trace. Hours must be
-// sequential from zero; power must be non-negative.
+// ErrNonFinite is wrapped into errors for power cells that parse as NaN or
+// ±Inf (strconv.ParseFloat accepts "NaN", and NaN passes a `v < 0` guard).
+var ErrNonFinite = errors.New("dcload: non-finite power")
+
+// LoadPowerCSV parses an hourly datacenter power trace, streaming row by
+// row so large traces use bounded memory. Hours must be sequential from
+// zero; power must be finite and non-negative. Use LoadPowerCSVTolerant to
+// accept and repair damaged values instead.
 func LoadPowerCSV(r io.Reader) (timeseries.Series, error) {
+	s, _, err := loadPowerCSV(r, nil)
+	return s, err
+}
+
+// LoadPowerCSVTolerant parses like LoadPowerCSV but treats unparseable,
+// negative, and non-finite power values as gaps repaired under the given
+// policy; gaps longer than the policy's bound fail with a wrapped
+// timeseries.ErrGapTooLong. Structural faults (bad header, out-of-sequence
+// hours) are never repaired.
+func LoadPowerCSVTolerant(r io.Reader, policy timeseries.RepairPolicy) (timeseries.Series, timeseries.RepairReport, error) {
+	return loadPowerCSV(r, &policy)
+}
+
+// loadPowerCSV is the shared streaming core. A nil policy means strict
+// mode.
+func loadPowerCSV(r io.Reader, policy *timeseries.RepairPolicy) (timeseries.Series, timeseries.RepairReport, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 2
-	rows, err := cr.ReadAll()
+	cr.ReuseRecord = true
+
+	first, err := cr.Read()
+	if err == io.EOF {
+		return timeseries.Series{}, timeseries.RepairReport{}, fmt.Errorf("dcload: empty input")
+	}
 	if err != nil {
-		return timeseries.Series{}, fmt.Errorf("dcload: %w", err)
+		return timeseries.Series{}, timeseries.RepairReport{}, fmt.Errorf("dcload: %w", err)
 	}
-	if len(rows) == 0 {
-		return timeseries.Series{}, fmt.Errorf("dcload: empty input")
+	if first[0] != "hour" || first[1] != "power_mw" {
+		return timeseries.Series{}, timeseries.RepairReport{}, fmt.Errorf("dcload: unexpected header %v", first)
 	}
-	if rows[0][0] != "hour" || rows[0][1] != "power_mw" {
-		return timeseries.Series{}, fmt.Errorf("dcload: unexpected header %v", rows[0])
-	}
-	rows = rows[1:]
-	if len(rows) == 0 {
-		return timeseries.Series{}, fmt.Errorf("dcload: no data rows")
-	}
-	out := timeseries.New(len(rows))
-	for i, row := range rows {
+
+	var vals []float64
+	for i := 0; ; i++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return timeseries.Series{}, timeseries.RepairReport{}, fmt.Errorf("dcload: %w", err)
+		}
 		hour, err := strconv.Atoi(row[0])
 		if err != nil {
-			return timeseries.Series{}, fmt.Errorf("dcload: row %d: bad hour %q", i+1, row[0])
+			return timeseries.Series{}, timeseries.RepairReport{}, fmt.Errorf("dcload: row %d: bad hour %q", i+1, row[0])
 		}
 		if hour != i {
-			return timeseries.Series{}, fmt.Errorf("dcload: row %d: hour %d out of sequence", i+1, hour)
+			return timeseries.Series{}, timeseries.RepairReport{}, fmt.Errorf("dcload: row %d: hour %d out of sequence", i+1, hour)
 		}
 		p, err := strconv.ParseFloat(row[1], 64)
-		if err != nil {
-			return timeseries.Series{}, fmt.Errorf("dcload: row %d: bad power %q", i+1, row[1])
+		switch {
+		case err != nil:
+			if policy == nil {
+				return timeseries.Series{}, timeseries.RepairReport{}, fmt.Errorf("dcload: row %d column power_mw: bad power %q", i+1, row[1])
+			}
+			p = math.NaN()
+		case math.IsNaN(p) || math.IsInf(p, 0):
+			if policy == nil {
+				return timeseries.Series{}, timeseries.RepairReport{}, fmt.Errorf("dcload: row %d column power_mw: %w (%q)", i+1, ErrNonFinite, row[1])
+			}
+			p = math.NaN()
+		case p < 0:
+			if policy == nil {
+				return timeseries.Series{}, timeseries.RepairReport{}, fmt.Errorf("dcload: row %d column power_mw: negative power %v", i+1, p)
+			}
+			// Leave negative: Repair clamps or interpolates per policy.
 		}
-		if p < 0 {
-			return timeseries.Series{}, fmt.Errorf("dcload: row %d: negative power %v", i+1, p)
-		}
-		out.Set(i, p)
+		vals = append(vals, p)
 	}
-	return out, nil
+	if len(vals) == 0 {
+		return timeseries.Series{}, timeseries.RepairReport{}, fmt.Errorf("dcload: no data rows")
+	}
+	out := timeseries.FromValues(vals)
+	if policy == nil {
+		return out, timeseries.RepairReport{}, nil
+	}
+	repaired, rep, err := out.Repair(*policy)
+	if err != nil {
+		return timeseries.Series{}, timeseries.RepairReport{}, fmt.Errorf("dcload: column power_mw: %w", err)
+	}
+	return repaired, rep, nil
 }
 
 // WritePowerCSV serializes an hourly power trace in the LoadPowerCSV

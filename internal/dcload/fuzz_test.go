@@ -1,0 +1,68 @@
+package dcload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+// FuzzLoadPowerCSV exercises the power-trace parser with arbitrary input:
+// it must either return an error or a finite, non-negative series — never
+// panic. The tolerant loader runs on the same input under the same
+// invariants, and must accept anything the strict loader accepts.
+func FuzzLoadPowerCSV(f *testing.F) {
+	// A valid round-tripped trace.
+	var buf bytes.Buffer
+	if err := WritePowerCSV(&buf, timeseries.Constant(48, 25)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("hour,power_mw\n0,25\n1,26\n")
+	f.Add("hour,power_mw\n")
+	f.Add("")
+	f.Add("wrong,header\n0,25\n")
+	// Value faults: negatives, non-finite, huge magnitudes, overflow.
+	f.Add("hour,power_mw\n0,-25\n")
+	f.Add("hour,power_mw\n0,NaN\n")
+	f.Add("hour,power_mw\n0,+Inf\n1,-Inf\n")
+	f.Add("hour,power_mw\n0,1e308\n1,1e999\n")
+	// Structural faults: out-of-sequence hours, wrong field count, junk.
+	f.Add("hour,power_mw\n5,25\n")
+	f.Add("hour,power_mw\n0,25\n0,26\n")
+	f.Add("hour,power_mw\n0,25,extra\n")
+	f.Add("hour,power_mw\nx,y\n")
+	// A short NaN gap the tolerant loader should repair.
+	f.Add("hour,power_mw\n0,10\n1,NaN\n2,12\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := LoadPowerCSV(strings.NewReader(input))
+		if err == nil {
+			if s.Len() == 0 {
+				t.Fatal("strict: accepted input yielded empty series")
+			}
+			if verr := s.Validate(); verr != nil {
+				t.Fatalf("strict: accepted series is invalid: %v", verr)
+			}
+		}
+
+		ts, rep, terr := LoadPowerCSVTolerant(strings.NewReader(input), timeseries.DefaultRepairPolicy())
+		if terr == nil {
+			if ts.Len() == 0 {
+				t.Fatal("tolerant: accepted input yielded empty series")
+			}
+			if verr := ts.Validate(); verr != nil {
+				t.Fatalf("tolerant: accepted series is invalid: %v", verr)
+			}
+		}
+		if err == nil {
+			if terr != nil {
+				t.Fatalf("tolerant loader rejected strictly-valid input: %v", terr)
+			}
+			if rep.Changed() {
+				t.Fatalf("tolerant loader repaired strictly-valid input: %+v", rep)
+			}
+		}
+	})
+}

@@ -16,8 +16,10 @@ package eiacsv
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"carbonexplorer/internal/carbon"
@@ -66,65 +68,143 @@ func Write(w io.Writer, y *grid.Year) error {
 
 func formatMW(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
 
+// ErrNonFinite is wrapped into errors for CSV cells that parse as NaN or
+// ±Inf. strconv.ParseFloat happily accepts "NaN" and "Inf", and NaN passes
+// a `v < 0` guard, so these must be rejected explicitly.
+var ErrNonFinite = errors.New("eiacsv: non-finite value")
+
+// ReadReport accounts for every repair a tolerant read performed, keyed by
+// column name.
+type ReadReport struct {
+	// Repairs maps column names to their repair accounting. Columns absent
+	// from the map were clean.
+	Repairs map[string]timeseries.RepairReport
+}
+
+// TotalInterpolated sums interpolated samples across all columns.
+func (r ReadReport) TotalInterpolated() int {
+	n := 0
+	for _, rep := range r.Repairs {
+		n += rep.Interpolated
+	}
+	return n
+}
+
 // Read parses a CSV written by Write (or converted from an EIA export) into
-// a grid year. The returned year's Profile carries only the given code; the
+// a grid year, streaming row by row so arbitrarily large files use bounded
+// memory. The returned year's Profile carries only the given code; the
 // synthetic model parameters are not reconstructed.
+//
+// Read is strict: malformed rows, out-of-sequence hours, and negative or
+// non-finite values are rejected with errors naming the row and column. Use
+// ReadTolerant to accept and repair damaged values instead.
 func Read(r io.Reader, baCode string) (*grid.Year, error) {
+	y, _, err := read(r, baCode, nil)
+	return y, err
+}
+
+// ReadTolerant parses like Read but treats unparseable, negative, and
+// non-finite values as gaps to be repaired under the given policy: short
+// gaps are interpolated, negative noise is clamped (per the policy), and
+// gaps longer than the policy's bound fail with a wrapped
+// timeseries.ErrGapTooLong. The report lists every column that was
+// repaired. Structural faults — a bad header, out-of-sequence hours, the
+// wrong column count — are never repaired: they indicate a broken export,
+// not noisy metering.
+func ReadTolerant(r io.Reader, baCode string, policy timeseries.RepairPolicy) (*grid.Year, ReadReport, error) {
+	return read(r, baCode, &policy)
+}
+
+// read is the shared streaming core. A nil policy means strict mode.
+func read(r io.Reader, baCode string, policy *timeseries.RepairPolicy) (*grid.Year, ReadReport, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(header)
-	rows, err := cr.ReadAll()
+	cr.ReuseRecord = true
+
+	first, err := cr.Read()
+	if err == io.EOF {
+		return nil, ReadReport{}, fmt.Errorf("eiacsv: empty input")
+	}
 	if err != nil {
-		return nil, fmt.Errorf("eiacsv: %w", err)
+		return nil, ReadReport{}, fmt.Errorf("eiacsv: %w", err)
 	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("eiacsv: empty input")
+	if !equalHeader(first) {
+		return nil, ReadReport{}, fmt.Errorf("eiacsv: unexpected header %v", first)
 	}
-	if !equalHeader(rows[0]) {
-		return nil, fmt.Errorf("eiacsv: unexpected header %v", rows[0])
+
+	// Column-major accumulation: cols[c] collects column c+1 (after hour).
+	cols := make([][]float64, len(header)-1)
+	i := 0
+	for ; ; i++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, ReadReport{}, fmt.Errorf("eiacsv: %w", err)
+		}
+		hour, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, ReadReport{}, fmt.Errorf("eiacsv: row %d: bad hour %q", i+1, row[0])
+		}
+		if hour != i {
+			return nil, ReadReport{}, fmt.Errorf("eiacsv: row %d: hour %d out of sequence", i+1, hour)
+		}
+		for c := 1; c < len(header); c++ {
+			v, err := strconv.ParseFloat(row[c], 64)
+			switch {
+			case err != nil:
+				if policy == nil {
+					return nil, ReadReport{}, fmt.Errorf("eiacsv: row %d column %s: %w", i+1, header[c], err)
+				}
+				v = math.NaN()
+			case math.IsNaN(v) || math.IsInf(v, 0):
+				if policy == nil {
+					return nil, ReadReport{}, fmt.Errorf("eiacsv: row %d column %s: %w (%q)", i+1, header[c], ErrNonFinite, row[c])
+				}
+				v = math.NaN()
+			case v < 0:
+				if policy == nil {
+					return nil, ReadReport{}, fmt.Errorf("eiacsv: row %d column %s: negative value %v", i+1, header[c], v)
+				}
+				// Leave negative: Repair clamps or interpolates per policy.
+			}
+			cols[c-1] = append(cols[c-1], v)
+		}
 	}
-	rows = rows[1:]
-	n := len(rows)
-	if n == 0 {
-		return nil, fmt.Errorf("eiacsv: no data rows")
+	if i == 0 {
+		return nil, ReadReport{}, fmt.Errorf("eiacsv: no data rows")
+	}
+
+	rep := ReadReport{}
+	series := make([]timeseries.Series, len(cols))
+	for c, vals := range cols {
+		s := timeseries.FromValues(vals)
+		if policy != nil {
+			repaired, colRep, err := s.Repair(*policy)
+			if err != nil {
+				return nil, ReadReport{}, fmt.Errorf("eiacsv: column %s: %w", header[c+1], err)
+			}
+			if colRep.Changed() {
+				if rep.Repairs == nil {
+					rep.Repairs = make(map[string]timeseries.RepairReport)
+				}
+				rep.Repairs[header[c+1]] = colRep
+			}
+			s = repaired
+		}
+		series[c] = s
 	}
 
 	y := &grid.Year{Profile: grid.BAProfile{Code: baCode}}
-	y.Demand = timeseries.New(n)
-	y.Curtailed = timeseries.New(n)
-	y.PotentialWind = timeseries.New(n)
-	y.PotentialSolar = timeseries.New(n)
-	for i := range y.BySource {
-		y.BySource[i] = timeseries.New(n)
+	y.Demand = series[0]
+	for c, src := range columnSources {
+		y.BySource[src] = series[1+c]
 	}
-
-	for i, row := range rows {
-		hour, err := strconv.Atoi(row[0])
-		if err != nil {
-			return nil, fmt.Errorf("eiacsv: row %d: bad hour %q", i+1, row[0])
-		}
-		if hour != i {
-			return nil, fmt.Errorf("eiacsv: row %d: hour %d out of sequence", i+1, hour)
-		}
-		vals := make([]float64, len(header)-1)
-		for c := 1; c < len(header); c++ {
-			v, err := strconv.ParseFloat(row[c], 64)
-			if err != nil {
-				return nil, fmt.Errorf("eiacsv: row %d column %s: %w", i+1, header[c], err)
-			}
-			if v < 0 {
-				return nil, fmt.Errorf("eiacsv: row %d column %s: negative value %v", i+1, header[c], v)
-			}
-			vals[c-1] = v
-		}
-		y.Demand.Set(i, vals[0])
-		for c, src := range columnSources {
-			y.BySource[src].Set(i, vals[1+c])
-		}
-		y.Curtailed.Set(i, vals[9])
-		y.PotentialWind.Set(i, vals[10])
-		y.PotentialSolar.Set(i, vals[11])
-	}
-	return y, nil
+	y.Curtailed = series[9]
+	y.PotentialWind = series[10]
+	y.PotentialSolar = series[11]
+	return y, rep, nil
 }
 
 func equalHeader(row []string) bool {

@@ -6,11 +6,13 @@ import (
 	"testing"
 
 	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/timeseries"
 )
 
 // FuzzRead exercises the CSV parser with arbitrary byte input: it must
 // either return an error or a structurally sound grid year — never panic,
-// never produce negative generation.
+// never produce negative or non-finite generation. The tolerant reader is
+// run on the same input and must uphold the same invariants.
 func FuzzRead(f *testing.F) {
 	// Seed with a valid document and a few near-misses.
 	var buf bytes.Buffer
@@ -23,24 +25,56 @@ func FuzzRead(f *testing.F) {
 	f.Add("hour,demand_mw\n0,5\n")
 	f.Add("")
 	f.Add(strings.Join(header, ",") + "\n0,-1,1,1,1,1,1,1,1,1,1,1,1\n")
+	// Non-finite and extreme values: NaN passes v < 0 guards, huge values
+	// overflow to Inf when summed — both must be caught explicitly.
+	f.Add(strings.Join(header, ",") + "\n0,NaN,1,1,1,1,1,1,1,1,1,1,1\n")
+	f.Add(strings.Join(header, ",") + "\n0,1,+Inf,1,1,1,1,1,1,1,1,1,1\n")
+	f.Add(strings.Join(header, ",") + "\n0,1,1,-Inf,1,1,1,1,1,1,1,1,1\n")
+	f.Add(strings.Join(header, ",") + "\n0,nan,inf,1,1,1,1,1,1,1,1,1,1\n")
+	f.Add(strings.Join(header, ",") + "\n0,1e308,1e308,1,1,1,1,1,1,1,1,1,1\n")
+	f.Add(strings.Join(header, ",") + "\n0,1e999,1,1,1,1,1,1,1,1,1,1,1\n")
+	// Out-of-sequence hours and a NaN mid-column for the tolerant path.
+	f.Add(strings.Join(header, ",") + "\n5,1,1,1,1,1,1,1,1,1,1,1,1\n")
+	f.Add(strings.Join(header, ",") +
+		"\n0,1,1,1,1,1,1,1,1,1,1,1,1" +
+		"\n1,NaN,1,1,1,1,1,1,1,1,1,1,1" +
+		"\n2,1,1,1,1,1,1,1,1,1,1,1,1\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		y, err := Read(strings.NewReader(input), "FZ")
-		if err != nil {
-			return
+		if err == nil {
+			checkYear(t, y, "strict")
 		}
-		if y.Hours() == 0 {
-			t.Fatalf("accepted input yielded empty year")
+
+		yt, _, terr := ReadTolerant(strings.NewReader(input), "FZ", timeseries.DefaultRepairPolicy())
+		if terr == nil {
+			checkYear(t, yt, "tolerant")
 		}
-		if y.Demand.MinValue() < 0 || y.Curtailed.MinValue() < 0 {
-			t.Fatalf("accepted input yielded negative values")
-		}
-		for s := range y.BySource {
-			if y.BySource[s].MinValue() < 0 {
-				t.Fatalf("accepted input yielded negative generation")
-			}
+		// Anything the strict reader accepts, the tolerant reader must too.
+		if err == nil && terr != nil {
+			t.Fatalf("tolerant reader rejected strictly-valid input: %v", terr)
 		}
 	})
+}
+
+// checkYear asserts the structural invariants of an accepted grid year.
+func checkYear(t *testing.T, y *grid.Year, mode string) {
+	t.Helper()
+	if y.Hours() == 0 {
+		t.Fatalf("%s: accepted input yielded empty year", mode)
+	}
+	for name, s := range map[string]timeseries.Series{
+		"demand": y.Demand, "curtailed": y.Curtailed,
+	} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: accepted %s is invalid: %v", mode, name, err)
+		}
+	}
+	for s := range y.BySource {
+		if err := y.BySource[s].Validate(); err != nil {
+			t.Fatalf("%s: accepted %v generation is invalid: %v", mode, s, err)
+		}
+	}
 }
 
 func min(a, b int) int {

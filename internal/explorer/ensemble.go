@@ -1,6 +1,7 @@
 package explorer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -31,6 +32,12 @@ type EnsembleResult struct {
 // realizations (the site's base seed plus years−1 perturbed seeds) and
 // returns the outcome distribution. years must be at least 2.
 func EnsembleEvaluate(site grid.Site, d Design, years int) (EnsembleResult, error) {
+	return EnsembleEvaluateContext(context.Background(), site, d, years)
+}
+
+// EnsembleEvaluateContext is EnsembleEvaluate with cancellation: ctx is
+// checked between weather years (each year simulates 8760 hours).
+func EnsembleEvaluateContext(ctx context.Context, site grid.Site, d Design, years int) (EnsembleResult, error) {
 	if years < 2 {
 		return EnsembleResult{}, fmt.Errorf("explorer: ensemble needs at least 2 years")
 	}
@@ -40,6 +47,9 @@ func EnsembleEvaluate(site grid.Site, d Design, years int) (EnsembleResult, erro
 	var res EnsembleResult
 	var coverages, totals []float64
 	for y := 0; y < years; y++ {
+		if err := ctx.Err(); err != nil {
+			return EnsembleResult{}, err
+		}
 		in, err := ensembleInputs(site, uint64(y))
 		if err != nil {
 			return EnsembleResult{}, err

@@ -2,6 +2,7 @@ package explorer
 
 import (
 	"fmt"
+	"math"
 
 	"carbonexplorer/internal/battery"
 	"carbonexplorer/internal/scheduler"
@@ -79,8 +80,22 @@ type Design struct {
 	ExtraCapacityFrac float64
 }
 
-// Validate reports the first invalid field, or nil.
+// Validate reports the first invalid field, or nil. Non-finite fields are
+// rejected explicitly: NaN compares false against every bound, so without
+// these checks a NaN investment would sail through and poison the whole
+// evaluation.
 func (d Design) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"wind", d.WindMW}, {"solar", d.SolarMW}, {"battery", d.BatteryMWh},
+		{"DoD", d.DoD}, {"flexible ratio", d.FlexibleRatio}, {"extra capacity", d.ExtraCapacityFrac},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("explorer: non-finite %s %v", f.name, f.v)
+		}
+	}
 	switch {
 	case d.WindMW < 0 || d.SolarMW < 0:
 		return fmt.Errorf("explorer: negative renewable investment")

@@ -36,6 +36,13 @@ type Inputs struct {
 	// Embodied holds the manufacturing-footprint assumptions.
 	Embodied carbon.EmbodiedParams
 
+	// EvalHook, when non-nil, runs before every design evaluation inside a
+	// search sweep. A non-nil error (or a panic) fails that design alone —
+	// the sweep's panic containment applies. It exists for fault injection
+	// in chaos tests and for canary checks in long-running services; leave
+	// it nil in normal operation.
+	EvalHook func(Design) error
+
 	// demandTotalMWh caches Demand.Sum().
 	demandTotalMWh float64
 	// peakDemandMW caches Demand.MaxValue(), the baseline provisioned
@@ -49,6 +56,7 @@ type Option func(*options)
 type options struct {
 	demandParams *dcload.Params
 	embodied     *carbon.EmbodiedParams
+	repair       *timeseries.RepairPolicy
 }
 
 // WithDemandParams overrides the default demand model.
@@ -59,6 +67,15 @@ func WithDemandParams(p dcload.Params) Option {
 // WithEmbodiedParams overrides the default embodied-carbon assumptions.
 func WithEmbodiedParams(p carbon.EmbodiedParams) Option {
 	return func(o *options) { o.embodied = &p }
+}
+
+// WithSeriesRepair makes NewInputsFromSeries tolerant of damaged data:
+// instead of rejecting series containing NaN, infinite, or negative
+// samples, it repairs them under the given policy (interpolating short gaps,
+// clamping negative noise) and only errors when a gap exceeds the policy's
+// bound. Without this option all series must already be clean.
+func WithSeriesRepair(p timeseries.RepairPolicy) Option {
+	return func(o *options) { o.repair = &p }
 }
 
 // NewInputs assembles evaluation inputs for a site: it simulates the site's
@@ -105,28 +122,54 @@ func NewInputs(site grid.Site, opts ...Option) (*Inputs, error) {
 
 // NewInputsFromSeries assembles inputs from caller-provided series, for
 // users substituting real EIA and datacenter data. All series must have
-// equal, non-zero length.
-func NewInputsFromSeries(site grid.Site, demand, windShape, solarShape, gridCI timeseries.Series, emb carbon.EmbodiedParams) (*Inputs, error) {
+// equal, non-zero length, and every sample must be finite and non-negative —
+// a single NaN would otherwise silently poison every downstream carbon
+// total. Pass WithSeriesRepair to accept and repair damaged data instead.
+func NewInputsFromSeries(site grid.Site, demand, windShape, solarShape, gridCI timeseries.Series, emb carbon.EmbodiedParams, opts ...Option) (*Inputs, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
 	n := demand.Len()
 	if n == 0 {
 		return nil, fmt.Errorf("explorer: empty demand series")
 	}
-	for name, s := range map[string]timeseries.Series{
-		"wind": windShape, "solar": solarShape, "grid CI": gridCI,
-	} {
-		if s.Len() != n {
-			return nil, fmt.Errorf("explorer: %s series length %d != demand length %d", name, s.Len(), n)
+	named := []struct {
+		name string
+		s    timeseries.Series
+	}{
+		{"demand", demand},
+		{"wind", windShape},
+		{"solar", solarShape},
+		{"grid CI", gridCI},
+	}
+	cleaned := make([]timeseries.Series, len(named))
+	for i, ns := range named {
+		if err := ns.s.CheckLength(n); err != nil {
+			return nil, fmt.Errorf("explorer: %s series vs demand: %w", ns.name, err)
 		}
+		if o.repair != nil {
+			repaired, _, err := ns.s.Repair(*o.repair)
+			if err != nil {
+				return nil, fmt.Errorf("explorer: repairing %s series: %w", ns.name, err)
+			}
+			cleaned[i] = repaired
+			continue
+		}
+		if err := ns.s.Validate(); err != nil {
+			return nil, fmt.Errorf("explorer: %s series: %w", ns.name, err)
+		}
+		cleaned[i] = ns.s.Clone()
 	}
 	if err := emb.Validate(); err != nil {
 		return nil, err
 	}
 	in := &Inputs{
 		Site:       site,
-		Demand:     demand.Clone(),
-		WindShape:  windShape.Clone(),
-		SolarShape: solarShape.Clone(),
-		GridCI:     gridCI.Clone(),
+		Demand:     cleaned[0],
+		WindShape:  cleaned[1],
+		SolarShape: cleaned[2],
+		GridCI:     cleaned[3],
 		Embodied:   emb,
 	}
 	in.finish()

@@ -1,0 +1,190 @@
+package explorer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/timeseries"
+)
+
+// robustInputs builds small inputs for fast search tests.
+func robustInputs(t *testing.T) *Inputs {
+	t.Helper()
+	const n = 240
+	demand := timeseries.Generate(n, func(h int) float64 { return 10 + 2*math.Sin(float64(h%24)/24*2*math.Pi) })
+	wind := timeseries.Generate(n, func(h int) float64 { return 5 + 4*math.Sin(float64(h)/17) })
+	solar := timeseries.Generate(n, func(h int) float64 { return math.Max(0, 8*math.Sin((float64(h%24)-6)/12*math.Pi)) })
+	ci := timeseries.Constant(n, 400)
+	in, err := NewInputsFromSeries(grid.MustSite("UT"), demand, wind, solar, ci, carbon.DefaultEmbodiedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func robustSpace(in *Inputs) Space {
+	avg := in.AvgDemandMW()
+	return Space{
+		WindMW:       []float64{0, avg, 2 * avg},
+		SolarMW:      []float64{0, avg, 2 * avg},
+		BatteryHours: []float64{0, 2},
+		DoD:          1.0,
+	}
+}
+
+func TestSearchReportCleanSweep(t *testing.T) {
+	in := robustInputs(t)
+	res, err := in.Search(robustSpace(in), RenewablesBattery)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if res.Report.Evaluated != len(res.Points) {
+		t.Fatalf("Evaluated %d != Points %d", res.Report.Evaluated, len(res.Points))
+	}
+	if len(res.Report.Failures) != 0 || res.Report.Skipped != 0 {
+		t.Fatalf("clean sweep reported faults: %+v", res.Report)
+	}
+}
+
+func TestSearchPartialFailureKeepsOptimum(t *testing.T) {
+	in := robustInputs(t)
+	space := robustSpace(in)
+	clean, err := in.Search(space, RenewablesBattery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail every design except the clean optimum's: the sweep must still
+	// find it.
+	want := clean.Optimal.Design
+	in.EvalHook = func(d Design) error {
+		if d != want {
+			return fmt.Errorf("forced failure")
+		}
+		return nil
+	}
+	res, err := in.Search(space, RenewablesBattery)
+	if err != nil {
+		t.Fatalf("sweep with one survivor errored: %v", err)
+	}
+	if res.Report.Evaluated != 1 || res.Optimal.Design != want {
+		t.Fatalf("survivor not found: %+v", res.Report)
+	}
+	for _, f := range res.Report.Failures {
+		if f.Design == want {
+			t.Fatal("optimum recorded as failure")
+		}
+		if f.Err == nil {
+			t.Fatal("failure with nil error")
+		}
+	}
+}
+
+func TestSearchContextDeadline(t *testing.T) {
+	in := robustInputs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := in.SearchContext(ctx, robustSpace(in), RenewablesBattery)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Report.Skipped == 0 {
+		t.Fatal("cancelled sweep skipped nothing")
+	}
+}
+
+func TestPanicErrorMessage(t *testing.T) {
+	in := robustInputs(t)
+	in.EvalHook = func(Design) error { panic("boom") }
+	_, err := in.Search(robustSpace(in), RenewablesOnly)
+	if !errors.Is(err, ErrAllDesignsFailed) {
+		t.Fatalf("want ErrAllDesignsFailed, got %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom" {
+		t.Fatalf("panic value lost: %v", err)
+	}
+}
+
+func TestBisectionContextCancellation(t *testing.T) {
+	in := robustInputs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := in.InvestmentForCoverageContext(ctx, 95, 0.5, 1e5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("InvestmentForCoverageContext: want Canceled, got %v", err)
+	}
+	if _, _, err := in.MinBatteryHoursFor247Context(ctx, 100, 100, 50, 24); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MinBatteryHoursFor247Context: want Canceled, got %v", err)
+	}
+	if _, _, err := in.MinExtraCapacityFor247Context(ctx, 100, 100, 0.4, 50, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MinExtraCapacityFor247Context: want Canceled, got %v", err)
+	}
+}
+
+func TestEnsembleEvaluateContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EnsembleEvaluateContext(ctx, grid.MustSite("IA"), Design{WindMW: 100}, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestNewInputsFromSeriesRejectsInvalid(t *testing.T) {
+	n := 48
+	demand := timeseries.Constant(n, 10)
+	wind := timeseries.Constant(n, 5)
+	solar := timeseries.Constant(n, 5)
+	ci := timeseries.Constant(n, 300)
+	emb := carbon.DefaultEmbodiedParams()
+	site := grid.MustSite("UT")
+
+	badCI := ci.Clone()
+	badCI.Set(7, math.NaN())
+	_, err := NewInputsFromSeries(site, demand, wind, solar, badCI, emb)
+	var ve *timeseries.ValueError
+	if !errors.As(err, &ve) || ve.Index != 7 {
+		t.Fatalf("want *ValueError at 7, got %v", err)
+	}
+
+	negDemand := demand.Clone()
+	negDemand.Set(3, -1)
+	if _, err := NewInputsFromSeries(site, negDemand, wind, solar, ci, emb); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+
+	// Repair option accepts and fixes the same data.
+	in, err := NewInputsFromSeries(site, negDemand, wind, solar, badCI, emb,
+		WithSeriesRepair(timeseries.DefaultRepairPolicy()))
+	if err != nil {
+		t.Fatalf("tolerant construction failed: %v", err)
+	}
+	if in.Demand.At(3) != 0 {
+		t.Fatalf("negative demand not clamped: %v", in.Demand.At(3))
+	}
+	if math.IsNaN(in.GridCI.At(7)) {
+		t.Fatal("NaN grid CI not repaired")
+	}
+}
+
+func TestDesignValidateNonFinite(t *testing.T) {
+	for _, d := range []Design{
+		{WindMW: math.NaN()},
+		{SolarMW: math.Inf(-1)},
+		{BatteryMWh: math.Inf(1), DoD: 1},
+		{DoD: math.NaN()},
+		{ExtraCapacityFrac: math.NaN()},
+	} {
+		if err := d.Validate(); err == nil {
+			t.Fatalf("non-finite design accepted: %+v", d)
+		}
+	}
+	if err := (Design{WindMW: 10}).Validate(); err != nil {
+		t.Fatalf("valid design rejected: %v", err)
+	}
+}

@@ -1,9 +1,12 @@
 package explorer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 )
@@ -115,11 +118,76 @@ type SearchResult struct {
 	// Optimal is the outcome with minimum total (operational + embodied)
 	// carbon; ties break toward higher coverage.
 	Optimal Outcome
+	// Report accounts for every design that was evaluated, failed, or was
+	// skipped by cancellation. A sweep with failures still yields an Optimal
+	// over the surviving points; inspect Report to see what was lost.
+	Report SearchReport
 }
 
+// SearchReport summarizes the health of one sweep.
+type SearchReport struct {
+	// Evaluated is the number of designs evaluated successfully.
+	Evaluated int
+	// Failures records every design whose evaluation returned an error or
+	// panicked, with the offending design attached.
+	Failures []DesignError
+	// Skipped is the number of designs never evaluated because the sweep
+	// was cancelled first.
+	Skipped int
+}
+
+// DesignError attaches the offending design to an evaluation failure.
+type DesignError struct {
+	// Design is the point that failed.
+	Design Design
+	// Err is the evaluation error (a *PanicError if the worker panicked).
+	Err error
+}
+
+func (e DesignError) Error() string {
+	return fmt.Sprintf("explorer: design {wind %.1f MW, solar %.1f MW, battery %.1f MWh, flex %.2f, extra %.2f}: %v",
+		e.Design.WindMW, e.Design.SolarMW, e.Design.BatteryMWh, e.Design.FlexibleRatio, e.Design.ExtraCapacityFrac, e.Err)
+}
+
+func (e DesignError) Unwrap() error { return e.Err }
+
+// PanicError is a panic recovered from an evaluation worker, contained to
+// the design that triggered it.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("explorer: evaluation panicked: %v", e.Value)
+}
+
+// ErrAllDesignsFailed is returned (wrapped) by searches in which not a
+// single design evaluated successfully.
+var ErrAllDesignsFailed = errors.New("explorer: all designs failed")
+
 // Search exhaustively evaluates the space under the given strategy, in
-// parallel, and returns all points plus the carbon-optimal one.
+// parallel, and returns all points plus the carbon-optimal one. It is
+// SearchContext without cancellation.
 func (in *Inputs) Search(space Space, strategy Strategy) (SearchResult, error) {
+	return in.SearchContext(context.Background(), space, strategy)
+}
+
+// SearchContext exhaustively evaluates the space under the given strategy,
+// in parallel, honouring ctx between design evaluations.
+//
+// The sweep degrades gracefully: a design whose evaluation fails (or
+// panics — panics are recovered per worker) is recorded in the result's
+// Report and excluded from Points, and the optimum is computed over the
+// surviving designs. Only when every design fails does SearchContext return
+// a wrapped ErrAllDesignsFailed.
+//
+// On cancellation the partial result is still returned — Points holds
+// whatever finished, Report.Skipped counts the rest — alongside ctx's
+// error, so callers can print partial results after an interrupt.
+func (in *Inputs) SearchContext(ctx context.Context, space Space, strategy Strategy) (SearchResult, error) {
 	designs := space.restrict(strategy).designs(in.AvgDemandMW())
 	if len(designs) == 0 {
 		return SearchResult{}, fmt.Errorf("explorer: empty search space")
@@ -127,31 +195,79 @@ func (in *Inputs) Search(space Space, strategy Strategy) (SearchResult, error) {
 
 	points := make([]Outcome, len(designs))
 	errs := make([]error, len(designs))
+	skipped := make([]bool, len(designs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i, d := range designs {
+		if ctx.Err() != nil {
+			// Cancelled while dispatching: everything not yet dispatched is
+			// skipped.
+			for j := i; j < len(designs); j++ {
+				skipped[j] = true
+			}
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, d Design) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			points[i], errs[i] = in.Evaluate(d)
+			if ctx.Err() != nil {
+				skipped[i] = true
+				return
+			}
+			points[i], errs[i] = in.safeEvaluate(d)
 		}(i, d)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return SearchResult{}, err
+
+	res := SearchResult{Strategy: strategy}
+	var survivors []Outcome
+	for i := range designs {
+		switch {
+		case skipped[i]:
+			res.Report.Skipped++
+		case errs[i] != nil:
+			res.Report.Failures = append(res.Report.Failures, DesignError{Design: designs[i], Err: errs[i]})
+		default:
+			res.Report.Evaluated++
+			survivors = append(survivors, points[i])
 		}
 	}
+	res.Points = survivors
 
-	res := SearchResult{Strategy: strategy, Points: points, Optimal: points[0]}
-	for _, p := range points[1:] {
+	if len(survivors) == 0 {
+		err := ctx.Err()
+		if err == nil {
+			err = fmt.Errorf("%w: %d failures, first: %w",
+				ErrAllDesignsFailed, len(res.Report.Failures), res.Report.Failures[0])
+		}
+		return res, err
+	}
+	res.Optimal = survivors[0]
+	for _, p := range survivors[1:] {
 		if better(p, res.Optimal) {
 			res.Optimal = p
 		}
 	}
-	return res, nil
+	return res, ctx.Err()
+}
+
+// safeEvaluate runs one evaluation with panic containment: a panicking
+// design surfaces as a *PanicError instead of killing the process. The
+// fault-injection hook, when set, runs first.
+func (in *Inputs) safeEvaluate(d Design) (o Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if in.EvalHook != nil {
+		if err := in.EvalHook(d); err != nil {
+			return Outcome{}, err
+		}
+	}
+	return in.Evaluate(d)
 }
 
 // better reports whether a should replace b as the carbon optimum.
@@ -201,6 +317,12 @@ func (in *Inputs) CoverageFor(windMW, solarMW float64) (float64, error) {
 // mixes, for example, cannot exceed ~50–60% coverage no matter the
 // investment).
 func (in *Inputs) InvestmentForCoverage(targetPct, windFrac, maxTotalMW float64) (totalMW float64, ok bool, err error) {
+	return in.InvestmentForCoverageContext(context.Background(), targetPct, windFrac, maxTotalMW)
+}
+
+// InvestmentForCoverageContext is InvestmentForCoverage with cancellation:
+// ctx is checked between bisection steps.
+func (in *Inputs) InvestmentForCoverageContext(ctx context.Context, targetPct, windFrac, maxTotalMW float64) (totalMW float64, ok bool, err error) {
 	if targetPct < 0 || targetPct > 100 {
 		return 0, false, fmt.Errorf("explorer: target coverage %v out of [0, 100]", targetPct)
 	}
@@ -219,6 +341,9 @@ func (in *Inputs) InvestmentForCoverage(targetPct, windFrac, maxTotalMW float64)
 	}
 	lo, hiMW := 0.0, maxTotalMW
 	for i := 0; i < 60 && hiMW-lo > 1e-6*maxTotalMW; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
 		mid := (lo + hiMW) / 2
 		c, err := coverageAt(mid)
 		if err != nil {
@@ -238,6 +363,12 @@ func (in *Inputs) InvestmentForCoverage(targetPct, windFrac, maxTotalMW float64)
 // given renewable investments, searching up to maxHours. It reports whether
 // the target is achievable within the bound.
 func (in *Inputs) MinBatteryHoursFor247(windMW, solarMW, targetPct, maxHours float64) (hours float64, ok bool, err error) {
+	return in.MinBatteryHoursFor247Context(context.Background(), windMW, solarMW, targetPct, maxHours)
+}
+
+// MinBatteryHoursFor247Context is MinBatteryHoursFor247 with cancellation:
+// ctx is checked between bisection steps (each step simulates a full year).
+func (in *Inputs) MinBatteryHoursFor247Context(ctx context.Context, windMW, solarMW, targetPct, maxHours float64) (hours float64, ok bool, err error) {
 	avg := in.AvgDemandMW()
 	covAt := func(h float64) (float64, error) {
 		d := Design{WindMW: windMW, SolarMW: solarMW, BatteryMWh: h * avg, DoD: 1.0}
@@ -259,6 +390,9 @@ func (in *Inputs) MinBatteryHoursFor247(windMW, solarMW, targetPct, maxHours flo
 	}
 	lo, hi := 0.0, maxHours
 	for i := 0; i < 40 && hi-lo > 0.01; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
 		mid := (lo + hi) / 2
 		c, err := covAt(mid)
 		if err != nil {
@@ -279,6 +413,12 @@ func (in *Inputs) MinBatteryHoursFor247(windMW, solarMW, targetPct, maxHours flo
 // renewables and flexible ratio, searching up to maxFrac. It reports whether
 // the target is achievable within the bound.
 func (in *Inputs) MinExtraCapacityFor247(windMW, solarMW, flexRatio, targetPct, maxFrac float64) (frac float64, ok bool, err error) {
+	return in.MinExtraCapacityFor247Context(context.Background(), windMW, solarMW, flexRatio, targetPct, maxFrac)
+}
+
+// MinExtraCapacityFor247Context is MinExtraCapacityFor247 with
+// cancellation: ctx is checked between bisection steps.
+func (in *Inputs) MinExtraCapacityFor247Context(ctx context.Context, windMW, solarMW, flexRatio, targetPct, maxFrac float64) (frac float64, ok bool, err error) {
 	covAt := func(f float64) (float64, error) {
 		o, err := in.Evaluate(Design{
 			WindMW: windMW, SolarMW: solarMW,
@@ -298,6 +438,9 @@ func (in *Inputs) MinExtraCapacityFor247(windMW, solarMW, flexRatio, targetPct, 
 	}
 	lo, hi := 0.0, maxFrac
 	for i := 0; i < 40 && hi-lo > 0.005; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
 		mid := (lo + hi) / 2
 		c, err := covAt(mid)
 		if err != nil {

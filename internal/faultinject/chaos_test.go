@@ -1,0 +1,420 @@
+package faultinject
+
+// Chaos tests: inject every class of fault into each stage of the pipeline
+// and prove the fault surfaces as a typed error or a documented repair —
+// never a panic, never a silent wrong number.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/dcload"
+	"carbonexplorer/internal/eiacsv"
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/fleet"
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/scheduler"
+	"carbonexplorer/internal/timeseries"
+)
+
+// chaosInputs builds a small (10-day) but fully functional evaluation input.
+func chaosInputs(t *testing.T) *explorer.Inputs {
+	t.Helper()
+	const n = 240
+	demand := timeseries.Generate(n, func(h int) float64 { return 10 + 2*math.Sin(float64(h%24)/24*2*math.Pi) })
+	wind := timeseries.Generate(n, func(h int) float64 { return 5 + 4*math.Sin(float64(h)/17) })
+	solar := timeseries.Generate(n, func(h int) float64 { return math.Max(0, 8*math.Sin((float64(h%24)-6)/12*math.Pi)) })
+	ci := timeseries.Constant(n, 400)
+	in, err := explorer.NewInputsFromSeries(grid.MustSite("UT"), demand, wind, solar, ci, carbon.DefaultEmbodiedParams())
+	if err != nil {
+		t.Fatalf("chaosInputs: %v", err)
+	}
+	return in
+}
+
+func chaosSpace(in *explorer.Inputs) explorer.Space {
+	avg := in.AvgDemandMW()
+	return explorer.Space{
+		WindMW:             []float64{0, avg, 2 * avg, 4 * avg, 8 * avg},
+		SolarMW:            []float64{0, avg, 2 * avg, 4 * avg, 8 * avg},
+		BatteryHours:       []float64{0, 2},
+		ExtraCapacityFracs: []float64{0, 0.25},
+		DoD:                1.0,
+		FlexibleRatio:      0.4,
+	}
+}
+
+// TestChaosSweepPartialFailure is the acceptance scenario: ~10% of designs
+// forced to fail must not sink the sweep — the optimum is computed over the
+// survivors and the report lists every failure with its design.
+func TestChaosSweepPartialFailure(t *testing.T) {
+	in := chaosInputs(t)
+	space := chaosSpace(in)
+
+	clean, err := in.Search(space, explorer.RenewablesBatteryCAS)
+	if err != nil {
+		t.Fatalf("clean sweep: %v", err)
+	}
+	total := clean.Report.Evaluated
+
+	in.EvalHook = DesignFaults(123, 0.10)
+	res, err := in.Search(space, explorer.RenewablesBatteryCAS)
+	if err != nil {
+		t.Fatalf("faulty sweep should degrade gracefully, got %v", err)
+	}
+	if len(res.Report.Failures) == 0 {
+		t.Fatal("no injected failures recorded; raise the fraction or reseed")
+	}
+	if res.Report.Evaluated+len(res.Report.Failures) != total {
+		t.Fatalf("report does not account for all designs: %d + %d != %d",
+			res.Report.Evaluated, len(res.Report.Failures), total)
+	}
+	if len(res.Points) != res.Report.Evaluated {
+		t.Fatalf("Points (%d) != Evaluated (%d)", len(res.Points), res.Report.Evaluated)
+	}
+	for _, f := range res.Report.Failures {
+		if !errors.Is(f, ErrInjected) {
+			t.Fatalf("failure not traceable to injection: %v", f)
+		}
+	}
+	// The optimum is genuinely optimal over the survivors.
+	for _, p := range res.Points {
+		if p.Total() < res.Optimal.Total() {
+			t.Fatalf("survivor %v beats reported optimum %v", p.Total(), res.Optimal.Total())
+		}
+	}
+	// And no silent wrong number: the degraded optimum is a point the clean
+	// sweep also evaluated, never something fabricated.
+	if res.Optimal.Total() < clean.Optimal.Total() {
+		t.Fatalf("degraded sweep found a better optimum (%v) than the clean sweep (%v)",
+			res.Optimal.Total(), clean.Optimal.Total())
+	}
+}
+
+// TestChaosSweepPanicContainment proves a panicking evaluation is contained
+// to its design: the process survives and the panic surfaces as a typed
+// *explorer.PanicError for that design alone.
+func TestChaosSweepPanicContainment(t *testing.T) {
+	in := chaosInputs(t)
+	in.EvalHook = PanicFaults(7, 0.2)
+	res, err := in.Search(chaosSpace(in), explorer.RenewablesBatteryCAS)
+	if err != nil {
+		t.Fatalf("panicking designs should not sink the sweep: %v", err)
+	}
+	if len(res.Report.Failures) == 0 {
+		t.Fatal("no panics recorded; raise the fraction or reseed")
+	}
+	for _, f := range res.Report.Failures {
+		var pe *explorer.PanicError
+		if !errors.As(f.Err, &pe) {
+			t.Fatalf("panic not recovered into *PanicError: %v", f.Err)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatal("recovered panic lost its stack")
+		}
+	}
+}
+
+// TestChaosSweepAllFail: when every design fails, the sweep must say so
+// with a typed error rather than fabricate an optimum.
+func TestChaosSweepAllFail(t *testing.T) {
+	in := chaosInputs(t)
+	in.EvalHook = DesignFaults(1, 1.1)
+	_, err := in.Search(chaosSpace(in), explorer.RenewablesOnly)
+	if !errors.Is(err, explorer.ErrAllDesignsFailed) {
+		t.Fatalf("want ErrAllDesignsFailed, got %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("first failure should be traceable to injection: %v", err)
+	}
+}
+
+// TestChaosSweepCancellation: a cancelled sweep returns partial results and
+// accounts for every skipped design.
+func TestChaosSweepCancellation(t *testing.T) {
+	in := chaosInputs(t)
+	space := chaosSpace(in)
+	clean, err := in.Search(space, explorer.RenewablesBatteryCAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := clean.Report.Evaluated
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := in.SearchContext(ctx, space, explorer.RenewablesBatteryCAS)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Report.Evaluated+len(res.Report.Failures)+res.Report.Skipped != total {
+		t.Fatalf("cancelled report does not account for all %d designs: %+v", total, res.Report)
+	}
+	if res.Report.Skipped == 0 {
+		t.Fatal("pre-cancelled sweep skipped nothing")
+	}
+}
+
+// TestChaosEiacsv feeds every corruption class through the strict reader:
+// each must yield a typed error or a structurally sound year.
+func TestChaosEiacsv(t *testing.T) {
+	var buf bytes.Buffer
+	if err := eiacsv.Write(&buf, grid.GenerateYear(grid.MustProfile("PNM"))); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	check := func(t *testing.T, data []byte) {
+		y, err := eiacsv.Read(bytes.NewReader(data), "FZ")
+		if err != nil {
+			return // typed rejection is a pass
+		}
+		if err := y.Demand.Validate(); err != nil {
+			t.Fatalf("accepted year has invalid demand: %v", err)
+		}
+		for s := range y.BySource {
+			if err := y.BySource[s].Validate(); err != nil {
+				t.Fatalf("accepted year has invalid generation: %v", err)
+			}
+		}
+	}
+
+	t.Run("mangled-bytes", func(t *testing.T) {
+		for seed := uint64(0); seed < 20; seed++ {
+			check(t, MangleBytes(valid, seed, 16))
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, frac := range []float64{0.1, 0.5, 0.9, 0.999} {
+			check(t, TruncateBytes(valid, frac))
+		}
+	})
+	t.Run("out-of-sequence-hours", func(t *testing.T) {
+		data := SwapLines(valid, 5, 8)
+		if _, err := eiacsv.Read(bytes.NewReader(data), "FZ"); err == nil {
+			t.Fatal("swapped hours accepted")
+		}
+	})
+	t.Run("nan-fields-strict", func(t *testing.T) {
+		data := ReplaceFields(valid, 9, 5, "NaN")
+		_, err := eiacsv.Read(bytes.NewReader(data), "FZ")
+		if !errors.Is(err, eiacsv.ErrNonFinite) {
+			t.Fatalf("want ErrNonFinite, got %v", err)
+		}
+	})
+	t.Run("inf-fields-strict", func(t *testing.T) {
+		data := ReplaceFields(valid, 10, 3, "+Inf")
+		_, err := eiacsv.Read(bytes.NewReader(data), "FZ")
+		if !errors.Is(err, eiacsv.ErrNonFinite) {
+			t.Fatalf("want ErrNonFinite, got %v", err)
+		}
+	})
+	t.Run("nan-fields-tolerant-repairs", func(t *testing.T) {
+		data := ReplaceFields(valid, 9, 5, "NaN")
+		y, rep, err := eiacsv.ReadTolerant(bytes.NewReader(data), "FZ", timeseries.DefaultRepairPolicy())
+		if err != nil {
+			t.Fatalf("tolerant read failed: %v", err)
+		}
+		if rep.TotalInterpolated() == 0 {
+			t.Fatal("tolerant read repaired nothing")
+		}
+		if err := y.Demand.Validate(); err != nil {
+			t.Fatalf("repaired year still invalid: %v", err)
+		}
+	})
+	t.Run("long-gap-tolerant-rejects", func(t *testing.T) {
+		// A full day of NaNs in one column exceeds the default 6-hour bound.
+		lines := bytes.Split(append([]byte(nil), valid...), []byte("\n"))
+		for i := 1; i <= 24; i++ {
+			fields := bytes.Split(lines[i], []byte(","))
+			fields[1] = []byte("NaN")
+			lines[i] = bytes.Join(fields, []byte(","))
+		}
+		data := bytes.Join(lines, []byte("\n"))
+		_, _, err := eiacsv.ReadTolerant(bytes.NewReader(data), "FZ", timeseries.DefaultRepairPolicy())
+		if !errors.Is(err, timeseries.ErrGapTooLong) {
+			t.Fatalf("want ErrGapTooLong, got %v", err)
+		}
+	})
+}
+
+// TestChaosDcload mirrors the eiacsv chaos for the demand-trace loader.
+func TestChaosDcload(t *testing.T) {
+	power := timeseries.Generate(480, func(h int) float64 { return 20 + 5*math.Sin(float64(h)/9) })
+	var buf bytes.Buffer
+	if err := dcload.WritePowerCSV(&buf, power); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	t.Run("mangled-bytes", func(t *testing.T) {
+		for seed := uint64(0); seed < 20; seed++ {
+			s, err := dcload.LoadPowerCSV(bytes.NewReader(MangleBytes(valid, seed, 8)))
+			if err != nil {
+				continue
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("accepted trace invalid: %v", err)
+			}
+		}
+	})
+	t.Run("nan-strict", func(t *testing.T) {
+		data := ReplaceFields(valid, 4, 3, "NaN")
+		_, err := dcload.LoadPowerCSV(bytes.NewReader(data))
+		if !errors.Is(err, dcload.ErrNonFinite) {
+			t.Fatalf("want ErrNonFinite, got %v", err)
+		}
+	})
+	t.Run("nan-tolerant-repairs", func(t *testing.T) {
+		data := ReplaceFields(valid, 4, 3, "NaN")
+		s, rep, err := dcload.LoadPowerCSVTolerant(bytes.NewReader(data), timeseries.DefaultRepairPolicy())
+		if err != nil {
+			t.Fatalf("tolerant load failed: %v", err)
+		}
+		if rep.Interpolated == 0 {
+			t.Fatal("tolerant load repaired nothing")
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("repaired trace still invalid: %v", err)
+		}
+	})
+	t.Run("out-of-sequence", func(t *testing.T) {
+		if _, err := dcload.LoadPowerCSV(bytes.NewReader(SwapLines(valid, 2, 4))); err == nil {
+			t.Fatal("swapped hours accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		s, err := dcload.LoadPowerCSV(bytes.NewReader(TruncateBytes(valid, 0.4)))
+		if err == nil && s.Validate() != nil {
+			t.Fatalf("accepted truncated trace invalid")
+		}
+	})
+}
+
+// TestChaosScheduler: corrupted series must be rejected with typed errors,
+// and a documented Repair must make them usable again with energy
+// conserved.
+func TestChaosScheduler(t *testing.T) {
+	n := 96
+	demand := timeseries.Generate(n, func(h int) float64 { return 10 + float64(h%24)/4 })
+	signal := timeseries.Generate(n, func(h int) float64 { return math.Sin(float64(h)) })
+	cfg := scheduler.Config{FlexibleRatio: 0.4, WindowHours: 24}
+
+	corrupted := NaNRuns(demand, 21, 2, 3)
+	if _, err := scheduler.ShiftDaily(corrupted, signal, cfg); err == nil {
+		t.Fatal("NaN demand accepted")
+	} else {
+		var ve *timeseries.ValueError
+		if !errors.As(err, &ve) {
+			t.Fatalf("want *timeseries.ValueError, got %v", err)
+		}
+	}
+	if _, err := scheduler.ShiftDaily(demand, NaNRuns(signal, 3, 1, 2), cfg); err == nil {
+		t.Fatal("NaN signal accepted")
+	}
+	if _, err := scheduler.ShiftDaily(demand, Truncate(signal, n/2), cfg); !errors.Is(err, timeseries.ErrLengthMismatch) {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+
+	repaired, rep, err := corrupted.Repair(timeseries.DefaultRepairPolicy())
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if !rep.Changed() {
+		t.Fatal("repair changed nothing")
+	}
+	out, err := scheduler.ShiftDaily(repaired, signal, cfg)
+	if err != nil {
+		t.Fatalf("repaired demand rejected: %v", err)
+	}
+	if math.Abs(out.Sum()-repaired.Sum()) > 1e-6*(1+repaired.Sum()) {
+		t.Fatalf("energy not conserved after repair: %v -> %v", repaired.Sum(), out.Sum())
+	}
+}
+
+// TestChaosFleet: per-site corruption must name the site and fault class.
+func TestChaosFleet(t *testing.T) {
+	n := 48
+	mkdc := func(id string) fleet.DC {
+		return fleet.DC{
+			ID:        id,
+			Demand:    timeseries.Constant(n, 10),
+			Renewable: timeseries.Generate(n, func(h int) float64 { return float64(h % 24) }),
+			GridCI:    timeseries.Constant(n, 300),
+		}
+	}
+	cfg := fleet.Config{MigratableRatio: 0.3}
+
+	if _, err := fleet.Balance(nil, cfg); !errors.Is(err, fleet.ErrEmptyFleet) {
+		t.Fatalf("want ErrEmptyFleet, got %v", err)
+	}
+
+	bad := mkdc("B")
+	bad.Demand = NaNRuns(bad.Demand, 5, 1, 2)
+	_, err := fleet.Balance([]fleet.DC{mkdc("A"), bad}, cfg)
+	var ve *timeseries.ValueError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want *timeseries.ValueError, got %v", err)
+	}
+
+	short := mkdc("C")
+	short.Renewable = Truncate(short.Renewable, n/2)
+	if _, err := fleet.Balance([]fleet.DC{mkdc("A"), short}, cfg); !errors.Is(err, timeseries.ErrLengthMismatch) {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+// TestChaosInputsFromSeries: corrupted user data is rejected strictly and
+// accepted under the documented repair option.
+func TestChaosInputsFromSeries(t *testing.T) {
+	n := 240
+	demand := timeseries.Constant(n, 10)
+	wind := timeseries.Generate(n, func(h int) float64 { return float64(h % 12) })
+	solar := timeseries.Constant(n, 3)
+	ci := timeseries.Constant(n, 350)
+	emb := carbon.DefaultEmbodiedParams()
+	site := grid.MustSite("UT")
+
+	gappy := NaNRuns(demand, 13, 3, 4)
+	if _, err := explorer.NewInputsFromSeries(site, gappy, wind, solar, ci, emb); err == nil {
+		t.Fatal("NaN demand accepted strictly")
+	}
+	in, err := explorer.NewInputsFromSeries(site, gappy, wind, solar, ci, emb,
+		explorer.WithSeriesRepair(timeseries.DefaultRepairPolicy()))
+	if err != nil {
+		t.Fatalf("tolerant inputs failed: %v", err)
+	}
+	if err := in.Demand.Validate(); err != nil {
+		t.Fatalf("repaired demand still invalid: %v", err)
+	}
+	o, err := in.Evaluate(explorer.Design{WindMW: 20, SolarMW: 10})
+	if err != nil {
+		t.Fatalf("evaluation on repaired inputs: %v", err)
+	}
+	if math.IsNaN(o.CoveragePct) || math.IsNaN(float64(o.Total())) {
+		t.Fatal("repaired inputs produced NaN outcome — silent wrong number")
+	}
+
+	if _, err := explorer.NewInputsFromSeries(site, demand, Truncate(wind, n/2), solar, ci, emb); !errors.Is(err, timeseries.ErrLengthMismatch) {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+// TestChaosDesignValidation: non-finite design fields must be typed errors,
+// not silent NaN propagation through a whole evaluation.
+func TestChaosDesignValidation(t *testing.T) {
+	in := chaosInputs(t)
+	for _, d := range []explorer.Design{
+		{WindMW: math.NaN()},
+		{SolarMW: math.Inf(1)},
+		{WindMW: 10, BatteryMWh: math.NaN()},
+		{FlexibleRatio: math.NaN()},
+	} {
+		if _, err := in.Evaluate(d); err == nil {
+			t.Fatalf("non-finite design accepted: %+v", d)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package faultinject deterministically corrupts Carbon Explorer's inputs —
+// hourly series, CSV streams, and design evaluations — so chaos tests can
+// prove the pipeline degrades gracefully: every injected fault must surface
+// as a typed error or a documented repair, never a panic or a silent wrong
+// number.
+//
+// All corruption is seeded: the same seed always yields the same faults, so
+// a failing chaos test reproduces byte-for-byte. The package depends only on
+// timeseries and explorer types and is safe to use from any test.
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/timeseries"
+)
+
+// ErrInjected is the root of every error produced by injected faults, so
+// tests can assert a failure was theirs: errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Rand is a tiny deterministic PRNG (SplitMix64). It avoids math/rand so
+// corruption sequences are stable across Go releases.
+type Rand struct{ state uint64 }
+
+// NewRand seeds a deterministic generator.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 advances the generator.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("faultinject: Intn needs n > 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// --- Series faults ---------------------------------------------------------
+
+// NaNRuns returns a copy of s with `runs` contiguous runs of NaN samples,
+// each 1..maxRunLen hours long, at seed-determined positions. It models
+// meter dropouts.
+func NaNRuns(s timeseries.Series, seed uint64, runs, maxRunLen int) timeseries.Series {
+	out := s.Clone()
+	if out.Len() == 0 || runs <= 0 || maxRunLen <= 0 {
+		return out
+	}
+	r := NewRand(seed)
+	for g := 0; g < runs; g++ {
+		length := 1 + r.Intn(maxRunLen)
+		start := r.Intn(out.Len())
+		for k := 0; k < length && start+k < out.Len(); k++ {
+			out.Set(start+k, math.NaN())
+		}
+	}
+	return out
+}
+
+// Spikes returns a copy of s with `count` samples replaced by huge values
+// (magnitude times the series maximum, sign-flipped for odd draws), plus
+// one +Inf when count > 0. It models converter glitches.
+func Spikes(s timeseries.Series, seed uint64, count int, magnitude float64) timeseries.Series {
+	out := s.Clone()
+	if out.Len() == 0 || count <= 0 {
+		return out
+	}
+	r := NewRand(seed)
+	peak := out.MaxValue()
+	if peak == 0 {
+		peak = 1
+	}
+	for k := 0; k < count; k++ {
+		v := peak * magnitude
+		if r.Uint64()%2 == 1 {
+			v = -v
+		}
+		out.Set(r.Intn(out.Len()), v)
+	}
+	out.Set(r.Intn(out.Len()), math.Inf(1))
+	return out
+}
+
+// Truncate returns the first `hours` samples of s (all of s if hours
+// exceeds its length). It models a partial-year export.
+func Truncate(s timeseries.Series, hours int) timeseries.Series {
+	if hours >= s.Len() {
+		return s.Clone()
+	}
+	if hours < 0 {
+		hours = 0
+	}
+	return s.Slice(0, hours)
+}
+
+// --- CSV / byte-stream faults ----------------------------------------------
+
+// MangleBytes returns a copy of data with `count` seed-determined bytes
+// replaced by random bytes. It models transport corruption.
+func MangleBytes(data []byte, seed uint64, count int) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 || count <= 0 {
+		return out
+	}
+	r := NewRand(seed)
+	for k := 0; k < count; k++ {
+		out[r.Intn(len(out))] = byte(r.Uint64())
+	}
+	return out
+}
+
+// TruncateBytes returns the first frac (0..1) of data, cutting mid-line.
+// It models an interrupted download.
+func TruncateBytes(data []byte, frac float64) []byte {
+	if frac >= 1 {
+		return append([]byte(nil), data...)
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	n := int(float64(len(data)) * frac)
+	return append([]byte(nil), data[:n]...)
+}
+
+// SwapLines returns data with `count` seed-determined pairs of data lines
+// exchanged (the first line — the header — is never moved). It models
+// out-of-sequence hours.
+func SwapLines(data []byte, seed uint64, count int) []byte {
+	lines := bytes.Split(append([]byte(nil), data...), []byte("\n"))
+	if len(lines) < 4 {
+		return append([]byte(nil), data...)
+	}
+	r := NewRand(seed)
+	// Swappable range: data lines only, excluding a possibly-empty last
+	// element from a trailing newline.
+	last := len(lines) - 1
+	if len(lines[last]) > 0 {
+		last++
+	}
+	for k := 0; k < count; k++ {
+		i := 1 + r.Intn(last-1)
+		j := 1 + r.Intn(last-1)
+		lines[i], lines[j] = lines[j], lines[i]
+	}
+	return bytes.Join(lines, []byte("\n"))
+}
+
+// ReplaceFields returns data with `count` seed-determined fields of data
+// rows replaced by the given token (e.g. "NaN", "+Inf", "bogus"). The
+// header line is never touched. It models exports from tools that serialize
+// missing samples as NaN.
+func ReplaceFields(data []byte, seed uint64, count int, token string) []byte {
+	lines := bytes.Split(append([]byte(nil), data...), []byte("\n"))
+	if len(lines) < 2 {
+		return append([]byte(nil), data...)
+	}
+	r := NewRand(seed)
+	for k := 0; k < count; k++ {
+		li := 1 + r.Intn(len(lines)-1)
+		fields := bytes.Split(lines[li], []byte(","))
+		if len(fields) < 2 {
+			continue
+		}
+		// Never replace the hour column: that is a structural fault covered
+		// by SwapLines.
+		fields[1+r.Intn(len(fields)-1)] = []byte(token)
+		lines[li] = bytes.Join(fields, []byte(","))
+	}
+	return bytes.Join(lines, []byte("\n"))
+}
+
+// --- Evaluation faults ------------------------------------------------------
+
+// DesignFaults returns an explorer.Inputs.EvalHook that deterministically
+// fails approximately the given fraction of designs with a wrapped
+// ErrInjected. Whether a design fails depends only on the seed and the
+// design's own fields, so repeated sweeps fail the same designs.
+func DesignFaults(seed uint64, fraction float64) func(explorer.Design) error {
+	return func(d explorer.Design) error {
+		if designDraw(seed, d) < fraction {
+			return fmt.Errorf("%w: design {wind %.1f, solar %.1f, battery %.1f}", ErrInjected, d.WindMW, d.SolarMW, d.BatteryMWh)
+		}
+		return nil
+	}
+}
+
+// PanicFaults is DesignFaults except that selected designs panic instead of
+// returning an error — the worst-case failure a search worker must contain.
+func PanicFaults(seed uint64, fraction float64) func(explorer.Design) error {
+	return func(d explorer.Design) error {
+		if designDraw(seed, d) < fraction {
+			panic(fmt.Sprintf("faultinject: injected panic for design {wind %.1f, solar %.1f}", d.WindMW, d.SolarMW))
+		}
+		return nil
+	}
+}
+
+// designDraw hashes a design's fields with the seed into a uniform [0, 1)
+// draw.
+func designDraw(seed uint64, d explorer.Design) float64 {
+	h := seed
+	for _, f := range []float64{d.WindMW, d.SolarMW, d.BatteryMWh, d.DoD, d.FlexibleRatio, d.ExtraCapacityFrac} {
+		h ^= math.Float64bits(f)
+		h *= 0x100000001b3
+	}
+	return NewRand(h).Float64()
+}

@@ -1,0 +1,140 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/timeseries"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Fatal("different seeds collided on first draw")
+	}
+	f := NewRand(7).Float64()
+	if f < 0 || f >= 1 {
+		t.Fatalf("Float64 out of range: %v", f)
+	}
+}
+
+func TestNaNRunsDeterministic(t *testing.T) {
+	s := timeseries.Constant(100, 5)
+	a := NaNRuns(s, 9, 3, 4)
+	b := NaNRuns(s, 9, 3, 4)
+	nans := 0
+	for i := 0; i < a.Len(); i++ {
+		if math.IsNaN(a.At(i)) != math.IsNaN(b.At(i)) {
+			t.Fatal("same seed produced different gaps")
+		}
+		if math.IsNaN(a.At(i)) {
+			nans++
+		}
+	}
+	if nans == 0 {
+		t.Fatal("no NaNs injected")
+	}
+	// Receiver untouched.
+	if err := s.Validate(); err != nil {
+		t.Fatalf("NaNRuns mutated its input: %v", err)
+	}
+}
+
+func TestSpikes(t *testing.T) {
+	s := timeseries.Constant(50, 2)
+	out := Spikes(s, 1, 3, 1e9)
+	if out.Validate() == nil {
+		t.Fatal("spiked series still validates")
+	}
+	hasInf := false
+	for i := 0; i < out.Len(); i++ {
+		if math.IsInf(out.At(i), 1) {
+			hasInf = true
+		}
+	}
+	if !hasInf {
+		t.Fatal("Spikes should inject one +Inf")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	s := timeseries.Constant(48, 1)
+	if got := Truncate(s, 10).Len(); got != 10 {
+		t.Fatalf("Truncate(10) length %d", got)
+	}
+	if got := Truncate(s, 100).Len(); got != 48 {
+		t.Fatalf("Truncate beyond length = %d", got)
+	}
+	if got := Truncate(s, -1).Len(); got != 0 {
+		t.Fatalf("Truncate(-1) length %d", got)
+	}
+}
+
+func TestByteFaultsDeterministic(t *testing.T) {
+	data := []byte("hour,power_mw\n0,1.0\n1,2.0\n2,3.0\n3,4.0\n")
+	if !bytes.Equal(MangleBytes(data, 5, 4), MangleBytes(data, 5, 4)) {
+		t.Fatal("MangleBytes not deterministic")
+	}
+	if bytes.Equal(MangleBytes(data, 5, 4), data) {
+		t.Fatal("MangleBytes changed nothing")
+	}
+	if got := TruncateBytes(data, 0.5); len(got) != len(data)/2 {
+		t.Fatalf("TruncateBytes(0.5) length %d of %d", len(got), len(data))
+	}
+	swapped := SwapLines(data, 3, 2)
+	if !bytes.Equal(swapped, SwapLines(data, 3, 2)) {
+		t.Fatal("SwapLines not deterministic")
+	}
+	if !bytes.HasPrefix(swapped, []byte("hour,power_mw\n")) {
+		t.Fatal("SwapLines moved the header")
+	}
+	replaced := ReplaceFields(data, 11, 2, "NaN")
+	if !bytes.Contains(replaced, []byte("NaN")) {
+		t.Fatal("ReplaceFields injected no token")
+	}
+	if !bytes.HasPrefix(replaced, []byte("hour,power_mw\n")) {
+		t.Fatal("ReplaceFields touched the header")
+	}
+}
+
+func TestDesignFaultsFractionAndDeterminism(t *testing.T) {
+	hook := DesignFaults(77, 0.3)
+	failures := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		d := explorer.Design{WindMW: float64(i), SolarMW: float64(2 * i)}
+		err := hook(d)
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("fault not wrapped in ErrInjected: %v", err)
+			}
+			failures++
+		}
+		// Same design, same verdict.
+		if (hook(d) != nil) != (err != nil) {
+			t.Fatal("hook verdict not deterministic")
+		}
+	}
+	frac := float64(failures) / n
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("failure fraction %.2f far from 0.3", frac)
+	}
+}
+
+func TestPanicFaultsPanics(t *testing.T) {
+	hook := PanicFaults(1, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PanicFaults(_, 1.0) should panic")
+		}
+	}()
+	_ = hook(explorer.Design{WindMW: 1})
+}

@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+func testDC(id string, hours int) DC {
+	return DC{
+		ID:        id,
+		Demand:    timeseries.Constant(hours, 10),
+		Renewable: timeseries.Constant(hours, 8),
+		GridCI:    timeseries.Constant(hours, 400),
+	}
+}
+
+func TestBalanceEmptyFleet(t *testing.T) {
+	_, err := Balance(nil, Config{MigratableRatio: 0.5})
+	if !errors.Is(err, ErrEmptyFleet) {
+		t.Fatalf("want ErrEmptyFleet, got %v", err)
+	}
+}
+
+func TestBalanceEmptySeries(t *testing.T) {
+	dcs := []DC{{ID: "a"}, {ID: "b"}}
+	_, err := Balance(dcs, Config{MigratableRatio: 0.5})
+	if !errors.Is(err, ErrEmptySeries) {
+		t.Fatalf("want ErrEmptySeries, got %v", err)
+	}
+}
+
+func TestBalanceLengthMismatch(t *testing.T) {
+	a := testDC("a", 48)
+	b := testDC("b", 48)
+	b.Renewable = timeseries.Constant(24, 8)
+	_, err := Balance([]DC{a, b}, Config{MigratableRatio: 0.5})
+	if !errors.Is(err, timeseries.ErrLengthMismatch) {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+	// The error must name the offending site and series.
+	if !strings.Contains(err.Error(), "b") || !strings.Contains(err.Error(), "renewable") {
+		t.Fatalf("error does not locate the fault: %v", err)
+	}
+}
+
+func TestBalanceInvalidSamples(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*DC)
+	}{
+		{"NaN demand", func(d *DC) { d.Demand.Set(3, math.NaN()) }},
+		{"Inf renewable", func(d *DC) { d.Renewable.Set(3, math.Inf(1)) }},
+		{"negative grid CI", func(d *DC) { d.GridCI.Set(3, -1) }},
+	} {
+		a := testDC("a", 24)
+		b := testDC("b", 24)
+		tc.mutate(&b)
+		_, err := Balance([]DC{a, b}, Config{MigratableRatio: 0.5})
+		var ve *timeseries.ValueError
+		if !errors.As(err, &ve) {
+			t.Fatalf("%s: want *ValueError, got %v", tc.name, err)
+		}
+		if ve.Index != 3 {
+			t.Fatalf("%s: fault at index %d, want 3", tc.name, ve.Index)
+		}
+	}
+}
+
+func TestBalanceNegativeCapacity(t *testing.T) {
+	a := testDC("a", 24)
+	a.CapacityMW = -5
+	if _, err := Balance([]DC{a}, Config{MigratableRatio: 0.5}); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestBalanceBadConfig(t *testing.T) {
+	dcs := []DC{testDC("a", 24)}
+	for _, ratio := range []float64{-0.1, 1.5} {
+		if _, err := Balance(dcs, Config{MigratableRatio: ratio}); err == nil {
+			t.Fatalf("migratable ratio %v accepted", ratio)
+		}
+	}
+}
+
+func TestBalanceZeroCapacityMeansNoCap(t *testing.T) {
+	// CapacityMW == 0 is documented as "no cap": surplus sites with zero
+	// capacity must still accept migrated load.
+	a := testDC("a", 24) // deficit: 10 demand vs 8 renewable
+	b := DC{
+		ID:        "b",
+		Demand:    timeseries.Constant(24, 5),
+		Renewable: timeseries.Constant(24, 20),
+		GridCI:    timeseries.Constant(24, 100),
+		// CapacityMW deliberately zero.
+	}
+	res, err := Balance([]DC{a, b}, Config{MigratableRatio: 1})
+	if err != nil {
+		t.Fatalf("Balance: %v", err)
+	}
+	if res.MigratedMWh == 0 {
+		t.Fatal("zero-capacity (uncapped) sink accepted no load")
+	}
+	if res.CoverageAfterPct < res.CoverageBeforePct {
+		t.Fatalf("migration reduced coverage: %.1f%% -> %.1f%%",
+			res.CoverageBeforePct, res.CoverageAfterPct)
+	}
+}
+
+func TestBalanceConservesEnergy(t *testing.T) {
+	a := testDC("a", 24)
+	b := DC{
+		ID:        "b",
+		Demand:    timeseries.Constant(24, 5),
+		Renewable: timeseries.Constant(24, 20),
+		GridCI:    timeseries.Constant(24, 100),
+	}
+	res, err := Balance([]DC{a, b}, Config{MigratableRatio: 0.5})
+	if err != nil {
+		t.Fatalf("Balance: %v", err)
+	}
+	for h := 0; h < 24; h++ {
+		before := a.Demand.At(h) + b.Demand.At(h)
+		after := res.Loads[0].At(h) + res.Loads[1].At(h)
+		if math.Abs(before-after) > 1e-9 {
+			t.Fatalf("hour %d: fleet load changed %v -> %v", h, before, after)
+		}
+	}
+}

@@ -11,12 +11,20 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"carbonexplorer/internal/timeseries"
 	"carbonexplorer/internal/units"
 )
+
+// ErrEmptyFleet is returned by Balance when no datacenters are given.
+var ErrEmptyFleet = errors.New("fleet: empty fleet")
+
+// ErrEmptySeries is returned by Balance when the fleet's series have zero
+// length.
+var ErrEmptySeries = errors.New("fleet: empty series")
 
 // DC is one datacenter in the fleet.
 type DC struct {
@@ -34,11 +42,23 @@ type DC struct {
 	CapacityMW float64
 }
 
-// validate checks one DC against the fleet's series length.
+// validate checks one DC against the fleet's series length. Length
+// mismatches wrap timeseries.ErrLengthMismatch; NaN, infinite, or negative
+// samples wrap *timeseries.ValueError — one bad hour in one site would
+// otherwise silently corrupt the fleet-wide carbon totals.
 func (d DC) validate(hours int) error {
-	if d.Demand.Len() != hours || d.Renewable.Len() != hours || d.GridCI.Len() != hours {
-		return fmt.Errorf("fleet: %s series lengths (%d, %d, %d) != %d",
-			d.ID, d.Demand.Len(), d.Renewable.Len(), d.GridCI.Len(), hours)
+	for _, s := range []struct {
+		name string
+		s    timeseries.Series
+	}{
+		{"demand", d.Demand}, {"renewable", d.Renewable}, {"grid CI", d.GridCI},
+	} {
+		if err := s.s.CheckLength(hours); err != nil {
+			return fmt.Errorf("fleet: %s %s: %w", d.ID, s.name, err)
+		}
+		if err := s.s.Validate(); err != nil {
+			return fmt.Errorf("fleet: %s %s: %w", d.ID, s.name, err)
+		}
 	}
 	if d.CapacityMW < 0 {
 		return fmt.Errorf("fleet: %s negative capacity", d.ID)
@@ -87,11 +107,11 @@ func Balance(dcs []DC, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	if len(dcs) == 0 {
-		return Result{}, fmt.Errorf("fleet: empty fleet")
+		return Result{}, ErrEmptyFleet
 	}
 	hours := dcs[0].Demand.Len()
 	if hours == 0 {
-		return Result{}, fmt.Errorf("fleet: empty series")
+		return Result{}, ErrEmptySeries
 	}
 	for _, d := range dcs {
 		if err := d.validate(hours); err != nil {

@@ -1,0 +1,101 @@
+package scheduler
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+func TestShiftDailyLengthMismatch(t *testing.T) {
+	demand := timeseries.Constant(48, 10)
+	signal := timeseries.Constant(24, 1)
+	_, err := ShiftDaily(demand, signal, DefaultConfig())
+	if !errors.Is(err, timeseries.ErrLengthMismatch) {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+func TestShiftDailyInvalidDemand(t *testing.T) {
+	signal := timeseries.Constant(24, 1)
+
+	for _, tc := range []struct {
+		name string
+		v    float64
+	}{
+		{"NaN", math.NaN()},
+		{"+Inf", math.Inf(1)},
+		{"negative", -3},
+	} {
+		demand := timeseries.Constant(24, 10)
+		demand.Set(5, tc.v)
+		_, err := ShiftDaily(demand, signal, DefaultConfig())
+		var ve *timeseries.ValueError
+		if !errors.As(err, &ve) {
+			t.Fatalf("%s demand: want *ValueError, got %v", tc.name, err)
+		}
+		if ve.Index != 5 {
+			t.Fatalf("%s demand: error at index %d, want 5", tc.name, ve.Index)
+		}
+	}
+}
+
+func TestShiftDailySignalMaySign(t *testing.T) {
+	// Deficit signals legitimately go negative; only non-finite values are
+	// invalid.
+	demand := timeseries.Constant(24, 10)
+	signal := timeseries.Generate(24, func(h int) float64 { return float64(h - 12) })
+	if _, err := ShiftDaily(demand, signal, DefaultConfig()); err != nil {
+		t.Fatalf("signed signal rejected: %v", err)
+	}
+
+	signal.Set(0, math.NaN())
+	_, err := ShiftDaily(demand, signal, DefaultConfig())
+	var ve *timeseries.ValueError
+	if !errors.As(err, &ve) {
+		t.Fatalf("NaN signal: want *ValueError, got %v", err)
+	}
+}
+
+func TestShiftDailyBadConfig(t *testing.T) {
+	demand := timeseries.Constant(24, 10)
+	signal := timeseries.Constant(24, 1)
+	for _, cfg := range []Config{
+		{FlexibleRatio: -0.1, WindowHours: 24},
+		{FlexibleRatio: 1.1, WindowHours: 24},
+		{FlexibleRatio: 0.4, WindowHours: 0},
+		{FlexibleRatio: 0.4, WindowHours: 24, CapacityMW: -1},
+	} {
+		if _, err := ShiftDaily(demand, signal, cfg); err == nil {
+			t.Fatalf("invalid config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestShiftDailyEmptySeries(t *testing.T) {
+	out, err := ShiftDaily(timeseries.Series{}, timeseries.Series{}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("empty series should be a no-op, got %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty shift produced %d hours", out.Len())
+	}
+}
+
+func TestSimConfigValidateErrors(t *testing.T) {
+	demand := timeseries.Constant(24, 10)
+	short := timeseries.Constant(12, 5)
+	cfg := SimConfig{Demand: demand, Renewable: short}
+	if err := cfg.Validate(); !errors.Is(err, timeseries.ErrLengthMismatch) {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+
+	bad := timeseries.Constant(24, 5)
+	bad.Set(2, math.Inf(-1))
+	cfg = SimConfig{Demand: demand, Renewable: bad}
+	var ve *timeseries.ValueError
+	if err := cfg.Validate(); !errors.As(err, &ve) {
+		t.Fatalf("want *ValueError for -Inf renewable, got %v", err)
+	}
+}

@@ -54,14 +54,26 @@ func (c Config) Validate() error {
 // until all flexible load has moved or capacity is exhausted. Load is only
 // moved to an hour whose signal is strictly lower than the source hour's.
 //
+// Demand must be finite and non-negative; the signal must be finite but may
+// be signed (renewable-deficit signals go negative in surplus hours). A
+// length mismatch returns a wrapped timeseries.ErrLengthMismatch; invalid
+// samples return a wrapped *timeseries.ValueError — a NaN hour would
+// otherwise corrupt the whole window silently.
+//
 // The returned series conserves energy within each window: total load is
 // unchanged, only its placement differs.
 func ShiftDaily(demand, signal timeseries.Series, cfg Config) (timeseries.Series, error) {
 	if err := cfg.Validate(); err != nil {
 		return timeseries.Series{}, err
 	}
-	if demand.Len() != signal.Len() {
-		return timeseries.Series{}, fmt.Errorf("scheduler: demand length %d != signal length %d", demand.Len(), signal.Len())
+	if err := signal.CheckLength(demand.Len()); err != nil {
+		return timeseries.Series{}, fmt.Errorf("scheduler: demand vs signal: %w", err)
+	}
+	if err := demand.Validate(); err != nil {
+		return timeseries.Series{}, fmt.Errorf("scheduler: demand: %w", err)
+	}
+	if err := signal.ValidateFinite(); err != nil {
+		return timeseries.Series{}, fmt.Errorf("scheduler: signal: %w", err)
 	}
 	out := demand.Clone()
 	if cfg.FlexibleRatio == 0 {

@@ -30,13 +30,21 @@ type SimConfig struct {
 	DeferralWindowHours int
 }
 
-// Validate reports the first invalid field, or nil.
+// Validate reports the first invalid field, or nil. Series must be finite
+// and non-negative: one NaN hour would silently poison the year's grid-draw
+// totals.
 func (c SimConfig) Validate() error {
 	if c.Demand.Len() == 0 {
 		return fmt.Errorf("scheduler: empty demand series")
 	}
-	if c.Demand.Len() != c.Renewable.Len() {
-		return fmt.Errorf("scheduler: demand length %d != renewable length %d", c.Demand.Len(), c.Renewable.Len())
+	if err := c.Renewable.CheckLength(c.Demand.Len()); err != nil {
+		return fmt.Errorf("scheduler: demand vs renewable: %w", err)
+	}
+	if err := c.Demand.Validate(); err != nil {
+		return fmt.Errorf("scheduler: demand: %w", err)
+	}
+	if err := c.Renewable.Validate(); err != nil {
+		return fmt.Errorf("scheduler: renewable: %w", err)
 	}
 	if c.FlexibleRatio < 0 || c.FlexibleRatio > 1 {
 		return fmt.Errorf("scheduler: flexible ratio %v out of [0, 1]", c.FlexibleRatio)

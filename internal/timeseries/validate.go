@@ -1,0 +1,198 @@
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file is the data-quality layer of the time-series engine. Real hourly
+// grid and datacenter exports are noisy: meters drop out (NaN runs),
+// converters glitch (negative or infinite samples), and files arrive
+// truncated. Validate classifies such defects as typed errors; Repair
+// applies an explicit, bounded gap-filling policy so tolerant readers can
+// accept slightly damaged data without ever letting a non-finite sample
+// poison a downstream carbon total.
+
+// ValueError reports the first invalid sample found in a series.
+type ValueError struct {
+	// Index is the hour of the offending sample.
+	Index int
+	// Value is the offending sample.
+	Value float64
+	// Reason classifies the defect: "NaN", "+Inf", "-Inf", or "negative".
+	Reason string
+}
+
+func (e *ValueError) Error() string {
+	return fmt.Sprintf("timeseries: invalid sample at hour %d: %s (%v)", e.Index, e.Reason, e.Value)
+}
+
+// ErrGapTooLong is returned (wrapped) by Repair when a run of invalid
+// samples exceeds the policy's MaxGapHours.
+var ErrGapTooLong = errors.New("timeseries: gap too long to repair")
+
+// ErrAllInvalid is returned (wrapped) by Repair when a series contains no
+// valid sample to interpolate from.
+var ErrAllInvalid = errors.New("timeseries: no valid samples")
+
+// classify returns the defect class of v, or "" for a valid (finite,
+// non-negative) sample.
+func classify(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v < 0:
+		return "negative"
+	}
+	return ""
+}
+
+// Validate returns a *ValueError for the first NaN, infinite, or negative
+// sample, or nil if every sample is finite and non-negative. All of Carbon
+// Explorer's physical series (demand, generation, carbon intensity) must
+// satisfy this.
+func (s Series) Validate() error {
+	for i, v := range s.values {
+		if reason := classify(v); reason != "" {
+			return &ValueError{Index: i, Value: v, Reason: reason}
+		}
+	}
+	return nil
+}
+
+// ValidateFinite returns a *ValueError for the first NaN or infinite
+// sample, or nil. Unlike Validate it permits negative samples, for signal
+// series (e.g. renewable deficits) that are legitimately signed.
+func (s Series) ValidateFinite() error {
+	for i, v := range s.values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &ValueError{Index: i, Value: v, Reason: classify(v)}
+		}
+	}
+	return nil
+}
+
+// CheckLength returns a wrapped ErrLengthMismatch unless the series has
+// exactly n samples.
+func (s Series) CheckLength(n int) error {
+	if len(s.values) != n {
+		return fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(s.values), n)
+	}
+	return nil
+}
+
+// RepairPolicy bounds what Repair may fix. The zero value repairs nothing;
+// use DefaultRepairPolicy for the standard tolerant-read setting.
+type RepairPolicy struct {
+	// MaxGapHours is the longest run of invalid samples Repair may fill by
+	// interpolation. Longer runs are reported as a wrapped ErrGapTooLong —
+	// data that damaged should be fixed at the source, not papered over.
+	MaxGapHours int
+	// ClampNegative, when set, clamps negative samples to zero instead of
+	// treating them as gaps. Small negative readings are common metering
+	// noise; large negative runs usually indicate sign errors and are better
+	// treated as gaps (leave this false to interpolate them).
+	ClampNegative bool
+}
+
+// DefaultRepairPolicy fills gaps up to 6 hours and clamps negative noise.
+func DefaultRepairPolicy() RepairPolicy {
+	return RepairPolicy{MaxGapHours: 6, ClampNegative: true}
+}
+
+// RepairReport accounts for every change Repair made, so callers can log or
+// surface exactly how the data was altered.
+type RepairReport struct {
+	// Interpolated is the number of samples filled by linear interpolation
+	// (or edge extension at the series boundaries).
+	Interpolated int
+	// Clamped is the number of negative samples raised to zero.
+	Clamped int
+	// Gaps is the number of contiguous invalid runs that were filled.
+	Gaps int
+	// LongestGap is the length in hours of the longest filled run.
+	LongestGap int
+}
+
+// Changed reports whether the repair altered any sample.
+func (r RepairReport) Changed() bool { return r.Interpolated > 0 || r.Clamped > 0 }
+
+// Repair returns a copy of the series with invalid samples (NaN, ±Inf, and
+// negatives per the policy) repaired, plus an accounting of every change.
+// Interior gaps no longer than MaxGapHours are filled by linear
+// interpolation between the nearest valid neighbours; gaps touching either
+// end of the series extend the nearest valid sample. Longer gaps return a
+// wrapped ErrGapTooLong naming the gap, and a series with no valid sample at
+// all returns a wrapped ErrAllInvalid.
+func (s Series) Repair(p RepairPolicy) (Series, RepairReport, error) {
+	out := s.Clone()
+	var rep RepairReport
+
+	bad := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		return v < 0 && !p.ClampNegative
+	}
+
+	if p.ClampNegative {
+		for i, v := range out.values {
+			if v < 0 && !math.IsInf(v, -1) && !math.IsNaN(v) {
+				out.values[i] = 0
+				rep.Clamped++
+			}
+		}
+	}
+
+	for i := 0; i < len(out.values); {
+		if !bad(out.values[i]) {
+			i++
+			continue
+		}
+		// Found a gap [i, j).
+		j := i
+		for j < len(out.values) && bad(out.values[j]) {
+			j++
+		}
+		gapLen := j - i
+		if gapLen > p.MaxGapHours {
+			return Series{}, RepairReport{}, fmt.Errorf(
+				"%w: %d invalid samples at hours [%d, %d), policy allows %d",
+				ErrGapTooLong, gapLen, i, j, p.MaxGapHours)
+		}
+		switch {
+		case i == 0 && j == len(out.values):
+			return Series{}, RepairReport{}, fmt.Errorf(
+				"%w: all %d samples invalid", ErrAllInvalid, gapLen)
+		case i == 0:
+			// Leading gap: hold the first valid sample backwards.
+			for k := i; k < j; k++ {
+				out.values[k] = out.values[j]
+			}
+		case j == len(out.values):
+			// Trailing gap: hold the last valid sample forwards.
+			for k := i; k < j; k++ {
+				out.values[k] = out.values[i-1]
+			}
+		default:
+			// Interior gap: linear interpolation between the neighbours.
+			lo, hi := out.values[i-1], out.values[j]
+			for k := i; k < j; k++ {
+				frac := float64(k-i+1) / float64(gapLen+1)
+				out.values[k] = lo + (hi-lo)*frac
+			}
+		}
+		rep.Interpolated += gapLen
+		rep.Gaps++
+		if gapLen > rep.LongestGap {
+			rep.LongestGap = gapLen
+		}
+		i = j
+	}
+	return out, rep, nil
+}

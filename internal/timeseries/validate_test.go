@@ -1,0 +1,147 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := FromValues([]float64{0, 1, 2.5}).Validate(); err != nil {
+		t.Fatalf("valid series rejected: %v", err)
+	}
+	if err := New(0).Validate(); err != nil {
+		t.Fatalf("empty series rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		values []float64
+		index  int
+		reason string
+	}{
+		{"NaN", []float64{1, math.NaN(), 2}, 1, "NaN"},
+		{"+Inf", []float64{math.Inf(1)}, 0, "+Inf"},
+		{"-Inf", []float64{0, 0, math.Inf(-1)}, 2, "-Inf"},
+		{"negative", []float64{1, -0.5}, 1, "negative"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := FromValues(c.values).Validate()
+			var ve *ValueError
+			if !errors.As(err, &ve) {
+				t.Fatalf("want *ValueError, got %v", err)
+			}
+			if ve.Index != c.index || ve.Reason != c.reason {
+				t.Fatalf("got index %d reason %q, want %d %q", ve.Index, ve.Reason, c.index, c.reason)
+			}
+		})
+	}
+}
+
+func TestValidateFinite(t *testing.T) {
+	if err := FromValues([]float64{-5, 0, 5}).ValidateFinite(); err != nil {
+		t.Fatalf("signed finite series rejected: %v", err)
+	}
+	err := FromValues([]float64{-5, math.NaN()}).ValidateFinite()
+	var ve *ValueError
+	if !errors.As(err, &ve) || ve.Index != 1 {
+		t.Fatalf("want *ValueError at 1, got %v", err)
+	}
+}
+
+func TestCheckLength(t *testing.T) {
+	if err := New(5).CheckLength(5); err != nil {
+		t.Fatalf("matching length rejected: %v", err)
+	}
+	if err := New(5).CheckLength(6); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+func TestRepairInteriorGap(t *testing.T) {
+	s := FromValues([]float64{1, math.NaN(), math.NaN(), math.NaN(), 5})
+	got, rep, err := s.Repair(RepairPolicy{MaxGapHours: 3})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	want := FromValues([]float64{1, 2, 3, 4, 5})
+	if !got.Equal(want, 1e-9) {
+		t.Fatalf("got %v, want %v", got.Values(), want.Values())
+	}
+	if rep.Interpolated != 3 || rep.Gaps != 1 || rep.LongestGap != 3 {
+		t.Fatalf("report %+v", rep)
+	}
+	if !rep.Changed() {
+		t.Fatal("Changed should be true")
+	}
+	// Original untouched.
+	if !math.IsNaN(s.At(1)) {
+		t.Fatal("Repair mutated its receiver")
+	}
+}
+
+func TestRepairEdgeGaps(t *testing.T) {
+	s := FromValues([]float64{math.NaN(), math.NaN(), 4, 6, math.Inf(1)})
+	got, rep, err := s.Repair(RepairPolicy{MaxGapHours: 2})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	want := FromValues([]float64{4, 4, 4, 6, 6})
+	if !got.Equal(want, 1e-9) {
+		t.Fatalf("got %v, want %v", got.Values(), want.Values())
+	}
+	if rep.Gaps != 2 || rep.Interpolated != 3 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestRepairClampNegative(t *testing.T) {
+	s := FromValues([]float64{1, -0.2, 3})
+	got, rep, err := s.Repair(DefaultRepairPolicy())
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got.At(1) != 0 || rep.Clamped != 1 {
+		t.Fatalf("got %v, report %+v", got.Values(), rep)
+	}
+	// Without clamping, negatives interpolate like gaps.
+	got, rep, err = s.Repair(RepairPolicy{MaxGapHours: 1})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got.At(1) != 2 || rep.Interpolated != 1 {
+		t.Fatalf("got %v, report %+v", got.Values(), rep)
+	}
+}
+
+func TestRepairGapTooLong(t *testing.T) {
+	s := FromValues([]float64{1, math.NaN(), math.NaN(), 4})
+	_, _, err := s.Repair(RepairPolicy{MaxGapHours: 1})
+	if !errors.Is(err, ErrGapTooLong) {
+		t.Fatalf("want ErrGapTooLong, got %v", err)
+	}
+	// Zero-value policy repairs nothing.
+	_, _, err = s.Repair(RepairPolicy{})
+	if !errors.Is(err, ErrGapTooLong) {
+		t.Fatalf("want ErrGapTooLong under zero policy, got %v", err)
+	}
+}
+
+func TestRepairAllInvalid(t *testing.T) {
+	s := FromValues([]float64{math.NaN(), math.NaN()})
+	_, _, err := s.Repair(RepairPolicy{MaxGapHours: 10})
+	if !errors.Is(err, ErrAllInvalid) {
+		t.Fatalf("want ErrAllInvalid, got %v", err)
+	}
+}
+
+func TestRepairCleanSeriesUnchanged(t *testing.T) {
+	s := FromValues([]float64{1, 2, 3})
+	got, rep, err := s.Repair(DefaultRepairPolicy())
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if rep.Changed() || !got.Equal(s, 0) {
+		t.Fatalf("clean series altered: %v, %+v", got.Values(), rep)
+	}
+}
