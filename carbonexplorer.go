@@ -44,6 +44,7 @@ import (
 	"carbonexplorer/internal/grid"
 	"carbonexplorer/internal/netzero"
 	"carbonexplorer/internal/scheduler"
+	"carbonexplorer/internal/sweep"
 	"carbonexplorer/internal/timeseries"
 	"carbonexplorer/internal/units"
 	"carbonexplorer/internal/workload"
@@ -203,6 +204,40 @@ func AllStrategies() []Strategy { return explorer.AllStrategies() }
 // (operational, embodied) carbon plane, sorted by increasing embodied
 // carbon.
 func ParetoFrontier(points []Outcome) []Outcome { return explorer.ParetoFrontier(points) }
+
+// Streaming sweep types (internal/sweep): bounded-memory, checkpointable,
+// retrying design-space sweeps for grids too dense to materialize.
+type (
+	// SweepOptions configures a streaming sweep: batch size (peak resident
+	// outcomes), checkpoint path and cadence, resume, and retry policy.
+	SweepOptions = sweep.Options
+	// SweepResult is the streamed optimum, Pareto frontier, and accounting.
+	SweepResult = sweep.Result
+	// SweepReport accounts for every design: evaluated, restored from
+	// checkpoint, retried, recovered, failed, or skipped.
+	SweepReport = sweep.Report
+)
+
+// Sweep checkpoint errors.
+var (
+	// ErrCheckpointVersion reports a checkpoint from an incompatible schema
+	// version.
+	ErrCheckpointVersion = sweep.ErrCheckpointVersion
+	// ErrCheckpointMismatch reports a checkpoint that describes a different
+	// sweep (site, strategy, space, or inputs changed).
+	ErrCheckpointMismatch = sweep.ErrCheckpointMismatch
+)
+
+// RunSweep executes a streaming sweep of the space under the strategy:
+// designs are evaluated in bounded batches and folded into a running
+// optimum and Pareto frontier, so memory stays flat in grid density. With a
+// checkpoint configured in opts, an interrupted sweep resumes where it
+// stopped and converges to the same result as an uninterrupted run; failed
+// designs are retried once before exclusion. See internal/sweep for the
+// checkpoint format.
+func RunSweep(ctx context.Context, in *Inputs, space Space, strategy Strategy, opts SweepOptions) (SweepResult, error) {
+	return sweep.Run(ctx, in, space, strategy, opts)
+}
 
 // DefaultEmbodiedParams returns the paper's Section 5.1 assumptions.
 func DefaultEmbodiedParams() EmbodiedParams { return carbon.DefaultEmbodiedParams() }

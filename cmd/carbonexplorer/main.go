@@ -7,7 +7,13 @@
 //	carbonexplorer coverage -site UT -wind 239 -solar 694
 //	carbonexplorer evaluate -site UT -wind 239 -solar 694 -battery-hours 4 -flex 0.4 -extra-capacity 0.25
 //	carbonexplorer optimize -site UT -strategy all
+//	carbonexplorer optimize -site UT -strategy all -checkpoint sweep.json -resume
 //	carbonexplorer figure 8
+//
+// optimize runs as a streaming sweep (internal/sweep): memory is bounded by
+// -batch regardless of grid density, failed designs are retried once (disable
+// with -no-retry), and with -checkpoint an interrupted sweep — Ctrl-C, a
+// timeout, or a crash — persists its progress and continues with -resume.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"carbonexplorer/internal/experiments"
 	"carbonexplorer/internal/explorer"
 	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/sweep"
 )
 
 func main() {
@@ -88,7 +95,8 @@ subcommands:
   sites        list the thirteen datacenter sites (Table 1)
   coverage     24/7 renewable coverage for a wind/solar investment
   evaluate     full carbon evaluation of one design
-  optimize     exhaustive search for the carbon-optimal design
+  optimize     streaming search for the carbon-optimal design
+               (-checkpoint/-resume persist progress; -batch bounds memory)
   figure       regenerate a paper figure/table (1,3,4,5,6,7,8,9,10,11,12,14,15,16)
   study        run an analysis study: dod | cas-gains | total-reduction |
                netzero | forecast | battery-tech | tiered | geo | dispatch |
@@ -196,11 +204,21 @@ func cmdOptimize(ctx context.Context, args []string) error {
 	siteID := fs.String("site", "UT", "site ID")
 	strategyName := fs.String("strategy", "all", "renewables | battery | cas | all")
 	timeout := fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit), printing partial results")
+	checkpoint := fs.String("checkpoint", "", "persist sweep progress to this file (JSON, versioned); an interrupted sweep can continue with -resume")
+	resume := fs.Bool("resume", false, "resume the sweep recorded in -checkpoint instead of starting over")
+	batch := fs.Int("batch", 0, "designs evaluated per batch — the peak number of outcomes held in memory (0 = default)")
+	noRetry := fs.Bool("no-retry", false, "exclude a design after its first failure instead of retrying it once")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *timeout < 0 {
 		return fmt.Errorf("flag -timeout: negative duration %v", *timeout)
+	}
+	if *batch < 0 {
+		return fmt.Errorf("flag -batch: negative batch size %d", *batch)
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("flag -resume requires -checkpoint")
 	}
 	var strategy explorer.Strategy
 	switch strings.ToLower(*strategyName) {
@@ -224,7 +242,12 @@ func cmdOptimize(ctx context.Context, args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := in.SearchContext(ctx, explorer.DefaultSpace(in), strategy)
+	res, err := sweep.Run(ctx, in, explorer.DefaultSpace(in), strategy, sweep.Options{
+		BatchSize:      *batch,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+		NoRetry:        *noRetry,
+	})
 	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	if err != nil && !interrupted {
 		return err
@@ -232,11 +255,23 @@ func cmdOptimize(ctx context.Context, args []string) error {
 	if interrupted && res.Report.Evaluated == 0 {
 		return fmt.Errorf("sweep interrupted before any design finished: %w", err)
 	}
+	if res.Resumed {
+		fmt.Printf("resumed from %s: %d designs restored\n", *checkpoint, res.Report.Restored)
+	}
 	if interrupted {
 		fmt.Printf("sweep interrupted (%v) — partial results over %d evaluated designs (%d skipped)\n",
 			err, res.Report.Evaluated, res.Report.Skipped)
+		if *checkpoint != "" {
+			fmt.Printf("progress saved to %s; continue with: optimize -site %s -strategy %s -checkpoint %s -resume\n",
+				*checkpoint, *siteID, *strategyName, *checkpoint)
+		}
 	}
-	fmt.Printf("strategy %s: %d designs evaluated\n", strategy, len(res.Points))
+	fmt.Printf("strategy %s: %d designs evaluated, %d on the Pareto frontier\n",
+		strategy, res.Report.Evaluated, len(res.Frontier))
+	if res.Report.Retried > 0 {
+		fmt.Printf("%d designs retried after a transient failure, %d recovered\n",
+			res.Report.Retried, res.Report.Recovered)
+	}
 	if n := len(res.Report.Failures); n > 0 {
 		fmt.Printf("%d designs failed and were excluded; first: %v\n", n, res.Report.Failures[0])
 	}

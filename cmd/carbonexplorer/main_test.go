@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -113,6 +115,47 @@ func TestOptimizeCompletesWithGenerousTimeout(t *testing.T) {
 	start := time.Now()
 	if err := runBg("optimize", "-site", "UT", "-strategy", "renewables", "-timeout", "10m"); err != nil {
 		t.Fatalf("optimize with generous timeout failed after %v: %v", time.Since(start), err)
+	}
+}
+
+func TestOptimizeFlagValidation(t *testing.T) {
+	if err := runBg("optimize", "-batch", "-1"); err == nil {
+		t.Fatal("negative batch size accepted")
+	}
+	if err := runBg("optimize", "-resume"); err == nil {
+		t.Fatal("-resume without -checkpoint accepted")
+	}
+}
+
+func TestOptimizeCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	ckpt := filepath.Join(t.TempDir(), "sweep.json")
+
+	// Interrupt a checkpointed sweep before it starts: even then the sweep
+	// must persist its state so -resume can pick it up. (Mid-sweep resume
+	// equivalence is covered by the sweep and faultinject package tests.)
+	err := runBg("optimize", "-site", "UT", "-strategy", "renewables",
+		"-checkpoint", ckpt, "-batch", "4", "-timeout", "1ns")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if _, statErr := os.Stat(ckpt); statErr != nil {
+		t.Fatalf("interrupted sweep left no checkpoint: %v", statErr)
+	}
+
+	// Resume must finish the sweep from the file.
+	if err := runBg("optimize", "-site", "UT", "-strategy", "renewables",
+		"-checkpoint", ckpt, "-resume"); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+
+	// Resuming the same checkpoint under a different strategy must be
+	// rejected, not silently mixed.
+	if err := runBg("optimize", "-site", "UT", "-strategy", "battery",
+		"-checkpoint", ckpt, "-resume"); err == nil {
+		t.Fatal("checkpoint resumed under a different strategy")
 	}
 }
 

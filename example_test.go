@@ -1,8 +1,10 @@
 package carbonexplorer_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math"
 
 	"carbonexplorer"
 )
@@ -41,6 +43,46 @@ func ExampleNewBattery() {
 	// Output:
 	// usable 8 MWh of 10 MWh at 80% DoD
 	// delivered 7.8 MW for one hour
+}
+
+// ExampleRunSweep streams a small design grid through the resumable sweep
+// engine. Passing SweepOptions.CheckpointPath would additionally persist
+// progress so an interrupted sweep can continue with Resume: true.
+func ExampleRunSweep() {
+	site := carbonexplorer.MustSite("UT")
+	n := 240 // ten synthetic days
+	demand := carbonexplorer.ConstantSeries(n, 12)
+	wind := carbonexplorer.GenerateSeries(n, func(h int) float64 {
+		return 0.5 + 0.4*math.Sin(2*math.Pi*float64(h)/31)
+	})
+	solar := carbonexplorer.GenerateSeries(n, func(h int) float64 {
+		if h%24 >= 7 && h%24 < 17 {
+			return 0.9
+		}
+		return 0
+	})
+	ci := carbonexplorer.ConstantSeries(n, 400)
+	in, err := carbonexplorer.NewInputsFromSeries(site, demand, wind, solar, ci,
+		carbonexplorer.DefaultEmbodiedParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	space := carbonexplorer.Space{
+		WindMW:  []float64{0, 20, 40, 60},
+		SolarMW: []float64{0, 20, 40, 60},
+	}
+	res, err := carbonexplorer.RunSweep(context.Background(), in, space,
+		carbonexplorer.RenewablesOnly, carbonexplorer.SweepOptions{BatchSize: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluated %d designs, %d on the Pareto frontier\n",
+		res.Report.Evaluated, len(res.Frontier))
+	fmt.Printf("optimum: %.0f MW wind + %.0f MW solar\n",
+		res.Optimal.Design.WindMW, res.Optimal.Design.SolarMW)
+	// Output:
+	// evaluated 16 designs, 5 on the Pareto frontier
+	// optimum: 60 MW wind + 0 MW solar
 }
 
 // ExampleNetZeroSummarize shows the Net Zero vs 24/7 accounting gap on a

@@ -1,14 +1,3 @@
-// Package battery implements the C/L/C lithium-ion storage model the paper
-// adopts from Kazhamiaka et al. ("Tractable lithium-ion storage models for
-// optimizing energy systems"): energy-content limits, charge/discharge
-// efficiency losses, power limits linear in the battery's capacity (C-rate),
-// and a configurable depth-of-discharge floor. Parameters default to a
-// Lithium Iron Phosphate (LFP) cell, the chemistry used for large stationary
-// storage.
-//
-// The model is modular by design — the paper emphasizes that other storage
-// technologies (e.g. sodium-ion) can be swapped in through the same API — so
-// all chemistry-specific behaviour lives in Params.
 package battery
 
 import (

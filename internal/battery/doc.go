@@ -1,0 +1,16 @@
+// Package battery implements the C/L/C lithium-ion storage model the paper
+// adopts from Kazhamiaka et al. ("Tractable lithium-ion storage models for
+// optimizing energy systems"): energy-content limits, charge/discharge
+// efficiency losses, power limits linear in the battery's capacity (C-rate),
+// and a configurable depth-of-discharge floor. Parameters default to a
+// Lithium Iron Phosphate (LFP) cell, the chemistry used for large stationary
+// storage.
+//
+// This is the storage solution of the paper's Section 4.2: batteries charge
+// from renewable surpluses and discharge during supply valleys, raising 24/7
+// coverage (Figure 9 sizes them in hours of average compute; Figure 16 shows
+// the resulting charge-level distribution). The model is modular by design —
+// the paper emphasizes that other storage technologies (e.g. sodium-ion) can
+// be swapped in through the same API — so all chemistry-specific behaviour
+// lives in Params.
+package battery

@@ -1,0 +1,13 @@
+// Package carbon holds Carbon Explorer's carbon-accounting models: the
+// lifecycle carbon intensity of grid energy sources (the paper's Table 2),
+// the embodied-carbon models for wind/solar farms, lithium-ion batteries,
+// and servers (Section 5.1), and the amortization rules that convert
+// manufacturing footprints into annual carbon costs.
+//
+// Operational carbon is grid energy times hourly carbon intensity; embodied
+// carbon is what the paper's holistic analysis adds on top — the
+// manufacturing footprint of the very equipment (farms, cells, extra
+// servers) deployed to cut operational carbon, amortized over its lifetime.
+// The explorer package combines both into the total that Figures 14 and 15
+// minimize.
+package carbon

@@ -1,8 +1,3 @@
-// Package carbon holds Carbon Explorer's carbon-accounting models: the
-// lifecycle carbon intensity of grid energy sources (the paper's Table 2),
-// the embodied-carbon models for wind/solar farms, lithium-ion batteries,
-// and servers (Section 5.1), and the amortization rules that convert
-// manufacturing footprints into annual carbon costs.
 package carbon
 
 import (

@@ -1,6 +1,3 @@
-// Package chart renders hourly series as ASCII line charts and sparklines
-// for terminal reports — the closest a CLI reproduction gets to the paper's
-// figures. It is deliberately dependency-free and deterministic.
 package chart
 
 import (

@@ -1,0 +1,6 @@
+// Package chart renders hourly series as ASCII line charts and sparklines
+// for terminal reports — the closest a CLI reproduction gets to the paper's
+// figures (the experiments package uses it for the chart variants of
+// Figures 1, 6, and 11). It is deliberately dependency-free and
+// deterministic.
+package chart

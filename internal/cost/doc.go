@@ -1,0 +1,7 @@
+// Package cost adds the capital-expenditure dimension the paper gestures at
+// but does not model: it prices a datacenter design's renewable farms
+// (per installed watt), battery (per kWh — the paper cites $350/kWh for
+// utility-scale storage in Section 6), and extra servers, enabling
+// carbon-versus-cost trade-off analysis on top of Carbon Explorer's
+// carbon-versus-carbon one.
+package cost

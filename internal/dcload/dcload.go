@@ -1,10 +1,3 @@
-// Package dcload models hyperscale datacenter power demand. It substitutes
-// for the Meta production traces the paper consumes, reproducing their
-// published shape (Section 3.1): CPU utilization swings about 20 percentage
-// points over the day, while datacenter power — a linear function of
-// utilization with a large idle intercept — swings only about 4% between its
-// daily maximum and minimum. Weekly patterns, special-event peaks, and noise
-// are layered on top.
 package dcload
 
 import (

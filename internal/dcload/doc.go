@@ -1,0 +1,13 @@
+// Package dcload models hyperscale datacenter power demand. It substitutes
+// for the Meta production traces the paper consumes, reproducing their
+// published shape (Section 3.1, Figure 3): CPU utilization swings about 20
+// percentage points over the day, while datacenter power — a linear function
+// of utilization with a large idle intercept — swings only about 4% between
+// its daily maximum and minimum. Weekly patterns, special-event peaks, and
+// noise are layered on top.
+//
+// The package also loads measured demand traces from CSV. LoadPowerCSV is
+// strict; LoadPowerCSVTolerant repairs bounded defects (NaN runs, negative
+// noise) under a timeseries.RepairPolicy and reports every altered hour, so
+// real exports with meter dropouts remain usable without silent data edits.
+package dcload

@@ -1,0 +1,50 @@
+package dcload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"carbonexplorer/internal/timeseries"
+)
+
+// FuzzRepairIdempotent mirrors the eiacsv property for the power-trace
+// loader: any input LoadPowerCSVTolerant accepts must, once written back,
+// re-read with zero repairs and re-write byte-identically. One repair pass
+// reaches a fixed point.
+func FuzzRepairIdempotent(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WritePowerCSV(&buf, timeseries.Constant(48, 25)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("hour,power_mw\n0,10\n1,NaN\n2,12\n")
+	f.Add("hour,power_mw\n0,-0.3\n1,5\n2,+Inf\n3,5\n")
+	f.Add("hour,power_mw\n0,1.23456789\n1,1e-9\n2,0.00005\n")
+	f.Add("hour,power_mw\n0,NaN\n1,NaN\n2,7\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		s1, _, err := LoadPowerCSVTolerant(strings.NewReader(input), timeseries.DefaultRepairPolicy())
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := WritePowerCSV(&first, s1); err != nil {
+			t.Fatalf("writing repaired trace: %v", err)
+		}
+		s2, rep2, err := LoadPowerCSVTolerant(bytes.NewReader(first.Bytes()), timeseries.DefaultRepairPolicy())
+		if err != nil {
+			t.Fatalf("re-reading repaired trace: %v", err)
+		}
+		if rep2.Changed() {
+			t.Errorf("second repair altered the trace: %+v", rep2.Details)
+		}
+		var second bytes.Buffer
+		if err := WritePowerCSV(&second, s2); err != nil {
+			t.Fatalf("re-writing repaired trace: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("repair not idempotent: second write differs byte-wise from first")
+		}
+	})
+}

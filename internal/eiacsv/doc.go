@@ -1,0 +1,23 @@
+// Package eiacsv reads and writes hourly grid data in a CSV schema modelled
+// on the EIA Hourly Grid Monitor exports the paper consumes (Section 3's
+// grid analysis is built on this feed). It lets users replace Carbon
+// Explorer's synthetic grid years with real data: write a synthetic year to
+// CSV to inspect it, or read a CSV (converted from an EIA export) to drive
+// the explorer with measured generation.
+//
+// Schema (one row per hour, header required):
+//
+//	hour,demand_mw,wind_mw,solar_mw,water_mw,oil_mw,natural_gas_mw,coal_mw,nuclear_mw,other_mw,curtailed_mw,potential_wind_mw,potential_solar_mw
+//
+// The potential_* columns are pre-curtailment weather-driven generation,
+// used when projecting datacenter PPA investments. When converting real EIA
+// exports (which report dispatched generation only), set them equal to the
+// wind_mw/solar_mw columns.
+//
+// Read is strict: any non-finite, negative, or out-of-sequence sample is a
+// typed error. ReadTolerant instead repairs bounded defects under a
+// timeseries.RepairPolicy and returns a ReadReport listing, per column and
+// per hour, exactly which samples were interpolated, clamped, or held —
+// repair is an audited transformation, never a silent one. Repair is
+// idempotent: re-reading a written repaired year changes nothing.
+package eiacsv

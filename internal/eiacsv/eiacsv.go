@@ -1,17 +1,3 @@
-// Package eiacsv reads and writes hourly grid data in a CSV schema modelled
-// on the EIA Hourly Grid Monitor exports the paper consumes. It lets users
-// replace Carbon Explorer's synthetic grid years with real data: write a
-// synthetic year to CSV to inspect it, or read a CSV (converted from an EIA
-// export) to drive the explorer with measured generation.
-//
-// Schema (one row per hour, header required):
-//
-//	hour,demand_mw,wind_mw,solar_mw,water_mw,oil_mw,natural_gas_mw,coal_mw,nuclear_mw,other_mw,curtailed_mw,potential_wind_mw,potential_solar_mw
-//
-// The potential_* columns are pre-curtailment weather-driven generation,
-// used when projecting datacenter PPA investments. When converting real EIA
-// exports (which report dispatched generation only), set them equal to the
-// wind_mw/solar_mw columns.
 package eiacsv
 
 import (

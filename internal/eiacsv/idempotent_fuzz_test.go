@@ -1,0 +1,66 @@
+package eiacsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/timeseries"
+)
+
+// FuzzRepairIdempotent is the property-based test that tolerant repair is
+// idempotent: for any input ReadTolerant accepts, writing the repaired year
+// and reading it tolerantly again must perform zero repairs, and writing
+// that second year must be byte-identical to the first write. Repair
+// converges after one application — re-processing a repaired file can never
+// drift the data.
+func FuzzRepairIdempotent(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Write(&buf, grid.GenerateYear(grid.MustProfile("PNM"))); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid[:min(len(valid), 4096)])
+	// Damaged-but-repairable years: NaN gaps, infinities, negative noise.
+	f.Add(strings.Join(header, ",") +
+		"\n0,1,1,1,1,1,1,1,1,1,1,1,1" +
+		"\n1,NaN,1,1,1,1,1,1,1,1,1,1,1" +
+		"\n2,1,1,1,1,1,1,1,1,1,1,1,1\n")
+	f.Add(strings.Join(header, ",") +
+		"\n0,5,-0.2,1,1,1,1,1,1,1,1,1,1" +
+		"\n1,5,+Inf,1,1,1,1,1,1,1,1,1,1" +
+		"\n2,5,3,1,1,1,1,1,1,1,1,1,1\n")
+	f.Add(strings.Join(header, ",") +
+		"\n0,NaN,1,1,1,1,1,1,1,1,1,1,1" +
+		"\n1,2,1,1,1,1,1,1,1,1,1,1,1\n")
+	// Values the %.3f quantization of Write rounds: the second write must
+	// still be stable because the first write already quantized them.
+	f.Add(strings.Join(header, ",") +
+		"\n0,1.23456789,1e-9,0.0005,1,1,1,1,1,1,1,1,1\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		y1, _, err := ReadTolerant(strings.NewReader(input), "FZ", timeseries.DefaultRepairPolicy())
+		if err != nil {
+			return // rejection is outside this property
+		}
+		var first bytes.Buffer
+		if err := Write(&first, y1); err != nil {
+			t.Fatalf("writing repaired year: %v", err)
+		}
+		y2, rep2, err := ReadTolerant(bytes.NewReader(first.Bytes()), "FZ", timeseries.DefaultRepairPolicy())
+		if err != nil {
+			t.Fatalf("re-reading repaired year: %v", err)
+		}
+		for col, r := range rep2.Repairs {
+			t.Errorf("second repair altered column %s: %+v", col, r.Details)
+		}
+		var second bytes.Buffer
+		if err := Write(&second, y2); err != nil {
+			t.Fatalf("re-writing repaired year: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("repair not idempotent: second write differs byte-wise from first")
+		}
+	})
+}

@@ -1,0 +1,8 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from Carbon Explorer's models — Table 1's sites through Figure
+// 16's battery charge levels — plus the extension studies the CLI exposes
+// (cost, robustness, forecasting, multi-year horizon, and others). Each
+// Figure/Table function returns a printable Table (and, where useful,
+// richer data); the bench harness at the repository root and cmd/report
+// both drive these generators.
+package experiments

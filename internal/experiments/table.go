@@ -1,8 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation from Carbon Explorer's models. Each Figure/Table function
-// returns a printable Table (and, where useful, richer data); the bench
-// harness at the repository root and cmd/report both drive these
-// generators.
 package experiments
 
 import (

@@ -54,9 +54,12 @@ func EnsembleEvaluateContext(ctx context.Context, site grid.Site, d Design, year
 		if err != nil {
 			return EnsembleResult{}, err
 		}
-		o, err := in.Evaluate(d)
+		// EvaluateSafe contains panics to the offending year: an ensemble
+		// is often run unattended over many sites, and one hostile weather
+		// realization should surface as an error, not kill the process.
+		o, err := in.EvaluateSafe(d)
 		if err != nil {
-			return EnsembleResult{}, err
+			return EnsembleResult{}, fmt.Errorf("explorer: ensemble year %d: %w", y, err)
 		}
 		res.Outcomes = append(res.Outcomes, o)
 		coverages = append(coverages, o.CoveragePct)

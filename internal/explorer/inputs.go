@@ -1,9 +1,3 @@
-// Package explorer is Carbon Explorer's core: it evaluates datacenter
-// designs — combinations of renewable-energy investment, battery capacity,
-// and extra server capacity for carbon-aware scheduling — against hourly
-// supply and demand data, accounts for operational and embodied carbon, and
-// searches the design space for the carbon-optimal configuration (the
-// pipeline of the paper's Figures 2 and 13).
 package explorer
 
 import (

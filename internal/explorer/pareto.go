@@ -1,0 +1,58 @@
+package explorer
+
+import "sort"
+
+// ParetoSet incrementally maintains the Pareto frontier in the
+// (operational, embodied) carbon plane as outcomes are folded in one at a
+// time. It is the streaming counterpart to ParetoFrontier: folding every
+// point of a sweep through Add yields the same frontier as calling
+// ParetoFrontier on the materialized slice, but the set only ever holds the
+// currently non-dominated points — bounded by the frontier size, not the
+// sweep size. The sweep engine (internal/sweep) uses it to keep memory flat
+// over arbitrarily dense design grids.
+//
+// Exact (operational, embodied) duplicates keep the first point folded in,
+// matching ParetoFrontier's one-representative-per-coordinate behaviour.
+//
+// The zero value is an empty set ready for use.
+type ParetoSet struct {
+	points []Outcome
+}
+
+// Add folds one outcome into the set: o is discarded if some member weakly
+// dominates it (lower-or-equal operational and embodied carbon), otherwise o
+// joins and every member it dominates is evicted.
+func (ps *ParetoSet) Add(o Outcome) {
+	for _, q := range ps.points {
+		if q.Operational <= o.Operational && q.Embodied <= o.Embodied {
+			// q weakly dominates o (including exact duplicates): o adds
+			// nothing, and by the set's invariant nothing q dominates is
+			// present either.
+			return
+		}
+	}
+	kept := ps.points[:0]
+	for _, q := range ps.points {
+		if !(o.Operational <= q.Operational && o.Embodied <= q.Embodied) {
+			kept = append(kept, q)
+		}
+	}
+	ps.points = append(kept, o)
+}
+
+// Len returns the number of non-dominated points currently held.
+func (ps *ParetoSet) Len() int { return len(ps.points) }
+
+// Frontier returns the current frontier sorted by increasing embodied
+// carbon, like ParetoFrontier. The slice is a copy; the set remains usable.
+func (ps *ParetoSet) Frontier() []Outcome {
+	out := make([]Outcome, len(ps.points))
+	copy(out, ps.points)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Embodied != out[j].Embodied {
+			return out[i].Embodied < out[j].Embodied
+		}
+		return out[i].Operational < out[j].Operational
+	})
+	return out
+}

@@ -1,0 +1,108 @@
+package explorer
+
+import (
+	"testing"
+
+	"carbonexplorer/internal/units"
+)
+
+func outcomeOpEmb(op, emb float64) Outcome {
+	return Outcome{Operational: units.GramsCO2(op), Embodied: units.GramsCO2(emb)}
+}
+
+// TestParetoSetMatchesBatchFrontier: folding points one at a time through
+// ParetoSet must yield the same frontier as the batch ParetoFrontier, for
+// every permutation-ish of a deterministic pseudo-random point cloud. This
+// is the correctness contract the streaming sweep engine relies on.
+func TestParetoSetMatchesBatchFrontier(t *testing.T) {
+	// A small deterministic cloud with duplicates, dominated points, and
+	// ties along both axes.
+	var pts []Outcome
+	state := uint64(42)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>40) / float64(1<<24) * 100
+	}
+	for i := 0; i < 200; i++ {
+		pts = append(pts, outcomeOpEmb(next(), next()))
+	}
+	// Exact duplicates and axis ties.
+	pts = append(pts, outcomeOpEmb(1, 1), outcomeOpEmb(1, 1), outcomeOpEmb(1, 2), outcomeOpEmb(2, 1))
+
+	var ps ParetoSet
+	for _, p := range pts {
+		ps.Add(p)
+	}
+	streamed := ps.Frontier()
+	batch := ParetoFrontier(pts)
+
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed frontier has %d points, batch has %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if streamed[i].Operational != batch[i].Operational || streamed[i].Embodied != batch[i].Embodied {
+			t.Fatalf("frontier point %d differs: streamed (%v, %v) vs batch (%v, %v)",
+				i, streamed[i].Operational, streamed[i].Embodied, batch[i].Operational, batch[i].Embodied)
+		}
+	}
+	// Every frontier member is genuinely non-dominated.
+	for _, f := range streamed {
+		for _, p := range pts {
+			if p.Operational <= f.Operational && p.Embodied <= f.Embodied &&
+				(p.Operational < f.Operational || p.Embodied < f.Embodied) {
+				t.Fatalf("frontier point (%v, %v) dominated by (%v, %v)",
+					f.Operational, f.Embodied, p.Operational, p.Embodied)
+			}
+		}
+	}
+}
+
+// TestParetoSetBounded: the set never holds dominated points, so its size is
+// the frontier size, not the fold count.
+func TestParetoSetBounded(t *testing.T) {
+	var ps ParetoSet
+	// A chain where every new point dominates the previous one: size stays 1.
+	for i := 0; i < 1000; i++ {
+		ps.Add(outcomeOpEmb(float64(1000-i), float64(1000-i)))
+	}
+	if ps.Len() != 1 {
+		t.Fatalf("dominating chain should collapse to 1 point, got %d", ps.Len())
+	}
+	// A true frontier staircase: all points kept.
+	var ps2 ParetoSet
+	for i := 0; i < 100; i++ {
+		ps2.Add(outcomeOpEmb(float64(i), float64(100-i)))
+	}
+	if ps2.Len() != 100 {
+		t.Fatalf("staircase of 100 should all be on the frontier, got %d", ps2.Len())
+	}
+}
+
+// TestEnumerateDeterministic: the design list a checkpoint indexes against
+// must be identical across calls and strategy-restricted.
+func TestEnumerateDeterministic(t *testing.T) {
+	space := Space{
+		WindMW:             []float64{0, 10, 20},
+		SolarMW:            []float64{0, 15},
+		BatteryHours:       []float64{0, 2},
+		ExtraCapacityFracs: []float64{0, 0.25},
+		DoD:                1.0,
+		FlexibleRatio:      0.4,
+	}
+	a := space.Enumerate(RenewablesBatteryCAS, 10)
+	b := space.Enumerate(RenewablesBatteryCAS, 10)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("enumeration not stable: %d vs %d designs", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("design %d differs between enumerations: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// RenewablesOnly pins battery and CAS dimensions to zero.
+	for _, d := range space.Enumerate(RenewablesOnly, 10) {
+		if d.BatteryMWh != 0 || d.FlexibleRatio != 0 || d.ExtraCapacityFrac != 0 {
+			t.Fatalf("RenewablesOnly enumeration leaked a free dimension: %+v", d)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package explorer
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -53,9 +54,16 @@ type RefineResult struct {
 // around the incumbent optimum. The strategy restricts which dimensions may
 // move, exactly as in Search.
 func (in *Inputs) RefineSearch(space Space, strategy Strategy, opts RefineOptions) (RefineResult, error) {
+	return in.RefineSearchContext(context.Background(), space, strategy, opts)
+}
+
+// RefineSearchContext is RefineSearch with cancellation: ctx is honoured by
+// every underlying sweep, so a zoom search interrupted mid-round returns
+// promptly with ctx's error rather than finishing all remaining rounds.
+func (in *Inputs) RefineSearchContext(ctx context.Context, space Space, strategy Strategy, opts RefineOptions) (RefineResult, error) {
 	opts = opts.withDefaults()
 
-	res, err := in.Search(space, strategy)
+	res, err := in.SearchContext(ctx, space, strategy)
 	if err != nil {
 		return RefineResult{}, err
 	}
@@ -82,7 +90,7 @@ func (in *Inputs) RefineSearch(space Space, strategy Strategy, opts RefineOption
 			DoD:                space.DoD,
 			FlexibleRatio:      space.FlexibleRatio,
 		}
-		res, err := in.Search(zoom, strategy)
+		res, err := in.SearchContext(ctx, zoom, strategy)
 		if err != nil {
 			return RefineResult{}, err
 		}

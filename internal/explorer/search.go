@@ -68,6 +68,15 @@ func (s Space) restrict(strategy Strategy) Space {
 	return out
 }
 
+// Enumerate expands the space into the concrete, deduplicated design list a
+// search over it would evaluate, with dimensions unused by the strategy
+// pinned to zero. The order is deterministic for a given space, which lets
+// external engines (internal/sweep) index designs by position across runs —
+// a sweep checkpoint records per-design status against exactly this list.
+func (s Space) Enumerate(strategy Strategy, avgDemandMW float64) []Design {
+	return s.restrict(strategy).designs(avgDemandMW)
+}
+
 // designs expands the space into concrete designs.
 func (s Space) designs(avgDemandMW float64) []Design {
 	var out []Design
@@ -216,7 +225,7 @@ func (in *Inputs) SearchContext(ctx context.Context, space Space, strategy Strat
 				skipped[i] = true
 				return
 			}
-			points[i], errs[i] = in.safeEvaluate(d)
+			points[i], errs[i] = in.EvaluateSafe(d)
 		}(i, d)
 	}
 	wg.Wait()
@@ -253,10 +262,13 @@ func (in *Inputs) SearchContext(ctx context.Context, space Space, strategy Strat
 	return res, ctx.Err()
 }
 
-// safeEvaluate runs one evaluation with panic containment: a panicking
+// EvaluateSafe runs one evaluation with panic containment: a panicking
 // design surfaces as a *PanicError instead of killing the process. The
-// fault-injection hook, when set, runs first.
-func (in *Inputs) safeEvaluate(d Design) (o Outcome, err error) {
+// fault-injection hook (EvalHook), when set, runs first and may fail the
+// design. Search workers and the sweep engine (internal/sweep) evaluate
+// through this entry point so a single hostile design can never sink a
+// whole sweep.
+func (in *Inputs) EvaluateSafe(d Design) (o Outcome, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}

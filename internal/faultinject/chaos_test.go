@@ -9,6 +9,8 @@ import (
 	"context"
 	"errors"
 	"math"
+	"path/filepath"
+	"sync"
 	"testing"
 
 	"carbonexplorer/internal/carbon"
@@ -18,6 +20,7 @@ import (
 	"carbonexplorer/internal/fleet"
 	"carbonexplorer/internal/grid"
 	"carbonexplorer/internal/scheduler"
+	"carbonexplorer/internal/sweep"
 	"carbonexplorer/internal/timeseries"
 )
 
@@ -155,6 +158,111 @@ func TestChaosSweepCancellation(t *testing.T) {
 	}
 	if res.Report.Skipped == 0 {
 		t.Fatal("pre-cancelled sweep skipped nothing")
+	}
+}
+
+// TestChaosSweepKillResume is the checkpoint acceptance scenario: a
+// streaming sweep killed repeatedly mid-run (a crash loop) and resumed from
+// its checkpoint each time must converge to exactly the optimum and Pareto
+// frontier of an uninterrupted sweep — while transient evaluation faults are
+// being injected on top.
+func TestChaosSweepKillResume(t *testing.T) {
+	in := chaosInputs(t)
+	space := chaosSpace(in)
+	ckpt := filepath.Join(t.TempDir(), "chaos.json")
+
+	clean, err := sweep.Run(context.Background(), in, space, explorer.RenewablesBatteryCAS, sweep.Options{})
+	if err != nil {
+		t.Fatalf("uninterrupted sweep: %v", err)
+	}
+
+	// Crash loop: each attempt is killed after `killAfter` evaluations by
+	// cancelling its context from the eval hook, which also injects
+	// transient failures into ~15% of designs. Checkpointing is frequent so
+	// each life makes progress.
+	transient := TransientFaults(77, 0.15)
+	var final sweep.Result
+	attempts := 0
+	for {
+		attempts++
+		if attempts > 50 {
+			t.Fatal("crash loop did not converge in 50 lives")
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		var mu sync.Mutex
+		evals := 0
+		const killAfter = 12
+		in.EvalHook = func(d explorer.Design) error {
+			mu.Lock()
+			evals++
+			if evals == killAfter {
+				cancel()
+			}
+			mu.Unlock()
+			return transient(d)
+		}
+		res, err := sweep.Run(ctx, in, space, explorer.RenewablesBatteryCAS,
+			sweep.Options{BatchSize: 4, CheckpointPath: ckpt, CheckpointEvery: 4, Resume: true})
+		cancel()
+		if err == nil {
+			final = res
+			break
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("life %d died of something other than the injected kill: %v", attempts, err)
+		}
+	}
+	if attempts < 2 {
+		t.Fatal("sweep finished in one life — the kill never fired, nothing was chaos-tested")
+	}
+
+	if len(final.Report.Failures) != 0 {
+		t.Fatalf("transient faults survived the retry pass: %v", final.Report.Failures)
+	}
+	if final.Report.Evaluated != clean.Report.Evaluated {
+		t.Fatalf("crash-looped sweep evaluated %d designs, clean sweep %d",
+			final.Report.Evaluated, clean.Report.Evaluated)
+	}
+	if final.Optimal.Design != clean.Optimal.Design || final.Optimal.Total() != clean.Optimal.Total() {
+		t.Fatalf("crash-looped optimum differs from uninterrupted:\nchaos: %+v (%v)\nclean: %+v (%v)",
+			final.Optimal.Design, final.Optimal.Total(), clean.Optimal.Design, clean.Optimal.Total())
+	}
+	if len(final.Frontier) != len(clean.Frontier) {
+		t.Fatalf("crash-looped frontier has %d points, clean has %d", len(final.Frontier), len(clean.Frontier))
+	}
+	for i := range clean.Frontier {
+		if final.Frontier[i].Operational != clean.Frontier[i].Operational ||
+			final.Frontier[i].Embodied != clean.Frontier[i].Embodied {
+			t.Fatalf("frontier point %d differs: (%v, %v) vs (%v, %v)", i,
+				final.Frontier[i].Operational, final.Frontier[i].Embodied,
+				clean.Frontier[i].Operational, clean.Frontier[i].Embodied)
+		}
+	}
+}
+
+// TestChaosSweepTransientRecovery: transient faults alone (no kills) must be
+// fully absorbed by the sweep's retry-once pass.
+func TestChaosSweepTransientRecovery(t *testing.T) {
+	in := chaosInputs(t)
+	space := chaosSpace(in)
+	clean, err := sweep.Run(context.Background(), in, space, explorer.RenewablesBatteryCAS, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.EvalHook = TransientFaults(5, 0.25)
+	res, err := sweep.Run(context.Background(), in, space, explorer.RenewablesBatteryCAS, sweep.Options{})
+	if err != nil {
+		t.Fatalf("transient faults sank the sweep: %v", err)
+	}
+	if res.Report.Recovered == 0 {
+		t.Fatal("no designs recovered; raise the fraction or reseed")
+	}
+	if len(res.Report.Failures) != 0 {
+		t.Fatalf("transient faults left permanent failures: %v", res.Report.Failures)
+	}
+	if res.Optimal.Design != clean.Optimal.Design {
+		t.Fatalf("optimum drifted under transient faults: %+v vs %+v",
+			res.Optimal.Design, clean.Optimal.Design)
 	}
 }
 

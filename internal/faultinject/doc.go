@@ -1,0 +1,12 @@
+// Package faultinject deterministically corrupts Carbon Explorer's inputs —
+// hourly series, CSV streams, and design evaluations — so chaos tests can
+// prove the pipeline degrades gracefully: every injected fault must surface
+// as a typed error or a documented repair, never a panic or a silent wrong
+// number. Its chaos tests also drive the internal/sweep engine through
+// crash loops (kill mid-sweep, resume from checkpoint) and transient
+// evaluation failures, enforcing the engine's convergence guarantee.
+//
+// All corruption is seeded: the same seed always yields the same faults, so
+// a failing chaos test reproduces byte-for-byte. The package depends only on
+// timeseries and explorer types and is safe to use from any test.
+package faultinject

@@ -1,12 +1,3 @@
-// Package faultinject deterministically corrupts Carbon Explorer's inputs —
-// hourly series, CSV streams, and design evaluations — so chaos tests can
-// prove the pipeline degrades gracefully: every injected fault must surface
-// as a typed error or a documented repair, never a panic or a silent wrong
-// number.
-//
-// All corruption is seeded: the same seed always yields the same faults, so
-// a failing chaos test reproduces byte-for-byte. The package depends only on
-// timeseries and explorer types and is safe to use from any test.
 package faultinject
 
 import (
@@ -14,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"carbonexplorer/internal/explorer"
 	"carbonexplorer/internal/timeseries"
@@ -195,6 +187,30 @@ func DesignFaults(seed uint64, fraction float64) func(explorer.Design) error {
 	return func(d explorer.Design) error {
 		if designDraw(seed, d) < fraction {
 			return fmt.Errorf("%w: design {wind %.1f, solar %.1f, battery %.1f}", ErrInjected, d.WindMW, d.SolarMW, d.BatteryMWh)
+		}
+		return nil
+	}
+}
+
+// TransientFaults is DesignFaults except that each selected design fails
+// only the first time it is evaluated and succeeds on every later attempt.
+// It models flaky evaluation (an OOM-killed worker, a transient I/O error)
+// and is the fault the sweep engine's retry-once pass must recover from.
+// The returned hook is safe for concurrent use.
+func TransientFaults(seed uint64, fraction float64) func(explorer.Design) error {
+	var mu sync.Mutex
+	failed := make(map[explorer.Design]bool)
+	return func(d explorer.Design) error {
+		if designDraw(seed, d) >= fraction {
+			return nil
+		}
+		mu.Lock()
+		first := !failed[d]
+		failed[d] = true
+		mu.Unlock()
+		if first {
+			return fmt.Errorf("%w: transient failure for design {wind %.1f, solar %.1f, battery %.1f}",
+				ErrInjected, d.WindMW, d.SolarMW, d.BatteryMWh)
 		}
 		return nil
 	}

@@ -1,0 +1,11 @@
+// Package fleet implements geographic load migration across a fleet of
+// datacenters — the spatial counterpart to the paper's temporal
+// carbon-aware scheduling (Section 4.3), and the mechanism its related work
+// highlights for mitigating curtailment (load migration between datacenters
+// follows renewable surpluses across regions; when it is calm in Oregon it
+// may be windy in Nebraska and sunny in New Mexico).
+//
+// Each hour, migratable load moves from datacenters whose renewable supply
+// falls short (starting with the site currently facing the dirtiest grid)
+// to datacenters with surplus renewable supply and spare server capacity.
+package fleet

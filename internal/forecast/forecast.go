@@ -1,14 +1,3 @@
-// Package forecast provides the time-series forecasting the paper's
-// discussion points to for a deployable carbon-aware scheduler: "time-series
-// analysis accurately forecasts renewable supplies and datacenter demands
-// for energy. Forecasts permit optimizing schedules of flexible jobs in
-// response to energy supply."
-//
-// Carbon Explorer's design-space exploration is offline (the scheduler sees
-// the whole year). This package supplies the forecasters an online scheduler
-// would use instead, and the experiments package compares oracle scheduling
-// against forecast-driven scheduling to quantify how much of the offline
-// benefit survives real prediction error.
 package forecast
 
 import (

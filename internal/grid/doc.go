@@ -1,0 +1,12 @@
+// Package grid models the power grids feeding Carbon Explorer's
+// datacenters: the ten balancing authorities (BAs) of the paper's Table 1,
+// their hourly generation by source, their hourly carbon intensity
+// (weighted by the Table 2 lifecycle intensities), and curtailment of
+// excess renewable supply (Section 3's Figure 4). It also carries the
+// registry of Meta's thirteen U.S. datacenter sites with their regional
+// renewable investments.
+//
+// Grid data is produced by the synthetic generator in internal/synth, tuned
+// per BA to the paper's qualitative profiles: BPAT/MISO/SWPP are majorly
+// wind, DUK/SOCO/TVA majorly solar, and ERCO/PACE/PJM/PNM mixed.
+package grid

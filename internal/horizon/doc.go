@@ -1,0 +1,8 @@
+// Package horizon simulates multi-year datacenter carbon trajectories,
+// operationalizing the paper's "Looking forward" discussion (Section 6):
+// demand grows, workloads become more delay-tolerant, renewable
+// manufacturing gets cleaner, storage gets cheaper in carbon terms — and
+// deployed batteries age. A plan fixes the investment schedule; the
+// simulation walks year by year, applying trends and degradation, and
+// reports the carbon trajectory.
+package horizon

@@ -1,0 +1,7 @@
+// Package jobsim is a job-level discrete-event datacenter simulator. Carbon
+// Explorer's scheduler (Section 4.3) reasons about fluid MW-level load;
+// jobsim schedules the actual jobs of a workload trace — arrivals, server
+// occupancy, deadlines — against renewable supply, validating the fluid
+// approximation and exposing job-level metrics (wait times, SLO violations)
+// the fluid view cannot see.
+package jobsim

@@ -1,0 +1,10 @@
+// Package netzero implements renewable-energy-credit (REC) accounting for
+// power purchase agreements, the state-of-the-art mechanism the paper
+// contrasts with 24/7 operation (Section 3.2): a PPA issues one credit per
+// MWh its farms generate, and a datacenter claims Net Zero for a period when
+// credits cover consumption. The package computes credit balances at
+// hourly, daily, monthly, and annual granularity, making the paper's core
+// observation quantitative — a datacenter can be 100% matched annually while
+// consuming carbon-intensive energy for a large fraction of its hours
+// (Figure 6's gap between Net Zero and 24/7 coverage).
+package netzero

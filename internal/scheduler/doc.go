@@ -1,0 +1,10 @@
+// Package scheduler implements the paper's carbon-aware scheduling (CAS)
+// algorithms (Section 4.3): a greedy daily workload-shifting pass that moves
+// flexible load from hours of high carbon intensity (or renewable deficit)
+// to hours of low intensity, subject to a datacenter capacity cap; and the
+// combined battery+CAS hour-by-hour policy of Section 5.2, which prioritizes
+// battery energy on deficits and deferred workloads on surpluses. The
+// flexible ratio comes from the workload package's SLO-tier breakdown
+// (Figure 10); the extra server capacity that absorbs shifted load is the
+// embodied-carbon trade-off Section 5.1 charges for.
+package scheduler

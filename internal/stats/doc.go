@@ -1,0 +1,6 @@
+// Package stats provides the summary statistics, histograms, percentiles,
+// correlation, and regression used by Carbon Explorer's analyses: daily
+// generation histograms (Figure 5), curtailment trendlines (Figure 4),
+// utilization–power correlation (Figure 3), and battery charge-level
+// distributions (Figure 16).
+package stats

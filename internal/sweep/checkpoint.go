@@ -1,0 +1,197 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/units"
+)
+
+// checkpointVersion is the on-disk schema version. Bump it whenever the
+// checkpoint layout changes incompatibly; Load rejects other versions with
+// ErrCheckpointVersion instead of misreading old files.
+const checkpointVersion = 1
+
+var (
+	// ErrCheckpointVersion is returned (wrapped) when a checkpoint file was
+	// written by an incompatible schema version.
+	ErrCheckpointVersion = errors.New("sweep: unsupported checkpoint version")
+	// ErrCheckpointMismatch is returned (wrapped) when a checkpoint file
+	// does not describe this sweep — different site, strategy, space, or
+	// inputs. Resuming it would silently mix results from two different
+	// sweeps, so it is rejected.
+	ErrCheckpointMismatch = errors.New("sweep: checkpoint does not match this sweep")
+)
+
+// Per-design status runes, one per design in enumeration order. A string
+// keeps the checkpoint human-inspectable: `jq -r .status` paints the sweep's
+// progress directly.
+const (
+	statusPending    = 'P' // never evaluated
+	statusDone       = 'D' // evaluated successfully and folded
+	statusFailedOnce = 'F' // failed once; eligible for the retry pass
+	statusFailedPerm = 'X' // failed permanently (retried, or retry disabled)
+)
+
+// checkpointFile is the versioned JSON schema persisted between runs. It
+// holds everything the fold needs to continue — per-design status, the
+// running best, the running Pareto frontier, and permanent failures — and
+// deliberately nothing else: evaluated outcomes that are neither optimal nor
+// on the frontier are not kept, which is what bounds the file (and the
+// resumed sweep's memory) by the frontier size rather than the grid size.
+type checkpointFile struct {
+	Version   int            `json:"version"`
+	SpaceHash string         `json:"space_hash"`
+	Site      string         `json:"site"`
+	Strategy  int            `json:"strategy"`
+	Status    string         `json:"status"`
+	Retried   int            `json:"retried"`
+	Recovered int            `json:"recovered"`
+	Best      *savedOutcome  `json:"best,omitempty"`
+	Frontier  []savedOutcome `json:"frontier,omitempty"`
+	Failures  []savedFailure `json:"failures,omitempty"`
+}
+
+// savedOutcome is explorer.Outcome minus the hourly battery state-of-charge
+// trace, which the streaming path drops (it would make checkpoints and
+// frontier memory scale with the year length). All floats round-trip exactly
+// through JSON (Go emits shortest-exact representations).
+type savedOutcome struct {
+	Design                explorer.Design `json:"design"`
+	CoveragePct           float64         `json:"coverage_pct"`
+	Operational           float64         `json:"operational_g"`
+	Embodied              float64         `json:"embodied_g"`
+	EmbodiedRenewables    float64         `json:"embodied_renewables_g"`
+	EmbodiedBattery       float64         `json:"embodied_battery_g"`
+	EmbodiedServers       float64         `json:"embodied_servers_g"`
+	GridEnergyMWh         float64         `json:"grid_energy_mwh"`
+	SurplusMWh            float64         `json:"surplus_mwh"`
+	BatteryCyclesPerDay   float64         `json:"battery_cycles_per_day"`
+	ExtraCapacityUsedFrac float64         `json:"extra_capacity_used_frac"`
+}
+
+// savedFailure records a failed design and its cause. Error identity does
+// not survive serialization — a resumed sweep reports restored failures as
+// plain string errors.
+type savedFailure struct {
+	Design    explorer.Design `json:"design"`
+	Error     string          `json:"error"`
+	Permanent bool            `json:"permanent"`
+}
+
+func saveOutcome(o explorer.Outcome) savedOutcome {
+	return savedOutcome{
+		Design:                o.Design,
+		CoveragePct:           o.CoveragePct,
+		Operational:           float64(o.Operational),
+		Embodied:              float64(o.Embodied),
+		EmbodiedRenewables:    float64(o.EmbodiedRenewables),
+		EmbodiedBattery:       float64(o.EmbodiedBattery),
+		EmbodiedServers:       float64(o.EmbodiedServers),
+		GridEnergyMWh:         o.GridEnergyMWh,
+		SurplusMWh:            o.SurplusMWh,
+		BatteryCyclesPerDay:   o.BatteryCyclesPerDay,
+		ExtraCapacityUsedFrac: o.ExtraCapacityUsedFrac,
+	}
+}
+
+func (s savedOutcome) outcome() explorer.Outcome {
+	return explorer.Outcome{
+		Design:                s.Design,
+		CoveragePct:           s.CoveragePct,
+		Operational:           units.GramsCO2(s.Operational),
+		Embodied:              units.GramsCO2(s.Embodied),
+		EmbodiedRenewables:    units.GramsCO2(s.EmbodiedRenewables),
+		EmbodiedBattery:       units.GramsCO2(s.EmbodiedBattery),
+		EmbodiedServers:       units.GramsCO2(s.EmbodiedServers),
+		GridEnergyMWh:         s.GridEnergyMWh,
+		SurplusMWh:            s.SurplusMWh,
+		BatteryCyclesPerDay:   s.BatteryCyclesPerDay,
+		ExtraCapacityUsedFrac: s.ExtraCapacityUsedFrac,
+	}
+}
+
+// sweepHash fingerprints everything that determines the design list and its
+// evaluation: the site, the strategy, the input fingerprint (year length and
+// average demand, which scale battery designs), and every design's exact
+// field bits. A checkpoint is only resumable against a byte-identical
+// fingerprint.
+func sweepHash(in *explorer.Inputs, strategy explorer.Strategy, designs []explorer.Design) string {
+	h := fnv.New64a()
+	write := func(v float64) { writeUint64(h, math.Float64bits(v)) }
+	h.Write([]byte(in.Site.ID))
+	writeUint64(h, uint64(strategy))
+	writeUint64(h, uint64(in.Demand.Len()))
+	write(in.AvgDemandMW())
+	writeUint64(h, uint64(len(designs)))
+	for _, d := range designs {
+		write(d.WindMW)
+		write(d.SolarMW)
+		write(d.BatteryMWh)
+		write(d.DoD)
+		writeUint64(h, uint64(d.BatteryTech))
+		write(d.FlexibleRatio)
+		write(d.ExtraCapacityFrac)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func writeUint64(h interface{ Write([]byte) (int, error) }, v uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+// save atomically persists the checkpoint: write to a temp file in the same
+// directory, then rename over the target, so an interrupted save never
+// leaves a torn checkpoint behind.
+func (c *checkpointFile) save(path string) error {
+	data, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		return fmt.Errorf("sweep: encoding checkpoint: %w", err)
+	}
+	tmp := filepath.Join(filepath.Dir(path), filepath.Base(path)+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("sweep: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("sweep: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads and version-checks a checkpoint file.
+func loadCheckpoint(path string) (*checkpointFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: reading checkpoint: %w", err)
+	}
+	var c checkpointFile
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("sweep: decoding checkpoint %s: %w", path, err)
+	}
+	if c.Version != checkpointVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d",
+			ErrCheckpointVersion, c.Version, checkpointVersion)
+	}
+	return &c, nil
+}
+
+// matches verifies the checkpoint describes this exact sweep.
+func (c *checkpointFile) matches(hash string, nDesigns int) error {
+	if c.SpaceHash != hash {
+		return fmt.Errorf("%w: space hash %s vs %s", ErrCheckpointMismatch, c.SpaceHash, hash)
+	}
+	if len(c.Status) != nDesigns {
+		return fmt.Errorf("%w: %d design statuses vs %d designs", ErrCheckpointMismatch, len(c.Status), nDesigns)
+	}
+	return nil
+}

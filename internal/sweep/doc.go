@@ -1,0 +1,49 @@
+// Package sweep is the streaming, checkpointable, retrying design-space
+// sweep engine — the production-scale version of the exhaustive search in
+// Section 5.2 of the paper (the search behind Figures 14 and 15), built for
+// grids far denser than the paper's 7×7×6×5 example.
+//
+// explorer.Search materializes one Outcome per design and keeps them all;
+// over a dense Space that is gigabytes of state, and an interrupted sweep
+// forgets everything. This package evaluates designs in bounded batches and
+// folds each outcome into exactly two accumulators — the running carbon
+// optimum and the running Pareto frontier (explorer.ParetoSet) — so resident
+// memory is O(batch + frontier) regardless of grid density. Designs whose
+// evaluation fails transiently are retried once before being excluded from
+// the optimum, and progress persists across process deaths via a versioned
+// JSON checkpoint.
+//
+// # Checkpoint format
+//
+// The checkpoint is a single JSON document (schema version 1):
+//
+//	{
+//	 "version": 1,
+//	 "space_hash": "<fnv64a over site, strategy, inputs fingerprint, and every design>",
+//	 "site": "UT",
+//	 "strategy": 3,
+//	 "status": "DDDDFPPP...",      // one rune per design, in enumeration order
+//	 "retried": 1, "recovered": 1, // retry-pass accounting
+//	 "best": {...},                // running optimum (compact outcome)
+//	 "frontier": [{...}, ...],     // running Pareto frontier
+//	 "failures": [{"design": ..., "error": "...", "permanent": false}]
+//	}
+//
+// Status runes: P pending, D done, F failed once (retry pending), X failed
+// permanently. The space hash fingerprints everything that determines the
+// enumeration, so a checkpoint can never be resumed against a different
+// site, strategy, space, or input year. Saves are atomic
+// (write-temp-then-rename) and happen every Options.CheckpointEvery
+// evaluated designs, on cancellation, and on completion.
+//
+// Outcomes in the checkpoint (and in the streamed fold) drop the hourly
+// battery state-of-charge trace; re-Evaluate a design to recover one.
+//
+// # Resume semantics
+//
+// Run with Options.Resume loads the checkpoint, restores the fold state,
+// skips every done design, and retries failed-once designs. Because designs
+// are folded in deterministic enumeration order, a sweep killed at any point
+// and resumed converges to the same optimum and the same Pareto frontier as
+// an uninterrupted run — the property the faultinject chaos tests enforce.
+package sweep

@@ -1,0 +1,446 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"runtime"
+	"sync"
+
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/timeseries"
+)
+
+// Options configures a streaming sweep. The zero value is a sensible
+// default: bounded batches, retry-once for failed designs, no
+// checkpointing.
+type Options struct {
+	// BatchSize is the number of designs evaluated and folded per batch —
+	// the peak number of Outcomes the engine holds at once (default 64).
+	// Larger batches increase parallel occupancy slightly; memory stays
+	// O(BatchSize + frontier), independent of the grid size.
+	BatchSize int
+	// CheckpointPath, when non-empty, persists a versioned JSON checkpoint
+	// there after every CheckpointEvery evaluated designs, on cancellation,
+	// and on completion. See the package documentation for the format.
+	CheckpointPath string
+	// CheckpointEvery is the number of evaluated designs between periodic
+	// checkpoint writes (default 256). Checkpoints also always flush at
+	// batch boundaries, on cancellation, and at the end of the sweep.
+	CheckpointEvery int
+	// Resume, when set, loads CheckpointPath before sweeping and skips every
+	// design it records as done — their contribution to the optimum and
+	// frontier is restored from the file instead of re-evaluated. A missing
+	// file starts a fresh sweep; a file from a different sweep (site, space,
+	// strategy, or inputs changed) fails with ErrCheckpointMismatch.
+	Resume bool
+	// NoRetry disables the retry pass. By default every design whose first
+	// evaluation fails is re-evaluated exactly once before being excluded
+	// from the optimum — transient faults (a flaky data backend, an
+	// injected chaos error) should not permanently discard a grid point.
+	NoRetry bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 256
+	}
+	return o
+}
+
+// Report accounts for every design of a streaming sweep.
+type Report struct {
+	// Evaluated is the number of designs evaluated successfully, including
+	// designs restored from a checkpoint.
+	Evaluated int
+	// Restored is how many of Evaluated were restored from the checkpoint
+	// rather than re-evaluated in this run.
+	Restored int
+	// Skipped is the number of designs never evaluated because the sweep
+	// was cancelled first. Resuming from the checkpoint picks them up.
+	Skipped int
+	// Retried is the number of design re-evaluations performed by the
+	// retry pass (accumulated across resumed runs).
+	Retried int
+	// Recovered is how many retried designs succeeded on their second
+	// attempt and were folded into the optimum after all.
+	Recovered int
+	// Failures lists every design currently in a failed state with its
+	// latest error. After a completed sweep with retries enabled these are
+	// all permanent (failed twice); after an interrupted sweep the list may
+	// include designs still eligible for retry on resume.
+	Failures []explorer.DesignError
+	// MaxResident is the peak number of evaluated Outcomes the engine held
+	// in memory at any moment — the bounded-memory witness. It never
+	// exceeds the batch size, no matter how dense the design grid is.
+	MaxResident int
+}
+
+// Result is the outcome of a streaming sweep.
+type Result struct {
+	// Strategy echoes the swept strategy.
+	Strategy explorer.Strategy
+	// Optimal is the outcome with minimum total carbon over all evaluated
+	// designs; ties break toward higher coverage, exactly as in
+	// explorer.Search. Its BatterySoC trace is empty: the streaming path
+	// drops per-hour traces (re-Evaluate the design to recover one).
+	Optimal explorer.Outcome
+	// Frontier is the Pareto frontier in the (operational, embodied) plane
+	// over all evaluated designs, sorted by increasing embodied carbon —
+	// identical to explorer.ParetoFrontier over a materialized sweep.
+	Frontier []explorer.Outcome
+	// Report accounts for every design: evaluated, restored, failed,
+	// retried, or skipped.
+	Report Report
+	// Resumed reports whether any prior progress was restored from a
+	// checkpoint file.
+	Resumed bool
+}
+
+// Run executes a streaming, checkpointable, retrying sweep of the space
+// under the strategy.
+//
+// Unlike explorer.Search, Run never materializes the full outcome set: it
+// evaluates designs in bounded batches and folds each batch into the running
+// optimum and Pareto frontier, so memory stays flat no matter how dense the
+// grid is. With a checkpoint configured, progress persists across process
+// deaths: an interrupted sweep resumed with Options.Resume converges to the
+// same optimum and frontier as an uninterrupted run.
+//
+// Failure semantics match explorer.SearchContext: a failing or panicking
+// design is excluded from the optimum (after one retry, unless NoRetry) and
+// recorded in the report; only if every design fails does Run return a
+// wrapped explorer.ErrAllDesignsFailed. On cancellation the partial result
+// is returned alongside ctx's error, after a final checkpoint write.
+func Run(ctx context.Context, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	designs := space.Enumerate(strategy, in.AvgDemandMW())
+	if len(designs) == 0 {
+		return Result{}, fmt.Errorf("sweep: empty search space")
+	}
+
+	r := &runner{
+		in:       in,
+		strategy: strategy,
+		designs:  designs,
+		opts:     opts,
+		hash:     sweepHash(in, strategy, designs),
+		status:   make([]byte, len(designs)),
+		failErrs: make(map[int]error),
+	}
+	for i := range r.status {
+		r.status[i] = statusPending
+	}
+
+	resumed, err := r.restore()
+	if err != nil {
+		return Result{}, err
+	}
+
+	// First pass: evaluate everything still pending.
+	ctxErr := r.pass(ctx, r.indicesWithStatus(statusPending), false)
+
+	// Retry pass: re-evaluate designs that failed exactly once (including
+	// failures restored from the checkpoint of an interrupted run).
+	if ctxErr == nil && !opts.NoRetry {
+		ctxErr = r.pass(ctx, r.indicesWithStatus(statusFailedOnce), true)
+	}
+	if ctxErr == nil && opts.NoRetry {
+		// Without a retry pass, single failures are final.
+		for i, s := range r.status {
+			if s == statusFailedOnce {
+				r.status[i] = statusFailedPerm
+			}
+		}
+	}
+
+	if err := r.checkpoint(); err != nil && ctxErr == nil {
+		return Result{}, err
+	}
+
+	res := r.result(resumed)
+	if ctxErr != nil {
+		return res, ctxErr
+	}
+	if res.Report.Evaluated == 0 {
+		return res, fmt.Errorf("%w: %d failures, first: %w",
+			explorer.ErrAllDesignsFailed, len(res.Report.Failures), res.Report.Failures[0])
+	}
+	return res, nil
+}
+
+// runner holds the mutable state of one Run invocation. All mutation
+// happens on the caller goroutine; worker goroutines only evaluate.
+type runner struct {
+	in       *explorer.Inputs
+	strategy explorer.Strategy
+	designs  []explorer.Design
+	opts     Options
+	hash     string
+
+	status    []byte
+	failErrs  map[int]error
+	best      *explorer.Outcome
+	frontier  explorer.ParetoSet
+	restored  int
+	retried   int
+	recovered int
+	maxHeld   int
+	sinceSave int
+}
+
+// restore loads prior progress from the checkpoint file, if resuming.
+func (r *runner) restore() (bool, error) {
+	if !r.opts.Resume || r.opts.CheckpointPath == "" {
+		return false, nil
+	}
+	ck, err := loadCheckpoint(r.opts.CheckpointPath)
+	if err != nil {
+		if isNotExist(err) {
+			return false, nil // nothing to resume yet: fresh sweep
+		}
+		return false, err
+	}
+	if err := ck.matches(r.hash, len(r.designs)); err != nil {
+		return false, err
+	}
+	for _, s := range []byte(ck.Status) {
+		switch s {
+		case statusPending, statusDone, statusFailedOnce, statusFailedPerm:
+		default:
+			return false, fmt.Errorf("%w: unknown design status %q", ErrCheckpointMismatch, s)
+		}
+	}
+	copy(r.status, ck.Status)
+	r.retried = ck.Retried
+	r.recovered = ck.Recovered
+	if ck.Best != nil {
+		o := ck.Best.outcome()
+		r.best = &o
+	}
+	for _, f := range ck.Frontier {
+		r.frontier.Add(f.outcome())
+	}
+	index := make(map[explorer.Design]int, len(r.designs))
+	for i, d := range r.designs {
+		index[d] = i
+	}
+	for _, f := range ck.Failures {
+		if i, ok := index[f.Design]; ok {
+			r.failErrs[i] = fmt.Errorf("sweep: restored failure: %s", f.Error)
+		}
+	}
+	for _, s := range r.status {
+		if s == statusDone {
+			r.restored++
+		}
+	}
+	return true, nil
+}
+
+// pass evaluates the given design indices in bounded batches, folding each
+// batch into the running optimum and frontier. It returns ctx's error if
+// cancelled (after a best-effort checkpoint write) and nil otherwise.
+func (r *runner) pass(ctx context.Context, idxs []int, retry bool) error {
+	for start := 0; start < len(idxs); start += r.opts.BatchSize {
+		if err := ctx.Err(); err != nil {
+			r.checkpointBestEffort()
+			return err
+		}
+		end := start + r.opts.BatchSize
+		if end > len(idxs) {
+			end = len(idxs)
+		}
+		batch := idxs[start:end]
+		outcomes, errs := r.evalBatch(ctx, batch)
+		if len(batch) > r.maxHeld {
+			r.maxHeld = len(batch)
+		}
+		// Fold sequentially in enumeration order, so the optimum and
+		// frontier are reproduced identically by interrupted-and-resumed
+		// runs.
+		for k, i := range batch {
+			switch {
+			case errs[k] == errSkipped:
+				// Cancelled before this design was evaluated: stays pending.
+			case errs[k] != nil:
+				r.failErrs[i] = errs[k]
+				if retry || r.status[i] == statusFailedOnce {
+					r.status[i] = statusFailedPerm
+				} else {
+					r.status[i] = statusFailedOnce
+				}
+				if retry {
+					r.retried++
+				}
+			default:
+				if retry {
+					r.retried++
+					r.recovered++
+					delete(r.failErrs, i)
+				}
+				r.fold(outcomes[k])
+				r.status[i] = statusDone
+				r.sinceSave++
+			}
+		}
+		if r.opts.CheckpointPath != "" && r.sinceSave >= r.opts.CheckpointEvery {
+			if err := r.checkpoint(); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			r.checkpointBestEffort()
+			return err
+		}
+	}
+	return nil
+}
+
+// errSkipped marks a design a cancelled batch never got to evaluate. It is
+// internal to the batch protocol and never escapes pass.
+var errSkipped = fmt.Errorf("sweep: skipped by cancellation")
+
+// evalBatch evaluates one batch of designs in parallel, bounded by
+// GOMAXPROCS workers, and returns per-design outcomes and errors aligned
+// with the batch. Workers check ctx before each evaluation so cancellation
+// stops within one design's latency.
+func (r *runner) evalBatch(ctx context.Context, batch []int) ([]explorer.Outcome, []error) {
+	outcomes := make([]explorer.Outcome, len(batch))
+	errs := make([]error, len(batch))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				if ctx.Err() != nil {
+					errs[k] = errSkipped
+					continue
+				}
+				outcomes[k], errs[k] = r.in.EvaluateSafe(r.designs[batch[k]])
+			}
+		}()
+	}
+	for k := range batch {
+		next <- k
+	}
+	close(next)
+	wg.Wait()
+	return outcomes, errs
+}
+
+// fold streams one successful outcome into the running optimum and
+// frontier, dropping its hourly state-of-charge trace so retained memory is
+// bounded by the frontier, not the grid.
+func (r *runner) fold(o explorer.Outcome) {
+	o.BatterySoC = timeseries.Series{}
+	if r.best == nil || betterOutcome(o, *r.best) {
+		r.best = &o
+	}
+	r.frontier.Add(o)
+}
+
+// betterOutcome mirrors explorer's optimum ordering: minimum total carbon,
+// ties toward higher coverage.
+func betterOutcome(a, b explorer.Outcome) bool {
+	if a.Total() != b.Total() {
+		return a.Total() < b.Total()
+	}
+	return a.CoveragePct > b.CoveragePct
+}
+
+// indicesWithStatus lists designs currently in the given state, in
+// enumeration order.
+func (r *runner) indicesWithStatus(s byte) []int {
+	var out []int
+	for i, st := range r.status {
+		if st == s {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// checkpoint persists the current fold state, if a path is configured.
+func (r *runner) checkpoint() error {
+	if r.opts.CheckpointPath == "" {
+		return nil
+	}
+	ck := &checkpointFile{
+		Version:   checkpointVersion,
+		SpaceHash: r.hash,
+		Site:      r.in.Site.ID,
+		Strategy:  int(r.strategy),
+		Status:    string(r.status),
+		Retried:   r.retried,
+		Recovered: r.recovered,
+	}
+	if r.best != nil {
+		so := saveOutcome(*r.best)
+		ck.Best = &so
+	}
+	for _, o := range r.frontier.Frontier() {
+		ck.Frontier = append(ck.Frontier, saveOutcome(o))
+	}
+	for i, err := range r.failErrs {
+		if r.status[i] != statusFailedOnce && r.status[i] != statusFailedPerm {
+			continue
+		}
+		ck.Failures = append(ck.Failures, savedFailure{
+			Design:    r.designs[i],
+			Error:     err.Error(),
+			Permanent: r.status[i] == statusFailedPerm,
+		})
+	}
+	r.sinceSave = 0
+	return ck.save(r.opts.CheckpointPath)
+}
+
+// checkpointBestEffort saves on the cancellation path, where the ctx error
+// is the one the caller needs to see; a save failure must not mask it.
+func (r *runner) checkpointBestEffort() {
+	_ = r.checkpoint()
+}
+
+// result assembles the public Result from the runner's final state.
+func (r *runner) result(resumed bool) Result {
+	res := Result{Strategy: r.strategy, Resumed: resumed}
+	res.Report.Restored = r.restored
+	res.Report.Retried = r.retried
+	res.Report.Recovered = r.recovered
+	res.Report.MaxResident = r.maxHeld
+	for i, s := range r.status {
+		switch s {
+		case statusDone:
+			res.Report.Evaluated++
+		case statusPending:
+			res.Report.Skipped++
+		case statusFailedOnce, statusFailedPerm:
+			err := r.failErrs[i]
+			if err == nil {
+				err = fmt.Errorf("sweep: failure cause not recorded")
+			}
+			res.Report.Failures = append(res.Report.Failures, explorer.DesignError{Design: r.designs[i], Err: err})
+		}
+	}
+	if r.best != nil {
+		res.Optimal = *r.best
+	}
+	res.Frontier = r.frontier.Frontier()
+	return res
+}
+
+// isNotExist reports whether err means the checkpoint file is absent.
+func isNotExist(err error) bool {
+	return errors.Is(err, fs.ErrNotExist)
+}

@@ -1,0 +1,354 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/faultinject"
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/timeseries"
+)
+
+// testInputs builds a small (10-day) but fully functional evaluation input.
+func testInputs(tb testing.TB) *explorer.Inputs {
+	tb.Helper()
+	const n = 240
+	demand := timeseries.Generate(n, func(h int) float64 { return 10 + 2*math.Sin(float64(h%24)/24*2*math.Pi) })
+	wind := timeseries.Generate(n, func(h int) float64 { return 5 + 4*math.Sin(float64(h)/17) })
+	solar := timeseries.Generate(n, func(h int) float64 { return math.Max(0, 8*math.Sin((float64(h%24)-6)/12*math.Pi)) })
+	ci := timeseries.Constant(n, 400)
+	in, err := explorer.NewInputsFromSeries(grid.MustSite("UT"), demand, wind, solar, ci, carbon.DefaultEmbodiedParams())
+	if err != nil {
+		tb.Fatalf("testInputs: %v", err)
+	}
+	return in
+}
+
+func testSpace(in *explorer.Inputs) explorer.Space {
+	avg := in.AvgDemandMW()
+	return explorer.Space{
+		WindMW:             []float64{0, avg, 2 * avg, 4 * avg, 8 * avg},
+		SolarMW:            []float64{0, avg, 2 * avg, 4 * avg, 8 * avg},
+		BatteryHours:       []float64{0, 2},
+		ExtraCapacityFracs: []float64{0, 0.25},
+		DoD:                1.0,
+		FlexibleRatio:      0.4,
+	}
+}
+
+// denseSpace builds an n×n renewable grid (battery and CAS pinned off) for
+// memory-scaling checks.
+func denseSpace(in *explorer.Inputs, n int) explorer.Space {
+	avg := in.AvgDemandMW()
+	grid := make([]float64, n)
+	for i := range grid {
+		grid[i] = float64(i) / float64(n-1) * 8 * avg
+	}
+	return explorer.Space{WindMW: grid, SolarMW: grid, BatteryHours: []float64{0}, ExtraCapacityFracs: []float64{0}}
+}
+
+func sameOutcome(a, b explorer.Outcome) bool {
+	return a.Design == b.Design && a.Operational == b.Operational && a.Embodied == b.Embodied
+}
+
+// TestRunMatchesSearch: the streaming fold must reproduce exactly the
+// optimum and Pareto frontier of the materializing explorer.Search.
+func TestRunMatchesSearch(t *testing.T) {
+	in := testInputs(t)
+	space := testSpace(in)
+
+	want, err := in.Search(space, explorer.RenewablesBatteryCAS)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	wantFrontier := explorer.ParetoFrontier(want.Points)
+
+	got, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS, Options{BatchSize: 7})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got.Report.Evaluated != want.Report.Evaluated {
+		t.Fatalf("evaluated %d designs, Search evaluated %d", got.Report.Evaluated, want.Report.Evaluated)
+	}
+	if !sameOutcome(got.Optimal, want.Optimal) {
+		t.Fatalf("optimum differs:\nsweep:  %+v\nsearch: %+v", got.Optimal.Design, want.Optimal.Design)
+	}
+	if len(got.Frontier) != len(wantFrontier) {
+		t.Fatalf("frontier has %d points, Search frontier has %d", len(got.Frontier), len(wantFrontier))
+	}
+	for i := range wantFrontier {
+		if !sameOutcome(got.Frontier[i], wantFrontier[i]) {
+			t.Fatalf("frontier point %d differs: %+v vs %+v", i, got.Frontier[i].Design, wantFrontier[i].Design)
+		}
+	}
+	// The streaming path drops SoC traces.
+	if got.Optimal.BatterySoC.Len() != 0 {
+		t.Fatal("streamed optimum retained an SoC trace")
+	}
+}
+
+// TestResumeConvergesToUninterrupted is the engine-level acceptance test: a
+// sweep cancelled partway through, checkpointed, and resumed must produce
+// the same optimum and frontier as an uninterrupted sweep.
+func TestResumeConvergesToUninterrupted(t *testing.T) {
+	in := testInputs(t)
+	space := testSpace(in)
+	ckpt := filepath.Join(t.TempDir(), "sweep.json")
+
+	clean, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS, Options{BatchSize: 8})
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	// Cancel after ~a third of the designs have started evaluating.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	started := 0
+	in.EvalHook = func(explorer.Design) error {
+		mu.Lock()
+		started++
+		if started == 30 {
+			cancel()
+		}
+		mu.Unlock()
+		return nil
+	}
+	partial, err := Run(ctx, in, space, explorer.RenewablesBatteryCAS,
+		Options{BatchSize: 8, CheckpointPath: ckpt, CheckpointEvery: 10})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: want context.Canceled, got %v", err)
+	}
+	if partial.Report.Skipped == 0 {
+		t.Fatal("cancellation skipped nothing — cancel fired too late to test resume")
+	}
+	if partial.Report.Evaluated == 0 {
+		t.Fatal("cancellation left nothing evaluated — nothing to restore")
+	}
+
+	in.EvalHook = nil
+	resumed, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
+		Options{BatchSize: 8, CheckpointPath: ckpt, CheckpointEvery: 10, Resume: true})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !resumed.Resumed {
+		t.Fatal("resumed run did not load the checkpoint")
+	}
+	if resumed.Report.Restored == 0 {
+		t.Fatal("resumed run re-evaluated everything — checkpoint restored no progress")
+	}
+	if resumed.Report.Evaluated != clean.Report.Evaluated {
+		t.Fatalf("resumed run evaluated %d designs, clean run %d", resumed.Report.Evaluated, clean.Report.Evaluated)
+	}
+	if resumed.Report.Restored >= clean.Report.Evaluated {
+		t.Fatal("resumed run claims everything was restored — nothing was left to sweep")
+	}
+	if !sameOutcome(resumed.Optimal, clean.Optimal) {
+		t.Fatalf("resumed optimum differs from uninterrupted:\nresumed: %+v\nclean:   %+v",
+			resumed.Optimal.Design, clean.Optimal.Design)
+	}
+	if len(resumed.Frontier) != len(clean.Frontier) {
+		t.Fatalf("resumed frontier has %d points, clean has %d", len(resumed.Frontier), len(clean.Frontier))
+	}
+	for i := range clean.Frontier {
+		if !sameOutcome(resumed.Frontier[i], clean.Frontier[i]) {
+			t.Fatalf("frontier point %d differs after resume: %+v vs %+v",
+				i, resumed.Frontier[i].Design, clean.Frontier[i].Design)
+		}
+	}
+
+	// The final checkpoint records a completed sweep: no pending designs.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatalf("reading final checkpoint: %v", err)
+	}
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		t.Fatalf("decoding final checkpoint: %v", err)
+	}
+	if ck.Version != checkpointVersion {
+		t.Fatalf("checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	if strings.ContainsRune(ck.Status, statusPending) || strings.ContainsRune(ck.Status, statusFailedOnce) {
+		t.Fatalf("completed sweep left unfinished statuses: %s", ck.Status)
+	}
+}
+
+// TestRetryRecoversTransientFailures: a design that fails once and then
+// succeeds must end up folded into the optimum, with the recovery counted.
+func TestRetryRecoversTransientFailures(t *testing.T) {
+	in := testInputs(t)
+	space := testSpace(in)
+
+	clean, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS, Options{})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	in.EvalHook = faultinject.TransientFaults(99, 0.2)
+	res, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS, Options{BatchSize: 8})
+	if err != nil {
+		t.Fatalf("transient-fault run: %v", err)
+	}
+	if res.Report.Retried == 0 || res.Report.Recovered == 0 {
+		t.Fatalf("no retries recorded: %+v", res.Report)
+	}
+	if res.Report.Retried != res.Report.Recovered {
+		t.Fatalf("transient faults should all recover on retry: %+v", res.Report)
+	}
+	if len(res.Report.Failures) != 0 {
+		t.Fatalf("transient faults left permanent failures: %v", res.Report.Failures)
+	}
+	if res.Report.Evaluated != clean.Report.Evaluated {
+		t.Fatalf("evaluated %d designs, clean run %d", res.Report.Evaluated, clean.Report.Evaluated)
+	}
+	if !sameOutcome(res.Optimal, clean.Optimal) {
+		t.Fatalf("optimum differs after transient faults: %+v vs %+v", res.Optimal.Design, clean.Optimal.Design)
+	}
+}
+
+// TestNoRetryMakesFailuresPermanent: with the retry pass disabled, a single
+// failure excludes the design.
+func TestNoRetryMakesFailuresPermanent(t *testing.T) {
+	in := testInputs(t)
+	in.EvalHook = faultinject.TransientFaults(99, 0.2)
+	res, err := Run(context.Background(), in, testSpace(in), explorer.RenewablesBatteryCAS,
+		Options{BatchSize: 8, NoRetry: true})
+	if err != nil {
+		t.Fatalf("NoRetry run: %v", err)
+	}
+	if res.Report.Retried != 0 || res.Report.Recovered != 0 {
+		t.Fatalf("NoRetry still retried: %+v", res.Report)
+	}
+	if len(res.Report.Failures) == 0 {
+		t.Fatal("NoRetry recorded no permanent failures")
+	}
+	for _, f := range res.Report.Failures {
+		if !errors.Is(f, faultinject.ErrInjected) {
+			t.Fatalf("failure not traceable to injection: %v", f)
+		}
+	}
+}
+
+// TestAllDesignsFailed: the streaming sweep mirrors explorer.Search's
+// typed error when nothing survives.
+func TestAllDesignsFailed(t *testing.T) {
+	in := testInputs(t)
+	in.EvalHook = faultinject.DesignFaults(1, 1.1)
+	_, err := Run(context.Background(), in, testSpace(in), explorer.RenewablesOnly, Options{})
+	if !errors.Is(err, explorer.ErrAllDesignsFailed) {
+		t.Fatalf("want ErrAllDesignsFailed, got %v", err)
+	}
+}
+
+// TestCheckpointMismatchRejected: resuming against a different space,
+// strategy, or a corrupted file must fail loudly, never silently mix
+// sweeps.
+func TestCheckpointMismatchRejected(t *testing.T) {
+	in := testInputs(t)
+	ckpt := filepath.Join(t.TempDir(), "sweep.json")
+
+	if _, err := Run(context.Background(), in, testSpace(in), explorer.RenewablesOnly,
+		Options{CheckpointPath: ckpt}); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+
+	// Different strategy over the same space: hash differs.
+	_, err := Run(context.Background(), in, testSpace(in), explorer.RenewablesBatteryCAS,
+		Options{CheckpointPath: ckpt, Resume: true})
+	if !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("strategy change: want ErrCheckpointMismatch, got %v", err)
+	}
+
+	// Different space: hash differs.
+	_, err = Run(context.Background(), in, denseSpace(in, 4), explorer.RenewablesOnly,
+		Options{CheckpointPath: ckpt, Resume: true})
+	if !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("space change: want ErrCheckpointMismatch, got %v", err)
+	}
+
+	// Future schema version.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		t.Fatal(err)
+	}
+	ck.Version = checkpointVersion + 1
+	raw, _ := json.Marshal(ck)
+	if err := os.WriteFile(ckpt, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), in, testSpace(in), explorer.RenewablesOnly,
+		Options{CheckpointPath: ckpt, Resume: true})
+	if !errors.Is(err, ErrCheckpointVersion) {
+		t.Fatalf("future version: want ErrCheckpointVersion, got %v", err)
+	}
+
+	// A missing file is not an error: resume of a never-started sweep just
+	// starts it.
+	missing := filepath.Join(t.TempDir(), "absent.json")
+	if _, err := Run(context.Background(), in, testSpace(in), explorer.RenewablesOnly,
+		Options{CheckpointPath: missing, Resume: true}); err != nil {
+		t.Fatalf("resume with missing checkpoint: %v", err)
+	}
+}
+
+// TestBoundedMemoryFlatInDensity: the engine's peak resident outcome count
+// must stay at the batch size no matter how dense the grid is — the
+// bounded-memory contract of the streaming path.
+func TestBoundedMemoryFlatInDensity(t *testing.T) {
+	in := testInputs(t)
+	const batch = 16
+	for _, n := range []int{4, 8, 16} {
+		res, err := Run(context.Background(), in, denseSpace(in, n), explorer.RenewablesOnly,
+			Options{BatchSize: batch})
+		if err != nil {
+			t.Fatalf("grid %dx%d: %v", n, n, err)
+		}
+		if res.Report.Evaluated != n*n {
+			t.Fatalf("grid %dx%d: evaluated %d designs", n, n, res.Report.Evaluated)
+		}
+		if res.Report.MaxResident > batch {
+			t.Fatalf("grid %dx%d: %d outcomes resident, batch size is %d",
+				n, n, res.Report.MaxResident, batch)
+		}
+	}
+}
+
+// BenchmarkSweepDensity records, per grid density, the peak resident
+// outcome count (flat at the batch size) alongside the usual time/allocs —
+// the benchmark evidence that the streaming path's footprint does not grow
+// with Space density.
+func BenchmarkSweepDensity(b *testing.B) {
+	in := testInputs(b)
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("grid=%dx%d", n, n), func(b *testing.B) {
+			space := denseSpace(in, n)
+			b.ReportAllocs()
+			var resident int
+			for i := 0; i < b.N; i++ {
+				res, err := Run(context.Background(), in, space, explorer.RenewablesOnly,
+					Options{BatchSize: 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+				resident = res.Report.MaxResident
+			}
+			b.ReportMetric(float64(resident), "outcomes-resident")
+		})
+	}
+}

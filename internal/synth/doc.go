@@ -1,0 +1,14 @@
+// Package synth generates the synthetic hourly renewable-generation data
+// that substitutes for the EIA Hourly Grid Monitor feed the paper consumes
+// (Section 3). It provides a deterministic random number generator (so
+// every simulation year is exactly reproducible across runs and platforms),
+// a clear-sky solar irradiance model with persistent cloud cover, and a
+// mean-reverting wind model with calm-spell regimes.
+//
+// The goal of the models is statistical shape, not meteorological forecast
+// accuracy: solar is zero at night and follows latitude/season-dependent day
+// length; wind has heavy day-to-day variance including near-zero days; both
+// exhibit the multi-day persistence that makes deep "supply valleys" — the
+// phenomenon that drives the paper's findings about batteries (Section 4.2)
+// and site selection.
+package synth

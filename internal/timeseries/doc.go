@@ -1,0 +1,17 @@
+// Package timeseries implements the hourly time-series engine underlying
+// Carbon Explorer. All grid supply, datacenter demand, and carbon-intensity
+// signals are hourly series covering one simulation year (8760 hours), the
+// resolution of the paper's entire analysis (Section 3).
+//
+// A Series is an immutable-by-convention slice of float64 samples with a
+// fixed hourly step. Operations either return new series or are explicitly
+// named as in-place mutations.
+//
+// The package is also the data-quality layer for real-world inputs:
+// Validate classifies NaN/Inf/negative samples as typed errors, and Repair
+// fills bounded gaps under an explicit RepairPolicy, returning a
+// RepairReport whose Details list every altered hour (interpolated,
+// clamped, or held) — the audit trail tolerant CSV readers (eiacsv, dcload)
+// surface to their callers. Repair is idempotent: repairing a repaired
+// series changes nothing.
+package timeseries

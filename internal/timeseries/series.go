@@ -1,10 +1,3 @@
-// Package timeseries implements the hourly time-series engine underlying
-// Carbon Explorer. All grid supply, datacenter demand, and carbon-intensity
-// signals are hourly series covering one simulation year (8760 hours).
-//
-// A Series is an immutable-by-convention slice of float64 samples with a
-// fixed hourly step. Operations either return new series or are explicitly
-// named as in-place mutations.
 package timeseries
 
 import (

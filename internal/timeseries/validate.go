@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // This file is the data-quality layer of the time-series engine. Real hourly
@@ -105,11 +106,42 @@ func DefaultRepairPolicy() RepairPolicy {
 	return RepairPolicy{MaxGapHours: 6, ClampNegative: true}
 }
 
+// RepairOp classifies how Repair altered one sample.
+type RepairOp string
+
+// The three repair operations, in the order Repair applies them.
+const (
+	// OpClamped: a negative sample was raised to zero (policy ClampNegative).
+	OpClamped RepairOp = "clamped"
+	// OpInterpolated: an interior-gap sample was filled by linear
+	// interpolation between its nearest valid neighbours.
+	OpInterpolated RepairOp = "interpolated"
+	// OpHeld: a sample in a gap touching the series boundary was filled by
+	// holding (extending) the nearest valid sample.
+	OpHeld RepairOp = "held"
+)
+
+// RepairDetail records one altered sample — the audit trail entry for
+// tolerant reads of real-world data (e.g. EIA exports), where an operator
+// must be able to answer exactly which hours were measured and which were
+// reconstructed.
+type RepairDetail struct {
+	// Hour is the index of the altered sample.
+	Hour int
+	// Op says how the sample was repaired.
+	Op RepairOp
+	// Was is the original (invalid) sample; may be NaN or ±Inf.
+	Was float64
+	// Now is the repaired sample.
+	Now float64
+}
+
 // RepairReport accounts for every change Repair made, so callers can log or
 // surface exactly how the data was altered.
 type RepairReport struct {
 	// Interpolated is the number of samples filled by linear interpolation
-	// (or edge extension at the series boundaries).
+	// (or edge extension at the series boundaries; see Details for the
+	// per-hour split between OpInterpolated and OpHeld).
 	Interpolated int
 	// Clamped is the number of negative samples raised to zero.
 	Clamped int
@@ -117,6 +149,9 @@ type RepairReport struct {
 	Gaps int
 	// LongestGap is the length in hours of the longest filled run.
 	LongestGap int
+	// Details lists every altered sample in hour order — the full audit
+	// trail. len(Details) == Interpolated + Clamped.
+	Details []RepairDetail
 }
 
 // Changed reports whether the repair altered any sample.
@@ -145,6 +180,7 @@ func (s Series) Repair(p RepairPolicy) (Series, RepairReport, error) {
 			if v < 0 && !math.IsInf(v, -1) && !math.IsNaN(v) {
 				out.values[i] = 0
 				rep.Clamped++
+				rep.Details = append(rep.Details, RepairDetail{Hour: i, Op: OpClamped, Was: v, Now: 0})
 			}
 		}
 	}
@@ -172,11 +208,13 @@ func (s Series) Repair(p RepairPolicy) (Series, RepairReport, error) {
 		case i == 0:
 			// Leading gap: hold the first valid sample backwards.
 			for k := i; k < j; k++ {
+				rep.Details = append(rep.Details, RepairDetail{Hour: k, Op: OpHeld, Was: out.values[k], Now: out.values[j]})
 				out.values[k] = out.values[j]
 			}
 		case j == len(out.values):
 			// Trailing gap: hold the last valid sample forwards.
 			for k := i; k < j; k++ {
+				rep.Details = append(rep.Details, RepairDetail{Hour: k, Op: OpHeld, Was: out.values[k], Now: out.values[i-1]})
 				out.values[k] = out.values[i-1]
 			}
 		default:
@@ -184,7 +222,9 @@ func (s Series) Repair(p RepairPolicy) (Series, RepairReport, error) {
 			lo, hi := out.values[i-1], out.values[j]
 			for k := i; k < j; k++ {
 				frac := float64(k-i+1) / float64(gapLen+1)
-				out.values[k] = lo + (hi-lo)*frac
+				v := lo + (hi-lo)*frac
+				rep.Details = append(rep.Details, RepairDetail{Hour: k, Op: OpInterpolated, Was: out.values[k], Now: v})
+				out.values[k] = v
 			}
 		}
 		rep.Interpolated += gapLen
@@ -194,5 +234,8 @@ func (s Series) Repair(p RepairPolicy) (Series, RepairReport, error) {
 		}
 		i = j
 	}
+	// Clamps are recorded in a first pass and gap fills in a second; merge
+	// into a single hour-ordered audit trail.
+	sort.Slice(rep.Details, func(a, b int) bool { return rep.Details[a].Hour < rep.Details[b].Hour })
 	return out, rep, nil
 }

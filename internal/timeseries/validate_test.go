@@ -145,3 +145,87 @@ func TestRepairCleanSeriesUnchanged(t *testing.T) {
 		t.Fatalf("clean series altered: %v, %+v", got.Values(), rep)
 	}
 }
+
+// TestRepairDetails: the per-hour audit trail must name every altered
+// sample, classify it correctly (clamped vs interpolated vs held), stay in
+// hour order, and reconcile with the summary counters.
+func TestRepairDetails(t *testing.T) {
+	// Hour 0: leading gap (held). Hours 3-4: interior gap (interpolated).
+	// Hour 6: negative noise (clamped). Hour 8: trailing gap (held).
+	s := FromValues([]float64{math.NaN(), 2, 3, math.NaN(), math.NaN(), 6, -1, 8, math.Inf(1)})
+	got, rep, err := s.Repair(DefaultRepairPolicy())
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	want := []struct {
+		hour int
+		op   RepairOp
+		now  float64
+	}{
+		{0, OpHeld, 2},
+		{3, OpInterpolated, 4},
+		{4, OpInterpolated, 5},
+		{6, OpClamped, 0},
+		{8, OpHeld, 8},
+	}
+	if len(rep.Details) != len(want) {
+		t.Fatalf("want %d details, got %d: %+v", len(want), len(rep.Details), rep.Details)
+	}
+	for i, w := range want {
+		d := rep.Details[i]
+		if d.Hour != w.hour || d.Op != w.op {
+			t.Fatalf("detail %d: want hour %d op %s, got hour %d op %s", i, w.hour, w.op, d.Hour, d.Op)
+		}
+		if math.Abs(d.Now-w.now) > 1e-12 {
+			t.Fatalf("detail %d: want repaired value %v, got %v", i, w.now, d.Now)
+		}
+		if math.Abs(got.At(d.Hour)-d.Now) > 1e-12 {
+			t.Fatalf("detail %d: Now %v disagrees with repaired series %v", i, d.Now, got.At(d.Hour))
+		}
+	}
+	if len(rep.Details) != rep.Interpolated+rep.Clamped {
+		t.Fatalf("len(Details)=%d != Interpolated(%d)+Clamped(%d)", len(rep.Details), rep.Interpolated, rep.Clamped)
+	}
+	// Was preserves the original defect for the audit trail.
+	if !math.IsNaN(rep.Details[0].Was) || rep.Details[3].Was != -1 || !math.IsInf(rep.Details[4].Was, 1) {
+		t.Fatalf("Was fields lost the original defects: %+v", rep.Details)
+	}
+}
+
+// TestRepairIdempotent: repairing an already-repaired series must change
+// nothing, byte for byte. This is the convergence property tolerant readers
+// rely on (ROADMAP: repairing a corrupted file twice is idempotent).
+func TestRepairIdempotent(t *testing.T) {
+	policies := []RepairPolicy{
+		DefaultRepairPolicy(),
+		{MaxGapHours: 12, ClampNegative: false},
+	}
+	series := [][]float64{
+		{math.NaN(), 2, 3, math.NaN(), math.NaN(), 6, -0.5, 8, math.Inf(1)},
+		{1, math.Inf(-1), 3},
+		{-1, -2, 5, math.NaN(), 7},
+	}
+	for _, p := range policies {
+		for _, vals := range series {
+			r1, rep1, err := FromValues(vals).Repair(p)
+			if err != nil {
+				continue // rejected inputs are out of scope for idempotence
+			}
+			if !rep1.Changed() {
+				t.Fatalf("corrupted series %v repaired nothing under %+v", vals, p)
+			}
+			r2, rep2, err := r1.Repair(p)
+			if err != nil {
+				t.Fatalf("second repair of %v failed: %v", vals, err)
+			}
+			if rep2.Changed() || len(rep2.Details) != 0 {
+				t.Fatalf("second repair of %v still changed samples: %+v", vals, rep2)
+			}
+			for i := range vals {
+				if r2.At(i) != r1.At(i) {
+					t.Fatalf("second repair of %v altered hour %d: %v -> %v", vals, i, r1.At(i), r2.At(i))
+				}
+			}
+		}
+	}
+}

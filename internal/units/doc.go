@@ -1,0 +1,9 @@
+// Package units defines typed physical quantities used throughout Carbon
+// Explorer: power (megawatts), energy (megawatt-hours), carbon mass
+// (grams/kilograms/tonnes of CO2-equivalent), and carbon intensity
+// (gCO2eq per kWh, the unit of the paper's Table 2).
+//
+// The types are thin wrappers over float64. They exist to make unit errors
+// visible in signatures (a function that takes units.MegaWattHours cannot be
+// handed a raw power number) while compiling down to plain float math.
+package units

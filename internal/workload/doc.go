@@ -1,0 +1,6 @@
+// Package workload models the delay-tolerance structure of hyperscale
+// datacenter workloads: SLO tiers (the paper's Figure 10 breakdown of data
+// processing workloads at Meta), the flexible-workload ratio that feeds the
+// carbon-aware scheduler (Section 4.3), and a Borg-like synthetic job trace
+// generator consumed by the jobsim simulator.
+package workload

@@ -1,7 +1,3 @@
-// Package workload models the delay-tolerance structure of hyperscale
-// datacenter workloads: SLO tiers (the paper's Figure 10 breakdown of data
-// processing workloads at Meta), the flexible-workload ratio that feeds the
-// carbon-aware scheduler, and a Borg-like synthetic job trace generator.
 package workload
 
 import (
