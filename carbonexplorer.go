@@ -214,8 +214,19 @@ type (
 	// SweepResult is the streamed optimum, Pareto frontier, and accounting.
 	SweepResult = sweep.Result
 	// SweepReport accounts for every design: evaluated, restored from
-	// checkpoint, retried, recovered, failed, or skipped.
+	// checkpoint, retried, recovered, failed, skipped, or left to other
+	// shards.
 	SweepReport = sweep.Report
+	// SweepShard identifies one worker's contiguous i/N slice of a sweep's
+	// design enumeration; the zero value means unsharded.
+	SweepShard = sweep.Shard
+	// SweepShardPlan pairs a shard with its concrete design-index range.
+	SweepShardPlan = sweep.ShardPlan
+	// SweepMergeReport accounts for a checkpoint merge: per-shard progress
+	// and merged totals.
+	SweepMergeReport = sweep.MergeReport
+	// SweepShardProgress summarizes one input checkpoint of a merge.
+	SweepShardProgress = sweep.ShardProgress
 )
 
 // Sweep checkpoint errors.
@@ -224,8 +235,10 @@ var (
 	// version.
 	ErrCheckpointVersion = sweep.ErrCheckpointVersion
 	// ErrCheckpointMismatch reports a checkpoint that describes a different
-	// sweep (site, strategy, space, or inputs changed).
+	// sweep (site, strategy, space, inputs, or shard slice changed).
 	ErrCheckpointMismatch = sweep.ErrCheckpointMismatch
+	// ErrBadShard reports a malformed or out-of-range shard specification.
+	ErrBadShard = sweep.ErrBadShard
 )
 
 // RunSweep executes a streaming sweep of the space under the strategy:
@@ -238,6 +251,35 @@ var (
 func RunSweep(ctx context.Context, in *Inputs, space Space, strategy Strategy, opts SweepOptions) (SweepResult, error) {
 	return sweep.Run(ctx, in, space, strategy, opts)
 }
+
+// ParseShard parses an "index/count" shard specification (e.g. "2/3") for
+// SweepOptions.Shard; the empty string means unsharded. Malformed or
+// out-of-range specifications wrap ErrBadShard.
+func ParseShard(spec string) (SweepShard, error) { return sweep.ParseShard(spec) }
+
+// PlanShards partitions an n-design enumeration into count contiguous,
+// balanced slices — the deterministic, coordination-free launch plan for a
+// sharded sweep. Use Space.Enumerate (via DefaultSpace and the strategy) to
+// obtain n, hand each worker its i/count, and merge the resulting
+// checkpoints with MergeSweepCheckpoints.
+func PlanShards(n, count int) ([]SweepShardPlan, error) { return sweep.PlanShards(n, count) }
+
+// MergeSweepCheckpoints folds any set of shard checkpoint files — complete
+// or partial — into a single merged checkpoint at dst that RunSweep's
+// Resume accepts. The merge is associative: per-design statuses join, the
+// optimum is the min over shard optima, and the Pareto frontier is the fold
+// of all shard frontiers, so the merged state equals a single-process sweep
+// over every design the shards completed. Checkpoints from a different
+// sweep are rejected with ErrCheckpointMismatch.
+func MergeSweepCheckpoints(dst string, srcs ...string) (SweepMergeReport, error) {
+	return sweep.MergeCheckpoints(dst, srcs...)
+}
+
+// MergeFrontiers folds any number of Pareto frontiers into one — the
+// associative frontier merge that lets partitions of a design space be
+// swept independently: MergeFrontiers(ParetoFrontier(a), ParetoFrontier(b))
+// equals ParetoFrontier(a ∪ b) for any split.
+func MergeFrontiers(frontiers ...[]Outcome) []Outcome { return explorer.MergeFrontiers(frontiers...) }
 
 // DefaultEmbodiedParams returns the paper's Section 5.1 assumptions.
 func DefaultEmbodiedParams() EmbodiedParams { return carbon.DefaultEmbodiedParams() }

@@ -8,12 +8,22 @@
 //	carbonexplorer evaluate -site UT -wind 239 -solar 694 -battery-hours 4 -flex 0.4 -extra-capacity 0.25
 //	carbonexplorer optimize -site UT -strategy all
 //	carbonexplorer optimize -site UT -strategy all -checkpoint sweep.json -resume
+//	carbonexplorer optimize -site UT -strategy all -shard 1/3 -checkpoint shard1.json
+//	carbonexplorer merge -out merged.json shard1.json shard2.json shard3.json
 //	carbonexplorer figure 8
 //
 // optimize runs as a streaming sweep (internal/sweep): memory is bounded by
 // -batch regardless of grid density, failed designs are retried once (disable
 // with -no-retry), and with -checkpoint an interrupted sweep — Ctrl-C, a
 // timeout, or a crash — persists its progress and continues with -resume.
+//
+// -shard i/N restricts a run to its contiguous 1/N slice of the design
+// enumeration, so N workers on separate machines can split one sweep with no
+// coordination beyond agreeing on N. Each shard writes its own checkpoint;
+// merge folds any set of them — complete or partial — into one checkpoint
+// holding the combined optimum and Pareto frontier, which optimize -resume
+// accepts to finish or re-split the remaining designs. See docs/OPERATIONS.md
+// for the operator's guide.
 package main
 
 import (
@@ -58,6 +68,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdEvaluate(args[1:])
 	case "optimize":
 		return cmdOptimize(ctx, args[1:])
+	case "merge":
+		return cmdMerge(args[1:])
 	case "figure":
 		return cmdFigure(args[1:])
 	case "study":
@@ -96,7 +108,10 @@ subcommands:
   coverage     24/7 renewable coverage for a wind/solar investment
   evaluate     full carbon evaluation of one design
   optimize     streaming search for the carbon-optimal design
-               (-checkpoint/-resume persist progress; -batch bounds memory)
+               (-checkpoint/-resume persist progress; -batch bounds memory;
+               -shard i/N sweeps one slice of the space per worker)
+  merge        fold shard checkpoints into one (-out merged.json shard1.json ...);
+               the merged checkpoint resumes with optimize -resume
   figure       regenerate a paper figure/table (1,3,4,5,6,7,8,9,10,11,12,14,15,16)
   study        run an analysis study: dod | cas-gains | total-reduction |
                netzero | forecast | battery-tech | tiered | geo | dispatch |
@@ -208,6 +223,7 @@ func cmdOptimize(ctx context.Context, args []string) error {
 	resume := fs.Bool("resume", false, "resume the sweep recorded in -checkpoint instead of starting over")
 	batch := fs.Int("batch", 0, "designs evaluated per batch — the peak number of outcomes held in memory (0 = default)")
 	noRetry := fs.Bool("no-retry", false, "exclude a design after its first failure instead of retrying it once")
+	shardSpec := fs.String("shard", "", "evaluate only slice i/N of the design space (e.g. 2/3); shard checkpoints fold together with 'merge'")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -219,6 +235,13 @@ func cmdOptimize(ctx context.Context, args []string) error {
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("flag -resume requires -checkpoint")
+	}
+	shard, err := sweep.ParseShard(*shardSpec)
+	if err != nil {
+		return fmt.Errorf("flag -shard: %w", err)
+	}
+	if !shard.IsZero() && *checkpoint == "" {
+		return fmt.Errorf("flag -shard requires -checkpoint (a shard's result only exists as its checkpoint file)")
 	}
 	var strategy explorer.Strategy
 	switch strings.ToLower(*strategyName) {
@@ -247,6 +270,7 @@ func cmdOptimize(ctx context.Context, args []string) error {
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
 		NoRetry:        *noRetry,
+		Shard:          shard,
 	})
 	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	if err != nil && !interrupted {
@@ -257,6 +281,11 @@ func cmdOptimize(ctx context.Context, args []string) error {
 	}
 	if res.Resumed {
 		fmt.Printf("resumed from %s: %d designs restored\n", *checkpoint, res.Report.Restored)
+	}
+	if !shard.IsZero() {
+		total := res.Report.Evaluated + len(res.Report.Failures) + res.Report.Skipped + res.Report.OutOfShard
+		fmt.Printf("shard %s of the %d-design space: %d designs belong to other shards\n",
+			shard, total, res.Report.OutOfShard)
 	}
 	if interrupted {
 		fmt.Printf("sweep interrupted (%v) — partial results over %d evaluated designs (%d skipped)\n",
@@ -275,10 +304,65 @@ func cmdOptimize(ctx context.Context, args []string) error {
 	if n := len(res.Report.Failures); n > 0 {
 		fmt.Printf("%d designs failed and were excluded; first: %v\n", n, res.Report.Failures[0])
 	}
-	fmt.Println("carbon-optimal design:")
+	if shard.IsZero() {
+		fmt.Println("carbon-optimal design:")
+	} else {
+		fmt.Println("carbon-optimal design over this shard's fold:")
+	}
 	printOutcome(*siteID, res.Optimal)
 	if interrupted {
 		return fmt.Errorf("sweep incomplete: %w", err)
+	}
+	if !shard.IsZero() {
+		fmt.Printf("shard complete; fold shard checkpoints with: merge -out merged.json %s <other shards>\n", *checkpoint)
+	}
+	return nil
+}
+
+// cmdMerge folds shard checkpoint files into one merged checkpoint that
+// `optimize -resume` accepts, printing per-shard and merged progress.
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	out := fs.String("out", "", "path for the merged checkpoint (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("flag -out: merged checkpoint path is required")
+	}
+	srcs := fs.Args()
+	if len(srcs) == 0 {
+		return fmt.Errorf("usage: carbonexplorer merge -out merged.json shard1.json [shard2.json ...]")
+	}
+	rep, err := sweep.MergeCheckpoints(*out, srcs...)
+	if err != nil {
+		return err
+	}
+	for _, p := range rep.Inputs {
+		label := p.Shard.String()
+		if label == "" {
+			label = "whole space"
+		}
+		size := p.End - p.Start
+		fmt.Printf("  %s (shard %s): %d/%d done", p.Path, label, p.Done, size)
+		if p.FailedOnce > 0 || p.FailedPerm > 0 {
+			fmt.Printf(", %d awaiting retry, %d failed permanently", p.FailedOnce, p.FailedPerm)
+		}
+		if p.Pending > 0 {
+			fmt.Printf(", %d pending", p.Pending)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("merged %d checkpoints -> %s: %d/%d designs done", len(rep.Inputs), *out, rep.Done, rep.Total)
+	if rep.FailedOnce > 0 || rep.FailedPerm > 0 {
+		fmt.Printf(", %d awaiting retry, %d failed permanently", rep.FailedOnce, rep.FailedPerm)
+	}
+	if rep.Pending > 0 {
+		fmt.Printf(", %d pending", rep.Pending)
+	}
+	fmt.Println()
+	if !rep.Complete() {
+		fmt.Printf("sweep incomplete; finish it with: optimize -checkpoint %s -resume (matching -site/-strategy)\n", *out)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -156,6 +157,78 @@ func TestOptimizeCheckpointResume(t *testing.T) {
 	if err := runBg("optimize", "-site", "UT", "-strategy", "battery",
 		"-checkpoint", ckpt, "-resume"); err == nil {
 		t.Fatal("checkpoint resumed under a different strategy")
+	}
+}
+
+func TestShardFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		flag string // expected flag name in the message
+	}{
+		{[]string{"optimize", "-site", "UT", "-shard", "0/3", "-checkpoint", "x.json"}, "-shard"},
+		{[]string{"optimize", "-site", "UT", "-shard", "4/3", "-checkpoint", "x.json"}, "-shard"},
+		{[]string{"optimize", "-site", "UT", "-shard", "-1/3", "-checkpoint", "x.json"}, "-shard"},
+		{[]string{"optimize", "-site", "UT", "-shard", "1/0", "-checkpoint", "x.json"}, "-shard"},
+		{[]string{"optimize", "-site", "UT", "-shard", "a/3", "-checkpoint", "x.json"}, "-shard"},
+		{[]string{"optimize", "-site", "UT", "-shard", "1/b", "-checkpoint", "x.json"}, "-shard"},
+		{[]string{"optimize", "-site", "UT", "-shard", "2", "-checkpoint", "x.json"}, "-shard"},
+		{[]string{"optimize", "-site", "UT", "-shard", "1.5/3", "-checkpoint", "x.json"}, "-shard"},
+	}
+	for _, c := range cases {
+		err := runBg(c.args...)
+		if err == nil {
+			t.Fatalf("%v: invalid shard accepted", c.args)
+		}
+		if !strings.Contains(err.Error(), c.flag) {
+			t.Fatalf("%v: error %q does not name flag %s", c.args, err, c.flag)
+		}
+	}
+
+	// A shard worker without a checkpoint has nothing to merge later.
+	if err := runBg("optimize", "-site", "UT", "-shard", "1/3"); err == nil {
+		t.Fatal("-shard without -checkpoint accepted")
+	}
+}
+
+func TestMergeFlagValidation(t *testing.T) {
+	if err := runBg("merge"); err == nil {
+		t.Fatal("merge without -out or inputs accepted")
+	}
+	if err := runBg("merge", "-out", filepath.Join(t.TempDir(), "m.json")); err == nil {
+		t.Fatal("merge without input checkpoints accepted")
+	}
+	if err := runBg("merge", "shard1.json"); err == nil {
+		t.Fatal("merge without -out accepted")
+	}
+	if err := runBg("merge", "-out", filepath.Join(t.TempDir(), "m.json"),
+		filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("merge of a missing checkpoint accepted")
+	}
+}
+
+func TestOptimizeShardMergeResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	// The OPERATIONS.md worked example, end to end: three shard workers,
+	// one merge, one resume that verifies nothing is left pending.
+	dir := t.TempDir()
+	var shards []string
+	for i := 1; i <= 3; i++ {
+		ckpt := filepath.Join(dir, "shard"+strconv.Itoa(i)+".json")
+		if err := runBg("optimize", "-site", "UT", "-strategy", "renewables",
+			"-shard", strconv.Itoa(i)+"/3", "-checkpoint", ckpt); err != nil {
+			t.Fatalf("shard %d/3 failed: %v", i, err)
+		}
+		shards = append(shards, ckpt)
+	}
+	merged := filepath.Join(dir, "merged.json")
+	if err := runBg(append([]string{"merge", "-out", merged}, shards...)...); err != nil {
+		t.Fatalf("merge failed: %v", err)
+	}
+	if err := runBg("optimize", "-site", "UT", "-strategy", "renewables",
+		"-checkpoint", merged, "-resume"); err != nil {
+		t.Fatalf("resume of merged checkpoint failed: %v", err)
 	}
 }
 

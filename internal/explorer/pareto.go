@@ -40,8 +40,37 @@ func (ps *ParetoSet) Add(o Outcome) {
 	ps.points = append(kept, o)
 }
 
+// AddAll folds each outcome into the set, in order — a convenience for
+// merging whole frontiers; see MergeFrontiers.
+func (ps *ParetoSet) AddAll(outcomes []Outcome) {
+	for _, o := range outcomes {
+		ps.Add(o)
+	}
+}
+
 // Len returns the number of non-dominated points currently held.
 func (ps *ParetoSet) Len() int { return len(ps.points) }
+
+// MergeFrontiers folds any number of frontiers into one, sorted by
+// increasing embodied carbon. Because the Pareto fold is associative and
+// commutative up to duplicate-coordinate representatives — the frontier of
+// a union equals the frontier of the union of frontiers — partitions of a
+// design space can compute frontiers independently and merge them:
+//
+//	MergeFrontiers(ParetoFrontier(a), ParetoFrontier(b))
+//
+// equals ParetoFrontier(a ∪ b) for any split. This is the algebraic fact
+// the sharded sweep engine (internal/sweep) rests on: per-shard frontiers
+// merge into exactly the single-process frontier. When two points carry
+// identical (operational, embodied) coordinates, the earlier frontier's
+// representative wins, matching ParetoFrontier over the concatenation.
+func MergeFrontiers(frontiers ...[]Outcome) []Outcome {
+	var ps ParetoSet
+	for _, f := range frontiers {
+		ps.AddAll(f)
+	}
+	return ps.Frontier()
+}
 
 // Frontier returns the current frontier sorted by increasing embodied
 // carbon, like ParetoFrontier. The slice is a copy; the set remains usable.

@@ -57,6 +57,57 @@ func TestParetoSetMatchesBatchFrontier(t *testing.T) {
 	}
 }
 
+// TestMergeFrontiersAssociative: for any partition of a point cloud into
+// contiguous chunks, merging the per-chunk frontiers must reproduce the
+// frontier of the whole cloud exactly — the algebraic fact that lets the
+// sharded sweep engine fold shard checkpoints in any grouping.
+func TestMergeFrontiersAssociative(t *testing.T) {
+	var pts []Outcome
+	state := uint64(7)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>40) / float64(1<<24) * 100
+	}
+	for i := 0; i < 300; i++ {
+		pts = append(pts, outcomeOpEmb(next(), next()))
+	}
+	pts = append(pts, outcomeOpEmb(1, 1), outcomeOpEmb(1, 1), outcomeOpEmb(0.5, 3), outcomeOpEmb(3, 0.5))
+	want := ParetoFrontier(pts)
+
+	for _, chunks := range [][]int{{len(pts)}, {50, len(pts) - 50}, {1, 100, len(pts) - 101}, {101, 101, 101, 1}} {
+		var frontiers [][]Outcome
+		start := 0
+		for _, c := range chunks {
+			frontiers = append(frontiers, ParetoFrontier(pts[start:start+c]))
+			start += c
+		}
+		if start != len(pts) {
+			t.Fatalf("bad partition %v", chunks)
+		}
+		// Merge left-to-right, and also as a merge of pre-merged halves,
+		// to exercise associativity rather than one fold order.
+		merged := MergeFrontiers(frontiers...)
+		if len(frontiers) > 2 {
+			half := len(frontiers) / 2
+			a := MergeFrontiers(frontiers[:half]...)
+			b := MergeFrontiers(frontiers[half:]...)
+			regrouped := MergeFrontiers(a, b)
+			if len(regrouped) != len(merged) {
+				t.Fatalf("partition %v: regrouped merge has %d points, flat merge %d", chunks, len(regrouped), len(merged))
+			}
+		}
+		if len(merged) != len(want) {
+			t.Fatalf("partition %v: merged frontier has %d points, whole-cloud frontier %d", chunks, len(merged), len(want))
+		}
+		for i := range want {
+			if merged[i].Operational != want[i].Operational || merged[i].Embodied != want[i].Embodied {
+				t.Fatalf("partition %v: frontier point %d differs: (%v, %v) vs (%v, %v)", chunks, i,
+					merged[i].Operational, merged[i].Embodied, want[i].Operational, want[i].Embodied)
+			}
+		}
+	}
+}
+
 // TestParetoSetBounded: the set never holds dominated points, so its size is
 // the frontier size, not the fold count.
 func TestParetoSetBounded(t *testing.T) {

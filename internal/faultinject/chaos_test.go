@@ -240,6 +240,147 @@ func TestChaosSweepKillResume(t *testing.T) {
 	}
 }
 
+// TestChaosShardedMergeResume is the distributed acceptance scenario: the
+// space split across three shard workers, one crash-looping under injected
+// kills, one battling transient faults, one abandoned mid-batch and never
+// restarted. Merging whatever checkpoints survive and resuming the merged
+// file must yield exactly the optimum and Pareto frontier of an
+// uninterrupted single-process sweep.Run.
+func TestChaosShardedMergeResume(t *testing.T) {
+	in := chaosInputs(t)
+	space := chaosSpace(in)
+	dir := t.TempDir()
+
+	clean, err := sweep.Run(context.Background(), in, space, explorer.RenewablesBatteryCAS, sweep.Options{})
+	if err != nil {
+		t.Fatalf("uninterrupted sweep: %v", err)
+	}
+
+	const shards = 3
+
+	// Shard 1/3: a crash loop — each life is killed after a few evaluations
+	// and resumed from its own checkpoint until the slice completes.
+	shard1 := filepath.Join(dir, "shard1.json")
+	lives := 0
+	for {
+		lives++
+		if lives > 50 {
+			t.Fatal("shard 1 crash loop did not converge in 50 lives")
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		var mu sync.Mutex
+		evals := 0
+		in.EvalHook = func(explorer.Design) error {
+			mu.Lock()
+			evals++
+			if evals == 5 {
+				cancel()
+			}
+			mu.Unlock()
+			return nil
+		}
+		_, err := sweep.Run(ctx, in, space, explorer.RenewablesBatteryCAS, sweep.Options{
+			BatchSize: 3, CheckpointPath: shard1, CheckpointEvery: 2, Resume: true,
+			Shard: sweep.Shard{Index: 1, Count: shards},
+		})
+		cancel()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("shard 1 life %d died of something other than the injected kill: %v", lives, err)
+		}
+	}
+	if lives < 2 {
+		t.Fatal("shard 1 finished in one life — the kill never fired, nothing was chaos-tested")
+	}
+
+	// Shard 2/3: transient faults on ~25% of designs; the retry-once pass
+	// must absorb them all within one run.
+	in.EvalHook = TransientFaults(42, 0.25)
+	shard2 := filepath.Join(dir, "shard2.json")
+	res2, err := sweep.Run(context.Background(), in, space, explorer.RenewablesBatteryCAS, sweep.Options{
+		BatchSize: 4, CheckpointPath: shard2,
+		Shard: sweep.Shard{Index: 2, Count: shards},
+	})
+	if err != nil {
+		t.Fatalf("transient-fault shard: %v", err)
+	}
+	if res2.Report.Recovered == 0 {
+		t.Fatal("shard 2 recovered nothing; raise the fraction or reseed")
+	}
+	if len(res2.Report.Failures) != 0 {
+		t.Fatalf("transient faults left permanent failures on shard 2: %v", res2.Report.Failures)
+	}
+
+	// Shard 3/3: killed mid-batch and never restarted — the worker is lost,
+	// only its partial checkpoint remains.
+	shard3 := filepath.Join(dir, "shard3.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	evals := 0
+	in.EvalHook = func(explorer.Design) error {
+		mu.Lock()
+		evals++
+		if evals == 7 {
+			cancel()
+		}
+		mu.Unlock()
+		return nil
+	}
+	_, err = sweep.Run(ctx, in, space, explorer.RenewablesBatteryCAS, sweep.Options{
+		BatchSize: 3, CheckpointPath: shard3, CheckpointEvery: 1, Resume: true,
+		Shard: sweep.Shard{Index: 3, Count: shards},
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("shard 3 should die of the injected kill, got %v", err)
+	}
+	in.EvalHook = nil
+
+	// Merge the two complete shards with the lost worker's partial file.
+	merged := filepath.Join(dir, "merged.json")
+	rep, err := sweep.MergeCheckpoints(merged, shard1, shard2, shard3)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if rep.Complete() {
+		t.Fatal("merge including a half-dead shard claims completion")
+	}
+	if rep.Done == 0 || rep.Pending == 0 {
+		t.Fatalf("merge lost the partial progress picture: %+v", rep)
+	}
+
+	// One unsharded resume finishes the lost shard's remainder.
+	final, err := sweep.Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
+		sweep.Options{CheckpointPath: merged, Resume: true})
+	if err != nil {
+		t.Fatalf("resume of merged checkpoint: %v", err)
+	}
+	if final.Report.Restored != rep.Done {
+		t.Fatalf("resume restored %d designs, merge reported %d done", final.Report.Restored, rep.Done)
+	}
+	if final.Report.Evaluated != clean.Report.Evaluated {
+		t.Fatalf("sharded chaos run evaluated %d designs, clean run %d",
+			final.Report.Evaluated, clean.Report.Evaluated)
+	}
+	if final.Optimal.Design != clean.Optimal.Design || final.Optimal.Total() != clean.Optimal.Total() {
+		t.Fatalf("sharded chaos optimum differs from uninterrupted:\nchaos: %+v (%v)\nclean: %+v (%v)",
+			final.Optimal.Design, final.Optimal.Total(), clean.Optimal.Design, clean.Optimal.Total())
+	}
+	if len(final.Frontier) != len(clean.Frontier) {
+		t.Fatalf("sharded chaos frontier has %d points, clean has %d", len(final.Frontier), len(clean.Frontier))
+	}
+	for i := range clean.Frontier {
+		if final.Frontier[i].Design != clean.Frontier[i].Design ||
+			final.Frontier[i].Operational != clean.Frontier[i].Operational ||
+			final.Frontier[i].Embodied != clean.Frontier[i].Embodied {
+			t.Fatalf("frontier point %d differs: %+v vs %+v",
+				i, final.Frontier[i].Design, clean.Frontier[i].Design)
+		}
+	}
+}
+
 // TestChaosSweepTransientRecovery: transient faults alone (no kills) must be
 // fully absorbed by the sweep's retry-once pass.
 func TestChaosSweepTransientRecovery(t *testing.T) {

@@ -8,15 +8,23 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"carbonexplorer/internal/explorer"
 	"carbonexplorer/internal/units"
 )
 
-// checkpointVersion is the on-disk schema version. Bump it whenever the
-// checkpoint layout changes incompatibly; Load rejects other versions with
-// ErrCheckpointVersion instead of misreading old files.
-const checkpointVersion = 1
+// checkpointVersion is the on-disk schema version the writer emits. Version
+// 2 run-length-encodes the design-status string and adds shard metadata;
+// the loader still reads version 1 (plain status string, unsharded).
+// Load rejects any other version with ErrCheckpointVersion instead of
+// misreading the file.
+const checkpointVersion = 2
+
+// checkpointVersionV1 is the legacy schema: plain (one rune per design)
+// status string, no shard or designs fields. Read-only.
+const checkpointVersionV1 = 1
 
 var (
 	// ErrCheckpointVersion is returned (wrapped) when a checkpoint file was
@@ -46,10 +54,20 @@ const (
 // on the frontier are not kept, which is what bounds the file (and the
 // resumed sweep's memory) by the frontier size rather than the grid size.
 type checkpointFile struct {
-	Version   int            `json:"version"`
-	SpaceHash string         `json:"space_hash"`
-	Site      string         `json:"site"`
-	Strategy  int            `json:"strategy"`
+	Version   int    `json:"version"`
+	SpaceHash string `json:"space_hash"`
+	Site      string `json:"site"`
+	Strategy  int    `json:"strategy"`
+	// Designs is the total number of designs in the FULL space (version 2).
+	// Even a shard checkpoint records the whole enumeration, so any set of
+	// shard checkpoints agrees on the index space and can be merged.
+	Designs int `json:"designs,omitempty"`
+	// Shard is the "index/count" slice the writing run evaluated, or ""
+	// for an unsharded run or a merged checkpoint (version 2).
+	Shard string `json:"shard,omitempty"`
+	// Status covers every design of the full space in enumeration order.
+	// Version 1 stores one rune per design; version 2 run-length encodes
+	// the same runes as count+rune pairs ("40D1F9P").
 	Status    string         `json:"status"`
 	Retried   int            `json:"retried"`
 	Recovered int            `json:"recovered"`
@@ -57,6 +75,93 @@ type checkpointFile struct {
 	Frontier  []savedOutcome `json:"frontier,omitempty"`
 	Failures  []savedFailure `json:"failures,omitempty"`
 }
+
+// statusBytes decodes the per-design status string according to the file's
+// schema version, validating every rune.
+func (c *checkpointFile) statusBytes() ([]byte, error) {
+	if c.Version == checkpointVersionV1 {
+		for _, s := range []byte(c.Status) {
+			if !validStatus(s) {
+				return nil, fmt.Errorf("%w: unknown design status %q", ErrCheckpointMismatch, s)
+			}
+		}
+		return []byte(c.Status), nil
+	}
+	return decodeStatusRLE(c.Status)
+}
+
+// shard parses the checkpoint's shard label ("" means unsharded).
+func (c *checkpointFile) shard() (Shard, error) {
+	sh, err := ParseShard(c.Shard)
+	if err != nil {
+		return Shard{}, fmt.Errorf("%w: shard label: %v", ErrCheckpointMismatch, err)
+	}
+	return sh, nil
+}
+
+func validStatus(s byte) bool {
+	switch s {
+	case statusPending, statusDone, statusFailedOnce, statusFailedPerm:
+		return true
+	}
+	return false
+}
+
+// encodeStatusRLE run-length encodes a status string as decimal-count+rune
+// pairs: "DDDDFPP" -> "4D1F2P". Long uniform runs — the common shape of a
+// multi-million-design sweep, where most designs are done or pending —
+// collapse to a handful of bytes, which is what keeps version-2 checkpoints
+// small enough to write every few hundred designs on spaces with millions
+// of points (the ROADMAP's checkpoint-compaction item).
+func encodeStatusRLE(status []byte) string {
+	var b strings.Builder
+	for i := 0; i < len(status); {
+		j := i
+		for j < len(status) && status[j] == status[i] {
+			j++
+		}
+		b.WriteString(strconv.Itoa(j - i))
+		b.WriteByte(status[i])
+		i = j
+	}
+	return b.String()
+}
+
+// decodeStatusRLE inverts encodeStatusRLE, rejecting malformed input:
+// missing counts, zero/negative runs, unknown status runes, or an encoding
+// so large it cannot describe a real sweep.
+func decodeStatusRLE(enc string) ([]byte, error) {
+	var out []byte
+	for i := 0; i < len(enc); {
+		j := i
+		for j < len(enc) && enc[j] >= '0' && enc[j] <= '9' {
+			j++
+		}
+		if j == i || j == len(enc) {
+			return nil, fmt.Errorf("%w: malformed run-length status near byte %d", ErrCheckpointMismatch, i)
+		}
+		n, err := strconv.Atoi(enc[i:j])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%w: bad run length %q in status", ErrCheckpointMismatch, enc[i:j])
+		}
+		r := enc[j]
+		if !validStatus(r) {
+			return nil, fmt.Errorf("%w: unknown design status %q", ErrCheckpointMismatch, r)
+		}
+		if len(out)+n > maxStatusLen {
+			return nil, fmt.Errorf("%w: status describes more than %d designs", ErrCheckpointMismatch, maxStatusLen)
+		}
+		for k := 0; k < n; k++ {
+			out = append(out, r)
+		}
+		i = j + 1
+	}
+	return out, nil
+}
+
+// maxStatusLen bounds how many designs a decoded status string may
+// describe, so a corrupt run length cannot balloon memory.
+const maxStatusLen = 1 << 28
 
 // savedOutcome is explorer.Outcome minus the hourly battery state-of-charge
 // trace, which the streaming path drops (it would make checkpoints and
@@ -78,9 +183,13 @@ type savedOutcome struct {
 
 // savedFailure records a failed design and its cause. Error identity does
 // not survive serialization — a resumed sweep reports restored failures as
-// plain string errors.
+// plain string errors. Index is the design's position in the enumeration
+// (version 2), which lets a merge drop failure records for designs another
+// shard attempt later completed; version-1 files load with Index -1
+// (unknown).
 type savedFailure struct {
 	Design    explorer.Design `json:"design"`
+	Index     int             `json:"index"`
 	Error     string          `json:"error"`
 	Permanent bool            `json:"permanent"`
 }
@@ -178,20 +287,34 @@ func loadCheckpoint(path string) (*checkpointFile, error) {
 	if err := json.Unmarshal(data, &c); err != nil {
 		return nil, fmt.Errorf("sweep: decoding checkpoint %s: %w", path, err)
 	}
-	if c.Version != checkpointVersion {
-		return nil, fmt.Errorf("%w: file has version %d, this build reads %d",
-			ErrCheckpointVersion, c.Version, checkpointVersion)
+	if c.Version != checkpointVersion && c.Version != checkpointVersionV1 {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d and %d",
+			ErrCheckpointVersion, c.Version, checkpointVersionV1, checkpointVersion)
+	}
+	if c.Version == checkpointVersionV1 {
+		// v1 predates per-failure indices and shard metadata.
+		for i := range c.Failures {
+			c.Failures[i].Index = -1
+		}
 	}
 	return &c, nil
 }
 
-// matches verifies the checkpoint describes this exact sweep.
-func (c *checkpointFile) matches(hash string, nDesigns int) error {
+// matches verifies the checkpoint describes this exact sweep and returns
+// the decoded per-design status string.
+func (c *checkpointFile) matches(hash string, nDesigns int) ([]byte, error) {
 	if c.SpaceHash != hash {
-		return fmt.Errorf("%w: space hash %s vs %s", ErrCheckpointMismatch, c.SpaceHash, hash)
+		return nil, fmt.Errorf("%w: space hash %s vs %s", ErrCheckpointMismatch, c.SpaceHash, hash)
 	}
-	if len(c.Status) != nDesigns {
-		return fmt.Errorf("%w: %d design statuses vs %d designs", ErrCheckpointMismatch, len(c.Status), nDesigns)
+	status, err := c.statusBytes()
+	if err != nil {
+		return nil, err
 	}
-	return nil
+	if len(status) != nDesigns {
+		return nil, fmt.Errorf("%w: %d design statuses vs %d designs", ErrCheckpointMismatch, len(status), nDesigns)
+	}
+	if c.Version != checkpointVersionV1 && c.Designs != nDesigns {
+		return nil, fmt.Errorf("%w: checkpoint records %d designs vs %d enumerated", ErrCheckpointMismatch, c.Designs, nDesigns)
+	}
+	return status, nil
 }

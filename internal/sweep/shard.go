@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrBadShard is returned (wrapped) when a shard specification is malformed
+// or out of range: index or count non-numeric, count < 1, or index outside
+// [1, count].
+var ErrBadShard = errors.New("sweep: invalid shard")
+
+// Shard identifies one worker's contiguous slice of a sweep's design
+// enumeration, written "index/count" (1-based): shard 2/3 is the middle
+// third. The zero value means "unsharded" — the whole space.
+//
+// Sharding is a pure function of the enumeration length and the shard
+// count: every worker running PlanShards (or Shard.Bounds) over the same
+// space computes the same partition, so shards can be launched on separate
+// machines with no coordination beyond agreeing on i/N.
+type Shard struct {
+	// Index is the 1-based shard number, in [1, Count].
+	Index int
+	// Count is the total number of shards the space is split into.
+	Count int
+}
+
+// IsZero reports whether s is the zero Shard, meaning an unsharded sweep.
+func (s Shard) IsZero() bool { return s == Shard{} }
+
+// String formats the shard as "index/count"; the zero shard formats as "".
+func (s Shard) String() string {
+	if s.IsZero() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// validate checks a non-zero shard's invariants.
+func (s Shard) validate() error {
+	if s.Count < 1 {
+		return fmt.Errorf("%w %q: count %d < 1", ErrBadShard, s, s.Count)
+	}
+	if s.Index < 1 || s.Index > s.Count {
+		return fmt.Errorf("%w %q: index %d out of range [1, %d]", ErrBadShard, s, s.Index, s.Count)
+	}
+	return nil
+}
+
+// ParseShard parses an "index/count" shard specification, e.g. "2/3". The
+// empty string parses to the zero (unsharded) Shard. Rejections — missing
+// slash, non-numeric parts, count < 1, index outside [1, count] — wrap
+// ErrBadShard.
+func ParseShard(spec string) (Shard, error) {
+	if spec == "" {
+		return Shard{}, nil
+	}
+	idxStr, cntStr, ok := strings.Cut(spec, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("%w %q: want the form index/count, e.g. 2/3", ErrBadShard, spec)
+	}
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil {
+		return Shard{}, fmt.Errorf("%w %q: index %q is not an integer", ErrBadShard, spec, idxStr)
+	}
+	cnt, err := strconv.Atoi(cntStr)
+	if err != nil {
+		return Shard{}, fmt.Errorf("%w %q: count %q is not an integer", ErrBadShard, spec, cntStr)
+	}
+	s := Shard{Index: idx, Count: cnt}
+	if err := s.validate(); err != nil {
+		return Shard{}, err
+	}
+	return s, nil
+}
+
+// Bounds returns the half-open index range [start, end) of this shard's
+// slice of an n-design enumeration. Slices are contiguous, cover [0, n)
+// exactly once across all Count shards, and are balanced: sizes differ by
+// at most one design, with the earlier shards taking the remainder. The
+// partition depends only on (n, Count), never on runtime state, so it is
+// stable across resumes and across machines.
+//
+// Bounds panics if the shard is invalid; use validate/ParseShard first.
+// The zero shard spans the whole enumeration.
+func (s Shard) Bounds(n int) (start, end int) {
+	if s.IsZero() {
+		return 0, n
+	}
+	if err := s.validate(); err != nil {
+		panic(err)
+	}
+	base, extra := n/s.Count, n%s.Count
+	i := s.Index - 1
+	start = i * base
+	if i < extra {
+		start += i
+	} else {
+		start += extra
+	}
+	end = start + base
+	if i < extra {
+		end++
+	}
+	return start, end
+}
+
+// ShardPlan pairs a shard with its concrete design-index range.
+type ShardPlan struct {
+	// Shard is the i/N identity of this slice.
+	Shard Shard
+	// Start and End delimit the half-open range [Start, End) of design
+	// indices, in enumeration order, that this shard evaluates.
+	Start, End int
+}
+
+// Size returns the number of designs in the plan's slice.
+func (p ShardPlan) Size() int { return p.End - p.Start }
+
+// PlanShards partitions an n-design enumeration into `count` contiguous,
+// balanced slices — the deterministic partition every shard-aware sweep
+// uses. Shards near the end of an enumeration may be empty when count > n;
+// running an empty shard is a no-op, not an error.
+//
+// The returned plans are in shard order (1/count first). PlanShards is the
+// coordination-free launch plan: give each worker its i/count and the same
+// space, and the workers' Bounds agree with these plans exactly.
+func PlanShards(n, count int) ([]ShardPlan, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: PlanShards: negative design count %d", n)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("%w: count %d < 1", ErrBadShard, count)
+	}
+	plans := make([]ShardPlan, count)
+	for i := 1; i <= count; i++ {
+		sh := Shard{Index: i, Count: count}
+		start, end := sh.Bounds(n)
+		plans[i-1] = ShardPlan{Shard: sh, Start: start, End: end}
+	}
+	return plans, nil
+}

@@ -40,6 +40,14 @@ type Options struct {
 	// from the optimum — transient faults (a flaky data backend, an
 	// injected chaos error) should not permanently discard a grid point.
 	NoRetry bool
+	// Shard, when non-zero, restricts this run to its contiguous i/N slice
+	// of the enumeration (Shard.Bounds over the full design list). The
+	// checkpoint still covers the whole space — designs outside the slice
+	// stay pending — so any set of shard checkpoints over the same space
+	// can be folded with MergeCheckpoints into the single-process result.
+	// The space hash is of the FULL space, so shards of the same sweep
+	// agree on it and mismatched shards are rejected on resume and merge.
+	Shard Shard
 }
 
 func (o Options) withDefaults() Options {
@@ -60,9 +68,14 @@ type Report struct {
 	// Restored is how many of Evaluated were restored from the checkpoint
 	// rather than re-evaluated in this run.
 	Restored int
-	// Skipped is the number of designs never evaluated because the sweep
-	// was cancelled first. Resuming from the checkpoint picks them up.
+	// Skipped is the number of in-shard designs never evaluated because the
+	// sweep was cancelled first. Resuming from the checkpoint picks them
+	// up.
 	Skipped int
+	// OutOfShard is the number of designs outside this run's shard slice
+	// that no prior checkpoint accounted for. Other shards (or a resume of
+	// the merged checkpoint) evaluate them; zero for unsharded runs.
+	OutOfShard int
 	// Retried is the number of design re-evaluations performed by the
 	// retry pass (accumulated across resumed runs).
 	Retried int
@@ -111,6 +124,11 @@ type Result struct {
 // deaths: an interrupted sweep resumed with Options.Resume converges to the
 // same optimum and frontier as an uninterrupted run.
 //
+// With Options.Shard set, the run evaluates only its contiguous i/N slice
+// of the enumeration; per-shard checkpoints over the same space fold into
+// the single-process result with MergeCheckpoints. An empty shard slice
+// (more shards than designs) completes immediately with nothing evaluated.
+//
 // Failure semantics match explorer.SearchContext: a failing or panicking
 // design is excluded from the optimum (after one retry, unless NoRetry) and
 // recorded in the report; only if every design fails does Run return a
@@ -122,6 +140,12 @@ func Run(ctx context.Context, in *explorer.Inputs, space explorer.Space, strateg
 	if len(designs) == 0 {
 		return Result{}, fmt.Errorf("sweep: empty search space")
 	}
+	if !opts.Shard.IsZero() {
+		if err := opts.Shard.validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	lo, hi := opts.Shard.Bounds(len(designs))
 
 	r := &runner{
 		in:       in,
@@ -131,6 +155,8 @@ func Run(ctx context.Context, in *explorer.Inputs, space explorer.Space, strateg
 		hash:     sweepHash(in, strategy, designs),
 		status:   make([]byte, len(designs)),
 		failErrs: make(map[int]error),
+		lo:       lo,
+		hi:       hi,
 	}
 	for i := range r.status {
 		r.status[i] = statusPending
@@ -166,7 +192,7 @@ func Run(ctx context.Context, in *explorer.Inputs, space explorer.Space, strateg
 	if ctxErr != nil {
 		return res, ctxErr
 	}
-	if res.Report.Evaluated == 0 {
+	if res.Report.Evaluated == 0 && len(res.Report.Failures) > 0 {
 		return res, fmt.Errorf("%w: %d failures, first: %w",
 			explorer.ErrAllDesignsFailed, len(res.Report.Failures), res.Report.Failures[0])
 	}
@@ -191,6 +217,12 @@ type runner struct {
 	recovered int
 	maxHeld   int
 	sinceSave int
+
+	// lo and hi delimit this run's shard slice [lo, hi) of the design
+	// enumeration; [0, len(designs)) for unsharded runs. Evaluation passes
+	// only consider indices inside the slice, but status, fold state, and
+	// checkpoints cover the whole space.
+	lo, hi int
 }
 
 // restore loads prior progress from the checkpoint file, if resuming.
@@ -205,17 +237,23 @@ func (r *runner) restore() (bool, error) {
 		}
 		return false, err
 	}
-	if err := ck.matches(r.hash, len(r.designs)); err != nil {
+	status, err := ck.matches(r.hash, len(r.designs))
+	if err != nil {
 		return false, err
 	}
-	for _, s := range []byte(ck.Status) {
-		switch s {
-		case statusPending, statusDone, statusFailedOnce, statusFailedPerm:
-		default:
-			return false, fmt.Errorf("%w: unknown design status %q", ErrCheckpointMismatch, s)
-		}
+	ckShard, err := ck.shard()
+	if err != nil {
+		return false, err
 	}
-	copy(r.status, ck.Status)
+	// A checkpoint written by shard i/N may only be resumed by the same
+	// shard, or adopted whole by an unsharded run (the lost-shard recovery
+	// path). Resuming it under a different slice would quietly orphan the
+	// designs between the two slices.
+	if !r.opts.Shard.IsZero() && !ckShard.IsZero() && ckShard != r.opts.Shard {
+		return false, fmt.Errorf("%w: checkpoint was written by shard %s, this run is shard %s",
+			ErrCheckpointMismatch, ckShard, r.opts.Shard)
+	}
+	copy(r.status, status)
 	r.retried = ck.Retried
 	r.recovered = ck.Recovered
 	if ck.Best != nil {
@@ -359,12 +397,13 @@ func betterOutcome(a, b explorer.Outcome) bool {
 	return a.CoveragePct > b.CoveragePct
 }
 
-// indicesWithStatus lists designs currently in the given state, in
-// enumeration order.
+// indicesWithStatus lists in-shard designs currently in the given state, in
+// enumeration order. Designs outside the shard slice belong to other
+// workers and are never evaluated here.
 func (r *runner) indicesWithStatus(s byte) []int {
 	var out []int
-	for i, st := range r.status {
-		if st == s {
+	for i := r.lo; i < r.hi; i++ {
+		if r.status[i] == s {
 			out = append(out, i)
 		}
 	}
@@ -381,7 +420,9 @@ func (r *runner) checkpoint() error {
 		SpaceHash: r.hash,
 		Site:      r.in.Site.ID,
 		Strategy:  int(r.strategy),
-		Status:    string(r.status),
+		Designs:   len(r.designs),
+		Shard:     r.opts.Shard.String(),
+		Status:    encodeStatusRLE(r.status),
 		Retried:   r.retried,
 		Recovered: r.recovered,
 	}
@@ -392,12 +433,16 @@ func (r *runner) checkpoint() error {
 	for _, o := range r.frontier.Frontier() {
 		ck.Frontier = append(ck.Frontier, saveOutcome(o))
 	}
-	for i, err := range r.failErrs {
-		if r.status[i] != statusFailedOnce && r.status[i] != statusFailedPerm {
+	// Walk indices in order (not the map) so the failure list is
+	// deterministic and merged checkpoints are byte-stable.
+	for i := range r.status {
+		err, ok := r.failErrs[i]
+		if !ok || (r.status[i] != statusFailedOnce && r.status[i] != statusFailedPerm) {
 			continue
 		}
 		ck.Failures = append(ck.Failures, savedFailure{
 			Design:    r.designs[i],
+			Index:     i,
 			Error:     err.Error(),
 			Permanent: r.status[i] == statusFailedPerm,
 		})
@@ -424,7 +469,11 @@ func (r *runner) result(resumed bool) Result {
 		case statusDone:
 			res.Report.Evaluated++
 		case statusPending:
-			res.Report.Skipped++
+			if i < r.lo || i >= r.hi {
+				res.Report.OutOfShard++
+			} else {
+				res.Report.Skipped++
+			}
 		case statusFailedOnce, statusFailedPerm:
 			err := r.failErrs[i]
 			if err == nil {
