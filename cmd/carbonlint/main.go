@@ -1,0 +1,76 @@
+// Command carbonlint runs the project's static-analysis suite — the
+// machine-enforced determinism, cancellation, and checkpoint invariants
+// described in docs/LINTING.md — over the given packages.
+//
+// Usage:
+//
+//	go run ./cmd/carbonlint ./...        # lint the whole module
+//	go run ./cmd/carbonlint -list        # describe the analyzers
+//	go run ./cmd/carbonlint ./internal/sweep ./internal/explorer
+//
+// Findings print one per line as file:line:col: analyzer: message, and any
+// finding makes the command exit 1 — CI fails on a single diagnostic.
+// Intentional violations are suppressed in the source with
+//
+//	//carbonlint:allow <analyzer> <reason>
+//
+// on the offending line or the line above; the reason is mandatory and a
+// directive that suppresses nothing is itself a finding, so suppressions
+// cannot rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carbonexplorer/internal/analyzers"
+	"carbonexplorer/internal/analyzers/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: carbonlint [-list] [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Patterns("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carbonlint:", err)
+		os.Exit(2)
+	}
+	findings, err := analyzers.Lint(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carbonlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "carbonlint: %d finding%s\n", n, plural(n))
+		os.Exit(1)
+	}
+}
+
+// plural returns "s" for n != 1.
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

@@ -1,0 +1,61 @@
+// Package analysis defines the analyzer interface the carbonlint suite is
+// written against: a deliberately small, API-compatible subset of
+// golang.org/x/tools/go/analysis.
+//
+// The subset exists because this module is built in network-restricted
+// environments with no external dependencies; x/tools cannot be vendored
+// here. Every type mirrors its x/tools namesake field-for-field (Analyzer,
+// Pass, Diagnostic), so if the real dependency ever becomes available the
+// analyzers port mechanically: swap the import path and delete this package.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name, prose documentation for
+// `carbonlint -list` and docs/LINTING.md, and the Run function applied to
+// each package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //carbonlint:allow suppression directives. It must be a valid
+	// identifier.
+	Name string
+	// Doc is the analyzer's documentation: first line a one-sentence
+	// summary, then the invariant it protects.
+	Doc string
+	// Run applies the check to a single package and reports findings
+	// through pass.Report. The result value is unused by this driver but
+	// kept for x/tools signature compatibility.
+	Run func(*Pass) (any, error)
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed sources, excluding test files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds type and object resolution for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,104 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"carbonexplorer/internal/analyzers/analysis"
+	"carbonexplorer/internal/analyzers/atomicwrite"
+	"carbonexplorer/internal/analyzers/ctxflow"
+	"carbonexplorer/internal/analyzers/detrand"
+	"carbonexplorer/internal/analyzers/directive"
+	"carbonexplorer/internal/analyzers/errwrap"
+	"carbonexplorer/internal/analyzers/floatcmp"
+	"carbonexplorer/internal/analyzers/jsontag"
+	"carbonexplorer/internal/analyzers/load"
+)
+
+// All returns the full carbonlint suite, in stable name order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicwrite.Analyzer,
+		ctxflow.Analyzer,
+		detrand.Analyzer,
+		errwrap.Analyzer,
+		floatcmp.Analyzer,
+		jsontag.Analyzer,
+	}
+}
+
+// DirectiveCheck is the name findings about the suppression mechanism
+// itself are attributed to (malformed, unknown-analyzer, or unused
+// //carbonlint:allow directives). It is not a suppressible analyzer.
+const DirectiveCheck = "directive"
+
+// Finding is one diagnostic that survived suppression.
+type Finding struct {
+	// Position locates the finding.
+	Position token.Position
+	// Analyzer is the reporting analyzer's name (or DirectiveCheck).
+	Analyzer string
+	// Message describes the violation.
+	Message string
+}
+
+// String formats a finding the way go vet does: file:line:col: message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Lint runs every analyzer in suite over every package, applies the
+// suppression directives, and returns all surviving findings sorted by
+// position. An analyzer returning an error aborts the run: a broken check
+// must fail loudly, not pass silently.
+func Lint(pkgs []*load.Package, suite []*analysis.Analyzer) ([]Finding, error) {
+	names := make([]string, len(suite))
+	for i, a := range suite {
+		names[i] = a.Name
+	}
+	var findings []Finding
+	add := func(fset *token.FileSet, name string, diags []analysis.Diagnostic) {
+		for _, d := range diags {
+			findings = append(findings, Finding{
+				Position: fset.Position(d.Pos),
+				Analyzer: name,
+				Message:  d.Message,
+			})
+		}
+	}
+	for _, pkg := range pkgs {
+		dirs, malformed := directive.Scan(pkg.Fset, pkg.Files, names)
+		add(pkg.Fset, DirectiveCheck, malformed)
+		for _, a := range suite {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			add(pkg.Fset, a.Name, directive.Suppress(pkg.Fset, dirs, a.Name, diags))
+		}
+		add(pkg.Fset, DirectiveCheck, directive.Unused(dirs))
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,57 @@
+// Package atomicwrite guards the checkpoint crash-safety invariant.
+//
+// Checkpoints survive kill -9 because every write goes through the single
+// atomic helper in internal/sweep/checkpoint.go: marshal, write a temp file
+// in the target directory, rename over the target. A direct os.WriteFile,
+// os.Create, or os.Rename anywhere else in internal/sweep could leave a
+// torn checkpoint behind — the exact failure mode the chaos tests exist to
+// rule out, reintroduced by one convenient shortcut.
+//
+// The analyzer therefore flags every use of os.WriteFile, os.Create, and
+// os.Rename in the checkpoint-owning package internal/sweep. The atomic
+// helper itself carries //carbonlint:allow annotations — it is the one
+// sanctioned site, and keeping it annotated rather than hard-coded means
+// moving or duplicating it cannot dodge the rule.
+package atomicwrite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"carbonexplorer/internal/analyzers/analysis"
+)
+
+// Analyzer is the atomicwrite check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc:  "route every checkpoint write in internal/sweep through the atomic temp+rename helper",
+	Run:  run,
+}
+
+// checkpointPkg is the package owning checkpoint persistence.
+const checkpointPkg = "carbonexplorer/internal/sweep"
+
+// rawFileFuncs are the os entry points that can produce torn files when
+// pointed at a checkpoint path.
+var rawFileFuncs = map[string]bool{"WriteFile": true, "Create": true, "Rename": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() != checkpointPkg {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" || !rawFileFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "os.%s in the checkpoint package: write through the atomic temp+rename helper in checkpoint.go so a crash cannot leave a torn checkpoint", fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,20 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"carbonexplorer/internal/analyzers/atomicwrite"
+	"carbonexplorer/internal/analyzers/linttest"
+)
+
+func TestRawWritesInSweepFlagged(t *testing.T) {
+	linttest.Run(t, atomicwrite.Analyzer, "testdata/flag", "carbonexplorer/internal/sweep")
+}
+
+func TestAnnotatedHelperClean(t *testing.T) {
+	linttest.Run(t, atomicwrite.Analyzer, "testdata/clean", "carbonexplorer/internal/sweep")
+}
+
+func TestOtherPackagesExempt(t *testing.T) {
+	linttest.Run(t, atomicwrite.Analyzer, "testdata/offpath", "carbonexplorer/internal/report")
+}

@@ -1,0 +1,15 @@
+// Fixture: the atomic temp+rename helper pattern with its sanctioned
+// annotations lints clean inside the checkpoint package.
+package sweep
+
+import "os"
+
+func save(path string, data []byte) error {
+	tmp := path + ".tmp"
+	//carbonlint:allow atomicwrite fixture: the write half of the atomic temp+rename helper pattern
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return err
+	}
+	//carbonlint:allow atomicwrite fixture: the commit half of the atomic temp+rename helper pattern
+	return os.Rename(tmp, path)
+}

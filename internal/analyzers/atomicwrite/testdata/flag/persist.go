@@ -1,0 +1,19 @@
+// Fixture: raw file operations in the checkpoint package (checked under
+// carbonexplorer/internal/sweep) must be flagged.
+package sweep
+
+import "os"
+
+func persist(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o600); err != nil { // want `os\.WriteFile in the checkpoint package`
+		return err
+	}
+	f, err := os.Create(path + ".lock") // want `os\.Create in the checkpoint package`
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".lock", path) // want `os\.Rename in the checkpoint package`
+}

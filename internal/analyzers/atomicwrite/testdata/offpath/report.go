@@ -1,0 +1,7 @@
+// Fixture: raw file writes outside the checkpoint package are out of
+// scope for atomicwrite.
+package report
+
+import "os"
+
+func dump(path string, data []byte) error { return os.WriteFile(path, data, 0o600) }

@@ -1,0 +1,200 @@
+// Package ctxflow enforces end-to-end context threading.
+//
+// The cancellation guarantees of the sweep engine — Ctrl-C stops within one
+// design's latency, a timeout flushes a final checkpoint — hold only if
+// every function on the call path hands its context down. A single
+// context.Background() in the middle silently detaches everything below it
+// from the caller's deadline.
+//
+// Flagged:
+//   - context.Background() / context.TODO() anywhere under internal/; the
+//     recognized thin compatibility wrappers (explorer.Search and friends,
+//     which exist precisely to offer a non-Context API) carry an explicit
+//     //carbonlint:allow annotation instead of a blanket exemption;
+//   - a function that receives a context.Context but passes a fresh
+//     Background()/TODO() to a context-taking callee;
+//   - a function that receives a context.Context but calls the non-Context
+//     variant of a callee that has a *Context sibling (Search when
+//     SearchContext exists), severing cancellation mid-path.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"carbonexplorer/internal/analyzers/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "require contexts to be threaded end-to-end instead of minting context.Background()",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// flagged records Background()/TODO() call sites already reported by
+	// the drops-ctx rule, so the internal/ rule does not double-report.
+	flagged := map[token.Pos]bool{}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasContextParam(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCtxHolder(pass, fd.Name.Name, call, flagged)
+				return true
+			})
+		}
+	}
+
+	if strings.HasPrefix(pass.Pkg.Path(), "carbonexplorer/internal/") {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := backgroundOrTODO(pass, call); name != "" && !flagged[call.Pos()] {
+					pass.Reportf(call.Pos(), "context.%s() inside internal/: thread the caller's ctx (annotate recognized non-Context compatibility wrappers)", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// checkCtxHolder applies the two rules for calls made while holding a ctx
+// parameter.
+func checkCtxHolder(pass *analysis.Pass, holder string, call *ast.CallExpr, flagged map[token.Pos]bool) {
+	callee := calleeFunc(pass, call)
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+
+	// Rule: a fresh Background()/TODO() passed where the callee expects a
+	// context, despite the enclosing function holding one.
+	for i, arg := range call.Args {
+		argCall, ok := arg.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if name := backgroundOrTODO(pass, argCall); name != "" && paramIsContext(sig, i) {
+			pass.Reportf(argCall.Pos(), "%s receives a context.Context but passes context.%s() to %s, detaching it from the caller's cancellation", holder, name, callee.Name())
+			flagged[argCall.Pos()] = true
+		}
+	}
+
+	// Rule: calling the non-Context variant when a *Context sibling exists.
+	if !signatureHasContext(sig) {
+		if sib := contextSibling(callee, sig); sib != nil {
+			pass.Reportf(call.Pos(), "%s receives a context.Context but calls %s; call %s(ctx, ...) so cancellation propagates", holder, callee.Name(), sib.Name())
+		}
+	}
+}
+
+// calleeFunc resolves the called function or method, if statically known.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// backgroundOrTODO reports whether call is context.Background() or
+// context.TODO(), returning the function name ("" otherwise).
+func backgroundOrTODO(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasContextParam reports whether the declared function receives a
+// context.Context parameter.
+func hasContextParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && signatureHasContext(sig)
+}
+
+// signatureHasContext reports whether any parameter of sig is a
+// context.Context.
+func signatureHasContext(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// paramIsContext reports whether the i'th argument lands on a
+// context.Context parameter.
+func paramIsContext(sig *types.Signature, i int) bool {
+	params := sig.Params()
+	if i >= params.Len() {
+		return false
+	}
+	return isContextType(params.At(i).Type())
+}
+
+// contextSibling finds the callee's *Context variant: a function or method
+// named <callee>Context, in the same scope, that takes a context.Context.
+func contextSibling(callee *types.Func, sig *types.Signature) *types.Func {
+	name := callee.Name() + "Context"
+	var obj types.Object
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ = types.LookupFieldOrMethod(recv.Type(), true, callee.Pkg(), name)
+	} else if callee.Pkg() != nil {
+		obj = callee.Pkg().Scope().Lookup(name)
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sibSig, ok := fn.Type().(*types.Signature)
+	if !ok || !signatureHasContext(sibSig) {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"carbonexplorer/internal/analyzers/ctxflow"
+	"carbonexplorer/internal/analyzers/linttest"
+)
+
+func TestSeveredContextsFlagged(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/flag", "carbonexplorer/internal/engine")
+}
+
+func TestThreadedAndAnnotatedClean(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/clean", "carbonexplorer/internal/engine")
+}

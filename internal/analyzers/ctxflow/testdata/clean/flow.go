@@ -1,0 +1,14 @@
+// Fixture: threaded contexts and an annotated compatibility wrapper — the
+// sanctioned shapes — must produce no findings.
+package engine
+
+import "context"
+
+func leaf(ctx context.Context) error { return ctx.Err() }
+
+func driver(ctx context.Context) error { return leaf(ctx) }
+
+func wrapper() error {
+	//carbonlint:allow ctxflow fixture: documented non-cancellable wrapper, like explorer.Search
+	return leaf(context.Background())
+}

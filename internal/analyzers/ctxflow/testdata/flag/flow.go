@@ -1,0 +1,32 @@
+// Fixture: severed context threading (checked under an internal/ import
+// path so the Background/TODO rule applies).
+package engine
+
+import "context"
+
+func leaf(ctx context.Context) error { return ctx.Err() }
+
+func search() error { return nil }
+
+func searchContext(ctx context.Context) error { return ctx.Err() }
+
+func driver(ctx context.Context) error {
+	if err := leaf(context.Background()); err != nil { // want `driver receives a context\.Context but passes context\.Background\(\) to leaf`
+		return err
+	}
+	return search() // want `driver receives a context\.Context but calls search; call searchContext\(ctx, \.\.\.\)`
+}
+
+type engine struct{}
+
+func (e *engine) run() error { return nil }
+
+func (e *engine) runContext(ctx context.Context) error { return ctx.Err() }
+
+func methodDriver(ctx context.Context, e *engine) error {
+	return e.run() // want `methodDriver receives a context\.Context but calls run; call runContext\(ctx, \.\.\.\)`
+}
+
+func helper() {
+	_ = context.TODO() // want `context\.TODO\(\) inside internal/`
+}

@@ -1,0 +1,114 @@
+// Package detrand forbids nondeterminism in the deterministic fold path.
+//
+// The sharded-sweep design rests on bit-identical reproducibility: shard
+// checkpoints merge to exactly the single-process optimum and frontier, and
+// an interrupted run resumes to the uninterrupted result. Those proofs
+// assume the fold path — internal/sweep, internal/explorer, internal/synth
+// — computes the same bytes on every run. One stray time.Now(), one draw
+// from the process-global math/rand source, or one map-iteration-order
+// dependency silently breaks them.
+//
+// Flagged inside the fold-path packages:
+//   - calls (or references) to time.Now, time.Since, time.Until;
+//   - package-level math/rand and math/rand/v2 functions, which draw from
+//     the unseeded global source (constructing a seeded generator with
+//     rand.New/NewSource/NewPCG/NewChaCha8/NewZipf is allowed);
+//   - `range` over a map, whose iteration order is randomized by the
+//     runtime.
+//
+// internal/synth's rng.go (the seeded local PRNG) and the whole of
+// internal/faultinject (deterministic by construction, outside the fold
+// path) are allowlisted.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"carbonexplorer/internal/analyzers/analysis"
+)
+
+// Analyzer is the detrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock time, global randomness, and map-order dependence in the deterministic fold path",
+	Run:  run,
+}
+
+// foldPath lists the packages whose results must be bit-reproducible.
+var foldPath = map[string]bool{
+	"carbonexplorer/internal/sweep":    true,
+	"carbonexplorer/internal/explorer": true,
+	"carbonexplorer/internal/synth":    true,
+}
+
+// allowedFiles exempts the seeded PRNG implementation itself.
+var allowedFiles = map[string]map[string]bool{
+	"carbonexplorer/internal/synth": {"rng.go": true},
+}
+
+// timeFuncs are the wall-clock readers.
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors build explicitly seeded generators and are allowed.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !foldPath[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	exemptFiles := allowedFiles[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if exemptFiles[name] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				checkIdent(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkIdent flags identifiers resolving to forbidden time or math/rand
+// package-level functions.
+func checkIdent(pass *analysis.Pass, id *ast.Ident) {
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if timeFuncs[fn.Name()] {
+			pass.Reportf(id.Pos(), "time.%s in the deterministic fold path: results must not depend on wall-clock time", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(id.Pos(), "%s.%s draws from the process-global randomness source; use an explicitly seeded generator (e.g. internal/synth rng)", fn.Pkg().Path(), fn.Name())
+		}
+	}
+}
+
+// checkRange flags iteration over a map.
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); ok {
+		pass.Reportf(rs.Pos(), "range over a map in the deterministic fold path: iteration order is randomized; iterate a sorted key slice instead")
+	}
+}

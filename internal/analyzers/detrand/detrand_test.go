@@ -1,0 +1,24 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"carbonexplorer/internal/analyzers/detrand"
+	"carbonexplorer/internal/analyzers/linttest"
+)
+
+func TestFoldPathViolationsFlagged(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/flag", "carbonexplorer/internal/sweep")
+}
+
+func TestSeededSliceIterationClean(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/clean", "carbonexplorer/internal/sweep")
+}
+
+func TestOutsideFoldPathExempt(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/offpath", "carbonexplorer/internal/report")
+}
+
+func TestSynthRNGFileExempt(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/rngfile", "carbonexplorer/internal/synth")
+}

@@ -1,0 +1,14 @@
+// Fixture: deterministic code in a fold-path package — an explicitly
+// seeded generator and slice iteration — must produce no findings.
+package sweep
+
+import "math/rand"
+
+func foldDesigns(vals []float64) float64 {
+	r := rand.New(rand.NewSource(42))
+	total := float64(r.Intn(3))
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,23 @@
+// Fixture: nondeterminism inside a fold-path package (checked under the
+// import path carbonexplorer/internal/sweep) must be flagged.
+package sweep
+
+import (
+	"math/rand"
+	"time"
+)
+
+func foldDesigns(m map[string]float64) float64 {
+	start := time.Now()      // want `time\.Now in the deterministic fold path`
+	jitter := rand.Float64() // want `math/rand\.Float64 draws from the process-global randomness source`
+	total := jitter + float64(start.Unix())
+	for _, v := range m { // want `range over a map in the deterministic fold path`
+		total += v
+	}
+	return total
+}
+
+func seededDraw() int {
+	//carbonlint:allow detrand fixture: demonstrates that a reasoned annotation suppresses the finding
+	return rand.Intn(7)
+}

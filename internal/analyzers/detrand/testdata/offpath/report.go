@@ -1,0 +1,7 @@
+// Fixture: the same constructs outside the fold path (checked under a
+// non-fold import path) are out of scope for detrand.
+package report
+
+import "time"
+
+func stamp() string { return time.Now().Format(time.RFC3339) }

@@ -1,0 +1,12 @@
+// Fixture: synth's rng.go — the seeded PRNG implementation itself — is
+// file-allowlisted even though the package is on the fold path.
+package synth
+
+import (
+	"math/rand"
+	"time"
+)
+
+func reseed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}

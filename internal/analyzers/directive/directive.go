@@ -1,0 +1,141 @@
+// Package directive implements the //carbonlint:allow suppression
+// directive shared by every analyzer in the carbonlint suite.
+//
+// Syntax:
+//
+//	//carbonlint:allow <analyzer> <reason>
+//
+// placed on the offending line or the line immediately above it. The reason
+// is mandatory — an allow without a written justification is itself a
+// diagnostic — and a directive that suppresses nothing is reported as
+// unused, so stale annotations cannot silently weaken the rules.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"carbonexplorer/internal/analyzers/analysis"
+)
+
+// prefix is the comment prefix shared by all carbonlint directives.
+const prefix = "//carbonlint:"
+
+// allowVerb is the only directive verb currently defined.
+const allowVerb = "allow"
+
+// Directive is one well-formed //carbonlint:allow comment.
+type Directive struct {
+	// Analyzer is the suppressed analyzer's name.
+	Analyzer string
+	// Reason is the mandatory free-text justification.
+	Reason string
+	// File and Line locate the directive comment.
+	File string
+	Line int
+	// Pos is the comment's position, for unused-directive diagnostics.
+	Pos token.Pos
+	// Used records whether the directive suppressed at least one
+	// diagnostic.
+	Used bool
+}
+
+// Scan extracts every carbonlint directive from files. Malformed directives
+// — an unknown verb, a missing analyzer name or reason, or a name not in
+// known — are returned as diagnostics; these are never suppressible.
+func Scan(fset *token.FileSet, files []*ast.File, known []string) ([]*Directive, []analysis.Diagnostic) {
+	isKnown := make(map[string]bool, len(known))
+	for _, n := range known {
+		isKnown[n] = true
+	}
+	var dirs []*Directive
+	var diags []analysis.Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, prefix)
+				verb, args, _ := strings.Cut(rest, " ")
+				if verb != allowVerb {
+					diags = append(diags, analysis.Diagnostic{
+						Pos:     c.Pos(),
+						Message: "unknown carbonlint directive //carbonlint:" + verb + " (only \"allow\" is defined)",
+					})
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" || reason == "" {
+					diags = append(diags, analysis.Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed //carbonlint:allow directive: want \"//carbonlint:allow <analyzer> <reason>\" — the reason is mandatory",
+					})
+					continue
+				}
+				if !isKnown[name] {
+					diags = append(diags, analysis.Diagnostic{
+						Pos:     c.Pos(),
+						Message: "//carbonlint:allow names unknown analyzer " + quote(name),
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				dirs = append(dirs, &Directive{
+					Analyzer: name,
+					Reason:   reason,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// quote quotes a name for a diagnostic without importing fmt.
+func quote(s string) string { return "\"" + s + "\"" }
+
+// Suppress returns the diagnostics of the named analyzer that are NOT
+// covered by a directive: a diagnostic is suppressed when a directive for
+// that analyzer sits in the same file on the same line, or on the line
+// immediately above (an attached comment). Consumed directives are marked
+// Used.
+func Suppress(fset *token.FileSet, dirs []*Directive, name string, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.Analyzer != name || dir.File != pos.Filename {
+				continue
+			}
+			if dir.Line == pos.Line || dir.Line == pos.Line-1 {
+				dir.Used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// Unused reports every directive that suppressed nothing — stale or
+// misplaced annotations that would otherwise rot silently.
+func Unused(dirs []*Directive) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, dir := range dirs {
+		if !dir.Used {
+			diags = append(diags, analysis.Diagnostic{
+				Pos:     dir.Pos,
+				Message: "unused //carbonlint:allow directive for " + quote(dir.Analyzer) + " — nothing on this or the next line triggers it",
+			})
+		}
+	}
+	return diags
+}

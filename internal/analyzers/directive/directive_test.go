@@ -1,0 +1,120 @@
+package directive_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"carbonexplorer/internal/analyzers/analysis"
+	"carbonexplorer/internal/analyzers/directive"
+)
+
+// scan parses src and runs directive.Scan with "detrand" as the only known
+// analyzer.
+func scan(t *testing.T, src string) ([]*directive.Directive, []analysis.Diagnostic, *token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	dirs, diags := directive.Scan(fset, []*ast.File{f}, []string{"detrand"})
+	return dirs, diags, fset, f
+}
+
+func TestAllowWithoutReasonIsDiagnostic(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\n//carbonlint:allow detrand\nvar X int\n",
+		"package p\n\n//carbonlint:allow detrand   \nvar X int\n",
+		"package p\n\n//carbonlint:allow\nvar X int\n",
+	} {
+		dirs, diags, _, _ := scan(t, src)
+		if len(dirs) != 0 {
+			t.Errorf("%q: got %d directives, want 0", src, len(dirs))
+		}
+		if len(diags) != 1 || !strings.Contains(diags[0].Message, "the reason is mandatory") {
+			t.Errorf("%q: got %v, want one reason-is-mandatory diagnostic", src, diags)
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsDiagnostic(t *testing.T) {
+	dirs, diags, _, _ := scan(t, "package p\n\n//carbonlint:allow nosuch because reasons\nvar X int\n")
+	if len(dirs) != 0 {
+		t.Fatalf("got %d directives, want 0", len(dirs))
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `unknown analyzer "nosuch"`) {
+		t.Fatalf("got %v, want one unknown-analyzer diagnostic", diags)
+	}
+}
+
+func TestUnknownVerbIsDiagnostic(t *testing.T) {
+	dirs, diags, _, _ := scan(t, "package p\n\n//carbonlint:forbid detrand x\nvar X int\n")
+	if len(dirs) != 0 {
+		t.Fatalf("got %d directives, want 0", len(dirs))
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unknown carbonlint directive") {
+		t.Fatalf("got %v, want one unknown-verb diagnostic", diags)
+	}
+}
+
+const wellFormed = "package p\n\n//carbonlint:allow detrand seeded by design\nvar X int\nvar Y int\n"
+
+func TestWellFormedDirective(t *testing.T) {
+	dirs, diags, _, _ := scan(t, wellFormed)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	if len(dirs) != 1 {
+		t.Fatalf("got %d directives, want 1", len(dirs))
+	}
+	d := dirs[0]
+	if d.Analyzer != "detrand" || d.Reason != "seeded by design" || d.Line != 3 || d.Used {
+		t.Fatalf("unexpected directive: %+v", d)
+	}
+}
+
+// lineDiag fabricates a diagnostic at the start of the given line.
+func lineDiag(fset *token.FileSet, f *ast.File, line int) analysis.Diagnostic {
+	return analysis.Diagnostic{Pos: fset.File(f.Pos()).LineStart(line), Message: "m"}
+}
+
+func TestSuppressSameAndNextLine(t *testing.T) {
+	dirs, _, fset, f := scan(t, wellFormed)
+	diags := []analysis.Diagnostic{
+		lineDiag(fset, f, 3), // same line as the directive
+		lineDiag(fset, f, 4), // line below: attached-comment form
+		lineDiag(fset, f, 5), // out of reach
+	}
+	kept := directive.Suppress(fset, dirs, "detrand", diags)
+	if len(kept) != 1 || fset.Position(kept[0].Pos).Line != 5 {
+		t.Fatalf("kept %v, want only the line-5 diagnostic", kept)
+	}
+	if !dirs[0].Used {
+		t.Fatal("directive not marked used")
+	}
+	if u := directive.Unused(dirs); len(u) != 0 {
+		t.Fatalf("unexpected unused-directive diagnostics: %v", u)
+	}
+}
+
+func TestSuppressOnlyNamedAnalyzer(t *testing.T) {
+	dirs, _, fset, f := scan(t, wellFormed)
+	kept := directive.Suppress(fset, dirs, "floatcmp", []analysis.Diagnostic{lineDiag(fset, f, 4)})
+	if len(kept) != 1 {
+		t.Fatalf("a detrand directive suppressed a floatcmp diagnostic: kept %v", kept)
+	}
+	if dirs[0].Used {
+		t.Fatal("directive wrongly marked used")
+	}
+}
+
+func TestUnusedDirectiveReported(t *testing.T) {
+	dirs, _, _, _ := scan(t, wellFormed)
+	u := directive.Unused(dirs)
+	if len(u) != 1 || !strings.Contains(u[0].Message, "unused //carbonlint:allow") {
+		t.Fatalf("got %v, want one unused-directive diagnostic", u)
+	}
+}

@@ -1,0 +1,11 @@
+// Package analyzers assembles the carbonlint suite: six project-specific
+// static checks that machine-enforce the determinism, cancellation, and
+// checkpoint invariants the sweep/explorer stack promises (see
+// docs/LINTING.md for the invariant each rule protects and the change that
+// introduced it).
+//
+// The suite runs over type-checked packages from internal/analyzers/load,
+// applies //carbonlint:allow suppressions (internal/analyzers/directive),
+// and returns position-sorted findings. cmd/carbonlint is the CLI front
+// end; TestRepoLintsClean keeps `go test ./...` itself a lint gate.
+package analyzers

@@ -1,0 +1,200 @@
+// Package errwrap keeps error chains intact.
+//
+// The resume and merge paths dispatch on sentinel errors —
+// errors.Is(err, ErrCheckpointMismatch), fs.ErrNotExist — so an error that
+// is stringified instead of wrapped breaks real control flow, not just log
+// cosmetics: a flattened inner error is invisible to errors.Is/As forever
+// after. Likewise a call whose error result is dropped on the floor turns a
+// detectable failure into silent corruption.
+//
+// Flagged:
+//   - fmt.Errorf with an error-typed argument formatted by %v, %s, or %q
+//     instead of %w;
+//   - a call statement whose callee returns an error that is neither
+//     handled nor explicitly assigned to _ (defer statements and the
+//     conventional never-failing writers — fmt.Print*, fmt.Fprint* to
+//     os.Stdout/os.Stderr, strings.Builder, bytes.Buffer — are exempt).
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"carbonexplorer/internal/analyzers/analysis"
+)
+
+// Analyzer is the errwrap check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "wrap errors with %w and forbid silently discarded error returns",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscard(pass, call)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether a value of type t satisfies error.
+func implementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorType)
+}
+
+// calleeFunc resolves the statically-known called function or method.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// checkErrorf flags fmt.Errorf arguments that stringify an error.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%[") {
+		return // explicit argument indexes: out of scope
+	}
+	for k, verb := range verbs(format) {
+		argIdx := 1 + k
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb != 'v' && verb != 's' && verb != 'q' {
+			continue
+		}
+		if implementsError(pass.TypesInfo.TypeOf(call.Args[argIdx])) {
+			pass.Reportf(call.Args[argIdx].Pos(), "fmt.Errorf formats this error with %%%c, flattening it: errors.Is/As can no longer see it; wrap with %%w", verb)
+		}
+	}
+}
+
+// verbs returns, in argument order, the verb consuming each fmt argument
+// ('*' for a width/precision argument).
+func verbs(format string) []byte {
+	var out []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) && strings.IndexByte("+-# 0123456789.*", format[i]) >= 0 {
+			if format[i] == '*' {
+				out = append(out, '*')
+			}
+			i++
+		}
+		if i >= len(format) || format[i] == '%' {
+			continue
+		}
+		out = append(out, format[i])
+	}
+	return out
+}
+
+// checkDiscard flags a call statement that throws away an error result.
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	returnsError := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if implementsError(sig.Results().At(i).Type()) {
+			returnsError = true
+		}
+	}
+	if !returnsError || exemptDiscard(pass, fn, sig, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "the error returned by %s is silently discarded; handle it or assign it to _ explicitly", fn.FullName())
+}
+
+// neverFailingWriters are concrete types whose Write* methods are
+// documented never to return an error.
+var neverFailingWriters = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+// exemptDiscard recognizes the conventional never-failing calls.
+func exemptDiscard(pass *analysis.Pass, fn *types.Func, sig *types.Signature, call *ast.CallExpr) bool {
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		}
+		if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+			return isStdStream(pass, call.Args[0]) || isNeverFailingWriter(pass, call.Args[0])
+		}
+	}
+	if recv := sig.Recv(); recv != nil {
+		return namedNeverFailing(recv.Type())
+	}
+	return false
+}
+
+// isNeverFailingWriter reports whether the expression's static type is one
+// of the never-failing writers (or a pointer to one).
+func isNeverFailingWriter(pass *analysis.Pass, e ast.Expr) bool {
+	return namedNeverFailing(pass.TypesInfo.TypeOf(e))
+}
+
+// namedNeverFailing reports whether t (possibly behind a pointer) is a
+// named type listed in neverFailingWriters.
+func namedNeverFailing(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && neverFailingWriters[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+// isStdStream reports whether the expression is os.Stdout or os.Stderr.
+func isStdStream(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	return v.Pkg().Path() == "os" && (v.Name() == "Stdout" || v.Name() == "Stderr")
+}

@@ -1,0 +1,16 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"carbonexplorer/internal/analyzers/errwrap"
+	"carbonexplorer/internal/analyzers/linttest"
+)
+
+func TestFlattenedAndDiscardedErrorsFlagged(t *testing.T) {
+	linttest.Run(t, errwrap.Analyzer, "testdata/flag", "carbonexplorer/internal/loader")
+}
+
+func TestWrappedAndSanctionedClean(t *testing.T) {
+	linttest.Run(t, errwrap.Analyzer, "testdata/clean", "carbonexplorer/internal/loader")
+}

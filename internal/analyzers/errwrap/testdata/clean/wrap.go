@@ -1,0 +1,45 @@
+// Fixture: the sanctioned shapes — %w wrapping (including double wraps and
+// width arguments), never-failing writers, explicit discards, and deferred
+// calls — must produce no findings.
+package loader
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var errSchema = errors.New("schema mismatch")
+
+func wrap(err error) error {
+	return fmt.Errorf("%w: decode: %w", errSchema, err)
+}
+
+func width(err error) error {
+	return fmt.Errorf("%*d designs: %w", 8, 42, err)
+}
+
+func notAnError() error {
+	return fmt.Errorf("found %v designs", 3)
+}
+
+func render(name string, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d\n", name, n)
+	return b.String()
+}
+
+func announce(msg string) {
+	fmt.Println(msg)
+	fmt.Fprintln(os.Stderr, msg)
+}
+
+func explicitDiscard(path string) {
+	_ = os.Remove(path)
+}
+
+func deferredClose(f *os.File) error {
+	defer f.Close()
+	return nil
+}

@@ -1,0 +1,23 @@
+// Fixture: flattened error chains and silently discarded errors must be
+// flagged.
+package loader
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+var errSchema = errors.New("schema mismatch")
+
+func flatten(err error) error {
+	return fmt.Errorf("loading checkpoint: %v", err) // want `fmt\.Errorf formats this error with %v`
+}
+
+func flattenTail(err error) error {
+	return fmt.Errorf("%w: decode: %s", errSchema, err) // want `fmt\.Errorf formats this error with %s`
+}
+
+func discard(path string) {
+	os.Remove(path) // want `the error returned by os\.Remove is silently discarded`
+}

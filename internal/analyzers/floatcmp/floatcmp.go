@@ -1,0 +1,67 @@
+// Package floatcmp flags exact equality comparison of floating-point
+// values.
+//
+// The optimum and Pareto tie-breaks are deliberately exact-bits comparisons
+// — that exactness is what makes shard merges reproduce the single-process
+// result — but an *accidental* float == elsewhere is almost always a bug:
+// two mathematically equal values that took different round-off paths
+// compare unequal, and a tie-break that was supposed to fire silently
+// doesn't. The rule forces every float ==/!= to be either rewritten or
+// visibly annotated as an intentional tie-break.
+//
+// Flagged: == and != where an operand is floating-point (or complex) and
+// neither operand is a compile-time constant. Comparisons against constants
+// (x == 0, the conventional "feature absent" sentinel) are exempt: the
+// constant's bits are exact, and the codebase uses them as presence flags,
+// not as results of arithmetic.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"carbonexplorer/internal/analyzers/analysis"
+)
+
+// Analyzer is the floatcmp check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= on floating-point operands outside annotated tie-break sites",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo.TypeOf(be.X)) && !isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+				return true
+			}
+			if isConstant(pass, be.X) || isConstant(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.Pos(), "%s on floating-point values compares exact bits; use a tolerance, or annotate the intentional tie-break", be.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isFloat reports whether t is a floating-point or complex type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isConstant reports whether the expression has a compile-time value.
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

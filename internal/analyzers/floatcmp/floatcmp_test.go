@@ -1,0 +1,16 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"carbonexplorer/internal/analyzers/floatcmp"
+	"carbonexplorer/internal/analyzers/linttest"
+)
+
+func TestExactComparisonsFlagged(t *testing.T) {
+	linttest.Run(t, floatcmp.Analyzer, "testdata/flag", "carbonexplorer/internal/metrics")
+}
+
+func TestSanctionedComparisonsClean(t *testing.T) {
+	linttest.Run(t, floatcmp.Analyzer, "testdata/clean", "carbonexplorer/internal/metrics")
+}

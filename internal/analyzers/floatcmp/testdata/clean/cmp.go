@@ -1,0 +1,18 @@
+// Fixture: constant sentinels, tolerance comparisons, integer equality,
+// and an annotated tie-break are the sanctioned shapes.
+package metrics
+
+import "math"
+
+func sentinel(x float64) bool { return x == 0 }
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func sameInt(a, b int) bool { return a == b }
+
+func tieBreak(a, b float64) bool {
+	if a != b { //carbonlint:allow floatcmp fixture: exact-bits tie-break like the Pareto sort
+		return a < b
+	}
+	return false
+}

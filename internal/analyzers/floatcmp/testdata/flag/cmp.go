@@ -1,0 +1,16 @@
+// Fixture: exact float comparisons without an annotation must be flagged,
+// and a stale annotation must itself be reported.
+package metrics
+
+func sameTotal(a, b float64) bool {
+	return a == b // want `== on floating-point values compares exact bits`
+}
+
+func changed(a, b float32) bool {
+	return a != b // want `!= on floating-point values compares exact bits`
+}
+
+func stale(a, b int) bool {
+	//carbonlint:allow floatcmp deliberately stale: nothing below compares floats // want "unused //carbonlint:allow directive"
+	return a == b
+}

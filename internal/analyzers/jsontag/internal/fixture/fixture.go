@@ -1,0 +1,12 @@
+// Package fixture holds an untagged struct for jsontag's cross-package
+// test: a schema struct declared outside the package under analysis is
+// reported at the call site that reaches it, not at its fields.
+package fixture
+
+// Legacy is a wire struct that predates the json-tag rule: its exported
+// fields deliberately lack tags. The package itself makes no encoding/json
+// calls, so it lints clean — only packages that serialize it are flagged.
+type Legacy struct {
+	A int
+	B string
+}

@@ -1,0 +1,153 @@
+// Package jsontag makes JSON wire schemas explicit.
+//
+// Checkpoint schema v2 promises forward compatibility: v1 files still load,
+// and merged shard checkpoints are byte-stable. An exported struct field
+// without a json tag serializes under its Go identifier, so an innocent
+// field rename is silently a wire-format break — the exact failure the
+// versioned-checkpoint design exists to prevent. The rule: every exported
+// field of every struct that can reach an encoding/json call must carry an
+// explicit json tag, making the wire name a deliberate decision.
+//
+// The analyzer finds the roots — arguments of json.Marshal/MarshalIndent/
+// Unmarshal and (*json.Encoder).Encode / (*json.Decoder).Decode calls in
+// the package — and walks every struct type reachable from them through
+// fields, pointers, slices, arrays, and maps. Untagged exported fields of
+// in-package structs are reported at the field; structs from other packages
+// are reported once at the call site that reaches them.
+package jsontag
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+
+	"carbonexplorer/internal/analyzers/analysis"
+)
+
+// Analyzer is the jsontag check.
+var Analyzer = &analysis.Analyzer{
+	Name: "jsontag",
+	Doc:  "require explicit json tags on every exported field of JSON-serialized schema structs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	w := &walker{pass: pass, seen: map[types.Type]bool{}}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if arg := schemaRoot(pass, call); arg != nil {
+				w.visit(pass.TypesInfo.TypeOf(arg), call.Pos())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// schemaRoot returns the value argument of an encoding/json call, or nil.
+func schemaRoot(pass *analysis.Pass, call *ast.CallExpr) ast.Expr {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+		return nil
+	}
+	switch fn.Name() {
+	case "Marshal", "MarshalIndent":
+		if len(call.Args) > 0 {
+			return call.Args[0]
+		}
+	case "Unmarshal":
+		if len(call.Args) > 1 {
+			return call.Args[1]
+		}
+	case "Encode", "Decode": // methods on *Encoder / *Decoder
+		if fn.Type().(*types.Signature).Recv() != nil && len(call.Args) > 0 {
+			return call.Args[0]
+		}
+	}
+	return nil
+}
+
+// walker traverses the type graph reachable from schema roots.
+type walker struct {
+	pass *analysis.Pass
+	seen map[types.Type]bool
+}
+
+// visit walks t, reporting untagged exported struct fields. root is the
+// call position used for structs declared in other packages.
+func (w *walker) visit(t types.Type, root token.Pos) {
+	if t == nil || w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	switch t := t.(type) {
+	case *types.Pointer:
+		w.visit(t.Elem(), root)
+	case *types.Slice:
+		w.visit(t.Elem(), root)
+	case *types.Array:
+		w.visit(t.Elem(), root)
+	case *types.Map:
+		w.visit(t.Elem(), root)
+	case *types.Named:
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			w.checkStruct(st, t, root)
+		}
+	case *types.Struct:
+		w.checkStruct(t, nil, root)
+	}
+}
+
+// checkStruct reports untagged exported fields of one struct and recurses
+// into the types of serialized fields. named is nil for anonymous structs.
+func (w *walker) checkStruct(st *types.Struct, named *types.Named, root token.Pos) {
+	var foreign []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue // encoding/json ignores unexported fields
+		}
+		tag, explicit := reflect.StructTag(st.Tag(i)).Lookup("json")
+		if tag == "-" {
+			continue // explicitly excluded from the wire format
+		}
+		if !explicit {
+			if f.Pkg() == w.pass.Pkg {
+				w.pass.Reportf(f.Pos(), "exported field %s of JSON schema struct %s has no json tag: the wire name is silently the Go identifier, so a rename breaks the format", f.Name(), structName(named))
+			} else {
+				foreign = append(foreign, f.Name())
+			}
+		}
+		w.visit(f.Type(), root)
+	}
+	if len(foreign) > 0 {
+		sort.Strings(foreign)
+		w.pass.Reportf(root, "JSON schema reaches %s, whose exported fields lack json tags: %s", structName(named), strings.Join(foreign, ", "))
+	}
+}
+
+// structName names a struct for diagnostics.
+func structName(named *types.Named) string {
+	if named == nil {
+		return "anonymous struct"
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

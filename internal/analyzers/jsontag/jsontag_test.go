@@ -1,0 +1,16 @@
+package jsontag_test
+
+import (
+	"testing"
+
+	"carbonexplorer/internal/analyzers/jsontag"
+	"carbonexplorer/internal/analyzers/linttest"
+)
+
+func TestUntaggedSchemaFieldsFlagged(t *testing.T) {
+	linttest.Run(t, jsontag.Analyzer, "testdata/flag", "carbonexplorer/internal/schema")
+}
+
+func TestTaggedAndUnserializedClean(t *testing.T) {
+	linttest.Run(t, jsontag.Analyzer, "testdata/clean", "carbonexplorer/internal/schema")
+}

@@ -1,0 +1,24 @@
+// Fixture: fully tagged schema structs and structs that never reach a
+// JSON call produce no findings.
+package schema
+
+import "encoding/json"
+
+type point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type record struct {
+	Name   string  `json:"name"`
+	Points []point `json:"points"`
+	Secret int     `json:"-"`
+}
+
+func encode(r record) ([]byte, error) { return json.Marshal(r) }
+
+type unserialized struct {
+	Untagged int
+}
+
+func peek(u unserialized) int { return u.Untagged }

@@ -1,0 +1,44 @@
+// Fixture: untagged exported fields reachable from encoding/json calls
+// must be flagged — at the field for in-package structs, at the call site
+// for foreign ones.
+package schema
+
+import (
+	"encoding/json"
+
+	"carbonexplorer/internal/analyzers/jsontag/internal/fixture"
+)
+
+type point struct {
+	X    float64 // want `exported field X of JSON schema struct schema\.point has no json tag`
+	Y    float64 // want `exported field Y of JSON schema struct schema\.point has no json tag`
+	note string
+}
+
+type record struct {
+	Name   string  `json:"name"`
+	Points []point `json:"points"`
+	Secret int     `json:"-"`
+}
+
+func encode(r record) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+func decode(data []byte) (record, error) {
+	var r record
+	err := json.Unmarshal(data, &r)
+	return r, err
+}
+
+type event struct {
+	Kind string // want `exported field Kind of JSON schema struct schema\.event has no json tag`
+}
+
+func stream(enc *json.Encoder, e event) error {
+	return enc.Encode(e)
+}
+
+func encodeForeign(v fixture.Legacy) ([]byte, error) {
+	return json.Marshal(v) // want `JSON schema reaches fixture\.Legacy, whose exported fields lack json tags: A, B`
+}

@@ -1,0 +1,133 @@
+// Package linttest is the suite's analysistest: it runs one analyzer over a
+// testdata package and checks its diagnostics against `// want "regexp"`
+// comments, analysistest-style.
+//
+// A testdata directory holds one package. Each line that should trigger the
+// analyzer carries a comment of the form
+//
+//	code() // want "regexp" `another regexp`
+//
+// with one Go-quoted (interpreted or raw) regular expression per expected
+// diagnostic on that line. Diagnostics without a matching want, and wants without a matching
+// diagnostic, fail the test. //carbonlint:allow directives are honoured
+// exactly as in the real driver — including the malformed/unknown/unused
+// directive diagnostics — so suppression behaviour is testable too.
+package linttest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"carbonexplorer/internal/analyzers/analysis"
+	"carbonexplorer/internal/analyzers/directive"
+	"carbonexplorer/internal/analyzers/load"
+)
+
+// wantRE extracts the quoted patterns of a `// want` comment. Patterns are
+// Go string literals, interpreted ("…") or raw (backquoted) — raw is the
+// natural fit for regexps full of backslashes.
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `))+)`)
+
+// quotedRE matches one Go string literal, interpreted or raw.
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run type-checks the one-package testdata directory dir under the import
+// path pkgPath, applies the analyzer plus the directive checks, and
+// compares surviving diagnostics against the package's want comments.
+//
+// pkgPath is load-bearing: analyzers scope rules by package path, so a
+// flagging case for the sweep rules must run under
+// "carbonexplorer/internal/sweep" and a clean out-of-scope case under some
+// other path.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg, err := load.Dir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+
+	dirs, diags := directive.Scan(pkg.Fset, pkg.Files, []string{a.Name})
+	var reported []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { reported = append(reported, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	diags = append(diags, directive.Suppress(pkg.Fset, dirs, a.Name, reported)...)
+	diags = append(diags, directive.Unused(dirs)...)
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !match(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants parses every want comment in the package.
+func collectWants(t *testing.T, pkg *load.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					lit, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, lit, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// match consumes the first unmatched want on the diagnostic's line whose
+// pattern matches the message.
+func match(wants []*want, pos token.Position, message string) bool {
+	for _, w := range wants {
+		if w.matched || w.line != pos.Line || filepath.Base(w.file) != filepath.Base(pos.Filename) {
+			continue
+		}
+		if w.pattern.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,294 @@
+// Package load type-checks packages for the carbonlint analyzers without
+// depending on golang.org/x/tools/go/packages.
+//
+// It shells out to `go list -export -deps -json`, which compiles nothing
+// beyond what a normal build would and yields, for every package in the
+// dependency graph, the path of its compiled export data in the build cache.
+// Target packages are then parsed from source and type-checked with go/types,
+// resolving imports through the stdlib gc importer reading that export data —
+// the same mechanism x/tools uses, minus the dependency. Everything works
+// offline: only the local toolchain and build cache are consulted.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed, type-checked target package.
+type Package struct {
+	// PkgPath is the package's import path.
+	PkgPath string
+	// Name is the package name.
+	Name string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Fset maps positions of Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo records type and object resolution for Files.
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string   `json:"ImportPath"`
+	Name       string   `json:"Name"`
+	Dir        string   `json:"Dir"`
+	Export     string   `json:"Export"`
+	GoFiles    []string `json:"GoFiles"`
+	DepOnly    bool     `json:"DepOnly"`
+	Error      *listErr `json:"Error"`
+}
+
+// listErr carries a package loading/compilation error from `go list -e`.
+type listErr struct {
+	Err string `json:"Err"`
+}
+
+const listFields = "-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Error"
+
+// goList runs `go list -e -export -deps` in dir over the given patterns and
+// decodes the JSON stream.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", listFields}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// newImporter builds a types.Importer that resolves every import from the
+// export-data files in exports (import path -> file path).
+func newImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// newInfo allocates the full types.Info the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// Patterns loads, parses, and type-checks the packages matching the go list
+// patterns, resolved relative to dir ("" = current directory). Test files
+// are excluded: the suite checks production sources.
+func Patterns(dir string, patterns ...string) ([]*Package, error) {
+	list, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(list))
+	var targets []listPkg
+	for _, p := range list {
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset, exports)
+	out := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		pkg, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// check parses and type-checks one listed package.
+func check(fset *token.FileSet, imp types.Importer, t listPkg) (*Package, error) {
+	files := make([]*ast.File, 0, len(t.GoFiles))
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	typesPkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   t.ImportPath,
+		Name:      t.Name,
+		Dir:       t.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     typesPkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// exportCache memoizes import path -> export data file across Dir calls, so
+// a test binary running many testdata packages lists each stdlib dependency
+// once.
+var exportCache = struct {
+	sync.Mutex
+	m map[string]string
+}{m: map[string]string{}}
+
+// resolveExports returns export-data files for paths and all their
+// transitive dependencies, consulting and filling the process-wide cache.
+func resolveExports(root string, paths []string) (map[string]string, error) {
+	exportCache.Lock()
+	defer exportCache.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := exportCache.m[p]; !ok && p != "unsafe" {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		list, err := goList(root, missing)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range list {
+			if p.Error != nil {
+				return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			if p.Export != "" {
+				exportCache.m[p.ImportPath] = p.Export
+			}
+		}
+	}
+	out := make(map[string]string, len(exportCache.m))
+	for k, v := range exportCache.m {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// ModuleRoot locates the enclosing module's root directory — the place to
+// resolve "./..." from regardless of the current package's depth.
+func ModuleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("load: go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("load: not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// Dir parses and type-checks the single package in dir — typically an
+// analyzer's testdata directory, which the go tool itself ignores — under
+// the given import path. The import path matters: analyzers scope their
+// rules by package path, so testdata is checked under the real path whose
+// invariants it exercises.
+func Dir(dir, pkgPath string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	sort.Strings(matches)
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(matches))
+	imports := map[string]bool{}
+	for _, name := range matches {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, fmt.Errorf("load: %s: bad import %s", name, spec.Path.Value)
+			}
+			imports[p] = true
+		}
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	exports, err := resolveExports(root, paths)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: newImporter(fset, exports)}
+	typesPkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", dir, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Name:      typesPkg.Name(),
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     typesPkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,33 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"carbonexplorer/internal/analyzers"
+	"carbonexplorer/internal/analyzers/load"
+)
+
+// TestRepoLintsClean runs the full carbonlint suite over the module itself,
+// making `go test ./...` a lint gate: a new violation — or a suppression
+// without a reason, or a stale suppression — fails the build, not just the
+// standalone cmd/carbonlint run.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint skipped in -short mode")
+	}
+	root, err := load.ModuleRoot()
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	pkgs, err := load.Patterns(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := analyzers.Lint(pkgs, analyzers.All())
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for _, f := range findings {
+		t.Error(f.String())
+	}
+}

@@ -110,7 +110,7 @@ func ParetoCostCarbon(points []Point) []Point {
 	sorted := make([]Point, len(points))
 	copy(sorted, points)
 	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Capex.Total() != sorted[j].Capex.Total() {
+		if sorted[i].Capex.Total() != sorted[j].Capex.Total() { //carbonlint:allow floatcmp exact-bits sort key keeps the frontier order deterministic
 			return sorted[i].Capex.Total() < sorted[j].Capex.Total()
 		}
 		return sorted[i].Outcome.Total() < sorted[j].Outcome.Total()

@@ -37,7 +37,7 @@ func (t *Table) AddRow(cells ...interface{}) {
 // trimFloat renders a float compactly: integers without decimals, others
 // with up to three significant decimals.
 func trimFloat(v float64) string {
-	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 { //carbonlint:allow floatcmp exact is-integer test selects the compact rendering, not an arithmetic comparison
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")

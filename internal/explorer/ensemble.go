@@ -32,6 +32,7 @@ type EnsembleResult struct {
 // realizations (the site's base seed plus years−1 perturbed seeds) and
 // returns the outcome distribution. years must be at least 2.
 func EnsembleEvaluate(site grid.Site, d Design, years int) (EnsembleResult, error) {
+	//carbonlint:allow ctxflow documented non-cancellable wrapper; callers with a ctx use EnsembleEvaluateContext
 	return EnsembleEvaluateContext(context.Background(), site, d, years)
 }
 

@@ -59,25 +59,29 @@ func AllStrategies() []Strategy {
 }
 
 // Design is one point in the design space.
+//
+// Design is part of the checkpoint wire format: the json tags pin the wire
+// names to the historical (identifier-derived) spelling so existing
+// checkpoint files keep loading even if a field is ever renamed.
 type Design struct {
 	// WindMW and SolarMW are renewable investments (installed capacity).
-	WindMW  float64
-	SolarMW float64
+	WindMW  float64 `json:"WindMW"`
+	SolarMW float64 `json:"SolarMW"`
 	// BatteryMWh is on-site storage capacity (0 = none).
-	BatteryMWh float64
+	BatteryMWh float64 `json:"BatteryMWh"`
 	// DoD is the battery's depth of discharge in (0, 1]; ignored without a
 	// battery.
-	DoD float64
+	DoD float64 `json:"DoD"`
 	// BatteryTech selects the storage chemistry; the zero value is the
 	// paper's LFP. Non-LFP chemistries use their own efficiency, C-rate,
 	// cycle-life, and manufacturing-footprint figures.
-	BatteryTech battery.Technology
+	BatteryTech battery.Technology `json:"BatteryTech"`
 	// FlexibleRatio is the fraction of load the scheduler may defer
 	// (0 = no carbon-aware scheduling).
-	FlexibleRatio float64
+	FlexibleRatio float64 `json:"FlexibleRatio"`
 	// ExtraCapacityFrac is extra server capacity provisioned for deferred
 	// work, as a fraction of baseline peak demand (e.g. 0.25 = +25%).
-	ExtraCapacityFrac float64
+	ExtraCapacityFrac float64 `json:"ExtraCapacityFrac"`
 }
 
 // Validate reports the first invalid field, or nil. Non-finite fields are

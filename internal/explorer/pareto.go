@@ -78,7 +78,7 @@ func (ps *ParetoSet) Frontier() []Outcome {
 	out := make([]Outcome, len(ps.points))
 	copy(out, ps.points)
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Embodied != out[j].Embodied {
+		if out[i].Embodied != out[j].Embodied { //carbonlint:allow floatcmp exact-bits sort key keeps the frontier order deterministic
 			return out[i].Embodied < out[j].Embodied
 		}
 		return out[i].Operational < out[j].Operational

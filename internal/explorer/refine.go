@@ -54,6 +54,7 @@ type RefineResult struct {
 // around the incumbent optimum. The strategy restricts which dimensions may
 // move, exactly as in Search.
 func (in *Inputs) RefineSearch(space Space, strategy Strategy, opts RefineOptions) (RefineResult, error) {
+	//carbonlint:allow ctxflow documented non-cancellable wrapper; callers with a ctx use RefineSearchContext
 	return in.RefineSearchContext(context.Background(), space, strategy, opts)
 }
 

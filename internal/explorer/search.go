@@ -181,6 +181,7 @@ var ErrAllDesignsFailed = errors.New("explorer: all designs failed")
 // parallel, and returns all points plus the carbon-optimal one. It is
 // SearchContext without cancellation.
 func (in *Inputs) Search(space Space, strategy Strategy) (SearchResult, error) {
+	//carbonlint:allow ctxflow Search is the documented non-cancellable wrapper; callers with a ctx use SearchContext
 	return in.SearchContext(context.Background(), space, strategy)
 }
 
@@ -284,7 +285,7 @@ func (in *Inputs) EvaluateSafe(d Design) (o Outcome, err error) {
 
 // better reports whether a should replace b as the carbon optimum.
 func better(a, b Outcome) bool {
-	if a.Total() != b.Total() {
+	if a.Total() != b.Total() { //carbonlint:allow floatcmp exact-bits tie-break makes the optimum independent of evaluation order
 		return a.Total() < b.Total()
 	}
 	return a.CoveragePct > b.CoveragePct
@@ -299,7 +300,7 @@ func ParetoFrontier(points []Outcome) []Outcome {
 	sorted := make([]Outcome, len(points))
 	copy(sorted, points)
 	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Embodied != sorted[j].Embodied {
+		if sorted[i].Embodied != sorted[j].Embodied { //carbonlint:allow floatcmp exact-bits sort key keeps the frontier order deterministic
 			return sorted[i].Embodied < sorted[j].Embodied
 		}
 		return sorted[i].Operational < sorted[j].Operational
@@ -329,6 +330,7 @@ func (in *Inputs) CoverageFor(windMW, solarMW float64) (float64, error) {
 // mixes, for example, cannot exceed ~50–60% coverage no matter the
 // investment).
 func (in *Inputs) InvestmentForCoverage(targetPct, windFrac, maxTotalMW float64) (totalMW float64, ok bool, err error) {
+	//carbonlint:allow ctxflow documented non-cancellable wrapper; callers with a ctx use InvestmentForCoverageContext
 	return in.InvestmentForCoverageContext(context.Background(), targetPct, windFrac, maxTotalMW)
 }
 
@@ -375,6 +377,7 @@ func (in *Inputs) InvestmentForCoverageContext(ctx context.Context, targetPct, w
 // given renewable investments, searching up to maxHours. It reports whether
 // the target is achievable within the bound.
 func (in *Inputs) MinBatteryHoursFor247(windMW, solarMW, targetPct, maxHours float64) (hours float64, ok bool, err error) {
+	//carbonlint:allow ctxflow documented non-cancellable wrapper; callers with a ctx use MinBatteryHoursFor247Context
 	return in.MinBatteryHoursFor247Context(context.Background(), windMW, solarMW, targetPct, maxHours)
 }
 
@@ -425,6 +428,7 @@ func (in *Inputs) MinBatteryHoursFor247Context(ctx context.Context, windMW, sola
 // renewables and flexible ratio, searching up to maxFrac. It reports whether
 // the target is achievable within the bound.
 func (in *Inputs) MinExtraCapacityFor247(windMW, solarMW, flexRatio, targetPct, maxFrac float64) (frac float64, ok bool, err error) {
+	//carbonlint:allow ctxflow documented non-cancellable wrapper; callers with a ctx use MinExtraCapacityFor247Context
 	return in.MinExtraCapacityFor247Context(context.Background(), windMW, solarMW, flexRatio, targetPct, maxFrac)
 }
 

@@ -205,7 +205,7 @@ func pullDeferred(deferred map[int]float64, from, to int, amount float64) float6
 		if take > amount {
 			take = amount
 		}
-		if take == e {
+		if take == e { //carbonlint:allow floatcmp take is e or the clamped amount, both copied bits; equality means the entry fully drained
 			delete(deferred, d)
 		} else {
 			deferred[d] = e - take

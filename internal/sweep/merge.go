@@ -138,7 +138,11 @@ func MergeCheckpoints(dst string, srcs ...string) (MergeReport, error) {
 	}
 	var best *savedOutcome
 	var frontier explorer.ParetoSet
-	failures := make(map[explorer.Design]savedFailure)
+	// First-seen failure records, kept in fold order (not a map: iterating a
+	// map below would make the merged file's contents order-dependent on the
+	// runtime's map seed, breaking byte-stable merges).
+	var failures []savedFailure
+	seenFailure := make(map[explorer.Design]bool)
 	retried, recovered := 0, 0
 
 	rep := MergeReport{Total: n}
@@ -157,8 +161,9 @@ func MergeCheckpoints(dst string, srcs ...string) (MergeReport, error) {
 			frontier.Add(f.outcome())
 		}
 		for _, f := range in.ck.Failures {
-			if _, seen := failures[f.Design]; !seen {
-				failures[f.Design] = f
+			if !seenFailure[f.Design] {
+				seenFailure[f.Design] = true
+				failures = append(failures, f)
 			}
 		}
 		retried += in.ck.Retried
@@ -231,13 +236,13 @@ func sortFailures(fs []savedFailure) {
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i].Design, fs[j].Design
 		switch {
-		case a.WindMW != b.WindMW:
+		case a.WindMW != b.WindMW: //carbonlint:allow floatcmp exact-bits sort key keeps merged checkpoints byte-stable
 			return a.WindMW < b.WindMW
-		case a.SolarMW != b.SolarMW:
+		case a.SolarMW != b.SolarMW: //carbonlint:allow floatcmp exact-bits sort key keeps merged checkpoints byte-stable
 			return a.SolarMW < b.SolarMW
-		case a.BatteryMWh != b.BatteryMWh:
+		case a.BatteryMWh != b.BatteryMWh: //carbonlint:allow floatcmp exact-bits sort key keeps merged checkpoints byte-stable
 			return a.BatteryMWh < b.BatteryMWh
-		case a.ExtraCapacityFrac != b.ExtraCapacityFrac:
+		case a.ExtraCapacityFrac != b.ExtraCapacityFrac: //carbonlint:allow floatcmp exact-bits sort key keeps merged checkpoints byte-stable
 			return a.ExtraCapacityFrac < b.ExtraCapacityFrac
 		default:
 			return fs[i].Error < fs[j].Error

@@ -391,7 +391,7 @@ func (r *runner) fold(o explorer.Outcome) {
 // betterOutcome mirrors explorer's optimum ordering: minimum total carbon,
 // ties toward higher coverage.
 func betterOutcome(a, b explorer.Outcome) bool {
-	if a.Total() != b.Total() {
+	if a.Total() != b.Total() { //carbonlint:allow floatcmp exact-bits tie-break mirrors explorer.better so resumed and merged sweeps agree
 		return a.Total() < b.Total()
 	}
 	return a.CoveragePct > b.CoveragePct
