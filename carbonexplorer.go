@@ -37,6 +37,7 @@ import (
 
 	"carbonexplorer/internal/battery"
 	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/coordinator"
 	"carbonexplorer/internal/dcload"
 	"carbonexplorer/internal/explorer"
 	"carbonexplorer/internal/fleet"
@@ -209,8 +210,13 @@ func ParetoFrontier(points []Outcome) []Outcome { return explorer.ParetoFrontier
 // retrying design-space sweeps for grids too dense to materialize.
 type (
 	// SweepOptions configures a streaming sweep: batch size (peak resident
-	// outcomes), checkpoint path and cadence, resume, and retry policy.
+	// outcomes), checkpointing (the Checkpoint sub-struct), retry policy
+	// (Retries; SweepNoRetries disables), and shard slice.
 	SweepOptions = sweep.Options
+	// SweepCheckpointOptions is the Checkpoint sub-struct of SweepOptions:
+	// path, save cadence, and resume flag. The zero value disables
+	// checkpointing.
+	SweepCheckpointOptions = sweep.CheckpointOptions
 	// SweepResult is the streamed optimum, Pareto frontier, and accounting.
 	SweepResult = sweep.Result
 	// SweepReport accounts for every design: evaluated, restored from
@@ -227,7 +233,14 @@ type (
 	SweepMergeReport = sweep.MergeReport
 	// SweepShardProgress summarizes one input checkpoint of a merge.
 	SweepShardProgress = sweep.ShardProgress
+	// SweepWorkerProgress summarizes one coordinated worker's share of a
+	// sweep: leases finished, leases stolen, designs evaluated and failed.
+	SweepWorkerProgress = sweep.WorkerProgress
 )
+
+// SweepNoRetries disables failed-design retries in SweepOptions.Retries
+// (the zero value means the default single retry).
+const SweepNoRetries = sweep.NoRetries
 
 // Sweep checkpoint errors.
 var (
@@ -244,25 +257,51 @@ var (
 // RunSweep executes a streaming sweep of the space under the strategy:
 // designs are evaluated in bounded batches and folded into a running
 // optimum and Pareto frontier, so memory stays flat in grid density. With a
-// checkpoint configured in opts, an interrupted sweep resumes where it
-// stopped and converges to the same result as an uninterrupted run; failed
-// designs are retried once before exclusion. See internal/sweep for the
-// checkpoint format.
+// checkpoint configured in opts.Checkpoint, an interrupted sweep resumes
+// where it stopped and converges to the same result as an uninterrupted
+// run; failed designs are retried opts.Retries times (default once) before
+// exclusion. See internal/sweep for the checkpoint format.
 func RunSweep(ctx context.Context, in *Inputs, space Space, strategy Strategy, opts SweepOptions) (SweepResult, error) {
 	return sweep.Run(ctx, in, space, strategy, opts)
 }
 
-// ParseShard parses an "index/count" shard specification (e.g. "2/3") for
-// SweepOptions.Shard; the empty string means unsharded. Malformed or
+// ParseSweepShard parses an "index/count" shard specification (e.g. "2/3")
+// for SweepOptions.Shard; the empty string means unsharded. Malformed or
 // out-of-range specifications wrap ErrBadShard.
-func ParseShard(spec string) (SweepShard, error) { return sweep.ParseShard(spec) }
+func ParseSweepShard(spec string) (SweepShard, error) { return sweep.ParseShard(spec) }
 
-// PlanShards partitions an n-design enumeration into count contiguous,
+// PlanSweepShards partitions an n-design enumeration into count contiguous,
 // balanced slices — the deterministic, coordination-free launch plan for a
 // sharded sweep. Use Space.Enumerate (via DefaultSpace and the strategy) to
 // obtain n, hand each worker its i/count, and merge the resulting
-// checkpoints with MergeSweepCheckpoints.
-func PlanShards(n, count int) ([]SweepShardPlan, error) { return sweep.PlanShards(n, count) }
+// checkpoints with MergeSweepCheckpoints. CoordinateSweep uses the same
+// planner with a much finer count to hand slices out dynamically instead.
+func PlanSweepShards(n, count int) ([]SweepShardPlan, error) { return sweep.PlanShards(n, count) }
+
+// MergeSweepResults folds independently obtained sweep results — shard or
+// lease slices of one design space — into a single result, exactly as if
+// one process had swept the union: the optimum is the minimum over inputs,
+// the frontier is the associative Pareto fold, and accounting sums.
+func MergeSweepResults(results ...SweepResult) SweepResult { return sweep.MergeResults(results...) }
+
+// CoordinatorOptions configures a dynamically coordinated sweep: worker
+// count, lease granularity, the optional lease directory for multi-process
+// coordination, and liveness timings. The zero value picks sensible
+// defaults (GOMAXPROCS workers, 8 leases per worker, in-process mode).
+type CoordinatorOptions = coordinator.Options
+
+// CoordinateSweep runs a work-stealing coordinated sweep: the design space
+// is split into many small leases (far more leases than workers) which
+// workers claim dynamically, so a slow or failed worker delays only its
+// current lease rather than a fixed 1/N of the space. With
+// opts.LeaseDir set, independently launched processes sharing that
+// directory coordinate through heartbeat-stamped lease files — a killed
+// worker's lease expires and is stolen, resuming from its per-lease
+// checkpoint — and the merged result is byte-identical to a single-process
+// RunSweep over the same space.
+func CoordinateSweep(ctx context.Context, in *Inputs, space Space, strategy Strategy, opts CoordinatorOptions) (SweepResult, error) {
+	return coordinator.Run(ctx, in, space, strategy, opts)
+}
 
 // MergeSweepCheckpoints folds any set of shard checkpoint files — complete
 // or partial — into a single merged checkpoint at dst that RunSweep's

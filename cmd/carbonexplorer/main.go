@@ -9,12 +9,14 @@
 //	carbonexplorer optimize -site UT -strategy all
 //	carbonexplorer optimize -site UT -strategy all -checkpoint sweep.json -resume
 //	carbonexplorer optimize -site UT -strategy all -shard 1/3 -checkpoint shard1.json
+//	carbonexplorer optimize -site UT -strategy all -workers 4
+//	carbonexplorer optimize -site UT -strategy all -workers 4 -coordinate leases/
 //	carbonexplorer merge -out merged.json shard1.json shard2.json shard3.json
 //	carbonexplorer figure 8
 //
 // optimize runs as a streaming sweep (internal/sweep): memory is bounded by
-// -batch regardless of grid density, failed designs are retried once (disable
-// with -no-retry), and with -checkpoint an interrupted sweep — Ctrl-C, a
+// -batch regardless of grid density, failed designs are retried (-retries,
+// default once), and with -checkpoint an interrupted sweep — Ctrl-C, a
 // timeout, or a crash — persists its progress and continues with -resume.
 //
 // -shard i/N restricts a run to its contiguous 1/N slice of the design
@@ -22,8 +24,17 @@
 // coordination beyond agreeing on N. Each shard writes its own checkpoint;
 // merge folds any set of them — complete or partial — into one checkpoint
 // holding the combined optimum and Pareto frontier, which optimize -resume
-// accepts to finish or re-split the remaining designs. See docs/OPERATIONS.md
-// for the operator's guide.
+// accepts to finish or re-split the remaining designs.
+//
+// -workers N replaces the static partition with a work-stealing coordinator
+// (internal/coordinator): the space splits into many small leases (-leases)
+// claimed dynamically, so a slow worker no longer gates the sweep. Adding
+// -coordinate <dir> moves coordination into atomic lease files under <dir>:
+// several independently started processes share one sweep, a killed
+// worker's lease is stolen after its heartbeat expires and its checkpoint
+// is resumed by the thief, and re-invoking the same command after a crash
+// or Ctrl-C continues where the fleet left off. See docs/OPERATIONS.md for
+// the operator's guide.
 package main
 
 import (
@@ -34,9 +45,11 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
+	"carbonexplorer/internal/coordinator"
 	"carbonexplorer/internal/experiments"
 	"carbonexplorer/internal/explorer"
 	"carbonexplorer/internal/grid"
@@ -222,8 +235,11 @@ func cmdOptimize(ctx context.Context, args []string) error {
 	checkpoint := fs.String("checkpoint", "", "persist sweep progress to this file (JSON, versioned); an interrupted sweep can continue with -resume")
 	resume := fs.Bool("resume", false, "resume the sweep recorded in -checkpoint instead of starting over")
 	batch := fs.Int("batch", 0, "designs evaluated per batch — the peak number of outcomes held in memory (0 = default)")
-	noRetry := fs.Bool("no-retry", false, "exclude a design after its first failure instead of retrying it once")
+	retries := fs.Int("retries", 1, "times a failed design is re-evaluated before being excluded (0 = a single failure is final)")
 	shardSpec := fs.String("shard", "", "evaluate only slice i/N of the design space (e.g. 2/3); shard checkpoints fold together with 'merge'")
+	workers := fs.Int("workers", 0, "coordinate a work-stealing sweep with N workers instead of the single-process engine (0 = single-process)")
+	coordinate := fs.String("coordinate", "", "lease directory for multi-process coordination: processes pointed at the same directory share the sweep, and killed workers' leases are stolen and resumed")
+	leases := fs.Int("leases", 0, "leases the coordinated space is split into (0 = 8 per worker); more leases = finer stealing granularity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -233,15 +249,40 @@ func cmdOptimize(ctx context.Context, args []string) error {
 	if *batch < 0 {
 		return fmt.Errorf("flag -batch: negative batch size %d", *batch)
 	}
-	if *resume && *checkpoint == "" {
-		return fmt.Errorf("flag -resume requires -checkpoint")
+	if *retries < 0 {
+		return fmt.Errorf("flag -retries: negative retry count %d", *retries)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("flag -workers: negative worker count %d", *workers)
+	}
+	if *leases < 0 {
+		return fmt.Errorf("flag -leases: negative lease count %d", *leases)
+	}
+	coordinated := *workers > 0 || *coordinate != ""
+	if *leases > 0 && !coordinated {
+		return fmt.Errorf("flag -leases requires -workers or -coordinate")
 	}
 	shard, err := sweep.ParseShard(*shardSpec)
 	if err != nil {
 		return fmt.Errorf("flag -shard: %w", err)
 	}
-	if !shard.IsZero() && *checkpoint == "" {
-		return fmt.Errorf("flag -shard requires -checkpoint (a shard's result only exists as its checkpoint file)")
+	if coordinated {
+		if !shard.IsZero() {
+			return fmt.Errorf("flag -shard cannot be combined with -workers/-coordinate: the coordinator partitions the space itself")
+		}
+		if *resume {
+			return fmt.Errorf("flag -resume cannot be combined with -workers/-coordinate: coordination resumes its lease checkpoints automatically")
+		}
+		if *checkpoint != "" && *coordinate == "" {
+			return fmt.Errorf("flag -checkpoint with -workers requires -coordinate (in-process coordination keeps no files; the merged checkpoint lives next to the leases)")
+		}
+	} else {
+		if *resume && *checkpoint == "" {
+			return fmt.Errorf("flag -resume requires -checkpoint")
+		}
+		if !shard.IsZero() && *checkpoint == "" {
+			return fmt.Errorf("flag -shard requires -checkpoint (a shard's result only exists as its checkpoint file)")
+		}
 	}
 	var strategy explorer.Strategy
 	switch strings.ToLower(*strategyName) {
@@ -265,13 +306,35 @@ func cmdOptimize(ctx context.Context, args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := sweep.Run(ctx, in, explorer.DefaultSpace(in), strategy, sweep.Options{
-		BatchSize:      *batch,
-		CheckpointPath: *checkpoint,
-		Resume:         *resume,
-		NoRetry:        *noRetry,
-		Shard:          shard,
-	})
+	sweepRetries := *retries
+	if sweepRetries == 0 {
+		sweepRetries = sweep.NoRetries
+	}
+	ckptPath := *checkpoint
+	if *coordinate != "" && ckptPath == "" {
+		ckptPath = filepath.Join(*coordinate, "merged.json")
+	}
+	var res sweep.Result
+	if coordinated {
+		res, err = coordinator.Run(ctx, in, explorer.DefaultSpace(in), strategy, coordinator.Options{
+			Workers:    *workers,
+			Leases:     *leases,
+			LeaseDir:   *coordinate,
+			Checkpoint: *checkpoint,
+			BatchSize:  *batch,
+			Retries:    sweepRetries,
+		})
+	} else {
+		res, err = sweep.Run(ctx, in, explorer.DefaultSpace(in), strategy, sweep.Options{
+			BatchSize: *batch,
+			Retries:   sweepRetries,
+			Shard:     shard,
+			Checkpoint: sweep.CheckpointOptions{
+				Path:   *checkpoint,
+				Resume: *resume,
+			},
+		})
+	}
 	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	if err != nil && !interrupted {
 		return err
@@ -280,7 +343,7 @@ func cmdOptimize(ctx context.Context, args []string) error {
 		return fmt.Errorf("sweep interrupted before any design finished: %w", err)
 	}
 	if res.Resumed {
-		fmt.Printf("resumed from %s: %d designs restored\n", *checkpoint, res.Report.Restored)
+		fmt.Printf("resumed from %s: %d designs restored\n", ckptPath, res.Report.Restored)
 	}
 	if !shard.IsZero() {
 		total := res.Report.Evaluated + len(res.Report.Failures) + res.Report.Skipped + res.Report.OutOfShard
@@ -290,13 +353,20 @@ func cmdOptimize(ctx context.Context, args []string) error {
 	if interrupted {
 		fmt.Printf("sweep interrupted (%v) — partial results over %d evaluated designs (%d skipped)\n",
 			err, res.Report.Evaluated, res.Report.Skipped)
-		if *checkpoint != "" {
+		switch {
+		case *coordinate != "":
+			fmt.Printf("progress saved to %s; re-invoke the same command to continue\n", ckptPath)
+		case *checkpoint != "":
 			fmt.Printf("progress saved to %s; continue with: optimize -site %s -strategy %s -checkpoint %s -resume\n",
 				*checkpoint, *siteID, *strategyName, *checkpoint)
 		}
 	}
 	fmt.Printf("strategy %s: %d designs evaluated, %d on the Pareto frontier\n",
 		strategy, res.Report.Evaluated, len(res.Frontier))
+	for _, wp := range res.Workers {
+		fmt.Printf("worker %s: %d leases (%d stolen), %d designs evaluated, %d failed\n",
+			wp.Worker, wp.Leases, wp.Stolen, wp.Evaluated, wp.Failed)
+	}
 	if res.Report.Retried > 0 {
 		fmt.Printf("%d designs retried after a transient failure, %d recovered\n",
 			res.Report.Retried, res.Report.Recovered)

@@ -190,6 +190,63 @@ func TestShardFlagValidation(t *testing.T) {
 	}
 }
 
+func TestCoordinateFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		flag string // expected flag name in the message
+	}{
+		{"negative workers", []string{"optimize", "-site", "UT", "-workers", "-2"}, "-workers"},
+		{"negative leases", []string{"optimize", "-site", "UT", "-workers", "2", "-leases", "-8"}, "-leases"},
+		{"negative retries", []string{"optimize", "-site", "UT", "-retries", "-1"}, "-retries"},
+		{"leases without coordination", []string{"optimize", "-site", "UT", "-leases", "8"}, "-leases"},
+		{"shard conflicts with workers", []string{"optimize", "-site", "UT", "-workers", "2", "-shard", "1/3", "-checkpoint", "x.json"}, "-shard"},
+		{"resume conflicts with coordinate", []string{"optimize", "-site", "UT", "-coordinate", "leases", "-resume"}, "-resume"},
+		{"checkpoint with in-process workers", []string{"optimize", "-site", "UT", "-workers", "2", "-checkpoint", "x.json"}, "-checkpoint"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := runBg(c.args...)
+			if err == nil {
+				t.Fatalf("%v: invalid flag combination accepted", c.args)
+			}
+			if !strings.Contains(err.Error(), c.flag) {
+				t.Fatalf("%v: error %q does not name flag %s", c.args, err, c.flag)
+			}
+		})
+	}
+}
+
+func TestOptimizeCoordinated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	// In-process work stealing.
+	if err := runBg("optimize", "-site", "UT", "-strategy", "renewables",
+		"-workers", "2"); err != nil {
+		t.Fatalf("in-process coordinated optimize failed: %v", err)
+	}
+	// Lease-directory coordination leaves a complete merged checkpoint that
+	// a plain resume accepts, and cleans its lease files up.
+	dir := t.TempDir()
+	if err := runBg("optimize", "-site", "UT", "-strategy", "renewables",
+		"-workers", "2", "-coordinate", dir, "-leases", "6"); err != nil {
+		t.Fatalf("lease-directory coordinated optimize failed: %v", err)
+	}
+	merged := filepath.Join(dir, "merged.json")
+	if err := runBg("optimize", "-site", "UT", "-strategy", "renewables",
+		"-checkpoint", merged, "-resume"); err != nil {
+		t.Fatalf("resume of coordinator's merged checkpoint failed: %v", err)
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, "lease-*"))
+	if err != nil {
+		t.Fatalf("globbing lease files: %v", err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("lease files left behind after a complete run: %v", leftovers)
+	}
+}
+
 func TestMergeFlagValidation(t *testing.T) {
 	if err := runBg("merge"); err == nil {
 		t.Fatal("merge without -out or inputs accepted")

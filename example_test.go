@@ -46,8 +46,8 @@ func ExampleNewBattery() {
 }
 
 // ExampleRunSweep streams a small design grid through the resumable sweep
-// engine. Passing SweepOptions.CheckpointPath would additionally persist
-// progress so an interrupted sweep can continue with Resume: true.
+// engine. Setting SweepOptions.Checkpoint.Path would additionally persist
+// progress so an interrupted sweep can continue with Checkpoint.Resume.
 func ExampleRunSweep() {
 	site := carbonexplorer.MustSite("UT")
 	n := 240 // ten synthetic days
@@ -82,6 +82,52 @@ func ExampleRunSweep() {
 		res.Optimal.Design.WindMW, res.Optimal.Design.SolarMW)
 	// Output:
 	// evaluated 16 designs, 5 on the Pareto frontier
+	// optimum: 60 MW wind + 0 MW solar
+}
+
+// ExampleCoordinateSweep runs the same sweep through the work-stealing
+// coordinator: the grid is split into many small leases that a pool of
+// workers claims dynamically. The result is byte-identical to RunSweep;
+// only the (nondeterministic) split of work across workers differs, so the
+// example prints aggregate progress.
+func ExampleCoordinateSweep() {
+	site := carbonexplorer.MustSite("UT")
+	n := 240
+	demand := carbonexplorer.ConstantSeries(n, 12)
+	wind := carbonexplorer.GenerateSeries(n, func(h int) float64 {
+		return 0.5 + 0.4*math.Sin(2*math.Pi*float64(h)/31)
+	})
+	solar := carbonexplorer.GenerateSeries(n, func(h int) float64 {
+		if h%24 >= 7 && h%24 < 17 {
+			return 0.9
+		}
+		return 0
+	})
+	ci := carbonexplorer.ConstantSeries(n, 400)
+	in, err := carbonexplorer.NewInputsFromSeries(site, demand, wind, solar, ci,
+		carbonexplorer.DefaultEmbodiedParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	space := carbonexplorer.Space{
+		WindMW:  []float64{0, 20, 40, 60},
+		SolarMW: []float64{0, 20, 40, 60},
+	}
+	res, err := carbonexplorer.CoordinateSweep(context.Background(), in, space,
+		carbonexplorer.RenewablesOnly, carbonexplorer.CoordinatorOptions{Workers: 2, Leases: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	leases := 0
+	for _, w := range res.Workers {
+		leases += w.Leases
+	}
+	fmt.Printf("%d workers drained %d leases, evaluated %d designs\n",
+		len(res.Workers), leases, res.Report.Evaluated)
+	fmt.Printf("optimum: %.0f MW wind + %.0f MW solar\n",
+		res.Optimal.Design.WindMW, res.Optimal.Design.SolarMW)
+	// Output:
+	// 2 workers drained 8 leases, evaluated 16 designs
 	// optimum: 60 MW wind + 0 MW solar
 }
 

@@ -1,17 +1,19 @@
 // Package atomicwrite guards the checkpoint crash-safety invariant.
 //
 // Checkpoints survive kill -9 because every write goes through the single
-// atomic helper in internal/sweep/checkpoint.go: marshal, write a temp file
-// in the target directory, rename over the target. A direct os.WriteFile,
-// os.Create, or os.Rename anywhere else in internal/sweep could leave a
-// torn checkpoint behind — the exact failure mode the chaos tests exist to
-// rule out, reintroduced by one convenient shortcut.
+// atomic helper sweep.WriteFileAtomic: marshal, write a temp file in the
+// target directory, rename over the target. A direct os.WriteFile,
+// os.Create, or os.Rename anywhere else in the checkpoint-owning packages
+// could leave a torn checkpoint behind — the exact failure mode the chaos
+// tests exist to rule out, reintroduced by one convenient shortcut.
 //
-// The analyzer therefore flags every use of os.WriteFile, os.Create, and
-// os.Rename in the checkpoint-owning package internal/sweep. The atomic
-// helper itself carries //carbonlint:allow annotations — it is the one
-// sanctioned site, and keeping it annotated rather than hard-coded means
-// moving or duplicating it cannot dodge the rule.
+// Two packages own crash-safe files: internal/sweep (sweep checkpoints)
+// and internal/coordinator (lease files and per-lease checkpoints, whose
+// theft protocol assumes a lease file is never observed half-written). The
+// analyzer flags every use of os.WriteFile, os.Create, and os.Rename in
+// both. The atomic helper itself carries //carbonlint:allow annotations —
+// it is the one sanctioned site, and keeping it annotated rather than
+// hard-coded means moving or duplicating it cannot dodge the rule.
 package atomicwrite
 
 import (
@@ -24,19 +26,22 @@ import (
 // Analyzer is the atomicwrite check.
 var Analyzer = &analysis.Analyzer{
 	Name: "atomicwrite",
-	Doc:  "route every checkpoint write in internal/sweep through the atomic temp+rename helper",
+	Doc:  "route every checkpoint and lease write through the atomic temp+rename helper",
 	Run:  run,
 }
 
-// checkpointPkg is the package owning checkpoint persistence.
-const checkpointPkg = "carbonexplorer/internal/sweep"
+// checkpointPkgs are the packages owning crash-safe file persistence.
+var checkpointPkgs = map[string]bool{
+	"carbonexplorer/internal/sweep":       true,
+	"carbonexplorer/internal/coordinator": true,
+}
 
 // rawFileFuncs are the os entry points that can produce torn files when
 // pointed at a checkpoint path.
 var rawFileFuncs = map[string]bool{"WriteFile": true, "Create": true, "Rename": true}
 
 func run(pass *analysis.Pass) (any, error) {
-	if pass.Pkg.Path() != checkpointPkg {
+	if !checkpointPkgs[pass.Pkg.Path()] {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
@@ -49,7 +54,7 @@ func run(pass *analysis.Pass) (any, error) {
 			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" || !rawFileFuncs[fn.Name()] {
 				return true
 			}
-			pass.Reportf(id.Pos(), "os.%s in the checkpoint package: write through the atomic temp+rename helper in checkpoint.go so a crash cannot leave a torn checkpoint", fn.Name())
+			pass.Reportf(id.Pos(), "os.%s in a checkpoint-owning package: write through sweep.WriteFileAtomic so a crash cannot leave a torn file", fn.Name())
 			return true
 		})
 	}

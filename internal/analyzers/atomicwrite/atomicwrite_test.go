@@ -15,6 +15,10 @@ func TestAnnotatedHelperClean(t *testing.T) {
 	linttest.Run(t, atomicwrite.Analyzer, "testdata/clean", "carbonexplorer/internal/sweep")
 }
 
+func TestRawWritesInCoordinatorFlagged(t *testing.T) {
+	linttest.Run(t, atomicwrite.Analyzer, "testdata/flagcoordinator", "carbonexplorer/internal/coordinator")
+}
+
 func TestOtherPackagesExempt(t *testing.T) {
 	linttest.Run(t, atomicwrite.Analyzer, "testdata/offpath", "carbonexplorer/internal/report")
 }

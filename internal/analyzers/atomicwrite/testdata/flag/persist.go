@@ -5,15 +5,15 @@ package sweep
 import "os"
 
 func persist(path string, data []byte) error {
-	if err := os.WriteFile(path, data, 0o600); err != nil { // want `os\.WriteFile in the checkpoint package`
+	if err := os.WriteFile(path, data, 0o600); err != nil { // want `os\.WriteFile in a checkpoint-owning package`
 		return err
 	}
-	f, err := os.Create(path + ".lock") // want `os\.Create in the checkpoint package`
+	f, err := os.Create(path + ".lock") // want `os\.Create in a checkpoint-owning package`
 	if err != nil {
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(path+".lock", path) // want `os\.Rename in the checkpoint package`
+	return os.Rename(path+".lock", path) // want `os\.Rename in a checkpoint-owning package`
 }

@@ -1,0 +1,13 @@
+// Fixture: the coordinator package (checked under
+// carbonexplorer/internal/coordinator) owns crash-safe lease files, so raw
+// file operations are flagged there too.
+package coordinator
+
+import "os"
+
+func publishLease(path string, data []byte) error {
+	if err := os.WriteFile(path+".tmp", data, 0o644); err != nil { // want `os\.WriteFile in a checkpoint-owning package`
+		return err
+	}
+	return os.Rename(path+".tmp", path) // want `os\.Rename in a checkpoint-owning package`
+}

@@ -3,10 +3,10 @@
 // The sharded-sweep design rests on bit-identical reproducibility: shard
 // checkpoints merge to exactly the single-process optimum and frontier, and
 // an interrupted run resumes to the uninterrupted result. Those proofs
-// assume the fold path — internal/sweep, internal/explorer, internal/synth
-// — computes the same bytes on every run. One stray time.Now(), one draw
-// from the process-global math/rand source, or one map-iteration-order
-// dependency silently breaks them.
+// assume the fold path — internal/sweep, internal/explorer, internal/synth,
+// internal/coordinator — computes the same bytes on every run. One stray
+// time.Now(), one draw from the process-global math/rand source, or one
+// map-iteration-order dependency silently breaks them.
 //
 // Flagged inside the fold-path packages:
 //   - calls (or references) to time.Now, time.Since, time.Until;
@@ -16,7 +16,9 @@
 //   - `range` over a map, whose iteration order is randomized by the
 //     runtime.
 //
-// internal/synth's rng.go (the seeded local PRNG) and the whole of
+// internal/synth's rng.go (the seeded local PRNG), internal/coordinator's
+// lease.go (heartbeat timestamps and expiry are wall-clock by design — they
+// decide liveness, never fold results), and the whole of
 // internal/faultinject (deterministic by construction, outside the fold
 // path) are allowlisted.
 package detrand
@@ -38,14 +40,17 @@ var Analyzer = &analysis.Analyzer{
 
 // foldPath lists the packages whose results must be bit-reproducible.
 var foldPath = map[string]bool{
-	"carbonexplorer/internal/sweep":    true,
-	"carbonexplorer/internal/explorer": true,
-	"carbonexplorer/internal/synth":    true,
+	"carbonexplorer/internal/sweep":       true,
+	"carbonexplorer/internal/explorer":    true,
+	"carbonexplorer/internal/synth":       true,
+	"carbonexplorer/internal/coordinator": true,
 }
 
-// allowedFiles exempts the seeded PRNG implementation itself.
+// allowedFiles exempts the seeded PRNG implementation itself and the lease
+// board, whose heartbeat/expiry protocol is wall-clock by design.
 var allowedFiles = map[string]map[string]bool{
-	"carbonexplorer/internal/synth": {"rng.go": true},
+	"carbonexplorer/internal/synth":       {"rng.go": true},
+	"carbonexplorer/internal/coordinator": {"lease.go": true},
 }
 
 // timeFuncs are the wall-clock readers.

@@ -22,3 +22,11 @@ func TestOutsideFoldPathExempt(t *testing.T) {
 func TestSynthRNGFileExempt(t *testing.T) {
 	linttest.Run(t, detrand.Analyzer, "testdata/rngfile", "carbonexplorer/internal/synth")
 }
+
+func TestCoordinatorOnFoldPath(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/coordflag", "carbonexplorer/internal/coordinator")
+}
+
+func TestCoordinatorLeaseFileExempt(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/leasefile", "carbonexplorer/internal/coordinator")
+}

@@ -1,0 +1,18 @@
+// Fixture: outside lease.go, the coordinator package (checked under
+// carbonexplorer/internal/coordinator) is on the fold path, so wall-clock
+// reads and map-order iteration are flagged.
+package coordinator
+
+import "time"
+
+func mergeOrder(progress map[string]int) []string {
+	var names []string
+	for name := range progress { // want `range over a map in the deterministic fold path`
+		names = append(names, name)
+	}
+	return names
+}
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now in the deterministic fold path`
+}

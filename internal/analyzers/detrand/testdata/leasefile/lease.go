@@ -1,0 +1,10 @@
+// Fixture: coordinator's lease.go — the heartbeat/expiry protocol — is
+// file-allowlisted even though the package is on the fold path: lease
+// timestamps decide liveness, never fold results.
+package coordinator
+
+import "time"
+
+func heartbeatStamp() int64 {
+	return time.Now().UnixMilli()
+}

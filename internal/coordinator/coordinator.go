@@ -1,0 +1,364 @@
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/sweep"
+)
+
+// Options configures a coordinated, work-stealing sweep. The zero value is
+// a sensible default: one worker per CPU, eight leases per worker,
+// in-process coordination.
+type Options struct {
+	// Workers is the number of concurrent workers (default GOMAXPROCS,
+	// capped by the lease count — an idle worker with no lease left to
+	// claim adds nothing).
+	Workers int
+	// Leases is how many slices the design space is split into (default 8
+	// per worker, clamped to the design count). More leases than workers
+	// is the point of dynamic scheduling: slices small enough that a fast
+	// worker absorbs a slow or dead one's backlog instead of idling.
+	Leases int
+	// LeaseDir, when non-empty, switches to multi-process coordination
+	// through atomic lease files in this directory: independently started
+	// processes pointed at the same directory share the sweep, a worker's
+	// progress survives its death as a per-lease checkpoint, and expired
+	// leases are stolen and resumed. Empty coordinates in-process only,
+	// with no files written.
+	LeaseDir string
+	// Checkpoint is where the final merged checkpoint is written in
+	// LeaseDir mode (default <LeaseDir>/merged.json); Run resumes it
+	// automatically, so re-invoking after a crash or cancellation
+	// continues instead of restarting. Ignored without a LeaseDir.
+	Checkpoint string
+	// BatchSize is each worker's per-lease evaluation batch size (see
+	// sweep.Options.BatchSize). Per-lease evaluation is itself parallel,
+	// so W workers × min(GOMAXPROCS, BatchSize) goroutines evaluate at
+	// once; set BatchSize 1 to pin each worker to one design at a time.
+	BatchSize int
+	// CheckpointEvery is the per-lease checkpoint cadence in LeaseDir mode
+	// (default 64): how many evaluated designs a worker's death can lose.
+	CheckpointEvery int
+	// Retries is how many times a failed design is re-evaluated within its
+	// lease (see sweep.Options.Retries: 0 means one retry,
+	// sweep.NoRetries disables).
+	Retries int
+	// Heartbeat is how often a worker refreshes its claimed lease's
+	// liveness timestamp in LeaseDir mode (default 1s).
+	Heartbeat time.Duration
+	// Expiry is how stale a running lease's heartbeat must be before
+	// another worker may steal it (default 10×Heartbeat). Shorter expiry
+	// recovers dead workers faster but tolerates less scheduling jitter
+	// before a live worker is (benignly) double-evaluated.
+	Expiry time.Duration
+	// Worker is this process's owner-label prefix in lease files (default
+	// "pid<pid>"); worker k of the pool is labeled "<Worker>/wk". Give
+	// each process a distinct value when coordinating across machines
+	// whose PIDs may collide.
+	Worker string
+	// InputsFor, when non-nil, supplies worker k's evaluation inputs
+	// instead of the shared Inputs — the chaos and benchmark hook: a
+	// slowed or faulty worker is an InputsFor returning hooked inputs.
+	// Every worker's inputs must describe the same sweep (same site,
+	// series, and hence space hash) or lease checkpoints will be rejected
+	// as mismatched.
+	InputsFor func(worker int) *explorer.Inputs
+}
+
+// withDefaults normalizes the options against an n-design space.
+func (o Options) withDefaults(n int) Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Leases <= 0 {
+		o.Leases = 8 * o.Workers
+	}
+	if o.Leases > n {
+		o.Leases = n
+	}
+	if o.Workers > o.Leases {
+		o.Workers = o.Leases
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 64
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = time.Second
+	}
+	if o.Expiry <= 0 {
+		o.Expiry = 10 * o.Heartbeat
+	}
+	if o.Worker == "" {
+		o.Worker = fmt.Sprintf("pid%d", os.Getpid())
+	}
+	if o.LeaseDir != "" && o.Checkpoint == "" {
+		o.Checkpoint = filepath.Join(o.LeaseDir, "merged.json")
+	}
+	return o
+}
+
+// workerLabel names worker w in lease files and Result.Workers.
+func workerLabel(opts Options, w int) string {
+	return fmt.Sprintf("%s/w%d", opts.Worker, w)
+}
+
+// workerInputs picks worker w's evaluation inputs.
+func workerInputs(in *explorer.Inputs, opts Options, w int) *explorer.Inputs {
+	if opts.InputsFor != nil {
+		return opts.InputsFor(w)
+	}
+	return in
+}
+
+// Run executes a coordinated, work-stealing sweep of the space under the
+// strategy and returns the same Result a single-process sweep.Run over the
+// full space would — byte-identical optimum, frontier, and failure
+// ordering — with Result.Workers filled in with per-worker progress.
+//
+// The design space is split into Options.Leases contiguous slices, far
+// more than there are workers, and workers claim them dynamically. Without
+// a LeaseDir the pool coordinates in-process; with one, coordination goes
+// through atomic lease files so independently started processes share the
+// sweep, dead workers' leases are stolen after their heartbeat expires,
+// and the thief resumes the per-lease checkpoint instead of re-evaluating.
+//
+// Failure semantics mirror sweep.Run: failed designs are retried, then
+// excluded and reported; only if every design fails does Run return a
+// wrapped explorer.ErrAllDesignsFailed. On cancellation the partial result
+// is returned alongside ctx's error — in LeaseDir mode after folding every
+// lease checkpoint written so far into Options.Checkpoint, so a later
+// invocation (or a plain `optimize -resume`) continues from there.
+func Run(ctx context.Context, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options) (sweep.Result, error) {
+	n := len(space.Enumerate(strategy, in.AvgDemandMW()))
+	if n == 0 {
+		return sweep.Result{}, fmt.Errorf("coordinator: empty search space")
+	}
+	opts = opts.withDefaults(n)
+	plans, err := sweep.PlanShards(n, opts.Leases)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	if opts.LeaseDir == "" {
+		return runMemory(ctx, in, space, strategy, opts, plans)
+	}
+	return runLeaseDir(ctx, in, space, strategy, opts, plans)
+}
+
+// runMemory coordinates a worker pool over a channel of lease indices.
+// Every lease produces a full-space-accounted Result; folding them in
+// lease order through sweep.MergeResults reproduces the single-process
+// fold exactly.
+func runMemory(ctx context.Context, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options, plans []sweep.ShardPlan) (sweep.Result, error) {
+	results := make([]sweep.Result, len(plans))
+	errs := make([]error, len(plans))
+	progress := make([]sweep.WorkerProgress, opts.Workers)
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			progress[w].Worker = workerLabel(opts, w)
+			win := workerInputs(in, opts, w)
+			for li := range queue {
+				res, err := sweep.Run(ctx, win, space, strategy, sweep.Options{
+					BatchSize: opts.BatchSize,
+					Retries:   opts.Retries,
+					Shard:     plans[li].Shard,
+				})
+				results[li] = res
+				// A lease whose designs all failed still completed; its
+				// failures surface through the merged report instead.
+				if err != nil && !errors.Is(err, explorer.ErrAllDesignsFailed) {
+					errs[li] = err
+				}
+				progress[w].Leases++
+				progress[w].Evaluated += res.Report.Evaluated - res.Report.Restored
+				progress[w].Failed += len(res.Report.Failures)
+			}
+		}(w)
+	}
+	for li := range plans {
+		queue <- li
+	}
+	close(queue)
+	wg.Wait()
+
+	merged := sweep.MergeResults(results...)
+	merged.Workers = progress
+	for _, err := range errs {
+		if err != nil {
+			return merged, err
+		}
+	}
+	if merged.Report.Evaluated == 0 && len(merged.Report.Failures) > 0 {
+		return merged, fmt.Errorf("%w: %d failures, first: %w",
+			explorer.ErrAllDesignsFailed, len(merged.Report.Failures), merged.Report.Failures[0])
+	}
+	return merged, nil
+}
+
+// runLeaseDir coordinates through lease files: claim, heartbeat, sweep the
+// slice with a resumable per-lease checkpoint, mark done, repeat; then
+// fold every lease checkpoint into the merged checkpoint and restore the
+// Result from it.
+func runLeaseDir(ctx context.Context, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options, plans []sweep.ShardPlan) (sweep.Result, error) {
+	b, err := newBoard(opts.LeaseDir, plans, opts.Heartbeat, opts.Expiry)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	progress := make([]sweep.WorkerProgress, opts.Workers)
+	maxResident := make([]int, opts.Workers)
+	workerErrs := make([]error, opts.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			workerErrs[w] = runWorker(ctx, b, in, space, strategy, opts, plans, w, &progress[w], &maxResident[w])
+		}(w)
+	}
+	wg.Wait()
+	for _, werr := range workerErrs {
+		if werr != nil && !isCtxErr(werr) {
+			return sweep.Result{}, werr
+		}
+	}
+
+	// Fold whatever lease checkpoints exist — all of them after a clean
+	// finish, the partial subset after a cancellation — into the merged
+	// checkpoint. A concurrent finisher may already have merged and
+	// cleaned the lease files up; its merged checkpoint then stands in.
+	srcs := b.existingCheckpoints()
+	var complete bool
+	if len(srcs) > 0 {
+		rep, err := sweep.MergeCheckpoints(opts.Checkpoint, srcs...)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return sweep.Result{}, cerr
+			}
+			return sweep.Result{}, err
+		}
+		complete = rep.Complete()
+	} else if _, err := os.Stat(opts.Checkpoint); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return sweep.Result{}, cerr
+		}
+		return sweep.Result{}, fmt.Errorf("coordinator: no lease checkpoints were written under %s", opts.LeaseDir)
+	}
+
+	// Restore the merged checkpoint into a Result. Every lease is done
+	// after a clean run, so this evaluates nothing; under a cancelled ctx
+	// it returns the partial fold alongside the ctx error.
+	res, err := sweep.Run(ctx, in, space, strategy, sweep.Options{
+		BatchSize: opts.BatchSize,
+		Retries:   opts.Retries,
+		Checkpoint: sweep.CheckpointOptions{
+			Path:   opts.Checkpoint,
+			Every:  opts.CheckpointEvery,
+			Resume: true,
+		},
+	})
+	res.Workers = progress
+	fresh := 0
+	for w := range progress {
+		fresh += progress[w].Evaluated
+		if maxResident[w] > res.Report.MaxResident {
+			res.Report.MaxResident = maxResident[w]
+		}
+	}
+	// The final restore reports every done design as Restored; designs
+	// this invocation's workers evaluated were not. (Clamped: a benign
+	// double-evaluation after a stolen-lease race can count a design
+	// twice.)
+	if restored := res.Report.Evaluated - fresh; restored >= 0 {
+		res.Report.Restored = restored
+	} else {
+		res.Report.Restored = 0
+	}
+	res.Resumed = res.Report.Restored > 0
+	if err != nil {
+		return res, err
+	}
+	if complete {
+		b.cleanup(opts.Worker + "/")
+	}
+	return res, nil
+}
+
+// runWorker is one worker's claim-evaluate-markDone loop.
+func runWorker(ctx context.Context, b *board, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options, plans []sweep.ShardPlan, w int, progress *sweep.WorkerProgress, maxResident *int) error {
+	label := workerLabel(opts, w)
+	progress.Worker = label
+	win := workerInputs(in, opts, w)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t, done, err := b.claim(label)
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			if done {
+				return nil
+			}
+			// Every remaining lease is healthily running elsewhere. Poll:
+			// its done marker — or its heartbeat expiring — is what frees
+			// this worker.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(b.beat):
+			}
+			continue
+		}
+		stop := b.heartbeat(t, label)
+		res, err := sweep.Run(ctx, win, space, strategy, sweep.Options{
+			BatchSize: opts.BatchSize,
+			Retries:   opts.Retries,
+			Shard:     plans[t.lease].Shard,
+			Checkpoint: sweep.CheckpointOptions{
+				Path:   b.checkpointPath(t.lease),
+				Every:  opts.CheckpointEvery,
+				Resume: true,
+			},
+		})
+		stop()
+		if err != nil && !errors.Is(err, explorer.ErrAllDesignsFailed) {
+			// Cancelled or I/O failure: leave the lease claimed. With the
+			// heartbeat stopped it expires, so a later worker — or a later
+			// invocation — steals it and resumes its checkpoint. The partial
+			// lease still counts toward this worker's fresh evaluations so
+			// the final restored-design accounting stays exact.
+			progress.Evaluated += res.Report.Evaluated - res.Report.Restored
+			progress.Failed += len(res.Report.Failures)
+			return err
+		}
+		if err := b.markDone(t, label); err != nil {
+			return err
+		}
+		progress.Leases++
+		if t.stolen {
+			progress.Stolen++
+		}
+		progress.Evaluated += res.Report.Evaluated - res.Report.Restored
+		progress.Failed += len(res.Report.Failures)
+		if res.Report.MaxResident > *maxResident {
+			*maxResident = res.Report.MaxResident
+		}
+	}
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

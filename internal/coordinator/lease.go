@@ -1,0 +1,218 @@
+package coordinator
+
+// Lease files are the multi-process coordination substrate. All wall-clock
+// reads live in this file — it is the one detrand-exempt file of the
+// package, because heartbeat liveness is inherently wall-clock — and every
+// write goes through sweep.WriteFileAtomic, so a crash mid-claim or
+// mid-heartbeat can never leave a torn lease behind.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"carbonexplorer/internal/sweep"
+)
+
+// leaseVersion is the on-disk lease schema version.
+const leaseVersion = 1
+
+// Lease states. A lease file exists only once some worker has claimed the
+// slice: running while the owner heartbeats, done once the slice's
+// checkpoint holds a final status for every design in it.
+const (
+	leaseRunning = "running"
+	leaseDone    = "done"
+)
+
+// leaseFile is the JSON claim record for one lease.
+type leaseFile struct {
+	Version int    `json:"version"`
+	Lease   string `json:"lease"` // the shard label, "i/L"
+	Owner   string `json:"owner"`
+	State   string `json:"state"` // leaseRunning or leaseDone
+	// HeartbeatMS is the owner's last liveness signal in Unix
+	// milliseconds. A running lease whose heartbeat is staler than the
+	// board's expiry is up for theft.
+	HeartbeatMS int64 `json:"heartbeat_unix_ms"`
+	// Stolen counts how many times ownership was reclaimed from an
+	// expired owner.
+	Stolen int `json:"stolen"`
+}
+
+// ticket is one successful claim: which lease, and its theft history.
+type ticket struct {
+	lease  int  // index into the board's plans
+	stolen bool // this claim reclaimed an expired or corrupt lease
+	count  int  // cumulative theft count, preserved in subsequent writes
+}
+
+// board mediates lease claims for one coordinated run. In-process claims
+// serialize on mu; cross-process claims go through the atomic lease files
+// themselves. A lost cross-process race (two workers both believing they
+// own a lease) is benign by design: evaluation is deterministic and
+// per-lease checkpoints only move designs forward, so duplicate evaluation
+// merges to the same bytes.
+type board struct {
+	dir    string
+	plans  []sweep.ShardPlan
+	beat   time.Duration
+	expiry time.Duration
+
+	mu sync.Mutex
+}
+
+// newBoard creates the lease directory (if needed) and the claim mediator.
+func newBoard(dir string, plans []sweep.ShardPlan, beat, expiry time.Duration) (*board, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("coordinator: creating lease directory: %w", err)
+	}
+	return &board{dir: dir, plans: plans, beat: beat, expiry: expiry}, nil
+}
+
+// leasePath is the claim file for lease li; checkpointPath its slice's
+// sweep checkpoint. Both are derived from the lease label, so independently
+// started processes agree on them without any handshake.
+func (b *board) leasePath(li int) string {
+	return filepath.Join(b.dir, fmt.Sprintf("lease-%04d-of-%04d.json", li+1, len(b.plans)))
+}
+
+func (b *board) checkpointPath(li int) string {
+	return filepath.Join(b.dir, fmt.Sprintf("lease-%04d-of-%04d.ckpt.json", li+1, len(b.plans)))
+}
+
+// read loads lease li's claim file. A missing file returns (nil, false);
+// an unreadable or undecodable file returns corrupt=true — the claim it
+// recorded is unknowable, which the claim path treats like an expired
+// owner rather than wedging the sweep.
+func (b *board) read(li int) (lf *leaseFile, corrupt bool) {
+	data, err := os.ReadFile(b.leasePath(li))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false
+		}
+		return nil, true
+	}
+	var f leaseFile
+	if err := json.Unmarshal(data, &f); err != nil || f.Version != leaseVersion {
+		return nil, true
+	}
+	return &f, false
+}
+
+// write atomically publishes lease li's claim record.
+func (b *board) write(li int, lf leaseFile) error {
+	lf.Version = leaseVersion
+	lf.Lease = b.plans[li].Shard.String()
+	data, err := json.MarshalIndent(&lf, "", " ")
+	if err != nil {
+		return fmt.Errorf("coordinator: encoding lease: %w", err)
+	}
+	return sweep.WriteFileAtomic(b.leasePath(li), append(data, '\n'))
+}
+
+// claim scans leases in ascending order and takes the first claimable one:
+// never claimed, recorded by a corrupt file, or running with a heartbeat
+// staler than the expiry (a dead or wedged owner — its lease is stolen and
+// its checkpoint resumed by the thief). It returns a nil ticket with
+// done=false when every unclaimed lease is healthily running elsewhere
+// (poll again later), and done=true when every lease is done.
+func (b *board) claim(owner string) (t *ticket, done bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now().UnixMilli()
+	waiting := false
+	for li := range b.plans {
+		lf, corrupt := b.read(li)
+		var tk ticket
+		switch {
+		case lf == nil && !corrupt:
+			tk = ticket{lease: li}
+		case corrupt:
+			tk = ticket{lease: li, stolen: true, count: 1}
+		case lf.State == leaseDone:
+			continue
+		case now-lf.HeartbeatMS > b.expiry.Milliseconds():
+			tk = ticket{lease: li, stolen: true, count: lf.Stolen + 1}
+		default:
+			waiting = true
+			continue
+		}
+		if err := b.write(li, leaseFile{Owner: owner, State: leaseRunning, HeartbeatMS: now, Stolen: tk.count}); err != nil {
+			return nil, false, err
+		}
+		return &tk, false, nil
+	}
+	return nil, !waiting, nil
+}
+
+// heartbeat refreshes the claimed lease's liveness timestamp every beat
+// until the returned stop function is called.
+func (b *board) heartbeat(t *ticket, owner string) (stop func()) {
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(b.beat)
+		defer tick.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				b.mu.Lock()
+				// A missed beat is harmless — at worst it invites theft,
+				// and theft is benign — so the write error is dropped.
+				_ = b.write(t.lease, leaseFile{Owner: owner, State: leaseRunning, HeartbeatMS: time.Now().UnixMilli(), Stolen: t.count})
+				b.mu.Unlock()
+			}
+		}
+	}()
+	return func() { close(quit); <-done }
+}
+
+// markDone publishes the lease as complete: its checkpoint now holds a
+// final status for every design in the slice.
+func (b *board) markDone(t *ticket, owner string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.write(t.lease, leaseFile{Owner: owner, State: leaseDone, HeartbeatMS: time.Now().UnixMilli(), Stolen: t.count})
+}
+
+// existingCheckpoints lists, in ascending lease order, the per-lease
+// checkpoint files that exist on disk — all of them after a clean finish,
+// the completed-or-interrupted subset after a cancellation.
+func (b *board) existingCheckpoints() []string {
+	var out []string
+	for li := range b.plans {
+		if _, err := os.Stat(b.checkpointPath(li)); err == nil {
+			out = append(out, b.checkpointPath(li))
+		}
+	}
+	return out
+}
+
+// cleanup removes the lease and per-lease checkpoint files once the merged
+// checkpoint is durable — but only when every lease was finished by this
+// process's workers (owner labels under ownerPrefix). If any lease names a
+// foreign owner, another process coordinated alongside us and may be about
+// to fold the same files, so they are left in place for it (and for
+// operator inspection).
+func (b *board) cleanup(ownerPrefix string) {
+	for li := range b.plans {
+		lf, _ := b.read(li)
+		if lf == nil || !strings.HasPrefix(lf.Owner, ownerPrefix) {
+			return
+		}
+	}
+	for li := range b.plans {
+		// Best-effort: the merged checkpoint is already durable, and a
+		// leftover file only costs the next run a stat.
+		_ = os.Remove(b.leasePath(li))
+		_ = os.Remove(b.checkpointPath(li))
+	}
+}

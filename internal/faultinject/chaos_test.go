@@ -202,7 +202,7 @@ func TestChaosSweepKillResume(t *testing.T) {
 			return transient(d)
 		}
 		res, err := sweep.Run(ctx, in, space, explorer.RenewablesBatteryCAS,
-			sweep.Options{BatchSize: 4, CheckpointPath: ckpt, CheckpointEvery: 4, Resume: true})
+			sweep.Options{BatchSize: 4, Checkpoint: sweep.CheckpointOptions{Path: ckpt, Every: 4, Resume: true}})
 		cancel()
 		if err == nil {
 			final = res
@@ -279,10 +279,7 @@ func TestChaosShardedMergeResume(t *testing.T) {
 			mu.Unlock()
 			return nil
 		}
-		_, err := sweep.Run(ctx, in, space, explorer.RenewablesBatteryCAS, sweep.Options{
-			BatchSize: 3, CheckpointPath: shard1, CheckpointEvery: 2, Resume: true,
-			Shard: sweep.Shard{Index: 1, Count: shards},
-		})
+		_, err := sweep.Run(ctx, in, space, explorer.RenewablesBatteryCAS, sweep.Options{BatchSize: 3, Shard: sweep.Shard{Index: 1, Count: shards}, Checkpoint: sweep.CheckpointOptions{Path: shard1, Every: 2, Resume: true}})
 		cancel()
 		if err == nil {
 			break
@@ -299,10 +296,7 @@ func TestChaosShardedMergeResume(t *testing.T) {
 	// must absorb them all within one run.
 	in.EvalHook = TransientFaults(42, 0.25)
 	shard2 := filepath.Join(dir, "shard2.json")
-	res2, err := sweep.Run(context.Background(), in, space, explorer.RenewablesBatteryCAS, sweep.Options{
-		BatchSize: 4, CheckpointPath: shard2,
-		Shard: sweep.Shard{Index: 2, Count: shards},
-	})
+	res2, err := sweep.Run(context.Background(), in, space, explorer.RenewablesBatteryCAS, sweep.Options{BatchSize: 4, Shard: sweep.Shard{Index: 2, Count: shards}, Checkpoint: sweep.CheckpointOptions{Path: shard2}})
 	if err != nil {
 		t.Fatalf("transient-fault shard: %v", err)
 	}
@@ -328,10 +322,7 @@ func TestChaosShardedMergeResume(t *testing.T) {
 		mu.Unlock()
 		return nil
 	}
-	_, err = sweep.Run(ctx, in, space, explorer.RenewablesBatteryCAS, sweep.Options{
-		BatchSize: 3, CheckpointPath: shard3, CheckpointEvery: 1, Resume: true,
-		Shard: sweep.Shard{Index: 3, Count: shards},
-	})
+	_, err = sweep.Run(ctx, in, space, explorer.RenewablesBatteryCAS, sweep.Options{BatchSize: 3, Shard: sweep.Shard{Index: 3, Count: shards}, Checkpoint: sweep.CheckpointOptions{Path: shard3, Every: 1, Resume: true}})
 	cancel()
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("shard 3 should die of the injected kill, got %v", err)
@@ -353,7 +344,7 @@ func TestChaosShardedMergeResume(t *testing.T) {
 
 	// One unsharded resume finishes the lost shard's remainder.
 	final, err := sweep.Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		sweep.Options{CheckpointPath: merged, Resume: true})
+		sweep.Options{Checkpoint: sweep.CheckpointOptions{Path: merged, Resume: true}})
 	if err != nil {
 		t.Fatalf("resume of merged checkpoint: %v", err)
 	}

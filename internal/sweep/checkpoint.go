@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"carbonexplorer/internal/explorer"
 	"carbonexplorer/internal/units"
@@ -261,24 +262,41 @@ func writeUint64(h interface{ Write([]byte) (int, error) }, v uint64) {
 	h.Write(b[:])
 }
 
-// save atomically persists the checkpoint: write to a temp file in the same
-// directory, then rename over the target, so an interrupted save never
-// leaves a torn checkpoint behind.
+// tmpSeq disambiguates concurrent WriteFileAtomic staging files within one
+// process; the PID disambiguates across processes.
+var tmpSeq atomic.Uint64
+
+// WriteFileAtomic persists data at path atomically: write to a temp file in
+// the target's directory, then rename over the target, so an interrupted
+// write never leaves a torn file behind. It is the single sanctioned write
+// path the atomicwrite lint funnels checkpoint saves through, and the
+// coordinator's lease files reuse it for the same crash-safety guarantee.
+// The staging name is qualified by PID and a process-wide sequence number,
+// so concurrent writers — a stolen lease's old owner racing the thief, or
+// two workers in one process — cannot clobber each other's temp file
+// mid-write; the racing renames then publish complete files in some order,
+// which the monotone checkpoint design tolerates.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := filepath.Join(filepath.Dir(path), fmt.Sprintf("%s.tmp.%d.%d", filepath.Base(path), os.Getpid(), tmpSeq.Add(1)))
+	//carbonlint:allow atomicwrite this is the atomic helper itself: temp file in the target directory, then rename below
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("sweep: writing %s: %w", filepath.Base(path), err)
+	}
+	//carbonlint:allow atomicwrite the commit half of the atomic helper: rename over the target is the crash-safe publish
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("sweep: committing %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// save atomically persists the checkpoint through WriteFileAtomic, so an
+// interrupted save never leaves a torn checkpoint behind.
 func (c *checkpointFile) save(path string) error {
 	data, err := json.MarshalIndent(c, "", " ")
 	if err != nil {
 		return fmt.Errorf("sweep: encoding checkpoint: %w", err)
 	}
-	tmp := filepath.Join(filepath.Dir(path), filepath.Base(path)+".tmp")
-	//carbonlint:allow atomicwrite this is the atomic helper itself: temp file in the target directory, then rename below
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("sweep: writing checkpoint: %w", err)
-	}
-	//carbonlint:allow atomicwrite the commit half of the atomic helper: rename over the target is the crash-safe publish
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("sweep: committing checkpoint: %w", err)
-	}
-	return nil
+	return WriteFileAtomic(path, append(data, '\n'))
 }
 
 // loadCheckpoint reads and version-checks a checkpoint file.

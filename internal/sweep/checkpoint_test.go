@@ -154,7 +154,7 @@ func TestCheckpointV1StillLoads(t *testing.T) {
 	}
 
 	res, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{CheckpointPath: ckpt, Resume: true})
+		Options{Checkpoint: CheckpointOptions{Path: ckpt, Resume: true}})
 	if err != nil {
 		t.Fatalf("resuming a v1 checkpoint: %v", err)
 	}
@@ -212,7 +212,7 @@ func TestCheckpointV1GarbageStatusRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{CheckpointPath: ckpt, Resume: true})
+		Options{Checkpoint: CheckpointOptions{Path: ckpt, Resume: true}})
 	if !errors.Is(err, ErrCheckpointMismatch) {
 		t.Fatalf("garbage v1 status: want ErrCheckpointMismatch, got %v", err)
 	}

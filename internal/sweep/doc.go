@@ -24,7 +24,7 @@
 // what makes shard checkpoints mergeable: MergeCheckpoints joins any set of
 // shard checkpoints — complete or partial, even overlapping attempts of the
 // same shard — into one ordinary unsharded checkpoint that Run with
-// Options.Resume accepts directly. Because the Pareto fold is associative
+// Options.Checkpoint.Resume accepts directly. Because the Pareto fold is associative
 // (frontier(A ∪ B) = frontier(frontier(A) ∪ frontier(B))) and merge folds
 // inputs in slice order, the merged optimum and frontier are identical to a
 // single-process sweep's, tie-breaking included. Lost-shard recovery is
@@ -65,7 +65,7 @@
 // space, or input year — and shards of different sweeps can never merge.
 // Note the hash covers the FULL enumeration, not the shard's slice: all
 // shards of one sweep share it. Saves are atomic (write-temp-then-rename)
-// and happen every Options.CheckpointEvery evaluated designs, on
+// and happen every Options.Checkpoint.Every evaluated designs, on
 // cancellation, and on completion.
 //
 // Outcomes in the checkpoint (and in the streamed fold) drop the hourly
@@ -73,7 +73,7 @@
 //
 // # Resume semantics
 //
-// Run with Options.Resume loads the checkpoint, restores the fold state,
+// Run with Options.Checkpoint.Resume loads the checkpoint, restores the fold state,
 // skips every done design, and retries failed-once designs. Because designs
 // are folded in deterministic enumeration order, a sweep killed at any point
 // and resumed converges to the same optimum and the same Pareto frontier as

@@ -33,7 +33,7 @@ func ExamplePlanShards() {
 
 // ExampleMergeCheckpoints runs two shards of a 100-design sweep to
 // completion, then folds their checkpoints into one unsharded checkpoint
-// that Run(..., Resume: true) accepts directly.
+// that Run with Checkpoint.Resume set accepts directly.
 func ExampleMergeCheckpoints() {
 	dir, err := os.MkdirTemp("", "sweep-merge-example")
 	if err != nil {
@@ -72,8 +72,8 @@ func ExampleMergeCheckpoints() {
 	for i := 1; i <= 2; i++ {
 		ckpt := filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
 		if _, err := sweep.Run(context.Background(), in, space, explorer.RenewablesBatteryCAS, sweep.Options{
-			CheckpointPath: ckpt,
-			Shard:          sweep.Shard{Index: i, Count: 2},
+			Checkpoint: sweep.CheckpointOptions{Path: ckpt},
+			Shard:      sweep.Shard{Index: i, Count: 2},
 		}); err != nil {
 			panic(err)
 		}

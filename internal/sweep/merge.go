@@ -83,7 +83,7 @@ type mergeInput struct {
 // the single-process enumeration-order tie-breaking for exactly tied
 // optima and duplicate frontier coordinates.
 //
-// The merged checkpoint is unsharded: Run with Options.Resume accepts it
+// The merged checkpoint is unsharded: Run with Options.Checkpoint.Resume accepts it
 // directly, either to finish remaining designs in one process or re-split
 // across a new shard count. Merging is idempotent — a merged file can be
 // merged again with late-arriving shards.
@@ -206,6 +206,65 @@ func MergeCheckpoints(dst string, srcs ...string) (MergeReport, error) {
 		return MergeReport{}, err
 	}
 	return rep, nil
+}
+
+// MergeResults folds in-memory Results of shard (or lease) runs over
+// disjoint slices of one sweep into the single-process Result. It is the
+// in-memory sibling of MergeCheckpoints: the optimum folds with the same
+// tie-breaking, the frontier with the same Pareto fold, and failures dedup
+// first-seen per design — so folding slice results in ascending slice order
+// reproduces exactly the single-process optimum, frontier, and failure
+// ordering. Counters sum across inputs and MaxResident is the max;
+// OutOfShard is recomputed from the first input's space-wide total so
+// designs covered by any input stop counting as out-of-shard. The inputs
+// must cover disjoint slices of the same sweep for the counts to be
+// meaningful.
+func MergeResults(results ...Result) Result {
+	var out Result
+	if len(results) == 0 {
+		return out
+	}
+	out.Strategy = results[0].Strategy
+	first := results[0].Report
+	total := first.Evaluated + len(first.Failures) + first.Skipped + first.OutOfShard
+	var best *explorer.Outcome
+	var frontier explorer.ParetoSet
+	seenFailure := make(map[explorer.Design]bool)
+	for _, r := range results {
+		if r.Report.Evaluated > 0 {
+			o := r.Optimal
+			if best == nil || betterOutcome(o, *best) {
+				best = &o
+			}
+		}
+		for _, f := range r.Frontier {
+			frontier.Add(f)
+		}
+		for _, f := range r.Report.Failures {
+			if !seenFailure[f.Design] {
+				seenFailure[f.Design] = true
+				out.Report.Failures = append(out.Report.Failures, f)
+			}
+		}
+		out.Report.Evaluated += r.Report.Evaluated
+		out.Report.Restored += r.Report.Restored
+		out.Report.Skipped += r.Report.Skipped
+		out.Report.Retried += r.Report.Retried
+		out.Report.Recovered += r.Report.Recovered
+		if r.Report.MaxResident > out.Report.MaxResident {
+			out.Report.MaxResident = r.Report.MaxResident
+		}
+		out.Resumed = out.Resumed || r.Resumed
+		out.Workers = append(out.Workers, r.Workers...)
+	}
+	if best != nil {
+		out.Optimal = *best
+	}
+	out.Frontier = frontier.Frontier()
+	if n := total - out.Report.Evaluated - len(out.Report.Failures) - out.Report.Skipped; n > 0 {
+		out.Report.OutOfShard = n
+	}
+	return out
 }
 
 // joinStatus merges two observations of the same design's status across

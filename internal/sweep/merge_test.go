@@ -18,7 +18,7 @@ func runShard(t *testing.T, in *explorer.Inputs, space explorer.Space, dir strin
 	t.Helper()
 	ckpt := filepath.Join(dir, fmt.Sprintf("shard%dof%d.json", i, n))
 	if _, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{BatchSize: 6, CheckpointPath: ckpt, Shard: Shard{Index: i, Count: n}}); err != nil {
+		Options{BatchSize: 6, Shard: Shard{Index: i, Count: n}, Checkpoint: CheckpointOptions{Path: ckpt}}); err != nil {
 		t.Fatalf("shard %d/%d: %v", i, n, err)
 	}
 	return ckpt
@@ -33,12 +33,12 @@ func TestMergeRejectsMismatchedShards(t *testing.T) {
 
 	a := filepath.Join(dir, "a.json")
 	if _, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{CheckpointPath: a, Shard: Shard{1, 2}}); err != nil {
+		Options{Shard: Shard{1, 2}, Checkpoint: CheckpointOptions{Path: a}}); err != nil {
 		t.Fatal(err)
 	}
 	b := filepath.Join(dir, "b.json")
 	if _, err := Run(context.Background(), in, space, explorer.RenewablesOnly,
-		Options{CheckpointPath: b, Shard: Shard{2, 2}}); err != nil {
+		Options{Shard: Shard{2, 2}, Checkpoint: CheckpointOptions{Path: b}}); err != nil {
 		t.Fatal(err)
 	}
 	_, err := MergeCheckpoints(filepath.Join(dir, "merged.json"), a, b)
@@ -92,7 +92,7 @@ func TestMergePartialShards(t *testing.T) {
 
 	// Resume the merged checkpoint unsharded: it finishes the lost slice.
 	final, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{CheckpointPath: merged, Resume: true})
+		Options{Checkpoint: CheckpointOptions{Path: merged, Resume: true}})
 	if err != nil {
 		t.Fatalf("resume of partial merge: %v", err)
 	}
@@ -143,7 +143,7 @@ func TestMergeOverlappingAttempts(t *testing.T) {
 		return transient(d)
 	}
 	_, err = Run(ctx, in, space, explorer.RenewablesBatteryCAS,
-		Options{BatchSize: 4, CheckpointEvery: 2, CheckpointPath: attempt1, Shard: Shard{1, 2}})
+		Options{BatchSize: 4, Shard: Shard{1, 2}, Checkpoint: CheckpointOptions{Path: attempt1, Every: 2}})
 	cancel()
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("attempt 1 should die of the injected kill, got %v", err)
@@ -167,7 +167,7 @@ func TestMergeOverlappingAttempts(t *testing.T) {
 	}
 
 	final, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{CheckpointPath: merged, Resume: true})
+		Options{Checkpoint: CheckpointOptions{Path: merged, Resume: true}})
 	if err != nil {
 		t.Fatalf("resume of merged overlap: %v", err)
 	}
@@ -189,7 +189,7 @@ func TestMergeSingleFileIdempotent(t *testing.T) {
 
 	ckpt := filepath.Join(dir, "whole.json")
 	clean, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{CheckpointPath: ckpt})
+		Options{Checkpoint: CheckpointOptions{Path: ckpt}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestMergeSingleFileIdempotent(t *testing.T) {
 	}
 
 	final, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{CheckpointPath: m2, Resume: true})
+		Options{Checkpoint: CheckpointOptions{Path: m2, Resume: true}})
 	if err != nil {
 		t.Fatal(err)
 	}

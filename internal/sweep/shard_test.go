@@ -137,7 +137,7 @@ func TestShardedRunsMergeToSingleProcess(t *testing.T) {
 	for i := 1; i <= shards; i++ {
 		ckpt := filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
 		res, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-			Options{BatchSize: 5, CheckpointPath: ckpt, Shard: Shard{Index: i, Count: shards}})
+			Options{BatchSize: 5, Shard: Shard{Index: i, Count: shards}, Checkpoint: CheckpointOptions{Path: ckpt}})
 		if err != nil {
 			t.Fatalf("shard %d/%d: %v", i, shards, err)
 		}
@@ -173,7 +173,7 @@ func TestShardedRunsMergeToSingleProcess(t *testing.T) {
 	}
 
 	final, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{CheckpointPath: merged, Resume: true})
+		Options{Checkpoint: CheckpointOptions{Path: merged, Resume: true}})
 	if err != nil {
 		t.Fatalf("resume of merged checkpoint: %v", err)
 	}
@@ -203,22 +203,22 @@ func TestShardCheckpointRejectsWrongShard(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "shard1.json")
 
 	if _, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{CheckpointPath: ckpt, Shard: Shard{1, 3}}); err != nil {
+		Options{Shard: Shard{1, 3}, Checkpoint: CheckpointOptions{Path: ckpt}}); err != nil {
 		t.Fatalf("shard 1/3: %v", err)
 	}
 	_, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{CheckpointPath: ckpt, Resume: true, Shard: Shard{2, 3}})
+		Options{Shard: Shard{2, 3}, Checkpoint: CheckpointOptions{Path: ckpt, Resume: true}})
 	if !errors.Is(err, ErrCheckpointMismatch) {
 		t.Fatalf("resuming shard 1/3's checkpoint as 2/3: want ErrCheckpointMismatch, got %v", err)
 	}
 	// The same shard resumes its own checkpoint fine.
 	if _, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{CheckpointPath: ckpt, Resume: true, Shard: Shard{1, 3}}); err != nil {
+		Options{Shard: Shard{1, 3}, Checkpoint: CheckpointOptions{Path: ckpt, Resume: true}}); err != nil {
 		t.Fatalf("same-shard resume: %v", err)
 	}
 	// And an unsharded run may adopt it whole (lost-shard recovery).
 	res, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{CheckpointPath: ckpt, Resume: true})
+		Options{Checkpoint: CheckpointOptions{Path: ckpt, Resume: true}})
 	if err != nil {
 		t.Fatalf("unsharded adoption: %v", err)
 	}

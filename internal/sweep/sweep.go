@@ -12,6 +12,29 @@ import (
 	"carbonexplorer/internal/timeseries"
 )
 
+// CheckpointOptions configures checkpoint persistence for a sweep. The
+// zero value disables checkpointing.
+type CheckpointOptions struct {
+	// Path, when non-empty, persists a versioned JSON checkpoint there
+	// after every Every evaluated designs, on cancellation, and on
+	// completion. See the package documentation for the format.
+	Path string
+	// Every is the number of evaluated designs between periodic checkpoint
+	// writes (default 256). Checkpoints also always flush at batch
+	// boundaries, on cancellation, and at the end of the sweep.
+	Every int
+	// Resume, when set, loads Path before sweeping and skips every design
+	// it records as done — their contribution to the optimum and frontier
+	// is restored from the file instead of re-evaluated. A missing file
+	// starts a fresh sweep; a file from a different sweep (site, space,
+	// strategy, or inputs changed) fails with ErrCheckpointMismatch.
+	Resume bool
+}
+
+// NoRetries disables the retry pass entirely: a single failure is final.
+// See Options.Retries.
+const NoRetries = -1
+
 // Options configures a streaming sweep. The zero value is a sensible
 // default: bounded batches, retry-once for failed designs, no
 // checkpointing.
@@ -21,25 +44,16 @@ type Options struct {
 	// Larger batches increase parallel occupancy slightly; memory stays
 	// O(BatchSize + frontier), independent of the grid size.
 	BatchSize int
-	// CheckpointPath, when non-empty, persists a versioned JSON checkpoint
-	// there after every CheckpointEvery evaluated designs, on cancellation,
-	// and on completion. See the package documentation for the format.
-	CheckpointPath string
-	// CheckpointEvery is the number of evaluated designs between periodic
-	// checkpoint writes (default 256). Checkpoints also always flush at
-	// batch boundaries, on cancellation, and at the end of the sweep.
-	CheckpointEvery int
-	// Resume, when set, loads CheckpointPath before sweeping and skips every
-	// design it records as done — their contribution to the optimum and
-	// frontier is restored from the file instead of re-evaluated. A missing
-	// file starts a fresh sweep; a file from a different sweep (site, space,
-	// strategy, or inputs changed) fails with ErrCheckpointMismatch.
-	Resume bool
-	// NoRetry disables the retry pass. By default every design whose first
-	// evaluation fails is re-evaluated exactly once before being excluded
-	// from the optimum — transient faults (a flaky data backend, an
+	// Checkpoint configures checkpoint persistence; the zero value runs
+	// without one.
+	Checkpoint CheckpointOptions
+	// Retries is how many times a failed design is re-evaluated before it
+	// is permanently excluded from the optimum. The zero value means the
+	// default of one retry — transient faults (a flaky data backend, an
 	// injected chaos error) should not permanently discard a grid point.
-	NoRetry bool
+	// NoRetries (or any negative value) disables retries so a single
+	// failure is final.
+	Retries int
 	// Shard, when non-zero, restricts this run to its contiguous i/N slice
 	// of the enumeration (Shard.Bounds over the full design list). The
 	// checkpoint still covers the whole space — designs outside the slice
@@ -54,8 +68,14 @@ func (o Options) withDefaults() Options {
 	if o.BatchSize <= 0 {
 		o.BatchSize = 64
 	}
-	if o.CheckpointEvery <= 0 {
-		o.CheckpointEvery = 256
+	if o.Checkpoint.Every <= 0 {
+		o.Checkpoint.Every = 256
+	}
+	switch {
+	case o.Retries == 0:
+		o.Retries = 1
+	case o.Retries < 0:
+		o.Retries = 0
 	}
 	return o
 }
@@ -112,6 +132,30 @@ type Result struct {
 	// Resumed reports whether any prior progress was restored from a
 	// checkpoint file.
 	Resumed bool
+	// Workers breaks the sweep down per coordinated worker, one entry per
+	// worker in worker order. Plain Run leaves it empty; the coordinator
+	// (internal/coordinator) fills it in.
+	Workers []WorkerProgress
+}
+
+// WorkerProgress summarizes one coordinated worker's contribution to a
+// sweep: how many leases it completed, how many of those it stole from an
+// expired owner, and how many designs it touched. The coordinator attaches
+// one entry per worker to Result.Workers.
+type WorkerProgress struct {
+	// Worker is the worker's owner label, as written into lease files.
+	Worker string `json:"worker"`
+	// Leases is the number of leases the worker completed.
+	Leases int `json:"leases"`
+	// Stolen is how many of those leases were reclaimed from an owner
+	// whose heartbeat had expired.
+	Stolen int `json:"stolen"`
+	// Evaluated is the number of designs the worker evaluated successfully
+	// (excluding designs restored from a stolen lease's checkpoint).
+	Evaluated int `json:"evaluated"`
+	// Failed is the number of designs left in a failed state by the
+	// worker's leases.
+	Failed int `json:"failed"`
 }
 
 // Run executes a streaming, checkpointable, retrying sweep of the space
@@ -121,7 +165,7 @@ type Result struct {
 // evaluates designs in bounded batches and folds each batch into the running
 // optimum and Pareto frontier, so memory stays flat no matter how dense the
 // grid is. With a checkpoint configured, progress persists across process
-// deaths: an interrupted sweep resumed with Options.Resume converges to the
+// deaths: an interrupted sweep resumed with Options.Checkpoint.Resume converges to the
 // same optimum and frontier as an uninterrupted run.
 //
 // With Options.Shard set, the run evaluates only its contiguous i/N slice
@@ -130,8 +174,8 @@ type Result struct {
 // (more shards than designs) completes immediately with nothing evaluated.
 //
 // Failure semantics match explorer.SearchContext: a failing or panicking
-// design is excluded from the optimum (after one retry, unless NoRetry) and
-// recorded in the report; only if every design fails does Run return a
+// design is excluded from the optimum (after Options.Retries retry passes)
+// and recorded in the report; only if every design fails does Run return a
 // wrapped explorer.ErrAllDesignsFailed. On cancellation the partial result
 // is returned alongside ctx's error, after a final checkpoint write.
 func Run(ctx context.Context, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options) (Result, error) {
@@ -168,14 +212,20 @@ func Run(ctx context.Context, in *explorer.Inputs, space explorer.Space, strateg
 	}
 
 	// First pass: evaluate everything still pending.
-	ctxErr := r.pass(ctx, r.indicesWithStatus(statusPending), false)
+	ctxErr := r.pass(ctx, r.indicesWithStatus(statusPending), false, false)
 
-	// Retry pass: re-evaluate designs that failed exactly once (including
-	// failures restored from the checkpoint of an interrupted run).
-	if ctxErr == nil && !opts.NoRetry {
-		ctxErr = r.pass(ctx, r.indicesWithStatus(statusFailedOnce), true)
+	// Retry passes: re-evaluate designs still in the failed-once state
+	// (including failures restored from the checkpoint of an interrupted
+	// run), up to Options.Retries times. Only the final pass makes a
+	// failure permanent.
+	for attempt := 1; ctxErr == nil && attempt <= opts.Retries; attempt++ {
+		idxs := r.indicesWithStatus(statusFailedOnce)
+		if len(idxs) == 0 {
+			break
+		}
+		ctxErr = r.pass(ctx, idxs, true, attempt == opts.Retries)
 	}
-	if ctxErr == nil && opts.NoRetry {
+	if ctxErr == nil && opts.Retries == 0 {
 		// Without a retry pass, single failures are final.
 		for i, s := range r.status {
 			if s == statusFailedOnce {
@@ -227,10 +277,10 @@ type runner struct {
 
 // restore loads prior progress from the checkpoint file, if resuming.
 func (r *runner) restore() (bool, error) {
-	if !r.opts.Resume || r.opts.CheckpointPath == "" {
+	if !r.opts.Checkpoint.Resume || r.opts.Checkpoint.Path == "" {
 		return false, nil
 	}
-	ck, err := loadCheckpoint(r.opts.CheckpointPath)
+	ck, err := loadCheckpoint(r.opts.Checkpoint.Path)
 	if err != nil {
 		if isNotExist(err) {
 			return false, nil // nothing to resume yet: fresh sweep
@@ -281,9 +331,12 @@ func (r *runner) restore() (bool, error) {
 }
 
 // pass evaluates the given design indices in bounded batches, folding each
-// batch into the running optimum and frontier. It returns ctx's error if
-// cancelled (after a best-effort checkpoint write) and nil otherwise.
-func (r *runner) pass(ctx context.Context, idxs []int, retry bool) error {
+// batch into the running optimum and frontier. retry marks a retry pass
+// over failed-once designs; final marks the last such pass, after which a
+// failure becomes permanent instead of staying eligible for another retry.
+// It returns ctx's error if cancelled (after a best-effort checkpoint
+// write) and nil otherwise.
+func (r *runner) pass(ctx context.Context, idxs []int, retry, final bool) error {
 	for start := 0; start < len(idxs); start += r.opts.BatchSize {
 		if err := ctx.Err(); err != nil {
 			r.checkpointBestEffort()
@@ -307,7 +360,7 @@ func (r *runner) pass(ctx context.Context, idxs []int, retry bool) error {
 				// Cancelled before this design was evaluated: stays pending.
 			case errs[k] != nil:
 				r.failErrs[i] = errs[k]
-				if retry || r.status[i] == statusFailedOnce {
+				if retry && final {
 					r.status[i] = statusFailedPerm
 				} else {
 					r.status[i] = statusFailedOnce
@@ -326,7 +379,7 @@ func (r *runner) pass(ctx context.Context, idxs []int, retry bool) error {
 				r.sinceSave++
 			}
 		}
-		if r.opts.CheckpointPath != "" && r.sinceSave >= r.opts.CheckpointEvery {
+		if r.opts.Checkpoint.Path != "" && r.sinceSave >= r.opts.Checkpoint.Every {
 			if err := r.checkpoint(); err != nil {
 				return err
 			}
@@ -412,7 +465,7 @@ func (r *runner) indicesWithStatus(s byte) []int {
 
 // checkpoint persists the current fold state, if a path is configured.
 func (r *runner) checkpoint() error {
-	if r.opts.CheckpointPath == "" {
+	if r.opts.Checkpoint.Path == "" {
 		return nil
 	}
 	ck := &checkpointFile{
@@ -448,7 +501,7 @@ func (r *runner) checkpoint() error {
 		})
 	}
 	r.sinceSave = 0
-	return ck.save(r.opts.CheckpointPath)
+	return ck.save(r.opts.Checkpoint.Path)
 }
 
 // checkpointBestEffort saves on the cancellation path, where the ctx error

@@ -125,7 +125,7 @@ func TestResumeConvergesToUninterrupted(t *testing.T) {
 		return nil
 	}
 	partial, err := Run(ctx, in, space, explorer.RenewablesBatteryCAS,
-		Options{BatchSize: 8, CheckpointPath: ckpt, CheckpointEvery: 10})
+		Options{BatchSize: 8, Checkpoint: CheckpointOptions{Path: ckpt, Every: 10}})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("interrupted run: want context.Canceled, got %v", err)
 	}
@@ -138,7 +138,7 @@ func TestResumeConvergesToUninterrupted(t *testing.T) {
 
 	in.EvalHook = nil
 	resumed, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
-		Options{BatchSize: 8, CheckpointPath: ckpt, CheckpointEvery: 10, Resume: true})
+		Options{BatchSize: 8, Checkpoint: CheckpointOptions{Path: ckpt, Every: 10, Resume: true}})
 	if err != nil {
 		t.Fatalf("resumed run: %v", err)
 	}
@@ -218,21 +218,21 @@ func TestRetryRecoversTransientFailures(t *testing.T) {
 	}
 }
 
-// TestNoRetryMakesFailuresPermanent: with the retry pass disabled, a single
-// failure excludes the design.
-func TestNoRetryMakesFailuresPermanent(t *testing.T) {
+// TestNoRetriesMakesFailuresPermanent: with the retry pass disabled
+// (Options.Retries = NoRetries), a single failure excludes the design.
+func TestNoRetriesMakesFailuresPermanent(t *testing.T) {
 	in := testInputs(t)
 	in.EvalHook = faultinject.TransientFaults(99, 0.2)
 	res, err := Run(context.Background(), in, testSpace(in), explorer.RenewablesBatteryCAS,
-		Options{BatchSize: 8, NoRetry: true})
+		Options{BatchSize: 8, Retries: NoRetries})
 	if err != nil {
-		t.Fatalf("NoRetry run: %v", err)
+		t.Fatalf("NoRetries run: %v", err)
 	}
 	if res.Report.Retried != 0 || res.Report.Recovered != 0 {
-		t.Fatalf("NoRetry still retried: %+v", res.Report)
+		t.Fatalf("NoRetries still retried: %+v", res.Report)
 	}
 	if len(res.Report.Failures) == 0 {
-		t.Fatal("NoRetry recorded no permanent failures")
+		t.Fatal("NoRetries recorded no permanent failures")
 	}
 	for _, f := range res.Report.Failures {
 		if !errors.Is(f, faultinject.ErrInjected) {
@@ -260,20 +260,20 @@ func TestCheckpointMismatchRejected(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "sweep.json")
 
 	if _, err := Run(context.Background(), in, testSpace(in), explorer.RenewablesOnly,
-		Options{CheckpointPath: ckpt}); err != nil {
+		Options{Checkpoint: CheckpointOptions{Path: ckpt}}); err != nil {
 		t.Fatalf("seed run: %v", err)
 	}
 
 	// Different strategy over the same space: hash differs.
 	_, err := Run(context.Background(), in, testSpace(in), explorer.RenewablesBatteryCAS,
-		Options{CheckpointPath: ckpt, Resume: true})
+		Options{Checkpoint: CheckpointOptions{Path: ckpt, Resume: true}})
 	if !errors.Is(err, ErrCheckpointMismatch) {
 		t.Fatalf("strategy change: want ErrCheckpointMismatch, got %v", err)
 	}
 
 	// Different space: hash differs.
 	_, err = Run(context.Background(), in, denseSpace(in, 4), explorer.RenewablesOnly,
-		Options{CheckpointPath: ckpt, Resume: true})
+		Options{Checkpoint: CheckpointOptions{Path: ckpt, Resume: true}})
 	if !errors.Is(err, ErrCheckpointMismatch) {
 		t.Fatalf("space change: want ErrCheckpointMismatch, got %v", err)
 	}
@@ -293,7 +293,7 @@ func TestCheckpointMismatchRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = Run(context.Background(), in, testSpace(in), explorer.RenewablesOnly,
-		Options{CheckpointPath: ckpt, Resume: true})
+		Options{Checkpoint: CheckpointOptions{Path: ckpt, Resume: true}})
 	if !errors.Is(err, ErrCheckpointVersion) {
 		t.Fatalf("future version: want ErrCheckpointVersion, got %v", err)
 	}
@@ -302,7 +302,7 @@ func TestCheckpointMismatchRejected(t *testing.T) {
 	// starts it.
 	missing := filepath.Join(t.TempDir(), "absent.json")
 	if _, err := Run(context.Background(), in, testSpace(in), explorer.RenewablesOnly,
-		Options{CheckpointPath: missing, Resume: true}); err != nil {
+		Options{Checkpoint: CheckpointOptions{Path: missing, Resume: true}}); err != nil {
 		t.Fatalf("resume with missing checkpoint: %v", err)
 	}
 }
