@@ -298,9 +298,44 @@ type CoordinatorOptions = coordinator.Options
 // directory coordinate through heartbeat-stamped lease files — a killed
 // worker's lease expires and is stolen, resuming from its per-lease
 // checkpoint — and the merged result is byte-identical to a single-process
-// RunSweep over the same space.
+// RunSweep over the same space. With opts.Endpoint set instead, the same
+// protocol runs over HTTP against a CoordinatorService: workers on any
+// machine share the sweep with no common filesystem.
 func CoordinateSweep(ctx context.Context, in *Inputs, space Space, strategy Strategy, opts CoordinatorOptions) (SweepResult, error) {
 	return coordinator.Run(ctx, in, space, strategy, opts)
+}
+
+// CoordinatorService is the transport-agnostic lease-coordination core: it
+// hands out design-space leases, folds uploaded progress checkpoints, and
+// persists everything to a state directory so a killed-and-restarted
+// coordinator resumes its fleet. Serve its Handler over HTTP and point
+// CoordinateSweep workers at the URL via CoordinatorOptions.Endpoint.
+type CoordinatorService = coordinator.Service
+
+// CoordinatorServiceOptions configures a CoordinatorService: the lease TTL
+// and an optional pinned lease count.
+type CoordinatorServiceOptions = coordinator.ServiceOptions
+
+// CoordinatorClient speaks the coordinator HTTP protocol directly — the
+// low-level client CoordinateSweep uses under the hood, exported for
+// status polling and custom tooling. Every call retries transient network
+// failures with deterministic jittered exponential backoff.
+type CoordinatorClient = coordinator.Client
+
+// CoordinatorClientOptions tunes a CoordinatorClient's per-request
+// timeout, retry budget, backoff base, and transport.
+type CoordinatorClientOptions = coordinator.ClientOptions
+
+// NewCoordinatorService opens (or resumes) a lease coordinator over the
+// given state directory.
+func NewCoordinatorService(stateDir string, opts CoordinatorServiceOptions) (*CoordinatorService, error) {
+	return coordinator.NewService(stateDir, opts)
+}
+
+// NewCoordinatorClient returns a client for the coordinator HTTP API at
+// base, e.g. "http://host:8080".
+func NewCoordinatorClient(base string, opts CoordinatorClientOptions) *CoordinatorClient {
+	return coordinator.NewClient(base, opts)
 }
 
 // MergeSweepCheckpoints folds any set of shard checkpoint files — complete

@@ -11,6 +11,8 @@
 //	carbonexplorer optimize -site UT -strategy all -shard 1/3 -checkpoint shard1.json
 //	carbonexplorer optimize -site UT -strategy all -workers 4
 //	carbonexplorer optimize -site UT -strategy all -workers 4 -coordinate leases/
+//	carbonexplorer coordinate -listen :8080 -state coordinator-state
+//	carbonexplorer optimize -site UT -strategy all -workers 4 -coordinate http://host:8080
 //	carbonexplorer merge -out merged.json shard1.json shard2.json shard3.json
 //	carbonexplorer figure 8
 //
@@ -35,6 +37,13 @@
 // is resumed by the thief, and re-invoking the same command after a crash
 // or Ctrl-C continues where the fleet left off. See docs/OPERATIONS.md for
 // the operator's guide.
+//
+// When machines share no filesystem, `coordinate -listen :8080` serves the
+// same lease protocol over HTTP from a local state directory, and
+// -coordinate accepts the coordinator's URL (http://host:8080) instead of a
+// directory — the mode is auto-detected from the prefix. The coordinator's
+// state survives its own restarts; workers ride through a short outage via
+// retries with backoff.
 package main
 
 import (
@@ -43,11 +52,13 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"carbonexplorer/internal/coordinator"
 	"carbonexplorer/internal/experiments"
@@ -81,6 +92,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdEvaluate(args[1:])
 	case "optimize":
 		return cmdOptimize(ctx, args[1:])
+	case "coordinate":
+		return cmdCoordinate(ctx, args[1:])
 	case "merge":
 		return cmdMerge(args[1:])
 	case "figure":
@@ -123,6 +136,9 @@ subcommands:
   optimize     streaming search for the carbon-optimal design
                (-checkpoint/-resume persist progress; -batch bounds memory;
                -shard i/N sweeps one slice of the space per worker)
+  coordinate   serve the lease coordinator over HTTP (-listen :8080) so
+               optimize -coordinate http://host:8080 workers on any machine
+               share one sweep; state survives coordinator restarts
   merge        fold shard checkpoints into one (-out merged.json shard1.json ...);
                the merged checkpoint resumes with optimize -resume
   figure       regenerate a paper figure/table (1,3,4,5,6,7,8,9,10,11,12,14,15,16)
@@ -238,8 +254,10 @@ func cmdOptimize(ctx context.Context, args []string) error {
 	retries := fs.Int("retries", 1, "times a failed design is re-evaluated before being excluded (0 = a single failure is final)")
 	shardSpec := fs.String("shard", "", "evaluate only slice i/N of the design space (e.g. 2/3); shard checkpoints fold together with 'merge'")
 	workers := fs.Int("workers", 0, "coordinate a work-stealing sweep with N workers instead of the single-process engine (0 = single-process)")
-	coordinate := fs.String("coordinate", "", "lease directory for multi-process coordination: processes pointed at the same directory share the sweep, and killed workers' leases are stolen and resumed")
+	coordinate := fs.String("coordinate", "", "multi-process coordination: a lease directory shared by all workers, or a coordinator URL (http://host:8080, see the 'coordinate' subcommand); killed workers' leases are stolen and resumed either way")
 	leases := fs.Int("leases", 0, "leases the coordinated space is split into (0 = 8 per worker); more leases = finer stealing granularity")
+	heartbeat := fs.Duration("heartbeat", 0, "how often a coordinated worker refreshes its claimed lease's liveness (0 = 1s default)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "how stale a lease's heartbeat must be before another worker steals it (0 = 10× heartbeat); must be at least 3× the heartbeat")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -259,8 +277,35 @@ func cmdOptimize(ctx context.Context, args []string) error {
 		return fmt.Errorf("flag -leases: negative lease count %d", *leases)
 	}
 	coordinated := *workers > 0 || *coordinate != ""
+	// A -coordinate value with an http(s):// prefix is a network
+	// coordinator's URL; anything else is a shared lease directory.
+	endpoint := ""
+	leaseDir := *coordinate
+	if strings.HasPrefix(*coordinate, "http://") || strings.HasPrefix(*coordinate, "https://") {
+		endpoint, leaseDir = *coordinate, ""
+	}
 	if *leases > 0 && !coordinated {
 		return fmt.Errorf("flag -leases requires -workers or -coordinate")
+	}
+	if *heartbeat < 0 {
+		return fmt.Errorf("flag -heartbeat: negative duration %v", *heartbeat)
+	}
+	if *leaseTTL < 0 {
+		return fmt.Errorf("flag -lease-ttl: negative duration %v", *leaseTTL)
+	}
+	if (*heartbeat > 0 || *leaseTTL > 0) && !coordinated {
+		return fmt.Errorf("flags -heartbeat/-lease-ttl require -workers or -coordinate")
+	}
+	// Catch a liveness config that would steal leases from live workers at
+	// parse time, instead of letting a fleet thrash at runtime. The same
+	// floor is enforced by the engine and by the network coordinator.
+	hb := *heartbeat
+	if hb == 0 {
+		hb = time.Second
+	}
+	if ttl := *leaseTTL; ttl > 0 && ttl < coordinator.HeartbeatSafetyFactor*hb {
+		return fmt.Errorf("flag -lease-ttl: %v is less than %d× the %v heartbeat; live workers' leases would be stolen on ordinary scheduling jitter",
+			ttl, coordinator.HeartbeatSafetyFactor, hb)
 	}
 	shard, err := sweep.ParseShard(*shardSpec)
 	if err != nil {
@@ -311,18 +356,21 @@ func cmdOptimize(ctx context.Context, args []string) error {
 		sweepRetries = sweep.NoRetries
 	}
 	ckptPath := *checkpoint
-	if *coordinate != "" && ckptPath == "" {
-		ckptPath = filepath.Join(*coordinate, "merged.json")
+	if leaseDir != "" && ckptPath == "" {
+		ckptPath = filepath.Join(leaseDir, "merged.json")
 	}
 	var res sweep.Result
 	if coordinated {
 		res, err = coordinator.Run(ctx, in, explorer.DefaultSpace(in), strategy, coordinator.Options{
 			Workers:    *workers,
 			Leases:     *leases,
-			LeaseDir:   *coordinate,
+			LeaseDir:   leaseDir,
+			Endpoint:   endpoint,
 			Checkpoint: *checkpoint,
 			BatchSize:  *batch,
 			Retries:    sweepRetries,
+			Heartbeat:  *heartbeat,
+			Expiry:     *leaseTTL,
 		})
 	} else {
 		res, err = sweep.Run(ctx, in, explorer.DefaultSpace(in), strategy, sweep.Options{
@@ -343,7 +391,11 @@ func cmdOptimize(ctx context.Context, args []string) error {
 		return fmt.Errorf("sweep interrupted before any design finished: %w", err)
 	}
 	if res.Resumed {
-		fmt.Printf("resumed from %s: %d designs restored\n", ckptPath, res.Report.Restored)
+		source := ckptPath
+		if source == "" && endpoint != "" {
+			source = endpoint
+		}
+		fmt.Printf("resumed from %s: %d designs restored\n", source, res.Report.Restored)
 	}
 	if !shard.IsZero() {
 		total := res.Report.Evaluated + len(res.Report.Failures) + res.Report.Skipped + res.Report.OutOfShard
@@ -354,7 +406,12 @@ func cmdOptimize(ctx context.Context, args []string) error {
 		fmt.Printf("sweep interrupted (%v) — partial results over %d evaluated designs (%d skipped)\n",
 			err, res.Report.Evaluated, res.Report.Skipped)
 		switch {
-		case *coordinate != "":
+		case endpoint != "":
+			if ckptPath != "" {
+				fmt.Printf("partial merged checkpoint saved to %s; ", ckptPath)
+			}
+			fmt.Printf("lease progress lives on the coordinator at %s; re-invoke the same command to continue\n", endpoint)
+		case leaseDir != "":
 			fmt.Printf("progress saved to %s; re-invoke the same command to continue\n", ckptPath)
 		case *checkpoint != "":
 			fmt.Printf("progress saved to %s; continue with: optimize -site %s -strategy %s -checkpoint %s -resume\n",
@@ -387,6 +444,74 @@ func cmdOptimize(ctx context.Context, args []string) error {
 		fmt.Printf("shard complete; fold shard checkpoints with: merge -out merged.json %s <other shards>\n", *checkpoint)
 	}
 	return nil
+}
+
+// cmdCoordinate serves the lease coordinator over HTTP. Workers on any
+// machine join with `optimize -coordinate http://host:port`; all state
+// persists in the -state directory, so killing and restarting the
+// coordinator (same flags, same directory) resumes the fleet.
+func cmdCoordinate(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("coordinate", flag.ContinueOnError)
+	listen := fs.String("listen", "", "address to serve the coordinator API on, e.g. :8080 (required)")
+	state := fs.String("state", "coordinator-state", "state directory: lease records, per-lease checkpoints, and the merged checkpoint live here and survive restarts")
+	ttl := fs.Duration("lease-ttl", 10*time.Second, "how stale a worker's heartbeat must be before its lease is stolen; must be at least 3× the workers' heartbeat interval")
+	leases := fs.Int("leases", 0, "pin the lease count (0 = the first registering worker's proposal wins)")
+	progressEvery := fs.Duration("progress", 10*time.Second, "how often to print fleet progress (0 = never)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listen == "" {
+		return fmt.Errorf("flag -listen: address is required")
+	}
+	if *ttl <= 0 {
+		return fmt.Errorf("flag -lease-ttl: must be positive, got %v", *ttl)
+	}
+	if *leases < 0 {
+		return fmt.Errorf("flag -leases: negative lease count %d", *leases)
+	}
+	if *progressEvery < 0 {
+		return fmt.Errorf("flag -progress: negative duration %v", *progressEvery)
+	}
+	svc, err := coordinator.NewService(*state, coordinator.ServiceOptions{Expiry: *ttl, Leases: *leases})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: *listen, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("coordinator listening on %s (state %s, lease TTL %v)\n", *listen, *state, *ttl)
+	var progress <-chan time.Time
+	if *progressEvery > 0 {
+		tick := time.NewTicker(*progressEvery)
+		defer tick.Stop()
+		progress = tick.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				return fmt.Errorf("shutting down coordinator: %w", err)
+			}
+			<-errc
+			fmt.Printf("coordinator stopped; state kept in %s — restart with the same flags to resume the fleet\n", *state)
+			return nil
+		case err := <-errc:
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return fmt.Errorf("coordinator server: %w", err)
+		case <-progress:
+			st := svc.Status()
+			if !st.Registered {
+				fmt.Println("no sweep registered yet; waiting for the first worker")
+				continue
+			}
+			fmt.Printf("site %s sweep, %d designs: %d/%d leases done, %d running, %d expired, %d pending\n",
+				st.Site, st.Designs, st.Done, st.LeaseCount, st.Running, st.Expired, st.Pending)
+		}
+	}
 }
 
 // cmdMerge folds shard checkpoint files into one merged checkpoint that

@@ -19,6 +19,10 @@ func TestRawWritesInCoordinatorFlagged(t *testing.T) {
 	linttest.Run(t, atomicwrite.Analyzer, "testdata/flagcoordinator", "carbonexplorer/internal/coordinator")
 }
 
+func TestNetworkCheckpointStagingFlagged(t *testing.T) {
+	linttest.Run(t, atomicwrite.Analyzer, "testdata/flagnetwork", "carbonexplorer/internal/coordinator")
+}
+
 func TestOtherPackagesExempt(t *testing.T) {
 	linttest.Run(t, atomicwrite.Analyzer, "testdata/offpath", "carbonexplorer/internal/report")
 }

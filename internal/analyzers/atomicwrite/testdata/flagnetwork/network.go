@@ -1,0 +1,24 @@
+// Fixture: the network transport's checkpoint staging (network.go,
+// service.go shapes) lives in the coordinator package, so materializing a
+// server-fetched checkpoint with raw file operations is flagged — a crash
+// mid-write would leave a torn checkpoint for the resuming worker.
+package coordinator
+
+import "os"
+
+func materialize(path string, payload []byte) error {
+	f, err := os.Create(path) // want `os\.Create in a checkpoint-owning package`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func stageUpload(dir string, lease int, payload []byte) error {
+	staged := dir + "/upload.json"
+	return os.WriteFile(staged, payload, 0o644) // want `os\.WriteFile in a checkpoint-owning package`
+}

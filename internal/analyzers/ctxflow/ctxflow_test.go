@@ -14,3 +14,7 @@ func TestSeveredContextsFlagged(t *testing.T) {
 func TestThreadedAndAnnotatedClean(t *testing.T) {
 	linttest.Run(t, ctxflow.Analyzer, "testdata/clean", "carbonexplorer/internal/engine")
 }
+
+func TestServerHandlersInScope(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/flagserver", "carbonexplorer/internal/coordinator")
+}

@@ -1,0 +1,23 @@
+// Fixture: HTTP-server-shaped code under internal/ (checked as
+// carbonexplorer/internal/coordinator) must thread the request context —
+// minting context.Background() inside a handler severs cancellation for
+// the whole call chain below it.
+package coordinator
+
+import "context"
+
+type request struct{ ctx context.Context }
+
+func (r *request) context() context.Context { return r.ctx }
+
+func fetch(ctx context.Context) error { return ctx.Err() }
+
+func handle(r *request) error {
+	return fetch(context.Background()) // want `context\.Background\(\) inside internal/`
+}
+
+func shutdownGrace(ctx context.Context) context.Context {
+	// Detaching from an already-cancelled context for bounded cleanup is
+	// the sanctioned pattern.
+	return context.WithoutCancel(ctx)
+}

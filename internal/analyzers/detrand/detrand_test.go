@@ -30,3 +30,7 @@ func TestCoordinatorOnFoldPath(t *testing.T) {
 func TestCoordinatorLeaseFileExempt(t *testing.T) {
 	linttest.Run(t, detrand.Analyzer, "testdata/leasefile", "carbonexplorer/internal/coordinator")
 }
+
+func TestCoordinatorNetworkFilesOnFoldPath(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/netclient", "carbonexplorer/internal/coordinator")
+}

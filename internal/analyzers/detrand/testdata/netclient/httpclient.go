@@ -1,0 +1,25 @@
+// Fixture: the network-transport files (httpclient.go, httpserver.go,
+// network.go) are NOT in the coordinator package's wall-clock exemption —
+// only lease.go is. Retry pacing with timers and sleeps is fine (it never
+// feeds the fold), but seeding retry jitter from the wall clock is exactly
+// the nondeterminism the rule exists to catch.
+package coordinator
+
+import "time"
+
+func retryDelay(attempt int) time.Duration {
+	seed := time.Now().UnixNano() // want `time\.Now in the deterministic fold path`
+	return time.Duration(seed%int64(attempt+1)) * time.Millisecond
+}
+
+func pace(d time.Duration, stop <-chan struct{}) bool {
+	t := time.NewTimer(d) // timers are fine: pacing, not folding
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		time.Sleep(0) // sleeps are fine too
+		return false
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -34,6 +35,17 @@ type Options struct {
 	// leases are stolen and resumed. Empty coordinates in-process only,
 	// with no files written.
 	LeaseDir string
+	// Endpoint, when non-empty, switches to network coordination against
+	// an HTTP coordinator (see Service and the `coordinate` subcommand) at
+	// this base URL, e.g. "http://host:8080". Workers on any machine
+	// pointed at the same coordinator share the sweep with the same
+	// claim/heartbeat/steal semantics as LeaseDir mode — no shared
+	// filesystem required. Mutually exclusive with LeaseDir.
+	Endpoint string
+	// Transport, when non-nil, replaces the network client's underlying
+	// http.RoundTripper in Endpoint mode — the chaos-test hook for
+	// injecting deterministic network faults. Ignored otherwise.
+	Transport http.RoundTripper
 	// Checkpoint is where the final merged checkpoint is written in
 	// LeaseDir mode (default <LeaseDir>/merged.json); Run resumes it
 	// automatically, so re-invoking after a crash or cancellation
@@ -137,11 +149,21 @@ func workerInputs(in *explorer.Inputs, opts Options, w int) *explorer.Inputs {
 // lease checkpoint written so far into Options.Checkpoint, so a later
 // invocation (or a plain `optimize -resume`) continues from there.
 func Run(ctx context.Context, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options) (sweep.Result, error) {
-	n := len(space.Enumerate(strategy, in.AvgDemandMW()))
+	designs := space.Enumerate(strategy, in.AvgDemandMW())
+	n := len(designs)
 	if n == 0 {
 		return sweep.Result{}, fmt.Errorf("coordinator: empty search space")
 	}
+	if opts.Endpoint != "" && opts.LeaseDir != "" {
+		return sweep.Result{}, fmt.Errorf("coordinator: Endpoint and LeaseDir are mutually exclusive; pick one transport")
+	}
 	opts = opts.withDefaults(n)
+	if opts.Expiry < HeartbeatSafetyFactor*opts.Heartbeat {
+		return sweep.Result{}, fmt.Errorf("%w: expiry %v < %d × heartbeat %v", ErrLivenessConfig, opts.Expiry, HeartbeatSafetyFactor, opts.Heartbeat)
+	}
+	if opts.Endpoint != "" {
+		return runNetwork(ctx, in, space, strategy, opts, designs)
+	}
 	plans, err := sweep.PlanShards(n, opts.Leases)
 	if err != nil {
 		return sweep.Result{}, err
@@ -223,7 +245,7 @@ func runLeaseDir(ctx context.Context, in *explorer.Inputs, space explorer.Space,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			workerErrs[w] = runWorker(ctx, b, in, space, strategy, opts, plans, w, &progress[w], &maxResident[w])
+			workerErrs[w] = runWorker(ctx, fileSource{b: b}, in, space, strategy, opts, plans, w, &progress[w], &maxResident[w])
 		}(w)
 	}
 	wg.Wait()
@@ -294,8 +316,9 @@ func runLeaseDir(ctx context.Context, in *explorer.Inputs, space explorer.Space,
 	return res, nil
 }
 
-// runWorker is one worker's claim-evaluate-markDone loop.
-func runWorker(ctx context.Context, b *board, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options, plans []sweep.ShardPlan, w int, progress *sweep.WorkerProgress, maxResident *int) error {
+// runWorker is one worker's claim-evaluate-complete loop, written once for
+// every transport behind the leaseSource seam.
+func runWorker(ctx context.Context, src leaseSource, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options, plans []sweep.ShardPlan, w int, progress *sweep.WorkerProgress, maxResident *int) error {
 	label := workerLabel(opts, w)
 	progress.Worker = label
 	win := workerInputs(in, opts, w)
@@ -303,11 +326,11 @@ func runWorker(ctx context.Context, b *board, in *explorer.Inputs, space explore
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		t, done, err := b.claim(label)
+		a, done, err := src.Claim(ctx, label)
 		if err != nil {
 			return err
 		}
-		if t == nil {
+		if a == nil {
 			if done {
 				return nil
 			}
@@ -317,17 +340,17 @@ func runWorker(ctx context.Context, b *board, in *explorer.Inputs, space explore
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(b.beat):
+			case <-time.After(src.Poll()):
 			}
 			continue
 		}
-		stop := b.heartbeat(t, label)
+		stop := src.Watch(ctx, a, label)
 		res, err := sweep.Run(ctx, win, space, strategy, sweep.Options{
 			BatchSize: opts.BatchSize,
 			Retries:   opts.Retries,
-			Shard:     plans[t.lease].Shard,
+			Shard:     plans[a.lease].Shard,
 			Checkpoint: sweep.CheckpointOptions{
-				Path:   b.checkpointPath(t.lease),
+				Path:   a.ckpt,
 				Every:  opts.CheckpointEvery,
 				Resume: true,
 			},
@@ -343,11 +366,11 @@ func runWorker(ctx context.Context, b *board, in *explorer.Inputs, space explore
 			progress.Failed += len(res.Report.Failures)
 			return err
 		}
-		if err := b.markDone(t, label); err != nil {
+		if err := src.Complete(ctx, a, label); err != nil {
 			return err
 		}
 		progress.Leases++
-		if t.stolen {
+		if a.stolen {
 			progress.Stolen++
 		}
 		progress.Evaluated += res.Report.Evaluated - res.Report.Restored

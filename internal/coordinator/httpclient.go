@@ -1,0 +1,211 @@
+package coordinator
+
+// HTTP transport, client side. Every call wraps a POST/GET in a
+// per-attempt timeout and a retry loop with deterministic jittered
+// exponential backoff: transport errors and 5xx responses retry (the
+// coordinator may be mid-restart — riding through a short outage is the
+// whole point), 4xx responses never do (the server decoded the request and
+// said no; repeating it cannot help). Jitter draws from sweep.BackoffDelay
+// seeded by the endpoint URL and a per-call counter, never the global
+// random source, so a chaos run's retry schedule is reproducible.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"carbonexplorer/internal/sweep"
+)
+
+// ClientOptions tunes a coordinator HTTP client.
+type ClientOptions struct {
+	// Timeout bounds each individual request attempt (default 5s).
+	Timeout time.Duration
+	// Attempts is the number of tries per call, first included (default 8:
+	// with the default backoff the retry schedule spans several seconds,
+	// comfortably riding through a coordinator restart).
+	Attempts int
+	// Backoff is the base delay before attempt 2; attempt k waits roughly
+	// Backoff << (k-2), jittered (default 50ms).
+	Backoff time.Duration
+	// Transport, when non-nil, replaces http.DefaultTransport — the hook
+	// chaos tests use to inject network faults.
+	Transport http.RoundTripper
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 8
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// Client speaks the coordinator HTTP protocol. It is safe for concurrent
+// use by multiple workers.
+type Client struct {
+	base string
+	opts ClientOptions
+	hc   *http.Client
+	seed uint64
+	// calls numbers calls for backoff jitter decorrelation: concurrent
+	// workers retrying the same endpoint spread out instead of stampeding
+	// in lockstep.
+	calls atomic.Uint64
+}
+
+// NewClient returns a client for the coordinator at base (e.g.
+// "http://host:8080"); a trailing slash is tolerated.
+func NewClient(base string, opts ClientOptions) *Client {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	opts = opts.withDefaults()
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(base))
+	return &Client{
+		base: base,
+		opts: opts,
+		hc:   &http.Client{Transport: opts.Transport},
+		seed: h.Sum64(),
+	}
+}
+
+// Register announces the worker's sweep; see Service.Register.
+func (c *Client) Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := c.call(ctx, "POST", "/v1/register", req, &resp)
+	return resp, err
+}
+
+// Claim asks for the next lease; see Service.Claim.
+func (c *Client) Claim(ctx context.Context, req ClaimRequest) (ClaimResponse, error) {
+	var resp ClaimResponse
+	err := c.call(ctx, "POST", "/v1/claim", req, &resp)
+	return resp, err
+}
+
+// Heartbeat refreshes a lease and optionally uploads progress; see
+// Service.Heartbeat.
+func (c *Client) Heartbeat(ctx context.Context, req HeartbeatRequest) error {
+	return c.call(ctx, "POST", "/v1/heartbeat", req, &struct{}{})
+}
+
+// Complete publishes a finished lease; see Service.Complete.
+func (c *Client) Complete(ctx context.Context, req CompleteRequest) error {
+	return c.call(ctx, "POST", "/v1/complete", req, &struct{}{})
+}
+
+// Status fetches the coordinator's fleet-wide progress report.
+func (c *Client) Status(ctx context.Context) (StatusResponse, error) {
+	var resp StatusResponse
+	err := c.call(ctx, "GET", "/v1/status", nil, &resp)
+	return resp, err
+}
+
+// MergedCheckpoint fetches the coordinator's merged sweep checkpoint bytes.
+func (c *Client) MergedCheckpoint(ctx context.Context) ([]byte, error) {
+	var raw json.RawMessage
+	if err := c.call(ctx, "GET", "/v1/checkpoint", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// call runs one protocol request with retries. A 2xx body decodes into
+// out; a 4xx body decodes into a wire Error and maps back to the service's
+// sentinel errors without retrying; anything else — transport failure,
+// timeout, 5xx — retries up to the attempt budget with jittered
+// exponential backoff.
+func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		body, err = json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("coordinator: encoding %s request: %w", path, err)
+		}
+	}
+	seed := c.seed ^ c.calls.Add(1)
+	var lastErr error
+	for attempt := 1; attempt <= c.opts.Attempts; attempt++ {
+		if attempt > 1 {
+			d := sweep.BackoffDelay(seed, attempt-1, c.opts.Backoff, 100*c.opts.Backoff)
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		retry, err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		if !retry {
+			return err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return fmt.Errorf("coordinator: %s %s: %w (last error: %w)", method, path, ctx.Err(), lastErr)
+		}
+	}
+	return fmt.Errorf("coordinator: %s %s failed after %d attempts: %w", method, path, c.opts.Attempts, lastErr)
+}
+
+// attempt runs a single request. retry reports whether the failure class
+// is worth another try.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (retry bool, err error) {
+	actx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return false, fmt.Errorf("coordinator: building %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return true, fmt.Errorf("coordinator: %s %s: %w", method, path, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBody))
+	if err != nil {
+		return true, fmt.Errorf("coordinator: reading %s %s response: %w", method, path, err)
+	}
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		if err := json.Unmarshal(data, out); err != nil {
+			return false, fmt.Errorf("coordinator: decoding %s %s response: %w", method, path, err)
+		}
+		return false, nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		var we Error
+		if err := json.Unmarshal(data, &we); err != nil || we.Code == "" {
+			return false, fmt.Errorf("coordinator: %s %s: HTTP %d: %s", method, path, resp.StatusCode, data)
+		}
+		return false, errorFromWire(we)
+	default:
+		return true, fmt.Errorf("coordinator: %s %s: HTTP %d: %s", method, path, resp.StatusCode, data)
+	}
+}

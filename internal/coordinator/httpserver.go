@@ -1,0 +1,169 @@
+package coordinator
+
+// HTTP transport, server side: a stdlib-only JSON API over the Service
+// core. One POST per protocol verb plus two GETs for observers; every
+// response body is JSON, errors included, so clients can dispatch on
+// structured codes instead of scraping message text.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Error is the wire form of a request failure.
+type Error struct {
+	// Code is a stable, machine-readable failure class.
+	Code string `json:"code"`
+	// Message is the server-side error text, for humans and logs.
+	Message string `json:"message"`
+}
+
+// Wire error codes. Clients map them back to the service's sentinel errors.
+const (
+	errCodeNotRegistered = "not_registered"
+	errCodeSweepMismatch = "sweep_mismatch"
+	errCodeIncomplete    = "incomplete_lease"
+	errCodeLiveness      = "liveness_config"
+	errCodeNoProgress    = "no_progress"
+	errCodeBadRequest    = "bad_request"
+)
+
+// maxRequestBody bounds request bodies (1 GiB would be absurd for a lease
+// checkpoint; 64 MiB is galaxies beyond any real sweep).
+const maxRequestBody = 64 << 20
+
+// Handler returns the coordinator's HTTP API:
+//
+//	POST /v1/register   RegisterRequest  -> RegisterResponse
+//	POST /v1/claim      ClaimRequest     -> ClaimResponse
+//	POST /v1/heartbeat  HeartbeatRequest -> {}
+//	POST /v1/complete   CompleteRequest  -> {}
+//	GET  /v1/status                      -> StatusResponse
+//	GET  /v1/checkpoint                  -> merged sweep checkpoint JSON
+//
+// Failures return 4xx with an Error body. The protocol is idempotent by
+// construction — repeating any request (a retrying client, a duplicating
+// network) converges to the same state — so the handler needs no request
+// deduplication.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.Register(req)
+		respond(w, resp, err)
+	})
+	mux.HandleFunc("POST /v1/claim", func(w http.ResponseWriter, r *http.Request) {
+		var req ClaimRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.Claim(req)
+		respond(w, resp, err)
+	})
+	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		respond(w, struct{}{}, s.Heartbeat(req))
+	})
+	mux.HandleFunc("POST /v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		respond(w, struct{}{}, s.Complete(req))
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		respond(w, s.Status(), nil)
+	})
+	mux.HandleFunc("GET /v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		data, _, err := s.MergedCheckpoint()
+		if err != nil {
+			respond(w, nil, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+	return mux
+}
+
+// decode reads and unmarshals a JSON request body, answering 400 itself on
+// failure. It reports whether the handler should proceed.
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errCodeBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return false
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		writeError(w, http.StatusBadRequest, errCodeBadRequest, fmt.Sprintf("decoding request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// respond writes resp as JSON, or maps err onto a status code and Error
+// body. Service errors are client problems (conflicting sweep, bad lease,
+// unmet precondition) — 4xx, never 5xx, so clients don't blindly retry
+// requests that can never succeed.
+func respond(w http.ResponseWriter, resp any, err error) {
+	if err == nil {
+		w.Header().Set("Content-Type", "application/json")
+		data, merr := json.Marshal(resp)
+		if merr != nil {
+			writeError(w, http.StatusInternalServerError, errCodeBadRequest, merr.Error())
+			return
+		}
+		_, _ = w.Write(data)
+		return
+	}
+	switch {
+	case errors.Is(err, ErrNotRegistered):
+		writeError(w, http.StatusConflict, errCodeNotRegistered, err.Error())
+	case errors.Is(err, ErrSweepMismatch):
+		writeError(w, http.StatusConflict, errCodeSweepMismatch, err.Error())
+	case errors.Is(err, ErrLeaseIncomplete):
+		writeError(w, http.StatusConflict, errCodeIncomplete, err.Error())
+	case errors.Is(err, ErrLivenessConfig):
+		writeError(w, http.StatusBadRequest, errCodeLiveness, err.Error())
+	case errors.Is(err, ErrNoProgress):
+		writeError(w, http.StatusNotFound, errCodeNoProgress, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, errCodeBadRequest, err.Error())
+	}
+}
+
+// writeError writes a JSON Error body with the given status.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(Error{Code: code, Message: message})
+	if err != nil {
+		return
+	}
+	_, _ = w.Write(data)
+}
+
+// errorFromWire maps a wire Error back onto the service's sentinel errors,
+// so client-side errors.Is works identically to in-process calls.
+func errorFromWire(e Error) error {
+	base := map[string]error{
+		errCodeNotRegistered: ErrNotRegistered,
+		errCodeSweepMismatch: ErrSweepMismatch,
+		errCodeIncomplete:    ErrLeaseIncomplete,
+		errCodeLiveness:      ErrLivenessConfig,
+		errCodeNoProgress:    ErrNoProgress,
+	}[e.Code]
+	if base == nil {
+		return fmt.Errorf("coordinator: server rejected request (%s): %s", e.Code, e.Message)
+	}
+	return fmt.Errorf("%w: %s", base, e.Message)
+}

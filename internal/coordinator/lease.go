@@ -183,6 +183,77 @@ func (b *board) markDone(t *ticket, owner string) error {
 	return b.write(t.lease, leaseFile{Owner: owner, State: leaseDone, HeartbeatMS: time.Now().UnixMilli(), Stolen: t.count})
 }
 
+// refresh re-stamps lease li's liveness on behalf of owner — the
+// server-side heartbeat for network workers, which carry no ticket across
+// requests. It preserves the recorded theft count, re-asserts ownership
+// exactly as the in-process heartbeat goroutine does (the benign
+// duplicate-owner race of the file protocol), and never downgrades a lease
+// already marked done.
+func (b *board) refresh(li int, owner string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	count := 0
+	if lf, _ := b.read(li); lf != nil {
+		if lf.State == leaseDone {
+			return nil
+		}
+		count = lf.Stolen
+	}
+	return b.write(li, leaseFile{Owner: owner, State: leaseRunning, HeartbeatMS: time.Now().UnixMilli(), Stolen: count})
+}
+
+// finish is markDone for network workers identified only by lease index and
+// owner label.
+func (b *board) finish(li int, owner string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	count := 0
+	if lf, _ := b.read(li); lf != nil {
+		count = lf.Stolen
+	}
+	return b.write(li, leaseFile{Owner: owner, State: leaseDone, HeartbeatMS: time.Now().UnixMilli(), Stolen: count})
+}
+
+// Externally visible lease states reported by snapshot (and hence the
+// status endpoint). leaseStateExpired is a running lease whose heartbeat
+// went stale — the window during which a steal is in progress.
+const (
+	leaseStatePending = "pending"
+	leaseStateRunning = "running"
+	leaseStateExpired = "expired"
+	leaseStateCorrupt = "corrupt"
+	leaseStateDone    = "done"
+)
+
+// leaseSnapshot is one lease's externally visible state at an instant.
+type leaseSnapshot struct {
+	state  string
+	owner  string
+	stolen int
+	ageMS  int64 // heartbeat age; meaningful for running/expired leases
+}
+
+// snapshot reads lease li for status reporting without mutating anything.
+func (b *board) snapshot(li int) leaseSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lf, corrupt := b.read(li)
+	switch {
+	case corrupt:
+		return leaseSnapshot{state: leaseStateCorrupt}
+	case lf == nil:
+		return leaseSnapshot{state: leaseStatePending}
+	case lf.State == leaseDone:
+		return leaseSnapshot{state: leaseStateDone, owner: lf.Owner, stolen: lf.Stolen}
+	}
+	age := time.Now().UnixMilli() - lf.HeartbeatMS
+	state := leaseStateRunning
+	if age > b.expiry.Milliseconds() {
+		state = leaseStateExpired
+	}
+	return leaseSnapshot{state: state, owner: lf.Owner, stolen: lf.Stolen, ageMS: age}
+}
+
 // existingCheckpoints lists, in ascending lease order, the per-lease
 // checkpoint files that exist on disk — all of them after a clean finish,
 // the completed-or-interrupted subset after a cancellation.

@@ -1,0 +1,387 @@
+package coordinator
+
+// Network-transport tests: sweeps over a real HTTP coordinator on loopback
+// must converge to the byte-identical single-process optimum and frontier —
+// through injected connection drops, delays, and duplicated requests;
+// through a worker killed mid-lease; and through the coordinator itself
+// being killed and restarted mid-sweep.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/faultinject"
+	"carbonexplorer/internal/sweep"
+)
+
+// startCoordinator serves a fresh Service over loopback HTTP and returns
+// its base URL.
+func startCoordinator(t testing.TB, stateDir string, expiry time.Duration) string {
+	t.Helper()
+	svc, err := NewService(stateDir, ServiceOptions{Expiry: expiry})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// evalCounter returns hooked inputs whose EvalHook counts per-design
+// evaluations, plus a function reporting (total, designs evaluated more
+// than once).
+func evalCounter(in *explorer.Inputs) (*explorer.Inputs, func() (total, doubled int)) {
+	var mu sync.Mutex
+	counts := map[explorer.Design]int{}
+	hooked := *in
+	hooked.EvalHook = func(d explorer.Design) error {
+		mu.Lock()
+		counts[d]++
+		mu.Unlock()
+		return nil
+	}
+	return &hooked, func() (int, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		total, doubled := 0, 0
+		for _, c := range counts {
+			total += c
+			if c > 1 {
+				doubled++
+			}
+		}
+		return total, doubled
+	}
+}
+
+// netTiming keeps network-test liveness windows short but honest: the TTL
+// stays several heartbeats wide so live workers are never stolen from.
+func netTiming(o Options) Options {
+	o.Heartbeat = 10 * time.Millisecond
+	return o
+}
+
+// TestNetworkCoordinatedMatchesSingleProcess: the HTTP transport end to
+// end — register, claim, heartbeat-with-upload, complete, merged fetch —
+// reproduces the single-process result exactly, with every design
+// evaluated exactly once across the fleet.
+func TestNetworkCoordinatedMatchesSingleProcess(t *testing.T) {
+	in := testInputs(t)
+	space := testSpace(in)
+	want := singleProcess(t, in, space)
+	n := len(space.Enumerate(explorer.RenewablesBatteryCAS, in.AvgDemandMW()))
+	url := startCoordinator(t, t.TempDir(), 200*time.Millisecond)
+
+	hooked, report := evalCounter(in)
+	got, err := Run(context.Background(), hooked, space, explorer.RenewablesBatteryCAS,
+		netTiming(Options{Workers: 3, Leases: 12, BatchSize: 4, Endpoint: url, Worker: "fleet"}))
+	if err != nil {
+		t.Fatalf("network coordinated run: %v", err)
+	}
+	requireSameResult(t, want, got)
+	total, doubled := report()
+	if total != n || doubled != 0 {
+		t.Fatalf("fleet evaluated %d designs with %d doubled, want %d exactly once", total, doubled, n)
+	}
+	leases, evaluated := 0, 0
+	for _, wp := range got.Workers {
+		leases += wp.Leases
+		evaluated += wp.Evaluated
+	}
+	if leases != 12 || evaluated != n {
+		t.Fatalf("worker progress: %d leases and %d designs, want 12 and %d", leases, evaluated, n)
+	}
+
+	// The coordinator's own status and merged checkpoint agree.
+	client := NewClient(url, ClientOptions{})
+	st, err := client.Status(context.Background())
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if !st.Complete || st.Done != 12 {
+		t.Fatalf("coordinator status after a finished sweep: %+v", st)
+	}
+	data, err := client.MergedCheckpoint(context.Background())
+	if err != nil {
+		t.Fatalf("merged checkpoint: %v", err)
+	}
+	p, err := sweep.Progress(writeTemp(t, data))
+	if err != nil {
+		t.Fatalf("inspecting merged checkpoint: %v", err)
+	}
+	if p.Pending != 0 || p.Done != n {
+		t.Fatalf("merged checkpoint: %+v, want %d done", p, n)
+	}
+}
+
+// writeTemp stages bytes in a temp file and returns its path.
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := t.TempDir() + "/ckpt.json"
+	if err := sweep.WriteFileAtomic(path, data); err != nil {
+		t.Fatalf("staging checkpoint: %v", err)
+	}
+	return path
+}
+
+// TestNetworkChaosDropsDelaysDuplicates: the acceptance chaos run for the
+// wire itself. A deterministic fault injector drops, delays, and
+// duplicates requests; client retries with backoff ride through the drops,
+// the protocol's idempotency absorbs the duplicates, and the sweep still
+// converges byte-identically with zero double evaluation.
+func TestNetworkChaosDropsDelaysDuplicates(t *testing.T) {
+	in := testInputs(t)
+	space := testSpace(in)
+	want := singleProcess(t, in, space)
+	n := len(space.Enumerate(explorer.RenewablesBatteryCAS, in.AvgDemandMW()))
+	// The lease TTL must exceed the client's worst realistic retry-backoff
+	// span: a dropped Complete that only lands on its third attempt must
+	// still arrive inside the lease window, or the lease is stolen and its
+	// tail re-evaluated. (Leases orphaned by duplicated Claims are still
+	// recovered by expiry-steal — they carry no progress, so exactly-once
+	// holds regardless.)
+	url := startCoordinator(t, t.TempDir(), 2*time.Second)
+
+	rt := faultinject.NetworkFaults{
+		Seed:              42,
+		DropFraction:      0.15,
+		DelayFraction:     0.10,
+		Delay:             2 * time.Millisecond,
+		DuplicateFraction: 0.10,
+	}.RoundTripper(nil)
+	hooked, report := evalCounter(in)
+	got, err := Run(context.Background(), hooked, space, explorer.RenewablesBatteryCAS,
+		netTiming(Options{Workers: 3, Leases: 10, BatchSize: 2, Endpoint: url, Worker: "fleet", Transport: rt}))
+	if err != nil {
+		t.Fatalf("network run under chaos: %v", err)
+	}
+	drops, delays, dups := faultinject.Counts(rt)
+	if drops == 0 || dups == 0 {
+		t.Fatalf("chaos did not fire: %d drops, %d delays, %d duplicates", drops, delays, dups)
+	}
+	t.Logf("chaos injected %d drops, %d delays, %d duplicated requests", drops, delays, dups)
+	requireSameResult(t, want, got)
+	total, doubled := report()
+	if total != n || doubled != 0 {
+		t.Fatalf("chaos run evaluated %d designs with %d doubled, want %d exactly once", total, doubled, n)
+	}
+}
+
+// TestNetworkChaosKilledWorker: a worker process dies mid-lease (its fleet
+// cancelled from inside the EvalHook). Its heartbeat-uploaded progress
+// survives on the coordinator; a second fleet steals the expired leases,
+// resumes them, and converges byte-identically. Designs evaluated after
+// the victim's last upload may be re-evaluated (determinism makes that
+// benign) but nothing is ever double-folded.
+func TestNetworkChaosKilledWorker(t *testing.T) {
+	in := testInputs(t)
+	space := testSpace(in)
+	want := singleProcess(t, in, space)
+	n := len(space.Enumerate(explorer.RenewablesBatteryCAS, in.AvgDemandMW()))
+	url := startCoordinator(t, t.TempDir(), 100*time.Millisecond)
+
+	// Fleet 1 dies after 20 evaluations. Slow evaluation (2ms) against a
+	// 5ms heartbeat guarantees uploads happen before the kill.
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	killed := 0
+	victim := *in
+	victim.EvalHook = func(explorer.Design) error {
+		time.Sleep(2 * time.Millisecond)
+		mu.Lock()
+		defer mu.Unlock()
+		killed++
+		if killed == 20 {
+			cancel()
+		}
+		return nil
+	}
+	_, err := Run(ctx, &victim, space, explorer.RenewablesBatteryCAS, Options{
+		Workers: 2, Leases: 10, BatchSize: 1, CheckpointEvery: 1,
+		Endpoint: url, Worker: "victim",
+		Heartbeat: 5 * time.Millisecond,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed fleet: want context.Canceled, got %v", err)
+	}
+
+	// Fleet 2 joins the same coordinator, steals the dead fleet's expired
+	// leases, and finishes the sweep.
+	hooked, report := evalCounter(in)
+	got, err := Run(context.Background(), hooked, space, explorer.RenewablesBatteryCAS,
+		netTiming(Options{Workers: 2, Leases: 10, BatchSize: 2, Endpoint: url, Worker: "rescuer"}))
+	if err != nil {
+		t.Fatalf("rescuing fleet: %v", err)
+	}
+	requireSameResult(t, want, got)
+	if !got.Resumed || got.Report.Restored == 0 {
+		t.Fatalf("rescuing fleet restored %d designs (resumed=%v) — the victim's uploads were lost", got.Report.Restored, got.Resumed)
+	}
+	stolen := 0
+	for _, wp := range got.Workers {
+		stolen += wp.Stolen
+	}
+	if stolen == 0 {
+		t.Fatal("no lease was stolen from the dead fleet")
+	}
+	// The rescuing fleet evaluates exactly the designs the victim's uploads
+	// did not cover — each exactly once.
+	total, doubled := report()
+	if doubled != 0 {
+		t.Fatalf("rescuing fleet double-evaluated %d designs", doubled)
+	}
+	if total != n-got.Report.Restored {
+		t.Fatalf("rescuing fleet evaluated %d designs, want %d (= %d − %d restored)", total, n-got.Report.Restored, n, got.Report.Restored)
+	}
+}
+
+// TestNetworkChaosCoordinatorRestart: the coordinator is killed mid-sweep
+// and restarted on the same address from the same state directory. The
+// lease TTL exceeds the outage, so workers ride through on client retries
+// — no lease expires, nothing is stolen, and every design is evaluated
+// exactly once: the sweep converges byte-identically as if the outage
+// never happened.
+func TestNetworkChaosCoordinatorRestart(t *testing.T) {
+	in := testInputs(t)
+	space := testSpace(in)
+	want := singleProcess(t, in, space)
+	n := len(space.Enumerate(explorer.RenewablesBatteryCAS, in.AvgDemandMW()))
+	stateDir := t.TempDir()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	svc1, err := NewService(stateDir, ServiceOptions{Expiry: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	srv1 := &http.Server{Handler: svc1.Handler()}
+	go func() { _ = srv1.Serve(ln) }()
+
+	// The assassin: after the 15th evaluation, kill the coordinator
+	// abruptly (severing in-flight connections), hold a 150ms outage, then
+	// restart it from the same state directory on the same address.
+	var mu sync.Mutex
+	evals := 0
+	outageDone := make(chan struct{})
+	var once sync.Once
+	hooked, report := evalCounter(in)
+	inner := hooked.EvalHook
+	hooked.EvalHook = func(d explorer.Design) error {
+		time.Sleep(3 * time.Millisecond)
+		mu.Lock()
+		evals++
+		trigger := evals == 15
+		mu.Unlock()
+		if trigger {
+			once.Do(func() {
+				go func() {
+					defer close(outageDone)
+					_ = srv1.Close()
+					time.Sleep(150 * time.Millisecond)
+					svc2, err := NewService(stateDir, ServiceOptions{Expiry: 2 * time.Second})
+					if err != nil {
+						t.Errorf("reviving coordinator: %v", err)
+						return
+					}
+					ln2, err := net.Listen("tcp", addr)
+					if err != nil {
+						t.Errorf("rebinding %s: %v", addr, err)
+						return
+					}
+					srv2 := &http.Server{Handler: svc2.Handler()}
+					t.Cleanup(func() { _ = srv2.Close() })
+					go func() { _ = srv2.Serve(ln2) }()
+				}()
+			})
+		}
+		return inner(d)
+	}
+
+	got, err := Run(context.Background(), hooked, space, explorer.RenewablesBatteryCAS, Options{
+		Workers: 2, Leases: 8, BatchSize: 1, CheckpointEvery: 1,
+		Endpoint: "http://" + addr, Worker: "fleet",
+		Heartbeat: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("run across the coordinator restart: %v", err)
+	}
+	select {
+	case <-outageDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator restart never completed")
+	}
+	requireSameResult(t, want, got)
+	total, doubled := report()
+	if total != n || doubled != 0 {
+		t.Fatalf("restart run evaluated %d designs with %d doubled, want %d exactly once — the outage caused theft", total, doubled, n)
+	}
+	stolen := 0
+	for _, wp := range got.Workers {
+		stolen += wp.Stolen
+	}
+	if stolen != 0 {
+		t.Fatalf("%d leases were stolen during a sub-TTL outage", stolen)
+	}
+}
+
+// TestNetworkEndpointAndLeaseDirExclusive: the two multi-process
+// transports cannot be combined.
+func TestNetworkEndpointAndLeaseDirExclusive(t *testing.T) {
+	in := testInputs(t)
+	space := testSpace(in)
+	_, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
+		Options{Endpoint: "http://localhost:1", LeaseDir: t.TempDir()})
+	if err == nil {
+		t.Fatal("Endpoint+LeaseDir accepted")
+	}
+}
+
+// BenchmarkNetworkVsFileLeasing measures the coordination overhead each
+// multi-process transport adds to a full sweep: file-based lease
+// directories versus the HTTP coordinator on loopback. Evaluation cost is
+// left at its natural (fast) level so the transport dominates. Run with
+// `go test -bench NetworkVsFile -run ^$`.
+func BenchmarkNetworkVsFileLeasing(b *testing.B) {
+	in := testInputs(b)
+	space := testSpace(in)
+	run := func(b *testing.B, opts Options) {
+		opts.Workers, opts.Leases, opts.BatchSize = 3, 12, 4
+		opts.Heartbeat = 10 * time.Millisecond
+		if _, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS, opts); err != nil {
+			b.Fatalf("coordinated run: %v", err)
+		}
+	}
+	b.Run("file", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, Options{LeaseDir: b.TempDir(), Worker: "bench"})
+		}
+	})
+	b.Run("network", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			url := startCoordinator(b, b.TempDir(), 500*time.Millisecond)
+			run(b, Options{Endpoint: url, Worker: "bench"})
+		}
+	})
+}
+
+// TestRunRejectsTightLiveness: Run refuses a lease TTL under the safety
+// floor instead of letting live workers be stolen from at runtime.
+func TestRunRejectsTightLiveness(t *testing.T) {
+	in := testInputs(t)
+	space := testSpace(in)
+	_, err := Run(context.Background(), in, space, explorer.RenewablesBatteryCAS,
+		Options{Workers: 2, LeaseDir: t.TempDir(), Heartbeat: 50 * time.Millisecond, Expiry: 100 * time.Millisecond})
+	if !errors.Is(err, ErrLivenessConfig) {
+		t.Fatalf("want ErrLivenessConfig for TTL 2× heartbeat, got %v", err)
+	}
+}

@@ -1,0 +1,143 @@
+package faultinject
+
+// Network faults: a deterministic failing http.RoundTripper for chaos
+// testing the network lease coordinator. Faults draw from the package's
+// seeded SplitMix64 generator — never the process-global source — so a
+// chaos run's fault sequence is stable for a fixed seed and request order.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// NetworkFaults configures a failing http.RoundTripper. Fractions are
+// per-request probabilities drawn independently in the order below: a
+// request is first considered for dropping, then for delaying, then for
+// duplication, so one request can be both delayed and duplicated.
+type NetworkFaults struct {
+	// Seed determines the whole fault sequence.
+	Seed uint64
+	// DropFraction of requests fail with a wrapped ErrInjected before
+	// reaching the server — a dropped connection as the client sees it.
+	DropFraction float64
+	// DelayFraction of requests sleep Delay before being sent, modelling
+	// network latency spikes and stalled links.
+	DelayFraction float64
+	// Delay is the injected latency for delayed requests (default 10ms
+	// when DelayFraction > 0).
+	Delay time.Duration
+	// DuplicateFraction of requests are sent to the server twice, the
+	// first response discarded — the at-least-once delivery a retrying
+	// client plus a flaky network produces, which the coordinator's
+	// protocol must tolerate idempotently.
+	DuplicateFraction float64
+}
+
+// faultyTransport is the injecting RoundTripper.
+type faultyTransport struct {
+	cfg  NetworkFaults
+	next http.RoundTripper
+
+	mu   sync.Mutex
+	rand *Rand
+	// drops, delays, dups count injected faults for test assertions.
+	drops, delays, dups int
+}
+
+// RoundTripper wraps next (nil means http.DefaultTransport) with the
+// configured deterministic faults. The returned transport is safe for
+// concurrent use; a mutex serializes draws so the fault sequence is a pure
+// function of the seed and the order requests reach the transport.
+func (f NetworkFaults) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if f.Delay <= 0 {
+		f.Delay = 10 * time.Millisecond
+	}
+	return &faultyTransport{cfg: f, next: next, rand: NewRand(f.Seed)}
+}
+
+// draw takes the next three fault decisions under the lock.
+func (t *faultyTransport) draw() (drop, delay, dup bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	drop = t.rand.Float64() < t.cfg.DropFraction
+	delay = t.rand.Float64() < t.cfg.DelayFraction
+	dup = t.rand.Float64() < t.cfg.DuplicateFraction
+	switch {
+	case drop:
+		t.drops++
+	default:
+		if delay {
+			t.delays++
+		}
+		if dup {
+			t.dups++
+		}
+	}
+	return drop, delay, dup
+}
+
+// RoundTrip injects the drawn faults around the real round trip.
+func (t *faultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	drop, delay, dup := t.draw()
+	if drop {
+		if req.Body != nil {
+			_ = req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: dropped %s %s", ErrInjected, req.Method, req.URL.Path)
+	}
+	// Buffer the body so the request can be replayed for duplication.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		_ = req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: buffering request body: %w", err)
+		}
+	}
+	if delay {
+		timer := time.NewTimer(t.cfg.Delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, fmt.Errorf("%w: delayed past deadline: %w", ErrInjected, req.Context().Err())
+		case <-timer.C:
+		}
+	}
+	send := func() (*http.Response, error) {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		return t.next.RoundTrip(r)
+	}
+	if dup {
+		// At-least-once delivery: the server sees the request twice; the
+		// client only ever observes the second response.
+		if resp, err := send(); err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+		}
+	}
+	return send()
+}
+
+// Counts reports how many faults the transport injected so far. The
+// receiver must be a transport returned by NetworkFaults.RoundTripper.
+func Counts(rt http.RoundTripper) (drops, delays, duplicates int) {
+	t, ok := rt.(*faultyTransport)
+	if !ok {
+		return 0, 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops, t.delays, t.dups
+}

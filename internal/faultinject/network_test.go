@@ -1,0 +1,92 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// faultPattern sends n GET requests through a freshly configured transport
+// and records, per request, whether it was dropped.
+func faultPattern(t *testing.T, cfg NetworkFaults, n int) (pattern []bool, served int64, counts [3]int) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		_, _ = io.Copy(io.Discard, r.Body)
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	rt := cfg.RoundTripper(nil)
+	client := &http.Client{Transport: rt}
+	for i := 0; i < n; i++ {
+		resp, err := client.Post(srv.URL, "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("request %d: non-injected failure: %v", i, err)
+			}
+			pattern = append(pattern, true)
+			continue
+		}
+		pattern = append(pattern, false)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}
+	drops, delays, dups := Counts(rt)
+	return pattern, hits.Load(), [3]int{drops, delays, dups}
+}
+
+func TestNetworkFaultsDeterministicSequence(t *testing.T) {
+	cfg := NetworkFaults{Seed: 99, DropFraction: 0.3, DuplicateFraction: 0.2}
+	a, servedA, countsA := faultPattern(t, cfg, 60)
+	b, servedB, countsB := faultPattern(t, cfg, 60)
+	if len(a) != len(b) {
+		t.Fatalf("pattern lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: drop decision differs between identical runs", i)
+		}
+	}
+	if servedA != servedB || countsA != countsB {
+		t.Fatalf("fault accounting differs: served %d/%d, counts %v/%v", servedA, servedB, countsA, countsB)
+	}
+	if countsA[0] == 0 || countsA[2] == 0 {
+		t.Fatalf("chaos too quiet for assertions: counts %v", countsA)
+	}
+	// Every non-dropped request reaches the server once, duplicated ones
+	// twice: at-least-once delivery, never at-most-zero.
+	if want := int64(60-countsA[0]) + int64(countsA[2]); servedA != want {
+		t.Fatalf("server saw %d requests, want %d (60 − %d drops + %d duplicates)", servedA, want, countsA[0], countsA[2])
+	}
+}
+
+func TestNetworkFaultsDelayInjectsLatency(t *testing.T) {
+	cfg := NetworkFaults{Seed: 1, DelayFraction: 1, Delay: 20 * time.Millisecond}
+	start := time.Now()
+	_, served, counts := faultPattern(t, cfg, 3)
+	if served != 3 || counts[1] != 3 {
+		t.Fatalf("served %d with %d delays, want all 3 delayed", served, counts[1])
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("3 requests with 20ms injected latency finished in %v", elapsed)
+	}
+}
+
+func TestNetworkFaultsZeroConfigTransparent(t *testing.T) {
+	pattern, served, counts := faultPattern(t, NetworkFaults{Seed: 5}, 10)
+	for i, dropped := range pattern {
+		if dropped {
+			t.Fatalf("request %d dropped by a zero-fraction transport", i)
+		}
+	}
+	if served != 10 || counts != [3]int{} {
+		t.Fatalf("zero-config transport interfered: served %d, counts %v", served, counts)
+	}
+}

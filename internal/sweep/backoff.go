@@ -1,0 +1,51 @@
+package sweep
+
+// Deterministic jittered exponential backoff.
+//
+// Retry timing must not disturb reproducibility: an interrupted-and-resumed
+// sweep has to re-derive the same retry schedule, and the detrand analyzer
+// forbids the process-global random source in this package. Delays are
+// therefore a pure function of a seed, the attempt number, and the
+// configured base — a SplitMix64 draw supplies the jitter, so two runs of
+// the same sweep wait the same spans without any shared state.
+
+import "time"
+
+// splitmix64 advances a SplitMix64 state and returns the next draw. It is
+// the same tiny generator internal/faultinject uses, duplicated here so the
+// sweep engine does not depend on the chaos harness.
+func splitmix64(state uint64) uint64 {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// BackoffDelay computes the deterministic jittered exponential backoff for
+// the given retry attempt (1-based): base<<(attempt-1), multiplied by a
+// seed-determined jitter factor in [0.5, 1.5), capped at max. The delay is
+// a pure function of (seed, attempt, base, max), so repeated and resumed
+// runs wait identical spans. A non-positive base or attempt yields zero.
+func BackoffDelay(seed uint64, attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 || attempt <= 0 {
+		return 0
+	}
+	d := base
+	for a := 1; a < attempt; a++ {
+		d *= 2
+		if max > 0 && d >= max {
+			d = max
+			break
+		}
+	}
+	// Jitter in [0.5, 1.5): decorrelates fleets retrying in lockstep while
+	// staying reproducible for a fixed seed and attempt.
+	draw := splitmix64(seed ^ uint64(attempt))
+	jitter := 0.5 + float64(draw>>11)/float64(1<<53)
+	d = time.Duration(float64(d) * jitter)
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}

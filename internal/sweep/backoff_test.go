@@ -1,0 +1,66 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayDeterministic(t *testing.T) {
+	for attempt := 1; attempt <= 10; attempt++ {
+		a := BackoffDelay(7, attempt, 50*time.Millisecond, 2*time.Second)
+		b := BackoffDelay(7, attempt, 50*time.Millisecond, 2*time.Second)
+		if a != b {
+			t.Fatalf("attempt %d: %v != %v for the same seed", attempt, a, b)
+		}
+	}
+}
+
+func TestBackoffDelayJitterBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	for seed := uint64(0); seed < 200; seed++ {
+		for attempt := 1; attempt <= 5; attempt++ {
+			ideal := base << (attempt - 1)
+			d := BackoffDelay(seed, attempt, base, 0)
+			if d < ideal/2 || d >= ideal+ideal/2 {
+				t.Fatalf("seed %d attempt %d: %v outside [%v, %v)", seed, attempt, d, ideal/2, ideal+ideal/2)
+			}
+		}
+	}
+}
+
+func TestBackoffDelaySeedsDecorrelate(t *testing.T) {
+	// Different seeds must not retry in lockstep: across many seeds the
+	// jitter draws cannot all collapse to one value.
+	distinct := map[time.Duration]bool{}
+	for seed := uint64(0); seed < 50; seed++ {
+		distinct[BackoffDelay(seed, 3, 50*time.Millisecond, 0)] = true
+	}
+	if len(distinct) < 25 {
+		t.Fatalf("only %d distinct delays across 50 seeds", len(distinct))
+	}
+}
+
+func TestBackoffDelayCap(t *testing.T) {
+	max := 300 * time.Millisecond
+	for attempt := 1; attempt <= 40; attempt++ {
+		if d := BackoffDelay(3, attempt, 50*time.Millisecond, max); d > max {
+			t.Fatalf("attempt %d: %v exceeds cap %v", attempt, d, max)
+		}
+	}
+	// Deep attempts must not overflow into negative durations either.
+	if d := BackoffDelay(3, 500, 50*time.Millisecond, max); d < 0 || d > max {
+		t.Fatalf("attempt 500: %v", d)
+	}
+}
+
+func TestBackoffDelayDegenerateInputs(t *testing.T) {
+	if d := BackoffDelay(1, 0, 50*time.Millisecond, time.Second); d != 0 {
+		t.Fatalf("attempt 0: %v, want 0", d)
+	}
+	if d := BackoffDelay(1, -3, 50*time.Millisecond, time.Second); d != 0 {
+		t.Fatalf("negative attempt: %v, want 0", d)
+	}
+	if d := BackoffDelay(1, 3, 0, time.Second); d != 0 {
+		t.Fatalf("zero base: %v, want 0", d)
+	}
+}

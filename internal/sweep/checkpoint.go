@@ -227,6 +227,14 @@ func (s savedOutcome) outcome() explorer.Outcome {
 	}
 }
 
+// SpaceHash fingerprints a sweep for coordination handshakes: two workers
+// (or a worker and a network coordinator) agree they are sweeping the same
+// space exactly when their SpaceHash values match. It is the same
+// fingerprint checkpoints are validated against on resume and merge.
+func SpaceHash(in *explorer.Inputs, strategy explorer.Strategy, designs []explorer.Design) string {
+	return sweepHash(in, strategy, designs)
+}
+
 // sweepHash fingerprints everything that determines the design list and its
 // evaluation: the site, the strategy, the input fingerprint (year length and
 // average demand, which scale battery designs), and every design's exact

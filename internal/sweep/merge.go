@@ -21,6 +21,10 @@ type ShardProgress struct {
 	// Done, Pending, FailedOnce, and FailedPerm count the design statuses
 	// inside [Start, End).
 	Done, Pending, FailedOnce, FailedPerm int
+	// SpaceHash is the sweep fingerprint the checkpoint was written under,
+	// so callers can validate a file against an expected sweep without
+	// reloading it.
+	SpaceHash string
 }
 
 // MergeReport accounts for a checkpoint merge: per-input shard progress and
@@ -55,6 +59,52 @@ func statusCounts(status []byte, lo, hi int) (done, pending, failedOnce, failedP
 		}
 	}
 	return
+}
+
+// Progress loads one checkpoint file and reports the per-status design
+// counts inside its shard slice, without merging or modifying anything —
+// the read-only inspection the network coordinator uses to verify a lease's
+// uploaded checkpoint really finished its slice before marking it done.
+func Progress(path string) (ShardProgress, error) {
+	ck, err := loadCheckpoint(path)
+	if err != nil {
+		return ShardProgress{}, err
+	}
+	status, err := ck.statusBytes()
+	if err != nil {
+		return ShardProgress{}, fmt.Errorf("%s: %w", path, err)
+	}
+	shard, err := ck.shard()
+	if err != nil {
+		return ShardProgress{}, fmt.Errorf("%s: %w", path, err)
+	}
+	lo, hi := shard.Bounds(len(status))
+	p := ShardProgress{Path: path, Shard: shard, Start: lo, End: hi, SpaceHash: ck.SpaceHash}
+	p.Done, p.Pending, p.FailedOnce, p.FailedPerm = statusCounts(status, lo, hi)
+	return p, nil
+}
+
+// ProgressWithin is Progress restricted to the given shard's slice,
+// regardless of the shard label the file itself carries — how the network
+// coordinator asks "does this (merged, hence unsharded) per-lease
+// checkpoint finish lease i/L's designs?". The file must cover at least the
+// slice; a shorter status string is a mismatch.
+func ProgressWithin(path string, sh Shard) (ShardProgress, error) {
+	ck, err := loadCheckpoint(path)
+	if err != nil {
+		return ShardProgress{}, err
+	}
+	status, err := ck.statusBytes()
+	if err != nil {
+		return ShardProgress{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := sh.validate(); !sh.IsZero() && err != nil {
+		return ShardProgress{}, err
+	}
+	lo, hi := sh.Bounds(len(status))
+	p := ShardProgress{Path: path, Shard: sh, Start: lo, End: hi, SpaceHash: ck.SpaceHash}
+	p.Done, p.Pending, p.FailedOnce, p.FailedPerm = statusCounts(status, lo, hi)
+	return p, nil
 }
 
 // mergeInput is one loaded, validated source checkpoint.
@@ -169,7 +219,7 @@ func MergeCheckpoints(dst string, srcs ...string) (MergeReport, error) {
 		retried += in.ck.Retried
 		recovered += in.ck.Recovered
 
-		p := ShardProgress{Path: in.path, Shard: in.shard, Start: in.start, End: in.end}
+		p := ShardProgress{Path: in.path, Shard: in.shard, Start: in.start, End: in.end, SpaceHash: in.ck.SpaceHash}
 		p.Done, p.Pending, p.FailedOnce, p.FailedPerm = statusCounts(in.status, in.start, in.end)
 		rep.Inputs = append(rep.Inputs, p)
 	}

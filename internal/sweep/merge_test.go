@@ -220,3 +220,66 @@ func TestMergeSingleFileIdempotent(t *testing.T) {
 		t.Fatalf("double merge lost progress: restored %d of %d", final.Report.Restored, clean.Report.Evaluated)
 	}
 }
+
+// TestProgressWithin: counting statuses inside an arbitrary shard window,
+// regardless of the file's own shard label. This is what lets a
+// coordinator validate one lease's slice against its merged (unsharded)
+// stored checkpoint.
+func TestProgressWithin(t *testing.T) {
+	in := testInputs(t)
+	space := testSpace(in)
+	dir := t.TempDir()
+	n := len(space.Enumerate(explorer.RenewablesBatteryCAS, in.AvgDemandMW()))
+
+	// Complete shard 1/4, then merge it alone: the merged file is
+	// unsharded, so plain Progress sees 3/4 of the space pending.
+	ckpt := runShard(t, in, space, dir, 1, 4)
+	merged := filepath.Join(dir, "merged.json")
+	if _, err := MergeCheckpoints(merged, ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	sh := Shard{Index: 1, Count: 4}
+	lo, hi := sh.Bounds(n)
+	within, err := ProgressWithin(merged, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if within.Pending != 0 || within.Done != hi-lo || within.Start != lo || within.End != hi {
+		t.Fatalf("slice 1/4 of the merged file: %+v, want %d done in [%d, %d)", within, hi-lo, lo, hi)
+	}
+	other, err := ProgressWithin(merged, Shard{Index: 2, Count: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Done != 0 || other.Pending == 0 {
+		t.Fatalf("slice 2/4 should be untouched: %+v", other)
+	}
+
+	// A zero shard means the whole file — identical to Progress.
+	whole, err := ProgressWithin(merged, Shard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Progress(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Done != plain.Done || whole.Pending != plain.Pending || whole.Done != hi-lo {
+		t.Fatalf("zero-shard ProgressWithin %+v disagrees with Progress %+v", whole, plain)
+	}
+
+	// The window overrides the file's own label: asking the sharded source
+	// checkpoint about a different slice counts that slice's statuses.
+	foreign, err := ProgressWithin(ckpt, Shard{Index: 2, Count: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if foreign.Done != 0 {
+		t.Fatalf("slice 2/4 of the shard-1 file reports %d done", foreign.Done)
+	}
+
+	if _, err := ProgressWithin(merged, Shard{Index: 9, Count: 4}); err == nil {
+		t.Fatal("invalid shard accepted")
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io/fs"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"carbonexplorer/internal/explorer"
 	"carbonexplorer/internal/timeseries"
@@ -54,6 +56,15 @@ type Options struct {
 	// NoRetries (or any negative value) disables retries so a single
 	// failure is final.
 	Retries int
+	// RetryBackoff is the base delay before each retry pass: attempt k
+	// waits base<<(k-1) with deterministic jitter (seeded from the space
+	// hash, see BackoffDelay) before re-evaluating, so a transiently
+	// failing backend gets breathing room instead of an immediate
+	// re-hammering — and an interrupted-and-resumed sweep re-derives the
+	// exact same schedule. The zero value means the default of 25ms; a
+	// negative value restores immediate retries. Delays cap at 100× the
+	// base.
+	RetryBackoff time.Duration
 	// Shard, when non-zero, restricts this run to its contiguous i/N slice
 	// of the enumeration (Shard.Bounds over the full design list). The
 	// checkpoint still covers the whole space — designs outside the slice
@@ -76,6 +87,12 @@ func (o Options) withDefaults() Options {
 		o.Retries = 1
 	case o.Retries < 0:
 		o.Retries = 0
+	}
+	switch {
+	case o.RetryBackoff == 0:
+		o.RetryBackoff = 25 * time.Millisecond
+	case o.RetryBackoff < 0:
+		o.RetryBackoff = 0
 	}
 	return o
 }
@@ -221,6 +238,9 @@ func Run(ctx context.Context, in *explorer.Inputs, space explorer.Space, strateg
 	for attempt := 1; ctxErr == nil && attempt <= opts.Retries; attempt++ {
 		idxs := r.indicesWithStatus(statusFailedOnce)
 		if len(idxs) == 0 {
+			break
+		}
+		if ctxErr = r.retryBackoff(ctx, attempt); ctxErr != nil {
 			break
 		}
 		ctxErr = r.pass(ctx, idxs, true, attempt == opts.Retries)
@@ -390,6 +410,32 @@ func (r *runner) pass(ctx context.Context, idxs []int, retry, final bool) error 
 		}
 	}
 	return nil
+}
+
+// retryBackoff waits out the jittered exponential delay before retry pass
+// `attempt`, honoring cancellation. The jitter seed is the sweep's space
+// hash, so resumed and repeated runs of the same sweep wait identical
+// spans — retry timing can never perturb the deterministic fold.
+func (r *runner) retryBackoff(ctx context.Context, attempt int) error {
+	seed, err := strconv.ParseUint(r.hash, 16, 64)
+	if err != nil {
+		// The hash is always 16 hex digits; an unparsable one would be a
+		// programming error, but an unjittered wait is still correct.
+		seed = 0
+	}
+	d := BackoffDelay(seed, attempt, r.opts.RetryBackoff, 100*r.opts.RetryBackoff)
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		r.checkpointBestEffort()
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // errSkipped marks a design a cancelled batch never got to evaluate. It is
