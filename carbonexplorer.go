@@ -34,6 +34,7 @@ package carbonexplorer
 
 import (
 	"context"
+	"net/http"
 
 	"carbonexplorer/internal/battery"
 	"carbonexplorer/internal/carbon"
@@ -45,6 +46,7 @@ import (
 	"carbonexplorer/internal/grid"
 	"carbonexplorer/internal/netzero"
 	"carbonexplorer/internal/scheduler"
+	"carbonexplorer/internal/serve"
 	"carbonexplorer/internal/sweep"
 	"carbonexplorer/internal/timeseries"
 	"carbonexplorer/internal/units"
@@ -436,4 +438,54 @@ func EnsembleEvaluate(site Site, d Design, years int) (EnsembleResult, error) {
 // weather years.
 func EnsembleEvaluateContext(ctx context.Context, site Site, d Design, years int) (EnsembleResult, error) {
 	return explorer.EnsembleEvaluateContext(ctx, site, d, years)
+}
+
+// Read-optimized serving layer (internal/serve): finished sweep checkpoints
+// load into an immutable in-memory index that answers
+// optimum-under-constraints, Pareto-frontier, per-region comparison, and
+// chart queries — lock-free and allocation-free on the hot read path. See
+// docs/SERVING.md for the HTTP API this backs.
+type (
+	// ServeIndex is an immutable set of loaded sweeps keyed by space hash.
+	ServeIndex = serve.Index
+	// ServeSnapshot is one loaded sweep, frozen into query-ready form.
+	ServeSnapshot = serve.Snapshot
+	// ServePoint is one queryable frontier design with its capital cost.
+	ServePoint = serve.Point
+	// ServeQuery constrains an optimum query; ServeUnconstrained fields
+	// impose nothing.
+	ServeQuery = serve.Query
+	// ServeOptions configures index construction (cost model, inputs
+	// source); the zero value uses the defaults.
+	ServeOptions = serve.Options
+	// SweepCheckpoint is the validated, read-only view of a sweep
+	// checkpoint file.
+	SweepCheckpoint = sweep.Checkpoint
+)
+
+// ErrServeInfeasible reports that no frontier design satisfies a
+// ServeQuery's constraints.
+var ErrServeInfeasible = serve.ErrInfeasible
+
+// ServeUnconstrained marks a ServeQuery field as absent (it is NaN; any NaN
+// works).
+var ServeUnconstrained = serve.Unconstrained
+
+// LoadServeIndex builds an immutable query index from sweep checkpoint
+// files — per-shard, merged, or coordinator-produced. Files describing the
+// same space hash are rejected; fold them first with MergeSweepCheckpoints.
+func LoadServeIndex(paths []string, opts ServeOptions) (*ServeIndex, error) {
+	return serve.Load(paths, opts)
+}
+
+// ServeHandler exposes the index's query API over HTTP — the handler behind
+// `carbonexplorer serve`. Endpoints, schemas, and error codes are
+// documented in docs/SERVING.md.
+func ServeHandler(ix *ServeIndex) http.Handler { return serve.Handler(ix) }
+
+// ReadSweepCheckpoint loads and validates one checkpoint file without
+// resuming it: progress counts, the running optimum, and the Pareto
+// frontier, for tooling that inspects sweeps without re-evaluating designs.
+func ReadSweepCheckpoint(path string) (*SweepCheckpoint, error) {
+	return sweep.ReadCheckpoint(path)
 }

@@ -1,0 +1,134 @@
+package main
+
+// Documentation drift tests: every carbonexplorer command line quoted in
+// the markdown docs must use flags the binary actually defines, and every
+// relative link must resolve. Both run in the CI docs job, so a renamed
+// flag or moved file fails the build instead of rotting in the docs.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// repoRoot is the repository root relative to this package's directory.
+const repoRoot = "../.."
+
+// docFiles lists every markdown file the drift tests hold to the binary:
+// the README plus everything under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{filepath.Join(repoRoot, "README.md")}
+	matches, err := filepath.Glob(filepath.Join(repoRoot, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(matches)
+	files = append(files, matches...)
+	if len(files) < 2 {
+		t.Fatalf("expected README.md plus docs/*.md, found only %v", files)
+	}
+	return files
+}
+
+// commandLineRE finds `carbonexplorer <subcommand> ...` invocations in doc
+// text — inside fenced sh blocks, inline code spans, and prose.
+var commandLineRE = regexp.MustCompile(`carbonexplorer\s+([a-z-]+)([^\n` + "`" + `)]*)`)
+
+// flagTokenRE extracts -flag tokens from an invocation's argument text.
+var flagTokenRE = regexp.MustCompile(`(^|\s)-([a-zA-Z][a-zA-Z0-9-]*)`)
+
+// TestDocCommandFlagsExist asserts that every flag a doc shows on a
+// carbonexplorer command line is defined by that subcommand, via the same
+// flag constructors the binary parses with (commandFlagSets). A flag
+// renamed in main.go without a docs sweep — or a typo in a doc example —
+// fails here.
+func TestDocCommandFlagsExist(t *testing.T) {
+	sets := commandFlagSets()
+	checked := 0
+	for _, path := range docFiles(t) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range commandLineRE.FindAllStringSubmatch(string(data), -1) {
+			sub, rest := m[1], m[2]
+			fs, known := sets[sub]
+			if !known {
+				// Not a subcommand (e.g. "carbonexplorer binary" in prose).
+				continue
+			}
+			for _, fm := range flagTokenRE.FindAllStringSubmatch(rest, -1) {
+				name := fm[2]
+				if fs.Lookup(name) == nil {
+					t.Errorf("%s: `carbonexplorer %s` uses -%s, which the %s subcommand does not define",
+						filepath.Base(path), sub, name, sub)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no flags found in any doc command line; the extraction regex has drifted from the docs")
+	}
+}
+
+// TestDocsCoverEverySubcommand asserts the operator docs mention each
+// subcommand at least once, so a new subcommand ships documented.
+func TestDocsCoverEverySubcommand(t *testing.T) {
+	var all strings.Builder
+	for _, path := range docFiles(t) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all.Write(data)
+		all.WriteByte('\n')
+	}
+	text := all.String()
+	for sub := range commandFlagSets() {
+		if !strings.Contains(text, "carbonexplorer "+sub) {
+			t.Errorf("subcommand %q appears nowhere in README.md or docs/*.md", sub)
+		}
+	}
+}
+
+// markdownLinkRE matches [text](target) links; images share the syntax.
+var markdownLinkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocRelativeLinksResolve asserts every relative link in README.md and
+// docs/*.md points at a file that exists, so renames and moves cannot leave
+// dangling references.
+func TestDocRelativeLinksResolve(t *testing.T) {
+	checked := 0
+	for _, path := range docFiles(t) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range markdownLinkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve (%v)", filepath.Base(path), m[1], err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links found in any doc; the link regex has drifted from the docs")
+	}
+}

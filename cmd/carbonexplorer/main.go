@@ -14,6 +14,8 @@
 //	carbonexplorer coordinate -listen :8080 -state coordinator-state
 //	carbonexplorer optimize -site UT -strategy all -workers 4 -coordinate http://host:8080
 //	carbonexplorer merge -out merged.json shard1.json shard2.json shard3.json
+//	carbonexplorer serve -listen :8090 merged.json
+//	carbonexplorer serve -listen :8090 -state coordinator-state
 //	carbonexplorer figure 8
 //
 // optimize runs as a streaming sweep (internal/sweep): memory is bounded by
@@ -44,6 +46,13 @@
 // directory — the mode is auto-detected from the prefix. The coordinator's
 // state survives its own restarts; workers ride through a short outage via
 // retries with backoff.
+//
+// serve is the read side of the system: it loads finished (or in-progress)
+// checkpoints — per-shard, merged, or a coordinator's state directory via
+// -state — into an immutable in-memory index and answers
+// optimum-under-constraints, Pareto-frontier, comparison, and chart queries
+// over HTTP at in-memory speed (internal/serve). See docs/SERVING.md for
+// the API reference.
 package main
 
 import (
@@ -55,7 +64,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -64,6 +72,7 @@ import (
 	"carbonexplorer/internal/experiments"
 	"carbonexplorer/internal/explorer"
 	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/serve"
 	"carbonexplorer/internal/sweep"
 )
 
@@ -96,6 +105,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdCoordinate(ctx, args[1:])
 	case "merge":
 		return cmdMerge(args[1:])
+	case "serve":
+		return cmdServe(ctx, args[1:])
 	case "figure":
 		return cmdFigure(args[1:])
 	case "study":
@@ -141,6 +152,10 @@ subcommands:
                share one sweep; state survives coordinator restarts
   merge        fold shard checkpoints into one (-out merged.json shard1.json ...);
                the merged checkpoint resumes with optimize -resume
+  serve        load checkpoints into an immutable in-memory index and answer
+               optimum/frontier/compare/chart queries over HTTP
+               (-listen :8090; -state <dir> serves a coordinator's merged
+               checkpoint; see docs/SERVING.md)
   figure       regenerate a paper figure/table (1,3,4,5,6,7,8,9,10,11,12,14,15,16)
   study        run an analysis study: dod | cas-gains | total-reduction |
                netzero | forecast | battery-tech | tiered | geo | dispatch |
@@ -161,11 +176,21 @@ func siteInputs(id string) (*explorer.Inputs, error) {
 	return explorer.NewInputs(site)
 }
 
+// Every subcommand declares its flags in a single <cmd>Flags constructor,
+// shared between the run path and commandFlagSets — so the flag sets that
+// tests (and the docs-drift check) enumerate are, by construction, exactly
+// the flags the binary accepts.
+
+func coverageFlags(fs *flag.FlagSet) (siteID *string, wind, solar *float64) {
+	siteID = fs.String("site", "UT", "site ID (see 'sites')")
+	wind = fs.Float64("wind", 0, "wind investment, MW")
+	solar = fs.Float64("solar", 0, "solar investment, MW")
+	return
+}
+
 func cmdCoverage(args []string) error {
 	fs := flag.NewFlagSet("coverage", flag.ContinueOnError)
-	siteID := fs.String("site", "UT", "site ID (see 'sites')")
-	wind := fs.Float64("wind", 0, "wind investment, MW")
-	solar := fs.Float64("solar", 0, "solar investment, MW")
+	siteID, wind, solar := coverageFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -185,15 +210,20 @@ func cmdCoverage(args []string) error {
 	return nil
 }
 
+func evaluateFlags(fs *flag.FlagSet) (siteID *string, wind, solar, batteryHours, dod, flex, extraCap *float64) {
+	siteID = fs.String("site", "UT", "site ID")
+	wind = fs.Float64("wind", 0, "wind investment, MW")
+	solar = fs.Float64("solar", 0, "solar investment, MW")
+	batteryHours = fs.Float64("battery-hours", 0, "battery capacity in hours of average compute")
+	dod = fs.Float64("dod", 1.0, "battery depth of discharge (0,1]")
+	flex = fs.Float64("flex", 0, "flexible workload ratio [0,1]")
+	extraCap = fs.Float64("extra-capacity", 0, "extra server capacity fraction of peak")
+	return
+}
+
 func cmdEvaluate(args []string) error {
 	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
-	siteID := fs.String("site", "UT", "site ID")
-	wind := fs.Float64("wind", 0, "wind investment, MW")
-	solar := fs.Float64("solar", 0, "solar investment, MW")
-	batteryHours := fs.Float64("battery-hours", 0, "battery capacity in hours of average compute")
-	dod := fs.Float64("dod", 1.0, "battery depth of discharge (0,1]")
-	flex := fs.Float64("flex", 0, "flexible workload ratio [0,1]")
-	extraCap := fs.Float64("extra-capacity", 0, "extra server capacity fraction of peak")
+	siteID, wind, solar, batteryHours, dod, flex, extraCap := evaluateFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -243,21 +273,26 @@ func printOutcome(siteID string, o explorer.Outcome) {
 	}
 }
 
+func optimizeFlags(fs *flag.FlagSet) (siteID, strategyName *string, timeout *time.Duration, checkpoint *string, resume *bool, batch, retries *int, shardSpec *string, workers *int, coordinate *string, leases *int, heartbeat, leaseTTL *time.Duration) {
+	siteID = fs.String("site", "UT", "site ID")
+	strategyName = fs.String("strategy", "all", "renewables | battery | cas | all")
+	timeout = fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit), printing partial results")
+	checkpoint = fs.String("checkpoint", "", "persist sweep progress to this file (JSON, versioned); an interrupted sweep can continue with -resume")
+	resume = fs.Bool("resume", false, "resume the sweep recorded in -checkpoint instead of starting over")
+	batch = fs.Int("batch", 0, "designs evaluated per batch — the peak number of outcomes held in memory (0 = default)")
+	retries = fs.Int("retries", 1, "times a failed design is re-evaluated before being excluded (0 = a single failure is final)")
+	shardSpec = fs.String("shard", "", "evaluate only slice i/N of the design space (e.g. 2/3); shard checkpoints fold together with 'merge'")
+	workers = fs.Int("workers", 0, "coordinate a work-stealing sweep with N workers instead of the single-process engine (0 = single-process)")
+	coordinate = fs.String("coordinate", "", "multi-process coordination: a lease directory shared by all workers, or a coordinator URL (http://host:8080, see the 'coordinate' subcommand); killed workers' leases are stolen and resumed either way")
+	leases = fs.Int("leases", 0, "leases the coordinated space is split into (0 = 8 per worker); more leases = finer stealing granularity")
+	heartbeat = fs.Duration("heartbeat", 0, "how often a coordinated worker refreshes its claimed lease's liveness (0 = 1s default)")
+	leaseTTL = fs.Duration("lease-ttl", 0, "how stale a lease's heartbeat must be before another worker steals it (0 = 10× heartbeat); must be at least 3× the heartbeat")
+	return
+}
+
 func cmdOptimize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
-	siteID := fs.String("site", "UT", "site ID")
-	strategyName := fs.String("strategy", "all", "renewables | battery | cas | all")
-	timeout := fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit), printing partial results")
-	checkpoint := fs.String("checkpoint", "", "persist sweep progress to this file (JSON, versioned); an interrupted sweep can continue with -resume")
-	resume := fs.Bool("resume", false, "resume the sweep recorded in -checkpoint instead of starting over")
-	batch := fs.Int("batch", 0, "designs evaluated per batch — the peak number of outcomes held in memory (0 = default)")
-	retries := fs.Int("retries", 1, "times a failed design is re-evaluated before being excluded (0 = a single failure is final)")
-	shardSpec := fs.String("shard", "", "evaluate only slice i/N of the design space (e.g. 2/3); shard checkpoints fold together with 'merge'")
-	workers := fs.Int("workers", 0, "coordinate a work-stealing sweep with N workers instead of the single-process engine (0 = single-process)")
-	coordinate := fs.String("coordinate", "", "multi-process coordination: a lease directory shared by all workers, or a coordinator URL (http://host:8080, see the 'coordinate' subcommand); killed workers' leases are stolen and resumed either way")
-	leases := fs.Int("leases", 0, "leases the coordinated space is split into (0 = 8 per worker); more leases = finer stealing granularity")
-	heartbeat := fs.Duration("heartbeat", 0, "how often a coordinated worker refreshes its claimed lease's liveness (0 = 1s default)")
-	leaseTTL := fs.Duration("lease-ttl", 0, "how stale a lease's heartbeat must be before another worker steals it (0 = 10× heartbeat); must be at least 3× the heartbeat")
+	siteID, strategyName, timeout, checkpoint, resume, batch, retries, shardSpec, workers, coordinate, leases, heartbeat, leaseTTL := optimizeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -357,7 +392,7 @@ func cmdOptimize(ctx context.Context, args []string) error {
 	}
 	ckptPath := *checkpoint
 	if leaseDir != "" && ckptPath == "" {
-		ckptPath = filepath.Join(leaseDir, "merged.json")
+		ckptPath = coordinator.MergedCheckpointPath(leaseDir)
 	}
 	var res sweep.Result
 	if coordinated {
@@ -450,13 +485,18 @@ func cmdOptimize(ctx context.Context, args []string) error {
 // machine join with `optimize -coordinate http://host:port`; all state
 // persists in the -state directory, so killing and restarting the
 // coordinator (same flags, same directory) resumes the fleet.
+func coordinateFlags(fs *flag.FlagSet) (listen, state *string, ttl *time.Duration, leases *int, progressEvery *time.Duration) {
+	listen = fs.String("listen", "", "address to serve the coordinator API on, e.g. :8080 (required)")
+	state = fs.String("state", "coordinator-state", "state directory: lease records, per-lease checkpoints, and the merged checkpoint live here and survive restarts")
+	ttl = fs.Duration("lease-ttl", 10*time.Second, "how stale a worker's heartbeat must be before its lease is stolen; must be at least 3× the workers' heartbeat interval")
+	leases = fs.Int("leases", 0, "pin the lease count (0 = the first registering worker's proposal wins)")
+	progressEvery = fs.Duration("progress", 10*time.Second, "how often to print fleet progress (0 = never)")
+	return
+}
+
 func cmdCoordinate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("coordinate", flag.ContinueOnError)
-	listen := fs.String("listen", "", "address to serve the coordinator API on, e.g. :8080 (required)")
-	state := fs.String("state", "coordinator-state", "state directory: lease records, per-lease checkpoints, and the merged checkpoint live here and survive restarts")
-	ttl := fs.Duration("lease-ttl", 10*time.Second, "how stale a worker's heartbeat must be before its lease is stolen; must be at least 3× the workers' heartbeat interval")
-	leases := fs.Int("leases", 0, "pin the lease count (0 = the first registering worker's proposal wins)")
-	progressEvery := fs.Duration("progress", 10*time.Second, "how often to print fleet progress (0 = never)")
+	listen, state, ttl, leases, progressEvery := coordinateFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -516,9 +556,14 @@ func cmdCoordinate(ctx context.Context, args []string) error {
 
 // cmdMerge folds shard checkpoint files into one merged checkpoint that
 // `optimize -resume` accepts, printing per-shard and merged progress.
+func mergeFlags(fs *flag.FlagSet) (out *string) {
+	out = fs.String("out", "", "path for the merged checkpoint (required)")
+	return
+}
+
 func cmdMerge(args []string) error {
 	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
-	out := fs.String("out", "", "path for the merged checkpoint (required)")
+	out := mergeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -560,6 +605,92 @@ func cmdMerge(args []string) error {
 		fmt.Printf("sweep incomplete; finish it with: optimize -checkpoint %s -resume (matching -site/-strategy)\n", *out)
 	}
 	return nil
+}
+
+func serveFlags(fs *flag.FlagSet) (listen, state *string) {
+	listen = fs.String("listen", "", "address to serve the query API on, e.g. :8090 (required)")
+	state = fs.String("state", "", "coordination state (or lease) directory whose merged checkpoint to serve, in addition to any positional checkpoint files")
+	return
+}
+
+// cmdServe loads finished sweep checkpoints into an immutable in-memory
+// index (internal/serve) and answers read-only queries over HTTP until
+// interrupted. Positional arguments are checkpoint files; -state points at
+// a coordinator's directory and serves the merged checkpoint a
+// `coordinate`-run fleet produced there.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	listen, state := serveFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listen == "" {
+		return fmt.Errorf("flag -listen: address is required")
+	}
+	paths := fs.Args()
+	if *state != "" {
+		paths = append(paths, coordinator.MergedCheckpointPath(*state))
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: carbonexplorer serve -listen :8090 [-state coordinator-state] [checkpoint.json ...]")
+	}
+	ix, err := serve.Load(paths, serve.Options{})
+	if err != nil {
+		return err
+	}
+	for _, s := range ix.Snapshots() {
+		status := "complete"
+		if !s.Complete() {
+			status = fmt.Sprintf("incomplete, %d/%d designs done", s.Done, s.Designs)
+		}
+		fmt.Printf("serving %s: site %s, strategy %s, %d frontier designs (%s)\n",
+			s.SpaceHash, s.Site, s.Strategy, len(s.Frontier()), status)
+	}
+	srv := &http.Server{Addr: *listen, Handler: serve.Handler(ix)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("query API listening on %s (%d sweeps); endpoints are documented in docs/SERVING.md\n",
+		*listen, ix.Len())
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutting down query API: %w", err)
+		}
+		<-errc
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return fmt.Errorf("query API server: %w", err)
+	}
+}
+
+// commandFlagSets builds a fresh flag set per subcommand through the same
+// constructors the run path uses, so what it reports cannot drift from what
+// the binary accepts. Flagless subcommands map to an empty set. Tests use
+// this to hold documentation to the real flag surface.
+func commandFlagSets() map[string]*flag.FlagSet {
+	registrars := map[string]func(*flag.FlagSet){
+		"sites":      func(*flag.FlagSet) {},
+		"coverage":   func(fs *flag.FlagSet) { coverageFlags(fs) },
+		"evaluate":   func(fs *flag.FlagSet) { evaluateFlags(fs) },
+		"optimize":   func(fs *flag.FlagSet) { optimizeFlags(fs) },
+		"coordinate": func(fs *flag.FlagSet) { coordinateFlags(fs) },
+		"merge":      func(fs *flag.FlagSet) { mergeFlags(fs) },
+		"serve":      func(fs *flag.FlagSet) { serveFlags(fs) },
+		"figure":     func(*flag.FlagSet) {},
+		"study":      func(fs *flag.FlagSet) { studyFlags(fs) },
+	}
+	out := make(map[string]*flag.FlagSet, len(registrars))
+	for name, register := range registrars {
+		fs := flag.NewFlagSet(name, flag.ContinueOnError)
+		register(fs)
+		out[name] = fs
+	}
+	return out
 }
 
 func cmdFigure(args []string) error {
@@ -625,10 +756,15 @@ func cmdFigure(args []string) error {
 	}
 }
 
+func studyFlags(fs *flag.FlagSet) (siteID *string, ratio *float64) {
+	siteID = fs.String("site", "UT", "site ID for single-site studies")
+	ratio = fs.Float64("migratable", 0.3, "migratable load ratio for the geo study")
+	return
+}
+
 func cmdStudy(args []string) error {
 	fs := flag.NewFlagSet("study", flag.ContinueOnError)
-	siteID := fs.String("site", "UT", "site ID for single-site studies")
-	ratio := fs.Float64("migratable", 0.3, "migratable load ratio for the geo study")
+	siteID, ratio := studyFlags(fs)
 	if len(args) == 0 {
 		return fmt.Errorf("usage: carbonexplorer study <name> [flags]")
 	}

@@ -2,9 +2,14 @@ package carbonexplorer_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 
 	"carbonexplorer"
 )
@@ -129,6 +134,99 @@ func ExampleCoordinateSweep() {
 	// Output:
 	// 2 workers drained 8 leases, evaluated 16 designs
 	// optimum: 60 MW wind + 0 MW solar
+}
+
+// ExampleLoadServeIndex walks the full precompute-then-serve path: a sweep
+// persists its checkpoint, LoadServeIndex freezes the checkpoint into an
+// immutable query index, and both the Go API and the HTTP API answer
+// optimum-under-constraints queries from it — without re-evaluating a
+// single design. See docs/SERVING.md for the HTTP API reference.
+func ExampleLoadServeIndex() {
+	site := carbonexplorer.MustSite("UT")
+	n := 240 // ten synthetic days
+	demand := carbonexplorer.ConstantSeries(n, 12)
+	wind := carbonexplorer.GenerateSeries(n, func(h int) float64 {
+		return 0.5 + 0.4*math.Sin(2*math.Pi*float64(h)/31)
+	})
+	solar := carbonexplorer.GenerateSeries(n, func(h int) float64 {
+		if h%24 >= 7 && h%24 < 17 {
+			return 0.9
+		}
+		return 0
+	})
+	ci := carbonexplorer.ConstantSeries(n, 400)
+	in, err := carbonexplorer.NewInputsFromSeries(site, demand, wind, solar, ci,
+		carbonexplorer.DefaultEmbodiedParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "serve-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Precompute: sweep the grid and persist the checkpoint.
+	ckpt := filepath.Join(dir, "sweep.json")
+	space := carbonexplorer.Space{
+		WindMW:  []float64{0, 20, 40, 60},
+		SolarMW: []float64{0, 20, 40, 60},
+	}
+	_, err = carbonexplorer.RunSweep(context.Background(), in, space,
+		carbonexplorer.RenewablesOnly, carbonexplorer.SweepOptions{
+			Checkpoint: carbonexplorer.SweepCheckpointOptions{Path: ckpt},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve: load the checkpoint into an immutable index. The Inputs hook
+	// reuses the in-memory inputs so the example stays deterministic; the
+	// default (nil) resolves sites through the shared experiments cache.
+	ix, err := carbonexplorer.LoadServeIndex([]string{ckpt}, carbonexplorer.ServeOptions{
+		Inputs: func(string) (*carbonexplorer.Inputs, error) { return in, nil },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap := ix.Snapshots()[0]
+	fmt.Printf("serving site %s: %d designs swept, %d on the frontier\n",
+		snap.Site, snap.Designs, len(snap.Frontier()))
+
+	// Query in-process: the carbon optimum under a capital budget.
+	p, err := snap.Optimum(carbonexplorer.ServeQuery{
+		MaxCostUSD:     30e6,
+		MinCoveragePct: carbonexplorer.ServeUnconstrained,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimum under $30M: %.0f MW wind + %.0f MW solar ($%.1fM)\n",
+		p.Outcome.Design.WindMW, p.Outcome.Design.SolarMW, p.CostUSD/1e6)
+
+	// Query over HTTP: the same answer from the serve API.
+	srv := httptest.NewServer(carbonexplorer.ServeHandler(ix))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/sweeps/" + snap.SpaceHash + "/optimum?max_cost_usd=30e6")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Optimum struct {
+			Design  carbonexplorer.Design `json:"design"`
+			CostUSD float64               `json:"cost_usd"`
+		} `json:"optimum"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HTTP %d: %.0f MW wind + %.0f MW solar ($%.1fM)\n",
+		resp.StatusCode, got.Optimum.Design.WindMW, got.Optimum.Design.SolarMW, got.Optimum.CostUSD/1e6)
+	// Output:
+	// serving site UT: 16 designs swept, 5 on the frontier
+	// optimum under $30M: 20 MW wind + 0 MW solar ($27.0M)
+	// HTTP 200: 20 MW wind + 0 MW solar ($27.0M)
 }
 
 // ExampleNetZeroSummarize shows the Net Zero vs 24/7 accounting gap on a

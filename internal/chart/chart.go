@@ -122,6 +122,72 @@ func Plot(lines []Line, width, height int) string {
 	return b.String()
 }
 
+// Scatter renders x/y point pairs as a height×width ASCII chart, positioning
+// each point by its x value rather than its sample index — the right shape
+// for Pareto frontiers and other (x, y) curves with uneven x spacing. The
+// two slices must have equal length; NaN pairs are skipped. Degenerate input
+// (no finite points, width < 8, height < 2) yields an empty string.
+func Scatter(xs, ys []float64, width, height int, mark rune) string {
+	if len(xs) != len(ys) || len(xs) == 0 || width < 8 || height < 2 {
+		return ""
+	}
+	if mark == 0 {
+		mark = '*'
+	}
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) {
+			continue
+		}
+		xlo, xhi = math.Min(xlo, xs[i]), math.Max(xhi, xs[i])
+		ylo, yhi = math.Min(ylo, ys[i]), math.Max(yhi, ys[i])
+	}
+	if math.IsInf(xlo, 1) {
+		return ""
+	}
+	if xhi <= xlo {
+		xhi = xlo + 1
+	}
+	if yhi <= ylo {
+		yhi = ylo + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) {
+			continue
+		}
+		col := int((xs[i] - xlo) / (xhi - xlo) * float64(width-1))
+		row := height - 1 - int((ys[i]-ylo)/(yhi-ylo)*float64(height-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][col] = mark
+	}
+
+	var b strings.Builder
+	for r := 0; r < height; r++ {
+		yVal := yhi - (yhi-ylo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10.1f |%s\n", yVal, string(grid[r]))
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "%s%-10.1f%*.1f\n", strings.Repeat(" ", 12), xlo, width-10, xhi)
+	return b.String()
+}
+
 // resample averages values into exactly width buckets (or pads with NaN
 // when the series is shorter than width, leaving gaps).
 func resample(values []float64, width int) []float64 {

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -112,7 +111,7 @@ func (o Options) withDefaults(n int) Options {
 		o.Worker = fmt.Sprintf("pid%d", os.Getpid())
 	}
 	if o.LeaseDir != "" && o.Checkpoint == "" {
-		o.Checkpoint = filepath.Join(o.LeaseDir, "merged.json")
+		o.Checkpoint = MergedCheckpointPath(o.LeaseDir)
 	}
 	return o
 }

@@ -248,7 +248,7 @@ func runNetwork(ctx context.Context, in *explorer.Inputs, space explorer.Space, 
 	}
 	ckpt := opts.Checkpoint
 	if ckpt == "" {
-		ckpt = filepath.Join(staging, "merged.json")
+		ckpt = MergedCheckpointPath(staging)
 	}
 	if err := sweep.WriteFileAtomic(ckpt, data); err != nil {
 		return sweep.Result{}, err

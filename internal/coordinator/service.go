@@ -243,8 +243,15 @@ func NewService(stateDir string, opts ServiceOptions) (*Service, error) {
 // statePath is the persisted registration record.
 func (s *Service) statePath() string { return filepath.Join(s.dir, "state.json") }
 
+// MergedCheckpointPath returns the merged sweep checkpoint path inside a
+// coordination state (or lease) directory. Both coordination modes fold
+// shard checkpoints into this file; downstream consumers — `optimize
+// -resume`, `serve -state` — read it from here rather than guessing the
+// name.
+func MergedCheckpointPath(stateDir string) string { return filepath.Join(stateDir, "merged.json") }
+
 // mergedPath is the merged sweep checkpoint.
-func (s *Service) mergedPath() string { return filepath.Join(s.dir, "merged.json") }
+func (s *Service) mergedPath() string { return MergedCheckpointPath(s.dir) }
 
 // loadState restores a previous coordinator's registration, if present.
 func (s *Service) loadState() error {

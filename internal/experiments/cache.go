@@ -16,8 +16,14 @@ var (
 	inputCache = map[string]*explorer.Inputs{}
 )
 
-// siteInputs returns cached inputs for a site.
-func siteInputs(id string) (*explorer.Inputs, error) {
+// SiteInputs returns process-lifetime-cached evaluation inputs for one of
+// the paper's sites, built with the default demand and embodied models. The
+// first call per site simulates a full grid year; every later call — from
+// any experiment generator or from the serving layer pricing checkpoint
+// designs — returns the same immutable *Inputs. Callers must treat the
+// result as read-only, which is what makes the cache safe to share across
+// goroutines.
+func SiteInputs(id string) (*explorer.Inputs, error) {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	if in, ok := inputCache[id]; ok {
@@ -34,6 +40,10 @@ func siteInputs(id string) (*explorer.Inputs, error) {
 	inputCache[id] = in
 	return in, nil
 }
+
+// siteInputs is the historical unexported spelling used throughout the
+// experiment generators.
+func siteInputs(id string) (*explorer.Inputs, error) { return SiteInputs(id) }
 
 // cisoProfile is a California-ISO-like grid used by Figures 1 and 4: a
 // hybrid grid with heavy solar, meaningful wind, and a high renewable share

@@ -1,0 +1,26 @@
+// Package serve turns finished sweep checkpoints into a read-optimized
+// query API: the batch side of the system spends hours evaluating a design
+// space (internal/sweep, internal/coordinator), and this package serves the
+// distilled result — optimum-under-constraints, Pareto-frontier slices,
+// per-region comparisons, chart-ready JSON — at in-memory speed.
+//
+// The design is precompute-heavy, serve-cheap. Load reads one or more
+// checkpoint files (sweep.ReadCheckpoint), prices every frontier design
+// (internal/cost against the site's cached inputs), and builds per-sweep
+// sorted arrays with prefix-argmin tables. After Load returns, the Index is
+// immutable: every query is answered by binary searches over those arrays —
+// never by re-scanning designs — and the hot read path (Snapshot.Optimum,
+// Snapshot.FrontierBounds) performs zero allocations, so one core sustains
+// well over 10⁵ queries per second (see BENCH_serve.json).
+//
+// Reads are lock-free by construction, not by cleverness: the index is
+// fully built before the *Index pointer is returned, nothing mutates it
+// afterwards, and Go's memory model makes everything that happened before a
+// goroutine is started visible to that goroutine — so an http.Server
+// started after Load needs no synchronization at all. New checkpoints are
+// served by building a new Index, not by mutating a live one.
+//
+// Handler exposes the index over HTTP (stdlib Go 1.22 ServeMux, JSON
+// responses, typed error codes); docs/SERVING.md documents every endpoint
+// with request/response schemas and a worked transcript.
+package serve

@@ -1,0 +1,448 @@
+package serve
+
+// HTTP transport: a stdlib-only JSON API over the immutable Index. Every
+// response body is JSON — errors included, with stable machine-readable
+// codes — so clients dispatch on structure, never on message text. The
+// handlers hold no locks and touch no mutable state; see doc.go for why
+// that is sound.
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+
+	"carbonexplorer/internal/chart"
+	"carbonexplorer/internal/explorer"
+)
+
+// Error is the wire form of a request failure.
+type Error struct {
+	// Code is a stable, machine-readable failure class (see the errCode
+	// constants and docs/SERVING.md).
+	Code string `json:"code"`
+	// Message is the server-side error text, for humans and logs.
+	Message string `json:"message"`
+}
+
+// Wire error codes, documented in docs/SERVING.md.
+const (
+	errCodeUnknownSweep = "unknown_sweep"      // 404: no loaded sweep has that space hash
+	errCodeBadParam     = "bad_param"          // 400: unparsable or non-finite query parameter
+	errCodeInfeasible   = "infeasible"         // 422: no frontier design satisfies the constraints
+	errCodeMethod       = "method_not_allowed" // 405: known route, wrong HTTP method
+	errCodeUnknownRoute = "unknown_route"      // 404: no such route
+)
+
+// chartWidth/chartHeight bound the ASCII chart dimensions a client may
+// request; beyond these the chart stops being a terminal artifact.
+const (
+	chartWidthMax  = 400
+	chartHeightMax = 120
+)
+
+// sweepJSON summarizes one loaded sweep.
+type sweepJSON struct {
+	SpaceHash    string  `json:"space_hash"`
+	Site         string  `json:"site"`
+	Strategy     int     `json:"strategy"`
+	StrategyName string  `json:"strategy_name"`
+	Designs      int     `json:"designs"`
+	Done         int     `json:"done"`
+	Pending      int     `json:"pending"`
+	Failed       int     `json:"failed"`
+	Complete     bool    `json:"complete"`
+	FrontierSize int     `json:"frontier_size"`
+	PeakDemandMW float64 `json:"peak_demand_mw"`
+}
+
+// pointJSON is one priced frontier design on the wire.
+type pointJSON struct {
+	Design        explorer.Design `json:"design"`
+	CoveragePct   float64         `json:"coverage_pct"`
+	OperationalG  float64         `json:"operational_g"`
+	EmbodiedG     float64         `json:"embodied_g"`
+	TotalG        float64         `json:"total_g"`
+	GridEnergyMWh float64         `json:"grid_energy_mwh"`
+	CostUSD       float64         `json:"cost_usd"`
+}
+
+// queryJSON echoes the constraints a query was answered under; absent
+// fields were unconstrained.
+type queryJSON struct {
+	MaxCostUSD     *float64 `json:"max_cost_usd,omitempty"`
+	MinCoveragePct *float64 `json:"min_coverage_pct,omitempty"`
+}
+
+// optimumJSON answers an optimum-under-constraints query.
+type optimumJSON struct {
+	SpaceHash string    `json:"space_hash"`
+	Site      string    `json:"site"`
+	Query     queryJSON `json:"query"`
+	Optimum   pointJSON `json:"optimum"`
+}
+
+// frontierJSON answers a Pareto-frontier slice query.
+type frontierJSON struct {
+	SpaceHash    string      `json:"space_hash"`
+	Site         string      `json:"site"`
+	FrontierSize int         `json:"frontier_size"`
+	Offset       int         `json:"offset"`
+	Points       []pointJSON `json:"points"`
+}
+
+// chartJSON is chart-ready frontier data: parallel arrays ordered by
+// increasing embodied carbon, plus a terminal-renderable ASCII scatter of
+// the (embodied, operational) trade-off.
+type chartJSON struct {
+	SpaceHash    string    `json:"space_hash"`
+	Site         string    `json:"site"`
+	StrategyName string    `json:"strategy_name"`
+	EmbodiedG    []float64 `json:"embodied_g"`
+	OperationalG []float64 `json:"operational_g"`
+	TotalG       []float64 `json:"total_g"`
+	CoveragePct  []float64 `json:"coverage_pct"`
+	CostUSD      []float64 `json:"cost_usd"`
+	ASCII        string    `json:"ascii"`
+}
+
+// compareEntryJSON is one region's answer in a cross-sweep comparison.
+type compareEntryJSON struct {
+	SpaceHash    string     `json:"space_hash"`
+	Site         string     `json:"site"`
+	StrategyName string     `json:"strategy_name"`
+	Feasible     bool       `json:"feasible"`
+	Optimum      *pointJSON `json:"optimum,omitempty"`
+}
+
+// compareJSON answers a per-region comparison query.
+type compareJSON struct {
+	Query   queryJSON          `json:"query"`
+	Regions []compareEntryJSON `json:"regions"`
+}
+
+// healthJSON answers the health probe.
+type healthJSON struct {
+	Status string `json:"status"`
+	Sweeps int    `json:"sweeps"`
+}
+
+// Handler returns the read-only query API over the index:
+//
+//	GET /v1/sweeps                      -> [sweepJSON]
+//	GET /v1/sweeps/{hash}               -> sweepJSON
+//	GET /v1/sweeps/{hash}/optimum       -> optimumJSON   ?max_cost_usd= &min_coverage_pct=
+//	GET /v1/sweeps/{hash}/frontier      -> frontierJSON  ?min_embodied_g= &max_embodied_g= &offset= &limit=
+//	GET /v1/sweeps/{hash}/chart         -> chartJSON     ?width= &height=
+//	GET /v1/compare                     -> compareJSON   ?max_cost_usd= &min_coverage_pct=
+//	GET /v1/healthz                     -> healthJSON
+//
+// Failures return 4xx with an Error body; every code is stable and
+// documented in docs/SERVING.md. The handler reads only immutable state,
+// so it is safe for any number of concurrent requests with no locking.
+func Handler(ix *Index) http.Handler {
+	mux := http.NewServeMux()
+	route := func(path string, h http.HandlerFunc) {
+		mux.HandleFunc("GET "+path, h)
+		// A method-specific pattern is more specific than the bare one, so
+		// GETs route to h and every other method lands here with a typed
+		// 405 instead of the mux's plain-text default.
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			writeError(w, http.StatusMethodNotAllowed, errCodeMethod,
+				r.Method+" is not allowed here; this API is read-only (GET)")
+		})
+	}
+	route("/v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		out := make([]sweepJSON, 0, ix.Len())
+		for _, s := range ix.Snapshots() {
+			out = append(out, sweepSummary(s))
+		}
+		writeJSON(w, out)
+	})
+	route("/v1/sweeps/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := ix.Snapshot(r.PathValue("hash"))
+		if !ok {
+			writeUnknownSweep(w, r.PathValue("hash"))
+			return
+		}
+		writeJSON(w, sweepSummary(s))
+	})
+	route("/v1/sweeps/{hash}/optimum", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := ix.Snapshot(r.PathValue("hash"))
+		if !ok {
+			writeUnknownSweep(w, r.PathValue("hash"))
+			return
+		}
+		q, qj, err := parseQuery(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errCodeBadParam, err.Error())
+			return
+		}
+		p, err := s.Optimum(q)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, errCodeInfeasible, err.Error())
+			return
+		}
+		writeJSON(w, optimumJSON{SpaceHash: s.SpaceHash, Site: s.Site, Query: qj, Optimum: pointWire(p)})
+	})
+	route("/v1/sweeps/{hash}/frontier", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := ix.Snapshot(r.PathValue("hash"))
+		if !ok {
+			writeUnknownSweep(w, r.PathValue("hash"))
+			return
+		}
+		minE, err := floatParam(r, "min_embodied_g")
+		if err == nil {
+			var maxE float64
+			maxE, err = floatParam(r, "max_embodied_g")
+			if err == nil {
+				var offset, limit int
+				offset, err = intParam(r, "offset", 0)
+				if err == nil {
+					limit, err = intParam(r, "limit", -1)
+					if err == nil {
+						lo, hi := s.FrontierBounds(minE, maxE)
+						writeJSON(w, frontierSlice(s, lo, hi, offset, limit))
+						return
+					}
+				}
+			}
+		}
+		writeError(w, http.StatusBadRequest, errCodeBadParam, err.Error())
+	})
+	route("/v1/sweeps/{hash}/chart", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := ix.Snapshot(r.PathValue("hash"))
+		if !ok {
+			writeUnknownSweep(w, r.PathValue("hash"))
+			return
+		}
+		width, err := intParam(r, "width", 60)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errCodeBadParam, err.Error())
+			return
+		}
+		height, err := intParam(r, "height", 16)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errCodeBadParam, err.Error())
+			return
+		}
+		if width > chartWidthMax || height > chartHeightMax {
+			writeError(w, http.StatusBadRequest, errCodeBadParam,
+				"chart dimensions exceed the "+strconv.Itoa(chartWidthMax)+"x"+strconv.Itoa(chartHeightMax)+" limit")
+			return
+		}
+		writeJSON(w, chartWire(s, width, height))
+	})
+	route("/v1/compare", func(w http.ResponseWriter, r *http.Request) {
+		q, qj, err := parseQuery(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errCodeBadParam, err.Error())
+			return
+		}
+		out := compareJSON{Query: qj, Regions: make([]compareEntryJSON, 0, ix.Len())}
+		for _, s := range ix.Snapshots() {
+			e := compareEntryJSON{SpaceHash: s.SpaceHash, Site: s.Site, StrategyName: s.Strategy.String()}
+			if p, err := s.Optimum(q); err == nil {
+				pw := pointWire(p)
+				e.Feasible, e.Optimum = true, &pw
+			}
+			out.Regions = append(out.Regions, e)
+		}
+		// Feasible regions first, by ascending total carbon — the ranking a
+		// site-selection client wants — then infeasible ones in index order.
+		sortCompare(out.Regions)
+		writeJSON(w, out)
+	})
+	route("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, healthJSON{Status: "ok", Sweeps: ix.Len()})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, errCodeUnknownRoute,
+			"no such route; see docs/SERVING.md for the API surface")
+	})
+	return mux
+}
+
+// sweepSummary builds the wire summary of one snapshot.
+func sweepSummary(s *Snapshot) sweepJSON {
+	return sweepJSON{
+		SpaceHash:    s.SpaceHash,
+		Site:         s.Site,
+		Strategy:     int(s.Strategy),
+		StrategyName: s.Strategy.String(),
+		Designs:      s.Designs,
+		Done:         s.Done,
+		Pending:      s.Pending,
+		Failed:       s.FailedOnce + s.FailedPerm,
+		Complete:     s.Complete(),
+		FrontierSize: len(s.points),
+		PeakDemandMW: s.PeakDemandMW,
+	}
+}
+
+// pointWire converts a priced frontier point to its wire form.
+func pointWire(p Point) pointJSON {
+	return pointJSON{
+		Design:        p.Outcome.Design,
+		CoveragePct:   p.Outcome.CoveragePct,
+		OperationalG:  float64(p.Outcome.Operational),
+		EmbodiedG:     float64(p.Outcome.Embodied),
+		TotalG:        float64(p.Outcome.Total()),
+		GridEnergyMWh: p.Outcome.GridEnergyMWh,
+		CostUSD:       p.CostUSD,
+	}
+}
+
+// frontierSlice applies offset/limit paging to the [lo, hi) bound range and
+// builds the wire response. limit < 0 means no limit.
+func frontierSlice(s *Snapshot, lo, hi, offset, limit int) frontierJSON {
+	out := frontierJSON{SpaceHash: s.SpaceHash, Site: s.Site, FrontierSize: len(s.points)}
+	if offset > 0 {
+		lo += offset
+		if lo > hi {
+			lo = hi
+		}
+	}
+	if limit >= 0 && lo+limit < hi {
+		hi = lo + limit
+	}
+	out.Offset = lo
+	out.Points = make([]pointJSON, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out.Points = append(out.Points, pointWire(s.points[i]))
+	}
+	return out
+}
+
+// chartWire builds the chart-ready frontier arrays plus the ASCII scatter.
+func chartWire(s *Snapshot, width, height int) chartJSON {
+	n := len(s.points)
+	out := chartJSON{
+		SpaceHash:    s.SpaceHash,
+		Site:         s.Site,
+		StrategyName: s.Strategy.String(),
+		EmbodiedG:    make([]float64, n),
+		OperationalG: make([]float64, n),
+		TotalG:       make([]float64, n),
+		CoveragePct:  make([]float64, n),
+		CostUSD:      make([]float64, n),
+	}
+	for i, p := range s.points {
+		out.EmbodiedG[i] = float64(p.Outcome.Embodied)
+		out.OperationalG[i] = float64(p.Outcome.Operational)
+		out.TotalG[i] = float64(p.Outcome.Total())
+		out.CoveragePct[i] = p.Outcome.CoveragePct
+		out.CostUSD[i] = p.CostUSD
+	}
+	out.ASCII = chart.Scatter(out.EmbodiedG, out.OperationalG, width, height, '*')
+	return out
+}
+
+// sortCompare orders comparison entries: feasible first by (total carbon,
+// site), then infeasible by site — an insertion sort, since region counts
+// are tiny and the entries carry nested pointers a sort.Slice closure would
+// box.
+func sortCompare(entries []compareEntryJSON) {
+	less := func(a, b *compareEntryJSON) bool {
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		if a.Feasible && a.Optimum.TotalG != b.Optimum.TotalG { //carbonlint:allow floatcmp exact-bits sort key keeps comparison order deterministic
+			return a.Optimum.TotalG < b.Optimum.TotalG
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.SpaceHash < b.SpaceHash
+	}
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && less(&entries[j], &entries[j-1]); j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+}
+
+// parseQuery reads the shared constraint parameters, returning both the
+// query and its wire echo.
+func parseQuery(r *http.Request) (Query, queryJSON, error) {
+	q := Query{MaxCostUSD: Unconstrained, MinCoveragePct: Unconstrained}
+	var qj queryJSON
+	v, err := floatParam(r, "max_cost_usd")
+	if err != nil {
+		return q, qj, err
+	}
+	if !math.IsNaN(v) {
+		cost := v
+		q.MaxCostUSD = cost
+		qj.MaxCostUSD = &cost
+	}
+	v, err = floatParam(r, "min_coverage_pct")
+	if err != nil {
+		return q, qj, err
+	}
+	if !math.IsNaN(v) {
+		cov := v
+		q.MinCoveragePct = cov
+		qj.MinCoveragePct = &cov
+	}
+	return q, qj, nil
+}
+
+// floatParam parses an optional float query parameter. Absent returns NaN
+// with no error; present-but-unparsable or non-finite (strconv accepts
+// "NaN" and "Inf", which would silently mean "unconstrained") is an error.
+func floatParam(r *http.Request, name string) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return math.NaN(), errors.New("parameter " + name + ": " + strconv.Quote(raw) + " is not a finite number")
+	}
+	return v, nil
+}
+
+// intParam parses an optional non-negative integer query parameter,
+// returning def when absent.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, errors.New("parameter " + name + ": " + strconv.Quote(raw) + " is not a non-negative integer")
+	}
+	return v, nil
+}
+
+// writeUnknownSweep answers a request naming a space hash the index does
+// not hold.
+func writeUnknownSweep(w http.ResponseWriter, hash string) {
+	writeError(w, http.StatusNotFound, errCodeUnknownSweep,
+		"no loaded sweep has space hash "+strconv.Quote(hash)+"; GET /v1/sweeps lists what is served")
+}
+
+// writeJSON writes resp with a 200.
+func writeJSON(w http.ResponseWriter, resp any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, errCodeBadParam, err.Error())
+		return
+	}
+	_, _ = w.Write(data)
+}
+
+// writeError writes a JSON Error body with the given status.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(Error{Code: code, Message: message})
+	if err != nil {
+		return
+	}
+	_, _ = w.Write(data)
+}

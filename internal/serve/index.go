@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"carbonexplorer/internal/cost"
+	"carbonexplorer/internal/experiments"
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/sweep"
+)
+
+// Point is one queryable design: a Pareto-frontier outcome priced with the
+// capital-cost model. Points are immutable once the index is built.
+type Point struct {
+	// Outcome is the design's evaluated result (BatterySoC trace empty, as
+	// in every checkpoint).
+	Outcome explorer.Outcome
+	// CostUSD is the design's capital expenditure under the index's cost
+	// params, converted at the site's default demand model.
+	CostUSD float64
+}
+
+// Options configures index construction. The zero value is ready to use.
+type Options struct {
+	// Cost prices frontier designs; the zero value means cost.Default().
+	Cost cost.Params
+	// Inputs returns evaluation inputs for a site identifier; the serving
+	// layer only reads PeakDemandMW from them, to convert a design's
+	// extra-capacity fraction into server capex. Nil means the
+	// process-lifetime cache shared with the experiment generators
+	// (experiments.SiteInputs). Substitute a stub in tests to avoid the
+	// grid-year simulation.
+	Inputs func(site string) (*explorer.Inputs, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cost == (cost.Params{}) {
+		o.Cost = cost.Default()
+	}
+	if o.Inputs == nil {
+		o.Inputs = experiments.SiteInputs
+	}
+	return o
+}
+
+// Snapshot is one loaded checkpoint, frozen into query-ready form: the
+// frontier sorted by embodied carbon, plus sorted cost and coverage views
+// with prefix-argmin tables so single-constraint optimum queries are two
+// array lookups after a binary search. All fields and slices are immutable
+// after Load; callers must not modify what accessors return.
+type Snapshot struct {
+	// Path is the checkpoint file the snapshot was loaded from.
+	Path string
+	// SpaceHash fingerprints the sweep; it is the index key.
+	SpaceHash string
+	// Site is the swept site's short identifier.
+	Site string
+	// Strategy is the swept strategy.
+	Strategy explorer.Strategy
+	// Designs, Done, Pending, FailedOnce, and FailedPerm mirror the
+	// checkpoint's space-wide progress accounting.
+	Designs, Done, Pending, FailedOnce, FailedPerm int
+	// PeakDemandMW is the site's baseline peak demand, used for capex
+	// conversion.
+	PeakDemandMW float64
+
+	// points is the priced frontier, sorted by increasing embodied carbon
+	// (ties by operational), matching the checkpoint's frontier order.
+	points []Point
+	// embodied[i] == points[i].Outcome.Embodied, for frontier-slice
+	// binary searches.
+	embodied []float64
+	// costAsc is every point's CostUSD in ascending order; costBest[k] is
+	// the index (into points) of the best outcome among the k+1 cheapest
+	// points — so the optimum under "cost ≤ x" is points[costBest[count-1]]
+	// where count is the number of points with cost ≤ x.
+	costAsc  []float64
+	costBest []int32
+	// covDesc is every point's CoveragePct in descending order; covBest[k]
+	// is the index of the best outcome among the k+1 highest-coverage
+	// points.
+	covDesc []float64
+	covBest []int32
+	// bestAll is the index of the unconstrained optimum (argmin total
+	// carbon, ties toward higher coverage), or -1 for an empty frontier.
+	bestAll int32
+}
+
+// Complete reports whether the underlying sweep has no work left.
+func (s *Snapshot) Complete() bool { return s.Pending == 0 && s.FailedOnce == 0 }
+
+// Frontier returns the priced Pareto frontier, sorted by increasing
+// embodied carbon. The slice is shared with the index — read-only.
+func (s *Snapshot) Frontier() []Point { return s.points }
+
+// Index is an immutable set of snapshots keyed by space hash. Build one
+// with Load; reads need no locks (see the package documentation for the
+// memory model).
+type Index struct {
+	byHash map[string]*Snapshot
+	// ordered lists snapshots sorted by (site, strategy, hash), so listing
+	// and comparison endpoints are deterministic regardless of load order.
+	ordered []*Snapshot
+}
+
+// Load builds an index from finished (or in-progress) sweep checkpoint
+// files: per-shard, merged, or coordinator-produced — any file the engine
+// itself would accept. Two files describing the same space hash are
+// rejected; merge them first (sweep.MergeCheckpoints) so the index serves
+// one authoritative fold per space.
+func Load(paths []string, opts Options) (*Index, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("serve: no checkpoint files given")
+	}
+	opts = opts.withDefaults()
+	ix := &Index{byHash: make(map[string]*Snapshot, len(paths))}
+	for _, path := range paths {
+		ck, err := sweep.ReadCheckpoint(path)
+		if err != nil {
+			return nil, err
+		}
+		if prev, ok := ix.byHash[ck.SpaceHash]; ok {
+			return nil, fmt.Errorf("serve: %s and %s describe the same sweep (space hash %s); merge them first",
+				path, prev.Path, ck.SpaceHash)
+		}
+		snap, err := buildSnapshot(ck, opts)
+		if err != nil {
+			return nil, fmt.Errorf("serve: indexing %s: %w", path, err)
+		}
+		ix.byHash[ck.SpaceHash] = snap
+		ix.ordered = append(ix.ordered, snap)
+	}
+	sort.Slice(ix.ordered, func(i, j int) bool {
+		a, b := ix.ordered[i], ix.ordered[j]
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		if a.Strategy != b.Strategy {
+			return a.Strategy < b.Strategy
+		}
+		return a.SpaceHash < b.SpaceHash
+	})
+	return ix, nil
+}
+
+// Snapshot returns the snapshot for a space hash.
+func (ix *Index) Snapshot(hash string) (*Snapshot, bool) {
+	s, ok := ix.byHash[hash]
+	return s, ok
+}
+
+// Snapshots lists every snapshot, sorted by (site, strategy, hash). The
+// slice is shared with the index — read-only.
+func (ix *Index) Snapshots() []*Snapshot { return ix.ordered }
+
+// Len returns the number of loaded sweeps.
+func (ix *Index) Len() int { return len(ix.ordered) }
+
+// buildSnapshot freezes one checkpoint into query-ready form: price every
+// frontier point, then precompute the sorted views and prefix-argmin
+// tables the constraint queries binary-search.
+func buildSnapshot(ck *sweep.Checkpoint, opts Options) (*Snapshot, error) {
+	in, err := opts.Inputs(ck.Site)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		Path:         ck.Path,
+		SpaceHash:    ck.SpaceHash,
+		Site:         ck.Site,
+		Strategy:     ck.Strategy,
+		Designs:      ck.Designs,
+		Done:         ck.Done,
+		Pending:      ck.Pending,
+		FailedOnce:   ck.FailedOnce,
+		FailedPerm:   ck.FailedPerm,
+		PeakDemandMW: in.PeakDemandMW(),
+		bestAll:      -1,
+	}
+	s.points = make([]Point, len(ck.Frontier))
+	s.embodied = make([]float64, len(ck.Frontier))
+	for i, o := range ck.Frontier {
+		capex, err := opts.Cost.DesignCapex(o.Design, s.PeakDemandMW)
+		if err != nil {
+			return nil, fmt.Errorf("pricing frontier design %d: %w", i, err)
+		}
+		s.points[i] = Point{Outcome: o, CostUSD: capex.Total()}
+		s.embodied[i] = float64(o.Embodied)
+	}
+
+	n := len(s.points)
+	if n == 0 {
+		return s, nil
+	}
+	for i := range s.points {
+		if s.bestAll < 0 || betterPoint(&s.points[i], &s.points[s.bestAll]) {
+			s.bestAll = int32(i)
+		}
+	}
+
+	byCost := sortedView(n, func(a, b int) bool { return s.points[a].CostUSD < s.points[b].CostUSD })
+	s.costAsc = make([]float64, n)
+	s.costBest = prefixArgmin(s.points, byCost)
+	for k, i := range byCost {
+		s.costAsc[k] = s.points[i].CostUSD
+	}
+
+	byCov := sortedView(n, func(a, b int) bool {
+		return s.points[a].Outcome.CoveragePct > s.points[b].Outcome.CoveragePct
+	})
+	s.covDesc = make([]float64, n)
+	s.covBest = prefixArgmin(s.points, byCov)
+	for k, i := range byCov {
+		s.covDesc[k] = s.points[i].Outcome.CoveragePct
+	}
+	return s, nil
+}
+
+// sortedView returns the point indices 0..n-1 permuted by less. The sort is
+// stable, so key ties preserve embodied order and queries stay
+// deterministic.
+func sortedView(n int, less func(a, b int) bool) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+	return idx
+}
+
+// prefixArgmin computes, for each prefix of the permuted order, the index
+// of the best point (betterPoint) seen so far — the table a constrained
+// optimum query reads after binary-searching its constraint boundary.
+func prefixArgmin(points []Point, order []int) []int32 {
+	out := make([]int32, len(order))
+	best := -1
+	for k, i := range order {
+		if best < 0 || betterPoint(&points[i], &points[best]) {
+			best = i
+		}
+		out[k] = int32(best)
+	}
+	return out
+}

@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/explorer"
+	"carbonexplorer/internal/grid"
+	"carbonexplorer/internal/sweep"
+	"carbonexplorer/internal/timeseries"
+)
+
+// testInputs builds small deterministic inputs (ten synthetic days) so
+// sweeps and pricing run in milliseconds without the grid-year simulation.
+func testInputs(t testing.TB) *explorer.Inputs {
+	t.Helper()
+	site := grid.MustSite("UT")
+	n := 240
+	demand := timeseries.Constant(n, 12)
+	wind := timeseries.Generate(n, func(h int) float64 {
+		return 0.5 + 0.4*math.Sin(2*math.Pi*float64(h)/31)
+	})
+	solar := timeseries.Generate(n, func(h int) float64 {
+		if h%24 >= 7 && h%24 < 17 {
+			return 0.9
+		}
+		return 0
+	})
+	ci := timeseries.Constant(n, 400)
+	in, err := explorer.NewInputsFromSeries(site, demand, wind, solar, ci, carbon.DefaultEmbodiedParams())
+	if err != nil {
+		t.Fatalf("building test inputs: %v", err)
+	}
+	return in
+}
+
+// testSpace is a small grid with distinct wind/solar/battery points so the
+// frontier has several designs with different costs and coverages.
+func testSpace() explorer.Space {
+	return explorer.Space{
+		WindMW:       []float64{0, 20, 40, 60},
+		SolarMW:      []float64{0, 20, 40},
+		BatteryHours: []float64{0, 2},
+		DoD:          0.8,
+	}
+}
+
+// testCheckpoint sweeps the space and returns the checkpoint path plus the
+// sweep's own result for cross-checking.
+func testCheckpoint(t testing.TB, in *explorer.Inputs) (string, sweep.Result) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	res, err := sweep.Run(context.Background(), in, testSpace(), explorer.RenewablesBattery, sweep.Options{
+		Checkpoint: sweep.CheckpointOptions{Path: path},
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	return path, res
+}
+
+// testOptions wires the in-memory inputs so tests never touch the site
+// cache.
+func testOptions(in *explorer.Inputs) Options {
+	return Options{Inputs: func(string) (*explorer.Inputs, error) { return in, nil }}
+}
+
+func loadTestIndex(t testing.TB) (*Index, *Snapshot, sweep.Result) {
+	t.Helper()
+	in := testInputs(t)
+	path, res := testCheckpoint(t, in)
+	ix, err := Load([]string{path}, testOptions(in))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	snap, ok := ix.Snapshot(ix.Snapshots()[0].SpaceHash)
+	if !ok {
+		t.Fatal("snapshot lookup by its own hash failed")
+	}
+	return ix, snap, res
+}
+
+func TestLoadSnapshotMirrorsCheckpoint(t *testing.T) {
+	_, snap, res := loadTestIndex(t)
+	if !snap.Complete() {
+		t.Errorf("finished sweep loaded as incomplete: %+v", snap)
+	}
+	if snap.Site != "UT" || snap.Strategy != explorer.RenewablesBattery {
+		t.Errorf("snapshot identity = (%s, %v), want (UT, RenewablesBattery)", snap.Site, snap.Strategy)
+	}
+	if snap.Done != res.Report.Evaluated {
+		t.Errorf("Done = %d, want %d evaluated", snap.Done, res.Report.Evaluated)
+	}
+	if len(snap.Frontier()) != len(res.Frontier) {
+		t.Fatalf("frontier size = %d, want %d", len(snap.Frontier()), len(res.Frontier))
+	}
+	for i, p := range snap.Frontier() {
+		if p.Outcome.Design != res.Frontier[i].Design {
+			t.Errorf("frontier[%d].Design = %+v, want %+v", i, p.Outcome.Design, res.Frontier[i].Design)
+		}
+		if p.CostUSD < 0 || math.IsNaN(p.CostUSD) {
+			t.Errorf("frontier[%d] priced at %v", i, p.CostUSD)
+		}
+	}
+}
+
+func TestOptimumUnconstrainedMatchesSweep(t *testing.T) {
+	_, snap, res := loadTestIndex(t)
+	p, err := snap.Optimum(Query{MaxCostUSD: Unconstrained, MinCoveragePct: Unconstrained})
+	if err != nil {
+		t.Fatalf("Optimum: %v", err)
+	}
+	if p.Outcome.Design != res.Optimal.Design {
+		t.Errorf("unconstrained optimum %+v, want the sweep's optimal %+v", p.Outcome.Design, res.Optimal.Design)
+	}
+}
+
+// bruteOptimum is the O(n) reference the precomputed tables must agree
+// with on every constraint combination.
+func bruteOptimum(points []Point, q Query) (Point, bool) {
+	best := -1
+	for i := range points {
+		p := &points[i]
+		if !math.IsNaN(q.MaxCostUSD) && p.CostUSD > q.MaxCostUSD {
+			continue
+		}
+		if !math.IsNaN(q.MinCoveragePct) && p.Outcome.CoveragePct < q.MinCoveragePct {
+			continue
+		}
+		if best < 0 || betterPoint(p, &points[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Point{}, false
+	}
+	return points[best], true
+}
+
+func TestOptimumAgreesWithBruteForce(t *testing.T) {
+	_, snap, _ := loadTestIndex(t)
+	pts := snap.Frontier()
+	// Probe budgets and coverage floors at, between, and beyond every
+	// frontier value, in all constraint combinations.
+	costs := []float64{Unconstrained, -1, 0}
+	covs := []float64{Unconstrained, 0, 101}
+	for _, p := range pts {
+		costs = append(costs, p.CostUSD, p.CostUSD*0.999, p.CostUSD*1.001)
+		covs = append(covs, p.Outcome.CoveragePct, p.Outcome.CoveragePct-0.01, p.Outcome.CoveragePct+0.01)
+	}
+	for _, c := range costs {
+		for _, v := range covs {
+			q := Query{MaxCostUSD: c, MinCoveragePct: v}
+			want, feasible := bruteOptimum(pts, q)
+			got, err := snap.Optimum(q)
+			if !feasible {
+				if !errors.Is(err, ErrInfeasible) {
+					t.Fatalf("Optimum(%+v) = %+v, %v; want ErrInfeasible", q, got, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("Optimum(%+v): %v; brute force found %+v", q, err, want.Outcome.Design)
+			}
+			if got.Outcome.Design != want.Outcome.Design {
+				t.Errorf("Optimum(%+v) = %+v, want %+v", q, got.Outcome.Design, want.Outcome.Design)
+			}
+		}
+	}
+}
+
+func TestFrontierBounds(t *testing.T) {
+	_, snap, _ := loadTestIndex(t)
+	pts := snap.Frontier()
+	if len(pts) < 2 {
+		t.Fatalf("test frontier too small: %d points", len(pts))
+	}
+	lo, hi := snap.FrontierBounds(Unconstrained, Unconstrained)
+	if lo != 0 || hi != len(pts) {
+		t.Errorf("unbounded FrontierBounds = [%d, %d), want [0, %d)", lo, hi, len(pts))
+	}
+	for i := range pts {
+		e := float64(pts[i].Outcome.Embodied)
+		lo, hi = snap.FrontierBounds(e, e)
+		for k := lo; k < hi; k++ {
+			if float64(pts[k].Outcome.Embodied) != e {
+				t.Errorf("FrontierBounds(%v, %v) includes embodied %v", e, e, pts[k].Outcome.Embodied)
+			}
+		}
+		if lo >= hi {
+			t.Errorf("FrontierBounds(%v, %v) empty, but point %d has that embodied value", e, e, i)
+		}
+	}
+	if lo, hi := snap.FrontierBounds(math.Inf(1)/2, Unconstrained); lo != hi {
+		t.Errorf("min above every embodied value: got non-empty [%d, %d)", lo, hi)
+	}
+}
+
+func TestLoadRejectsDuplicatesAndEmpty(t *testing.T) {
+	in := testInputs(t)
+	path, _ := testCheckpoint(t, in)
+	if _, err := Load(nil, testOptions(in)); err == nil {
+		t.Error("Load(nil) succeeded, want error")
+	}
+	_, err := Load([]string{path, path}, testOptions(in))
+	if err == nil || !strings.Contains(err.Error(), "merge them first") {
+		t.Errorf("duplicate-hash Load error = %v, want a merge-them-first rejection", err)
+	}
+}
+
+// decodeError reads a wire Error body.
+func decodeError(t *testing.T, resp *http.Response) Error {
+	t.Helper()
+	defer resp.Body.Close()
+	var e Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decoding error body: %v", err)
+	}
+	return e
+}
+
+// TestHandlerErrors is the malformed-request table: every row is a request
+// the API must refuse with the documented status and typed code (see
+// docs/SERVING.md).
+func TestHandlerErrors(t *testing.T) {
+	ix, snap, _ := loadTestIndex(t)
+	srv := httptest.NewServer(Handler(ix))
+	defer srv.Close()
+	opt := "/v1/sweeps/" + snap.SpaceHash + "/optimum"
+	cases := []struct {
+		name   string
+		method string
+		url    string
+		status int
+		code   string
+	}{
+		{"unknown space hash", "GET", "/v1/sweeps/nope", http.StatusNotFound, "unknown_sweep"},
+		{"unknown hash on optimum", "GET", "/v1/sweeps/nope/optimum", http.StatusNotFound, "unknown_sweep"},
+		{"contradictory constraints", "GET", opt + "?max_cost_usd=0&min_coverage_pct=100", http.StatusUnprocessableEntity, "infeasible"},
+		{"budget below cheapest", "GET", opt + "?max_cost_usd=-5", http.StatusUnprocessableEntity, "infeasible"},
+		{"non-numeric cost", "GET", opt + "?max_cost_usd=cheap", http.StatusBadRequest, "bad_param"},
+		{"NaN cost", "GET", opt + "?max_cost_usd=NaN", http.StatusBadRequest, "bad_param"},
+		{"infinite coverage", "GET", opt + "?min_coverage_pct=+Inf", http.StatusBadRequest, "bad_param"},
+		{"non-numeric frontier bound", "GET", "/v1/sweeps/" + snap.SpaceHash + "/frontier?min_embodied_g=low", http.StatusBadRequest, "bad_param"},
+		{"negative frontier limit", "GET", "/v1/sweeps/" + snap.SpaceHash + "/frontier?limit=-2", http.StatusBadRequest, "bad_param"},
+		{"fractional chart width", "GET", "/v1/sweeps/" + snap.SpaceHash + "/chart?width=8.5", http.StatusBadRequest, "bad_param"},
+		{"oversized chart", "GET", "/v1/sweeps/" + snap.SpaceHash + "/chart?width=100000", http.StatusBadRequest, "bad_param"},
+		{"non-numeric compare bound", "GET", "/v1/compare?min_coverage_pct=high", http.StatusBadRequest, "bad_param"},
+		{"wrong method on listing", "POST", "/v1/sweeps", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"wrong method on optimum", "DELETE", opt, http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"wrong method on health", "PUT", "/v1/healthz", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"unknown route", "GET", "/v2/everything", http.StatusNotFound, "unknown_route"},
+		{"root", "GET", "/", http.StatusNotFound, "unknown_route"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.url, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := srv.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.status {
+				t.Errorf("%s %s: status %d, want %d", tc.method, tc.url, resp.StatusCode, tc.status)
+			}
+			if got := resp.Header.Get("Content-Type"); got != "application/json" {
+				t.Errorf("%s %s: Content-Type %q, want application/json", tc.method, tc.url, got)
+			}
+			if e := decodeError(t, resp); e.Code != tc.code {
+				t.Errorf("%s %s: code %q (%s), want %q", tc.method, tc.url, e.Code, e.Message, tc.code)
+			}
+		})
+	}
+}
+
+func TestHandlerHappyPaths(t *testing.T) {
+	ix, snap, res := loadTestIndex(t)
+	srv := httptest.NewServer(Handler(ix))
+	defer srv.Close()
+	get := func(t *testing.T, url string, into any) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: decoding: %v", url, err)
+		}
+	}
+
+	t.Run("listing", func(t *testing.T) {
+		var got []sweepJSON
+		get(t, "/v1/sweeps", &got)
+		if len(got) != 1 || got[0].SpaceHash != snap.SpaceHash || !got[0].Complete {
+			t.Errorf("listing = %+v", got)
+		}
+	})
+	t.Run("optimum", func(t *testing.T) {
+		var got optimumJSON
+		get(t, "/v1/sweeps/"+snap.SpaceHash+"/optimum", &got)
+		if got.Optimum.Design != res.Optimal.Design {
+			t.Errorf("served optimum %+v, want %+v", got.Optimum.Design, res.Optimal.Design)
+		}
+		if got.Query.MaxCostUSD != nil || got.Query.MinCoveragePct != nil {
+			t.Errorf("unconstrained query echoed constraints: %+v", got.Query)
+		}
+	})
+	t.Run("optimum echoes constraints", func(t *testing.T) {
+		var got optimumJSON
+		get(t, "/v1/sweeps/"+snap.SpaceHash+"/optimum?max_cost_usd=1e12&min_coverage_pct=0", &got)
+		if got.Query.MaxCostUSD == nil || *got.Query.MaxCostUSD != 1e12 {
+			t.Errorf("max_cost_usd echo = %v, want 1e12", got.Query.MaxCostUSD)
+		}
+		if got.Query.MinCoveragePct == nil || *got.Query.MinCoveragePct != 0 {
+			t.Errorf("min_coverage_pct echo = %v, want 0", got.Query.MinCoveragePct)
+		}
+	})
+	t.Run("frontier paging", func(t *testing.T) {
+		var all frontierJSON
+		get(t, "/v1/sweeps/"+snap.SpaceHash+"/frontier", &all)
+		if len(all.Points) != len(snap.Frontier()) {
+			t.Fatalf("unpaged frontier returned %d of %d points", len(all.Points), len(snap.Frontier()))
+		}
+		var page frontierJSON
+		get(t, "/v1/sweeps/"+snap.SpaceHash+"/frontier?offset=1&limit=2", &page)
+		if page.Offset != 1 || len(page.Points) != 2 {
+			t.Fatalf("offset=1&limit=2 gave offset %d, %d points", page.Offset, len(page.Points))
+		}
+		if page.Points[0].Design != all.Points[1].Design {
+			t.Errorf("page start %+v, want %+v", page.Points[0].Design, all.Points[1].Design)
+		}
+		var sliced frontierJSON
+		maxE := all.Points[0].EmbodiedG
+		get(t, "/v1/sweeps/"+snap.SpaceHash+"/frontier?max_embodied_g="+jsonNum(maxE), &sliced)
+		for _, p := range sliced.Points {
+			if p.EmbodiedG > maxE {
+				t.Errorf("max_embodied_g=%v returned embodied %v", maxE, p.EmbodiedG)
+			}
+		}
+	})
+	t.Run("chart", func(t *testing.T) {
+		var got chartJSON
+		get(t, "/v1/sweeps/"+snap.SpaceHash+"/chart", &got)
+		n := len(snap.Frontier())
+		if len(got.EmbodiedG) != n || len(got.OperationalG) != n || len(got.TotalG) != n ||
+			len(got.CoveragePct) != n || len(got.CostUSD) != n {
+			t.Errorf("chart arrays not parallel to the %d-point frontier: %+v", n, got)
+		}
+		if !strings.Contains(got.ASCII, "*") {
+			t.Errorf("chart ASCII rendering has no points:\n%s", got.ASCII)
+		}
+	})
+	t.Run("compare", func(t *testing.T) {
+		var got compareJSON
+		get(t, "/v1/compare", &got)
+		if len(got.Regions) != 1 || !got.Regions[0].Feasible || got.Regions[0].Optimum == nil {
+			t.Fatalf("compare = %+v", got)
+		}
+		if got.Regions[0].Optimum.Design != res.Optimal.Design {
+			t.Errorf("compare optimum %+v, want %+v", got.Regions[0].Optimum.Design, res.Optimal.Design)
+		}
+		var infeasible compareJSON
+		get(t, "/v1/compare?max_cost_usd=0&min_coverage_pct=100", &infeasible)
+		if infeasible.Regions[0].Feasible || infeasible.Regions[0].Optimum != nil {
+			t.Errorf("contradictory compare marked feasible: %+v", infeasible.Regions[0])
+		}
+	})
+	t.Run("health", func(t *testing.T) {
+		var got healthJSON
+		get(t, "/v1/healthz", &got)
+		if got.Status != "ok" || got.Sweeps != 1 {
+			t.Errorf("health = %+v", got)
+		}
+	})
+}
+
+// jsonNum formats a float the way a query parameter needs it.
+func jsonNum(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
