@@ -12,3 +12,29 @@ func wrapper() error {
 	//carbonlint:allow ctxflow fixture: documented non-cancellable wrapper, like explorer.Search
 	return leaf(context.Background())
 }
+
+// workerPool mirrors SearchContext's dispatcher: the context gates every
+// send and every worker iteration re-checks it, so cancellation stops
+// within one item's latency without each worker taking the ctx itself.
+func workerPool(ctx context.Context, n int) []error {
+	errs := make([]error, n)
+	next := make(chan int)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := range next {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	<-done
+	return errs
+}

@@ -4,7 +4,9 @@
 // checkpoints merge to exactly the single-process optimum and frontier, and
 // an interrupted run resumes to the uninterrupted result. Those proofs
 // assume the fold path — internal/sweep, internal/explorer, internal/synth,
-// internal/coordinator — computes the same bytes on every run. One stray
+// internal/coordinator, and the evaluation kernels they lean on
+// (internal/scheduler, internal/timeseries, internal/battery) — computes
+// the same bytes on every run. One stray
 // time.Now(), one draw from the process-global math/rand source, or one
 // map-iteration-order dependency silently breaks them.
 //
@@ -38,12 +40,19 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// foldPath lists the packages whose results must be bit-reproducible.
+// foldPath lists the packages whose results must be bit-reproducible. The
+// evaluation kernels (scheduler, timeseries, battery) joined when the
+// allocation-free hot path made them load-bearing for the evaluator's
+// byte-identity guarantee: a map-range or wall-clock read there would break
+// the golden-equivalence pins just as surely as one in the fold itself.
 var foldPath = map[string]bool{
 	"carbonexplorer/internal/sweep":       true,
 	"carbonexplorer/internal/explorer":    true,
 	"carbonexplorer/internal/synth":       true,
 	"carbonexplorer/internal/coordinator": true,
+	"carbonexplorer/internal/scheduler":   true,
+	"carbonexplorer/internal/timeseries":  true,
+	"carbonexplorer/internal/battery":     true,
 }
 
 // allowedFiles exempts the seeded PRNG implementation itself and the lease

@@ -34,3 +34,11 @@ func TestCoordinatorLeaseFileExempt(t *testing.T) {
 func TestCoordinatorNetworkFilesOnFoldPath(t *testing.T) {
 	linttest.Run(t, detrand.Analyzer, "testdata/netclient", "carbonexplorer/internal/coordinator")
 }
+
+func TestSchedulerKernelOnFoldPath(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/schedflag", "carbonexplorer/internal/scheduler")
+}
+
+func TestTimeseriesKernelsClean(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/kernclean", "carbonexplorer/internal/timeseries")
+}

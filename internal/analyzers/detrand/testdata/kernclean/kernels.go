@@ -1,0 +1,20 @@
+// Fixture: the flat-buffer kernels internal/timeseries contributes to the
+// hot path — slice iteration, index-order accumulation — are deterministic
+// and must produce no findings now that the package is on the fold path.
+package timeseries
+
+func scaleAddInto(dst, src []float64, k float64) float64 {
+	sum := 0.0
+	for i, v := range src {
+		term := v * k
+		dst[i] += term
+		sum += term
+	}
+	return sum
+}
+
+func zero(buf []float64) {
+	for i := range buf {
+		buf[i] = 0
+	}
+}

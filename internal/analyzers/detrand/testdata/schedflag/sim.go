@@ -1,0 +1,20 @@
+// Fixture: the evaluation kernels joined the fold path when the
+// allocation-free evaluator made them load-bearing for byte-identity —
+// nondeterminism in internal/scheduler must now be flagged.
+package scheduler
+
+import "time"
+
+func simulate(deferred map[int]float64) float64 {
+	start := time.Now() // want `time\.Now in the deterministic fold path`
+	total := float64(start.Unix())
+	for _, e := range deferred { // want `range over a map in the deterministic fold path`
+		total += e
+	}
+	return total
+}
+
+func profileWindow() time.Duration {
+	//carbonlint:allow detrand fixture: demonstrates a reasoned exemption for kernel-side instrumentation
+	return time.Since(time.Unix(0, 0))
+}

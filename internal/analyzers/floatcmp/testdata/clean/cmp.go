@@ -16,3 +16,17 @@ func tieBreak(a, b float64) bool {
 	}
 	return false
 }
+
+// memoHit mirrors the evaluator's supply memo: the key is an enumerated
+// grid value that repeats with identical bits, so exact equality is the
+// point — a near-miss must rebuild.
+func memoHit(key, memo float64) bool {
+	return key == memo //carbonlint:allow floatcmp fixture: memo key wants exact bits like the evaluator's supply cache
+}
+
+// drained mirrors the scratch ledger's full-drain test: take is either e
+// itself or a clamped copy of another value, so the bits are copied, never
+// recomputed.
+func drained(take, e float64) bool {
+	return take == e //carbonlint:allow floatcmp fixture: operands are copied bits like the deferred-ledger drain
+}

@@ -78,16 +78,29 @@ type Battery struct {
 
 // New builds a battery from params.
 func New(p Params) (*Battery, error) {
-	if err := p.Validate(); err != nil {
+	b := new(Battery)
+	if err := b.Init(p); err != nil {
 		return nil, err
+	}
+	return b, nil
+}
+
+// Init reconfigures b in place from params, restoring the initial state of
+// charge and clearing cycle accounting. It lets hot paths reuse one Battery
+// value across many simulated designs instead of allocating per design; the
+// resulting state is identical to a freshly built New(p).
+func (b *Battery) Init(p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
 	}
 	floor := (1 - p.DepthOfDischarge) * p.CapacityMWh
 	usable := p.CapacityMWh - floor
-	return &Battery{
+	*b = Battery{
 		p:      p,
 		floor:  floor,
 		energy: floor + p.InitialSoC*usable,
-	}, nil
+	}
+	return nil
 }
 
 // Capacity returns the nameplate capacity in MWh.

@@ -42,6 +42,13 @@ type Inputs struct {
 	// peakDemandMW caches Demand.MaxValue(), the baseline provisioned
 	// capacity against which extra servers are measured.
 	peakDemandMW float64
+	// windShapeMaxMW and solarShapeMaxMW cache the shapes' annual maxima —
+	// the denominators of the paper's linear-scaling rule — so the hot path
+	// does not rescan 8760 samples per design. shapeMaxCached guards the
+	// cache for Inputs values built without a constructor (package tests).
+	windShapeMaxMW  float64
+	solarShapeMaxMW float64
+	shapeMaxCached  bool
 }
 
 // Option customizes NewInputs.
@@ -173,6 +180,25 @@ func NewInputsFromSeries(site grid.Site, demand, windShape, solarShape, gridCI t
 func (in *Inputs) finish() {
 	in.demandTotalMWh = in.Demand.Sum()
 	in.peakDemandMW = in.Demand.MaxValue()
+	in.windShapeMaxMW = in.WindShape.MaxValue()
+	in.solarShapeMaxMW = in.SolarShape.MaxValue()
+	in.shapeMaxCached = true
+}
+
+// windShapeMax and solarShapeMax return the cached shape maxima, falling
+// back to a scan for Inputs built without a constructor.
+func (in *Inputs) windShapeMax() float64 {
+	if in.shapeMaxCached {
+		return in.windShapeMaxMW
+	}
+	return in.WindShape.MaxValue()
+}
+
+func (in *Inputs) solarShapeMax() float64 {
+	if in.shapeMaxCached {
+		return in.solarShapeMaxMW
+	}
+	return in.SolarShape.MaxValue()
 }
 
 // PeakDemandMW returns the baseline peak demand — the site's existing
@@ -186,19 +212,36 @@ func (in *Inputs) AvgDemandMW() float64 { return in.demandTotalMWh / float64(in.
 // solar investments using the paper's linear-scaling rule. A zero investment
 // contributes nothing; a region with no generation of a type (e.g. wind in
 // North Carolina) contributes nothing regardless of investment.
+//
+// The result is built in one buffer (no intermediate wind/solar series) and
+// is bit-identical to scaling each shape separately and adding them: zero
+// investments add exactly nothing, and x·1 and 0+x are exact in IEEE 754.
 func (in *Inputs) RenewableSupply(windMW, solarMW float64) timeseries.Series {
-	wind := timeseries.New(in.Demand.Len())
+	buf := make([]float64, in.Demand.Len())
+	in.addSupplyInto(buf, windMW, solarMW)
+	return timeseries.Adopt(buf)
+}
+
+// addSupplyInto accumulates the scaled wind and solar shapes into buf and
+// returns each source's generated energy (the ScaleToMax(...).Sum() of the
+// reference path, computed during the same pass). It is the single kernel
+// behind RenewableSupply and the Evaluator's memoized supply.
+func (in *Inputs) addSupplyInto(buf []float64, windMW, solarMW float64) (windGenMWh, solarGenMWh float64) {
 	if windMW > 0 {
-		wind = in.WindShape.ScaleToMax(windMW)
+		windGenMWh = in.WindShape.ScaleAddInto(buf, scaleToMaxFactor(in.windShapeMax(), windMW))
 	}
-	solar := timeseries.New(in.Demand.Len())
 	if solarMW > 0 {
-		solar = in.SolarShape.ScaleToMax(solarMW)
+		solarGenMWh = in.SolarShape.ScaleAddInto(buf, scaleToMaxFactor(in.solarShapeMax(), solarMW))
 	}
-	sum, err := wind.Add(solar)
-	if err != nil {
-		// Both series derive from in.Demand's length; mismatch is impossible.
-		panic(err)
+	return windGenMWh, solarGenMWh
+}
+
+// scaleToMaxFactor is ScaleToMax as a scalar: a series with no positive
+// samples is used unchanged (factor 1, exact in IEEE 754), otherwise it is
+// rescaled so its maximum equals max.
+func scaleToMaxFactor(cur, max float64) float64 {
+	if cur <= 0 {
+		return 1
 	}
-	return sum
+	return max / cur
 }

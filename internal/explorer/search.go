@@ -207,8 +207,29 @@ func (in *Inputs) SearchContext(ctx context.Context, space Space, strategy Strat
 	errs := make([]error, len(designs))
 	skipped := make([]bool, len(designs))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, d := range designs {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(designs) {
+		workers = len(designs)
+	}
+	// A fixed pool with one Evaluator per worker: designs flow through the
+	// index channel in enumeration order, so each worker sees mostly-adjacent
+	// designs and the evaluator's supply memoization stays warm.
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := in.NewEvaluator()
+			for i := range next {
+				if ctx.Err() != nil {
+					skipped[i] = true
+					continue
+				}
+				points[i], errs[i] = ev.EvaluateSafe(designs[i])
+			}
+		}()
+	}
+	for i := range designs {
 		if ctx.Err() != nil {
 			// Cancelled while dispatching: everything not yet dispatched is
 			// skipped.
@@ -217,18 +238,9 @@ func (in *Inputs) SearchContext(ctx context.Context, space Space, strategy Strat
 			}
 			break
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, d Design) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if ctx.Err() != nil {
-				skipped[i] = true
-				return
-			}
-			points[i], errs[i] = in.EvaluateSafe(d)
-		}(i, d)
+		next <- i
 	}
+	close(next)
 	wg.Wait()
 
 	res := SearchResult{Strategy: strategy}

@@ -28,6 +28,12 @@ type SimConfig struct {
 	// DeferralWindowHours is how long deferred work may wait before it is
 	// forced to run (paper: within the day, 24).
 	DeferralWindowHours int
+	// AssumeValid skips Validate: the caller guarantees the config would
+	// pass it (series finite, non-negative, equal non-zero length; scalars
+	// in range). The explorer evaluator sets it after validating its series
+	// once per run instead of re-scanning 2×8760 samples per design; leave
+	// it false anywhere the inputs are not provably clean.
+	AssumeValid bool
 }
 
 // Validate reports the first invalid field, or nil. Series must be finite
@@ -91,9 +97,15 @@ type Result struct {
 //
 // Deferred work that reaches its deadline is forced to run in that hour
 // regardless of supply, honouring its SLO.
+//
+// Simulate allocates its result traces per call and serves as the reference
+// implementation; SimulateScratch is the bit-identical allocation-free form
+// used by the sweep hot path.
 func Simulate(cfg SimConfig) (Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+	if !cfg.AssumeValid {
+		if err := cfg.Validate(); err != nil {
+			return Result{}, err
+		}
 	}
 	n := cfg.Demand.Len()
 	window := cfg.DeferralWindowHours

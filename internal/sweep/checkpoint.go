@@ -242,32 +242,34 @@ func SpaceHash(in *explorer.Inputs, strategy explorer.Strategy, designs []explor
 // fingerprint.
 func sweepHash(in *explorer.Inputs, strategy explorer.Strategy, designs []explorer.Design) string {
 	h := fnv.New64a()
-	write := func(v float64) { writeUint64(h, math.Float64bits(v)) }
+	// One reusable buffer for every write: passing a fresh array through
+	// the hash.Hash interface would heap-allocate it per field, and this
+	// runs 7 writes per design on every sweep start.
+	buf := make([]byte, 8)
+	writeUint64 := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		//carbonlint:allow errwrap hash writers (fnv) are documented never to return an error
+		h.Write(buf)
+	}
+	write := func(v float64) { writeUint64(math.Float64bits(v)) }
 	//carbonlint:allow errwrap hash.Hash.Write is documented never to return an error
 	h.Write([]byte(in.Site.ID))
-	writeUint64(h, uint64(strategy))
-	writeUint64(h, uint64(in.Demand.Len()))
+	writeUint64(uint64(strategy))
+	writeUint64(uint64(in.Demand.Len()))
 	write(in.AvgDemandMW())
-	writeUint64(h, uint64(len(designs)))
+	writeUint64(uint64(len(designs)))
 	for _, d := range designs {
 		write(d.WindMW)
 		write(d.SolarMW)
 		write(d.BatteryMWh)
 		write(d.DoD)
-		writeUint64(h, uint64(d.BatteryTech))
+		writeUint64(uint64(d.BatteryTech))
 		write(d.FlexibleRatio)
 		write(d.ExtraCapacityFrac)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
-}
-
-func writeUint64(h interface{ Write([]byte) (int, error) }, v uint64) {
-	var b [8]byte
-	for i := range b {
-		b[i] = byte(v >> (8 * i))
-	}
-	//carbonlint:allow errwrap hash writers (fnv) are documented never to return an error
-	h.Write(b[:])
 }
 
 // tmpSeq disambiguates concurrent WriteFileAtomic staging files within one

@@ -278,9 +278,12 @@ type runner struct {
 	opts     Options
 	hash     string
 
-	status    []byte
-	failErrs  map[int]error
-	best      *explorer.Outcome
+	status   []byte
+	failErrs map[int]error
+	// best is the running optimum, valid only when haveBest. A value (not a
+	// pointer) so fold never forces a heap allocation per improvement.
+	best      explorer.Outcome
+	haveBest  bool
 	frontier  explorer.ParetoSet
 	restored  int
 	retried   int
@@ -293,6 +296,14 @@ type runner struct {
 	// only consider indices inside the slice, but status, fold state, and
 	// checkpoints cover the whole space.
 	lo, hi int
+
+	// evals are the per-worker evaluators, created lazily on the first batch
+	// and reused across batches and retry passes so scratch buffers and the
+	// renewable-supply memo stay warm for the whole run. outcomes and errs
+	// are the batch result buffers, reused for the same reason.
+	evals    []*explorer.Evaluator
+	outcomes []explorer.Outcome
+	errs     []error
 }
 
 // restore loads prior progress from the checkpoint file, if resuming.
@@ -327,8 +338,8 @@ func (r *runner) restore() (bool, error) {
 	r.retried = ck.Retried
 	r.recovered = ck.Recovered
 	if ck.Best != nil {
-		o := ck.Best.outcome()
-		r.best = &o
+		r.best = ck.Best.outcome()
+		r.haveBest = true
 	}
 	for _, f := range ck.Frontier {
 		r.frontier.Add(f.outcome())
@@ -444,29 +455,61 @@ var errSkipped = fmt.Errorf("sweep: skipped by cancellation")
 
 // evalBatch evaluates one batch of designs in parallel, bounded by
 // GOMAXPROCS workers, and returns per-design outcomes and errors aligned
-// with the batch. Workers check ctx before each evaluation so cancellation
-// stops within one design's latency.
+// with the batch (the slices are the runner's reusable buffers, valid until
+// the next call). Each worker evaluates through its own persistent
+// explorer.Evaluator: designs arrive in enumeration order, so the
+// evaluator's memoized renewable supply usually survives from one design to
+// the next and the scratch buffers never reallocate. Workers check ctx
+// before each evaluation so cancellation stops within one design's latency.
 func (r *runner) evalBatch(ctx context.Context, batch []int) ([]explorer.Outcome, []error) {
-	outcomes := make([]explorer.Outcome, len(batch))
-	errs := make([]error, len(batch))
+	if cap(r.outcomes) < len(batch) {
+		r.outcomes = make([]explorer.Outcome, len(batch))
+		r.errs = make([]error, len(batch))
+	}
+	outcomes := r.outcomes[:len(batch)]
+	errs := r.errs[:len(batch)]
+	for k := range outcomes {
+		outcomes[k] = explorer.Outcome{}
+		errs[k] = nil
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(batch) {
 		workers = len(batch)
+	}
+	for len(r.evals) < workers {
+		ev := r.in.NewEvaluator()
+		// The fold drops SoC traces anyway (see fold); discarding them at
+		// the source keeps the steady-state evaluate path allocation-free.
+		ev.DiscardSoCTrace = true
+		r.evals = append(r.evals, ev)
+	}
+	if workers == 1 {
+		// Single-CPU (or single-design) batches run inline: the goroutine
+		// and channel round-trips would only add overhead.
+		ev := r.evals[0]
+		for k := range batch {
+			if ctx.Err() != nil {
+				errs[k] = errSkipped
+				continue
+			}
+			outcomes[k], errs[k] = ev.EvaluateSafe(r.designs[batch[k]])
+		}
+		return outcomes, errs
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(ev *explorer.Evaluator) {
 			defer wg.Done()
 			for k := range next {
 				if ctx.Err() != nil {
 					errs[k] = errSkipped
 					continue
 				}
-				outcomes[k], errs[k] = r.in.EvaluateSafe(r.designs[batch[k]])
+				outcomes[k], errs[k] = ev.EvaluateSafe(r.designs[batch[k]])
 			}
-		}()
+		}(r.evals[w])
 	}
 	for k := range batch {
 		next <- k
@@ -481,8 +524,9 @@ func (r *runner) evalBatch(ctx context.Context, batch []int) ([]explorer.Outcome
 // bounded by the frontier, not the grid.
 func (r *runner) fold(o explorer.Outcome) {
 	o.BatterySoC = timeseries.Series{}
-	if r.best == nil || betterOutcome(o, *r.best) {
-		r.best = &o
+	if !r.haveBest || betterOutcome(o, r.best) {
+		r.best = o
+		r.haveBest = true
 	}
 	r.frontier.Add(o)
 }
@@ -525,8 +569,8 @@ func (r *runner) checkpoint() error {
 		Retried:   r.retried,
 		Recovered: r.recovered,
 	}
-	if r.best != nil {
-		so := saveOutcome(*r.best)
+	if r.haveBest {
+		so := saveOutcome(r.best)
 		ck.Best = &so
 	}
 	for _, o := range r.frontier.Frontier() {
@@ -581,8 +625,8 @@ func (r *runner) result(resumed bool) Result {
 			res.Report.Failures = append(res.Report.Failures, explorer.DesignError{Design: r.designs[i], Err: err})
 		}
 	}
-	if r.best != nil {
-		res.Optimal = *r.best
+	if r.haveBest {
+		res.Optimal = r.best
 	}
 	res.Frontier = r.frontier.Frontier()
 	return res

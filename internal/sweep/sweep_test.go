@@ -338,6 +338,7 @@ func BenchmarkSweepDensity(b *testing.B) {
 	for _, n := range []int{4, 8, 16} {
 		b.Run(fmt.Sprintf("grid=%dx%d", n, n), func(b *testing.B) {
 			space := denseSpace(in, n)
+			designs := len(space.Enumerate(explorer.RenewablesOnly, in.AvgDemandMW()))
 			b.ReportAllocs()
 			var resident int
 			for i := 0; i < b.N; i++ {
@@ -349,6 +350,7 @@ func BenchmarkSweepDensity(b *testing.B) {
 				resident = res.Report.MaxResident
 			}
 			b.ReportMetric(float64(resident), "outcomes-resident")
+			b.ReportMetric(float64(designs)*float64(b.N)/b.Elapsed().Seconds(), "designs/sec")
 		})
 	}
 }

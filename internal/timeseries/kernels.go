@@ -1,0 +1,46 @@
+package timeseries
+
+// This file is the non-allocating tier of the package: flat []float64
+// kernels used by hot paths (the sweep evaluator) that must not allocate
+// per design. The Series API above it stays copy-on-write; callers that
+// opt into this tier take responsibility for buffer ownership.
+
+// Adopt wraps v in a Series without copying. The caller must not mutate v
+// through other references while the Series is in use by code that assumes
+// Series immutability; scratch-buffer owners (explorer.Evaluator) rely on
+// this to present reusable buffers through the read-only Series API.
+func Adopt(v []float64) Series { return Series{values: v} }
+
+// Raw returns the series' backing store without copying. The caller must
+// treat it as read-only: mutating it breaks every Series sharing the store.
+// It exists so allocation-free hot loops (scheduler.SimulateScratch, the
+// explorer evaluator's pricing pass) can index samples without a method
+// call per element; all other callers should use Values.
+func (s Series) Raw() []float64 { return s.values }
+
+// ScaleAddInto adds s[i]*k to dst[i] for every sample and returns the sum
+// of the added terms, accumulated in index order so the result is
+// bit-identical to Scale(k).Sum(). It panics if dst is shorter than s.
+// dst is not zeroed first: callers compose multiple sources into one
+// buffer (wind + solar) by chaining calls.
+func (s Series) ScaleAddInto(dst []float64, k float64) float64 {
+	if len(dst) < len(s.values) {
+		panic("timeseries: ScaleAddInto destination shorter than series")
+	}
+	sum := 0.0
+	for i, v := range s.values {
+		t := v * k
+		dst[i] += t
+		sum += t
+	}
+	return sum
+}
+
+// Zero sets every element of buf to 0. A tiny helper so scratch owners
+// reset buffers without an allocation (the compiler lowers this loop to
+// memclr).
+func Zero(buf []float64) {
+	for i := range buf {
+		buf[i] = 0
+	}
+}

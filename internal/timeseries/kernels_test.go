@@ -1,0 +1,91 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdoptAliases(t *testing.T) {
+	buf := []float64{1, 2, 3}
+	s := Adopt(buf)
+	if s.Len() != 3 || s.At(1) != 2 {
+		t.Fatalf("Adopt view wrong: len=%d", s.Len())
+	}
+	buf[1] = 9
+	if s.At(1) != 9 {
+		t.Fatal("Adopt copied instead of aliasing")
+	}
+}
+
+// TestScaleAddIntoMatchesScale proves the fused kernel is bit-identical to
+// the allocating Scale(k).Sum() composition it replaces.
+func TestScaleAddIntoMatchesScale(t *testing.T) {
+	src := Generate(500, func(h int) float64 { return math.Sin(float64(h)/7)*3 + 3.1 })
+	for _, k := range []float64{0, 0.3, 1, 2.5, 17.25} {
+		want := src.Scale(k)
+		wantSum := want.Sum()
+
+		dst := make([]float64, src.Len())
+		gotSum := src.ScaleAddInto(dst, k)
+		if math.Float64bits(gotSum) != math.Float64bits(wantSum) {
+			t.Fatalf("k=%v: sum %v != %v", k, gotSum, wantSum)
+		}
+		for i := range dst {
+			if math.Float64bits(dst[i]) != math.Float64bits(want.At(i)) {
+				t.Fatalf("k=%v sample %d: %v != %v", k, i, dst[i], want.At(i))
+			}
+		}
+	}
+}
+
+// TestScaleAddIntoAccumulates proves chained calls compose like Series.Add:
+// adding wind then solar into one buffer matches wind.Add(solar) bitwise,
+// because 0+x is exactly x and per-index adds happen in the same order.
+func TestScaleAddIntoAccumulates(t *testing.T) {
+	a := Generate(100, func(h int) float64 { return float64(h%13) * 0.7 })
+	b := Generate(100, func(h int) float64 { return float64(h%7) * 1.3 })
+	want, err := a.Scale(2).Add(b.Scale(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 100)
+	a.ScaleAddInto(dst, 2)
+	b.ScaleAddInto(dst, 0.5)
+	for i := range dst {
+		if math.Float64bits(dst[i]) != math.Float64bits(want.At(i)) {
+			t.Fatalf("sample %d: %v != %v", i, dst[i], want.At(i))
+		}
+	}
+}
+
+func TestScaleAddIntoShortDstPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short destination accepted")
+		}
+	}()
+	Constant(4, 1).ScaleAddInto(make([]float64, 3), 1)
+}
+
+func TestZero(t *testing.T) {
+	buf := []float64{1, math.NaN(), -3}
+	Zero(buf)
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("buf[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestZeroAllocsKernels(t *testing.T) {
+	src := Constant(256, 2)
+	dst := make([]float64, 256)
+	n := testing.AllocsPerRun(100, func() {
+		Zero(dst)
+		src.ScaleAddInto(dst, 1.5)
+		_ = Adopt(dst)
+	})
+	if n != 0 {
+		t.Fatalf("kernel tier allocates: %v allocs/op", n)
+	}
+}
