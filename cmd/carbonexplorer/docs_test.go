@@ -96,6 +96,36 @@ func TestDocsCoverEverySubcommand(t *testing.T) {
 	}
 }
 
+// TestDocPackageComments asserts every internal package has a doc.go whose
+// comment opens with the conventional "// Package <name>" line — the check
+// the CI docs job used to run as a shell grep.
+func TestDocPackageComments(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join(repoRoot, "internal", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		name := filepath.Base(dir)
+		data, err := os.ReadFile(filepath.Join(dir, "doc.go"))
+		if err != nil {
+			t.Errorf("internal/%s has no doc.go package comment file (%v)", name, err)
+			continue
+		}
+		if !strings.Contains(string(data), "// Package "+name) {
+			t.Errorf("internal/%s/doc.go does not contain a '// Package %s' comment", name, name)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no internal packages found; the glob has drifted from the repo layout")
+	}
+}
+
 // markdownLinkRE matches [text](target) links; images share the syntax.
 var markdownLinkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 

@@ -1,0 +1,48 @@
+package main
+
+// Documentation drift test: the analyzer table in docs/LINTING.md is held
+// to the actual suite (what -list prints), in both directions, so adding an
+// analyzer without documenting it — or renaming one and leaving the stale
+// row — fails the build.
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"carbonexplorer/internal/analyzers"
+)
+
+// lintingDoc is the rule-by-rule documentation this binary's -list output
+// must stay in sync with, relative to this package's directory.
+const lintingDoc = "../../docs/LINTING.md"
+
+// tableRowRE matches the analyzer-name cell of a LINTING.md table row.
+var tableRowRE = regexp.MustCompile("(?m)^\\| `([a-z]+)` \\|")
+
+func TestDocListedAnalyzersMatchSuite(t *testing.T) {
+	data, err := os.ReadFile(lintingDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, m := range tableRowRE.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no analyzer table rows found in docs/LINTING.md; the extraction regex has drifted from the doc")
+	}
+
+	suite := map[string]bool{}
+	for _, a := range analyzers.All() {
+		suite[a.Name] = true
+		if !documented[a.Name] {
+			t.Errorf("analyzer %q is in the suite (-list) but has no table row in docs/LINTING.md", a.Name)
+		}
+	}
+	for name := range documented {
+		if !suite[name] {
+			t.Errorf("docs/LINTING.md documents analyzer %q, which the suite does not contain", name)
+		}
+	}
+}

@@ -1,28 +1,36 @@
 // Command carbonlint runs the project's static-analysis suite — the
-// machine-enforced determinism, cancellation, and checkpoint invariants
-// described in docs/LINTING.md — over the given packages.
+// machine-enforced determinism, cancellation, hot-path allocation,
+// lifecycle, and immutability invariants described in docs/LINTING.md —
+// over the given packages.
 //
 // Usage:
 //
-//	go run ./cmd/carbonlint ./...        # lint the whole module
-//	go run ./cmd/carbonlint -list        # describe the analyzers
-//	go run ./cmd/carbonlint ./internal/sweep ./internal/explorer
+//	go run ./cmd/carbonlint ./...                  # lint the whole module
+//	go run ./cmd/carbonlint -list                  # describe the analyzers
+//	go run ./cmd/carbonlint -format sarif ./...    # machine-readable output
+//	go run ./cmd/carbonlint -baseline lint-baseline.json ./...
+//	go run ./cmd/carbonlint -write-baseline lint-baseline.json ./...
 //
-// Findings print one per line as file:line:col: analyzer: message, and any
-// finding makes the command exit 1 — CI fails on a single diagnostic.
-// Intentional violations are suppressed in the source with
+// Packages load and lint in parallel (-jobs, default GOMAXPROCS); output is
+// byte-identical at every jobs count. Findings print one per line as
+// file:line:col: analyzer: message (or as JSON/SARIF with -format), and any
+// finding not absorbed by the -baseline makes the command exit 1 — CI fails
+// on a single new diagnostic. Intentional violations are suppressed in the
+// source with
 //
 //	//carbonlint:allow <analyzer> <reason>
 //
 // on the offending line or the line above; the reason is mandatory and a
 // directive that suppresses nothing is itself a finding, so suppressions
-// cannot rot.
+// cannot rot. Findings outside Go sources (benchdrift's JSON and markdown
+// checks) take no comments — carry them in the baseline instead.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"carbonexplorer/internal/analyzers"
 	"carbonexplorer/internal/analyzers/load"
@@ -30,8 +38,12 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers in the suite and exit")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	baselinePath := flag.String("baseline", "", "baseline file of accepted findings; only findings not listed there are reported")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "packages to load and lint concurrently")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: carbonlint [-list] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: carbonlint [-list] [-format text|json|sarif] [-baseline file] [-write-baseline file] [-jobs n] [packages]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,23 +55,70 @@ func main() {
 		}
 		return
 	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "carbonlint: unknown -format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := load.Patterns("", patterns...)
+	// Paths in output and baselines are module-relative so they are stable
+	// across checkouts; a missing module root only disables that trim.
+	root, err := load.ModuleRoot()
+	if err != nil {
+		root = ""
+	}
+	pkgs, err := load.PatternsJobs("", *jobs, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carbonlint:", err)
 		os.Exit(2)
 	}
-	findings, err := analyzers.Lint(pkgs, suite)
+	findings, err := analyzers.LintParallel(pkgs, suite, *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carbonlint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err == nil {
+			err = analyzers.WriteBaseline(f, findings, root)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carbonlint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "carbonlint: wrote %d finding%s to %s\n", len(findings), plural(len(findings)), *writeBaseline)
+		return
+	}
+
+	if *baselinePath != "" {
+		b, err := analyzers.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carbonlint:", err)
+			os.Exit(2)
+		}
+		findings = b.Filter(findings, root)
+	}
+
+	switch *format {
+	case "text":
+		err = analyzers.WriteText(os.Stdout, findings)
+	case "json":
+		err = analyzers.WriteJSON(os.Stdout, findings, root)
+	case "sarif":
+		err = analyzers.WriteSARIF(os.Stdout, findings, suite, root)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carbonlint:", err)
+		os.Exit(2)
 	}
 	if n := len(findings); n > 0 {
 		fmt.Fprintf(os.Stderr, "carbonlint: %d finding%s\n", n, plural(n))

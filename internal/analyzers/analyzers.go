@@ -4,27 +4,36 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"sync"
 
 	"carbonexplorer/internal/analyzers/analysis"
 	"carbonexplorer/internal/analyzers/atomicwrite"
+	"carbonexplorer/internal/analyzers/benchdrift"
 	"carbonexplorer/internal/analyzers/ctxflow"
 	"carbonexplorer/internal/analyzers/detrand"
 	"carbonexplorer/internal/analyzers/directive"
 	"carbonexplorer/internal/analyzers/errwrap"
 	"carbonexplorer/internal/analyzers/floatcmp"
+	"carbonexplorer/internal/analyzers/hotalloc"
 	"carbonexplorer/internal/analyzers/jsontag"
+	"carbonexplorer/internal/analyzers/lifecycle"
 	"carbonexplorer/internal/analyzers/load"
+	"carbonexplorer/internal/analyzers/pubfreeze"
 )
 
 // All returns the full carbonlint suite, in stable name order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		atomicwrite.Analyzer,
+		benchdrift.Analyzer,
 		ctxflow.Analyzer,
 		detrand.Analyzer,
 		errwrap.Analyzer,
 		floatcmp.Analyzer,
+		hotalloc.Analyzer,
 		jsontag.Analyzer,
+		lifecycle.Analyzer,
+		pubfreeze.Analyzer,
 	}
 }
 
@@ -48,45 +57,45 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
 }
 
-// Lint runs every analyzer in suite over every package, applies the
-// suppression directives, and returns all surviving findings sorted by
-// position. An analyzer returning an error aborts the run: a broken check
-// must fail loudly, not pass silently.
-func Lint(pkgs []*load.Package, suite []*analysis.Analyzer) ([]Finding, error) {
-	names := make([]string, len(suite))
-	for i, a := range suite {
-		names[i] = a.Name
-	}
+// lintPackage runs the suite over one package and returns its surviving
+// findings, unsorted. names must be the suite's analyzer names.
+func lintPackage(pkg *load.Package, suite []*analysis.Analyzer, names []string) ([]Finding, error) {
 	var findings []Finding
-	add := func(fset *token.FileSet, name string, diags []analysis.Diagnostic) {
+	add := func(name string, diags []analysis.Diagnostic) {
 		for _, d := range diags {
 			findings = append(findings, Finding{
-				Position: fset.Position(d.Pos),
+				Position: pkg.Fset.Position(d.Pos),
 				Analyzer: name,
 				Message:  d.Message,
 			})
 		}
 	}
-	for _, pkg := range pkgs {
-		dirs, malformed := directive.Scan(pkg.Fset, pkg.Files, names)
-		add(pkg.Fset, DirectiveCheck, malformed)
-		for _, a := range suite {
-			var diags []analysis.Diagnostic
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-			}
-			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
-			}
-			add(pkg.Fset, a.Name, directive.Suppress(pkg.Fset, dirs, a.Name, diags))
+	dirs, malformed := directive.Scan(pkg.Fset, pkg.Files, names)
+	add(DirectiveCheck, malformed)
+	for _, a := range suite {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
-		add(pkg.Fset, DirectiveCheck, directive.Unused(dirs))
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		add(a.Name, directive.Suppress(pkg.Fset, dirs, a.Name, diags))
 	}
+	add(DirectiveCheck, directive.Unused(dirs))
+	return findings, nil
+}
+
+// sortFindings establishes the output order shared by the sequential and
+// parallel drivers. The comparator is total — message is the final
+// tie-break — so the same finding set always renders the same bytes, no
+// matter which goroutine produced each finding.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Position, findings[j].Position
 		if a.Filename != b.Filename {
@@ -98,7 +107,78 @@ func Lint(pkgs []*load.Package, suite []*analysis.Analyzer) ([]Finding, error) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return findings[i].Analyzer < findings[j].Analyzer
+		if findings[i].Analyzer != findings[j].Analyzer {
+			return findings[i].Analyzer < findings[j].Analyzer
+		}
+		return findings[i].Message < findings[j].Message
 	})
+}
+
+// suiteNames extracts the analyzer names the directive scanner validates
+// //carbonlint:allow targets against.
+func suiteNames(suite []*analysis.Analyzer) []string {
+	names := make([]string, len(suite))
+	for i, a := range suite {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Lint runs every analyzer in suite over every package, applies the
+// suppression directives, and returns all surviving findings sorted by
+// position. An analyzer returning an error aborts the run: a broken check
+// must fail loudly, not pass silently.
+func Lint(pkgs []*load.Package, suite []*analysis.Analyzer) ([]Finding, error) {
+	names := suiteNames(suite)
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := lintPackage(pkg, suite, names)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// LintParallel is Lint with up to jobs packages analyzed concurrently.
+// Packages are independent (analyzers see one package at a time) and the
+// final sort is total, so the result is byte-identical to Lint's on the
+// same packages — pinned by TestParallelLintMatchesSequential.
+func LintParallel(pkgs []*load.Package, suite []*analysis.Analyzer, jobs int) ([]Finding, error) {
+	if jobs <= 1 || len(pkgs) <= 1 {
+		return Lint(pkgs, suite)
+	}
+	if jobs > len(pkgs) {
+		jobs = len(pkgs)
+	}
+	names := suiteNames(suite)
+	perPkg := make([][]Finding, len(pkgs))
+	errs := make([]error, len(pkgs))
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				perPkg[i], errs[i] = lintPackage(pkgs[i], suite, names)
+			}
+		}()
+	}
+	for i := range pkgs {
+		queue <- i
+	}
+	close(queue)
+	wg.Wait()
+	var findings []Finding
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		findings = append(findings, perPkg[i]...)
+	}
+	sortFindings(findings)
 	return findings, nil
 }

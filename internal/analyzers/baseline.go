@@ -1,0 +1,121 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Baseline is a set of accepted findings CI tolerates while they are being
+// burned down: the lint gate fails only on findings NOT in the baseline.
+// Entries match on (analyzer, root-relative file, message) — line numbers
+// are deliberately excluded so unrelated edits shifting a file do not
+// resurrect a baselined finding — and matching is multiset-style: a
+// baseline entry absorbs at most count occurrences, so a finding that
+// multiplies still surfaces.
+type Baseline struct {
+	counts map[baselineKey]int
+}
+
+type baselineKey struct {
+	Analyzer string
+	File     string
+	Message  string
+}
+
+// baselineEntry is the on-disk form of one accepted finding.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count,omitempty"`
+}
+
+// baselineFile is the on-disk document.
+type baselineFile struct {
+	// Comment documents the workflow for people reading the raw file.
+	Comment  string          `json:"comment,omitempty"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file. A missing path is an error: pointing
+// CI at a baseline that silently does not exist would disable the gate.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var doc baselineFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	b := &Baseline{counts: make(map[baselineKey]int, len(doc.Findings))}
+	for _, e := range doc.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		b.counts[baselineKey{e.Analyzer, e.File, e.Message}] += n
+	}
+	return b, nil
+}
+
+// Filter returns the findings not absorbed by the baseline, preserving
+// order. root relativizes finding paths to match the baseline's file keys.
+func (b *Baseline) Filter(findings []Finding, root string) []Finding {
+	if b == nil || len(b.counts) == 0 {
+		return findings
+	}
+	remaining := make(map[baselineKey]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	kept := make([]Finding, 0, len(findings))
+	for _, f := range findings {
+		k := baselineKey{f.Analyzer, relFile(root, f.Position.Filename), f.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// WriteBaseline renders findings as a baseline document absorbing exactly
+// the given findings — the `-write-baseline` output that starts a burn-down.
+func WriteBaseline(w io.Writer, findings []Finding, root string) error {
+	counts := map[baselineKey]int{}
+	for _, f := range findings {
+		counts[baselineKey{f.Analyzer, relFile(root, f.Position.Filename), f.Message}]++
+	}
+	keys := make([]baselineKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].File != keys[j].File {
+			return keys[i].File < keys[j].File
+		}
+		if keys[i].Analyzer != keys[j].Analyzer {
+			return keys[i].Analyzer < keys[j].Analyzer
+		}
+		return keys[i].Message < keys[j].Message
+	})
+	doc := baselineFile{
+		Comment:  "accepted carbonlint findings; the lint gate fails only on findings not listed here — burn these down, do not grow them",
+		Findings: make([]baselineEntry, 0, len(keys)),
+	}
+	for _, k := range keys {
+		e := baselineEntry{Analyzer: k.Analyzer, File: k.File, Message: k.Message}
+		if counts[k] > 1 {
+			e.Count = counts[k]
+		}
+		doc.Findings = append(doc.Findings, e)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

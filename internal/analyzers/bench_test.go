@@ -1,0 +1,47 @@
+package analyzers_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"carbonexplorer/internal/analyzers"
+	"carbonexplorer/internal/analyzers/load"
+)
+
+// BenchmarkCarbonlintRepo measures the full carbonlint pipeline — package
+// listing, export-data type-checking, and all ten analyzers — over this
+// repository, end to end as the CLI runs it. The jobs=1 case is the
+// sequential driver; the others are the parallel one, whose output is
+// pinned byte-identical by TestParallelLintMatchesSequential. The parallel
+// speedup is bounded by real cores — on a single-core machine expect
+// parity (the fan-out phase is pure CPU), not a win; the jobs=4 case then
+// measures that the worker pool adds no overhead. Committed numbers live
+// in BENCH_lint.json (cited from docs/LINTING.md).
+func BenchmarkCarbonlintRepo(b *testing.B) {
+	root, err := load.ModuleRoot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, jobs := range counts {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pkgs, err := load.PatternsJobs(root, jobs, "./...")
+				if err != nil {
+					b.Fatal(err)
+				}
+				findings, err := analyzers.LintParallel(pkgs, analyzers.All(), jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(findings) != 0 {
+					b.Fatalf("repo must lint clean; got %d findings", len(findings))
+				}
+			}
+		})
+	}
+}

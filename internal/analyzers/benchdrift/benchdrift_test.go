@@ -1,0 +1,66 @@
+package benchdrift_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"carbonexplorer/internal/analyzers/benchdrift"
+)
+
+func TestConformantRootIsClean(t *testing.T) {
+	diags := benchdrift.Check(token.NewFileSet(), "testdata/goodroot")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d.Message)
+	}
+}
+
+func TestDriftingRootIsFlagged(t *testing.T) {
+	fset := token.NewFileSet()
+	diags := benchdrift.Check(fset, "testdata/badroot")
+
+	expected := []string{
+		`missing or empty required field "goarch"`,
+		`missing or empty required field "notes"`,
+		`field "date" is "August 8", want YYYY-MM-DD`,
+		`unknown top-level field "machine"`,
+		`benchmarks[0]: field "iterations" must be a positive number`,
+		`benchmarks[0]: unknown field "allocs"`,
+		`field "before" must be an array`,
+		`BENCH_orphan.json is cited by no root or docs/ markdown page`,
+		`cites BENCH_missing.json, which is not committed`,
+	}
+	for _, want := range expected {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q", want)
+		}
+	}
+	if len(diags) != len(expected) {
+		for _, d := range diags {
+			t.Logf("got: %s: %s", fset.Position(d.Pos), d.Message)
+		}
+		t.Errorf("got %d diagnostics, want %d", len(diags), len(expected))
+	}
+
+	// Positions must land inside the offending files, not at a synthetic
+	// location — the SARIF output depends on it.
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if pos.Filename == "" || pos.Line < 1 {
+			t.Errorf("diagnostic %q has no usable position: %v", d.Message, pos)
+		}
+		if strings.Contains(d.Message, "cites BENCH_missing.json") {
+			if filepath.Base(pos.Filename) != "PERF.md" || pos.Line != 3 {
+				t.Errorf("citation diagnostic at %v, want PERF.md line 3", pos)
+			}
+		}
+	}
+}

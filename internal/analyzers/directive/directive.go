@@ -1,7 +1,7 @@
-// Package directive implements the //carbonlint:allow suppression
-// directive shared by every analyzer in the carbonlint suite.
+// Package directive implements the //carbonlint: comment grammar shared by
+// every analyzer in the carbonlint suite. Two kinds of directive exist:
 //
-// Syntax:
+// Suppressions silence one finding with a written justification:
 //
 //	//carbonlint:allow <analyzer> <reason>
 //
@@ -9,6 +9,18 @@
 // is mandatory — an allow without a written justification is itself a
 // diagnostic — and a directive that suppresses nothing is reported as
 // unused, so stale annotations cannot silently weaken the rules.
+//
+// Markers annotate declarations with an invariant for an analyzer to
+// enforce, and take no arguments:
+//
+//	//carbonlint:hotpath    (in a function's doc comment: hotalloc rejects
+//	                         heap-allocating constructs in its body)
+//	//carbonlint:immutable  (in a type's doc comment: pubfreeze rejects
+//	                         field/element writes outside the declaring file)
+//
+// A marker anywhere other than the doc comment of the declaration kind it
+// applies to — or one carrying trailing arguments — is malformed, reported
+// by the analyzer that owns the verb (see ScanMarkers).
 package directive
 
 import (
@@ -22,8 +34,22 @@ import (
 // prefix is the comment prefix shared by all carbonlint directives.
 const prefix = "//carbonlint:"
 
-// allowVerb is the only directive verb currently defined.
+// allowVerb is the suppression verb.
 const allowVerb = "allow"
+
+// Marker verbs annotate declarations instead of suppressing findings.
+const (
+	// HotpathVerb marks a function whose body the hotalloc analyzer holds
+	// allocation-free.
+	HotpathVerb = "hotpath"
+	// ImmutableVerb marks a type whose fields the pubfreeze analyzer
+	// freezes outside the declaring file.
+	ImmutableVerb = "immutable"
+)
+
+// markerVerbs is the set of declaration-marker verbs; Scan leaves these to
+// ScanMarkers instead of reporting them as unknown.
+var markerVerbs = map[string]bool{HotpathVerb: true, ImmutableVerb: true}
 
 // Directive is one well-formed //carbonlint:allow comment.
 type Directive struct {
@@ -59,10 +85,15 @@ func Scan(fset *token.FileSet, files []*ast.File, known []string) ([]*Directive,
 				}
 				rest := strings.TrimPrefix(c.Text, prefix)
 				verb, args, _ := strings.Cut(rest, " ")
+				if markerVerbs[verb] {
+					// Declaration markers have their own grammar and owner;
+					// ScanMarkers validates them.
+					continue
+				}
 				if verb != allowVerb {
 					diags = append(diags, analysis.Diagnostic{
 						Pos:     c.Pos(),
-						Message: "unknown carbonlint directive //carbonlint:" + verb + " (only \"allow\" is defined)",
+						Message: "unknown carbonlint directive //carbonlint:" + verb + " (defined: \"allow\", \"hotpath\", \"immutable\")",
 					})
 					continue
 				}

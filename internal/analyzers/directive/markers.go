@@ -1,0 +1,191 @@
+package directive
+
+// Declaration markers: //carbonlint:hotpath on functions and
+// //carbonlint:immutable on types. Unlike allow suppressions, markers carry
+// no arguments and must sit in the doc comment of the declaration they
+// annotate — a marker floating in a function body, attached to the wrong
+// declaration kind, or trailing extra words is malformed. Malformed-marker
+// diagnostics are reported by the analyzer that owns the verb (hotalloc for
+// hotpath, pubfreeze for immutable), so they surface even when the suite is
+// run one analyzer at a time.
+
+import (
+	"go/ast"
+	"strings"
+
+	"carbonexplorer/internal/analyzers/analysis"
+)
+
+// Markers is the marker census of one package's files.
+type Markers struct {
+	// Hotpath holds every function declaration whose doc comment carries a
+	// well-formed //carbonlint:hotpath marker.
+	Hotpath map[*ast.FuncDecl]bool
+	// Immutable holds the TypeSpec name of every type whose doc comment
+	// carries a well-formed //carbonlint:immutable marker.
+	Immutable map[*ast.Ident]bool
+	// HotpathDiags and ImmutableDiags report malformed markers of each verb
+	// (trailing arguments, wrong declaration kind, or a stray comment not
+	// attached to any declaration's doc).
+	HotpathDiags   []analysis.Diagnostic
+	ImmutableDiags []analysis.Diagnostic
+}
+
+// ScanMarkers extracts and validates every declaration marker in files.
+func ScanMarkers(files []*ast.File) Markers {
+	m := Markers{
+		Hotpath:   map[*ast.FuncDecl]bool{},
+		Immutable: map[*ast.Ident]bool{},
+	}
+	for _, f := range files {
+		claimed := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				m.claimFuncMarkers(d, claimed)
+			case *ast.GenDecl:
+				m.claimTypeMarkers(d, claimed)
+			}
+		}
+		// Anything left is a stray: a marker outside any declaration's doc
+		// comment, where the analyzer would silently never see it.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				verb, _, ok := markerText(c)
+				if !ok || claimed[c] {
+					continue
+				}
+				m.report(verb, analysis.Diagnostic{
+					Pos: c.Pos(),
+					Message: "//carbonlint:" + verb + " must be in the doc comment of a " +
+						markerTarget(verb) + " declaration; here it annotates nothing",
+				})
+			}
+		}
+	}
+	return m
+}
+
+// claimFuncMarkers consumes markers in a function's doc comment.
+func (m *Markers) claimFuncMarkers(fd *ast.FuncDecl, claimed map[*ast.Comment]bool) {
+	for _, c := range commentsOf(fd.Doc) {
+		verb, args, ok := markerText(c)
+		if !ok {
+			continue
+		}
+		claimed[c] = true
+		switch {
+		case verb != HotpathVerb:
+			m.report(verb, analysis.Diagnostic{
+				Pos:     c.Pos(),
+				Message: "//carbonlint:" + verb + " annotates a function, but it applies to " + markerTarget(verb) + " declarations",
+			})
+		case args != "":
+			m.report(verb, analysis.Diagnostic{
+				Pos:     c.Pos(),
+				Message: "//carbonlint:hotpath takes no arguments; found " + quote(args),
+			})
+		default:
+			m.Hotpath[fd] = true
+		}
+	}
+}
+
+// claimTypeMarkers consumes markers in a type declaration's doc comments —
+// the GenDecl's own doc (attached to its sole spec) and each TypeSpec's doc
+// or trailing comment.
+func (m *Markers) claimTypeMarkers(gd *ast.GenDecl, claimed map[*ast.Comment]bool) {
+	specs := make([]*ast.TypeSpec, 0, len(gd.Specs))
+	for _, s := range gd.Specs {
+		if ts, ok := s.(*ast.TypeSpec); ok {
+			specs = append(specs, ts)
+		}
+	}
+	claim := func(c *ast.Comment, ts *ast.TypeSpec) {
+		verb, args, ok := markerText(c)
+		if !ok {
+			return
+		}
+		claimed[c] = true
+		switch {
+		case len(specs) == 0:
+			m.report(verb, analysis.Diagnostic{
+				Pos:     c.Pos(),
+				Message: "//carbonlint:" + verb + " annotates a non-type declaration, but it applies to " + markerTarget(verb) + " declarations",
+			})
+		case verb != ImmutableVerb:
+			m.report(verb, analysis.Diagnostic{
+				Pos:     c.Pos(),
+				Message: "//carbonlint:" + verb + " annotates a type, but it applies to " + markerTarget(verb) + " declarations",
+			})
+		case args != "":
+			m.report(verb, analysis.Diagnostic{
+				Pos:     c.Pos(),
+				Message: "//carbonlint:immutable takes no arguments; found " + quote(args),
+			})
+		case ts == nil:
+			m.report(verb, analysis.Diagnostic{
+				Pos:     c.Pos(),
+				Message: "//carbonlint:immutable on a grouped type declaration is ambiguous; move it to one type's own doc comment",
+			})
+		default:
+			m.Immutable[ts.Name] = true
+		}
+	}
+	var genTarget *ast.TypeSpec
+	if len(specs) == 1 {
+		genTarget = specs[0]
+	}
+	for _, c := range commentsOf(gd.Doc) {
+		claim(c, genTarget)
+	}
+	for _, ts := range specs {
+		for _, c := range commentsOf(ts.Doc) {
+			claim(c, ts)
+		}
+		for _, c := range commentsOf(ts.Comment) {
+			claim(c, ts)
+		}
+	}
+}
+
+// report files a diagnostic under the verb that owns it.
+func (m *Markers) report(verb string, d analysis.Diagnostic) {
+	if verb == ImmutableVerb {
+		m.ImmutableDiags = append(m.ImmutableDiags, d)
+		return
+	}
+	// Unknown-but-marker-shaped verbs never reach here (markerText filters),
+	// so everything else is hotpath.
+	m.HotpathDiags = append(m.HotpathDiags, d)
+}
+
+// markerText parses one comment as a marker directive, reporting ok only
+// for the marker verbs (allow and unknown verbs belong to Scan).
+func markerText(c *ast.Comment) (verb, args string, ok bool) {
+	if !strings.HasPrefix(c.Text, prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(c.Text, prefix)
+	verb, args, _ = strings.Cut(rest, " ")
+	if !markerVerbs[verb] {
+		return "", "", false
+	}
+	return verb, strings.TrimSpace(args), true
+}
+
+// markerTarget names the declaration kind a marker verb applies to.
+func markerTarget(verb string) string {
+	if verb == ImmutableVerb {
+		return "type"
+	}
+	return "function"
+}
+
+// commentsOf returns a comment group's comments, tolerating nil.
+func commentsOf(cg *ast.CommentGroup) []*ast.Comment {
+	if cg == nil {
+		return nil
+	}
+	return cg.List
+}

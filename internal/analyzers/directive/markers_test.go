@@ -1,0 +1,164 @@
+package directive_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"carbonexplorer/internal/analyzers/directive"
+)
+
+// scanMarkers parses src and runs directive.ScanMarkers on it.
+func scanMarkers(t *testing.T, src string) directive.Markers {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return directive.ScanMarkers([]*ast.File{f})
+}
+
+func TestHotpathMarkerOnFunction(t *testing.T) {
+	m := scanMarkers(t, `package p
+
+// Sum adds.
+//carbonlint:hotpath
+func Sum(a, b int) int { return a + b }
+
+func Cold() {}
+`)
+	if len(m.HotpathDiags) != 0 || len(m.ImmutableDiags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v %v", m.HotpathDiags, m.ImmutableDiags)
+	}
+	if len(m.Hotpath) != 1 {
+		t.Fatalf("got %d hotpath functions, want 1", len(m.Hotpath))
+	}
+	for fd := range m.Hotpath {
+		if fd.Name.Name != "Sum" {
+			t.Fatalf("annotated %s, want Sum", fd.Name.Name)
+		}
+	}
+}
+
+func TestImmutableMarkerOnType(t *testing.T) {
+	for _, src := range []string{
+		// Marker in the type's doc comment.
+		"package p\n\n// T is frozen.\n//carbonlint:immutable\ntype T struct{ X int }\n",
+		// Marker in a grouped declaration's per-spec doc.
+		"package p\n\ntype (\n\t//carbonlint:immutable\n\tT struct{ X int }\n\tU struct{}\n)\n",
+	} {
+		m := scanMarkers(t, src)
+		if len(m.ImmutableDiags) != 0 {
+			t.Errorf("%q: unexpected diagnostics: %v", src, m.ImmutableDiags)
+			continue
+		}
+		if len(m.Immutable) != 1 {
+			t.Errorf("%q: got %d immutable types, want 1", src, len(m.Immutable))
+			continue
+		}
+		for id := range m.Immutable {
+			if id.Name != "T" {
+				t.Errorf("%q: annotated %s, want T", src, id.Name)
+			}
+		}
+	}
+}
+
+func TestMarkerWithArgumentsIsDiagnostic(t *testing.T) {
+	m := scanMarkers(t, `package p
+
+//carbonlint:hotpath because fast
+func F() {}
+
+//carbonlint:immutable really
+type T struct{}
+`)
+	if len(m.Hotpath) != 0 || len(m.Immutable) != 0 {
+		t.Fatalf("malformed markers were accepted: %v %v", m.Hotpath, m.Immutable)
+	}
+	if len(m.HotpathDiags) != 1 || !strings.Contains(m.HotpathDiags[0].Message, "takes no arguments") {
+		t.Fatalf("hotpath diags = %v, want one takes-no-arguments diagnostic", m.HotpathDiags)
+	}
+	if len(m.ImmutableDiags) != 1 || !strings.Contains(m.ImmutableDiags[0].Message, "takes no arguments") {
+		t.Fatalf("immutable diags = %v, want one takes-no-arguments diagnostic", m.ImmutableDiags)
+	}
+}
+
+func TestMarkerOnWrongDeclarationKind(t *testing.T) {
+	m := scanMarkers(t, `package p
+
+//carbonlint:immutable
+func F() {}
+
+//carbonlint:hotpath
+type T struct{}
+`)
+	if len(m.Hotpath) != 0 || len(m.Immutable) != 0 {
+		t.Fatalf("misattached markers were accepted: %v %v", m.Hotpath, m.Immutable)
+	}
+	if len(m.ImmutableDiags) != 1 || !strings.Contains(m.ImmutableDiags[0].Message, "applies to type declarations") {
+		t.Fatalf("immutable diags = %v, want one wrong-kind diagnostic", m.ImmutableDiags)
+	}
+	if len(m.HotpathDiags) != 1 || !strings.Contains(m.HotpathDiags[0].Message, "applies to function declarations") {
+		t.Fatalf("hotpath diags = %v, want one wrong-kind diagnostic", m.HotpathDiags)
+	}
+}
+
+func TestStrayMarkerIsDiagnostic(t *testing.T) {
+	m := scanMarkers(t, `package p
+
+func F() {
+	//carbonlint:hotpath
+	_ = 1
+}
+
+//carbonlint:immutable
+var V int
+`)
+	if len(m.HotpathDiags) != 1 || !strings.Contains(m.HotpathDiags[0].Message, "annotates nothing") {
+		t.Fatalf("hotpath diags = %v, want one stray diagnostic", m.HotpathDiags)
+	}
+	if len(m.ImmutableDiags) != 1 || !strings.Contains(m.ImmutableDiags[0].Message, "non-type declaration") {
+		t.Fatalf("immutable diags = %v, want one wrong-declaration diagnostic", m.ImmutableDiags)
+	}
+}
+
+func TestGroupedImmutableFromGenDeclDocIsAmbiguous(t *testing.T) {
+	m := scanMarkers(t, `package p
+
+//carbonlint:immutable
+type (
+	T struct{}
+	U struct{}
+)
+`)
+	if len(m.Immutable) != 0 {
+		t.Fatalf("ambiguous marker was accepted: %v", m.Immutable)
+	}
+	if len(m.ImmutableDiags) != 1 || !strings.Contains(m.ImmutableDiags[0].Message, "ambiguous") {
+		t.Fatalf("immutable diags = %v, want one ambiguity diagnostic", m.ImmutableDiags)
+	}
+}
+
+// TestScanIgnoresMarkers pins the split between the two grammars: Scan
+// handles allow suppressions and unknown verbs, markers belong to
+// ScanMarkers, and neither reports the other's directives.
+func TestScanIgnoresMarkers(t *testing.T) {
+	src := `package p
+
+//carbonlint:hotpath
+func F() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	dirs, diags := directive.Scan(fset, []*ast.File{f}, []string{"hotalloc"})
+	if len(dirs) != 0 || len(diags) != 0 {
+		t.Fatalf("Scan reported marker directives: dirs=%v diags=%v", dirs, diags)
+	}
+}

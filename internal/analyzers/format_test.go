@@ -1,0 +1,156 @@
+package analyzers_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"carbonexplorer/internal/analyzers"
+)
+
+func sampleFindings() []analyzers.Finding {
+	return []analyzers.Finding{
+		{
+			Position: token.Position{Filename: "/repo/internal/a/a.go", Line: 10, Column: 2},
+			Analyzer: "hotalloc",
+			Message:  "make allocates; grow buffers outside the hot path",
+		},
+		{
+			Position: token.Position{Filename: "/repo/internal/b/b.go", Line: 3, Column: 1},
+			Analyzer: "lifecycle",
+			Message:  "ticker tick is never stopped in this function; defer tick.Stop()",
+		},
+	}
+}
+
+func TestWriteJSONRelativizesAndNeverNull(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analyzers.WriteJSON(&buf, sampleFindings(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.Bytes())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d entries, want 2", len(got))
+	}
+	if got[0]["file"] != "internal/a/a.go" {
+		t.Errorf("file = %q, want module-relative path", got[0]["file"])
+	}
+	if got[1]["analyzer"] != "lifecycle" || got[1]["line"] != float64(3) {
+		t.Errorf("entry fields wrong: %v", got[1])
+	}
+
+	buf.Reset()
+	if err := analyzers.WriteJSON(&buf, nil, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty finding set renders %q, want []", buf.String())
+	}
+}
+
+func TestWriteSARIFShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analyzers.WriteSARIF(&buf, sampleFindings(), analyzers.All(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("not valid SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs; want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "carbonlint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	// One rule per suite analyzer plus the directive pseudo-rule.
+	if want := len(analyzers.All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("%d rules, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "hotalloc" || r.Level != "error" {
+		t.Errorf("result = %+v", r)
+	}
+	if loc := r.Locations[0].PhysicalLocation; loc.ArtifactLocation.URI != "internal/a/a.go" || loc.Region.StartLine != 10 {
+		t.Errorf("location = %+v", loc)
+	}
+}
+
+func TestBaselineFilterAndRoundTrip(t *testing.T) {
+	findings := sampleFindings()
+	// A duplicated finding checks the multiset semantics.
+	findings = append(findings, findings[0])
+
+	var buf bytes.Buffer
+	if err := analyzers.WriteBaseline(&buf, findings, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lint-baseline.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := analyzers.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept := b.Filter(findings, "/repo"); len(kept) != 0 {
+		t.Errorf("baseline written from findings kept %d of them: %v", len(kept), kept)
+	}
+
+	// A third occurrence of the duplicated finding exceeds the baselined
+	// count and must surface.
+	extra := append(append([]analyzers.Finding(nil), findings...), findings[0])
+	if kept := b.Filter(extra, "/repo"); len(kept) != 1 {
+		t.Errorf("overflowing occurrence: kept %d findings, want 1", len(kept))
+	}
+
+	// Line drift must not resurrect a baselined finding.
+	moved := append([]analyzers.Finding(nil), findings...)
+	moved[1].Position.Line += 40
+	if kept := b.Filter(moved, "/repo"); len(kept) != 0 {
+		t.Errorf("line drift resurrected findings: %v", kept)
+	}
+}
+
+func TestLoadBaselineMissingFileIsError(t *testing.T) {
+	if _, err := analyzers.LoadBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("loading a missing baseline must fail, not silently disable the gate")
+	}
+}

@@ -1,0 +1,266 @@
+// Package hotalloc keeps //carbonlint:hotpath functions allocation-free.
+//
+// The evaluation hot path — explorer.Evaluator.Evaluate, the scheduler's
+// SimulateScratch, the serve query path — earns its throughput (see
+// BENCH_sweep.json and docs/PERFORMANCE.md) by allocating nothing in the
+// steady state. The runtime gates (TestEvaluateSteadyStateZeroAllocs,
+// TestOptimumZeroAllocs) catch a regression when the right test runs;
+// this analyzer catches it at lint time, in any function whose doc comment
+// carries the //carbonlint:hotpath marker, by rejecting the constructs that
+// reach the allocator:
+//
+//   - composite literals whose address is taken (&T{...} escapes), and
+//     slice/map composite literals (their backing store is heap-allocated);
+//   - make, new, and append — growth the compiler cannot prove away;
+//   - any call into package fmt, and non-constant string concatenation;
+//   - conversions between string and []byte/[]rune;
+//   - interface boxing: explicit conversion to an interface type, passing a
+//     non-interface value to an interface parameter, or returning one as an
+//     interface result;
+//   - function literals (the closure header allocates when it captures) and
+//     go statements (a new goroutine is never a hot-path construct).
+//
+// Value struct literals (Outcome{...}) and address-of non-literals
+// (&e.scratch) stay on the stack and are allowed. The check is body-local:
+// a call to an unannotated helper is not followed, so annotate the helpers
+// on the hot path too (the zero-alloc tests remain the end-to-end truth).
+//
+// A malformed //carbonlint:hotpath marker — trailing arguments, attached to
+// a type, or floating where it annotates nothing — is reported here, so the
+// annotation grammar cannot rot even in packages with no hot-path findings.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"carbonexplorer/internal/analyzers/analysis"
+	"carbonexplorer/internal/analyzers/directive"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid heap-allocating constructs in //carbonlint:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	m := directive.ScanMarkers(pass.Files)
+	for _, d := range m.HotpathDiags {
+		pass.Report(d)
+	}
+	for fd := range m.Hotpath {
+		if fd.Body == nil {
+			continue
+		}
+		c := checker{pass: pass, fn: fd}
+		c.walk(fd.Body)
+	}
+	return nil, nil
+}
+
+// checker walks one hot-path function body.
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	c.pass.Reportf(pos, "hot path %s: "+format,
+		append([]any{c.fn.Name.Name}, args...)...)
+}
+
+func (c *checker) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.reportf(n.Pos(), "function literal allocates its closure; hoist the state it captures")
+			return false // its body runs later, outside this path
+		case *ast.GoStmt:
+			c.reportf(n.Pos(), "go statement spawns a goroutine; hot-path work must stay on the calling goroutine")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.reportf(n.Pos(), "&composite literal escapes to the heap; reuse a preallocated value instead")
+				}
+			}
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.BinaryExpr:
+			c.checkConcat(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		}
+		return true
+	})
+}
+
+// checkCompositeLit flags literals whose backing store is heap-allocated.
+// Struct and array values live on the stack and pass.
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.reportf(lit.Pos(), "slice literal allocates its backing array; reuse a preallocated buffer")
+	case *types.Map:
+		c.reportf(lit.Pos(), "map literal allocates; reuse a preallocated map or a slice ledger")
+	}
+}
+
+// checkCall flags allocating builtins, fmt calls, allocating conversions,
+// and interface boxing at argument positions.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: T(x) where Fun denotes a type.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.reportf(call.Pos(), "make allocates; grow buffers outside the hot path")
+			case "new":
+				c.reportf(call.Pos(), "new allocates; reuse a preallocated value")
+			case "append":
+				c.reportf(call.Pos(), "append may grow its backing array; write into a preallocated buffer")
+			}
+			return
+		}
+	}
+
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if f, ok := info.Uses[sel.Sel].(*types.Func); ok && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+			c.reportf(call.Pos(), "fmt.%s allocates (formatting state and boxed arguments)", f.Name())
+			return
+		}
+	}
+
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call)
+		if pt == nil {
+			continue
+		}
+		c.checkBoxing(arg, pt, "passing %s as %s boxes the value; take a concrete type or hoist the conversion")
+	}
+}
+
+// paramType resolves the declared type of argument i, expanding variadics.
+// A spread call (f(xs...)) passes the slice itself, no per-element boxing.
+func paramType(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && i >= params.Len()-1 {
+		if call.Ellipsis.IsValid() {
+			return nil
+		}
+		s, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return s.Elem()
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// checkConversion flags conversions that allocate: to an interface type
+// (boxing) and between string and byte/rune slices (a copy).
+func (c *checker) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	if types.IsInterface(to.Underlying()) {
+		c.checkBoxing(call.Args[0], to, "converting %s to %s boxes the value; keep it concrete on the hot path")
+		return
+	}
+	if stringSliceConversion(from, to) {
+		c.reportf(call.Pos(), "conversion between string and byte/rune slice copies the data; reuse one representation")
+	}
+}
+
+// checkBoxing reports arg when assigning it to target heap-allocates an
+// interface value. Interface-to-interface and nil are free.
+func (c *checker) checkBoxing(arg ast.Expr, target types.Type, format string) {
+	if !types.IsInterface(target.Underlying()) {
+		return
+	}
+	at := c.pass.TypesInfo.TypeOf(arg)
+	if at == nil || types.IsInterface(at.Underlying()) {
+		return
+	}
+	if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	c.reportf(arg.Pos(), format, at, target)
+}
+
+// checkConcat flags string + where the result is not a compile-time
+// constant.
+func (c *checker) checkConcat(bin *ast.BinaryExpr) {
+	if bin.Op != token.ADD {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[bin]
+	if !ok || tv.Value != nil {
+		return // a constant concat is folded at compile time
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		c.reportf(bin.Pos(), "string concatenation allocates; write into a reusable buffer")
+	}
+}
+
+// checkReturn flags returning a concrete value for an interface result.
+func (c *checker) checkReturn(ret *ast.ReturnStmt) {
+	sig, ok := c.pass.TypesInfo.TypeOf(c.fn.Name).(*types.Signature)
+	if !ok || sig.Results() == nil {
+		return
+	}
+	if len(ret.Results) != sig.Results().Len() {
+		return // a bare return or single multi-value call result never boxes here
+	}
+	for i, r := range ret.Results {
+		c.checkBoxing(r, sig.Results().At(i).Type(), "returning %s as %s boxes the value; return the concrete type or a preexisting interface value")
+	}
+}
+
+// stringSliceConversion reports whether a conversion between from and to
+// crosses the string/[]byte or string/[]rune boundary.
+func stringSliceConversion(from, to types.Type) bool {
+	return (isString(from) && isByteOrRuneSlice(to)) ||
+		(isString(to) && isByteOrRuneSlice(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

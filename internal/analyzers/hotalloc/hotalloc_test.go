@@ -1,0 +1,16 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"carbonexplorer/internal/analyzers/hotalloc"
+	"carbonexplorer/internal/analyzers/linttest"
+)
+
+func TestHotpathAllocationsFlagged(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "testdata/flag", "carbonexplorer/internal/hotfixture")
+}
+
+func TestStackResidentConstructsClean(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "testdata/clean", "carbonexplorer/internal/hotfixture")
+}

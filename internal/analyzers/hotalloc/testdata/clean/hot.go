@@ -1,0 +1,45 @@
+// Fixture: stack-resident constructs stay clean inside a hotpath function,
+// allocations in unannotated functions are out of scope, and a reasoned
+// suppression silences a finding.
+package hot
+
+type outcome struct{ total float64 }
+
+type eval struct {
+	scratch [8]float64
+	out     outcome
+}
+
+func sink(v any) { _ = v }
+
+//carbonlint:hotpath
+func (e *eval) run(v float64) outcome {
+	o := outcome{total: v} // value struct literal lives on the stack
+	p := &e.out            // address of a field, not of a literal
+	p.total += v
+	e.scratch[0] = v
+	const tag = "grid" + "=" + "16" // constant concat folds at compile time
+	_ = tag
+	var err error // declared interface, nothing boxed
+	_ = err
+	return o
+}
+
+//carbonlint:hotpath
+func drain(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+//carbonlint:hotpath
+func suppressed(v float64) {
+	sink(v) //carbonlint:allow hotalloc diagnostic-only branch, boxing accepted off the steady state
+}
+
+func cold(v float64) []float64 {
+	out := make([]float64, 0, 4)
+	return append(out, v)
+}

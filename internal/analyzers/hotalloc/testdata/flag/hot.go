@@ -1,0 +1,65 @@
+// Fixture: every allocating construct inside a //carbonlint:hotpath
+// function is flagged, and the marker grammar is enforced.
+package hot
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+type state struct {
+	buf []float64
+	p   point
+}
+
+func sink(v any) { _ = v }
+
+//carbonlint:hotpath
+func (s *state) step(v float64) {
+	s.buf = append(s.buf, v) // want `append may grow its backing array`
+	b := make([]float64, 4)  // want `make allocates`
+	p := new(point)          // want `new allocates`
+	xs := []float64{v}       // want `slice literal allocates its backing array`
+	m := map[string]int{}    // want `map literal allocates`
+	q := &point{x: v}        // want `&composite literal escapes to the heap`
+	_, _, _, _, _ = b, p, xs, m, q
+}
+
+//carbonlint:hotpath
+func report(v float64) string {
+	return fmt.Sprintf("%v", v) // want `fmt.Sprintf allocates`
+}
+
+//carbonlint:hotpath
+func box(v float64) {
+	sink(v)     // want `passing float64 as any boxes the value`
+	x := any(v) // want `converting float64 to any boxes the value`
+	_ = x
+}
+
+//carbonlint:hotpath
+func ret(v float64) any {
+	return v // want `returning float64 as any boxes the value`
+}
+
+//carbonlint:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//carbonlint:hotpath
+func toBytes(s string) []byte {
+	return []byte(s) // want `conversion between string and byte/rune slice copies the data`
+}
+
+//carbonlint:hotpath
+func spawn(done chan struct{}) {
+	go func() { // want `go statement spawns a goroutine` `function literal allocates its closure`
+		<-done
+	}()
+}
+
+//carbonlint:hotpath extra words // want `takes no arguments`
+func markedWithArgs() {}
+
+//carbonlint:hotpath // want `annotates a type, but it applies to function declarations`
+type wrongKind struct{}

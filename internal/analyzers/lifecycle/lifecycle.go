@@ -1,0 +1,324 @@
+// Package lifecycle forbids leaked goroutines, timers, and response bodies
+// in the distributed layers.
+//
+// The coordinator, serve, and sweep packages are the long-running parts of
+// the system: a fleet worker or query server that leaks a goroutine per
+// lease round or a timer per poll accumulates the leak for the life of the
+// process. Three rules, scoped to those packages:
+//
+//   - Every go statement must be provably joined: the spawned function
+//     literal defers wg.Done() or close(done) (directly or inside a deferred
+//     closure), so shutdown can wait for it. A go statement calling a named
+//     function cannot be proven joined body-locally and is flagged.
+//   - time.NewTicker and time.NewTimer results must have a reachable Stop in
+//     the creating function; time.Tick is flagged outright (its ticker can
+//     never be stopped), and time.After inside a select is flagged because
+//     its timer survives until it fires even when another case wins — in a
+//     poll loop that is one leaked timer per iteration.
+//   - A *http.Response assigned in these packages must have its Body closed
+//     in the same function (any path, including a deferred closure). A
+//     response handed to the caller to close needs a reasoned
+//     //carbonlint:allow.
+//
+// The checks are body-local heuristics, deliberately conservative: they
+// accept only the join/stop/close idioms this codebase actually uses, so a
+// novel pattern either gets rewritten into the idiom or carries a reasoned
+// suppression that documents why it cannot leak.
+package lifecycle
+
+import (
+	"go/ast"
+	"go/types"
+
+	"carbonexplorer/internal/analyzers/analysis"
+)
+
+// Analyzer is the lifecycle check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lifecycle",
+	Doc:  "forbid unjoined goroutines, unstopped tickers/timers, and unclosed response bodies in coordinator/serve/sweep",
+	Run:  run,
+}
+
+// scope lists the long-running packages the rules apply to.
+var scope = map[string]bool{
+	"carbonexplorer/internal/coordinator": true,
+	"carbonexplorer/internal/serve":       true,
+	"carbonexplorer/internal/sweep":       true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkGo(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			case *ast.CallExpr:
+				if isTimeFunc(pass, n.Fun, "Tick") {
+					pass.Reportf(n.Pos(), "time.Tick leaks its ticker (it can never be stopped); use time.NewTicker with a deferred Stop")
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkScope(pass, fd.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkGo requires the spawned goroutine to be provably joined.
+func checkGo(pass *analysis.Pass, g *ast.GoStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		pass.Reportf(g.Pos(), "go statement calls a named function, so the goroutine cannot be proven joined here; spawn a function literal that defers wg.Done() or close(done)")
+		return
+	}
+	if !joins(pass, lit.Body) {
+		pass.Reportf(g.Pos(), "goroutine is never joined: defer wg.Done() or close(done) in its body so shutdown can wait for it")
+	}
+}
+
+// joins reports whether body defers a WaitGroup.Done or a channel close,
+// directly or inside a deferred closure.
+func joins(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isJoinCall(pass, d.Call) {
+			found = true
+			return false
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok && isJoinCall(pass, c) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isJoinCall reports whether call is wg.Done() on a sync.WaitGroup or a
+// builtin close.
+func isJoinCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin)
+		return ok && b.Name() == "close"
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "Done" {
+			return false
+		}
+		t := pass.TypesInfo.TypeOf(fun.X)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+	}
+	return false
+}
+
+// checkSelect flags time.After in a comm clause: the timer lives until it
+// fires even when another case wins the select.
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		ast.Inspect(cc.Comm, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok && isTimeFunc(pass, c.Fun, "After") {
+				pass.Reportf(c.Pos(), "time.After in a select leaks its timer until it fires when another case wins; use time.NewTimer with Stop")
+			}
+			return true
+		})
+	}
+}
+
+// isTimeFunc reports whether fun resolves to time.<name>.
+func isTimeFunc(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && f.Pkg() != nil && f.Pkg().Path() == "time"
+}
+
+// checkScope audits one function body: tickers/timers created here must be
+// stopped here, responses assigned here must have their bodies closed here.
+// Nested function literals are separate scopes for creation but count as
+// reachable code for Stop/Close (a deferred closure is the common idiom).
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	type origin struct {
+		obj  types.Object
+		node ast.Node
+		what string // "ticker", "timer", or "response"
+	}
+	var origins []origin
+	var nested []*ast.FuncLit
+	// claimed marks NewTicker/NewTimer calls consumed by a tracked
+	// assignment, so the second walk flags only untracked results.
+	claimed := map[*ast.CallExpr]bool{}
+
+	track := func(lhs ast.Expr, rhs ast.Expr, at ast.Node) {
+		what := ""
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			switch {
+			case isTimeFunc(pass, call.Fun, "NewTicker"):
+				what, claimed[call] = "ticker", true
+			case isTimeFunc(pass, call.Fun, "NewTimer"):
+				what, claimed[call] = "timer", true
+			}
+		}
+		if what == "" && lhs != nil && isResponsePtr(pass.TypesInfo.TypeOf(lhs)) {
+			what = "response"
+		}
+		if what == "" {
+			return
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			pass.Reportf(at.Pos(), "%s is discarded at creation and can never be %s", what, releaseVerb(what))
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		origins = append(origins, origin{obj: obj, node: at, what: what})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			nested = append(nested, n)
+			return false
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					track(n.Lhs[i], n.Rhs[i], n)
+				}
+			} else if len(n.Rhs) == 1 {
+				for _, l := range n.Lhs {
+					track(l, n.Rhs[0], n)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					track(n.Names[i], n.Values[i], n)
+				}
+			}
+		}
+		return true
+	})
+
+	// Recurse into nested literals as their own creation scopes.
+	for _, lit := range nested {
+		checkScope(pass, lit.Body)
+	}
+
+	if len(origins) == 0 {
+		// Still flag unassigned NewTicker/NewTimer results (<-time.NewTimer(d).C).
+		flagUnclaimed(pass, body, claimed)
+		return
+	}
+
+	// Stop/Close anywhere in this function, nested closures included.
+	stopped := map[types.Object]bool{}
+	closed := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Stop":
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					stopped[obj] = true
+				}
+			}
+		case "Close":
+			if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && inner.Sel.Name == "Body" {
+				if id, ok := ast.Unparen(inner.X).(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						closed[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, o := range origins {
+		switch {
+		case o.what == "response" && !closed[o.obj]:
+			pass.Reportf(o.node.Pos(), "response body %s.Body is never closed in this function; close it on every path (defer %s.Body.Close() after the error check)", o.obj.Name(), o.obj.Name())
+		case o.what != "response" && !stopped[o.obj]:
+			pass.Reportf(o.node.Pos(), "%s %s is never stopped in this function; defer %s.Stop()", o.what, o.obj.Name(), o.obj.Name())
+		}
+	}
+	flagUnclaimed(pass, body, claimed)
+}
+
+// flagUnclaimed reports NewTicker/NewTimer results that were never bound to
+// a variable — nothing can ever stop them.
+func flagUnclaimed(pass *analysis.Pass, body *ast.BlockStmt, claimed map[*ast.CallExpr]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested scopes flag their own
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || claimed[call] {
+			return true
+		}
+		if isTimeFunc(pass, call.Fun, "NewTicker") || isTimeFunc(pass, call.Fun, "NewTimer") {
+			pass.Reportf(call.Pos(), "result is not bound to a variable, so it can never be stopped; assign it and defer Stop")
+		}
+		return true
+	})
+}
+
+// releaseVerb names the required cleanup for a tracked resource.
+func releaseVerb(what string) string {
+	if what == "response" {
+		return "closed"
+	}
+	return "stopped"
+}
+
+// isResponsePtr reports whether t is *net/http.Response.
+func isResponsePtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Response"
+}

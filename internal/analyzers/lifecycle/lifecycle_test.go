@@ -1,0 +1,20 @@
+package lifecycle_test
+
+import (
+	"testing"
+
+	"carbonexplorer/internal/analyzers/lifecycle"
+	"carbonexplorer/internal/analyzers/linttest"
+)
+
+func TestLeaksFlaggedInCoordinator(t *testing.T) {
+	linttest.Run(t, lifecycle.Analyzer, "testdata/flag", "carbonexplorer/internal/coordinator")
+}
+
+func TestJoinStopCloseIdiomsClean(t *testing.T) {
+	linttest.Run(t, lifecycle.Analyzer, "testdata/clean", "carbonexplorer/internal/sweep")
+}
+
+func TestOutsideDistributedLayersExempt(t *testing.T) {
+	linttest.Run(t, lifecycle.Analyzer, "testdata/offpath", "carbonexplorer/internal/report")
+}

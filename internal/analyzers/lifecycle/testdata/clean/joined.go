@@ -1,0 +1,88 @@
+// Fixture: the join/stop/close idioms the analyzer accepts, in the shapes
+// this codebase actually uses.
+package joined
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+func work() {}
+
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			work()
+		}(i)
+	}
+	wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+func joinedInDeferredClosure() {
+	done := make(chan struct{})
+	go func() {
+		defer func() {
+			work()
+			close(done)
+		}()
+		work()
+	}()
+	<-done
+}
+
+func heartbeat(ctx context.Context, d time.Duration) {
+	tick := time.NewTicker(d)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			work()
+		}
+	}
+}
+
+func pacedSleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	select {
+	case <-ctx.Done():
+		t.Stop()
+	case <-t.C:
+	}
+}
+
+func plainAfter(d time.Duration) {
+	<-time.After(d) // not in a select: the timer has fired by the time this returns
+}
+
+func fetch(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	_, err = io.ReadAll(resp.Body)
+	return err
+}
+
+func handedOff(c *http.Client, url string) (*http.Response, error) {
+	resp, err := c.Get(url) //carbonlint:allow lifecycle the caller owns the response and closes its body
+	return resp, err
+}

@@ -1,0 +1,49 @@
+// Fixture: every leak shape the lifecycle analyzer guards against.
+package leaks
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func work() {}
+
+func unjoined(n int) {
+	go func() { // want `goroutine is never joined`
+		work()
+	}()
+	go work() // want `go statement calls a named function`
+}
+
+func unstopped(d time.Duration) {
+	tick := time.NewTicker(d) // want `ticker tick is never stopped in this function`
+	<-tick.C
+	t := time.NewTimer(d) // want `timer t is never stopped in this function`
+	<-t.C
+	_ = time.NewTimer(d) // want `timer is discarded at creation and can never be stopped`
+	<-time.NewTimer(d).C // want `result is not bound to a variable`
+}
+
+func ticked(d time.Duration) <-chan time.Time {
+	return time.Tick(d) // want `time.Tick leaks its ticker`
+}
+
+func poll(ctx context.Context, d time.Duration) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(d): // want `time.After in a select leaks its timer`
+			work()
+		}
+	}
+}
+
+func fetch(c *http.Client, url string) error {
+	resp, err := c.Get(url) // want `response body resp.Body is never closed in this function`
+	if err != nil {
+		return err
+	}
+	return resp.Request.Context().Err()
+}

@@ -1,0 +1,14 @@
+// Fixture: packages outside coordinator/serve/sweep are out of scope — the
+// same leaks draw no diagnostics.
+package leaks
+
+import "time"
+
+func work() {}
+
+func unjoined() {
+	go work()
+	tick := time.NewTicker(time.Second)
+	<-tick.C
+	_ = time.Tick(time.Second)
+}

@@ -1,0 +1,48 @@
+package load
+
+import (
+	"go/token"
+	"testing"
+)
+
+// BenchmarkCheckRepo measures the parse + type-check phase over every
+// production package in this module, with the `go list` subprocess hoisted
+// out of the timed loop — the phase is pure CPU, so its numbers are stable
+// where end-to-end wall clock (subprocess exec, build-cache probing) is
+// noisy. This is the phase PatternsJobs fans out across workers and the
+// phase the types.Info trim (newInfo) shrank; committed numbers live in
+// BENCH_lint.json.
+func BenchmarkCheckRepo(b *testing.B) {
+	root, err := ModuleRoot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	list, err := goList(root, []string{"./..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exports := make(map[string]string, len(list))
+	var targets []listPkg
+	for _, p := range list {
+		if p.Error != nil {
+			b.Fatalf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	targets = dependencyOrder(targets)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fset := token.NewFileSet()
+		imp := newImporter(fset, exports)
+		for _, t := range targets {
+			if _, err := check(fset, imp, t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

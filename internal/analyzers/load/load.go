@@ -54,6 +54,7 @@ type listPkg struct {
 	Dir        string   `json:"Dir"`
 	Export     string   `json:"Export"`
 	GoFiles    []string `json:"GoFiles"`
+	Imports    []string `json:"Imports"`
 	DepOnly    bool     `json:"DepOnly"`
 	Error      *listErr `json:"Error"`
 }
@@ -63,7 +64,7 @@ type listErr struct {
 	Err string `json:"Err"`
 }
 
-const listFields = "-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Error"
+const listFields = "-json=ImportPath,Name,Dir,Export,GoFiles,Imports,DepOnly,Error"
 
 // goList runs `go list -e -export -deps` in dir over the given patterns and
 // decodes the JSON stream.
@@ -103,16 +104,16 @@ func newImporter(fset *token.FileSet, exports map[string]string) types.Importer 
 	})
 }
 
-// newInfo allocates the full types.Info the analyzers rely on.
+// newInfo allocates the types.Info maps the analyzers actually read: Types,
+// Defs, and Uses (TypeOf and ObjectOf consult only these three). Implicits,
+// Selections, Scopes, and Instances are deliberately nil — go/types skips
+// recording facts whose map is absent, and filling them for ten analyzers
+// that never look is measurable type-check overhead across a whole module.
 func newInfo() *types.Info {
 	return &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Implicits:  map[ast.Node]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-		Scopes:     map[ast.Node]*types.Scope{},
-		Instances:  map[*ast.Ident]types.Instance{},
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
 	}
 }
 
@@ -120,6 +121,17 @@ func newInfo() *types.Info {
 // patterns, resolved relative to dir ("" = current directory). Test files
 // are excluded: the suite checks production sources.
 func Patterns(dir string, patterns ...string) ([]*Package, error) {
+	return PatternsJobs(dir, 1, patterns...)
+}
+
+// PatternsJobs is Patterns with up to jobs packages parsed and type-checked
+// concurrently (jobs <= 1 means sequential). Every import — including one
+// repo package importing another — resolves from the export data `go list
+// -export` already compiled, so each package's check is independent of the
+// others' live results and the output is identical at any jobs count; the
+// work queue is still dependency-ordered so imported packages are checked
+// first and the shared importer's cache is warm when dependents need it.
+func PatternsJobs(dir string, jobs int, patterns ...string) ([]*Package, error) {
 	list, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
@@ -137,18 +149,107 @@ func Patterns(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, p)
 		}
 	}
+	targets = dependencyOrder(targets)
 	fset := token.NewFileSet()
-	imp := newImporter(fset, exports)
-	out := make([]*Package, 0, len(targets))
-	for _, t := range targets {
-		pkg, err := check(fset, imp, t)
-		if err != nil {
-			return nil, err
+
+	out := make([]*Package, len(targets))
+	if jobs <= 1 || len(targets) <= 1 {
+		imp := newImporter(fset, exports)
+		for i, t := range targets {
+			if out[i], err = check(fset, imp, t); err != nil {
+				return nil, err
+			}
 		}
-		out = append(out, pkg)
+	} else {
+		// token.FileSet serializes internally; the importer needs the same
+		// treatment (its package cache is not safe for concurrent Import).
+		// The imported dependency packages it returns are complete, which
+		// go/types reads concurrently by design.
+		imp := &lockedImporter{imp: newImporter(fset, exports)}
+		if jobs > len(targets) {
+			jobs = len(targets)
+		}
+		errs := make([]error, len(targets))
+		queue := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range queue {
+					out[i], errs[i] = check(fset, imp, targets[i])
+				}
+			}()
+		}
+		for i := range targets {
+			queue <- i
+		}
+		close(queue)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
 	return out, nil
+}
+
+// dependencyOrder sorts targets so every target appears after the targets
+// it imports (Kahn's algorithm, lexicographic among ready packages so the
+// order is deterministic).
+func dependencyOrder(targets []listPkg) []listPkg {
+	index := make(map[string]int, len(targets))
+	for i, t := range targets {
+		index[t.ImportPath] = i
+	}
+	blocking := make([]int, len(targets))
+	dependents := make(map[int][]int, len(targets))
+	for i, t := range targets {
+		for _, imp := range t.Imports {
+			if j, ok := index[imp]; ok && j != i {
+				blocking[i]++
+				dependents[j] = append(dependents[j], i)
+			}
+		}
+	}
+	ready := make([]int, 0, len(targets))
+	for i := range targets {
+		if blocking[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	ordered := make([]listPkg, 0, len(targets))
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, b int) bool {
+			return targets[ready[a]].ImportPath < targets[ready[b]].ImportPath
+		})
+		next := ready[0]
+		ready = ready[1:]
+		ordered = append(ordered, targets[next])
+		for _, d := range dependents[next] {
+			if blocking[d]--; blocking[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	if len(ordered) != len(targets) {
+		return targets // an import cycle would be a compile error anyway
+	}
+	return ordered
+}
+
+// lockedImporter serializes Import calls on a shared importer.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
 }
 
 // check parses and type-checks one listed package.

@@ -1,0 +1,78 @@
+package analyzers_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"carbonexplorer/internal/analyzers"
+	"carbonexplorer/internal/analyzers/load"
+)
+
+// TestParallelLintMatchesSequential is the acceptance gate for the
+// parallel driver: same packages, any jobs count, byte-identical output.
+// Both the parallel loader and the parallel linter are exercised, and the
+// comparison is over the rendered text, JSON, and SARIF forms — the bytes
+// CI artifacts actually carry.
+func TestParallelLintMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint skipped in -short mode")
+	}
+	root, err := load.ModuleRoot()
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	seqPkgs, err := load.Patterns(root, "./...")
+	if err != nil {
+		t.Fatalf("sequential load: %v", err)
+	}
+	parPkgs, err := load.PatternsJobs(root, runtime.NumCPU(), "./...")
+	if err != nil {
+		t.Fatalf("parallel load: %v", err)
+	}
+	if len(seqPkgs) != len(parPkgs) {
+		t.Fatalf("parallel loader found %d packages, sequential %d", len(parPkgs), len(seqPkgs))
+	}
+	for i := range seqPkgs {
+		if seqPkgs[i].PkgPath != parPkgs[i].PkgPath {
+			t.Fatalf("package order diverged at %d: %s vs %s", i, seqPkgs[i].PkgPath, parPkgs[i].PkgPath)
+		}
+	}
+
+	seq, err := analyzers.Lint(seqPkgs, analyzers.All())
+	if err != nil {
+		t.Fatalf("sequential lint: %v", err)
+	}
+	for _, jobs := range []int{2, runtime.NumCPU()} {
+		par, err := analyzers.LintParallel(parPkgs, analyzers.All(), jobs)
+		if err != nil {
+			t.Fatalf("parallel lint (jobs=%d): %v", jobs, err)
+		}
+		assertSameBytes(t, seq, par, root, jobs)
+	}
+}
+
+// assertSameBytes renders both finding sets in every output format and
+// compares the bytes.
+func assertSameBytes(t *testing.T, seq, par []analyzers.Finding, root string, jobs int) {
+	t.Helper()
+	render := func(fs []analyzers.Finding) []([]byte) {
+		var text, js, sarif bytes.Buffer
+		if err := analyzers.WriteText(&text, fs); err != nil {
+			t.Fatalf("text: %v", err)
+		}
+		if err := analyzers.WriteJSON(&js, fs, root); err != nil {
+			t.Fatalf("json: %v", err)
+		}
+		if err := analyzers.WriteSARIF(&sarif, fs, analyzers.All(), root); err != nil {
+			t.Fatalf("sarif: %v", err)
+		}
+		return [][]byte{text.Bytes(), js.Bytes(), sarif.Bytes()}
+	}
+	a, b := render(seq), render(par)
+	for i, format := range []string{"text", "json", "sarif"} {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Errorf("jobs=%d: %s output differs from sequential\nseq:\n%s\npar:\n%s", jobs, format, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package pubfreeze freezes //carbonlint:immutable types outside their
+// declaring file.
+//
+// serve.Index publishes its Snapshot for lock-free concurrent reads: the
+// no-locks claim in docs/SERVING.md is sound only while nothing mutates a
+// snapshot after it is built. This analyzer makes that invariant a build
+// property: a type whose doc comment carries //carbonlint:immutable accepts
+// field writes, slice/map element writes, and ++/-- only in the file that
+// declares it (which is where the constructor lives); any write reached
+// through a value of the type from another file in the package is flagged.
+//
+// The freeze is per-file rather than per-function so constructors, Load
+// paths, and test hooks that legitimately build the value stay in one
+// reviewable place. Cross-package writes need no analyzer: the frozen
+// types keep their fields unexported, so the compiler already rejects them.
+//
+// A malformed //carbonlint:immutable marker — trailing arguments, attached
+// to a function, floating in a body — is reported here.
+package pubfreeze
+
+import (
+	"go/ast"
+	"go/types"
+
+	"carbonexplorer/internal/analyzers/analysis"
+	"carbonexplorer/internal/analyzers/directive"
+)
+
+// Analyzer is the pubfreeze check.
+var Analyzer = &analysis.Analyzer{
+	Name: "pubfreeze",
+	Doc:  "forbid writes to //carbonlint:immutable types outside their declaring file",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	m := directive.ScanMarkers(pass.Files)
+	for _, d := range m.ImmutableDiags {
+		pass.Report(d)
+	}
+	if len(m.Immutable) == 0 {
+		return nil, nil
+	}
+
+	// frozen maps each annotated type to the file that declares it.
+	frozen := map[*types.TypeName]string{}
+	for id := range m.Immutable {
+		if tn, ok := pass.TypesInfo.Defs[id].(*types.TypeName); ok {
+			frozen[tn] = pass.Fset.Position(id.Pos()).Filename
+		}
+	}
+
+	c := checker{pass: pass, frozen: frozen}
+	for _, f := range pass.Files {
+		file := pass.Fset.Position(f.Pos()).Filename
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					c.checkWrite(lhs, file)
+				}
+			case *ast.IncDecStmt:
+				c.checkWrite(n.X, file)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	frozen map[*types.TypeName]string
+}
+
+// checkWrite flags target when the write path passes through a frozen type
+// declared in a different file.
+func (c *checker) checkWrite(target ast.Expr, file string) {
+	for {
+		switch e := ast.Unparen(target).(type) {
+		case *ast.SelectorExpr:
+			if tn := c.frozenBase(e.X); tn != nil && c.frozen[tn] != file {
+				c.pass.Reportf(target.Pos(),
+					"write to field %s of immutable type %s outside its declaring file; %s is frozen after construction (see //carbonlint:immutable)",
+					e.Sel.Name, tn.Name(), tn.Name())
+				return
+			}
+			target = e.X
+		case *ast.IndexExpr:
+			if tn := c.frozenBase(e.X); tn != nil && c.frozen[tn] != file {
+				c.pass.Reportf(target.Pos(),
+					"element write through immutable type %s outside its declaring file; %s is frozen after construction (see //carbonlint:immutable)",
+					tn.Name(), tn.Name())
+				return
+			}
+			target = e.X
+		case *ast.StarExpr:
+			target = e.X
+		default:
+			return
+		}
+	}
+}
+
+// frozenBase resolves expr's type (through pointers) to a frozen TypeName.
+func (c *checker) frozenBase(expr ast.Expr) *types.TypeName {
+	t := c.pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := c.frozen[named.Obj()]; !ok {
+		return nil
+	}
+	return named.Obj()
+}

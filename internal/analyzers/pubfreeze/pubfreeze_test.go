@@ -1,0 +1,16 @@
+package pubfreeze_test
+
+import (
+	"testing"
+
+	"carbonexplorer/internal/analyzers/linttest"
+	"carbonexplorer/internal/analyzers/pubfreeze"
+)
+
+func TestWritesOutsideDeclaringFileFlagged(t *testing.T) {
+	linttest.Run(t, pubfreeze.Analyzer, "testdata/flag", "carbonexplorer/internal/frozenfixture")
+}
+
+func TestConstructorAndReadsClean(t *testing.T) {
+	linttest.Run(t, pubfreeze.Analyzer, "testdata/clean", "carbonexplorer/internal/frozenfixture")
+}

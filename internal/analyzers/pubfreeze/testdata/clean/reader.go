@@ -1,0 +1,26 @@
+// Fixture, second file: reads of a frozen type, writes to an unannotated
+// type, and a reasoned suppression all stay clean.
+package view
+
+type scratch struct {
+	rows []int
+}
+
+func sum(s *Snapshot) int {
+	t := 0
+	for _, r := range s.rows {
+		t += r
+	}
+	return t
+}
+
+func fill(w *scratch, n int) {
+	w.rows = make([]int, n) // unannotated type: writable anywhere
+	for i := range w.rows {
+		w.rows[i] = i
+	}
+}
+
+func repair(s *Snapshot) {
+	s.rows[0] = 0 //carbonlint:allow pubfreeze fixture exercises a reviewed in-place repair before publish
+}

@@ -1,0 +1,18 @@
+// Fixture, declaring file: frozen type with all writes where they belong.
+package view
+
+// Snapshot is frozen after construction.
+//
+//carbonlint:immutable
+type Snapshot struct {
+	rows []int
+}
+
+// Build is the constructor; its writes are in the declaring file.
+func Build(n int) *Snapshot {
+	s := &Snapshot{rows: make([]int, n)}
+	for i := range s.rows {
+		s.rows[i] = i
+	}
+	return s
+}

@@ -1,0 +1,26 @@
+// Fixture, declaring file: the frozen type and its constructor. Writes in
+// this file are the constructor's privilege and stay clean.
+package frozen
+
+// Index is the published, read-only view.
+//
+//carbonlint:immutable
+type Index struct {
+	points []float64
+	best   int
+}
+
+// Names is a frozen slice type.
+//
+//carbonlint:immutable
+type Names []string
+
+// NewIndex builds an Index; construction writes are allowed here.
+func NewIndex(points []float64) *Index {
+	idx := &Index{points: points}
+	idx.best = 0
+	for i := range idx.points {
+		idx.points[i] = points[i]
+	}
+	return idx
+}

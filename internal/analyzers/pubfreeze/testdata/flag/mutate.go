@@ -1,0 +1,21 @@
+// Fixture, second file: every write path through a frozen type is flagged;
+// malformed markers are reported.
+package frozen
+
+func corrupt(idx *Index, names Names) {
+	idx.best = 3         // want `write to field best of immutable type Index outside its declaring file`
+	idx.points[0] = 1    // want `write to field points of immutable type Index outside its declaring file`
+	idx.best++           // want `write to field best of immutable type Index outside its declaring file`
+	names[0] = "renamed" // want `element write through immutable type Names outside its declaring file`
+}
+
+func reads(idx *Index) float64 {
+	local := idx.best // reading is what the freeze protects
+	return idx.points[local]
+}
+
+//carbonlint:immutable // want `annotates a function, but it applies to type declarations`
+func notAType() {}
+
+//carbonlint:immutable because shared // want `takes no arguments`
+type markedWithArgs struct{}

@@ -335,11 +335,15 @@ func runWorker(ctx context.Context, src leaseSource, in *explorer.Inputs, space 
 			}
 			// Every remaining lease is healthily running elsewhere. Poll:
 			// its done marker — or its heartbeat expiring — is what frees
-			// this worker.
+			// this worker. An explicit timer, not time.After: when ctx wins
+			// the select, After's timer would survive until it fires — one
+			// leaked timer per poll round for as long as shutdown takes.
+			t := time.NewTimer(src.Poll())
 			select {
 			case <-ctx.Done():
+				t.Stop()
 				return ctx.Err()
-			case <-time.After(src.Poll()):
+			case <-t.C:
 			}
 			continue
 		}

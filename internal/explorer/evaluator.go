@@ -85,6 +85,8 @@ func (e *Evaluator) Inputs() *Inputs { return e.in }
 // investments. It reports false when the scaled supply cannot be proven
 // finite — the caller must then take the reference path, which runs the
 // full per-sample validation and produces its exact errors.
+//
+//carbonlint:hotpath
 func (e *Evaluator) ensureSupply(windMW, solarMW float64) bool {
 	if e.haveSupply && windMW == e.memoWindMW && solarMW == e.memoSolarMW { //carbonlint:allow floatcmp memo key wants exact bits: enumerated grids repeat identical values, and a near-miss must rebuild
 		return true
@@ -120,6 +122,13 @@ func (e *Evaluator) ensureSupply(windMW, solarMW float64) bool {
 // The accounting mirrors evaluate.go step for step; where passes are fused
 // (grid pricing + grid total) the accumulators are independent, so each
 // still sees the exact add sequence of the reference.
+//
+// The //carbonlint:hotpath marker is the static face of the runtime gate:
+// hotalloc rejects allocating constructs in exactly the functions
+// TestEvaluateSteadyStateZeroAllocs measures (the marker census is pinned
+// by TestHotpathMarkersNameZeroAllocGatedSymbols).
+//
+//carbonlint:hotpath
 func (e *Evaluator) Evaluate(d Design) (Outcome, error) {
 	in := e.in
 	if err := d.Validate(); err != nil {
@@ -232,6 +241,9 @@ func (e *Evaluator) EvaluateSafe(d Design) (o Outcome, err error) {
 	return e.Evaluate(d)
 }
 
+// sumFloats accumulates in index order (bit-reproducibility).
+//
+//carbonlint:hotpath
 func sumFloats(v []float64) float64 {
 	t := 0.0
 	for _, x := range v {

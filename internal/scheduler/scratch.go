@@ -74,6 +74,13 @@ type RawResult struct {
 // is a directly-indexed slice here, but entries are probed in the same
 // ascending-deadline order the map version scans, so every float add happens
 // in the same sequence).
+//
+// Allocation-free in the steady state: s.grow only allocates when the
+// horizon exceeds every previous call's. The grow path stays unannotated —
+// growth is its whole job — while this function and pullDeferred carry
+// //carbonlint:hotpath so hotalloc rejects new allocating constructs.
+//
+//carbonlint:hotpath
 func SimulateScratch(cfg SimConfig, s *Scratch) (RawResult, error) {
 	if !cfg.AssumeValid {
 		if err := cfg.Validate(); err != nil {
@@ -230,6 +237,8 @@ func SimulateScratch(cfg SimConfig, s *Scratch) (RawResult, error) {
 
 // pullDeferred removes up to amount MWh from the deferred ledger over
 // deadlines [from, to], earliest first, and returns how much was pulled.
+//
+//carbonlint:hotpath
 func (s *Scratch) pullDeferred(from, to int, amount float64) float64 {
 	pulled := 0.0
 	for d := from; d <= to && amount > 0; d++ {

@@ -48,7 +48,10 @@ func (o Options) withDefaults() Options {
 // frontier sorted by embodied carbon, plus sorted cost and coverage views
 // with prefix-argmin tables so single-constraint optimum queries are two
 // array lookups after a binary search. All fields and slices are immutable
-// after Load; callers must not modify what accessors return.
+// after Load; callers must not modify what accessors return — pubfreeze
+// rejects field writes outside this file.
+//
+//carbonlint:immutable
 type Snapshot struct {
 	// Path is the checkpoint file the snapshot was loaded from.
 	Path string
@@ -96,7 +99,9 @@ func (s *Snapshot) Frontier() []Point { return s.points }
 
 // Index is an immutable set of snapshots keyed by space hash. Build one
 // with Load; reads need no locks (see the package documentation for the
-// memory model).
+// memory model). Field writes outside this file are rejected by pubfreeze.
+//
+//carbonlint:immutable
 type Index struct {
 	byHash map[string]*Snapshot
 	// ordered lists snapshots sorted by (site, strategy, hash), so listing

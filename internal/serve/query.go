@@ -43,6 +43,13 @@ var ErrInfeasible = errors.New("serve: no frontier design satisfies the constrai
 // coverage constraints the answer is the best non-dominated design — see
 // docs/SERVING.md for what that approximates and why it is the right
 // serving trade-off.
+//
+// The //carbonlint:hotpath marker is the static face of the runtime gate:
+// hotalloc rejects allocating constructs in exactly the functions
+// TestOptimumZeroAllocs measures (the marker census is pinned by
+// TestHotpathMarkersNameZeroAllocGatedSymbols).
+//
+//carbonlint:hotpath
 func (s *Snapshot) Optimum(q Query) (Point, error) {
 	if len(s.points) == 0 {
 		return Point{}, ErrInfeasible
@@ -85,6 +92,8 @@ func (s *Snapshot) Optimum(q Query) (Point, error) {
 // points whose embodied carbon lies in [minEmbodiedG, maxEmbodiedG]. NaN
 // bounds impose nothing. Zero allocations; two binary searches over the
 // embodied array the frontier is already sorted by.
+//
+//carbonlint:hotpath
 func (s *Snapshot) FrontierBounds(minEmbodiedG, maxEmbodiedG float64) (lo, hi int) {
 	lo, hi = 0, len(s.embodied)
 	if !math.IsNaN(minEmbodiedG) {
@@ -102,6 +111,8 @@ func (s *Snapshot) FrontierBounds(minEmbodiedG, maxEmbodiedG float64) (lo, hi in
 // betterPoint mirrors the sweep engine's optimum ordering — minimum total
 // carbon, ties toward higher coverage — so serve answers agree with the
 // batch fold.
+//
+//carbonlint:hotpath
 func betterPoint(a, b *Point) bool {
 	at, bt := a.Outcome.Total(), b.Outcome.Total()
 	if at != bt { //carbonlint:allow floatcmp exact-bits tie-break mirrors sweep.betterOutcome so serve and batch agree
@@ -111,6 +122,8 @@ func betterPoint(a, b *Point) bool {
 }
 
 // countLE returns how many values of the ascending slice are <= x.
+//
+//carbonlint:hotpath
 func countLE(asc []float64, x float64) int {
 	lo, hi := 0, len(asc)
 	for lo < hi {
@@ -125,6 +138,8 @@ func countLE(asc []float64, x float64) int {
 }
 
 // countLT returns how many values of the ascending slice are < x.
+//
+//carbonlint:hotpath
 func countLT(asc []float64, x float64) int {
 	lo, hi := 0, len(asc)
 	for lo < hi {
@@ -139,6 +154,8 @@ func countLT(asc []float64, x float64) int {
 }
 
 // countGEDesc returns how many values of the descending slice are >= x.
+//
+//carbonlint:hotpath
 func countGEDesc(desc []float64, x float64) int {
 	lo, hi := 0, len(desc)
 	for lo < hi {

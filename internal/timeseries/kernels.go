@@ -23,6 +23,8 @@ func (s Series) Raw() []float64 { return s.values }
 // bit-identical to Scale(k).Sum(). It panics if dst is shorter than s.
 // dst is not zeroed first: callers compose multiple sources into one
 // buffer (wind + solar) by chaining calls.
+//
+//carbonlint:hotpath
 func (s Series) ScaleAddInto(dst []float64, k float64) float64 {
 	if len(dst) < len(s.values) {
 		panic("timeseries: ScaleAddInto destination shorter than series")
@@ -39,6 +41,8 @@ func (s Series) ScaleAddInto(dst []float64, k float64) float64 {
 // Zero sets every element of buf to 0. A tiny helper so scratch owners
 // reset buffers without an allocation (the compiler lowers this loop to
 // memclr).
+//
+//carbonlint:hotpath
 func Zero(buf []float64) {
 	for i := range buf {
 		buf[i] = 0
