@@ -213,7 +213,9 @@ func ParetoFrontier(points []Outcome) []Outcome { return explorer.ParetoFrontier
 type (
 	// SweepOptions configures a streaming sweep: batch size (peak resident
 	// outcomes), checkpointing (the Checkpoint sub-struct), retry policy
-	// (Retries; SweepNoRetries disables), and shard slice.
+	// (Retries; SweepNoRetries disables), and the Plan describing what the
+	// sweep covers (mode, shard slice, adaptive knobs). The top-level Shard
+	// field is deprecated in favor of Plan.Shard.
 	SweepOptions = sweep.Options
 	// SweepCheckpointOptions is the Checkpoint sub-struct of SweepOptions:
 	// path, save cadence, and resume flag. The zero value disables
@@ -225,6 +227,18 @@ type (
 	// checkpoint, retried, recovered, failed, skipped, or left to other
 	// shards.
 	SweepReport = sweep.Report
+	// SweepPlan is the single entry point describing what a sweep covers:
+	// the mode (exhaustive or adaptive), the shard slice, and the adaptive
+	// refinement knobs (Tolerance, MaxRounds, CoarsePointsPerDim). The zero
+	// value is a full exhaustive sweep. It subsumes the deprecated
+	// SweepOptions.Shard field; see DESIGN.md for the migration table.
+	SweepPlan = sweep.Plan
+	// SweepMode selects between exhaustive and adaptive sweeps in a
+	// SweepPlan.
+	SweepMode = sweep.Mode
+	// SweepAdaptiveProgress reports an adaptive sweep's refinement state:
+	// rounds executed, evaluations per round, surviving cells, convergence.
+	SweepAdaptiveProgress = sweep.AdaptiveProgress
 	// SweepShard identifies one worker's contiguous i/N slice of a sweep's
 	// design enumeration; the zero value means unsharded.
 	SweepShard = sweep.Shard
@@ -243,6 +257,17 @@ type (
 // SweepNoRetries disables failed-design retries in SweepOptions.Retries
 // (the zero value means the default single retry).
 const SweepNoRetries = sweep.NoRetries
+
+// Sweep modes for SweepPlan.Mode.
+const (
+	// SweepModeExhaustive evaluates every design in the space — the
+	// default.
+	SweepModeExhaustive = sweep.ModeExhaustive
+	// SweepModeAdaptive refines a coarse lattice toward the Pareto
+	// frontier, evaluating orders of magnitude fewer designs than the dense
+	// grid while reaching the same frontier within SweepPlan.Tolerance.
+	SweepModeAdaptive = sweep.ModeAdaptive
+)
 
 // Sweep checkpoint errors.
 var (
@@ -267,8 +292,27 @@ func RunSweep(ctx context.Context, in *Inputs, space Space, strategy Strategy, o
 	return sweep.Run(ctx, in, space, strategy, opts)
 }
 
+// RunAdaptiveSweep executes an adaptive sweep: a coarse lattice over the
+// space is evaluated, cells that provably cannot reach the Pareto frontier
+// within plan.Tolerance are pruned, and the survivors are subdivided for
+// the next round, up to plan.MaxRounds. The refinement work-list is a pure
+// function of the space, the plan, and the prior round's frontier, so
+// results are byte-identical to the same plan run sharded or coordinated,
+// and checkpoints resume across interruptions exactly like exhaustive
+// sweeps. plan.Mode is forced to SweepModeAdaptive; every other SweepOptions
+// field (batch, retries, checkpointing) applies unchanged.
+func RunAdaptiveSweep(ctx context.Context, in *Inputs, space Space, strategy Strategy, plan SweepPlan, opts SweepOptions) (SweepResult, error) {
+	plan.Mode = sweep.ModeAdaptive
+	opts.Plan = plan
+	return sweep.Run(ctx, in, space, strategy, opts)
+}
+
+// ParseSweepMode parses a sweep mode name ("exhaustive" or "adaptive") for
+// SweepPlan.Mode.
+func ParseSweepMode(s string) (SweepMode, error) { return sweep.ParseMode(s) }
+
 // ParseSweepShard parses an "index/count" shard specification (e.g. "2/3")
-// for SweepOptions.Shard; the empty string means unsharded. Malformed or
+// for SweepPlan.Shard; the empty string means unsharded. Malformed or
 // out-of-range specifications wrap ErrBadShard.
 func ParseSweepShard(spec string) (SweepShard, error) { return sweep.ParseShard(spec) }
 

@@ -9,6 +9,7 @@
 //	carbonexplorer optimize -site UT -strategy all
 //	carbonexplorer optimize -site UT -strategy all -checkpoint sweep.json -resume
 //	carbonexplorer optimize -site UT -strategy all -shard 1/3 -checkpoint shard1.json
+//	carbonexplorer optimize -site UT -strategy all -mode adaptive -tolerance 0.02
 //	carbonexplorer optimize -site UT -strategy all -workers 4
 //	carbonexplorer optimize -site UT -strategy all -workers 4 -coordinate leases/
 //	carbonexplorer coordinate -listen :8080 -state coordinator-state
@@ -22,6 +23,15 @@
 // -batch regardless of grid density, failed designs are retried (-retries,
 // default once), and with -checkpoint an interrupted sweep — Ctrl-C, a
 // timeout, or a crash — persists its progress and continues with -resume.
+//
+// -mode adaptive replaces the exhaustive grid walk with iterative
+// refinement: a coarse lattice (-coarse points per free axis) is evaluated,
+// cells that provably cannot reach the Pareto frontier within -tolerance
+// are pruned, and the survivors are subdivided for the next round, up to
+// -max-rounds. The refinement is deterministic, so it composes with
+// -checkpoint/-resume, -shard, -workers, and -coordinate exactly like an
+// exhaustive sweep and converges to byte-identical checkpoints on any
+// worker topology.
 //
 // -shard i/N restricts a run to its contiguous 1/N slice of the design
 // enumeration, so N workers on separate machines can split one sweep with no
@@ -146,7 +156,9 @@ subcommands:
   evaluate     full carbon evaluation of one design
   optimize     streaming search for the carbon-optimal design
                (-checkpoint/-resume persist progress; -batch bounds memory;
-               -shard i/N sweeps one slice of the space per worker)
+               -shard i/N sweeps one slice of the space per worker;
+               -mode adaptive refines a coarse lattice toward the frontier
+               instead of walking the full grid — see -tolerance/-max-rounds/-coarse)
   coordinate   serve the lease coordinator over HTTP (-listen :8080) so
                optimize -coordinate http://host:8080 workers on any machine
                share one sweep; state survives coordinator restarts
@@ -273,7 +285,74 @@ func printOutcome(siteID string, o explorer.Outcome) {
 	}
 }
 
-func optimizeFlags(fs *flag.FlagSet) (siteID, strategyName *string, timeout *time.Duration, checkpoint *string, resume *bool, batch, retries *int, shardSpec *string, workers *int, coordinate *string, leases *int, heartbeat, leaseTTL *time.Duration) {
+// adaptiveFlagValues collects the optimize flags that select and tune
+// adaptive sweep mode, so the already-long optimizeFlags tuple doesn't grow
+// by four more positional returns.
+type adaptiveFlagValues struct {
+	mode      *string
+	tolerance *float64
+	maxRounds *int
+	coarse    *int
+}
+
+// plan folds the flag values into a sweep.Plan and validates them at parse
+// time: adaptive knobs without -mode adaptive are an error, not a silent
+// no-op, and the plan's own validation (tolerance range, lattice size)
+// rejects nonsense before any evaluation starts.
+func (a adaptiveFlagValues) plan(shard sweep.Shard) (sweep.Plan, error) {
+	mode := sweep.ModeExhaustive
+	if *a.mode != "" {
+		var err error
+		mode, err = sweep.ParseMode(*a.mode)
+		if err != nil {
+			return sweep.Plan{}, fmt.Errorf("flag -mode: %w", err)
+		}
+	}
+	p := sweep.Plan{
+		Mode:               mode,
+		Shard:              shard,
+		Tolerance:          *a.tolerance,
+		MaxRounds:          *a.maxRounds,
+		CoarsePointsPerDim: *a.coarse,
+	}
+	if mode != sweep.ModeAdaptive {
+		if *a.tolerance != 0 {
+			return sweep.Plan{}, fmt.Errorf("flag -tolerance requires -mode adaptive")
+		}
+		if *a.maxRounds != 0 {
+			return sweep.Plan{}, fmt.Errorf("flag -max-rounds requires -mode adaptive")
+		}
+		if *a.coarse != 0 {
+			return sweep.Plan{}, fmt.Errorf("flag -coarse requires -mode adaptive")
+		}
+	}
+	if _, err := p.Normalized(); err != nil {
+		return sweep.Plan{}, err
+	}
+	return p, nil
+}
+
+// hint renders the adaptive flags as the user set them, for the printed
+// resume command — an adaptive checkpoint can only be resumed in adaptive
+// mode, so a hint that drops these flags would fail with a mode mismatch.
+func (a adaptiveFlagValues) hint() string {
+	if *a.mode == "" {
+		return ""
+	}
+	s := " -mode " + *a.mode
+	if *a.tolerance != 0 {
+		s += fmt.Sprintf(" -tolerance %g", *a.tolerance)
+	}
+	if *a.maxRounds != 0 {
+		s += fmt.Sprintf(" -max-rounds %d", *a.maxRounds)
+	}
+	if *a.coarse != 0 {
+		s += fmt.Sprintf(" -coarse %d", *a.coarse)
+	}
+	return s
+}
+
+func optimizeFlags(fs *flag.FlagSet) (siteID, strategyName *string, timeout *time.Duration, checkpoint *string, resume *bool, batch, retries *int, shardSpec *string, workers *int, coordinate *string, leases *int, heartbeat, leaseTTL *time.Duration, adapt adaptiveFlagValues) {
 	siteID = fs.String("site", "UT", "site ID")
 	strategyName = fs.String("strategy", "all", "renewables | battery | cas | all")
 	timeout = fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit), printing partial results")
@@ -287,12 +366,16 @@ func optimizeFlags(fs *flag.FlagSet) (siteID, strategyName *string, timeout *tim
 	leases = fs.Int("leases", 0, "leases the coordinated space is split into (0 = 8 per worker); more leases = finer stealing granularity")
 	heartbeat = fs.Duration("heartbeat", 0, "how often a coordinated worker refreshes its claimed lease's liveness (0 = 1s default)")
 	leaseTTL = fs.Duration("lease-ttl", 0, "how stale a lease's heartbeat must be before another worker steals it (0 = 10× heartbeat); must be at least 3× the heartbeat")
+	adapt.mode = fs.String("mode", "", "sweep mode: exhaustive (default) evaluates every design; adaptive starts from a coarse lattice and subdivides only cells that can still reach the Pareto frontier")
+	adapt.tolerance = fs.Float64("tolerance", 0, "adaptive convergence tolerance as a fraction of the frontier extent (0 = 0.01 default); requires -mode adaptive")
+	adapt.maxRounds = fs.Int("max-rounds", 0, "adaptive subdivision round budget (0 = 3 default); requires -mode adaptive")
+	adapt.coarse = fs.Int("coarse", 0, "points per free axis of the adaptive coarse lattice (0 = 5 default, minimum 2); requires -mode adaptive")
 	return
 }
 
 func cmdOptimize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
-	siteID, strategyName, timeout, checkpoint, resume, batch, retries, shardSpec, workers, coordinate, leases, heartbeat, leaseTTL := optimizeFlags(fs)
+	siteID, strategyName, timeout, checkpoint, resume, batch, retries, shardSpec, workers, coordinate, leases, heartbeat, leaseTTL, adapt := optimizeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -345,6 +428,10 @@ func cmdOptimize(ctx context.Context, args []string) error {
 	shard, err := sweep.ParseShard(*shardSpec)
 	if err != nil {
 		return fmt.Errorf("flag -shard: %w", err)
+	}
+	plan, err := adapt.plan(shard)
+	if err != nil {
+		return err
 	}
 	if coordinated {
 		if !shard.IsZero() {
@@ -406,12 +493,13 @@ func cmdOptimize(ctx context.Context, args []string) error {
 			Retries:    sweepRetries,
 			Heartbeat:  *heartbeat,
 			Expiry:     *leaseTTL,
+			Plan:       plan,
 		})
 	} else {
 		res, err = sweep.Run(ctx, in, explorer.DefaultSpace(in), strategy, sweep.Options{
 			BatchSize: *batch,
 			Retries:   sweepRetries,
-			Shard:     shard,
+			Plan:      plan,
 			Checkpoint: sweep.CheckpointOptions{
 				Path:   *checkpoint,
 				Resume: *resume,
@@ -449,12 +537,25 @@ func cmdOptimize(ctx context.Context, args []string) error {
 		case leaseDir != "":
 			fmt.Printf("progress saved to %s; re-invoke the same command to continue\n", ckptPath)
 		case *checkpoint != "":
-			fmt.Printf("progress saved to %s; continue with: optimize -site %s -strategy %s -checkpoint %s -resume\n",
-				*checkpoint, *siteID, *strategyName, *checkpoint)
+			fmt.Printf("progress saved to %s; continue with: optimize -site %s -strategy %s%s -checkpoint %s -resume\n",
+				*checkpoint, *siteID, *strategyName, adapt.hint(), *checkpoint)
 		}
 	}
 	fmt.Printf("strategy %s: %d designs evaluated, %d on the Pareto frontier\n",
 		strategy, res.Report.Evaluated, len(res.Frontier))
+	if a := res.Adaptive; a != nil {
+		fmt.Printf("adaptive refinement: %d rounds (evals per round %v), tolerance %g",
+			a.Round+1, a.RoundEvals, a.Tolerance)
+		if a.Converged {
+			fmt.Println(", converged")
+		} else {
+			fmt.Println(", not yet converged")
+		}
+		if !a.Converged && !interrupted && !shard.IsZero() {
+			fmt.Printf("shard %s finished its slice of round %d; fold the shard checkpoints with 'merge', copy the merged file over each shard checkpoint, and re-invoke with -resume to start round %d\n",
+				shard, a.Round, a.Round+1)
+		}
+	}
 	for _, wp := range res.Workers {
 		fmt.Printf("worker %s: %d leases (%d stolen), %d designs evaluated, %d failed\n",
 			wp.Worker, wp.Leases, wp.Stolen, wp.Evaluated, wp.Failed)

@@ -322,3 +322,58 @@ func TestRunStudyValidation(t *testing.T) {
 		t.Fatalf("battery-tech study failed: %v", err)
 	}
 }
+
+func TestAdaptiveFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // expected fragment of the error message
+	}{
+		{[]string{"optimize", "-site", "UT", "-mode", "turbo"}, "-mode"},
+		{[]string{"optimize", "-site", "UT", "-tolerance", "0.1"}, "-tolerance"},
+		{[]string{"optimize", "-site", "UT", "-max-rounds", "2"}, "-max-rounds"},
+		{[]string{"optimize", "-site", "UT", "-coarse", "3"}, "-coarse"},
+		{[]string{"optimize", "-site", "UT", "-mode", "adaptive", "-tolerance", "1.5"}, "out of [0, 1)"},
+		{[]string{"optimize", "-site", "UT", "-mode", "adaptive", "-tolerance", "-0.1"}, "out of [0, 1)"},
+		{[]string{"optimize", "-site", "UT", "-mode", "adaptive", "-max-rounds", "-1"}, "MaxRounds"},
+		{[]string{"optimize", "-site", "UT", "-mode", "adaptive", "-coarse", "1"}, "at least 2"},
+	}
+	for _, c := range cases {
+		err := runBg(c.args...)
+		if err == nil {
+			t.Fatalf("%v: invalid flags accepted", c.args)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%v: error %q does not mention %q", c.args, err, c.want)
+		}
+	}
+}
+
+func TestOptimizeAdaptive(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "adaptive.json")
+	if err := runBg("optimize", "-site", "UT", "-strategy", "all", "-mode", "adaptive",
+		"-tolerance", "0.05", "-max-rounds", "2", "-coarse", "3", "-checkpoint", ckpt); err != nil {
+		t.Fatalf("adaptive optimize failed: %v", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("adaptive optimize left no checkpoint: %v", err)
+	}
+	// Re-invoking with -resume fast-forwards through the converged
+	// checkpoint without evaluating anything (and without error).
+	if err := runBg("optimize", "-site", "UT", "-strategy", "all", "-mode", "adaptive",
+		"-tolerance", "0.05", "-max-rounds", "2", "-coarse", "3", "-checkpoint", ckpt, "-resume"); err != nil {
+		t.Fatalf("adaptive resume failed: %v", err)
+	}
+}
+
+func TestOptimizeAdaptiveCoordinated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coordinated adaptive sweep in -short mode")
+	}
+	dir := t.TempDir()
+	if err := runBg("optimize", "-site", "UT", "-strategy", "all", "-mode", "adaptive",
+		"-tolerance", "0.05", "-max-rounds", "2", "-coarse", "3",
+		"-workers", "2", "-coordinate", filepath.Join(dir, "leases")); err != nil {
+		t.Fatalf("coordinated adaptive optimize failed: %v", err)
+	}
+}

@@ -249,3 +249,53 @@ func ExampleNetZeroSummarize() {
 		s.AnnualNetZero, s.ByPeriod[carbonexplorer.MatchHourly]*100)
 	// Output: annual net zero: true, hourly matched: 50%
 }
+
+// ExampleSweepPlan runs the same search as an adaptive sweep: instead of
+// walking the dense grid, a coarse lattice is evaluated, cells that cannot
+// reach the Pareto frontier within the tolerance are pruned, and the
+// survivors are subdivided — reaching the dense-grid frontier at a fraction
+// of the evaluations. The plan, not a pile of loose knobs, is the single
+// description of what the sweep covers; it composes unchanged with
+// checkpoints, shards, and coordinated fleets.
+func ExampleSweepPlan() {
+	site := carbonexplorer.MustSite("UT")
+	n := 240
+	demand := carbonexplorer.ConstantSeries(n, 12)
+	wind := carbonexplorer.GenerateSeries(n, func(h int) float64 {
+		return 0.5 + 0.4*math.Sin(2*math.Pi*float64(h)/31)
+	})
+	solar := carbonexplorer.GenerateSeries(n, func(h int) float64 {
+		if h%24 >= 7 && h%24 < 17 {
+			return 0.9
+		}
+		return 0
+	})
+	ci := carbonexplorer.ConstantSeries(n, 400)
+	in, err := carbonexplorer.NewInputsFromSeries(site, demand, wind, solar, ci,
+		carbonexplorer.DefaultEmbodiedParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	space := carbonexplorer.Space{
+		WindMW:       []float64{0, 30, 60},
+		SolarMW:      []float64{0, 30, 60},
+		BatteryHours: []float64{0, 2, 4},
+		DoD:          1,
+	}
+	res, err := carbonexplorer.RunAdaptiveSweep(context.Background(), in, space,
+		carbonexplorer.RenewablesBattery,
+		carbonexplorer.SweepPlan{Tolerance: 0.05, MaxRounds: 2, CoarsePointsPerDim: 3},
+		carbonexplorer.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two subdivision rounds refine the 3-point coarse lattice to the
+	// resolution of a dense 9×9×9 grid (729 designs).
+	fmt.Printf("adaptive: %d designs over %d rounds (dense grid: %d), converged: %v\n",
+		res.Report.Evaluated, res.Adaptive.Round+1, 9*9*9, res.Adaptive.Converged)
+	fmt.Printf("optimum: %.0f MW wind + %.0f MW solar + %.0f MWh battery\n",
+		res.Optimal.Design.WindMW, res.Optimal.Design.SolarMW, res.Optimal.Design.BatteryMWh)
+	// Output:
+	// adaptive: 251 designs over 3 rounds (dense grid: 729), converged: true
+	// optimum: 60 MW wind + 0 MW solar + 0 MWh battery
+}

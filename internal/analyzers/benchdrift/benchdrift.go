@@ -57,9 +57,11 @@ const anchorPkg = "carbonexplorer/cmd/carbonexplorer"
 var requiredTop = []string{"package", "date", "goos", "goarch", "cpu", "command", "notes"}
 
 // optionalEntry are the metric fields an entry may carry beyond the
-// required name/iterations/ns_per_op.
+// required name/iterations/ns_per_op. "evals" is the design-evaluation
+// count an adaptive-vs-dense benchmark reports via b.ReportMetric.
 var optionalEntry = map[string]bool{
 	"bytes_per_op": true, "allocs_per_op": true, "designs_per_sec": true,
+	"evals": true,
 }
 
 // dateRE pins the date field to YYYY-MM-DD.
@@ -254,7 +256,7 @@ func (c *checker) checkEntries(path string, content []byte, base, field string, 
 			case "name", "iterations", "ns_per_op":
 			default:
 				if !optionalEntry[key] {
-					c.reportf(path, content, offset, "%s: unknown field %q (known metrics: bytes_per_op, allocs_per_op, designs_per_sec)", at, key)
+					c.reportf(path, content, offset, "%s: unknown field %q (known metrics: bytes_per_op, allocs_per_op, designs_per_sec, evals)", at, key)
 				} else if _, ok := v.(float64); !ok {
 					c.reportf(path, content, offset, "%s: field %q must be a number", at, key)
 				}

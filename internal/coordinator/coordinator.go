@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -18,6 +19,11 @@ import (
 // a sensible default: one worker per CPU, eight leases per worker,
 // in-process coordination.
 type Options struct {
+	// Plan selects what the fleet sweeps: the zero value is a full-space
+	// exhaustive sweep; Mode sweep.ModeAdaptive runs the coarse-to-fine
+	// refinement with every round fanned out across the fleet. Plan.Shard
+	// must be zero — leases already partition the work-list.
+	Plan sweep.Plan
 	// Workers is the number of concurrent workers (default GOMAXPROCS,
 	// capped by the lease count — an idle worker with no lease left to
 	// claim adds nothing).
@@ -148,36 +154,89 @@ func workerInputs(in *explorer.Inputs, opts Options, w int) *explorer.Inputs {
 // lease checkpoint written so far into Options.Checkpoint, so a later
 // invocation (or a plain `optimize -resume`) continues from there.
 func Run(ctx context.Context, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options) (sweep.Result, error) {
-	designs := space.Enumerate(strategy, in.AvgDemandMW())
-	n := len(designs)
-	if n == 0 {
-		return sweep.Result{}, fmt.Errorf("coordinator: empty search space")
-	}
 	if opts.Endpoint != "" && opts.LeaseDir != "" {
 		return sweep.Result{}, fmt.Errorf("coordinator: Endpoint and LeaseDir are mutually exclusive; pick one transport")
 	}
+	plan, err := opts.Plan.Normalized()
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	if !plan.Shard.IsZero() {
+		return sweep.Result{}, fmt.Errorf("coordinator: Plan.Shard %s is incompatible with coordinated sweeps — leases already partition the work-list", plan.Shard)
+	}
+	opts.Plan = plan
+	if plan.Mode == sweep.ModeAdaptive {
+		return runAdaptive(ctx, in, space, strategy, opts)
+	}
+	job, err := sweep.NewJob(in, space, strategy)
+	if err != nil {
+		return sweep.Result{}, fmt.Errorf("coordinator: empty search space")
+	}
+	return runJob(ctx, in, opts, job)
+}
+
+// runAdaptive fans each refinement round of an adaptive plan out across the
+// fleet: sweep.RunAdaptiveRounds derives every round's deterministic
+// work-list, and the eval callback runs it through the configured transport
+// as one coordinated job. In LeaseDir mode each round gets its own
+// round-NNNN subdirectory — its board and per-round merged checkpoint are
+// the round's durable state, so a killed fleet re-invoked over the same
+// directory replays finished rounds from files and resumes the interrupted
+// one. The converged final checkpoint lands at Options.Checkpoint (default
+// <LeaseDir>/merged.json), where `optimize -resume` and `serve -state`
+// expect it.
+func runAdaptive(ctx context.Context, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options) (sweep.Result, error) {
+	finalPath := opts.Checkpoint
+	if finalPath == "" && opts.LeaseDir != "" {
+		finalPath = MergedCheckpointPath(opts.LeaseDir)
+	}
+	swOpts := sweep.Options{
+		BatchSize: opts.BatchSize,
+		Retries:   opts.Retries,
+		Plan:      opts.Plan,
+		Checkpoint: sweep.CheckpointOptions{
+			Path:   finalPath,
+			Every:  opts.CheckpointEvery,
+			Resume: finalPath != "",
+		},
+	}
+	eval := func(ctx context.Context, job *sweep.Job, round int) (sweep.Result, error) {
+		ro := opts
+		ro.Plan = sweep.Plan{} // each round is a concrete exhaustive work-list
+		ro.Checkpoint = ""     // rounds keep their state out of the final path
+		if opts.LeaseDir != "" {
+			ro.LeaseDir = filepath.Join(opts.LeaseDir, fmt.Sprintf("round-%04d", round))
+		}
+		return runJob(ctx, in, ro, job)
+	}
+	return sweep.RunAdaptiveRounds(ctx, in, space, strategy, swOpts, eval)
+}
+
+// runJob dispatches one concrete work-list to the configured transport.
+func runJob(ctx context.Context, in *explorer.Inputs, opts Options, job *sweep.Job) (sweep.Result, error) {
+	n := len(job.Designs)
 	opts = opts.withDefaults(n)
 	if opts.Expiry < HeartbeatSafetyFactor*opts.Heartbeat {
 		return sweep.Result{}, fmt.Errorf("%w: expiry %v < %d × heartbeat %v", ErrLivenessConfig, opts.Expiry, HeartbeatSafetyFactor, opts.Heartbeat)
 	}
 	if opts.Endpoint != "" {
-		return runNetwork(ctx, in, space, strategy, opts, designs)
+		return runNetwork(ctx, in, opts, job)
 	}
 	plans, err := sweep.PlanShards(n, opts.Leases)
 	if err != nil {
 		return sweep.Result{}, err
 	}
 	if opts.LeaseDir == "" {
-		return runMemory(ctx, in, space, strategy, opts, plans)
+		return runMemory(ctx, in, opts, job, plans)
 	}
-	return runLeaseDir(ctx, in, space, strategy, opts, plans)
+	return runLeaseDir(ctx, in, opts, job, plans)
 }
 
 // runMemory coordinates a worker pool over a channel of lease indices.
 // Every lease produces a full-space-accounted Result; folding them in
 // lease order through sweep.MergeResults reproduces the single-process
 // fold exactly.
-func runMemory(ctx context.Context, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options, plans []sweep.ShardPlan) (sweep.Result, error) {
+func runMemory(ctx context.Context, in *explorer.Inputs, opts Options, job *sweep.Job, plans []sweep.ShardPlan) (sweep.Result, error) {
 	results := make([]sweep.Result, len(plans))
 	errs := make([]error, len(plans))
 	progress := make([]sweep.WorkerProgress, opts.Workers)
@@ -190,10 +249,10 @@ func runMemory(ctx context.Context, in *explorer.Inputs, space explorer.Space, s
 			progress[w].Worker = workerLabel(opts, w)
 			win := workerInputs(in, opts, w)
 			for li := range queue {
-				res, err := sweep.Run(ctx, win, space, strategy, sweep.Options{
+				res, err := job.Run(ctx, win, sweep.Options{
 					BatchSize: opts.BatchSize,
 					Retries:   opts.Retries,
-					Shard:     plans[li].Shard,
+					Plan:      sweep.Plan{Shard: plans[li].Shard},
 				})
 				results[li] = res
 				// A lease whose designs all failed still completed; its
@@ -231,7 +290,22 @@ func runMemory(ctx context.Context, in *explorer.Inputs, space explorer.Space, s
 // slice with a resumable per-lease checkpoint, mark done, repeat; then
 // fold every lease checkpoint into the merged checkpoint and restore the
 // Result from it.
-func runLeaseDir(ctx context.Context, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options, plans []sweep.ShardPlan) (sweep.Result, error) {
+func runLeaseDir(ctx context.Context, in *explorer.Inputs, opts Options, job *sweep.Job, plans []sweep.ShardPlan) (sweep.Result, error) {
+	// A finished sweep whose board was already cleaned up leaves the merged
+	// checkpoint as its durable record. Restore it instead of re-claiming an
+	// empty board and re-evaluating — the replay path adaptive refinements
+	// take through every completed round after a crash.
+	if ck, err := sweep.ReadCheckpoint(opts.Checkpoint); err == nil && ck.Complete() && ck.SpaceHash == job.SpaceHash() {
+		return job.Run(ctx, in, sweep.Options{
+			BatchSize: opts.BatchSize,
+			Retries:   opts.Retries,
+			Checkpoint: sweep.CheckpointOptions{
+				Path:   opts.Checkpoint,
+				Every:  opts.CheckpointEvery,
+				Resume: true,
+			},
+		})
+	}
 	b, err := newBoard(opts.LeaseDir, plans, opts.Heartbeat, opts.Expiry)
 	if err != nil {
 		return sweep.Result{}, err
@@ -244,7 +318,7 @@ func runLeaseDir(ctx context.Context, in *explorer.Inputs, space explorer.Space,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			workerErrs[w] = runWorker(ctx, fileSource{b: b}, in, space, strategy, opts, plans, w, &progress[w], &maxResident[w])
+			workerErrs[w] = runWorker(ctx, fileSource{b: b}, in, opts, job, plans, w, &progress[w], &maxResident[w])
 		}(w)
 	}
 	wg.Wait()
@@ -279,7 +353,7 @@ func runLeaseDir(ctx context.Context, in *explorer.Inputs, space explorer.Space,
 	// Restore the merged checkpoint into a Result. Every lease is done
 	// after a clean run, so this evaluates nothing; under a cancelled ctx
 	// it returns the partial fold alongside the ctx error.
-	res, err := sweep.Run(ctx, in, space, strategy, sweep.Options{
+	res, err := job.Run(ctx, in, sweep.Options{
 		BatchSize: opts.BatchSize,
 		Retries:   opts.Retries,
 		Checkpoint: sweep.CheckpointOptions{
@@ -317,7 +391,7 @@ func runLeaseDir(ctx context.Context, in *explorer.Inputs, space explorer.Space,
 
 // runWorker is one worker's claim-evaluate-complete loop, written once for
 // every transport behind the leaseSource seam.
-func runWorker(ctx context.Context, src leaseSource, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options, plans []sweep.ShardPlan, w int, progress *sweep.WorkerProgress, maxResident *int) error {
+func runWorker(ctx context.Context, src leaseSource, in *explorer.Inputs, opts Options, job *sweep.Job, plans []sweep.ShardPlan, w int, progress *sweep.WorkerProgress, maxResident *int) error {
 	label := workerLabel(opts, w)
 	progress.Worker = label
 	win := workerInputs(in, opts, w)
@@ -348,10 +422,10 @@ func runWorker(ctx context.Context, src leaseSource, in *explorer.Inputs, space 
 			continue
 		}
 		stop := src.Watch(ctx, a, label)
-		res, err := sweep.Run(ctx, win, space, strategy, sweep.Options{
+		res, err := job.Run(ctx, win, sweep.Options{
 			BatchSize: opts.BatchSize,
 			Retries:   opts.Retries,
-			Shard:     plans[a.lease].Shard,
+			Plan:      sweep.Plan{Shard: plans[a.lease].Shard},
 			Checkpoint: sweep.CheckpointOptions{
 				Path:   a.ckpt,
 				Every:  opts.CheckpointEvery,

@@ -17,6 +17,7 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"net/url"
 	"sync/atomic"
 	"time"
 
@@ -118,6 +119,17 @@ func (c *Client) Status(ctx context.Context) (StatusResponse, error) {
 func (c *Client) MergedCheckpoint(ctx context.Context) ([]byte, error) {
 	var raw json.RawMessage
 	if err := c.call(ctx, "GET", "/v1/checkpoint", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// MergedCheckpointFor fetches the merged checkpoint for a specific space
+// hash — the current generation's, or an archived one the coordinator
+// finished earlier (the lagging-fleet catch-up path of adaptive sweeps).
+func (c *Client) MergedCheckpointFor(ctx context.Context, hash string) ([]byte, error) {
+	var raw json.RawMessage
+	if err := c.call(ctx, "GET", "/v1/checkpoint?hash="+url.QueryEscape(hash), nil, &raw); err != nil {
 		return nil, err
 	}
 	return raw, nil

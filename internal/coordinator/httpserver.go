@@ -84,7 +84,19 @@ func (s *Service) Handler() http.Handler {
 		respond(w, s.Status(), nil)
 	})
 	mux.HandleFunc("GET /v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
-		data, _, err := s.MergedCheckpoint()
+		var data []byte
+		var err error
+		if hash := r.URL.Query().Get("hash"); hash != "" {
+			// By-hash lookup reaches archived generations; reject anything
+			// that is not a well-formed space hash before it can name a file.
+			if !isSpaceHash(hash) {
+				writeError(w, http.StatusBadRequest, errCodeBadRequest, fmt.Sprintf("malformed space hash %q", hash))
+				return
+			}
+			data, err = s.MergedCheckpointFor(hash)
+		} else {
+			data, _, err = s.MergedCheckpoint()
+		}
 		if err != nil {
 			respond(w, nil, err)
 			return
@@ -93,6 +105,21 @@ func (s *Service) Handler() http.Handler {
 		_, _ = w.Write(data)
 	})
 	return mux
+}
+
+// isSpaceHash reports whether s looks like a sweep space hash: exactly 16
+// lowercase hex digits.
+func isSpaceHash(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // decode reads and unmarshals a JSON request body, answering 400 itself on

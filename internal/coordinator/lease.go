@@ -267,6 +267,18 @@ func (b *board) existingCheckpoints() []string {
 	return out
 }
 
+// reset removes every lease and per-lease checkpoint file unconditionally —
+// the generation-advance path, where the merged fold has already been
+// archived and a new sweep is about to reuse the directory. Unlike cleanup
+// it ignores owners: the finished generation's claims are history, whoever
+// held them.
+func (b *board) reset() {
+	for li := range b.plans {
+		_ = os.Remove(b.leasePath(li))
+		_ = os.Remove(b.checkpointPath(li))
+	}
+}
+
 // cleanup removes the lease and per-lease checkpoint files once the merged
 // checkpoint is durable — but only when every lease was finished by this
 // process's workers (owner labels under ownerPrefix). If any lease names a

@@ -180,14 +180,14 @@ func (n *netSource) Poll() time.Duration { return n.beat }
 // register the sweep, adopt the coordinator's authoritative lease count,
 // loop claim/evaluate/complete, then fetch the merged checkpoint and
 // restore the Result from it — the network sibling of runLeaseDir.
-func runNetwork(ctx context.Context, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options, designs []explorer.Design) (sweep.Result, error) {
+func runNetwork(ctx context.Context, in *explorer.Inputs, opts Options, job *sweep.Job) (sweep.Result, error) {
 	client := NewClient(opts.Endpoint, ClientOptions{Transport: opts.Transport})
 	reg := RegisterRequest{
 		Owner:       opts.Worker,
-		SpaceHash:   sweep.SpaceHash(in, strategy, designs),
+		SpaceHash:   job.SpaceHash(),
 		Site:        in.Site.ID,
-		Strategy:    int(strategy),
-		Designs:     len(designs),
+		Strategy:    int(job.Strategy),
+		Designs:     len(job.Designs),
 		Leases:      opts.Leases,
 		HeartbeatMS: opts.Heartbeat.Milliseconds(),
 	}
@@ -195,21 +195,50 @@ func runNetwork(ctx context.Context, in *explorer.Inputs, space explorer.Space, 
 	if err != nil {
 		return sweep.Result{}, err
 	}
-	// The coordinator's lease count wins; every registered worker re-plans
-	// with it so all fleets agree on the partition.
-	plans, err := sweep.PlanShards(len(designs), regResp.Leases)
-	if err != nil {
-		return sweep.Result{}, err
-	}
-	if opts.Workers > regResp.Leases {
-		opts.Workers = regResp.Leases
-	}
 
 	staging, err := os.MkdirTemp("", "carbonexplorer-net-")
 	if err != nil {
 		return sweep.Result{}, fmt.Errorf("coordinator: creating checkpoint staging directory: %w", err)
 	}
 	defer os.RemoveAll(staging)
+
+	if regResp.Complete {
+		// The coordinator already finished — and archived — this exact job
+		// (a refinement round a faster fleet completed and moved past).
+		// Fetch the archived fold and restore the Result locally; nothing
+		// is left to evaluate.
+		data, err := client.MergedCheckpointFor(ctx, reg.SpaceHash)
+		if err != nil {
+			return sweep.Result{}, err
+		}
+		ckpt := opts.Checkpoint
+		if ckpt == "" {
+			ckpt = MergedCheckpointPath(staging)
+		}
+		if err := sweep.WriteFileAtomic(ckpt, data); err != nil {
+			return sweep.Result{}, err
+		}
+		res, err := job.Run(ctx, in, sweep.Options{
+			BatchSize: opts.BatchSize,
+			Retries:   opts.Retries,
+			Checkpoint: sweep.CheckpointOptions{
+				Path:   ckpt,
+				Every:  opts.CheckpointEvery,
+				Resume: true,
+			},
+		})
+		return res, err
+	}
+
+	// The coordinator's lease count wins; every registered worker re-plans
+	// with it so all fleets agree on the partition.
+	plans, err := sweep.PlanShards(len(job.Designs), regResp.Leases)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	if opts.Workers > regResp.Leases {
+		opts.Workers = regResp.Leases
+	}
 	src := &netSource{c: client, dir: staging, beat: opts.Heartbeat, reg: reg, leases: regResp.Leases}
 
 	progress := make([]sweep.WorkerProgress, opts.Workers)
@@ -220,7 +249,7 @@ func runNetwork(ctx context.Context, in *explorer.Inputs, space explorer.Space, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			workerErrs[w] = runWorker(ctx, src, in, space, strategy, opts, plans, w, &progress[w], &maxResident[w])
+			workerErrs[w] = runWorker(ctx, src, in, opts, job, plans, w, &progress[w], &maxResident[w])
 		}(w)
 	}
 	wg.Wait()
@@ -257,7 +286,7 @@ func runNetwork(ctx context.Context, in *explorer.Inputs, space explorer.Space, 
 	// Restore the merged checkpoint into a Result, with the same accounting
 	// as runLeaseDir: the restore reports every done design as Restored;
 	// designs this process's workers evaluated were not.
-	res, err := sweep.Run(ctx, in, space, strategy, sweep.Options{
+	res, err := job.Run(ctx, in, sweep.Options{
 		BatchSize: opts.BatchSize,
 		Retries:   opts.Retries,
 		Checkpoint: sweep.CheckpointOptions{

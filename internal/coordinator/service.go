@@ -109,6 +109,11 @@ type RegisterResponse struct {
 	Leases int `json:"leases"`
 	// ExpiryMS is the coordinator's lease TTL in milliseconds.
 	ExpiryMS int64 `json:"expiry_ms"`
+	// Complete reports the registered sweep was already finished and
+	// archived by an earlier generation (an adaptive refinement round a
+	// faster fleet moved past). The worker should fetch the archived merged
+	// checkpoint for its space hash and evaluate nothing.
+	Complete bool `json:"complete,omitempty"`
 }
 
 // ClaimRequest asks for the next available lease.
@@ -300,12 +305,27 @@ func (s *Service) Register(req RegisterRequest) (RegisterResponse, error) {
 	}
 	s.lock()
 	defer s.unlock()
-	if s.meta != nil {
-		if s.meta.SpaceHash != req.SpaceHash || s.meta.Designs != req.Designs {
-			return RegisterResponse{}, fmt.Errorf("%w: registered sweep has space hash %s over %d designs; worker %q brings %s over %d",
-				ErrSweepMismatch, s.meta.SpaceHash, s.meta.Designs, req.Owner, req.SpaceHash, req.Designs)
-		}
+	if s.meta != nil && s.meta.SpaceHash == req.SpaceHash && s.meta.Designs == req.Designs {
 		return RegisterResponse{Leases: s.meta.Leases, ExpiryMS: s.expiry.Milliseconds()}, nil
+	}
+	// A hash the service has already finished and archived — a lagging fleet
+	// registering a refinement round the coordinator moved past — is
+	// answered with Complete; the worker fetches the archived fold instead
+	// of evaluating.
+	if _, err := os.Stat(s.archivePath(req.SpaceHash)); err == nil {
+		leases := req.Leases
+		if leases <= 0 {
+			leases = 1
+		}
+		return RegisterResponse{Leases: leases, ExpiryMS: s.expiry.Milliseconds(), Complete: true}, nil
+	}
+	if s.meta != nil {
+		// A different sweep on a busy coordinator: advance the generation if
+		// the current one is finished (the adaptive round-to-round
+		// handshake), reject otherwise.
+		if err := s.advanceGeneration(req); err != nil {
+			return RegisterResponse{}, err
+		}
 	}
 	leases := req.Leases
 	if s.pinned > 0 {
@@ -337,6 +357,65 @@ func (s *Service) Register(req RegisterRequest) (RegisterResponse, error) {
 		return RegisterResponse{}, err
 	}
 	return RegisterResponse{Leases: st.Leases, ExpiryMS: s.expiry.Milliseconds()}, nil
+}
+
+// archivePath is the immutable merged checkpoint of a finished generation,
+// keyed by its space hash. Adaptive refinements leave one file per completed
+// round behind, so any fleet — however far behind — can replay the rounds it
+// missed from the archive.
+func (s *Service) archivePath(hash string) string {
+	return filepath.Join(s.dir, "merged-"+hash+".json")
+}
+
+// advanceGeneration retires the current registration in favor of req's
+// sweep: the current generation's merged fold is archived under its space
+// hash and its board is wiped, leaving the service unregistered for the
+// caller to adopt the new sweep. It refuses while the current generation
+// still has work left — an in-progress sweep is never abandoned for a new
+// one. Caller holds s.mu.
+//
+// Crash safety: the archive write is atomic and happens first. A crash
+// between the archive and the new registration leaves the old state.json in
+// place with its lease files gone — the old generation re-registers
+// idempotently and, at worst, re-evaluates; nothing is ever silently wrong.
+func (s *Service) advanceGeneration(req RegisterRequest) error {
+	if req.SpaceHash == s.meta.SpaceHash {
+		return fmt.Errorf("%w: registered sweep has space hash %s over %d designs; worker %q brings %s over %d",
+			ErrSweepMismatch, s.meta.SpaceHash, s.meta.Designs, req.Owner, req.SpaceHash, req.Designs)
+	}
+	data, complete, err := s.mergedLocked()
+	if err != nil || !complete {
+		return fmt.Errorf("%w: registered sweep (space hash %s over %d designs) is still in progress; worker %q brings %s over %d",
+			ErrSweepMismatch, s.meta.SpaceHash, s.meta.Designs, req.Owner, req.SpaceHash, req.Designs)
+	}
+	if err := sweep.WriteFileAtomic(s.archivePath(s.meta.SpaceHash), data); err != nil {
+		return fmt.Errorf("coordinator: archiving finished generation: %w", err)
+	}
+	s.b.reset()
+	_ = os.Remove(s.mergedPath())
+	s.meta, s.b, s.plans = nil, nil, nil
+	return nil
+}
+
+// mergedLocked folds every stored per-lease checkpoint into the merged
+// checkpoint and returns its bytes plus completeness. Caller holds s.mu.
+func (s *Service) mergedLocked() (data []byte, complete bool, err error) {
+	srcs := s.b.existingCheckpoints()
+	if len(srcs) == 0 {
+		if data, err := os.ReadFile(s.mergedPath()); err == nil {
+			return data, true, nil
+		}
+		return nil, false, ErrNoProgress
+	}
+	rep, err := sweep.MergeCheckpoints(s.mergedPath(), srcs...)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err = os.ReadFile(s.mergedPath())
+	if err != nil {
+		return nil, false, fmt.Errorf("coordinator: reading merged checkpoint: %w", err)
+	}
+	return data, rep.Complete(), nil
 }
 
 func (s *Service) lock()   { s.mu.Lock() }
@@ -514,26 +593,31 @@ func (s *Service) Status() StatusResponse {
 // Callable at any point: mid-sweep it returns the partial fold a cancelled
 // fleet can restore from.
 func (s *Service) MergedCheckpoint() (data []byte, complete bool, err error) {
-	meta, b, _ := s.registered()
-	if meta == nil {
+	s.lock()
+	defer s.unlock()
+	if s.meta == nil {
 		return nil, false, ErrNotRegistered
 	}
+	return s.mergedLocked()
+}
+
+// MergedCheckpointFor returns the merged checkpoint for the given space
+// hash: the current generation's fold if the hash matches it, or the
+// archived fold of a finished generation. An unknown hash returns
+// ErrNoProgress.
+func (s *Service) MergedCheckpointFor(hash string) ([]byte, error) {
 	s.lock()
-	srcs := b.existingCheckpoints()
-	s.unlock()
-	if len(srcs) == 0 {
-		if data, err := os.ReadFile(s.mergedPath()); err == nil {
-			return data, true, nil
+	defer s.unlock()
+	if s.meta != nil && s.meta.SpaceHash == hash {
+		data, _, err := s.mergedLocked()
+		return data, err
+	}
+	data, err := os.ReadFile(s.archivePath(hash))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: no checkpoint for space hash %s", ErrNoProgress, hash)
 		}
-		return nil, false, ErrNoProgress
+		return nil, fmt.Errorf("coordinator: reading archived checkpoint: %w", err)
 	}
-	rep, err := sweep.MergeCheckpoints(s.mergedPath(), srcs...)
-	if err != nil {
-		return nil, false, err
-	}
-	data, err = os.ReadFile(s.mergedPath())
-	if err != nil {
-		return nil, false, fmt.Errorf("coordinator: reading merged checkpoint: %w", err)
-	}
-	return data, rep.Complete(), nil
+	return data, nil
 }

@@ -1,0 +1,380 @@
+package explorer
+
+import (
+	"fmt"
+	"sort"
+
+	"carbonexplorer/internal/carbon"
+	"carbonexplorer/internal/units"
+)
+
+// The adaptive sweep refines the design space along four continuous axes.
+// Axis order is part of the on-disk adaptive checkpoint format (cell indices
+// are stored as fixed-length arrays): never reorder these.
+const (
+	AxisWind    = 0
+	AxisSolar   = 1
+	AxisBattery = 2 // capacity in MWh (Space.BatteryHours × average demand)
+	AxisExtra   = 3 // extra server capacity fraction
+	NumAxes     = 4
+)
+
+// Cell identifies one hyper-rectangle of the refinement lattice at a given
+// depth: along each free axis the cell spans lattice points Idx[a] and
+// Idx[a]+1 of that depth's dyadic grid. Pinned axes always carry index 0.
+type Cell struct {
+	// Idx is the cell's lower-corner lattice index per axis.
+	Idx [NumAxes]int
+}
+
+// CellGrid is the continuous bounding box of a Space together with the
+// coarse lattice resolution. Depth-d lattice coordinates are dyadic
+// subdivisions of the coarse grid:
+//
+//	coord(a, k, d) = Lo[a] + (Hi[a]-Lo[a]) · k / ((Coarse-1)·2^d)
+//
+// Because the denominator only ever doubles, a point that exists at depth d
+// has bit-identical coordinates at every deeper depth (its index doubles
+// with the denominator), which is what makes re-evaluation skipping and
+// cross-round deduplication exact.
+type CellGrid struct {
+	// Lo and Hi bound each axis (equal when the axis is pinned).
+	Lo [NumAxes]float64
+	Hi [NumAxes]float64
+	// Free marks axes with a non-degenerate range; pinned axes contribute
+	// a single fixed coordinate and are never subdivided.
+	Free [NumAxes]bool
+	// Coarse is the number of depth-0 lattice points per free axis (≥ 2).
+	Coarse int
+	// DoD and FlexibleRatio carry the scalar design knobs of the Space.
+	DoD           float64
+	FlexibleRatio float64
+}
+
+// NewCellGrid derives the refinement bounding box from a Space: each axis
+// spans the min–max of the Space's candidate grid for it (battery hours are
+// converted to MWh via the site's average demand), with dimensions unused by
+// the strategy pinned to zero exactly as Space.Enumerate pins them. coarse
+// is the number of depth-0 lattice points per free axis and must be at
+// least 2.
+func NewCellGrid(space Space, strategy Strategy, avgDemandMW float64, coarse int) (CellGrid, error) {
+	if coarse < 2 {
+		return CellGrid{}, fmt.Errorf("explorer: coarse lattice needs at least 2 points per dimension, got %d", coarse)
+	}
+	s := space.restrict(strategy)
+	axes := [NumAxes][]float64{
+		AxisWind:    s.WindMW,
+		AxisSolar:   s.SolarMW,
+		AxisBattery: scaleAll(s.BatteryHours, avgDemandMW),
+		AxisExtra:   s.ExtraCapacityFracs,
+	}
+	names := [NumAxes]string{"wind", "solar", "battery", "extra capacity"}
+	g := CellGrid{Coarse: coarse, DoD: s.DoD, FlexibleRatio: s.FlexibleRatio}
+	for a, vals := range axes {
+		if len(vals) == 0 {
+			return CellGrid{}, fmt.Errorf("explorer: space has no %s candidates", names[a])
+		}
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		g.Lo[a], g.Hi[a] = lo, hi
+		g.Free[a] = hi > lo
+	}
+	// Mirror Space.designs normalization: without flexible workload, extra
+	// server capacity is meaningless and every design pins it to zero.
+	if g.FlexibleRatio == 0 {
+		g.Lo[AxisExtra], g.Hi[AxisExtra], g.Free[AxisExtra] = 0, 0, false
+	}
+	return g, nil
+}
+
+func scaleAll(vs []float64, k float64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = v * k
+	}
+	return out
+}
+
+// PointsPerAxis returns the number of lattice points per free axis at the
+// given depth: (Coarse-1)·2^depth + 1.
+func (g CellGrid) PointsPerAxis(depth int) int {
+	return (g.Coarse-1)<<uint(depth) + 1
+}
+
+// Coord maps a lattice index at the given depth to the axis coordinate.
+// Pinned axes return their fixed value for any index.
+func (g CellGrid) Coord(axis, k, depth int) float64 {
+	den := (g.Coarse - 1) << uint(depth)
+	return g.Lo[axis] + (g.Hi[axis]-g.Lo[axis])*float64(k)/float64(den)
+}
+
+// CoarseCells returns every depth-0 cell in lexicographic index order.
+func (g CellGrid) CoarseCells() []Cell {
+	counts := [NumAxes]int{}
+	total := 1
+	for a := 0; a < NumAxes; a++ {
+		counts[a] = 1
+		if g.Free[a] {
+			counts[a] = g.Coarse - 1
+		}
+		total *= counts[a]
+	}
+	cells := make([]Cell, 0, total)
+	var c Cell
+	var rec func(axis int)
+	rec = func(axis int) {
+		if axis == NumAxes {
+			cells = append(cells, c)
+			return
+		}
+		for i := 0; i < counts[axis]; i++ {
+			c.Idx[axis] = i
+			rec(axis + 1)
+		}
+	}
+	rec(0)
+	return cells
+}
+
+// Children returns the cell's subdivision at the next depth: each free axis
+// splits in two, pinned axes stay fixed. The order is lexicographic in the
+// child indices.
+func (g CellGrid) Children(c Cell) []Cell {
+	children := []Cell{{}}
+	for a := 0; a < NumAxes; a++ {
+		if !g.Free[a] {
+			for i := range children {
+				children[i].Idx[a] = 0
+			}
+			continue
+		}
+		next := make([]Cell, 0, len(children)*2)
+		for _, ch := range children {
+			lo := ch
+			lo.Idx[a] = c.Idx[a] * 2
+			hi := ch
+			hi.Idx[a] = c.Idx[a]*2 + 1
+			next = append(next, lo, hi)
+		}
+		children = next
+	}
+	// Rebuild lexicographic order: the per-axis doubling above appends in
+	// bit-reversed order for multiple free axes.
+	sort.Slice(children, func(i, j int) bool {
+		return lessIdx(children[i].Idx, children[j].Idx)
+	})
+	return children
+}
+
+// SubdivideAll subdivides every cell and returns the union of the children
+// in global lexicographic order (children of lex-ordered parents interleave,
+// so per-parent order alone is not enough).
+func (g CellGrid) SubdivideAll(cells []Cell) []Cell {
+	out := make([]Cell, 0, len(cells)*(1<<uint(NumAxes)))
+	for _, c := range cells {
+		out = append(out, g.Children(c)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessIdx(out[i].Idx, out[j].Idx) })
+	return out
+}
+
+func lessIdx(a, b [NumAxes]int) bool {
+	for i := 0; i < NumAxes; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// RoundPoints expands a round's cell work-list into the concrete designs to
+// evaluate, in deterministic lexicographic lattice order (which coincides
+// with ordering by the design fields themselves, since coordinates increase
+// with lattice index).
+//
+// Round 0 evaluates every corner of every coarse cell — the full coarse
+// lattice. Later rounds evaluate only corners with at least one odd free-axis
+// index: even-index corners sit on the previous depth's lattice and were
+// already evaluated (their outcomes are carried by the cumulative frontier),
+// so re-evaluating them would only waste work.
+func (g CellGrid) RoundPoints(cells []Cell, round int) []Design {
+	keys := make([][NumAxes]int, 0, len(cells)*(1<<uint(NumAxes)))
+	var key [NumAxes]int
+	for _, c := range cells {
+		var corners func(axis int)
+		corners = func(axis int) {
+			if axis == NumAxes {
+				if round > 0 && !anyOddFree(key, g.Free) {
+					return
+				}
+				keys = append(keys, key)
+				return
+			}
+			if !g.Free[axis] {
+				key[axis] = 0
+				corners(axis + 1)
+				return
+			}
+			for off := 0; off <= 1; off++ {
+				key[axis] = c.Idx[axis] + off
+				corners(axis + 1)
+			}
+		}
+		corners(0)
+	}
+	// Neighbouring cells share corners: sort and deduplicate. A sorted
+	// slice (not a map) keeps the order deterministic and the failure list
+	// a sweep writes index-ordered by design fields — exactly the order
+	// sweep merging normalizes to.
+	sort.Slice(keys, func(i, j int) bool { return lessIdx(keys[i], keys[j]) })
+	designs := make([]Design, 0, len(keys))
+	var prev [NumAxes]int
+	for i, k := range keys {
+		if i > 0 && k == prev {
+			continue
+		}
+		prev = k
+		designs = append(designs, g.designAt(k, round))
+	}
+	return designs
+}
+
+func anyOddFree(key [NumAxes]int, free [NumAxes]bool) bool {
+	for a := 0; a < NumAxes; a++ {
+		if free[a] && key[a]%2 == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// designAt maps a lattice point to a concrete design, applying the same
+// normalization as Space.designs: designs without a battery carry DoD 0,
+// and designs without flexible workload carry extra capacity 0 (the grid
+// already pins the extra axis in that case).
+func (g CellGrid) designAt(key [NumAxes]int, depth int) Design {
+	d := Design{
+		WindMW:            g.Coord(AxisWind, key[AxisWind], depth),
+		SolarMW:           g.Coord(AxisSolar, key[AxisSolar], depth),
+		BatteryMWh:        g.Coord(AxisBattery, key[AxisBattery], depth),
+		DoD:               g.DoD,
+		FlexibleRatio:     g.FlexibleRatio,
+		ExtraCapacityFrac: g.Coord(AxisExtra, key[AxisExtra], depth),
+	}
+	if d.BatteryMWh == 0 {
+		d.DoD = 0
+	}
+	return d
+}
+
+// CellModel precomputes the site-level aggregates cell bounds are made of,
+// so the per-cell reachability test costs a handful of multiplies — it runs
+// once per cell per round on the adaptive driver's fold path.
+type CellModel struct {
+	// G is the refinement geometry the bounds are computed over.
+	G CellGrid
+	// WindGenPerMW and SolarGenPerMW are annual generation (MWh) per MW of
+	// investment under the paper's linear-scaling rule (zero for a site
+	// whose shape has no positive samples).
+	WindGenPerMW  float64
+	SolarGenPerMW float64
+	// DemandMWh is the site's total annual demand; PeakMW its peak.
+	DemandMWh float64
+	PeakMW    float64
+	// MinCI is the grid's minimum hourly carbon intensity — the cheapest
+	// any drawn MWh can possibly be priced.
+	MinCI float64
+	// Embodied holds the manufacturing-footprint assumptions.
+	Embodied carbon.EmbodiedParams
+}
+
+// NewCellModel derives the bound model from evaluation inputs.
+func NewCellModel(in *Inputs, g CellGrid) CellModel {
+	m := CellModel{
+		G:         g,
+		DemandMWh: in.Demand.Sum(),
+		PeakMW:    in.Demand.MaxValue(),
+		MinCI:     in.GridCI.MinValue(),
+		Embodied:  in.Embodied,
+	}
+	if wm := in.windShapeMax(); wm > 0 {
+		m.WindGenPerMW = in.WindShape.Sum() / wm
+	}
+	if sm := in.solarShapeMax(); sm > 0 {
+		m.SolarGenPerMW = in.SolarShape.Sum() / sm
+	}
+	return m
+}
+
+// Bounds returns lower bounds on the operational and embodied carbon of any
+// design inside the cell at the given depth.
+//
+// The operational bound is an energy argument: over a year the grid must
+// supply at least total demand minus everything the cell's largest
+// renewable investment can generate minus one battery capacity (covering
+// the free energy of an initially charged battery; scheduling only shifts
+// demand in time), and no drawn MWh is priced below the grid's minimum
+// hourly carbon intensity. The embodied bound evaluates the cell's low
+// corner exactly, using the battery's calendar-life cap (cycling only
+// shortens life and raises the annualized charge).
+//
+// Both bounds are deliberately loose — the operational bound prices energy
+// at minimum instead of hourly intensity — so they are used only to discard
+// cells, never to rank them; a pruned cell provably cannot beat the frontier
+// it was tested against by more than the caller's slack.
+//
+//carbonlint:hotpath
+func (m *CellModel) Bounds(c Cell, depth int) (opLB, emLB float64) {
+	var lo, hi [NumAxes]float64
+	for a := 0; a < NumAxes; a++ {
+		lo[a] = m.G.Coord(a, c.Idx[a], depth)
+		if m.G.Free[a] {
+			hi[a] = m.G.Coord(a, c.Idx[a]+1, depth)
+		} else {
+			hi[a] = lo[a]
+		}
+	}
+
+	deficit := m.DemandMWh - hi[AxisWind]*m.WindGenPerMW - hi[AxisSolar]*m.SolarGenPerMW - hi[AxisBattery]
+	if deficit > 0 {
+		opLB = deficit * 1000 * m.MinCI // MWh → kWh at gCO2/kWh
+	}
+
+	windGen := lo[AxisWind] * m.WindGenPerMW
+	solarGen := lo[AxisSolar] * m.SolarGenPerMW
+	emLB = float64(m.Embodied.RenewableEmbodied(units.MegaWattHours(windGen), units.MegaWattHours(solarGen)))
+	if cb := lo[AxisBattery]; cb > 0 {
+		// cyclesPerDay 0 → calendar-life cap, the longest possible life and
+		// therefore the smallest annual charge. This path never consults
+		// cycle life, so it is safe even for DoD 0.
+		emLB += float64(m.Embodied.BatteryEmbodiedAnnual(units.MegaWattHours(cb), m.G.DoD, 0))
+	}
+	if le := lo[AxisExtra]; m.G.FlexibleRatio > 0 && le > 0 {
+		emLB += float64(m.Embodied.ServerEmbodiedAnnual(units.MegaWatts(le * m.PeakMW)))
+	}
+	return opLB, emLB
+}
+
+// Reachable reports whether a cell with the given carbon lower bounds could
+// still contribute to the Pareto frontier: it returns false exactly when
+// some frontier point is within slack of dominating the cell's best
+// possible corner in both coordinates. Slacks are absolute (in grams CO2);
+// callers derive them from a relative tolerance against the frontier's
+// extent. It runs once per cell per round on the adaptive fold path.
+//
+//carbonlint:hotpath
+func Reachable(opLB, emLB float64, frontier []Outcome, opSlack, emSlack float64) bool {
+	for _, q := range frontier {
+		if float64(q.Operational) <= opLB+opSlack && float64(q.Embodied) <= emLB+emSlack {
+			return false
+		}
+	}
+	return true
+}

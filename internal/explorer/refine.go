@@ -26,17 +26,23 @@ type RefineOptions struct {
 	Shrink float64
 }
 
-func (o RefineOptions) withDefaults() RefineOptions {
+func (o RefineOptions) withDefaults() (RefineOptions, error) {
 	if o.Rounds <= 0 {
 		o.Rounds = 3
 	}
-	if o.PointsPerDim < 3 {
+	switch {
+	case o.PointsPerDim == 0:
 		o.PointsPerDim = 5
+	case o.PointsPerDim < 3:
+		// A zoom grid needs a point on each side of the incumbent plus the
+		// incumbent itself; silently promoting a nonsensical request used
+		// to hide caller bugs, so reject it instead.
+		return RefineOptions{}, fmt.Errorf("explorer: RefineOptions.PointsPerDim %d invalid: need 0 (default) or at least 3", o.PointsPerDim)
 	}
 	if o.Shrink <= 0 || o.Shrink >= 1 {
 		o.Shrink = 0.35
 	}
-	return o
+	return o, nil
 }
 
 // RefineResult is the outcome of a zoom search.
@@ -62,7 +68,10 @@ func (in *Inputs) RefineSearch(space Space, strategy Strategy, opts RefineOption
 // every underlying sweep, so a zoom search interrupted mid-round returns
 // promptly with ctx's error rather than finishing all remaining rounds.
 func (in *Inputs) RefineSearchContext(ctx context.Context, space Space, strategy Strategy, opts RefineOptions) (RefineResult, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return RefineResult{}, err
+	}
 
 	res, err := in.SearchContext(ctx, space, strategy)
 	if err != nil {

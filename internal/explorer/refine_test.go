@@ -55,9 +55,22 @@ func TestRefineSearchRespectsStrategy(t *testing.T) {
 }
 
 func TestRefineSearchDefaults(t *testing.T) {
-	opts := RefineOptions{}.withDefaults()
+	opts, err := RefineOptions{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if opts.Rounds != 3 || opts.PointsPerDim != 5 || opts.Shrink != 0.35 {
 		t.Fatalf("defaults wrong: %+v", opts)
+	}
+}
+
+func TestRefineSearchRejectsInvalidPointsPerDim(t *testing.T) {
+	in := siteInputs(t, "UT")
+	for _, pts := range []int{1, 2, -4} {
+		_, err := in.RefineSearch(coarseSpace(in), RenewablesOnly, RefineOptions{PointsPerDim: pts})
+		if err == nil {
+			t.Fatalf("PointsPerDim=%d accepted; want error", pts)
+		}
 	}
 }
 

@@ -16,16 +16,25 @@ import (
 	"carbonexplorer/internal/units"
 )
 
-// checkpointVersion is the on-disk schema version the writer emits. Version
-// 2 run-length-encodes the design-status string and adds shard metadata;
-// the loader still reads version 1 (plain status string, unsharded).
-// Load rejects any other version with ErrCheckpointVersion instead of
-// misreading the file.
+// checkpointVersion is the on-disk schema version exhaustive sweeps emit.
+// Version 2 run-length-encodes the design-status string and adds shard
+// metadata; the loader still reads version 1 (plain status string,
+// unsharded). Adaptive sweeps emit version 3, which adds the refinement
+// round state (mode, base hash, round, cells, prior-round accounting) —
+// exhaustive checkpoints stay byte-identical to version 2. Load rejects any
+// other version with ErrCheckpointVersion instead of misreading the file.
 const checkpointVersion = 2
 
 // checkpointVersionV1 is the legacy schema: plain (one rune per design)
 // status string, no shard or designs fields. Read-only.
 const checkpointVersionV1 = 1
+
+// checkpointVersionV3 is the adaptive schema: a version-2 checkpoint over
+// the current round's work-list (its SpaceHash fingerprints the ROUND, so
+// resume/merge/coordination validation applies per round unchanged) plus
+// the round state needed to reconstruct the work-list and fast-forward a
+// resumed refinement.
+const checkpointVersionV3 = 3
 
 var (
 	// ErrCheckpointVersion is returned (wrapped) when a checkpoint file was
@@ -75,6 +84,50 @@ type checkpointFile struct {
 	Best      *savedOutcome  `json:"best,omitempty"`
 	Frontier  []savedOutcome `json:"frontier,omitempty"`
 	Failures  []savedFailure `json:"failures,omitempty"`
+
+	// Version-3 (adaptive) round state. Status, Designs, Shard, Retried,
+	// Recovered, and Failures above are round-local — they describe the
+	// current round's work-list — while Best and Frontier are cumulative
+	// over all rounds (each round folds from the prior rounds' state).
+	//
+	// Mode is "adaptive" for version-3 files and empty otherwise.
+	Mode string `json:"mode,omitempty"`
+	// BaseHash fingerprints the refinement as a whole (site, strategy,
+	// inputs, bounding box, coarse resolution, tolerance, round budget);
+	// SpaceHash fingerprints only the current round's work-list.
+	BaseHash string `json:"base_hash,omitempty"`
+	// Round is the refinement round this checkpoint belongs to (0 is the
+	// coarse pass).
+	Round int `json:"round,omitempty"`
+	// Cells is the round's cell work-list; together with Round it
+	// deterministically reconstructs the design work-list, so a resumed
+	// refinement needs nothing else to re-derive what it was evaluating.
+	Cells []savedCell `json:"cells,omitempty"`
+	// Converged marks the refinement's final checkpoint: no cell survived
+	// pruning (or the round budget was spent) and Frontier is the answer.
+	Converged bool `json:"converged,omitempty"`
+	// Prior carries the accounting of completed earlier rounds so a
+	// resumed refinement reports cumulative totals.
+	Prior *savedPrior `json:"prior,omitempty"`
+}
+
+// savedCell is one refinement cell: the lower-corner lattice index of the
+// cell per axis, in the fixed explorer axis order (wind, solar, battery,
+// extra capacity).
+type savedCell struct {
+	Idx [explorer.NumAxes]int `json:"idx"`
+}
+
+// savedPrior accumulates the completed prior rounds of an adaptive sweep.
+type savedPrior struct {
+	// Evals is the number of successfully evaluated designs per completed
+	// round, in round order.
+	Evals []int `json:"evals"`
+	// Retried and Recovered sum the retry accounting of completed rounds.
+	Retried   int `json:"retried,omitempty"`
+	Recovered int `json:"recovered,omitempty"`
+	// Failures lists designs that failed permanently in completed rounds.
+	Failures []savedFailure `json:"failures,omitempty"`
 }
 
 // statusBytes decodes the per-design status string according to the file's
@@ -319,9 +372,9 @@ func loadCheckpoint(path string) (*checkpointFile, error) {
 	if err := json.Unmarshal(data, &c); err != nil {
 		return nil, fmt.Errorf("sweep: decoding checkpoint %s: %w", path, err)
 	}
-	if c.Version != checkpointVersion && c.Version != checkpointVersionV1 {
-		return nil, fmt.Errorf("%w: file has version %d, this build reads %d and %d",
-			ErrCheckpointVersion, c.Version, checkpointVersionV1, checkpointVersion)
+	if c.Version != checkpointVersion && c.Version != checkpointVersionV1 && c.Version != checkpointVersionV3 {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d through %d",
+			ErrCheckpointVersion, c.Version, checkpointVersionV1, checkpointVersionV3)
 	}
 	if c.Version == checkpointVersionV1 {
 		// v1 predates per-failure indices and shard metadata.

@@ -236,6 +236,17 @@ func MergeCheckpoints(dst string, srcs ...string) (MergeReport, error) {
 		Recovered: recovered,
 		Best:      best,
 	}
+	if ref.ck.Version == checkpointVersionV3 {
+		// Adaptive round checkpoints: the round state is a pure function of
+		// the round hash every input was validated against, so copying it
+		// from the reference input preserves it for all.
+		out.Version = checkpointVersionV3
+		out.Mode = ref.ck.Mode
+		out.BaseHash = ref.ck.BaseHash
+		out.Round = ref.ck.Round
+		out.Cells = ref.ck.Cells
+		out.Prior = ref.ck.Prior
+	}
 	for _, o := range frontier.Frontier() {
 		out.Frontier = append(out.Frontier, saveOutcome(o))
 	}

@@ -36,6 +36,15 @@ type Checkpoint struct {
 	// Frontier is the running Pareto frontier in the (operational,
 	// embodied) plane, sorted by increasing embodied carbon.
 	Frontier []explorer.Outcome
+	// Mode is "adaptive" for version-3 refinement checkpoints, "" for
+	// exhaustive ones.
+	Mode string
+	// Round is the refinement round the checkpoint belongs to (adaptive
+	// checkpoints only; 0 is the coarse pass).
+	Round int
+	// Converged reports a finished adaptive refinement: the file is the
+	// final published result, not one round's working state.
+	Converged bool
 }
 
 // Complete reports whether the sweep has no work left: every design is done
@@ -72,6 +81,9 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 		Strategy:  explorer.Strategy(ck.Strategy),
 		Designs:   len(status),
 		Shard:     shard,
+		Mode:      ck.Mode,
+		Round:     ck.Round,
+		Converged: ck.Converged,
 	}
 	out.Done, out.Pending, out.FailedOnce, out.FailedPerm = statusCounts(status, 0, len(status))
 

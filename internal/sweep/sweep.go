@@ -72,7 +72,17 @@ type Options struct {
 	// can be folded with MergeCheckpoints into the single-process result.
 	// The space hash is of the FULL space, so shards of the same sweep
 	// agree on it and mismatched shards are rejected on resume and merge.
+	//
+	// Deprecated: set Plan.Shard instead. Plan is the single description of
+	// what a sweep evaluates; this field remains honoured for one release
+	// (a non-zero Plan.Shard wins) and will then be removed. See the
+	// migration table in DESIGN.md.
 	Shard Shard
+	// Plan describes WHAT the sweep evaluates: the exploration mode
+	// (exhaustive or adaptive), the shard slice, and the adaptive knobs.
+	// The zero value is a full-space exhaustive sweep, so existing callers
+	// are unaffected.
+	Plan Plan
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +163,9 @@ type Result struct {
 	// worker in worker order. Plain Run leaves it empty; the coordinator
 	// (internal/coordinator) fills it in.
 	Workers []WorkerProgress
+	// Adaptive reports the refinement progress of an adaptive sweep
+	// (Plan.Mode == ModeAdaptive); nil for exhaustive sweeps.
+	Adaptive *AdaptiveProgress
 }
 
 // WorkerProgress summarizes one coordinated worker's contribution to a
@@ -196,31 +209,118 @@ type WorkerProgress struct {
 // wrapped explorer.ErrAllDesignsFailed. On cancellation the partial result
 // is returned alongside ctx's error, after a final checkpoint write.
 func Run(ctx context.Context, in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy, opts Options) (Result, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.resolve()
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.Plan.Mode == ModeAdaptive {
+		return runAdaptiveLocal(ctx, in, space, strategy, opts)
+	}
+	job, err := NewJob(in, space, strategy)
+	if err != nil {
+		return Result{}, err
+	}
+	return job.run(ctx, in, opts)
+}
+
+// resolve applies Options defaults and folds the deprecated Shard field into
+// the Plan, validating the result. Both Plan.Shard and Shard end up carrying
+// the effective slice, so internal code reads either consistently.
+func (o Options) resolve() (Options, error) {
+	o = o.withDefaults()
+	if o.Plan.Shard.IsZero() {
+		o.Plan.Shard = o.Shard
+	}
+	plan, err := o.Plan.withDefaults()
+	if err != nil {
+		return Options{}, err
+	}
+	o.Plan = plan
+	o.Shard = plan.Shard
+	return o, nil
+}
+
+// Job is a concrete sweep work-list: the exact designs one sweep invocation
+// evaluates, fingerprinted by the space hash every checkpoint, merge, and
+// coordination handshake validates against. NewJob builds one from a Space;
+// the adaptive driver builds one per refinement round. Building the Job once
+// and running it against several option sets (the coordinator runs one slice
+// per lease) guarantees every run agrees on the enumeration.
+type Job struct {
+	// Strategy is the investment strategy every design is evaluated under.
+	Strategy explorer.Strategy
+	// Designs is the full work-list in enumeration order. Treat it as
+	// read-only: checkpoints index into it by position.
+	Designs []explorer.Design
+
+	hash string
+	meta *adaptiveMeta
+}
+
+// NewJob enumerates the space under the strategy into a runnable work-list.
+// It fails on an empty space.
+func NewJob(in *explorer.Inputs, space explorer.Space, strategy explorer.Strategy) (*Job, error) {
 	designs := space.Enumerate(strategy, in.AvgDemandMW())
 	if len(designs) == 0 {
-		return Result{}, fmt.Errorf("sweep: empty search space")
+		return nil, fmt.Errorf("sweep: empty search space")
 	}
-	if !opts.Shard.IsZero() {
-		if err := opts.Shard.validate(); err != nil {
-			return Result{}, err
-		}
-	}
-	lo, hi := opts.Shard.Bounds(len(designs))
+	return &Job{
+		Strategy: strategy,
+		Designs:  designs,
+		hash:     sweepHash(in, strategy, designs),
+	}, nil
+}
 
+// SpaceHash returns the job's fingerprint — identical across any process
+// that enumerated the same space from the same inputs.
+func (j *Job) SpaceHash() string { return j.hash }
+
+// Run executes the job's work-list under the given options. It is Run for a
+// prebuilt work-list; the coordinator uses it to run many shard slices of
+// one job without re-enumerating (and re-hashing) the space per lease.
+// The options' Plan must be exhaustive: an adaptive Plan describes how to
+// *derive* work-lists and is handled by Run and the coordinator, not by a
+// single job.
+func (j *Job) Run(ctx context.Context, in *explorer.Inputs, opts Options) (Result, error) {
+	opts, err := opts.resolve()
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.Plan.Mode == ModeAdaptive {
+		return Result{}, fmt.Errorf("sweep: a Job is a concrete work-list; run adaptive plans through sweep.Run or the coordinator")
+	}
+	return j.run(ctx, in, opts)
+}
+
+// run executes the work-list. opts must already be resolved.
+func (j *Job) run(ctx context.Context, in *explorer.Inputs, opts Options) (Result, error) {
 	r := &runner{
 		in:       in,
-		strategy: strategy,
-		designs:  designs,
+		strategy: j.Strategy,
+		designs:  j.Designs,
 		opts:     opts,
-		hash:     sweepHash(in, strategy, designs),
-		status:   make([]byte, len(designs)),
+		hash:     j.hash,
+		meta:     j.meta,
+		status:   make([]byte, len(j.Designs)),
 		failErrs: make(map[int]error),
-		lo:       lo,
-		hi:       hi,
 	}
+	r.lo, r.hi = opts.Shard.Bounds(len(j.Designs))
 	for i := range r.status {
 		r.status[i] = statusPending
+	}
+
+	// An adaptive round starts from the cumulative fold state of all prior
+	// rounds, so its checkpoint (and result) carries the frontier-so-far.
+	// Seeding happens before restore: a checkpoint written by a seeded run
+	// already includes the seeds, and re-folding them is idempotent.
+	if j.meta != nil {
+		if j.meta.seedBest != nil {
+			r.best = *j.meta.seedBest
+			r.haveBest = true
+		}
+		for _, o := range j.meta.seedFrontier {
+			r.frontier.Add(o)
+		}
 	}
 
 	resumed, err := r.restore()
@@ -277,6 +377,9 @@ type runner struct {
 	designs  []explorer.Design
 	opts     Options
 	hash     string
+	// meta carries the adaptive round context (round number, cells, prior
+	// accounting, cumulative seeds); nil for exhaustive sweeps.
+	meta *adaptiveMeta
 
 	status   []byte
 	failErrs map[int]error
@@ -568,6 +671,9 @@ func (r *runner) checkpoint() error {
 		Status:    encodeStatusRLE(r.status),
 		Retried:   r.retried,
 		Recovered: r.recovered,
+	}
+	if r.meta != nil {
+		r.meta.stamp(ck)
 	}
 	if r.haveBest {
 		so := saveOutcome(r.best)

@@ -287,7 +287,7 @@ func TestCheckpointMismatchRejected(t *testing.T) {
 	if err := json.Unmarshal(data, &ck); err != nil {
 		t.Fatal(err)
 	}
-	ck.Version = checkpointVersion + 1
+	ck.Version = checkpointVersionV3 + 1
 	raw, _ := json.Marshal(ck)
 	if err := os.WriteFile(ckpt, raw, 0o644); err != nil {
 		t.Fatal(err)
